@@ -1,0 +1,126 @@
+//! MERO: multiple excitation of rare occurrences (Chakraborty et al., CHES
+//! 2009).
+
+use netlist::Netlist;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use sim::rare::RareNetAnalysis;
+use sim::{Simulator, TestPattern};
+
+use crate::TestGenerator;
+
+/// The MERO N-detect heuristic.
+///
+/// MERO draws a large pool of random patterns and keeps a pattern whenever it
+/// activates some rare net that has not yet been activated `n` times. The
+/// hypothesis is that once every rare net has been individually excited `n`
+/// times, the kept patterns are likely to have activated many joint trigger
+/// conditions too. As the paper notes, this works moderately well on small
+/// designs and collapses on large ones.
+#[derive(Debug, Clone)]
+pub struct Mero {
+    n_detect: usize,
+    pool_size: usize,
+    seed: u64,
+}
+
+impl Mero {
+    /// Creates a MERO generator that tries to activate every rare net
+    /// `n_detect` times using a pool of `pool_size` random candidates.
+    #[must_use]
+    pub fn new(n_detect: usize, pool_size: usize, seed: u64) -> Self {
+        Self {
+            n_detect: n_detect.max(1),
+            pool_size: pool_size.max(1),
+            seed,
+        }
+    }
+}
+
+impl TestGenerator for Mero {
+    fn name(&self) -> &'static str {
+        "MERO"
+    }
+
+    fn generate(&mut self, netlist: &Netlist, analysis: &RareNetAnalysis) -> Vec<TestPattern> {
+        let sim = Simulator::new(netlist);
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let rare = analysis.rare_nets();
+        let mut counts = vec![0usize; rare.len()];
+        let mut kept = Vec::new();
+        let width = netlist.num_scan_inputs();
+
+        let mut processed = 0usize;
+        while processed < self.pool_size {
+            let batch_len = 64.min(self.pool_size - processed);
+            let batch = TestPattern::random_batch(width, batch_len, &mut rng);
+            let packed = sim.run_batch(&batch);
+            for (p, pattern) in batch.iter().enumerate() {
+                let mut useful = false;
+                for (ri, r) in rare.iter().enumerate() {
+                    if counts[ri] < self.n_detect && packed.value(r.net, p) == r.rare_value {
+                        counts[ri] += 1;
+                        useful = true;
+                    }
+                }
+                if useful {
+                    kept.push(pattern.clone());
+                }
+            }
+            processed += batch_len;
+            // Early exit once every rare net reached the N-detect target.
+            if counts.iter().all(|&c| c >= self.n_detect) {
+                break;
+            }
+        }
+        if kept.is_empty() {
+            // Degenerate designs with no rare nets still get one pattern so the
+            // evaluation pipeline has something to measure.
+            kept.push(TestPattern::random(width, &mut rng));
+        }
+        kept
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+    use netlist::synth::BenchmarkProfile;
+
+    #[test]
+    fn keeps_patterns_that_excite_rare_nets() {
+        let nl = samples::rare_chain(5);
+        let analysis = RareNetAnalysis::exhaustive(&nl, 0.3);
+        let mut gen = Mero::new(2, 2000, 7);
+        let patterns = gen.generate(&nl, &analysis);
+        assert!(!patterns.is_empty());
+        // Every kept pattern activates at least one rare net at its rare value.
+        let sim = Simulator::new(&nl);
+        for p in &patterns {
+            let values = sim.run(p);
+            assert!(analysis
+                .rare_nets()
+                .iter()
+                .any(|r| values.value(r.net) == r.rare_value));
+        }
+    }
+
+    #[test]
+    fn pattern_count_grows_with_n_detect() {
+        let nl = BenchmarkProfile::c2670().scaled(25).generate(6);
+        let analysis = RareNetAnalysis::estimate(&nl, 0.2, 2048, 2);
+        let small = Mero::new(1, 3000, 3).generate(&nl, &analysis).len();
+        let large = Mero::new(5, 3000, 3).generate(&nl, &analysis).len();
+        assert!(large >= small);
+    }
+
+    #[test]
+    fn no_rare_nets_still_returns_a_pattern() {
+        let nl = samples::c17();
+        let analysis = RareNetAnalysis::exhaustive(&nl, 0.01);
+        assert!(analysis.is_empty());
+        let patterns = Mero::new(2, 100, 1).generate(&nl, &analysis);
+        assert_eq!(patterns.len(), 1);
+    }
+}

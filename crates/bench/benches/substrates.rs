@@ -1,0 +1,99 @@
+//! Criterion micro-benchmarks of the substrates: bit-parallel simulation,
+//! SAT justification, compatibility-graph construction, and PPO updates.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use deterrent_core::CompatibilityGraph;
+use netlist::synth::BenchmarkProfile;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl::{PpoConfig, PpoTrainer, Transition};
+use sat::CircuitOracle;
+use sim::rare::RareNetAnalysis;
+use sim::{Simulator, TestPattern};
+
+fn bench_simulation(c: &mut Criterion) {
+    let nl = BenchmarkProfile::c5315().scaled(8).generate(1);
+    let sim = Simulator::new(&nl);
+    let mut rng = StdRng::seed_from_u64(1);
+    let patterns = TestPattern::random_batch(nl.num_scan_inputs(), 64, &mut rng);
+    c.bench_function("sim/packed_batch_64", |b| {
+        b.iter(|| sim.run_batch(&patterns))
+    });
+    c.bench_function("sim/scalar_single", |b| b.iter(|| sim.run(&patterns[0])));
+}
+
+fn bench_probability(c: &mut Criterion) {
+    let nl = BenchmarkProfile::c2670().scaled(10).generate(1);
+    c.bench_function("sim/rare_net_analysis_4096", |b| {
+        b.iter(|| RareNetAnalysis::estimate(&nl, 0.1, 4096, 7))
+    });
+}
+
+fn bench_sat(c: &mut Criterion) {
+    let nl = BenchmarkProfile::c2670().scaled(10).generate(1);
+    let analysis = RareNetAnalysis::estimate(&nl, 0.2, 4096, 7);
+    let targets = analysis.targets();
+    c.bench_function("sat/encode_oracle", |b| b.iter(|| CircuitOracle::new(&nl)));
+    if targets.len() >= 2 {
+        c.bench_function("sat/pairwise_justify", |b| {
+            b.iter_batched(
+                || CircuitOracle::new(&nl),
+                |mut oracle| oracle.justify(&targets[..2]),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+}
+
+fn bench_compat_graph(c: &mut Criterion) {
+    let nl = BenchmarkProfile::c2670().scaled(15).generate(1);
+    let analysis = RareNetAnalysis::estimate(&nl, 0.2, 4096, 7);
+    c.bench_function("deterrent/compat_graph_serial", |b| {
+        b.iter(|| CompatibilityGraph::build(&nl, &analysis, 1))
+    });
+    c.bench_function("deterrent/compat_graph_4_threads", |b| {
+        b.iter(|| CompatibilityGraph::build(&nl, &analysis, 4))
+    });
+}
+
+fn bench_ppo(c: &mut Criterion) {
+    let config = PpoConfig {
+        batch_size: 128,
+        hidden_sizes: vec![64, 64],
+        ..PpoConfig::boosted_exploration()
+    };
+    c.bench_function("rl/ppo_update_128x32", |b| {
+        b.iter_batched(
+            || {
+                let mut trainer = PpoTrainer::new(32, 32, &config, 3);
+                let mut rng = StdRng::seed_from_u64(5);
+                for _ in 0..128 {
+                    let state = TestPattern::random(32, &mut rng)
+                        .iter()
+                        .map(f64::from)
+                        .collect::<Vec<_>>();
+                    let (action, log_prob, value) = trainer.select_action(&state, &[]);
+                    trainer.record(Transition {
+                        state,
+                        mask: vec![],
+                        action,
+                        reward: 1.0,
+                        done: true,
+                        log_prob,
+                        value,
+                    });
+                }
+                trainer
+            },
+            |mut trainer| trainer.update(),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = substrates;
+    config = Criterion::default().sample_size(10);
+    targets = bench_simulation, bench_probability, bench_sat, bench_compat_graph, bench_ppo
+}
+criterion_main!(substrates);

@@ -1,0 +1,51 @@
+//! Figure 2: the four combinations of reward method (all-steps vs
+//! end-of-episode) and action masking (with vs without) on the MIPS
+//! benchmark — training rate (episodes/minute) and the maximum number of
+//! compatible rare nets found.
+
+use deterrent_bench::{BenchInstance, HarnessOptions};
+use deterrent_core::RewardMode;
+use netlist::synth::BenchmarkProfile;
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let instance = BenchInstance::prepare(&BenchmarkProfile::mips(), &options, 0.1);
+    println!(
+        "Figure 2 — reward x masking ablation on {} ({} rare nets)\n",
+        instance.name,
+        instance.analysis.len()
+    );
+    println!(
+        "{:<24} {:>14} {:>26}",
+        "combination", "eps./minute", "max #compatible rare nets"
+    );
+
+    let combos = [
+        ("All rew + NM", RewardMode::AllSteps, false),
+        ("All rew + M", RewardMode::AllSteps, true),
+        ("Eoe rew + NM", RewardMode::EndOfEpisode, false),
+        ("Eoe rew + M", RewardMode::EndOfEpisode, true),
+    ];
+    let mut best: Option<(&str, usize)> = None;
+    for (label, reward_mode, masking) in combos {
+        let config = options
+            .deterrent_config()
+            .with_ablation(reward_mode, masking);
+        let result = instance.run_deterrent(config);
+        println!(
+            "{:<24} {:>14.2} {:>26}",
+            label,
+            result.metrics.episodes_per_minute,
+            result.metrics.max_compatible_set
+        );
+        if best.map_or(true, |(_, b)| result.metrics.max_compatible_set > b) {
+            best = Some((label, result.metrics.max_compatible_set));
+        }
+    }
+    if let Some((label, size)) = best {
+        println!(
+            "\nBest architecture: {label} with {size} compatible rare nets \
+             (paper: all-steps reward with masking)."
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Figure 5: impact of trigger width (2–12) on the trigger coverage of TGRL
+//! and DETERRENT for c6288.
+
+use baselines::{TestGenerator, Tgrl};
+use deterrent_bench::{BenchInstance, HarnessOptions};
+use netlist::synth::BenchmarkProfile;
+use trojan::{CoverageEvaluator, TrojanGenerator};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let instance = BenchInstance::prepare(&BenchmarkProfile::c6288(), &options, 0.1);
+    println!(
+        "Figure 5 — trigger width vs coverage on {} ({} rare nets)\n",
+        instance.name,
+        instance.analysis.len()
+    );
+
+    // Generate both pattern sets once; only the Trojan population changes
+    // with the width (the same protocol the paper follows).
+    let deterrent = instance.run_deterrent(options.deterrent_config());
+    let tgrl_episodes = if options.scale <= 1 { 400 } else { 40 };
+    let tgrl_patterns =
+        Tgrl::new(tgrl_episodes, options.seed).generate(&instance.netlist, &instance.analysis);
+
+    println!(
+        "{:>14} {:>12} {:>18} {:>14}",
+        "trigger width", "#Trojans", "DETERRENT cov (%)", "TGRL cov (%)"
+    );
+    let widths = [2usize, 4, 6, 8, 10, 12];
+    for width in widths {
+        let mut generator = TrojanGenerator::new(&instance.netlist, options.seed ^ width as u64);
+        let trojans = generator.sample_many(&instance.analysis, width, options.num_trojans);
+        if trojans.is_empty() {
+            println!("{width:>14} {:>12} (no satisfiable triggers of this width)", 0);
+            continue;
+        }
+        let evaluator = CoverageEvaluator::new(&instance.netlist, trojans.clone());
+        let det_cov = evaluator.evaluate(&deterrent.patterns).coverage_percent();
+        let tgrl_cov = evaluator.evaluate(&tgrl_patterns).coverage_percent();
+        println!(
+            "{width:>14} {:>12} {det_cov:>18.1} {tgrl_cov:>14.1}",
+            trojans.len()
+        );
+    }
+    println!(
+        "\nShape to verify: DETERRENT's coverage stays roughly flat as the trigger \
+         widens, while TGRL's drops sharply (paper Figure 5)."
+    );
+}

@@ -1,0 +1,71 @@
+//! Figure 7: impact of the rareness threshold (0.10–0.14) on the number of
+//! rare nets and on DETERRENT's trigger coverage for c6288, plus the
+//! threshold-transfer experiment (train at 0.14, evaluate at 0.10).
+
+use deterrent_bench::HarnessOptions;
+use netlist::synth::BenchmarkProfile;
+use sim::rare::RareNetAnalysis;
+use trojan::{CoverageEvaluator, TrojanGenerator};
+
+fn main() {
+    let options = HarnessOptions::from_args();
+    let profile = BenchmarkProfile::c6288();
+    let netlist = options.netlist(&profile);
+    println!(
+        "Figure 7 — rareness-threshold sweep on {} ({} gates)\n",
+        profile.name,
+        netlist.num_logic_gates()
+    );
+    println!(
+        "{:>10} {:>12} {:>12} {:>18} {:>14}",
+        "threshold", "#rare nets", "#Trojans", "DETERRENT cov (%)", "test length"
+    );
+
+    let thresholds = [0.10, 0.11, 0.12, 0.13, 0.14];
+    let mut analyses = Vec::new();
+    for &theta in &thresholds {
+        let analysis = RareNetAnalysis::estimate(&netlist, theta, 8192, options.seed);
+        let mut generator = TrojanGenerator::new(&netlist, options.seed ^ (theta * 1000.0) as u64);
+        let trojans = generator.sample_many(&analysis, options.trigger_width.min(4), options.num_trojans);
+        let mut config = options.deterrent_config();
+        config.rareness_threshold = theta;
+        let result = deterrent_core::Deterrent::new(&netlist, config).run_with_analysis(&analysis);
+        let coverage = if trojans.is_empty() {
+            f64::NAN
+        } else {
+            CoverageEvaluator::new(&netlist, trojans.clone())
+                .evaluate(&result.patterns)
+                .coverage_percent()
+        };
+        println!(
+            "{theta:>10.2} {:>12} {:>12} {coverage:>18.1} {:>14}",
+            analysis.len(),
+            trojans.len(),
+            result.test_length()
+        );
+        analyses.push((theta, analysis, result));
+    }
+
+    // Threshold transfer: patterns generated from the loosest threshold
+    // evaluated against Trojans built from the tightest one.
+    if let (Some((_, tight_analysis, _)), Some((_, _, loose_result))) =
+        (analyses.first(), analyses.last())
+    {
+        let mut generator = TrojanGenerator::new(&netlist, options.seed ^ 0x0f14);
+        let trojans =
+            generator.sample_many(tight_analysis, options.trigger_width.min(4), options.num_trojans);
+        if !trojans.is_empty() {
+            let coverage = CoverageEvaluator::new(&netlist, trojans)
+                .evaluate(&loose_result.patterns)
+                .coverage_percent();
+            println!(
+                "\nTransfer: patterns trained at threshold 0.14 achieve {coverage:.1}% coverage \
+                 against threshold-0.10 triggers (paper reports 99%)."
+            );
+        }
+    }
+    println!(
+        "\nShape to verify: the number of rare nets grows with the threshold while \
+         DETERRENT's coverage stays within a few percent."
+    );
+}

@@ -1,0 +1,297 @@
+//! Shared plumbing for the benchmark harness.
+//!
+//! Every table and figure of the DETERRENT paper has a corresponding binary
+//! in `src/bin/` (`table1`, `table2`, `fig2`, `fig3`, `fig5`, `fig6`,
+//! `fig7`). The binaries share the helpers in this library: building the
+//! benchmark netlists (scaled down by default so the whole suite runs in
+//! minutes on a laptop; pass `--full` for paper-sized profiles), planting the
+//! Trojan populations, and running each test-generation technique.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use baselines::{Atpg, Mero, RandomPatterns, Tarmac, TestGenerator, Tgrl};
+use deterrent_core::{Deterrent, DeterrentConfig, DeterrentResult};
+use netlist::synth::BenchmarkProfile;
+use netlist::Netlist;
+use sim::rare::RareNetAnalysis;
+use sim::TestPattern;
+use trojan::{CoverageEvaluator, Trojan, TrojanGenerator};
+
+/// How aggressively the paper-sized benchmark profiles are shrunk.
+///
+/// The default scale of 20 turns c2670's 775 gates into ≈ 40 and MIPS's
+/// 23 511 into ≈ 1 175, keeping every experiment's *shape* while finishing in
+/// seconds. `--full` (scale 1) reproduces the paper-sized profiles.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HarnessOptions {
+    /// Divisor applied to every benchmark profile.
+    pub scale: usize,
+    /// Number of Trojans planted per benchmark (the paper uses 100).
+    pub num_trojans: usize,
+    /// Trigger width of the planted Trojans (the paper's default is 4).
+    pub trigger_width: usize,
+    /// Master seed.
+    pub seed: u64,
+}
+
+impl Default for HarnessOptions {
+    fn default() -> Self {
+        Self {
+            scale: 20,
+            num_trojans: 50,
+            trigger_width: 4,
+            seed: 2022,
+        }
+    }
+}
+
+impl HarnessOptions {
+    /// Parses command-line arguments: `--full` (paper-sized), `--scale N`,
+    /// `--trojans N`, `--width N`, `--seed N`.
+    #[must_use]
+    pub fn from_args() -> Self {
+        let mut options = Self::default();
+        let args: Vec<String> = std::env::args().collect();
+        let mut i = 1;
+        while i < args.len() {
+            match args[i].as_str() {
+                "--full" => {
+                    options.scale = 1;
+                    options.num_trojans = 100;
+                }
+                "--scale" if i + 1 < args.len() => {
+                    options.scale = args[i + 1].parse().unwrap_or(options.scale);
+                    i += 1;
+                }
+                "--trojans" if i + 1 < args.len() => {
+                    options.num_trojans = args[i + 1].parse().unwrap_or(options.num_trojans);
+                    i += 1;
+                }
+                "--width" if i + 1 < args.len() => {
+                    options.trigger_width = args[i + 1].parse().unwrap_or(options.trigger_width);
+                    i += 1;
+                }
+                "--seed" if i + 1 < args.len() => {
+                    options.seed = args[i + 1].parse().unwrap_or(options.seed);
+                    i += 1;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+        options
+    }
+
+    /// Builds the netlist for `profile` at the configured scale.
+    #[must_use]
+    pub fn netlist(&self, profile: &BenchmarkProfile) -> Netlist {
+        let scaled = if self.scale <= 1 {
+            profile.clone()
+        } else {
+            profile.scaled(self.scale)
+        };
+        scaled.generate(self.seed)
+    }
+
+    /// A DETERRENT configuration sized to the harness scale.
+    #[must_use]
+    pub fn deterrent_config(&self) -> DeterrentConfig {
+        if self.scale <= 1 {
+            DeterrentConfig::paper_preset()
+        } else {
+            DeterrentConfig {
+                episodes: 120,
+                eval_rollouts: 48,
+                k_patterns: 24,
+                seed: self.seed,
+                ..DeterrentConfig::fast_preset()
+            }
+        }
+    }
+}
+
+/// One prepared benchmark instance: the netlist, its rare-net analysis, and a
+/// planted Trojan population.
+#[derive(Debug)]
+pub struct BenchInstance {
+    /// Benchmark name (from the profile).
+    pub name: String,
+    /// The golden netlist.
+    pub netlist: Netlist,
+    /// Rare-net analysis at the given threshold.
+    pub analysis: RareNetAnalysis,
+    /// The planted Trojans used for coverage evaluation.
+    pub trojans: Vec<Trojan>,
+}
+
+impl BenchInstance {
+    /// Prepares a benchmark instance for `profile`: generate the netlist, run
+    /// rare-net analysis at `threshold`, and plant the Trojan population.
+    ///
+    /// When the design does not admit triggers of the requested width the
+    /// width is reduced (down to 2) until sampling succeeds — the scaled-down
+    /// profiles occasionally need this.
+    #[must_use]
+    pub fn prepare(profile: &BenchmarkProfile, options: &HarnessOptions, threshold: f64) -> Self {
+        let netlist = options.netlist(profile);
+        let analysis = RareNetAnalysis::estimate(&netlist, threshold, 8192, options.seed);
+        let mut generator = TrojanGenerator::new(&netlist, options.seed ^ 0x7707);
+        let mut width = options.trigger_width;
+        let mut trojans = Vec::new();
+        while width >= 2 {
+            trojans = generator.sample_many(&analysis, width, options.num_trojans);
+            if trojans.len() >= options.num_trojans.min(10) {
+                break;
+            }
+            width -= 1;
+        }
+        Self {
+            name: profile.name.clone(),
+            netlist,
+            analysis,
+            trojans,
+        }
+    }
+
+    /// Trigger coverage (%) of `patterns` against the planted Trojans.
+    #[must_use]
+    pub fn coverage(&self, patterns: &[TestPattern]) -> f64 {
+        if self.trojans.is_empty() {
+            return 0.0;
+        }
+        CoverageEvaluator::new(&self.netlist, self.trojans.clone())
+            .evaluate(patterns)
+            .coverage_percent()
+    }
+
+    /// Full coverage report (for cumulative curves).
+    #[must_use]
+    pub fn coverage_report(&self, patterns: &[TestPattern]) -> trojan::CoverageReport {
+        CoverageEvaluator::new(&self.netlist, self.trojans.clone()).evaluate(patterns)
+    }
+
+    /// Runs the DETERRENT pipeline on this instance.
+    ///
+    /// `k` (the number of compatible sets turned into patterns) and the
+    /// number of greedy evaluation rollouts are scaled with the rare-net
+    /// count, mirroring how the paper tunes `k` per benchmark (e.g. 1304
+    /// patterns for MIPS but only 8 for c2670).
+    #[must_use]
+    pub fn run_deterrent(&self, mut config: DeterrentConfig) -> DeterrentResult {
+        config.k_patterns = config.k_patterns.max(self.analysis.len());
+        config.eval_rollouts = config.eval_rollouts.max(self.analysis.len());
+        Deterrent::new(&self.netlist, config).run_with_analysis(&self.analysis)
+    }
+}
+
+/// Coverage and test length of one technique on one benchmark (a cell group
+/// of Table 2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TechniqueResult {
+    /// Technique name.
+    pub technique: String,
+    /// Number of test patterns.
+    pub test_length: usize,
+    /// Trigger coverage in percent.
+    pub coverage: f64,
+}
+
+/// Runs every baseline plus DETERRENT on `instance` and returns one
+/// [`TechniqueResult`] per technique, in Table 2 column order.
+#[must_use]
+pub fn run_all_techniques(instance: &BenchInstance, options: &HarnessOptions) -> Vec<TechniqueResult> {
+    let seed = options.seed;
+    let mut results = Vec::new();
+
+    // TGRL first: its test length sets the budget for Random and TARMAC, the
+    // same protocol the paper uses for a fair comparison.
+    let tgrl_episodes = if options.scale <= 1 { 400 } else { 40 };
+    let tgrl_patterns = Tgrl::new(tgrl_episodes, seed).generate(&instance.netlist, &instance.analysis);
+    let budget = tgrl_patterns.len().max(8);
+
+    let random_patterns =
+        RandomPatterns::new(budget, seed).generate(&instance.netlist, &instance.analysis);
+    let atpg_patterns = Atpg::new(seed).generate(&instance.netlist, &instance.analysis);
+    let tarmac_patterns = Tarmac::new(budget, seed).generate(&instance.netlist, &instance.analysis);
+    let mero_patterns = Mero::new(5, budget * 50, seed).generate(&instance.netlist, &instance.analysis);
+    let deterrent = instance.run_deterrent(options.deterrent_config());
+
+    for (name, patterns) in [
+        ("Random", &random_patterns),
+        ("TestMAX", &atpg_patterns),
+        ("MERO", &mero_patterns),
+        ("TARMAC", &tarmac_patterns),
+        ("TGRL", &tgrl_patterns),
+        ("DETERRENT", &deterrent.patterns),
+    ] {
+        results.push(TechniqueResult {
+            technique: name.to_string(),
+            test_length: patterns.len(),
+            coverage: instance.coverage(patterns),
+        });
+    }
+    results
+}
+
+/// Formats a Table-2-style row group as aligned text.
+#[must_use]
+pub fn format_results_table(design: &str, rare_nets: usize, gates: usize, rows: &[TechniqueResult]) -> String {
+    let mut out = format!(
+        "{design}: {gates} gates, {rare_nets} rare nets\n  {:<28} {:>12} {:>10}\n",
+        "technique", "test length", "cov (%)"
+    );
+    for r in rows {
+        out.push_str(&format!(
+            "  {:<28} {:>12} {:>10.1}\n",
+            r.technique, r.test_length, r.coverage
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn options_default_and_scaling() {
+        let options = HarnessOptions::default();
+        assert_eq!(options.scale, 20);
+        let nl = options.netlist(&BenchmarkProfile::c2670());
+        assert!(nl.num_logic_gates() < 200);
+    }
+
+    #[test]
+    fn prepare_produces_trojans_and_coverage_runs() {
+        let options = HarnessOptions {
+            num_trojans: 10,
+            trigger_width: 2,
+            ..HarnessOptions::default()
+        };
+        let instance = BenchInstance::prepare(&BenchmarkProfile::c2670(), &options, 0.2);
+        assert!(!instance.trojans.is_empty());
+        let random = RandomPatterns::new(32, 1).generate(&instance.netlist, &instance.analysis);
+        let cov = instance.coverage(&random);
+        assert!((0.0..=100.0).contains(&cov));
+    }
+
+    #[test]
+    fn table_formatting_contains_all_rows() {
+        let rows = vec![
+            TechniqueResult {
+                technique: "Random".into(),
+                test_length: 10,
+                coverage: 12.5,
+            },
+            TechniqueResult {
+                technique: "DETERRENT".into(),
+                test_length: 3,
+                coverage: 99.0,
+            },
+        ];
+        let text = format_results_table("c2670", 43, 775, &rows);
+        assert!(text.contains("Random") && text.contains("DETERRENT"));
+        assert!(text.contains("99.0"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Configuration of the DETERRENT pipeline.
+
+use rl::PpoConfig;
+
+/// When the agent receives its reward (Section 3.2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RewardMode {
+    /// Reward `|s_{t+1}|²` at every compatible step (the final architecture).
+    #[default]
+    AllSteps,
+    /// Reward 0 at intermediate steps and `|s_T|²` at the end of the episode
+    /// (the faster but slightly weaker variant of Table 1).
+    EndOfEpisode,
+}
+
+/// How a candidate action's compatibility with the current state is checked
+/// during an environment step.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum CompatCheck {
+    /// Use the precomputed pairwise-compatibility graph (the final
+    /// architecture; cheap per step).
+    #[default]
+    PairwiseGraph,
+    /// Run a full SAT justification of `state ∪ {action}` on every step (the
+    /// naive formulation of Section 3.1; faithful to the paper's "a few
+    /// seconds per check" bottleneck and used by the Table 1 ablation).
+    ExactSat,
+}
+
+/// Every knob of the DETERRENT pipeline.
+///
+/// The defaults correspond to the paper's final architecture: all-steps
+/// reward, action masking, pairwise-graph compatibility checks, and boosted
+/// exploration (entropy coefficient 1.0, GAE λ = 0.99).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeterrentConfig {
+    /// Rareness threshold θ below which nets count as rare (paper default 0.1).
+    pub rareness_threshold: f64,
+    /// Number of random patterns used to estimate signal probabilities.
+    pub probability_patterns: usize,
+    /// Reward schedule.
+    pub reward_mode: RewardMode,
+    /// Whether invalid actions are masked out (Section 3.3).
+    pub masking: bool,
+    /// Per-step compatibility check implementation.
+    pub compat_check: CompatCheck,
+    /// PPO hyper-parameters (entropy coefficient and λ implement Section 3.4).
+    pub ppo: PpoConfig,
+    /// Number of training episodes.
+    pub episodes: usize,
+    /// Episode length `T` (maximum actions per episode).
+    pub steps_per_episode: usize,
+    /// Number of greedy evaluation rollouts used to harvest additional
+    /// maximal sets after training.
+    pub eval_rollouts: usize,
+    /// `k` — how many of the largest distinct compatible sets become test
+    /// patterns.
+    pub k_patterns: usize,
+    /// Worker threads for the offline pairwise-compatibility computation
+    /// (the paper uses 64 processes).
+    pub compat_threads: usize,
+    /// RNG seed controlling every stochastic component.
+    pub seed: u64,
+}
+
+impl Default for DeterrentConfig {
+    fn default() -> Self {
+        Self {
+            rareness_threshold: 0.1,
+            probability_patterns: 16 * 1024,
+            reward_mode: RewardMode::AllSteps,
+            masking: true,
+            compat_check: CompatCheck::PairwiseGraph,
+            ppo: PpoConfig::boosted_exploration(),
+            episodes: 300,
+            steps_per_episode: 64,
+            eval_rollouts: 64,
+            k_patterns: 32,
+            compat_threads: 8,
+            seed: 0xDE7E88EA7,
+        }
+    }
+}
+
+impl DeterrentConfig {
+    /// A configuration sized for unit tests and examples: few episodes, small
+    /// networks, small pattern budgets. Finishes in well under a second on
+    /// scaled-down benchmark profiles.
+    #[must_use]
+    pub fn fast_preset() -> Self {
+        Self {
+            probability_patterns: 4096,
+            ppo: PpoConfig {
+                hidden_sizes: vec![32, 32],
+                batch_size: 128,
+                ..PpoConfig::boosted_exploration()
+            },
+            episodes: 60,
+            steps_per_episode: 24,
+            eval_rollouts: 16,
+            k_patterns: 16,
+            compat_threads: 4,
+            ..Self::default()
+        }
+    }
+
+    /// The paper-style configuration used by the full benchmark harness:
+    /// longer training and larger networks.
+    #[must_use]
+    pub fn paper_preset() -> Self {
+        Self {
+            episodes: 2000,
+            steps_per_episode: 128,
+            eval_rollouts: 256,
+            k_patterns: 64,
+            compat_threads: 16,
+            ..Self::default()
+        }
+    }
+
+    /// Returns a copy with the reward/masking ablation of Figure 2 applied.
+    #[must_use]
+    pub fn with_ablation(mut self, reward_mode: RewardMode, masking: bool) -> Self {
+        self.reward_mode = reward_mode;
+        self.masking = masking;
+        self
+    }
+
+    /// Returns a copy with default (non-boosted) exploration, for the
+    /// Figure 3 comparison.
+    #[must_use]
+    pub fn with_default_exploration(mut self) -> Self {
+        self.ppo.entropy_coef = 0.01;
+        self.ppo.gae_lambda = 0.95;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_matches_final_architecture() {
+        let c = DeterrentConfig::default();
+        assert_eq!(c.reward_mode, RewardMode::AllSteps);
+        assert!(c.masking);
+        assert_eq!(c.compat_check, CompatCheck::PairwiseGraph);
+        assert!((c.ppo.entropy_coef - 1.0).abs() < 1e-12);
+        assert!((c.ppo.gae_lambda - 0.99).abs() < 1e-12);
+        assert!((c.rareness_threshold - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ablation_builder() {
+        let c = DeterrentConfig::default().with_ablation(RewardMode::EndOfEpisode, false);
+        assert_eq!(c.reward_mode, RewardMode::EndOfEpisode);
+        assert!(!c.masking);
+    }
+
+    #[test]
+    fn exploration_toggle() {
+        let c = DeterrentConfig::default().with_default_exploration();
+        assert!(c.ppo.entropy_coef < 0.5);
+        assert!(c.ppo.gae_lambda < 0.99);
+    }
+
+    #[test]
+    fn presets_differ_in_scale() {
+        assert!(DeterrentConfig::fast_preset().episodes < DeterrentConfig::paper_preset().episodes);
+    }
+}

@@ -1,0 +1,48 @@
+//! DETERRENT — Detecting Trojans using Reinforcement Learning (DAC 2022).
+//!
+//! This crate implements the paper's primary contribution: a reinforcement
+//! learning agent that searches for *maximal sets of compatible rare nets*
+//! of a gate-level netlist and turns the `k` largest sets into a compact test
+//! pattern set that activates rare Trojan triggers.
+//!
+//! The pipeline (Figure 4 of the paper) is:
+//!
+//! 1. **Rare-net identification** — random logic simulation plus a rareness
+//!    threshold ([`sim::rare::RareNetAnalysis`]).
+//! 2. **Offline pairwise compatibility** — for every pair of rare nets, a SAT
+//!    query decides whether one input pattern can drive both to their rare
+//!    values simultaneously ([`CompatibilityGraph`]), parallelized across
+//!    worker threads.
+//! 3. **RL training** — a PPO agent over the compatible-set MDP
+//!    ([`CompatSetEnv`]) with action masking, configurable reward mode
+//!    (all-steps vs end-of-episode), and boosted exploration.
+//! 4. **Set selection and pattern generation** — the `k` largest distinct
+//!    compatible sets are justified by the SAT oracle into test patterns
+//!    ([`generate_patterns`]).
+//!
+//! The one-stop entry point is [`Deterrent`]:
+//!
+//! ```
+//! use deterrent_core::{Deterrent, DeterrentConfig};
+//! use netlist::synth::BenchmarkProfile;
+//!
+//! let netlist = BenchmarkProfile::c2670().scaled(30).generate(1);
+//! let config = DeterrentConfig::fast_preset();
+//! let result = Deterrent::new(&netlist, config).run();
+//! assert!(!result.patterns.is_empty());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod compat;
+mod config;
+mod env;
+mod pipeline;
+mod selection;
+
+pub use compat::CompatibilityGraph;
+pub use config::{CompatCheck, DeterrentConfig, RewardMode};
+pub use env::CompatSetEnv;
+pub use pipeline::{Deterrent, DeterrentResult, TrainingMetrics};
+pub use selection::{generate_patterns, select_k_largest, RareNetSet};

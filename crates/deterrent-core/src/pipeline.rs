@@ -1,0 +1,260 @@
+//! The end-to-end DETERRENT pipeline (Figure 4 of the paper).
+
+use netlist::Netlist;
+use rl::{train, PpoLosses, PpoTrainer, TrainOptions};
+use sat::CircuitOracle;
+use sim::rare::{RareNet, RareNetAnalysis};
+use sim::TestPattern;
+
+use crate::{
+    generate_patterns, select_k_largest, CompatSetEnv, CompatibilityGraph, DeterrentConfig,
+    RareNetSet,
+};
+
+/// Metrics of the RL training phase, matching the quantities reported in
+/// Table 1 and Figures 2–3 of the paper.
+#[derive(Debug, Clone, Default)]
+pub struct TrainingMetrics {
+    /// Episodes completed per minute of wall-clock time.
+    pub episodes_per_minute: f64,
+    /// Environment steps per minute of wall-clock time.
+    pub steps_per_minute: f64,
+    /// Size of the largest compatible set found during training/evaluation.
+    pub max_compatible_set: usize,
+    /// Mean reward over the last 10% of episodes.
+    pub final_mean_reward: f64,
+    /// `(total_env_steps, losses)` per PPO update — the loss curve of Fig. 3.
+    pub loss_history: Vec<(u64, PpoLosses)>,
+    /// Wall-clock seconds spent in RL training.
+    pub training_seconds: f64,
+    /// SAT queries spent building the pairwise-compatibility graph.
+    pub compat_sat_queries: u64,
+    /// Exact SAT checks performed inside the environment (non-zero only for
+    /// the naive all-SAT formulation).
+    pub env_sat_checks: u64,
+}
+
+/// Output of a full DETERRENT run.
+#[derive(Debug, Clone)]
+pub struct DeterrentResult {
+    /// The generated test patterns (at most `k`, often fewer after
+    /// deduplication).
+    pub patterns: Vec<TestPattern>,
+    /// The selected compatible rare-net sets, largest first.
+    pub sets: Vec<RareNetSet>,
+    /// The rare nets the agent operated over.
+    pub rare_nets: Vec<RareNet>,
+    /// Rareness threshold used.
+    pub rareness_threshold: f64,
+    /// Training-phase metrics.
+    pub metrics: TrainingMetrics,
+}
+
+impl DeterrentResult {
+    /// Number of generated test patterns (the "Test Length" column of
+    /// Table 2).
+    #[must_use]
+    pub fn test_length(&self) -> usize {
+        self.patterns.len()
+    }
+}
+
+/// The DETERRENT pipeline bound to one netlist.
+#[derive(Debug, Clone)]
+pub struct Deterrent<'a> {
+    netlist: &'a Netlist,
+    config: DeterrentConfig,
+}
+
+impl<'a> Deterrent<'a> {
+    /// Creates the pipeline for `netlist` with the given configuration.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, config: DeterrentConfig) -> Self {
+        Self { netlist, config }
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &DeterrentConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline: rare-net analysis, offline compatibility,
+    /// RL training, set selection, and SAT pattern generation.
+    #[must_use]
+    pub fn run(&self) -> DeterrentResult {
+        let analysis = RareNetAnalysis::estimate(
+            self.netlist,
+            self.config.rareness_threshold,
+            self.config.probability_patterns,
+            self.config.seed,
+        );
+        self.run_with_analysis(&analysis)
+    }
+
+    /// Runs the pipeline on a precomputed rare-net analysis. This is how the
+    /// paper's threshold-transfer experiment (train at θ = 0.14, evaluate at
+    /// θ = 0.10) is expressed: analyse once per threshold and reuse.
+    #[must_use]
+    pub fn run_with_analysis(&self, analysis: &RareNetAnalysis) -> DeterrentResult {
+        let graph = CompatibilityGraph::build(self.netlist, analysis, self.config.compat_threads);
+        if graph.is_empty() {
+            return DeterrentResult {
+                patterns: Vec::new(),
+                sets: Vec::new(),
+                rare_nets: Vec::new(),
+                rareness_threshold: analysis.threshold(),
+                metrics: TrainingMetrics::default(),
+            };
+        }
+
+        let mut env = CompatSetEnv::new(self.netlist, &graph, &self.config);
+        let mut trainer = PpoTrainer::new(
+            graph.len(),
+            graph.len(),
+            &self.config.ppo,
+            self.config.seed,
+        );
+        let options = TrainOptions {
+            episodes: self.config.episodes,
+            max_steps: self.config.steps_per_episode,
+            seed: self.config.seed,
+        };
+        let start = std::time::Instant::now();
+        let report = train(&mut env, &mut trainer, &options);
+        let training_seconds = start.elapsed().as_secs_f64();
+
+        // Harvest the sets seen during training plus greedy evaluation
+        // rollouts from the trained policy.
+        let mut harvested = env.take_harvest();
+        for _ in 0..self.config.eval_rollouts {
+            let mut state = rl::Environment::reset(&mut env);
+            loop {
+                let mask = rl::Environment::action_mask(&env);
+                if !mask.is_empty() && !mask.iter().any(|&m| m) {
+                    break;
+                }
+                let action = trainer.best_action(&state, &mask);
+                let outcome = rl::Environment::step(&mut env, action);
+                state = outcome.state;
+                if outcome.done {
+                    break;
+                }
+            }
+        }
+        harvested.extend(env.take_harvest());
+
+        let max_compatible_set = harvested.iter().map(Vec::len).max().unwrap_or(0);
+        let sets = select_k_largest(&harvested, self.config.k_patterns);
+        let mut oracle = CircuitOracle::new(self.netlist);
+        let patterns = generate_patterns(&mut oracle, &graph, &sets);
+
+        let metrics = TrainingMetrics {
+            episodes_per_minute: report.episodes_per_minute(),
+            steps_per_minute: report.steps_per_minute(),
+            max_compatible_set,
+            final_mean_reward: report.mean_reward_last(self.config.episodes.div_ceil(10).max(1)),
+            loss_history: trainer.loss_history().to_vec(),
+            training_seconds,
+            compat_sat_queries: graph.sat_queries(),
+            env_sat_checks: env.exact_sat_checks(),
+        };
+
+        DeterrentResult {
+            patterns,
+            sets,
+            rare_nets: graph.rare_nets().to_vec(),
+            rareness_threshold: analysis.threshold(),
+            metrics,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::RewardMode;
+    use netlist::synth::BenchmarkProfile;
+    use sim::Simulator;
+    use trojan::{CoverageEvaluator, TrojanGenerator};
+
+    fn small_netlist() -> Netlist {
+        BenchmarkProfile::c2670().scaled(20).generate(3)
+    }
+
+    #[test]
+    fn full_pipeline_produces_patterns_that_hit_rare_nets() {
+        let nl = small_netlist();
+        let mut config = DeterrentConfig::fast_preset();
+        config.rareness_threshold = 0.2;
+        let result = Deterrent::new(&nl, config).run();
+        assert!(!result.rare_nets.is_empty());
+        assert!(!result.patterns.is_empty());
+        assert!(result.test_length() <= 16);
+        assert!(result.metrics.max_compatible_set >= 1);
+        assert!(result.metrics.episodes_per_minute > 0.0);
+
+        // Every pattern activates at least one rare net at its rare value.
+        let sim = Simulator::new(&nl);
+        for p in &result.patterns {
+            let values = sim.run(p);
+            assert!(result
+                .rare_nets
+                .iter()
+                .any(|r| values.value(r.net) == r.rare_value));
+        }
+    }
+
+    #[test]
+    fn pipeline_detects_planted_trojans_better_than_nothing() {
+        let nl = small_netlist();
+        let mut config = DeterrentConfig::fast_preset();
+        config.rareness_threshold = 0.2;
+        config.seed = 5;
+        let result = Deterrent::new(&nl, config).run();
+
+        let analysis = RareNetAnalysis::estimate(&nl, 0.2, 4096, 9);
+        let mut gen = TrojanGenerator::new(&nl, 77);
+        let trojans = gen.sample_many(&analysis, 2, 20);
+        if trojans.is_empty() {
+            return; // seed produced no valid 2-wide triggers; other tests cover this
+        }
+        let evaluator = CoverageEvaluator::new(&nl, trojans);
+        let report = evaluator.evaluate(&result.patterns);
+        assert!(
+            report.detected > 0,
+            "DETERRENT patterns should trigger at least one planted Trojan"
+        );
+    }
+
+    #[test]
+    fn end_of_episode_mode_runs_and_reports_metrics() {
+        let nl = small_netlist();
+        let mut config = DeterrentConfig::fast_preset();
+        config.rareness_threshold = 0.2;
+        config.reward_mode = RewardMode::EndOfEpisode;
+        config.episodes = 20;
+        let result = Deterrent::new(&nl, config).run();
+        assert!(result.metrics.steps_per_minute > 0.0);
+    }
+
+    #[test]
+    fn empty_rare_net_set_yields_empty_result() {
+        let nl = netlist::samples::c17();
+        let mut config = DeterrentConfig::fast_preset();
+        config.rareness_threshold = 0.01; // nothing in c17 is that rare
+        let result = Deterrent::new(&nl, config).run();
+        assert!(result.patterns.is_empty());
+        assert!(result.sets.is_empty());
+    }
+
+    #[test]
+    fn threshold_transfer_reuses_external_analysis() {
+        let nl = small_netlist();
+        let loose = RareNetAnalysis::estimate(&nl, 0.25, 4096, 2);
+        let mut config = DeterrentConfig::fast_preset();
+        config.episodes = 20;
+        let result = Deterrent::new(&nl, config).run_with_analysis(&loose);
+        assert!((result.rareness_threshold - 0.25).abs() < 1e-12);
+    }
+}

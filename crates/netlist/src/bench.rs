@@ -1,0 +1,293 @@
+//! Reader and writer for the ISCAS `.bench` netlist format.
+//!
+//! The `.bench` dialect accepted here is the one used by the ISCAS-85/89
+//! benchmark suites and by the DETERRENT / TARMAC / TGRL artifacts:
+//!
+//! ```text
+//! # comment
+//! INPUT(G1)
+//! OUTPUT(G17)
+//! G10 = NAND(G1, G3)
+//! G17 = NOT(G10)
+//! G20 = DFF(G17)
+//! ```
+//!
+//! Signals may be referenced before they are defined; the parser performs a
+//! second pass to resolve names. Unknown keywords and malformed lines produce
+//! [`NetlistError::ParseBench`] with the offending line number.
+
+use std::collections::HashMap;
+
+use crate::{Gate, GateKind, NetId, Netlist, NetlistError};
+
+/// Parses `.bench` source text into a [`Netlist`].
+///
+/// # Errors
+///
+/// Returns [`NetlistError::ParseBench`] on malformed lines, plus any
+/// structural error raised during final netlist validation (duplicate names,
+/// cycles, missing outputs, …).
+///
+/// # Example
+///
+/// ```
+/// let src = "
+/// INPUT(a)
+/// INPUT(b)
+/// OUTPUT(y)
+/// y = AND(a, b)
+/// ";
+/// let nl = netlist::bench::parse("and2", src)?;
+/// assert_eq!(nl.num_inputs(), 2);
+/// # Ok::<(), netlist::NetlistError>(())
+/// ```
+pub fn parse(name: impl Into<String>, src: &str) -> Result<Netlist, NetlistError> {
+    enum Proto {
+        Input(String),
+        Gate {
+            out: String,
+            kind: GateKind,
+            fanin_names: Vec<String>,
+        },
+    }
+
+    let mut protos: Vec<Proto> = Vec::new();
+    let mut output_names: Vec<String> = Vec::new();
+
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.split('#').next().unwrap_or("").trim();
+        if line.is_empty() {
+            continue;
+        }
+        let lineno = lineno + 1;
+        let err = |message: String| NetlistError::ParseBench {
+            line: lineno,
+            message,
+        };
+
+        let upper = line.to_ascii_uppercase();
+        if upper.starts_with("INPUT") {
+            let inner = extract_parens(line).ok_or_else(|| err("malformed INPUT".into()))?;
+            protos.push(Proto::Input(inner.trim().to_string()));
+        } else if upper.starts_with("OUTPUT") {
+            let inner = extract_parens(line).ok_or_else(|| err("malformed OUTPUT".into()))?;
+            output_names.push(inner.trim().to_string());
+        } else if let Some(eq) = line.find('=') {
+            let out = line[..eq].trim().to_string();
+            let rhs = line[eq + 1..].trim();
+            let paren = rhs
+                .find('(')
+                .ok_or_else(|| err(format!("missing '(' in `{rhs}`")))?;
+            let kw = rhs[..paren].trim();
+            let kind = GateKind::from_bench_keyword(kw)
+                .ok_or_else(|| err(format!("unknown gate keyword `{kw}`")))?;
+            let inner = extract_parens(rhs).ok_or_else(|| err("unbalanced parentheses".into()))?;
+            let fanin_names: Vec<String> = if inner.trim().is_empty() {
+                Vec::new()
+            } else {
+                inner.split(',').map(|s| s.trim().to_string()).collect()
+            };
+            if out.is_empty() {
+                return Err(err("empty left-hand side".into()));
+            }
+            protos.push(Proto::Gate {
+                out,
+                kind,
+                fanin_names,
+            });
+        } else {
+            return Err(err(format!("unrecognised line `{line}`")));
+        }
+    }
+
+    // First pass: assign ids.
+    let mut ids: HashMap<String, NetId> = HashMap::new();
+    for (i, proto) in protos.iter().enumerate() {
+        let name = match proto {
+            Proto::Input(n) => n,
+            Proto::Gate { out, .. } => out,
+        };
+        if ids.insert(name.clone(), NetId(i as u32)).is_some() {
+            return Err(NetlistError::DuplicateName(name.clone()));
+        }
+    }
+
+    // Second pass: materialize gates with resolved fanins.
+    let mut gates = Vec::with_capacity(protos.len());
+    for proto in &protos {
+        match proto {
+            Proto::Input(n) => gates.push(Gate {
+                kind: GateKind::Input,
+                fanin: vec![],
+                name: n.clone(),
+            }),
+            Proto::Gate {
+                out,
+                kind,
+                fanin_names,
+            } => {
+                let mut fanin = Vec::with_capacity(fanin_names.len());
+                for f in fanin_names {
+                    let id = ids
+                        .get(f)
+                        .copied()
+                        .ok_or_else(|| NetlistError::UnknownName(f.clone()))?;
+                    fanin.push(id);
+                }
+                gates.push(Gate {
+                    kind: *kind,
+                    fanin,
+                    name: out.clone(),
+                });
+            }
+        }
+    }
+
+    let mut outputs = Vec::with_capacity(output_names.len());
+    for o in &output_names {
+        outputs.push(
+            ids.get(o)
+                .copied()
+                .ok_or_else(|| NetlistError::UnknownName(o.clone()))?,
+        );
+    }
+
+    Netlist::from_parts(name, gates, outputs)
+}
+
+/// Serializes a [`Netlist`] back to `.bench` text.
+///
+/// The output parses back (see [`parse`]) to a structurally identical design:
+/// same signal names, gate kinds, fanin order, and output list.
+#[must_use]
+pub fn write(nl: &Netlist) -> String {
+    let mut out = String::new();
+    out.push_str(&format!("# {}\n", nl.name()));
+    for &pi in nl.primary_inputs() {
+        out.push_str(&format!("INPUT({})\n", nl.net_name(pi)));
+    }
+    for &po in nl.primary_outputs() {
+        out.push_str(&format!("OUTPUT({})\n", nl.net_name(po)));
+    }
+    for (id, gate) in nl.iter() {
+        if gate.kind == GateKind::Input {
+            continue;
+        }
+        let kw = gate.kind.bench_keyword().unwrap_or("BUF");
+        let fanins: Vec<&str> = gate.fanin.iter().map(|&f| nl.net_name(f)).collect();
+        out.push_str(&format!("{} = {}({})\n", nl.net_name(id), kw, fanins.join(", ")));
+    }
+    out
+}
+
+fn extract_parens(s: &str) -> Option<&str> {
+    let open = s.find('(')?;
+    let close = s.rfind(')')?;
+    if close <= open {
+        return None;
+    }
+    Some(&s[open + 1..close])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::samples;
+
+    const C17: &str = "
+# c17 from ISCAS-85
+INPUT(G1)
+INPUT(G2)
+INPUT(G3)
+INPUT(G6)
+INPUT(G7)
+OUTPUT(G22)
+OUTPUT(G23)
+G10 = NAND(G1, G3)
+G11 = NAND(G3, G6)
+G16 = NAND(G2, G11)
+G19 = NAND(G11, G7)
+G22 = NAND(G10, G16)
+G23 = NAND(G16, G19)
+";
+
+    #[test]
+    fn parses_c17() {
+        let nl = parse("c17", C17).unwrap();
+        assert_eq!(nl.num_inputs(), 5);
+        assert_eq!(nl.num_outputs(), 2);
+        assert_eq!(nl.num_logic_gates(), 6);
+        assert_eq!(nl.depth(), 3);
+    }
+
+    #[test]
+    fn round_trip_preserves_structure() {
+        let nl = parse("c17", C17).unwrap();
+        let text = write(&nl);
+        let nl2 = parse("c17", &text).unwrap();
+        assert_eq!(nl.num_gates(), nl2.num_gates());
+        assert_eq!(nl.num_outputs(), nl2.num_outputs());
+        for (id, gate) in nl.iter() {
+            let id2 = nl2.net_by_name(&gate.name).expect("name preserved");
+            let gate2 = nl2.gate(id2);
+            assert_eq!(gate.kind, gate2.kind, "kind of {}", gate.name);
+            let f1: Vec<&str> = gate.fanin.iter().map(|&f| nl.net_name(f)).collect();
+            let f2: Vec<&str> = gate2.fanin.iter().map(|&f| nl2.net_name(f)).collect();
+            assert_eq!(f1, f2, "fanin of {}", gate.name);
+            let _ = id;
+        }
+    }
+
+    #[test]
+    fn forward_references_resolve() {
+        let src = "
+INPUT(a)
+OUTPUT(y)
+y = NOT(x)
+x = BUF(a)
+";
+        let nl = parse("fwd", src).unwrap();
+        assert_eq!(nl.num_logic_gates(), 2);
+    }
+
+    #[test]
+    fn dff_parses_as_pseudo_input() {
+        let src = "
+INPUT(a)
+OUTPUT(y)
+q = DFF(y)
+y = AND(a, q)
+";
+        let nl = parse("seq", src).unwrap();
+        assert_eq!(nl.flip_flops().len(), 1);
+        assert_eq!(nl.num_scan_inputs(), 2);
+    }
+
+    #[test]
+    fn unknown_keyword_is_parse_error() {
+        let err = parse("x", "INPUT(a)\nOUTPUT(y)\ny = FROB(a)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::ParseBench { line: 3, .. }));
+    }
+
+    #[test]
+    fn undefined_signal_is_error() {
+        let err = parse("x", "INPUT(a)\nOUTPUT(y)\ny = AND(a, ghost)\n").unwrap_err();
+        assert!(matches!(err, NetlistError::UnknownName(_)));
+    }
+
+    #[test]
+    fn comments_and_blank_lines_ignored() {
+        let src = "\n# hello\n\nINPUT(a)  # trailing comment\nOUTPUT(y)\ny = NOT(a)\n";
+        let nl = parse("c", src).unwrap();
+        assert_eq!(nl.num_logic_gates(), 1);
+    }
+
+    #[test]
+    fn write_then_parse_samples() {
+        for nl in [samples::c17(), samples::majority5(), samples::adder4()] {
+            let text = write(&nl);
+            let back = parse(nl.name(), &text).unwrap();
+            assert_eq!(back.num_gates(), nl.num_gates());
+        }
+    }
+}

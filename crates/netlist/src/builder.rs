@@ -1,0 +1,208 @@
+//! Incremental construction of [`Netlist`]s.
+
+use crate::{Gate, GateKind, NetId, Netlist, NetlistError};
+use std::collections::HashSet;
+
+/// Builder for [`Netlist`].
+///
+/// The builder assigns dense [`NetId`]s in creation order and defers full
+/// validation (arity, cycles, dangling references) to [`NetlistBuilder::build`].
+///
+/// # Example
+///
+/// ```
+/// use netlist::{GateKind, NetlistBuilder};
+///
+/// # fn main() -> Result<(), netlist::NetlistError> {
+/// let mut b = NetlistBuilder::new("mux");
+/// let s = b.input("s");
+/// let a = b.input("a");
+/// let c = b.input("c");
+/// let ns = b.gate(GateKind::Not, "ns", &[s])?;
+/// let t0 = b.gate(GateKind::And, "t0", &[ns, a])?;
+/// let t1 = b.gate(GateKind::And, "t1", &[s, c])?;
+/// let y = b.gate(GateKind::Or, "y", &[t0, t1])?;
+/// b.output(y);
+/// let nl = b.build()?;
+/// assert_eq!(nl.num_outputs(), 1);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NetlistBuilder {
+    name: String,
+    gates: Vec<Gate>,
+    outputs: Vec<NetId>,
+    names: HashSet<String>,
+}
+
+impl NetlistBuilder {
+    /// Creates an empty builder for a design called `name`.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        Self {
+            name: name.into(),
+            gates: Vec::new(),
+            outputs: Vec::new(),
+            names: HashSet::new(),
+        }
+    }
+
+    fn push(&mut self, kind: GateKind, name: String, fanin: Vec<NetId>) -> NetId {
+        let id = NetId(self.gates.len() as u32);
+        self.names.insert(name.clone());
+        self.gates.push(Gate { kind, fanin, name });
+        id
+    }
+
+    /// Declares a primary input. Duplicate names are reported at
+    /// [`build`](Self::build) time.
+    pub fn input(&mut self, name: impl Into<String>) -> NetId {
+        self.push(GateKind::Input, name.into(), vec![])
+    }
+
+    /// Declares a D flip-flop whose data input is `data`. Under full scan the
+    /// flip-flop output behaves as a pseudo primary input.
+    pub fn dff(&mut self, name: impl Into<String>, data: NetId) -> NetId {
+        self.push(GateKind::Dff, name.into(), vec![data])
+    }
+
+    /// Rewires the data input of an existing flip-flop, useful when the
+    /// next-state logic is only known after the flop has been declared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError::UnknownNet`] if `ff` is not a flip-flop created
+    /// by this builder.
+    pub fn set_dff_data(&mut self, ff: NetId, data: NetId) -> Result<(), NetlistError> {
+        match self.gates.get_mut(ff.index()) {
+            Some(gate) if gate.kind == GateKind::Dff => {
+                gate.fanin = vec![data];
+                Ok(())
+            }
+            _ => Err(NetlistError::UnknownNet(ff.0)),
+        }
+    }
+
+    /// Adds a combinational gate of `kind` named `name` with the given fanins.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if the name is already taken or the arity is invalid
+    /// for `kind`.
+    pub fn gate(
+        &mut self,
+        kind: GateKind,
+        name: impl Into<String>,
+        fanin: &[NetId],
+    ) -> Result<NetId, NetlistError> {
+        let name = name.into();
+        if self.names.contains(&name) {
+            return Err(NetlistError::DuplicateName(name));
+        }
+        if fanin.len() < kind.min_fanin() || fanin.len() > kind.max_fanin() {
+            return Err(NetlistError::BadFanin {
+                gate: name,
+                got: fanin.len(),
+                min: kind.min_fanin(),
+                max: kind.max_fanin(),
+            });
+        }
+        Ok(self.push(kind, name, fanin.to_vec()))
+    }
+
+    /// Adds a constant-0 driver.
+    pub fn const0(&mut self, name: impl Into<String>) -> NetId {
+        self.push(GateKind::Const0, name.into(), vec![])
+    }
+
+    /// Adds a constant-1 driver.
+    pub fn const1(&mut self, name: impl Into<String>) -> NetId {
+        self.push(GateKind::Const1, name.into(), vec![])
+    }
+
+    /// Marks `id` as a primary output.
+    pub fn output(&mut self, id: NetId) {
+        self.outputs.push(id);
+    }
+
+    /// Number of gates added so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Returns `true` if no gates have been added.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gates.is_empty()
+    }
+
+    /// Finalizes and validates the netlist.
+    ///
+    /// # Errors
+    ///
+    /// Propagates any structural error found by [`Netlist::from_parts`].
+    pub fn build(self) -> Result<Netlist, NetlistError> {
+        Netlist::from_parts(self.name, self.gates, self.outputs)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_assigns_dense_ids() {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.input("a");
+        let c = b.input("c");
+        assert_eq!(a, NetId(0));
+        assert_eq!(c, NetId(1));
+        assert_eq!(b.len(), 2);
+        assert!(!b.is_empty());
+    }
+
+    #[test]
+    fn duplicate_gate_name_is_error() {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.input("a");
+        b.gate(GateKind::Not, "g", &[a]).unwrap();
+        assert!(matches!(
+            b.gate(GateKind::Not, "g", &[a]),
+            Err(NetlistError::DuplicateName(_))
+        ));
+    }
+
+    #[test]
+    fn arity_checked_at_add_time() {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.input("a");
+        assert!(matches!(
+            b.gate(GateKind::Not, "g", &[a, a]),
+            Err(NetlistError::BadFanin { .. })
+        ));
+        assert!(matches!(
+            b.gate(GateKind::And, "h", &[]),
+            Err(NetlistError::BadFanin { .. })
+        ));
+    }
+
+    #[test]
+    fn set_dff_data_rejects_non_flops() {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.input("a");
+        assert!(b.set_dff_data(a, a).is_err());
+    }
+
+    #[test]
+    fn constants_build() {
+        let mut b = NetlistBuilder::new("x");
+        let a = b.input("a");
+        let one = b.const1("one");
+        let g = b.gate(GateKind::And, "g", &[a, one]).unwrap();
+        b.output(g);
+        let nl = b.build().unwrap();
+        assert_eq!(nl.num_gates(), 3);
+    }
+}

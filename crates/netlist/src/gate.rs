@@ -1,0 +1,288 @@
+//! Gate kinds and two-valued logic evaluation.
+
+use std::fmt;
+
+/// A two-valued logic level.
+///
+/// The simulator uses 64-way packed words for speed, but scalar evaluation is
+/// convenient for reference models, tests, and the SAT encoder.
+pub type Logic = bool;
+
+/// The functional kind of a gate in a [`crate::Netlist`].
+///
+/// The set of kinds mirrors the primitives found in ISCAS-85/89 `.bench`
+/// files plus explicit constants. Every gate drives exactly one net.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub enum GateKind {
+    /// Primary input (no fanin).
+    Input,
+    /// D flip-flop. Under the full-scan assumption its output is a pseudo
+    /// primary input and its single fanin is a pseudo primary output.
+    Dff,
+    /// Buffer (identity).
+    Buf,
+    /// Inverter.
+    Not,
+    /// Logical AND of all fanins.
+    And,
+    /// Logical NAND of all fanins.
+    Nand,
+    /// Logical OR of all fanins.
+    Or,
+    /// Logical NOR of all fanins.
+    Nor,
+    /// Logical XOR (parity) of all fanins.
+    Xor,
+    /// Logical XNOR (inverted parity) of all fanins.
+    Xnor,
+    /// Constant logic 0 (no fanin).
+    Const0,
+    /// Constant logic 1 (no fanin).
+    Const1,
+}
+
+impl GateKind {
+    /// Returns `true` for kinds that take no fanin ([`Input`](Self::Input),
+    /// [`Const0`](Self::Const0), [`Const1`](Self::Const1)).
+    #[must_use]
+    pub fn is_source(self) -> bool {
+        matches!(self, GateKind::Input | GateKind::Const0 | GateKind::Const1)
+    }
+
+    /// Returns `true` if the gate is combinational (i.e. not an
+    /// [`Input`](Self::Input) and not a [`Dff`](Self::Dff)).
+    #[must_use]
+    pub fn is_combinational(self) -> bool {
+        !matches!(self, GateKind::Input | GateKind::Dff) && !self.is_source() || matches!(self, GateKind::Const0 | GateKind::Const1)
+    }
+
+    /// Minimum number of fanins the kind requires.
+    #[must_use]
+    pub fn min_fanin(self) -> usize {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Dff | GateKind::Buf | GateKind::Not => 1,
+            GateKind::And
+            | GateKind::Nand
+            | GateKind::Or
+            | GateKind::Nor
+            | GateKind::Xor
+            | GateKind::Xnor => 1,
+        }
+    }
+
+    /// Maximum number of fanins the kind allows (`usize::MAX` when unbounded).
+    #[must_use]
+    pub fn max_fanin(self) -> usize {
+        match self {
+            GateKind::Input | GateKind::Const0 | GateKind::Const1 => 0,
+            GateKind::Dff | GateKind::Buf | GateKind::Not => 1,
+            _ => usize::MAX,
+        }
+    }
+
+    /// Evaluates the gate function on scalar logic values.
+    ///
+    /// [`Input`](Self::Input) and [`Dff`](Self::Dff) simply forward the first
+    /// fanin value if one is provided, otherwise `false`; callers normally
+    /// supply their values directly instead of evaluating them.
+    ///
+    /// # Panics
+    ///
+    /// Does not panic; an empty fanin slice evaluates constants and identity
+    /// kinds to their natural default.
+    #[must_use]
+    pub fn eval(self, fanin: &[Logic]) -> Logic {
+        match self {
+            GateKind::Const0 => false,
+            GateKind::Const1 => true,
+            GateKind::Input | GateKind::Dff | GateKind::Buf => fanin.first().copied().unwrap_or(false),
+            GateKind::Not => !fanin.first().copied().unwrap_or(false),
+            GateKind::And => fanin.iter().all(|&v| v),
+            GateKind::Nand => !fanin.iter().all(|&v| v),
+            GateKind::Or => fanin.iter().any(|&v| v),
+            GateKind::Nor => !fanin.iter().any(|&v| v),
+            GateKind::Xor => fanin.iter().fold(false, |acc, &v| acc ^ v),
+            GateKind::Xnor => !fanin.iter().fold(false, |acc, &v| acc ^ v),
+        }
+    }
+
+    /// Evaluates the gate function on 64-way packed words (one bit per
+    /// pattern), the representation used by the bit-parallel simulator.
+    #[must_use]
+    pub fn eval_packed(self, fanin: &[u64]) -> u64 {
+        match self {
+            GateKind::Const0 => 0,
+            GateKind::Const1 => u64::MAX,
+            GateKind::Input | GateKind::Dff | GateKind::Buf => fanin.first().copied().unwrap_or(0),
+            GateKind::Not => !fanin.first().copied().unwrap_or(0),
+            GateKind::And => fanin.iter().fold(u64::MAX, |acc, &v| acc & v),
+            GateKind::Nand => !fanin.iter().fold(u64::MAX, |acc, &v| acc & v),
+            GateKind::Or => fanin.iter().fold(0, |acc, &v| acc | v),
+            GateKind::Nor => !fanin.iter().fold(0, |acc, &v| acc | v),
+            GateKind::Xor => fanin.iter().fold(0, |acc, &v| acc ^ v),
+            GateKind::Xnor => !fanin.iter().fold(0, |acc, &v| acc ^ v),
+        }
+    }
+
+    /// The canonical `.bench` keyword for this kind, if it has one.
+    #[must_use]
+    pub fn bench_keyword(self) -> Option<&'static str> {
+        Some(match self {
+            GateKind::Input => return None,
+            GateKind::Dff => "DFF",
+            GateKind::Buf => "BUF",
+            GateKind::Not => "NOT",
+            GateKind::And => "AND",
+            GateKind::Nand => "NAND",
+            GateKind::Or => "OR",
+            GateKind::Nor => "NOR",
+            GateKind::Xor => "XOR",
+            GateKind::Xnor => "XNOR",
+            GateKind::Const0 => "CONST0",
+            GateKind::Const1 => "CONST1",
+        })
+    }
+
+    /// Parses a `.bench` keyword (case-insensitive) into a kind.
+    #[must_use]
+    pub fn from_bench_keyword(kw: &str) -> Option<Self> {
+        Some(match kw.to_ascii_uppercase().as_str() {
+            "DFF" => GateKind::Dff,
+            "BUF" | "BUFF" => GateKind::Buf,
+            "NOT" | "INV" => GateKind::Not,
+            "AND" => GateKind::And,
+            "NAND" => GateKind::Nand,
+            "OR" => GateKind::Or,
+            "NOR" => GateKind::Nor,
+            "XOR" => GateKind::Xor,
+            "XNOR" => GateKind::Xnor,
+            "CONST0" => GateKind::Const0,
+            "CONST1" => GateKind::Const1,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.bench_keyword() {
+            Some(kw) => f.write_str(kw),
+            None => f.write_str("INPUT"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn and_truth_table() {
+        assert!(!GateKind::And.eval(&[false, false]));
+        assert!(!GateKind::And.eval(&[true, false]));
+        assert!(!GateKind::And.eval(&[false, true]));
+        assert!(GateKind::And.eval(&[true, true]));
+    }
+
+    #[test]
+    fn nand_is_negated_and() {
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(GateKind::Nand.eval(&[a, b]), !GateKind::And.eval(&[a, b]));
+            }
+        }
+    }
+
+    #[test]
+    fn or_nor_xor_xnor_truth_tables() {
+        for a in [false, true] {
+            for b in [false, true] {
+                assert_eq!(GateKind::Or.eval(&[a, b]), a | b);
+                assert_eq!(GateKind::Nor.eval(&[a, b]), !(a | b));
+                assert_eq!(GateKind::Xor.eval(&[a, b]), a ^ b);
+                assert_eq!(GateKind::Xnor.eval(&[a, b]), !(a ^ b));
+            }
+        }
+    }
+
+    #[test]
+    fn not_and_buf() {
+        assert!(GateKind::Not.eval(&[false]));
+        assert!(!GateKind::Not.eval(&[true]));
+        assert!(GateKind::Buf.eval(&[true]));
+        assert!(!GateKind::Buf.eval(&[false]));
+    }
+
+    #[test]
+    fn constants() {
+        assert!(!GateKind::Const0.eval(&[]));
+        assert!(GateKind::Const1.eval(&[]));
+        assert_eq!(GateKind::Const0.eval_packed(&[]), 0);
+        assert_eq!(GateKind::Const1.eval_packed(&[]), u64::MAX);
+    }
+
+    #[test]
+    fn multi_input_gates() {
+        assert!(GateKind::And.eval(&[true, true, true, true]));
+        assert!(!GateKind::And.eval(&[true, true, false, true]));
+        assert!(GateKind::Or.eval(&[false, false, true]));
+        assert!(GateKind::Xor.eval(&[true, true, true]));
+        assert!(!GateKind::Xor.eval(&[true, true]));
+    }
+
+    #[test]
+    fn packed_matches_scalar_for_all_two_input_patterns() {
+        let kinds = [
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+        ];
+        // Pack the four input combinations into the low 4 bits.
+        let a_word: u64 = 0b1100;
+        let b_word: u64 = 0b1010;
+        for kind in kinds {
+            let packed = kind.eval_packed(&[a_word, b_word]);
+            for bit in 0..4 {
+                let a = (a_word >> bit) & 1 == 1;
+                let b = (b_word >> bit) & 1 == 1;
+                assert_eq!((packed >> bit) & 1 == 1, kind.eval(&[a, b]), "{kind} bit {bit}");
+            }
+        }
+    }
+
+    #[test]
+    fn bench_keyword_round_trip() {
+        for kind in [
+            GateKind::Dff,
+            GateKind::Buf,
+            GateKind::Not,
+            GateKind::And,
+            GateKind::Nand,
+            GateKind::Or,
+            GateKind::Nor,
+            GateKind::Xor,
+            GateKind::Xnor,
+            GateKind::Const0,
+            GateKind::Const1,
+        ] {
+            let kw = kind.bench_keyword().expect("keyword");
+            assert_eq!(GateKind::from_bench_keyword(kw), Some(kind));
+        }
+        assert_eq!(GateKind::from_bench_keyword("bogus"), None);
+    }
+
+    #[test]
+    fn fanin_arity_limits() {
+        assert_eq!(GateKind::Input.max_fanin(), 0);
+        assert_eq!(GateKind::Not.max_fanin(), 1);
+        assert_eq!(GateKind::And.max_fanin(), usize::MAX);
+        assert_eq!(GateKind::And.min_fanin(), 1);
+        assert!(GateKind::Input.is_source());
+        assert!(!GateKind::And.is_source());
+    }
+}

@@ -1,0 +1,502 @@
+//! The immutable [`Netlist`] representation.
+
+use std::collections::HashMap;
+use std::fmt;
+
+use crate::{GateKind, NetlistError};
+
+/// Identifier of a net (equivalently, of the single gate that drives it).
+///
+/// Net ids are dense indices into [`Netlist::gates`], so they can be used to
+/// index per-net side tables directly via [`NetId::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct NetId(pub u32);
+
+impl NetId {
+    /// The net id as a `usize` index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for NetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<NetId> for usize {
+    fn from(id: NetId) -> usize {
+        id.index()
+    }
+}
+
+/// A single gate. Each gate drives exactly one net whose id equals the gate's
+/// position in [`Netlist::gates`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct Gate {
+    /// Functional kind.
+    pub kind: GateKind,
+    /// Nets feeding this gate, in declaration order.
+    pub fanin: Vec<NetId>,
+    /// Human-readable signal name (unique within the netlist).
+    pub name: String,
+}
+
+/// An immutable gate-level netlist.
+///
+/// Construct one with [`crate::NetlistBuilder`], [`crate::bench::parse`], or
+/// one of the generators in [`crate::synth`]. After construction the netlist
+/// is validated (arity, dangling references, combinational cycles) and a
+/// topological order over the combinational gates is precomputed.
+///
+/// # Full-scan view
+///
+/// The paper (like MERO, TARMAC, and TGRL) assumes full scan access for
+/// sequential designs: every D flip-flop can be loaded and observed through
+/// the scan chain. [`Netlist::scan_inputs`] therefore returns the primary
+/// inputs *plus* all flip-flop outputs, and test patterns are assignments to
+/// that combined set.
+#[derive(Debug, Clone)]
+pub struct Netlist {
+    name: String,
+    gates: Vec<Gate>,
+    outputs: Vec<NetId>,
+    name_to_id: HashMap<String, NetId>,
+    /// Primary inputs, in declaration order.
+    primary_inputs: Vec<NetId>,
+    /// D flip-flops, in declaration order.
+    flip_flops: Vec<NetId>,
+    /// Topological order over all gates treating PI/DFF as sources.
+    topo_order: Vec<NetId>,
+    /// Logic level (longest path from a scan input) per net.
+    levels: Vec<u32>,
+    /// Fanout lists per net.
+    fanouts: Vec<Vec<NetId>>,
+}
+
+impl Netlist {
+    /// Builds and validates a netlist from raw parts.
+    ///
+    /// Normally called through [`crate::NetlistBuilder::build`].
+    ///
+    /// # Errors
+    ///
+    /// Returns an error when a gate has an out-of-range fanin reference or
+    /// arity, when the design has no inputs or outputs, or when the
+    /// combinational logic contains a cycle.
+    pub fn from_parts(
+        name: impl Into<String>,
+        gates: Vec<Gate>,
+        outputs: Vec<NetId>,
+    ) -> Result<Self, NetlistError> {
+        let name = name.into();
+        let n = gates.len();
+
+        let mut name_to_id = HashMap::with_capacity(n);
+        let mut primary_inputs = Vec::new();
+        let mut flip_flops = Vec::new();
+
+        for (i, gate) in gates.iter().enumerate() {
+            let id = NetId(i as u32);
+            if name_to_id.insert(gate.name.clone(), id).is_some() {
+                return Err(NetlistError::DuplicateName(gate.name.clone()));
+            }
+            let arity = gate.fanin.len();
+            let (min, max) = (gate.kind.min_fanin(), gate.kind.max_fanin());
+            if arity < min || arity > max {
+                return Err(NetlistError::BadFanin {
+                    gate: gate.name.clone(),
+                    got: arity,
+                    min,
+                    max,
+                });
+            }
+            for &f in &gate.fanin {
+                if f.index() >= n {
+                    return Err(NetlistError::UnknownNet(f.0));
+                }
+            }
+            match gate.kind {
+                GateKind::Input => primary_inputs.push(id),
+                GateKind::Dff => flip_flops.push(id),
+                _ => {}
+            }
+        }
+
+        for &o in &outputs {
+            if o.index() >= n {
+                return Err(NetlistError::UnknownNet(o.0));
+            }
+        }
+        if outputs.is_empty() {
+            return Err(NetlistError::NoOutputs);
+        }
+        if primary_inputs.is_empty() && flip_flops.is_empty() {
+            return Err(NetlistError::NoInputs);
+        }
+
+        let (topo_order, levels) = topo_sort(&gates)?;
+
+        let mut fanouts = vec![Vec::new(); n];
+        for (i, gate) in gates.iter().enumerate() {
+            for &f in &gate.fanin {
+                fanouts[f.index()].push(NetId(i as u32));
+            }
+        }
+
+        Ok(Self {
+            name,
+            gates,
+            outputs,
+            name_to_id,
+            primary_inputs,
+            flip_flops,
+            topo_order,
+            levels,
+            fanouts,
+        })
+    }
+
+    /// The design name.
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// All gates, indexed by [`NetId`].
+    #[must_use]
+    pub fn gates(&self) -> &[Gate] {
+        &self.gates
+    }
+
+    /// The gate driving `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn gate(&self, id: NetId) -> &Gate {
+        &self.gates[id.index()]
+    }
+
+    /// Total number of gates (including primary inputs and flip-flops).
+    #[must_use]
+    pub fn num_gates(&self) -> usize {
+        self.gates.len()
+    }
+
+    /// Number of combinational (non-input, non-DFF) gates.
+    #[must_use]
+    pub fn num_logic_gates(&self) -> usize {
+        self.gates
+            .iter()
+            .filter(|g| !matches!(g.kind, GateKind::Input | GateKind::Dff))
+            .count()
+    }
+
+    /// Number of primary inputs (excluding scan pseudo-inputs).
+    #[must_use]
+    pub fn num_inputs(&self) -> usize {
+        self.primary_inputs.len()
+    }
+
+    /// Number of primary outputs.
+    #[must_use]
+    pub fn num_outputs(&self) -> usize {
+        self.outputs.len()
+    }
+
+    /// Primary inputs in declaration order.
+    #[must_use]
+    pub fn primary_inputs(&self) -> &[NetId] {
+        &self.primary_inputs
+    }
+
+    /// Primary outputs in declaration order.
+    #[must_use]
+    pub fn primary_outputs(&self) -> &[NetId] {
+        &self.outputs
+    }
+
+    /// D flip-flops in declaration order.
+    #[must_use]
+    pub fn flip_flops(&self) -> &[NetId] {
+        &self.flip_flops
+    }
+
+    /// Scan inputs under the full-scan assumption: primary inputs followed by
+    /// flip-flop outputs. Test patterns are assignments to exactly this list.
+    #[must_use]
+    pub fn scan_inputs(&self) -> Vec<NetId> {
+        let mut v = self.primary_inputs.clone();
+        v.extend_from_slice(&self.flip_flops);
+        v
+    }
+
+    /// Number of scan inputs (pattern width).
+    #[must_use]
+    pub fn num_scan_inputs(&self) -> usize {
+        self.primary_inputs.len() + self.flip_flops.len()
+    }
+
+    /// Nets that must be observable under full scan: primary outputs plus
+    /// flip-flop data inputs.
+    #[must_use]
+    pub fn scan_outputs(&self) -> Vec<NetId> {
+        let mut v = self.outputs.clone();
+        for &ff in &self.flip_flops {
+            v.extend_from_slice(&self.gates[ff.index()].fanin);
+        }
+        v
+    }
+
+    /// Looks up a net by its signal name.
+    #[must_use]
+    pub fn net_by_name(&self, name: &str) -> Option<NetId> {
+        self.name_to_id.get(name).copied()
+    }
+
+    /// Signal name of `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn net_name(&self, id: NetId) -> &str {
+        &self.gates[id.index()].name
+    }
+
+    /// Topological order over all gates (sources first). Evaluating gates in
+    /// this order guarantees fanins are evaluated before the gates they feed.
+    #[must_use]
+    pub fn topo_order(&self) -> &[NetId] {
+        &self.topo_order
+    }
+
+    /// Logic level of `id`: the length of the longest combinational path from
+    /// any scan input (sources are level 0).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn level(&self, id: NetId) -> u32 {
+        self.levels[id.index()]
+    }
+
+    /// Maximum logic level (circuit depth).
+    #[must_use]
+    pub fn depth(&self) -> u32 {
+        self.levels.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Gates fed by `id`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range for this netlist.
+    #[must_use]
+    pub fn fanout(&self, id: NetId) -> &[NetId] {
+        &self.fanouts[id.index()]
+    }
+
+    /// Iterates over `(NetId, &Gate)` pairs in id order.
+    pub fn iter(&self) -> impl Iterator<Item = (NetId, &Gate)> {
+        self.gates
+            .iter()
+            .enumerate()
+            .map(|(i, g)| (NetId(i as u32), g))
+    }
+
+    /// Returns the internal nets (everything that is not a scan input), the
+    /// candidate pool for rare-net analysis.
+    #[must_use]
+    pub fn internal_nets(&self) -> Vec<NetId> {
+        self.iter()
+            .filter(|(_, g)| !matches!(g.kind, GateKind::Input | GateKind::Dff))
+            .map(|(id, _)| id)
+            .collect()
+    }
+}
+
+/// Kahn topological sort treating `Input` and `Dff` gates as sources (their
+/// fanin edges, i.e. the DFF data inputs, are next-state logic and do not
+/// create combinational dependencies under full scan).
+fn topo_sort(gates: &[Gate]) -> Result<(Vec<NetId>, Vec<u32>), NetlistError> {
+    let n = gates.len();
+    let mut levels = vec![0u32; n];
+
+    // Build an explicit fanout map for an O(V + E) sort.
+    let mut fanouts: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (i, gate) in gates.iter().enumerate() {
+        if matches!(gate.kind, GateKind::Input | GateKind::Dff) {
+            continue;
+        }
+        for &f in &gate.fanin {
+            fanouts[f.index()].push(i);
+        }
+    }
+
+    let mut indegree = vec![0usize; n];
+    for (i, gate) in gates.iter().enumerate() {
+        indegree[i] = if matches!(gate.kind, GateKind::Input | GateKind::Dff) {
+            0
+        } else {
+            gate.fanin.len()
+        };
+    }
+    let mut order = Vec::with_capacity(n);
+    let mut queue: Vec<usize> = (0..n).filter(|&i| indegree[i] == 0).collect();
+    let mut head = 0;
+    while head < queue.len() {
+        let u = queue[head];
+        head += 1;
+        order.push(NetId(u as u32));
+        for &v in &fanouts[u] {
+            let lvl = levels[u] + 1;
+            if lvl > levels[v] {
+                levels[v] = lvl;
+            }
+            indegree[v] -= 1;
+            if indegree[v] == 0 {
+                queue.push(v);
+            }
+        }
+    }
+
+    if order.len() != n {
+        // Find one gate on the cycle for the error message.
+        let stuck = (0..n)
+            .find(|&i| indegree[i] > 0)
+            .map(|i| gates[i].name.clone())
+            .unwrap_or_default();
+        return Err(NetlistError::CombinationalCycle(stuck));
+    }
+    Ok((order, levels))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::NetlistBuilder;
+
+    fn tiny() -> Netlist {
+        let mut b = NetlistBuilder::new("tiny");
+        let a = b.input("a");
+        let c = b.input("c");
+        let g1 = b.gate(GateKind::Nand, "g1", &[a, c]).unwrap();
+        let g2 = b.gate(GateKind::Not, "g2", &[g1]).unwrap();
+        b.output(g2);
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn basic_queries() {
+        let nl = tiny();
+        assert_eq!(nl.name(), "tiny");
+        assert_eq!(nl.num_gates(), 4);
+        assert_eq!(nl.num_logic_gates(), 2);
+        assert_eq!(nl.num_inputs(), 2);
+        assert_eq!(nl.num_outputs(), 1);
+        assert_eq!(nl.depth(), 2);
+        assert_eq!(nl.net_by_name("g1"), Some(NetId(2)));
+        assert_eq!(nl.net_name(NetId(0)), "a");
+        assert_eq!(nl.fanout(NetId(2)), &[NetId(3)]);
+        assert_eq!(nl.internal_nets(), vec![NetId(2), NetId(3)]);
+    }
+
+    #[test]
+    fn topo_order_respects_dependencies() {
+        let nl = tiny();
+        let order = nl.topo_order();
+        let pos = |id: NetId| order.iter().position(|&x| x == id).unwrap();
+        for (id, gate) in nl.iter() {
+            for &f in &gate.fanin {
+                if !matches!(gate.kind, GateKind::Dff) {
+                    assert!(pos(f) < pos(id), "{f} must come before {id}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_name_rejected() {
+        let mut b = NetlistBuilder::new("dup");
+        let a = b.input("a");
+        assert!(b.gate(GateKind::Not, "a", &[a]).is_err());
+    }
+
+    #[test]
+    fn cycle_detection() {
+        // Build a cycle manually: g1 = NOT(g2), g2 = NOT(g1).
+        let gates = vec![
+            Gate {
+                kind: GateKind::Input,
+                fanin: vec![],
+                name: "a".into(),
+            },
+            Gate {
+                kind: GateKind::Not,
+                fanin: vec![NetId(2)],
+                name: "g1".into(),
+            },
+            Gate {
+                kind: GateKind::Not,
+                fanin: vec![NetId(1)],
+                name: "g2".into(),
+            },
+        ];
+        let err = Netlist::from_parts("cyc", gates, vec![NetId(1)]).unwrap_err();
+        assert!(matches!(err, NetlistError::CombinationalCycle(_)));
+    }
+
+    #[test]
+    fn no_outputs_rejected() {
+        let gates = vec![Gate {
+            kind: GateKind::Input,
+            fanin: vec![],
+            name: "a".into(),
+        }];
+        let err = Netlist::from_parts("x", gates, vec![]).unwrap_err();
+        assert_eq!(err, NetlistError::NoOutputs);
+    }
+
+    #[test]
+    fn scan_view_treats_dff_as_pseudo_input() {
+        let mut b = NetlistBuilder::new("seq");
+        let a = b.input("a");
+        let q = b.dff("q", NetId(0)); // placeholder fanin, patched below via builder API
+        let g = b.gate(GateKind::And, "g", &[a, q]).unwrap();
+        b.set_dff_data(q, g).unwrap();
+        b.output(g);
+        let nl = b.build().unwrap();
+        assert_eq!(nl.num_scan_inputs(), 2);
+        assert_eq!(nl.scan_inputs(), vec![a, q]);
+        // Scan outputs include the DFF data input net.
+        assert!(nl.scan_outputs().contains(&g));
+        // The DFF's data edge does not create a combinational cycle.
+        assert_eq!(nl.depth(), 1);
+    }
+
+    #[test]
+    fn bad_arity_rejected() {
+        let gates = vec![
+            Gate {
+                kind: GateKind::Input,
+                fanin: vec![],
+                name: "a".into(),
+            },
+            Gate {
+                kind: GateKind::Not,
+                fanin: vec![NetId(0), NetId(0)],
+                name: "g".into(),
+            },
+        ];
+        let err = Netlist::from_parts("x", gates, vec![NetId(1)]).unwrap_err();
+        assert!(matches!(err, NetlistError::BadFanin { .. }));
+    }
+}

@@ -1,0 +1,193 @@
+//! Small, hand-written circuits used throughout tests and examples.
+//!
+//! These are real circuits (not random): the ISCAS-85 `c17`, a 5-input
+//! majority voter, a 4-bit ripple-carry adder, and a tiny full-scan
+//! sequential design. They are small enough for exhaustive reference checks
+//! yet exercise every gate kind the parser and simulator support.
+
+use crate::{GateKind, Netlist, NetlistBuilder};
+
+/// The ISCAS-85 `c17` benchmark: 5 inputs, 2 outputs, 6 NAND gates.
+///
+/// # Panics
+///
+/// Never panics; the circuit is statically valid.
+#[must_use]
+pub fn c17() -> Netlist {
+    let mut b = NetlistBuilder::new("c17");
+    let g1 = b.input("G1");
+    let g2 = b.input("G2");
+    let g3 = b.input("G3");
+    let g6 = b.input("G6");
+    let g7 = b.input("G7");
+    let g10 = b.gate(GateKind::Nand, "G10", &[g1, g3]).expect("valid");
+    let g11 = b.gate(GateKind::Nand, "G11", &[g3, g6]).expect("valid");
+    let g16 = b.gate(GateKind::Nand, "G16", &[g2, g11]).expect("valid");
+    let g19 = b.gate(GateKind::Nand, "G19", &[g11, g7]).expect("valid");
+    let g22 = b.gate(GateKind::Nand, "G22", &[g10, g16]).expect("valid");
+    let g23 = b.gate(GateKind::Nand, "G23", &[g16, g19]).expect("valid");
+    b.output(g22);
+    b.output(g23);
+    b.build().expect("c17 is structurally valid")
+}
+
+/// A 5-input majority voter built from AND/OR gates.
+///
+/// The output is 1 when at least three of the five inputs are 1. Internal
+/// AND3 terms have activation probability 1/8 under uniform inputs, so this
+/// circuit has rare nets at a threshold of 0.14 but not at 0.1 — handy for
+/// threshold-sweep tests.
+#[must_use]
+pub fn majority5() -> Netlist {
+    let mut b = NetlistBuilder::new("majority5");
+    let inputs: Vec<_> = (0..5).map(|i| b.input(format!("x{i}"))).collect();
+    let mut terms = Vec::new();
+    // All 3-subsets of the 5 inputs.
+    for i in 0..5 {
+        for j in (i + 1)..5 {
+            for k in (j + 1)..5 {
+                let t = b
+                    .gate(
+                        GateKind::And,
+                        format!("t_{i}_{j}_{k}"),
+                        &[inputs[i], inputs[j], inputs[k]],
+                    )
+                    .expect("valid");
+                terms.push(t);
+            }
+        }
+    }
+    let y = b.gate(GateKind::Or, "maj", &terms).expect("valid");
+    b.output(y);
+    b.build().expect("majority5 is structurally valid")
+}
+
+/// A 4-bit ripple-carry adder (9 inputs: two 4-bit operands plus carry-in,
+/// 5 outputs: 4 sum bits plus carry-out).
+#[must_use]
+pub fn adder4() -> Netlist {
+    let mut b = NetlistBuilder::new("adder4");
+    let a: Vec<_> = (0..4).map(|i| b.input(format!("a{i}"))).collect();
+    let x: Vec<_> = (0..4).map(|i| b.input(format!("b{i}"))).collect();
+    let mut carry = b.input("cin");
+    for i in 0..4 {
+        let axb = b
+            .gate(GateKind::Xor, format!("axb{i}"), &[a[i], x[i]])
+            .expect("valid");
+        let sum = b
+            .gate(GateKind::Xor, format!("sum{i}"), &[axb, carry])
+            .expect("valid");
+        let c1 = b
+            .gate(GateKind::And, format!("c1_{i}"), &[a[i], x[i]])
+            .expect("valid");
+        let c2 = b
+            .gate(GateKind::And, format!("c2_{i}"), &[axb, carry])
+            .expect("valid");
+        let cout = b
+            .gate(GateKind::Or, format!("cout{i}"), &[c1, c2])
+            .expect("valid");
+        b.output(sum);
+        carry = cout;
+    }
+    b.output(carry);
+    b.build().expect("adder4 is structurally valid")
+}
+
+/// A deep AND-tree circuit with genuinely rare internal nets.
+///
+/// `rare_chain(w)` produces a cascade of AND gates over `w` fresh inputs, so
+/// the final net has activation probability `2^-w` — a convenient, exactly
+/// analysable source of rare nets for unit tests.
+///
+/// # Panics
+///
+/// Panics if `width` is zero.
+#[must_use]
+pub fn rare_chain(width: usize) -> Netlist {
+    assert!(width > 0, "width must be positive");
+    let mut b = NetlistBuilder::new(format!("rare_chain_{width}"));
+    let inputs: Vec<_> = (0..width).map(|i| b.input(format!("x{i}"))).collect();
+    let mut acc = inputs[0];
+    for (i, &inp) in inputs.iter().enumerate().skip(1) {
+        acc = b
+            .gate(GateKind::And, format!("and{i}"), &[acc, inp])
+            .expect("valid");
+    }
+    // Give the design a second, non-rare output so rare-net analysis has
+    // contrast.
+    let any = b.gate(GateKind::Or, "any", &inputs).expect("valid");
+    b.output(acc);
+    b.output(any);
+    b.build().expect("rare_chain is structurally valid")
+}
+
+/// A tiny full-scan sequential design: a 3-bit counter-ish structure with
+/// three flip-flops and a handful of gates. Used to test the scan view.
+#[must_use]
+pub fn scan_counter3() -> Netlist {
+    let mut b = NetlistBuilder::new("scan_counter3");
+    let en = b.input("en");
+    // Declare flops with placeholder data; patch after building next-state.
+    let q0 = b.dff("q0", en);
+    let q1 = b.dff("q1", en);
+    let q2 = b.dff("q2", en);
+    let n0 = b.gate(GateKind::Xor, "n0", &[q0, en]).expect("valid");
+    let c0 = b.gate(GateKind::And, "c0", &[q0, en]).expect("valid");
+    let n1 = b.gate(GateKind::Xor, "n1", &[q1, c0]).expect("valid");
+    let c1 = b.gate(GateKind::And, "c1", &[q1, c0]).expect("valid");
+    let n2 = b.gate(GateKind::Xor, "n2", &[q2, c1]).expect("valid");
+    let ovf = b.gate(GateKind::And, "ovf", &[q2, c1]).expect("valid");
+    b.set_dff_data(q0, n0).expect("q0 exists");
+    b.set_dff_data(q1, n1).expect("q1 exists");
+    b.set_dff_data(q2, n2).expect("q2 exists");
+    b.output(ovf);
+    b.build().expect("scan_counter3 is structurally valid")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn c17_shape() {
+        let nl = c17();
+        assert_eq!(nl.num_inputs(), 5);
+        assert_eq!(nl.num_outputs(), 2);
+        assert_eq!(nl.num_logic_gates(), 6);
+    }
+
+    #[test]
+    fn majority5_shape() {
+        let nl = majority5();
+        assert_eq!(nl.num_inputs(), 5);
+        assert_eq!(nl.num_outputs(), 1);
+        assert_eq!(nl.num_logic_gates(), 11); // 10 AND3 terms + 1 OR
+    }
+
+    #[test]
+    fn adder4_shape() {
+        let nl = adder4();
+        assert_eq!(nl.num_inputs(), 9);
+        assert_eq!(nl.num_outputs(), 5);
+    }
+
+    #[test]
+    fn rare_chain_shape() {
+        let nl = rare_chain(6);
+        assert_eq!(nl.num_inputs(), 6);
+        assert_eq!(nl.num_outputs(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "width must be positive")]
+    fn rare_chain_zero_panics() {
+        let _ = rare_chain(0);
+    }
+
+    #[test]
+    fn scan_counter_has_three_flops() {
+        let nl = scan_counter3();
+        assert_eq!(nl.flip_flops().len(), 3);
+        assert_eq!(nl.num_scan_inputs(), 4);
+    }
+}

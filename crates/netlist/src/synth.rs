@@ -1,0 +1,427 @@
+//! Deterministic synthetic benchmark generation.
+//!
+//! The DETERRENT evaluation uses the ISCAS-85/89 benchmarks (c2670, c5315,
+//! c6288, c7552, s13207, s15850, s35932) and an OpenCores 16-bit MIPS
+//! processor. Those netlists are not redistributed with this repository, so
+//! we reproduce the *profile* of each benchmark instead: a seeded random
+//! circuit with the same order of gate count, input/flip-flop count, and a
+//! comparable population of rare nets at the paper's default rareness
+//! threshold of 0.1 (see `DESIGN.md` for the substitution rationale).
+//!
+//! Rare nets are created explicitly by planting *rare cones* — trees of
+//! AND/NOR gates over independent signals — whose activation probability is
+//! approximately `2^-w` for a cone of width `w`. The rest of the circuit is
+//! random 1–3-input glue logic, which also contributes moderately rare nets,
+//! exactly as real designs do.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+use crate::{GateKind, NetId, Netlist, NetlistBuilder};
+
+/// Size/shape description of a synthetic benchmark.
+///
+/// Use one of the associated constructors ([`BenchmarkProfile::c2670`], …) for
+/// the circuits evaluated in the paper, or fill the fields directly for custom
+/// sweeps. All generation is deterministic given the profile and a seed.
+#[derive(Debug, Clone, PartialEq)]
+#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
+pub struct BenchmarkProfile {
+    /// Design name used for the generated netlist.
+    pub name: String,
+    /// Number of primary inputs.
+    pub num_inputs: usize,
+    /// Number of primary outputs.
+    pub num_outputs: usize,
+    /// Number of scan flip-flops (0 for the combinational ISCAS-85 circuits).
+    pub num_flip_flops: usize,
+    /// Total number of combinational gates to generate (excluding
+    /// inputs/flip-flops).
+    pub num_gates: usize,
+    /// Number of rare cones to plant. Each cone contributes one or more nets
+    /// whose signal probability is below the default 0.1 threshold.
+    pub rare_cones: usize,
+    /// Width range (inclusive) of planted rare cones; probability ≈ `2^-w`.
+    pub rare_cone_width: (usize, usize),
+}
+
+impl BenchmarkProfile {
+    /// Profile mirroring ISCAS-85 c2670 (775 gates, 43 rare nets in Table 2).
+    #[must_use]
+    pub fn c2670() -> Self {
+        Self::combinational("c2670", 157, 64, 775, 45)
+    }
+
+    /// Profile mirroring ISCAS-85 c5315 (2307 gates, 165 rare nets).
+    #[must_use]
+    pub fn c5315() -> Self {
+        Self::combinational("c5315", 178, 123, 2307, 165)
+    }
+
+    /// Profile mirroring ISCAS-85 c6288 (2416 gates, 186 rare nets).
+    #[must_use]
+    pub fn c6288() -> Self {
+        Self::combinational("c6288", 32, 32, 2416, 186)
+    }
+
+    /// Profile mirroring ISCAS-85 c7552 (3513 gates, 282 rare nets).
+    #[must_use]
+    pub fn c7552() -> Self {
+        Self::combinational("c7552", 207, 108, 3513, 282)
+    }
+
+    /// Profile mirroring ISCAS-89 s13207 (1801 gates, 604 rare nets, full scan).
+    #[must_use]
+    pub fn s13207() -> Self {
+        Self::sequential("s13207", 62, 152, 638, 1801, 604)
+    }
+
+    /// Profile mirroring ISCAS-89 s15850 (2412 gates, 649 rare nets, full scan).
+    #[must_use]
+    pub fn s15850() -> Self {
+        Self::sequential("s15850", 77, 150, 534, 2412, 649)
+    }
+
+    /// Profile mirroring ISCAS-89 s35932 (4736 gates, 1151 rare nets, full scan).
+    #[must_use]
+    pub fn s35932() -> Self {
+        Self::sequential("s35932", 35, 320, 1728, 4736, 1151)
+    }
+
+    /// Profile mirroring the OpenCores 16-bit MIPS processor (23511 gates,
+    /// 1005 rare nets, full scan).
+    #[must_use]
+    pub fn mips() -> Self {
+        Self::sequential("MIPS", 64, 64, 540, 23511, 1005)
+    }
+
+    /// All eight benchmark profiles in the order of Table 2 of the paper.
+    #[must_use]
+    pub fn table2() -> Vec<Self> {
+        vec![
+            Self::c2670(),
+            Self::c5315(),
+            Self::c6288(),
+            Self::c7552(),
+            Self::s13207(),
+            Self::s15850(),
+            Self::s35932(),
+            Self::mips(),
+        ]
+    }
+
+    fn combinational(
+        name: &str,
+        num_inputs: usize,
+        num_outputs: usize,
+        num_gates: usize,
+        rare_cones: usize,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            num_inputs,
+            num_outputs,
+            num_flip_flops: 0,
+            num_gates,
+            rare_cones,
+            rare_cone_width: (4, 6),
+        }
+    }
+
+    fn sequential(
+        name: &str,
+        num_inputs: usize,
+        num_outputs: usize,
+        num_flip_flops: usize,
+        num_gates: usize,
+        rare_cones: usize,
+    ) -> Self {
+        Self {
+            name: name.to_string(),
+            num_inputs,
+            num_outputs,
+            num_flip_flops,
+            num_gates,
+            rare_cones,
+            rare_cone_width: (4, 6),
+        }
+    }
+
+    /// Returns a copy of the profile scaled down by `factor` (gate count,
+    /// rare cones, I/O and flip-flop counts are divided by `factor`, with
+    /// sensible minimums). Used by the test suite and the default benchmark
+    /// harness so full pipelines finish in seconds rather than hours; pass
+    /// `--full` to the bench binaries to run the paper-sized profiles.
+    #[must_use]
+    pub fn scaled(&self, factor: usize) -> Self {
+        let factor = factor.max(1);
+        Self {
+            name: format!("{}_div{}", self.name, factor),
+            // Keep a healthy number of primary inputs even at aggressive
+            // scales: controllability is what makes rare triggers satisfiable,
+            // and the experiments need satisfiable multi-net triggers.
+            num_inputs: (self.num_inputs / factor).max(24).min(self.num_inputs),
+            num_outputs: (self.num_outputs / factor).max(4).min(self.num_outputs),
+            num_flip_flops: if self.num_flip_flops == 0 {
+                0
+            } else {
+                (self.num_flip_flops / factor).max(4)
+            },
+            num_gates: (self.num_gates / factor).max(32),
+            rare_cones: (self.rare_cones / factor).max(6),
+            rare_cone_width: self.rare_cone_width,
+        }
+    }
+
+    /// Generates the netlist for this profile with the given RNG seed.
+    ///
+    /// Generation is deterministic: the same profile and seed always produce
+    /// an identical netlist.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the profile is degenerate (zero inputs or zero gates); the
+    /// built-in profiles never are.
+    #[must_use]
+    pub fn generate(&self, seed: u64) -> Netlist {
+        assert!(self.num_inputs > 0, "profile must have at least one input");
+        assert!(self.num_gates > 0, "profile must have at least one gate");
+        let mut rng = StdRng::seed_from_u64(seed ^ hash_name(&self.name));
+        let mut b = NetlistBuilder::new(self.name.clone());
+
+        let mut pool: Vec<NetId> = Vec::new();
+        for i in 0..self.num_inputs {
+            pool.push(b.input(format!("pi{i}")));
+        }
+        let mut flops = Vec::new();
+        for i in 0..self.num_flip_flops {
+            // Placeholder data input (patched at the end).
+            let q = b.dff(format!("ff{i}"), pool[0]);
+            flops.push(q);
+            pool.push(q);
+        }
+
+        let glue_kinds = [
+            (GateKind::Nand, 30u32),
+            (GateKind::Nor, 14),
+            (GateKind::And, 16),
+            (GateKind::Or, 14),
+            (GateKind::Not, 10),
+            (GateKind::Xor, 8),
+            (GateKind::Xnor, 4),
+            (GateKind::Buf, 4),
+        ];
+        let total_weight: u32 = glue_kinds.iter().map(|&(_, w)| w).sum();
+
+        // Interleave rare cones uniformly through the glue logic so their
+        // support signals span the whole circuit depth.
+        let mut gates_left = self.num_gates;
+        let mut cones_left = self.rare_cones;
+        let mut gate_idx = 0usize;
+        let cone_every = if self.rare_cones == 0 {
+            usize::MAX
+        } else {
+            (self.num_gates / self.rare_cones.max(1)).max(1)
+        };
+
+        while gates_left > 0 {
+            let plant_cone = cones_left > 0 && gate_idx % cone_every == cone_every - 1;
+            if plant_cone {
+                let width = rng.gen_range(self.rare_cone_width.0..=self.rare_cone_width.1);
+                let used = plant_rare_cone(&mut b, &mut pool, &mut rng, width, gate_idx);
+                gates_left = gates_left.saturating_sub(used);
+                cones_left -= 1;
+            } else {
+                let mut pick = rng.gen_range(0..total_weight);
+                let mut kind = GateKind::Nand;
+                for &(k, w) in &glue_kinds {
+                    if pick < w {
+                        kind = k;
+                        break;
+                    }
+                    pick -= w;
+                }
+                let arity = match kind {
+                    GateKind::Not | GateKind::Buf => 1,
+                    _ => rng.gen_range(2..=3),
+                };
+                let fanin = pick_fanins(&pool, &mut rng, arity);
+                let id = b
+                    .gate(kind, format!("g{gate_idx}"), &fanin)
+                    .expect("generated gate is valid");
+                pool.push(id);
+                gates_left -= 1;
+            }
+            gate_idx += 1;
+        }
+
+        // Patch flip-flop data inputs to random internal signals.
+        let internal_start = self.num_inputs + self.num_flip_flops;
+        for &q in &flops {
+            let data = if pool.len() > internal_start {
+                pool[rng.gen_range(internal_start..pool.len())]
+            } else {
+                pool[rng.gen_range(0..pool.len())]
+            };
+            b.set_dff_data(q, data).expect("flop exists");
+        }
+
+        // Primary outputs: prefer signals near the end of the pool (deepest).
+        let candidates: Vec<NetId> = pool[internal_start.min(pool.len().saturating_sub(1))..].to_vec();
+        let mut outs: Vec<NetId> = candidates;
+        outs.shuffle(&mut rng);
+        for &o in outs.iter().take(self.num_outputs.max(1)) {
+            b.output(o);
+        }
+
+        b.build().expect("generated netlist is structurally valid")
+    }
+}
+
+/// Plants a rare cone of the given width and returns how many gates it used.
+///
+/// The cone is a balanced AND/NOR tree over `width` distinct support signals;
+/// its root has signal probability roughly `2^-width` (ANDs) or the dual for
+/// NOR roots, far below the 0.1 rareness threshold for `width >= 4`.
+fn plant_rare_cone(
+    b: &mut NetlistBuilder,
+    pool: &mut Vec<NetId>,
+    rng: &mut StdRng,
+    width: usize,
+    gate_idx: usize,
+) -> usize {
+    let support = pick_fanins(pool, rng, width.max(2));
+    let invert_root = rng.gen_bool(0.3);
+    let mut layer = support;
+    let mut used = 0usize;
+    let mut level = 0usize;
+    while layer.len() > 1 {
+        let mut next = Vec::with_capacity(layer.len().div_ceil(2));
+        for (j, chunk) in layer.chunks(2).enumerate() {
+            if chunk.len() == 1 {
+                next.push(chunk[0]);
+                continue;
+            }
+            let kind = if layer.len() == 2 && invert_root {
+                GateKind::Nor
+            } else {
+                GateKind::And
+            };
+            let id = b
+                .gate(kind, format!("rc{gate_idx}_{level}_{j}"), chunk)
+                .expect("generated cone gate is valid");
+            used += 1;
+            next.push(id);
+        }
+        layer = next;
+        level += 1;
+    }
+    pool.push(layer[0]);
+    used
+}
+
+fn pick_fanins(pool: &[NetId], rng: &mut StdRng, arity: usize) -> Vec<NetId> {
+    let arity = arity.min(pool.len());
+    let mut chosen = Vec::with_capacity(arity);
+    let mut guard = 0;
+    while chosen.len() < arity && guard < 64 * arity {
+        guard += 1;
+        // Bias toward recently created signals for depth, but keep a healthy
+        // mix of primary inputs for controllability.
+        let idx = if rng.gen_bool(0.6) && pool.len() > 8 {
+            let lo = pool.len() * 3 / 4;
+            rng.gen_range(lo..pool.len())
+        } else {
+            rng.gen_range(0..pool.len())
+        };
+        let cand = pool[idx];
+        if !chosen.contains(&cand) {
+            chosen.push(cand);
+        }
+    }
+    if chosen.is_empty() {
+        chosen.push(pool[0]);
+    }
+    chosen
+}
+
+fn hash_name(name: &str) -> u64 {
+    // FNV-1a, so each profile gets a distinct but reproducible RNG stream.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.bytes() {
+        h ^= u64::from(byte);
+        h = h.wrapping_mul(0x1000_0000_01b3);
+    }
+    h
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bench;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let p = BenchmarkProfile::c2670().scaled(10);
+        let a = p.generate(7);
+        let c = p.generate(7);
+        assert_eq!(bench::write(&a), bench::write(&c));
+    }
+
+    #[test]
+    fn different_seeds_differ() {
+        let p = BenchmarkProfile::c2670().scaled(10);
+        let a = p.generate(1);
+        let c = p.generate(2);
+        assert_ne!(bench::write(&a), bench::write(&c));
+    }
+
+    #[test]
+    fn gate_count_close_to_profile() {
+        let p = BenchmarkProfile::c5315().scaled(8);
+        let nl = p.generate(3);
+        let target = p.num_gates;
+        let got = nl.num_logic_gates();
+        assert!(
+            got >= target && got <= target + 8,
+            "expected ~{target} gates, got {got}"
+        );
+    }
+
+    #[test]
+    fn sequential_profile_has_flops() {
+        let p = BenchmarkProfile::s13207().scaled(16);
+        let nl = p.generate(11);
+        assert!(!nl.flip_flops().is_empty());
+        assert_eq!(nl.flip_flops().len(), p.num_flip_flops);
+    }
+
+    #[test]
+    fn all_table2_profiles_have_distinct_names() {
+        let names: Vec<String> = BenchmarkProfile::table2()
+            .into_iter()
+            .map(|p| p.name)
+            .collect();
+        let mut dedup = names.clone();
+        dedup.sort();
+        dedup.dedup();
+        assert_eq!(dedup.len(), names.len());
+    }
+
+    #[test]
+    fn scaled_profile_is_smaller() {
+        let full = BenchmarkProfile::mips();
+        let small = full.scaled(64);
+        assert!(small.num_gates < full.num_gates);
+        assert!(small.num_gates >= 32);
+    }
+
+    #[test]
+    fn generated_netlist_round_trips_through_bench_format() {
+        let nl = BenchmarkProfile::c6288().scaled(20).generate(5);
+        let text = bench::write(&nl);
+        let back = bench::parse(nl.name(), &text).expect("round trip");
+        assert_eq!(back.num_gates(), nl.num_gates());
+    }
+}

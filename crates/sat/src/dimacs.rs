@@ -1,0 +1,108 @@
+//! Reading and writing DIMACS CNF.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::types::{Cnf, Lit};
+
+/// Error produced while parsing DIMACS text.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseDimacsError {
+    /// 1-based line number.
+    pub line: usize,
+    /// Description of the problem.
+    pub message: String,
+}
+
+impl fmt::Display for ParseDimacsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "dimacs parse error at line {}: {}", self.line, self.message)
+    }
+}
+
+impl Error for ParseDimacsError {}
+
+/// Parses DIMACS CNF text into a [`Cnf`].
+///
+/// The `p cnf <vars> <clauses>` header is optional; comment lines start with
+/// `c`. Clauses may span lines and are terminated by `0`.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] when a token is not an integer.
+pub fn parse(src: &str) -> Result<Cnf, ParseDimacsError> {
+    let mut cnf = Cnf::new();
+    let mut current: Vec<Lit> = Vec::new();
+    for (lineno, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+            continue;
+        }
+        for tok in line.split_whitespace() {
+            let value: i64 = tok.parse().map_err(|_| ParseDimacsError {
+                line: lineno + 1,
+                message: format!("invalid literal `{tok}`"),
+            })?;
+            if value == 0 {
+                cnf.add_clause(current.drain(..));
+            } else {
+                current.push(Lit::from_dimacs(value));
+            }
+        }
+    }
+    if !current.is_empty() {
+        cnf.add_clause(current);
+    }
+    Ok(cnf)
+}
+
+/// Serializes a [`Cnf`] to DIMACS text.
+#[must_use]
+pub fn write(cnf: &Cnf) -> String {
+    let mut out = format!("p cnf {} {}\n", cnf.num_vars(), cnf.num_clauses());
+    for clause in cnf.clauses() {
+        for lit in clause {
+            out.push_str(&lit.to_dimacs().to_string());
+            out.push(' ');
+        }
+        out.push_str("0\n");
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::Var;
+
+    #[test]
+    fn parse_simple() {
+        let cnf = parse("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.clauses()[0], vec![Var(0).positive(), Var(1).negative()]);
+    }
+
+    #[test]
+    fn round_trip() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([Var(0).positive(), Var(2).negative()]);
+        cnf.add_clause([Var(1).negative()]);
+        let text = write(&cnf);
+        let back = parse(&text).unwrap();
+        assert_eq!(back.clauses(), cnf.clauses());
+    }
+
+    #[test]
+    fn bad_token_is_error() {
+        let err = parse("1 two 0\n").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.to_string().contains("two"));
+    }
+
+    #[test]
+    fn clause_spanning_lines() {
+        let cnf = parse("1 2\n3 0\n").unwrap();
+        assert_eq!(cnf.num_clauses(), 1);
+        assert_eq!(cnf.clauses()[0].len(), 3);
+    }
+}

@@ -1,0 +1,45 @@
+//! Boolean satisfiability substrate for the DETERRENT reproduction.
+//!
+//! The original DETERRENT implementation uses `pycosat` (PicoSAT) for two
+//! tasks: checking whether a set of rare nets is *compatible* (an input
+//! pattern exists that drives them all to their rare values), and generating
+//! the final test patterns from the maximal compatible sets found by the RL
+//! agent. This crate provides those capabilities from scratch:
+//!
+//! * [`Cnf`], [`Lit`], [`Var`] — clause database primitives.
+//! * [`Solver`] — a CDCL SAT solver (two-watched literals, first-UIP clause
+//!   learning, VSIDS-style activities, phase saving, restarts, incremental
+//!   solving under assumptions).
+//! * [`dimacs`] — DIMACS CNF reading/writing for interoperability.
+//! * [`CircuitEncoder`] — Tseitin encoding of a [`netlist::Netlist`].
+//! * [`CircuitOracle`] — the high-level interface used by the rest of the
+//!   workspace: "give me an input pattern that justifies these `(net, value)`
+//!   targets, or prove none exists".
+//!
+//! # Example
+//!
+//! ```
+//! use netlist::samples;
+//! use sat::CircuitOracle;
+//!
+//! let nl = samples::rare_chain(4);
+//! let mut oracle = CircuitOracle::new(&nl);
+//! let root = nl.net_by_name("and3").unwrap();
+//! // Justify the rare value of the AND-chain root.
+//! let pattern = oracle.justify(&[(root, true)]).expect("satisfiable");
+//! assert!(pattern.iter().all(|&b| b), "only the all-ones pattern works");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod dimacs;
+mod encoder;
+mod oracle;
+mod solver;
+mod types;
+
+pub use encoder::CircuitEncoder;
+pub use oracle::CircuitOracle;
+pub use solver::{SolveResult, Solver, SolverStats};
+pub use types::{Clause, Cnf, Lit, Var};

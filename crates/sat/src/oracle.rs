@@ -1,0 +1,164 @@
+//! High-level justification oracle used by the DETERRENT pipeline.
+
+use netlist::{NetId, Netlist};
+
+use crate::encoder::CircuitEncoder;
+use crate::solver::{SolveResult, Solver};
+use crate::types::Lit;
+
+/// Answers "is there an input pattern that drives these nets to these
+/// values?" queries against one netlist.
+///
+/// The oracle encodes the netlist once and keeps a single incremental
+/// [`Solver`] alive across queries, so the learned clauses from earlier
+/// compatibility checks speed up later ones — this mirrors how the paper
+/// amortizes its offline SAT work.
+///
+/// Returned patterns are assignments to [`netlist::Netlist::scan_inputs`] in
+/// that order (primary inputs first, then scan flip-flops), i.e. the same
+/// convention as `sim::TestPattern`.
+#[derive(Debug)]
+pub struct CircuitOracle {
+    encoder: CircuitEncoder,
+    solver: Solver,
+    scan_inputs: Vec<NetId>,
+    queries: u64,
+}
+
+impl CircuitOracle {
+    /// Builds the oracle for `netlist` (performs the Tseitin encoding).
+    #[must_use]
+    pub fn new(netlist: &Netlist) -> Self {
+        let encoder = CircuitEncoder::new(netlist);
+        let solver = Solver::from_cnf(encoder.cnf());
+        Self {
+            encoder,
+            solver,
+            scan_inputs: netlist.scan_inputs(),
+            queries: 0,
+        }
+    }
+
+    /// Number of scan inputs (width of returned patterns).
+    #[must_use]
+    pub fn pattern_width(&self) -> usize {
+        self.scan_inputs.len()
+    }
+
+    /// Number of justification queries answered so far.
+    #[must_use]
+    pub fn num_queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Searches for a scan-input assignment that simultaneously drives every
+    /// `(net, value)` pair in `targets`. Returns the pattern bits (in
+    /// scan-input order) or `None` when the targets are jointly
+    /// unjustifiable.
+    pub fn justify(&mut self, targets: &[(NetId, bool)]) -> Option<Vec<bool>> {
+        self.queries += 1;
+        let assumptions: Vec<Lit> = targets
+            .iter()
+            .map(|&(net, value)| self.encoder.lit(net, value))
+            .collect();
+        match self.solver.solve(&assumptions) {
+            SolveResult::Sat(model) => Some(
+                self.scan_inputs
+                    .iter()
+                    .map(|&si| model[self.encoder.var(si).index()])
+                    .collect(),
+            ),
+            SolveResult::Unsat => None,
+        }
+    }
+
+    /// Returns `true` when an input pattern exists that drives every target
+    /// simultaneously (the paper's *compatibility* relation).
+    pub fn is_compatible(&mut self, targets: &[(NetId, bool)]) -> bool {
+        self.justify(targets).is_some()
+    }
+
+    /// The underlying encoder (for advanced uses such as adding side
+    /// constraints to a standalone solver).
+    #[must_use]
+    pub fn encoder(&self) -> &CircuitEncoder {
+        &self.encoder
+    }
+
+    /// Accumulated solver statistics.
+    #[must_use]
+    pub fn solver_stats(&self) -> crate::SolverStats {
+        self.solver.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+    use netlist::synth::BenchmarkProfile;
+    use sim::{Simulator, TestPattern};
+
+    #[test]
+    fn justify_rare_chain_root() {
+        let nl = samples::rare_chain(5);
+        let mut oracle = CircuitOracle::new(&nl);
+        let root = nl.net_by_name("and4").unwrap();
+        let bits = oracle.justify(&[(root, true)]).expect("SAT");
+        assert!(bits.iter().all(|&b| b));
+        assert_eq!(oracle.pattern_width(), 5);
+        assert_eq!(oracle.num_queries(), 1);
+    }
+
+    #[test]
+    fn justified_patterns_verify_in_simulation() {
+        let nl = BenchmarkProfile::c2670().scaled(20).generate(8);
+        let analysis = sim::rare::RareNetAnalysis::estimate(&nl, 0.2, 2048, 3);
+        let mut oracle = CircuitOracle::new(&nl);
+        let sim = Simulator::new(&nl);
+        let mut justified = 0;
+        for rare in analysis.rare_nets().iter().take(10) {
+            if let Some(bits) = oracle.justify(&[(rare.net, rare.rare_value)]) {
+                let pattern = TestPattern::new(bits);
+                assert!(
+                    sim.activates(&pattern, &[(rare.net, rare.rare_value)]),
+                    "SAT pattern must activate {}",
+                    nl.net_name(rare.net)
+                );
+                justified += 1;
+            }
+        }
+        assert!(justified > 0, "at least one rare net should be justifiable");
+    }
+
+    #[test]
+    fn impossible_targets_are_rejected() {
+        let nl = samples::c17();
+        let mut oracle = CircuitOracle::new(&nl);
+        let g10 = nl.net_by_name("G10").unwrap();
+        let g1 = nl.net_by_name("G1").unwrap();
+        // G10 = NAND(G1, G3) = 0 forces G1 = 1.
+        assert!(!oracle.is_compatible(&[(g10, false), (g1, false)]));
+        assert!(oracle.is_compatible(&[(g10, false), (g1, true)]));
+    }
+
+    #[test]
+    fn incremental_queries_reuse_solver() {
+        let nl = samples::majority5();
+        let mut oracle = CircuitOracle::new(&nl);
+        let maj = nl.net_by_name("maj").unwrap();
+        for _ in 0..5 {
+            assert!(oracle.is_compatible(&[(maj, true)]));
+            assert!(oracle.is_compatible(&[(maj, false)]));
+        }
+        assert_eq!(oracle.num_queries(), 10);
+    }
+
+    #[test]
+    fn conflicting_same_net_targets_unsat() {
+        let nl = samples::c17();
+        let mut oracle = CircuitOracle::new(&nl);
+        let g22 = nl.net_by_name("G22").unwrap();
+        assert!(!oracle.is_compatible(&[(g22, true), (g22, false)]));
+    }
+}

@@ -1,0 +1,714 @@
+//! A CDCL (conflict-driven clause learning) SAT solver.
+//!
+//! The implementation follows the classic MiniSat recipe: two watched
+//! literals per clause, first-UIP conflict analysis, activity-based (VSIDS)
+//! decision heuristics with phase saving, geometric restarts, and incremental
+//! solving under assumptions. Clause deletion is intentionally omitted — the
+//! formulas produced by circuit encoding in this workspace are small enough
+//! that the learned-clause database stays manageable.
+
+use crate::types::{Clause, Cnf, Lit, Var};
+
+/// Outcome of a [`Solver::solve`] call.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SolveResult {
+    /// The formula is satisfiable; the model assigns every variable.
+    Sat(Vec<bool>),
+    /// The formula is unsatisfiable (under the given assumptions, if any).
+    Unsat,
+}
+
+impl SolveResult {
+    /// Returns `true` for [`SolveResult::Sat`].
+    #[must_use]
+    pub fn is_sat(&self) -> bool {
+        matches!(self, SolveResult::Sat(_))
+    }
+
+    /// The model, if satisfiable.
+    #[must_use]
+    pub fn model(&self) -> Option<&[bool]> {
+        match self {
+            SolveResult::Sat(m) => Some(m),
+            SolveResult::Unsat => None,
+        }
+    }
+}
+
+/// Search statistics accumulated over the lifetime of a [`Solver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SolverStats {
+    /// Number of conflicts encountered.
+    pub conflicts: u64,
+    /// Number of decisions made.
+    pub decisions: u64,
+    /// Number of literals propagated.
+    pub propagations: u64,
+    /// Number of learned clauses.
+    pub learned_clauses: u64,
+    /// Number of restarts performed.
+    pub restarts: u64,
+}
+
+const UNASSIGNED: u8 = 2;
+
+/// A CDCL SAT solver.
+///
+/// Clauses are added with [`Solver::add_clause`]; [`Solver::solve`] may be
+/// called repeatedly with different assumption sets (incremental usage), and
+/// more clauses may be added between calls.
+///
+/// # Example
+///
+/// ```
+/// use sat::{Lit, Solver, Var};
+///
+/// let mut solver = Solver::new();
+/// let a = solver.new_var();
+/// let b = solver.new_var();
+/// solver.add_clause([a.positive(), b.positive()]);
+/// solver.add_clause([a.negative()]);
+/// let result = solver.solve(&[]);
+/// let model = result.model().expect("satisfiable");
+/// assert!(!model[a.index()] && model[b.index()]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Solver {
+    clauses: Vec<Clause>,
+    /// watches[lit.code()] = indices of clauses currently watching `lit`.
+    watches: Vec<Vec<usize>>,
+    /// Current value per variable: 0 = false, 1 = true, 2 = unassigned.
+    values: Vec<u8>,
+    /// Decision level at which each variable was assigned.
+    level: Vec<u32>,
+    /// Reason clause index for each implied variable (usize::MAX = decision).
+    reason: Vec<usize>,
+    trail: Vec<Lit>,
+    trail_lim: Vec<usize>,
+    propagate_head: usize,
+    activity: Vec<f64>,
+    activity_inc: f64,
+    /// Saved phase per variable for phase-saving.
+    phase: Vec<bool>,
+    seen: Vec<bool>,
+    unsat: bool,
+    stats: SolverStats,
+}
+
+impl Default for Solver {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Solver {
+    /// Creates an empty solver with no variables or clauses.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            clauses: Vec::new(),
+            watches: Vec::new(),
+            values: Vec::new(),
+            level: Vec::new(),
+            reason: Vec::new(),
+            trail: Vec::new(),
+            trail_lim: Vec::new(),
+            propagate_head: 0,
+            activity: Vec::new(),
+            activity_inc: 1.0,
+            phase: Vec::new(),
+            seen: Vec::new(),
+            unsat: false,
+            stats: SolverStats::default(),
+        }
+    }
+
+    /// Creates a solver preloaded with the clauses of `cnf`.
+    #[must_use]
+    pub fn from_cnf(cnf: &Cnf) -> Self {
+        let mut solver = Self::new();
+        solver.reserve_vars(cnf.num_vars());
+        for clause in cnf.clauses() {
+            solver.add_clause(clause.iter().copied());
+        }
+        solver
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.values.len() as u32);
+        self.values.push(UNASSIGNED);
+        self.level.push(0);
+        self.reason.push(usize::MAX);
+        self.activity.push(0.0);
+        self.phase.push(false);
+        self.seen.push(false);
+        self.watches.push(Vec::new());
+        self.watches.push(Vec::new());
+        v
+    }
+
+    /// Ensures at least `n` variables exist.
+    pub fn reserve_vars(&mut self, n: usize) {
+        while self.values.len() < n {
+            self.new_var();
+        }
+    }
+
+    /// Number of variables currently known to the solver.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.values.len()
+    }
+
+    /// Number of clauses (original + learned).
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Accumulated search statistics.
+    #[must_use]
+    pub fn stats(&self) -> SolverStats {
+        self.stats
+    }
+
+    fn value_lit(&self, lit: Lit) -> u8 {
+        let v = self.values[lit.var().index()];
+        if v == UNASSIGNED {
+            UNASSIGNED
+        } else if (v == 1) == lit.polarity() {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Adds a clause. Duplicate literals are removed and tautological clauses
+    /// are ignored. Adding the empty clause makes the solver permanently
+    /// unsatisfiable.
+    pub fn add_clause(&mut self, lits: impl IntoIterator<Item = Lit>) {
+        assert_eq!(
+            self.decision_level(),
+            0,
+            "clauses may only be added at decision level 0"
+        );
+        let mut clause: Clause = lits.into_iter().collect();
+        for lit in &clause {
+            self.reserve_vars(lit.var().index() + 1);
+        }
+        clause.sort_by_key(|l| l.code());
+        clause.dedup();
+        // Tautology check (x ∨ ¬x).
+        if clause.windows(2).any(|w| w[0].var() == w[1].var()) {
+            return;
+        }
+        // Remove literals already false at level 0; skip clause if any literal
+        // is already true at level 0.
+        if clause.iter().any(|&l| self.value_lit(l) == 1) {
+            return;
+        }
+        clause.retain(|&l| self.value_lit(l) != 0);
+
+        match clause.len() {
+            0 => self.unsat = true,
+            1 => {
+                if !self.enqueue(clause[0], usize::MAX) {
+                    self.unsat = true;
+                } else if self.propagate().is_some() {
+                    self.unsat = true;
+                }
+            }
+            _ => {
+                let idx = self.clauses.len();
+                self.watches[clause[0].code()].push(idx);
+                self.watches[clause[1].code()].push(idx);
+                self.clauses.push(clause);
+            }
+        }
+    }
+
+    fn decision_level(&self) -> usize {
+        self.trail_lim.len()
+    }
+
+    /// Assigns `lit` to true with the given reason. Returns `false` if `lit`
+    /// is already false (conflict at the caller's level).
+    fn enqueue(&mut self, lit: Lit, reason: usize) -> bool {
+        match self.value_lit(lit) {
+            0 => false,
+            1 => true,
+            _ => {
+                let v = lit.var().index();
+                self.values[v] = u8::from(lit.polarity());
+                self.level[v] = self.decision_level() as u32;
+                self.reason[v] = reason;
+                self.phase[v] = lit.polarity();
+                self.trail.push(lit);
+                true
+            }
+        }
+    }
+
+    /// Unit propagation. Returns the index of a conflicting clause, if any.
+    fn propagate(&mut self) -> Option<usize> {
+        while self.propagate_head < self.trail.len() {
+            let p = self.trail[self.propagate_head];
+            self.propagate_head += 1;
+            self.stats.propagations += 1;
+            // Literal ¬p became false; visit clauses watching ¬p.
+            let false_lit = !p;
+            let mut watch_list = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut i = 0;
+            while i < watch_list.len() {
+                let ci = watch_list[i];
+                // Ensure the false literal is at position 1.
+                if self.clauses[ci][0] == false_lit {
+                    self.clauses[ci].swap(0, 1);
+                }
+                debug_assert_eq!(self.clauses[ci][1], false_lit);
+                let first = self.clauses[ci][0];
+                if self.value_lit(first) == 1 {
+                    // Clause already satisfied; keep watching.
+                    i += 1;
+                    continue;
+                }
+                // Look for a replacement watch.
+                let mut replaced = false;
+                for k in 2..self.clauses[ci].len() {
+                    let cand = self.clauses[ci][k];
+                    if self.value_lit(cand) != 0 {
+                        self.clauses[ci].swap(1, k);
+                        self.watches[cand.code()].push(ci);
+                        watch_list.swap_remove(i);
+                        replaced = true;
+                        break;
+                    }
+                }
+                if replaced {
+                    continue;
+                }
+                // No replacement: clause is unit or conflicting.
+                if self.value_lit(first) == 0 {
+                    // Conflict: restore remaining watches and report.
+                    self.watches[false_lit.code()].extend_from_slice(&watch_list);
+                    self.propagate_head = self.trail.len();
+                    return Some(ci);
+                }
+                let ok = self.enqueue(first, ci);
+                debug_assert!(ok);
+                i += 1;
+            }
+            // Put back whatever remains in the (possibly shrunk) list, merged
+            // with watches added during replacement search.
+            let existing = std::mem::take(&mut self.watches[false_lit.code()]);
+            let mut merged = watch_list;
+            merged.extend(existing);
+            self.watches[false_lit.code()] = merged;
+        }
+        None
+    }
+
+    fn bump_activity(&mut self, var: Var) {
+        let a = &mut self.activity[var.index()];
+        *a += self.activity_inc;
+        if *a > 1e100 {
+            for act in &mut self.activity {
+                *act *= 1e-100;
+            }
+            self.activity_inc *= 1e-100;
+        }
+    }
+
+    fn decay_activity(&mut self) {
+        self.activity_inc /= 0.95;
+    }
+
+    /// First-UIP conflict analysis. Returns the learned clause (asserting
+    /// literal first) and the backtrack level.
+    fn analyze(&mut self, mut confl: usize) -> (Clause, usize) {
+        let mut learned: Clause = Vec::new();
+        let mut counter = 0usize;
+        let mut p: Option<Lit> = None;
+        let mut trail_idx = self.trail.len();
+        let current_level = self.decision_level() as u32;
+        let mut to_clear: Vec<Var> = Vec::new();
+
+        loop {
+            let clause = self.clauses[confl].clone();
+            let start = usize::from(p.is_some());
+            for idx in start..clause.len() {
+                let q = clause[idx];
+                let v = q.var();
+                if !self.seen[v.index()] && self.level[v.index()] > 0 {
+                    self.seen[v.index()] = true;
+                    to_clear.push(v);
+                    self.bump_activity(v);
+                    if self.level[v.index()] == current_level {
+                        counter += 1;
+                    } else {
+                        learned.push(q);
+                    }
+                }
+            }
+            // Find the next literal on the trail (at the current level) to
+            // resolve on.
+            loop {
+                trail_idx -= 1;
+                let lit = self.trail[trail_idx];
+                if self.seen[lit.var().index()] {
+                    p = Some(lit);
+                    break;
+                }
+            }
+            let p_lit = p.expect("resolution literal");
+            self.seen[p_lit.var().index()] = false;
+            counter -= 1;
+            if counter == 0 {
+                learned.insert(0, !p_lit);
+                break;
+            }
+            confl = self.reason[p_lit.var().index()];
+            debug_assert_ne!(confl, usize::MAX, "implied literal must have a reason");
+        }
+
+        for v in to_clear {
+            self.seen[v.index()] = false;
+        }
+
+        // Backtrack level = highest level among learned[1..].
+        let backtrack_level = learned[1..]
+            .iter()
+            .map(|l| self.level[l.var().index()] as usize)
+            .max()
+            .unwrap_or(0);
+
+        // Move a literal of the backtrack level to position 1 so the watched
+        // literals are correct after backjumping.
+        if learned.len() > 1 {
+            let (pos, _) = learned[1..]
+                .iter()
+                .enumerate()
+                .max_by_key(|(_, l)| self.level[l.var().index()])
+                .expect("non-empty");
+            learned.swap(1, pos + 1);
+        }
+
+        (learned, backtrack_level)
+    }
+
+    fn backtrack_to(&mut self, level: usize) {
+        while self.decision_level() > level {
+            let lim = self.trail_lim.pop().expect("non-root level");
+            while self.trail.len() > lim {
+                let lit = self.trail.pop().expect("trail entry");
+                let v = lit.var().index();
+                self.values[v] = UNASSIGNED;
+                self.reason[v] = usize::MAX;
+            }
+        }
+        self.propagate_head = self.trail.len().min(self.propagate_head);
+        self.propagate_head = self.trail.len();
+    }
+
+    fn pick_branch_var(&self) -> Option<Var> {
+        let mut best: Option<(f64, usize)> = None;
+        for (i, &v) in self.values.iter().enumerate() {
+            if v == UNASSIGNED {
+                let act = self.activity[i];
+                match best {
+                    Some((b, _)) if act <= b => {}
+                    _ => best = Some((act, i)),
+                }
+            }
+        }
+        best.map(|(_, i)| Var(i as u32))
+    }
+
+    /// Solves the formula under the given `assumptions` (literals forced true
+    /// for this call only).
+    ///
+    /// The solver state (learned clauses, activities, saved phases) persists
+    /// across calls, making repeated related queries fast.
+    pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        if self.unsat {
+            return SolveResult::Unsat;
+        }
+        for lit in assumptions {
+            self.reserve_vars(lit.var().index() + 1);
+        }
+        self.backtrack_to(0);
+        if self.propagate().is_some() {
+            self.unsat = true;
+            return SolveResult::Unsat;
+        }
+
+        let mut conflict_budget = 128u64;
+        loop {
+            match self.search(assumptions, conflict_budget) {
+                SearchOutcome::Sat(model) => {
+                    self.backtrack_to(0);
+                    return SolveResult::Sat(model);
+                }
+                SearchOutcome::Unsat => {
+                    self.backtrack_to(0);
+                    return SolveResult::Unsat;
+                }
+                SearchOutcome::Restart => {
+                    self.stats.restarts += 1;
+                    self.backtrack_to(0);
+                    conflict_budget = conflict_budget.saturating_mul(3) / 2;
+                }
+            }
+        }
+    }
+
+    fn search(&mut self, assumptions: &[Lit], conflict_budget: u64) -> SearchOutcome {
+        let mut conflicts_here = 0u64;
+        loop {
+            if let Some(confl) = self.propagate() {
+                self.stats.conflicts += 1;
+                conflicts_here += 1;
+                if self.decision_level() == 0 {
+                    self.unsat = true;
+                    return SearchOutcome::Unsat;
+                }
+                let (learned, backtrack_level) = self.analyze(confl);
+                self.backtrack_to(backtrack_level);
+                let asserting = learned[0];
+                if learned.len() == 1 {
+                    let ok = self.enqueue(asserting, usize::MAX);
+                    if !ok {
+                        self.unsat = true;
+                        return SearchOutcome::Unsat;
+                    }
+                } else {
+                    let idx = self.clauses.len();
+                    self.watches[learned[0].code()].push(idx);
+                    self.watches[learned[1].code()].push(idx);
+                    self.clauses.push(learned);
+                    self.stats.learned_clauses += 1;
+                    let ok = self.enqueue(asserting, idx);
+                    debug_assert!(ok);
+                }
+                self.decay_activity();
+                if conflicts_here >= conflict_budget && self.decision_level() > assumptions.len() {
+                    return SearchOutcome::Restart;
+                }
+            } else {
+                // Decide.
+                if self.decision_level() < assumptions.len() {
+                    let lit = assumptions[self.decision_level()];
+                    match self.value_lit(lit) {
+                        0 => return SearchOutcome::Unsat,
+                        1 => {
+                            // Already true: open an empty decision level so the
+                            // assumption indexing stays aligned.
+                            self.trail_lim.push(self.trail.len());
+                        }
+                        _ => {
+                            self.trail_lim.push(self.trail.len());
+                            self.stats.decisions += 1;
+                            let ok = self.enqueue(lit, usize::MAX);
+                            debug_assert!(ok);
+                        }
+                    }
+                    continue;
+                }
+                match self.pick_branch_var() {
+                    None => {
+                        // Complete assignment: build the model.
+                        let model = self
+                            .values
+                            .iter()
+                            .enumerate()
+                            .map(|(i, &v)| {
+                                if v == UNASSIGNED {
+                                    self.phase[i]
+                                } else {
+                                    v == 1
+                                }
+                            })
+                            .collect();
+                        return SearchOutcome::Sat(model);
+                    }
+                    Some(var) => {
+                        self.stats.decisions += 1;
+                        self.trail_lim.push(self.trail.len());
+                        let lit = var.lit(self.phase[var.index()]);
+                        let ok = self.enqueue(lit, usize::MAX);
+                        debug_assert!(ok);
+                    }
+                }
+            }
+        }
+    }
+}
+
+enum SearchOutcome {
+    Sat(Vec<bool>),
+    Unsat,
+    Restart,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lit(v: i64) -> Lit {
+        Lit::from_dimacs(v)
+    }
+
+    #[test]
+    fn trivially_sat_and_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1)]);
+        assert!(s.solve(&[]).is_sat());
+
+        let mut s = Solver::new();
+        s.add_clause([lit(1)]);
+        s.add_clause([lit(-1)]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn empty_formula_is_sat() {
+        let mut s = Solver::new();
+        assert!(s.solve(&[]).is_sat());
+    }
+
+    #[test]
+    fn empty_clause_is_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn simple_implication_chain() {
+        // (¬1 ∨ 2) ∧ (¬2 ∨ 3) ∧ (1) forces 3.
+        let mut s = Solver::new();
+        s.add_clause([lit(-1), lit(2)]);
+        s.add_clause([lit(-2), lit(3)]);
+        s.add_clause([lit(1)]);
+        let model = s.solve(&[]).model().unwrap().to_vec();
+        assert!(model[0] && model[1] && model[2]);
+    }
+
+    #[test]
+    fn pigeonhole_3_into_2_is_unsat() {
+        // Pigeons p in {1,2,3}, holes h in {1,2}: var(p,h) = 2(p-1)+h.
+        let var = |p: i64, h: i64| 2 * (p - 1) + h;
+        let mut s = Solver::new();
+        for p in 1..=3 {
+            s.add_clause([lit(var(p, 1)), lit(var(p, 2))]);
+        }
+        for h in 1..=2 {
+            for p1 in 1..=3 {
+                for p2 in (p1 + 1)..=3 {
+                    s.add_clause([lit(-var(p1, h)), lit(-var(p2, h))]);
+                }
+            }
+        }
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+        assert!(s.stats().conflicts > 0);
+    }
+
+    #[test]
+    fn assumptions_restrict_and_release() {
+        // (1 ∨ 2) with assumption ¬1 forces 2; assumptions don't persist.
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]);
+        let m = s.solve(&[lit(-1)]).model().unwrap().to_vec();
+        assert!(!m[0] && m[1]);
+        // Conflicting assumptions => UNSAT under assumptions, SAT without.
+        assert_eq!(s.solve(&[lit(-1), lit(-2)]), SolveResult::Unsat);
+        assert!(s.solve(&[]).is_sat());
+        assert!(s.solve(&[lit(1)]).is_sat());
+    }
+
+    #[test]
+    fn xor_chain_sat() {
+        // x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 ⊕ x3 = 0 is satisfiable.
+        let mut s = Solver::new();
+        // x1 ⊕ x2: (1∨2) ∧ (¬1∨¬2)
+        s.add_clause([lit(1), lit(2)]);
+        s.add_clause([lit(-1), lit(-2)]);
+        s.add_clause([lit(2), lit(3)]);
+        s.add_clause([lit(-2), lit(-3)]);
+        // x1 ⊕ x3 = 0: (¬1∨3) ∧ (1∨¬3)
+        s.add_clause([lit(-1), lit(3)]);
+        s.add_clause([lit(1), lit(-3)]);
+        let m = s.solve(&[]).model().unwrap().to_vec();
+        assert_eq!(m[0] ^ m[1], true);
+        assert_eq!(m[1] ^ m[2], true);
+        assert_eq!(m[0] ^ m[2], false);
+    }
+
+    #[test]
+    fn model_satisfies_random_3sat() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(99);
+        for round in 0..30 {
+            let num_vars = 12;
+            let num_clauses = 40;
+            let mut cnf = Cnf::with_vars(num_vars);
+            for _ in 0..num_clauses {
+                let mut clause = Vec::new();
+                for _ in 0..3 {
+                    let v = rng.gen_range(0..num_vars) as u32;
+                    clause.push(Var(v).lit(rng.gen_bool(0.5)));
+                }
+                cnf.add_clause(clause);
+            }
+            let mut solver = Solver::from_cnf(&cnf);
+            match solver.solve(&[]) {
+                SolveResult::Sat(model) => {
+                    assert_eq!(cnf.eval(&model), Some(true), "round {round}: bad model");
+                }
+                SolveResult::Unsat => {
+                    // Verify by brute force that it really is UNSAT.
+                    let mut any = false;
+                    for code in 0u32..(1 << num_vars) {
+                        let assignment: Vec<bool> =
+                            (0..num_vars).map(|i| (code >> i) & 1 == 1).collect();
+                        if cnf.eval(&assignment) == Some(true) {
+                            any = true;
+                            break;
+                        }
+                    }
+                    assert!(!any, "round {round}: solver said UNSAT but a model exists");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_and_tautological_clauses_handled() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(1), lit(1)]);
+        s.add_clause([lit(2), lit(-2)]); // tautology, ignored
+        assert!(s.solve(&[]).is_sat());
+        assert_eq!(s.num_clauses(), 0); // unit went straight to the trail
+    }
+
+    #[test]
+    fn incremental_clause_addition() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]);
+        assert!(s.solve(&[]).is_sat());
+        s.add_clause([lit(-1)]);
+        s.add_clause([lit(-2)]);
+        assert_eq!(s.solve(&[]), SolveResult::Unsat);
+    }
+
+    #[test]
+    fn stats_accumulate() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2), lit(3)]);
+        s.add_clause([lit(-1), lit(-2)]);
+        let _ = s.solve(&[]);
+        assert!(s.stats().decisions > 0);
+    }
+}

@@ -1,0 +1,284 @@
+//! Variables, literals, clauses, and CNF formulas.
+
+use std::fmt;
+use std::ops::Not;
+
+/// A propositional variable, numbered densely from 0.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Var(pub u32);
+
+impl Var {
+    /// The variable index as `usize`.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The positive literal of this variable.
+    #[must_use]
+    pub fn positive(self) -> Lit {
+        Lit::new(self, true)
+    }
+
+    /// The negative literal of this variable.
+    #[must_use]
+    pub fn negative(self) -> Lit {
+        Lit::new(self, false)
+    }
+
+    /// The literal of this variable with the given polarity.
+    #[must_use]
+    pub fn lit(self, polarity: bool) -> Lit {
+        Lit::new(self, polarity)
+    }
+}
+
+impl fmt::Display for Var {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A literal: a variable together with a polarity.
+///
+/// Encoded as `2 * var + (negated as usize)` so literals can index arrays
+/// (e.g. watch lists) directly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Lit(u32);
+
+impl Lit {
+    /// Creates a literal for `var` that is true when the variable is assigned
+    /// `polarity`.
+    #[must_use]
+    pub fn new(var: Var, polarity: bool) -> Self {
+        Lit(var.0 * 2 + u32::from(!polarity))
+    }
+
+    /// The underlying variable.
+    #[must_use]
+    pub fn var(self) -> Var {
+        Var(self.0 / 2)
+    }
+
+    /// `true` for a positive literal, `false` for a negated one.
+    #[must_use]
+    pub fn polarity(self) -> bool {
+        self.0 % 2 == 0
+    }
+
+    /// Dense code usable as an array index (`2 * var + sign`).
+    #[must_use]
+    pub fn code(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Reconstructs a literal from [`Lit::code`].
+    #[must_use]
+    pub fn from_code(code: usize) -> Self {
+        Lit(code as u32)
+    }
+
+    /// The same literal in DIMACS convention (1-based, negative = negated).
+    #[must_use]
+    pub fn to_dimacs(self) -> i64 {
+        let v = i64::from(self.0 / 2) + 1;
+        if self.polarity() {
+            v
+        } else {
+            -v
+        }
+    }
+
+    /// Parses a DIMACS literal (non-zero).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `value` is zero.
+    #[must_use]
+    pub fn from_dimacs(value: i64) -> Self {
+        assert!(value != 0, "DIMACS literal must be non-zero");
+        let var = Var(u32::try_from(value.unsigned_abs() - 1).expect("variable fits in u32"));
+        Lit::new(var, value > 0)
+    }
+}
+
+impl Not for Lit {
+    type Output = Lit;
+
+    fn not(self) -> Lit {
+        Lit(self.0 ^ 1)
+    }
+}
+
+impl fmt::Display for Lit {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if !self.polarity() {
+            write!(f, "¬")?;
+        }
+        write!(f, "{}", self.var())
+    }
+}
+
+/// A disjunction of literals.
+pub type Clause = Vec<Lit>;
+
+/// A CNF formula: a conjunction of clauses over `num_vars` variables.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Cnf {
+    num_vars: usize,
+    clauses: Vec<Clause>,
+}
+
+impl Cnf {
+    /// Creates an empty formula with no variables.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty formula over `num_vars` variables.
+    #[must_use]
+    pub fn with_vars(num_vars: usize) -> Self {
+        Self {
+            num_vars,
+            clauses: Vec::new(),
+        }
+    }
+
+    /// Allocates a fresh variable.
+    pub fn new_var(&mut self) -> Var {
+        let v = Var(self.num_vars as u32);
+        self.num_vars += 1;
+        v
+    }
+
+    /// Number of variables.
+    #[must_use]
+    pub fn num_vars(&self) -> usize {
+        self.num_vars
+    }
+
+    /// Number of clauses.
+    #[must_use]
+    pub fn num_clauses(&self) -> usize {
+        self.clauses.len()
+    }
+
+    /// Returns `true` if the formula has no clauses.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.clauses.is_empty()
+    }
+
+    /// Adds a clause, growing the variable count if the clause mentions a
+    /// variable beyond the current range.
+    pub fn add_clause(&mut self, clause: impl IntoIterator<Item = Lit>) {
+        let clause: Clause = clause.into_iter().collect();
+        for lit in &clause {
+            self.num_vars = self.num_vars.max(lit.var().index() + 1);
+        }
+        self.clauses.push(clause);
+    }
+
+    /// The clauses of the formula.
+    #[must_use]
+    pub fn clauses(&self) -> &[Clause] {
+        &self.clauses
+    }
+
+    /// Evaluates the formula under a total assignment (indexed by variable).
+    ///
+    /// Returns `None` if the assignment is too short.
+    #[must_use]
+    pub fn eval(&self, assignment: &[bool]) -> Option<bool> {
+        if assignment.len() < self.num_vars {
+            return None;
+        }
+        Some(self.clauses.iter().all(|clause| {
+            clause
+                .iter()
+                .any(|lit| assignment[lit.var().index()] == lit.polarity())
+        }))
+    }
+}
+
+impl FromIterator<Clause> for Cnf {
+    fn from_iter<T: IntoIterator<Item = Clause>>(iter: T) -> Self {
+        let mut cnf = Cnf::new();
+        for clause in iter {
+            cnf.add_clause(clause);
+        }
+        cnf
+    }
+}
+
+impl Extend<Clause> for Cnf {
+    fn extend<T: IntoIterator<Item = Clause>>(&mut self, iter: T) {
+        for clause in iter {
+            self.add_clause(clause);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn literal_encoding_round_trips() {
+        let v = Var(5);
+        let pos = v.positive();
+        let neg = v.negative();
+        assert_eq!(pos.var(), v);
+        assert!(pos.polarity());
+        assert!(!neg.polarity());
+        assert_eq!(!pos, neg);
+        assert_eq!(!!pos, pos);
+        assert_eq!(Lit::from_code(pos.code()), pos);
+    }
+
+    #[test]
+    fn dimacs_conversion() {
+        let v = Var(0);
+        assert_eq!(v.positive().to_dimacs(), 1);
+        assert_eq!(v.negative().to_dimacs(), -1);
+        assert_eq!(Lit::from_dimacs(-3), Var(2).negative());
+        assert_eq!(Lit::from_dimacs(7), Var(6).positive());
+    }
+
+    #[test]
+    #[should_panic(expected = "non-zero")]
+    fn dimacs_zero_panics() {
+        let _ = Lit::from_dimacs(0);
+    }
+
+    #[test]
+    fn cnf_grows_vars_and_evaluates() {
+        let mut cnf = Cnf::new();
+        let a = Var(0);
+        let b = Var(1);
+        cnf.add_clause([a.positive(), b.positive()]);
+        cnf.add_clause([a.negative(), b.negative()]);
+        assert_eq!(cnf.num_vars(), 2);
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.eval(&[true, false]), Some(true));
+        assert_eq!(cnf.eval(&[true, true]), Some(false));
+        assert_eq!(cnf.eval(&[true]), None);
+    }
+
+    #[test]
+    fn cnf_from_iterator() {
+        let cnf: Cnf = vec![vec![Var(0).positive()], vec![Var(1).negative()]]
+            .into_iter()
+            .collect();
+        assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.num_vars(), 2);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Var(3).to_string(), "x3");
+        assert_eq!(Var(3).positive().to_string(), "x3");
+        assert_eq!(Var(3).negative().to_string(), "¬x3");
+    }
+}

@@ -1,0 +1,186 @@
+//! Test patterns: assignments to the scan inputs of a netlist.
+
+use rand::Rng;
+use std::fmt;
+
+/// A single test pattern — one logic value per scan input, in
+/// [`netlist::Netlist::scan_inputs`] order.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct TestPattern {
+    bits: Vec<bool>,
+}
+
+impl TestPattern {
+    /// Creates a pattern from explicit bits.
+    #[must_use]
+    pub fn new(bits: Vec<bool>) -> Self {
+        Self { bits }
+    }
+
+    /// All-zero pattern of the given width.
+    #[must_use]
+    pub fn zeros(width: usize) -> Self {
+        Self {
+            bits: vec![false; width],
+        }
+    }
+
+    /// All-one pattern of the given width.
+    #[must_use]
+    pub fn ones(width: usize) -> Self {
+        Self {
+            bits: vec![true; width],
+        }
+    }
+
+    /// Uniformly random pattern of the given width.
+    pub fn random<R: Rng + ?Sized>(width: usize, rng: &mut R) -> Self {
+        Self {
+            bits: (0..width).map(|_| rng.gen_bool(0.5)).collect(),
+        }
+    }
+
+    /// Parses a pattern from a string of `0`/`1` characters (other characters
+    /// are ignored), e.g. `"1010_1100"`.
+    #[must_use]
+    pub fn from_bit_string(s: &str) -> Self {
+        Self {
+            bits: s
+                .chars()
+                .filter_map(|c| match c {
+                    '0' => Some(false),
+                    '1' => Some(true),
+                    _ => None,
+                })
+                .collect(),
+        }
+    }
+
+    /// Number of scan inputs covered by this pattern.
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` if the pattern has no bits.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    /// The value assigned to scan input `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    #[must_use]
+    pub fn bit(&self, idx: usize) -> bool {
+        self.bits[idx]
+    }
+
+    /// Sets the value of scan input `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn set_bit(&mut self, idx: usize, value: bool) {
+        self.bits[idx] = value;
+    }
+
+    /// Flips the value of scan input `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is out of range.
+    pub fn flip_bit(&mut self, idx: usize) {
+        self.bits[idx] = !self.bits[idx];
+    }
+
+    /// The underlying bits in scan-input order.
+    #[must_use]
+    pub fn bits(&self) -> &[bool] {
+        &self.bits
+    }
+
+    /// Iterates over the bits in scan-input order.
+    pub fn iter(&self) -> impl Iterator<Item = bool> + '_ {
+        self.bits.iter().copied()
+    }
+
+    /// Generates `count` uniformly random patterns.
+    pub fn random_batch<R: Rng + ?Sized>(width: usize, count: usize, rng: &mut R) -> Vec<Self> {
+        (0..count).map(|_| Self::random(width, rng)).collect()
+    }
+}
+
+impl fmt::Display for TestPattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for &b in &self.bits {
+            f.write_str(if b { "1" } else { "0" })?;
+        }
+        Ok(())
+    }
+}
+
+impl FromIterator<bool> for TestPattern {
+    fn from_iter<T: IntoIterator<Item = bool>>(iter: T) -> Self {
+        Self {
+            bits: iter.into_iter().collect(),
+        }
+    }
+}
+
+impl Extend<bool> for TestPattern {
+    fn extend<T: IntoIterator<Item = bool>>(&mut self, iter: T) {
+        self.bits.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn constructors() {
+        assert_eq!(TestPattern::zeros(4).to_string(), "0000");
+        assert_eq!(TestPattern::ones(3).to_string(), "111");
+        assert_eq!(TestPattern::from_bit_string("10_1").to_string(), "101");
+        assert!(TestPattern::default().is_empty());
+    }
+
+    #[test]
+    fn bit_manipulation() {
+        let mut p = TestPattern::zeros(4);
+        p.set_bit(1, true);
+        p.flip_bit(3);
+        assert_eq!(p.to_string(), "0101");
+        assert!(p.bit(1));
+        assert!(!p.bit(0));
+        assert_eq!(p.width(), 4);
+    }
+
+    #[test]
+    fn random_is_reproducible_with_seed() {
+        let mut rng1 = StdRng::seed_from_u64(9);
+        let mut rng2 = StdRng::seed_from_u64(9);
+        assert_eq!(
+            TestPattern::random(32, &mut rng1),
+            TestPattern::random(32, &mut rng2)
+        );
+    }
+
+    #[test]
+    fn from_iterator_and_extend() {
+        let mut p: TestPattern = [true, false].into_iter().collect();
+        p.extend([true]);
+        assert_eq!(p.to_string(), "101");
+    }
+
+    #[test]
+    fn random_batch_len() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(TestPattern::random_batch(8, 17, &mut rng).len(), 17);
+    }
+}

@@ -1,0 +1,186 @@
+//! Monte-Carlo signal-probability estimation.
+
+use netlist::{NetId, Netlist};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::{Simulator, TestPattern};
+
+/// Estimated probability of each net being logic 1 under uniformly random
+/// scan-input patterns.
+///
+/// This is the quantity the rareness threshold of the paper is defined over:
+/// a net is *rare* when `min(p, 1 - p)` falls below the threshold.
+#[derive(Debug, Clone)]
+pub struct SignalProbabilities {
+    prob_one: Vec<f64>,
+    num_patterns: usize,
+}
+
+impl SignalProbabilities {
+    /// Estimates signal probabilities by simulating `num_patterns` uniformly
+    /// random patterns (rounded up to a multiple of 64) generated from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_patterns` is zero.
+    #[must_use]
+    pub fn estimate(netlist: &Netlist, num_patterns: usize, seed: u64) -> Self {
+        assert!(num_patterns > 0, "need at least one pattern");
+        let sim = Simulator::new(netlist);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = netlist.num_scan_inputs();
+        let chunks = num_patterns.div_ceil(64);
+        let mut ones = vec![0u64; netlist.num_gates()];
+        let total = chunks * 64;
+        for _ in 0..chunks {
+            let batch = TestPattern::random_batch(width, 64, &mut rng);
+            let packed = sim.run_batch(&batch);
+            for (id, _) in netlist.iter() {
+                ones[id.index()] += u64::from(packed.count_ones(id));
+            }
+        }
+        let prob_one = ones
+            .iter()
+            .map(|&c| c as f64 / total as f64)
+            .collect();
+        Self {
+            prob_one,
+            num_patterns: total,
+        }
+    }
+
+    /// Computes exact probabilities for every net by exhaustive enumeration of
+    /// all input combinations. Only feasible for small circuits (≤ 20 scan
+    /// inputs); used as a reference in tests.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has more than 24 scan inputs.
+    #[must_use]
+    pub fn exhaustive(netlist: &Netlist) -> Self {
+        let width = netlist.num_scan_inputs();
+        assert!(width <= 24, "exhaustive enumeration limited to 24 inputs");
+        let sim = Simulator::new(netlist);
+        let total = 1usize << width;
+        let mut ones = vec![0u64; netlist.num_gates()];
+        let mut batch = Vec::with_capacity(64);
+        let mut processed = 0usize;
+        while processed < total {
+            batch.clear();
+            for code in processed..(processed + 64).min(total) {
+                let bits: Vec<bool> = (0..width).map(|i| (code >> i) & 1 == 1).collect();
+                batch.push(TestPattern::new(bits));
+            }
+            let packed = sim.run_batch(&batch);
+            for (id, _) in netlist.iter() {
+                ones[id.index()] += u64::from(packed.count_ones(id));
+            }
+            processed += batch.len();
+        }
+        Self {
+            prob_one: ones.iter().map(|&c| c as f64 / total as f64).collect(),
+            num_patterns: total,
+        }
+    }
+
+    /// Probability that `net` evaluates to logic 1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range for the analysed netlist.
+    #[must_use]
+    pub fn prob_one(&self, net: NetId) -> f64 {
+        self.prob_one[net.index()]
+    }
+
+    /// Probability that `net` evaluates to logic 0.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range for the analysed netlist.
+    #[must_use]
+    pub fn prob_zero(&self, net: NetId) -> f64 {
+        1.0 - self.prob_one[net.index()]
+    }
+
+    /// The probability of the *rarer* of the two logic values of `net`,
+    /// together with that value. This is what rareness thresholds compare
+    /// against.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `net` is out of range for the analysed netlist.
+    #[must_use]
+    pub fn rare_value(&self, net: NetId) -> (bool, f64) {
+        let p1 = self.prob_one[net.index()];
+        if p1 <= 0.5 {
+            (true, p1)
+        } else {
+            (false, 1.0 - p1)
+        }
+    }
+
+    /// Number of patterns the estimate is based on.
+    #[must_use]
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// All `prob(net = 1)` values indexed by [`NetId`].
+    #[must_use]
+    pub fn as_slice(&self) -> &[f64] {
+        &self.prob_one
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+
+    #[test]
+    fn rare_chain_probabilities_match_theory() {
+        let nl = samples::rare_chain(4);
+        let exact = SignalProbabilities::exhaustive(&nl);
+        let root = nl.net_by_name("and3").unwrap();
+        assert!((exact.prob_one(root) - 1.0 / 16.0).abs() < 1e-12);
+        let (value, p) = exact.rare_value(root);
+        assert!(value);
+        assert!((p - 0.0625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn estimate_converges_to_exact() {
+        let nl = samples::majority5();
+        let exact = SignalProbabilities::exhaustive(&nl);
+        let est = SignalProbabilities::estimate(&nl, 20_000, 7);
+        for (id, _) in nl.iter() {
+            assert!(
+                (exact.prob_one(id) - est.prob_one(id)).abs() < 0.03,
+                "net {id}: exact {} vs est {}",
+                exact.prob_one(id),
+                est.prob_one(id)
+            );
+        }
+    }
+
+    #[test]
+    fn inputs_are_unbiased() {
+        let nl = samples::c17();
+        let est = SignalProbabilities::estimate(&nl, 4096, 3);
+        for &pi in nl.primary_inputs() {
+            assert!((est.prob_one(pi) - 0.5).abs() < 0.05);
+        }
+        assert_eq!(est.num_patterns(), 4096);
+    }
+
+    #[test]
+    fn prob_zero_is_complement() {
+        let nl = samples::c17();
+        let est = SignalProbabilities::estimate(&nl, 512, 3);
+        for (id, _) in nl.iter() {
+            assert!((est.prob_one(id) + est.prob_zero(id) - 1.0).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,225 @@
+//! Rare-net extraction — step ❶ of the DETERRENT flow.
+//!
+//! A net is *rare* at threshold `θ` when the probability of its less likely
+//! logic value is strictly below `θ` under uniformly random input patterns.
+//! Rare nets are the candidate trigger nets an adversary would pick, and they
+//! form the action space of the DETERRENT RL agent.
+
+use netlist::{GateKind, NetId, Netlist};
+
+use crate::SignalProbabilities;
+
+/// A rare net: the net id, the rare logic value, and its estimated
+/// probability.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RareNet {
+    /// The rare net.
+    pub net: NetId,
+    /// The logic value the net rarely takes (the trigger value).
+    pub rare_value: bool,
+    /// Estimated probability of the net taking `rare_value`.
+    pub probability: f64,
+}
+
+/// Result of rare-net analysis on one netlist at one threshold.
+#[derive(Debug, Clone)]
+pub struct RareNetAnalysis {
+    threshold: f64,
+    rare_nets: Vec<RareNet>,
+    probabilities: SignalProbabilities,
+}
+
+impl RareNetAnalysis {
+    /// Runs rare-net analysis with Monte-Carlo probability estimation using
+    /// `num_patterns` random patterns and the given `seed`.
+    ///
+    /// Only internal combinational nets are considered (primary inputs and
+    /// scan flip-flop outputs are controllable directly, so an adversary gains
+    /// no stealth from using them, and prior work excludes them too).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in `(0, 0.5]` or `num_patterns` is zero.
+    #[must_use]
+    pub fn estimate(netlist: &Netlist, threshold: f64, num_patterns: usize, seed: u64) -> Self {
+        let probabilities = SignalProbabilities::estimate(netlist, num_patterns, seed);
+        Self::from_probabilities(netlist, threshold, probabilities)
+    }
+
+    /// Runs rare-net analysis using exhaustive (exact) probabilities; only
+    /// feasible for small circuits.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in `(0, 0.5]` or the netlist has more than
+    /// 24 scan inputs.
+    #[must_use]
+    pub fn exhaustive(netlist: &Netlist, threshold: f64) -> Self {
+        let probabilities = SignalProbabilities::exhaustive(netlist);
+        Self::from_probabilities(netlist, threshold, probabilities)
+    }
+
+    /// Builds the analysis from precomputed probabilities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in `(0, 0.5]`.
+    #[must_use]
+    pub fn from_probabilities(
+        netlist: &Netlist,
+        threshold: f64,
+        probabilities: SignalProbabilities,
+    ) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 0.5,
+            "rareness threshold must be in (0, 0.5]"
+        );
+        let mut rare_nets = Vec::new();
+        for (id, gate) in netlist.iter() {
+            if matches!(gate.kind, GateKind::Input | GateKind::Dff) {
+                continue;
+            }
+            let (rare_value, probability) = probabilities.rare_value(id);
+            if probability < threshold {
+                rare_nets.push(RareNet {
+                    net: id,
+                    rare_value,
+                    probability,
+                });
+            }
+        }
+        // Deterministic order: rarest first, ties by net id.
+        rare_nets.sort_by(|a, b| {
+            a.probability
+                .partial_cmp(&b.probability)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.net.cmp(&b.net))
+        });
+        Self {
+            threshold,
+            rare_nets,
+            probabilities,
+        }
+    }
+
+    /// The rareness threshold used.
+    #[must_use]
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// The rare nets, sorted by increasing probability.
+    #[must_use]
+    pub fn rare_nets(&self) -> &[RareNet] {
+        &self.rare_nets
+    }
+
+    /// Number of rare nets found.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rare_nets.len()
+    }
+
+    /// Returns `true` when no net is rare at the threshold.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rare_nets.is_empty()
+    }
+
+    /// The `(net, rare_value)` pairs, convenient for SAT justification calls.
+    #[must_use]
+    pub fn targets(&self) -> Vec<(NetId, bool)> {
+        self.rare_nets.iter().map(|r| (r.net, r.rare_value)).collect()
+    }
+
+    /// The underlying signal probabilities.
+    #[must_use]
+    pub fn probabilities(&self) -> &SignalProbabilities {
+        &self.probabilities
+    }
+
+    /// Looks up the rare-net record for `net`, if it is rare.
+    #[must_use]
+    pub fn find(&self, net: NetId) -> Option<&RareNet> {
+        self.rare_nets.iter().find(|r| r.net == net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+    use netlist::synth::BenchmarkProfile;
+
+    #[test]
+    fn rare_chain_root_is_rare() {
+        let nl = samples::rare_chain(6);
+        let analysis = RareNetAnalysis::exhaustive(&nl, 0.1);
+        let root = nl.net_by_name("and5").unwrap();
+        let rec = analysis.find(root).expect("root must be rare");
+        assert!(rec.rare_value);
+        assert!((rec.probability - 1.0 / 64.0).abs() < 1e-12);
+        // The OR of all inputs is not rare at 0.1 (p0 = 1/64 is rare though!).
+        let any = nl.net_by_name("any").unwrap();
+        let any_rec = analysis.find(any).expect("p(any=0)=1/64 is rare");
+        assert!(!any_rec.rare_value);
+    }
+
+    #[test]
+    fn threshold_monotonicity() {
+        let nl = BenchmarkProfile::c6288().scaled(10).generate(9);
+        let loose = RareNetAnalysis::estimate(&nl, 0.14, 4096, 1);
+        let tight = RareNetAnalysis::estimate(&nl, 0.10, 4096, 1);
+        assert!(loose.len() >= tight.len());
+        // Every net rare at the tight threshold is rare at the loose one.
+        for r in tight.rare_nets() {
+            assert!(loose.find(r.net).is_some());
+        }
+    }
+
+    #[test]
+    fn inputs_never_rare() {
+        let nl = samples::c17();
+        let analysis = RareNetAnalysis::exhaustive(&nl, 0.45);
+        for &pi in nl.primary_inputs() {
+            assert!(analysis.find(pi).is_none());
+        }
+    }
+
+    #[test]
+    fn majority_terms_rare_at_point14_not_point1() {
+        let nl = samples::majority5();
+        let at14 = RareNetAnalysis::exhaustive(&nl, 0.14);
+        let at10 = RareNetAnalysis::exhaustive(&nl, 0.10);
+        let term = nl.net_by_name("t_0_1_2").unwrap();
+        assert!(at14.find(term).is_some(), "AND3 has p=0.125 < 0.14");
+        assert!(at10.find(term).is_none(), "0.125 is not < 0.10");
+    }
+
+    #[test]
+    fn synthetic_profiles_contain_rare_nets() {
+        let nl = BenchmarkProfile::c2670().scaled(10).generate(4);
+        let analysis = RareNetAnalysis::estimate(&nl, 0.1, 4096, 2);
+        assert!(
+            analysis.len() >= 4,
+            "expected at least 4 rare nets, got {}",
+            analysis.len()
+        );
+    }
+
+    #[test]
+    fn sorted_by_probability() {
+        let nl = BenchmarkProfile::c2670().scaled(10).generate(4);
+        let analysis = RareNetAnalysis::estimate(&nl, 0.1, 2048, 2);
+        for w in analysis.rare_nets().windows(2) {
+            assert!(w[0].probability <= w[1].probability);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "rareness threshold")]
+    fn bad_threshold_panics() {
+        let nl = samples::c17();
+        let _ = RareNetAnalysis::exhaustive(&nl, 0.7);
+    }
+}

@@ -1,0 +1,197 @@
+//! Trigger-coverage evaluation of test-pattern sets.
+
+use netlist::Netlist;
+use sim::{Simulator, TestPattern};
+
+use crate::Trojan;
+
+/// Coverage result for one pattern set against one Trojan population.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CoverageReport {
+    /// Number of Trojans whose trigger was activated by at least one pattern.
+    pub detected: usize,
+    /// Total number of Trojans evaluated.
+    pub total: usize,
+    /// Number of test patterns in the evaluated set.
+    pub test_length: usize,
+    /// For each pattern index, the cumulative number of Trojans detected by
+    /// patterns `0..=index` (used for the coverage-vs-patterns figure).
+    pub cumulative_detected: Vec<usize>,
+}
+
+impl CoverageReport {
+    /// Trigger coverage in percent (0 when no Trojans were evaluated).
+    #[must_use]
+    pub fn coverage_percent(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            100.0 * self.detected as f64 / self.total as f64
+        }
+    }
+
+    /// Cumulative coverage percentage after each pattern.
+    #[must_use]
+    pub fn cumulative_coverage_percent(&self) -> Vec<f64> {
+        self.cumulative_detected
+            .iter()
+            .map(|&d| {
+                if self.total == 0 {
+                    0.0
+                } else {
+                    100.0 * d as f64 / self.total as f64
+                }
+            })
+            .collect()
+    }
+
+    /// Smallest number of patterns achieving `fraction` (0–1) of the final
+    /// detected count, or `None` if nothing was detected.
+    #[must_use]
+    pub fn patterns_for_fraction(&self, fraction: f64) -> Option<usize> {
+        if self.detected == 0 {
+            return None;
+        }
+        let target = (self.detected as f64 * fraction).ceil() as usize;
+        self.cumulative_detected
+            .iter()
+            .position(|&d| d >= target)
+            .map(|i| i + 1)
+    }
+}
+
+/// Evaluates trigger coverage of pattern sets against a fixed Trojan
+/// population on one netlist.
+///
+/// Trigger activation is checked on the *golden* netlist (a trigger fires iff
+/// all its rare-net conditions hold simultaneously), which is equivalent to
+/// simulating each infected netlist and comparing outputs but far cheaper —
+/// the payload is a deterministic XOR splice, so trigger activation implies
+/// output corruption.
+#[derive(Debug)]
+pub struct CoverageEvaluator<'a> {
+    simulator: Simulator<'a>,
+    trojans: Vec<Trojan>,
+}
+
+impl<'a> CoverageEvaluator<'a> {
+    /// Creates an evaluator for `netlist` and a fixed Trojan population.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, trojans: Vec<Trojan>) -> Self {
+        Self {
+            simulator: Simulator::new(netlist),
+            trojans,
+        }
+    }
+
+    /// The Trojan population under evaluation.
+    #[must_use]
+    pub fn trojans(&self) -> &[Trojan] {
+        &self.trojans
+    }
+
+    /// Evaluates the coverage of `patterns`.
+    #[must_use]
+    pub fn evaluate(&self, patterns: &[TestPattern]) -> CoverageReport {
+        let mut detected = vec![false; self.trojans.len()];
+        let mut cumulative = Vec::with_capacity(patterns.len());
+        let mut count = 0usize;
+        // Process patterns in order (for the cumulative curve), but use the
+        // packed simulator inside each 64-pattern chunk.
+        self.simulator.run_chunked(patterns, |packed, base| {
+            for p in 0..packed.batch_len() {
+                let _ = base;
+                for (ti, trojan) in self.trojans.iter().enumerate() {
+                    if detected[ti] {
+                        continue;
+                    }
+                    let fires = trojan
+                        .trigger
+                        .iter()
+                        .all(|&(net, v)| packed.value(net, p) == v);
+                    if fires {
+                        detected[ti] = true;
+                        count += 1;
+                    }
+                }
+                cumulative.push(count);
+            }
+        });
+        CoverageReport {
+            detected: count,
+            total: self.trojans.len(),
+            test_length: patterns.len(),
+            cumulative_detected: cumulative,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+    use netlist::NetId;
+
+    #[test]
+    fn coverage_counts_triggered_trojans() {
+        let nl = samples::rare_chain(4);
+        let root = nl.net_by_name("and3").unwrap();
+        let and1 = nl.net_by_name("and1").unwrap();
+        let out = nl.primary_outputs()[0];
+        let trojans = vec![
+            Trojan::new(vec![(root, true)], out),  // needs all ones
+            Trojan::new(vec![(and1, true)], out),  // needs x0=x1=1
+        ];
+        let evaluator = CoverageEvaluator::new(&nl, trojans);
+
+        // Pattern 1100 activates and1 but not the root.
+        let report = evaluator.evaluate(&[TestPattern::from_bit_string("1100")]);
+        assert_eq!(report.detected, 1);
+        assert_eq!(report.total, 2);
+        assert!((report.coverage_percent() - 50.0).abs() < 1e-12);
+
+        // Adding the all-ones pattern catches both.
+        let report = evaluator.evaluate(&[
+            TestPattern::from_bit_string("1100"),
+            TestPattern::ones(4),
+        ]);
+        assert_eq!(report.detected, 2);
+        assert_eq!(report.cumulative_detected, vec![1, 2]);
+        assert_eq!(report.patterns_for_fraction(1.0), Some(2));
+        assert_eq!(report.patterns_for_fraction(0.5), Some(1));
+    }
+
+    #[test]
+    fn empty_population_and_empty_patterns() {
+        let nl = samples::c17();
+        let evaluator = CoverageEvaluator::new(&nl, vec![]);
+        let report = evaluator.evaluate(&[]);
+        assert_eq!(report.coverage_percent(), 0.0);
+        assert_eq!(report.patterns_for_fraction(0.9), None);
+        assert!(report.cumulative_coverage_percent().is_empty());
+    }
+
+    #[test]
+    fn cumulative_curve_is_monotone() {
+        let nl = samples::majority5();
+        let t1 = nl.net_by_name("t_0_1_2").unwrap();
+        let t2 = nl.net_by_name("t_2_3_4").unwrap();
+        let out = nl.primary_outputs()[0];
+        let trojans = vec![
+            Trojan::new(vec![(t1, true)], out),
+            Trojan::new(vec![(t2, true)], out),
+            Trojan::new(vec![(NetId(0), true), (NetId(1), true)], out),
+        ];
+        let evaluator = CoverageEvaluator::new(&nl, trojans);
+        let patterns: Vec<TestPattern> = ["00000", "11100", "00111", "11111"]
+            .iter()
+            .map(|s| TestPattern::from_bit_string(s))
+            .collect();
+        let report = evaluator.evaluate(&patterns);
+        for w in report.cumulative_detected.windows(2) {
+            assert!(w[0] <= w[1]);
+        }
+        assert_eq!(report.test_length, 4);
+        assert_eq!(report.detected, 3);
+    }
+}

@@ -1,0 +1,29 @@
+//! Hardware Trojan modelling, insertion, and trigger-coverage evaluation.
+//!
+//! A hardware Trojan (HT) in this threat model consists of a *trigger* — a
+//! conjunction of rare nets at their rare values — and a *payload* that
+//! corrupts an output when the trigger fires. The defender never sees the
+//! Trojans; they are only used to *evaluate* test-pattern sets, exactly as in
+//! the paper's experimental setup: "we randomly inserted 100 HTs in each
+//! benchmark and verified them to be valid using a Boolean satisfiability
+//! check".
+//!
+//! * [`Trojan`] — a trigger (set of `(net, value)` conditions) plus payload
+//!   target.
+//! * [`TrojanGenerator`] — random sampling of SAT-validated Trojans from the
+//!   rare nets of a design.
+//! * [`infect`] — builds the HT-infected netlist (trigger AND-tree + XOR
+//!   payload) for side-by-side simulation.
+//! * [`CoverageEvaluator`] / [`CoverageReport`] — computes trigger coverage
+//!   of a pattern set, the headline metric of every table and figure.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod coverage;
+mod generator;
+mod model;
+
+pub use coverage::{CoverageEvaluator, CoverageReport};
+pub use generator::TrojanGenerator;
+pub use model::{infect, Trojan};

@@ -1,0 +1,193 @@
+//! The Trojan data model and infected-netlist construction.
+
+use netlist::{Gate, GateKind, NetId, Netlist, NetlistError};
+
+/// A hardware Trojan: a conjunctive trigger over rare nets plus a payload
+/// that flips one primary output when the trigger fires.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Trojan {
+    /// Trigger conditions: every `(net, value)` pair must hold simultaneously
+    /// for the Trojan to activate.
+    pub trigger: Vec<(NetId, bool)>,
+    /// The primary output whose value the payload corrupts.
+    pub payload_output: NetId,
+}
+
+impl Trojan {
+    /// Creates a Trojan from its trigger conditions and payload target.
+    #[must_use]
+    pub fn new(trigger: Vec<(NetId, bool)>, payload_output: NetId) -> Self {
+        Self {
+            trigger,
+            payload_output,
+        }
+    }
+
+    /// Trigger width (number of trigger nets).
+    #[must_use]
+    pub fn width(&self) -> usize {
+        self.trigger.len()
+    }
+
+    /// Returns `true` if the given complete net-value assignment activates
+    /// the trigger.
+    #[must_use]
+    pub fn is_triggered_by(&self, values: &sim::NetValues) -> bool {
+        self.trigger.iter().all(|&(net, v)| values.value(net) == v)
+    }
+}
+
+/// Builds the HT-infected version of `netlist` for `trojan`.
+///
+/// The infected design contains the original logic plus a trigger AND-tree
+/// (with inverters where a trigger net's rare value is 0) and an XOR payload
+/// splice on the targeted primary output — the classic combinational Trojan
+/// structure from the MERO/TARMAC/TGRL literature (Figure 1 of the paper).
+///
+/// # Errors
+///
+/// Returns an error if the payload output or a trigger net does not belong to
+/// `netlist`, or if the spliced netlist fails validation.
+pub fn infect(netlist: &Netlist, trojan: &Trojan) -> Result<Netlist, NetlistError> {
+    let n = netlist.num_gates() as u32;
+    for &(net, _) in &trojan.trigger {
+        if net.index() >= netlist.num_gates() {
+            return Err(NetlistError::UnknownNet(net.0));
+        }
+    }
+    if trojan.payload_output.index() >= netlist.num_gates() {
+        return Err(NetlistError::UnknownNet(trojan.payload_output.0));
+    }
+
+    let mut gates: Vec<Gate> = netlist.gates().to_vec();
+    let mut next_id = n;
+    let mut fresh = |gates: &mut Vec<Gate>, kind: GateKind, name: String, fanin: Vec<NetId>| {
+        let id = NetId(next_id);
+        next_id += 1;
+        gates.push(Gate { kind, fanin, name });
+        id
+    };
+
+    // Trigger inputs: invert nets whose rare value is 0.
+    let mut trigger_lits = Vec::with_capacity(trojan.trigger.len());
+    for (i, &(net, value)) in trojan.trigger.iter().enumerate() {
+        if value {
+            trigger_lits.push(net);
+        } else {
+            let inv = fresh(
+                &mut gates,
+                GateKind::Not,
+                format!("ht_inv_{i}"),
+                vec![net],
+            );
+            trigger_lits.push(inv);
+        }
+    }
+    // Trigger = AND of all (possibly inverted) trigger nets.
+    let trigger_net = if trigger_lits.len() == 1 {
+        trigger_lits[0]
+    } else {
+        fresh(
+            &mut gates,
+            GateKind::And,
+            "ht_trigger".to_string(),
+            trigger_lits,
+        )
+    };
+    // Payload: corrupted output = original XOR trigger.
+    let corrupted = fresh(
+        &mut gates,
+        GateKind::Xor,
+        "ht_payload".to_string(),
+        vec![trojan.payload_output, trigger_net],
+    );
+
+    // Replace the targeted output with the corrupted signal.
+    let outputs: Vec<NetId> = netlist
+        .primary_outputs()
+        .iter()
+        .map(|&o| if o == trojan.payload_output { corrupted } else { o })
+        .collect();
+
+    Netlist::from_parts(format!("{}_ht", netlist.name()), gates, outputs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::samples;
+    use sim::{Simulator, TestPattern};
+
+    #[test]
+    fn trojan_width_and_construction() {
+        let nl = samples::c17();
+        let g10 = nl.net_by_name("G10").unwrap();
+        let g22 = nl.net_by_name("G22").unwrap();
+        let t = Trojan::new(vec![(g10, false)], g22);
+        assert_eq!(t.width(), 1);
+    }
+
+    #[test]
+    fn infected_netlist_differs_only_when_triggered() {
+        let nl = samples::rare_chain(4);
+        let root = nl.net_by_name("and3").unwrap();
+        let any = nl.net_by_name("any").unwrap();
+        let trojan = Trojan::new(vec![(root, true)], any);
+        let infected = infect(&nl, &trojan).unwrap();
+
+        let sim_golden = Simulator::new(&nl);
+        let sim_bad = Simulator::new(&infected);
+        let out_golden = nl.primary_outputs()[1];
+        let out_bad = infected.primary_outputs()[1];
+
+        // Non-triggering pattern: outputs agree.
+        let quiet = TestPattern::from_bit_string("0111");
+        assert_eq!(
+            sim_golden.run(&quiet).value(out_golden),
+            sim_bad.run(&quiet).value(out_bad)
+        );
+        // Triggering pattern (all ones): outputs differ.
+        let fire = TestPattern::ones(4);
+        assert_ne!(
+            sim_golden.run(&fire).value(out_golden),
+            sim_bad.run(&fire).value(out_bad)
+        );
+    }
+
+    #[test]
+    fn inverted_trigger_values_are_honoured() {
+        let nl = samples::c17();
+        let g10 = nl.net_by_name("G10").unwrap();
+        let g11 = nl.net_by_name("G11").unwrap();
+        let g23 = nl.net_by_name("G23").unwrap();
+        let trojan = Trojan::new(vec![(g10, false), (g11, false)], g23);
+        let infected = infect(&nl, &trojan).unwrap();
+        assert!(infected.net_by_name("ht_inv_0").is_some());
+        assert!(infected.net_by_name("ht_trigger").is_some());
+        assert!(infected.net_by_name("ht_payload").is_some());
+        assert_eq!(infected.num_outputs(), nl.num_outputs());
+    }
+
+    #[test]
+    fn is_triggered_by_checks_all_conditions() {
+        let nl = samples::c17();
+        let sim = Simulator::new(&nl);
+        let g10 = nl.net_by_name("G10").unwrap();
+        let g11 = nl.net_by_name("G11").unwrap();
+        let g22 = nl.net_by_name("G22").unwrap();
+        let trojan = Trojan::new(vec![(g10, false), (g11, false)], g22);
+        // G10=0 needs G1=G3=1; G11=0 needs G3=G6=1.
+        let values = sim.run(&TestPattern::from_bit_string("10110"));
+        assert!(trojan.is_triggered_by(&values));
+        let values = sim.run(&TestPattern::zeros(5));
+        assert!(!trojan.is_triggered_by(&values));
+    }
+
+    #[test]
+    fn unknown_net_rejected() {
+        let nl = samples::c17();
+        let bogus = NetId(999);
+        let out = nl.primary_outputs()[0];
+        assert!(infect(&nl, &Trojan::new(vec![(bogus, true)], out)).is_err());
+    }
+}

@@ -1,0 +1,54 @@
+//! Baseline shoot-out: run every technique (Random, MERO, TARMAC, TGRL-like,
+//! ATPG stand-in, DETERRENT) on one benchmark and print a Table-2-style
+//! comparison of test length and trigger coverage.
+//!
+//! ```text
+//! cargo run --example baseline_shootout
+//! ```
+
+use deterrent_repro::baselines::{Atpg, Mero, RandomPatterns, Tarmac, TestGenerator, Tgrl};
+use deterrent_repro::deterrent_core::{Deterrent, DeterrentConfig};
+use deterrent_repro::netlist::synth::BenchmarkProfile;
+use deterrent_repro::sim::rare::RareNetAnalysis;
+use deterrent_repro::trojan::{CoverageEvaluator, TrojanGenerator};
+
+fn main() {
+    let netlist = BenchmarkProfile::c2670().scaled(20).generate(11);
+    let analysis = RareNetAnalysis::estimate(&netlist, 0.15, 8192, 4);
+    let mut adversary = TrojanGenerator::new(&netlist, 555);
+    let trojans = adversary.sample_many(&analysis, 2, 40);
+    println!(
+        "{}: {} gates, {} rare nets, {} planted Trojans\n",
+        netlist.name(),
+        netlist.num_logic_gates(),
+        analysis.len(),
+        trojans.len()
+    );
+    let evaluator = CoverageEvaluator::new(&netlist, trojans);
+
+    // TGRL sets the pattern budget for Random/TARMAC (the paper's protocol).
+    let tgrl = Tgrl::new(30, 1).generate(&netlist, &analysis);
+    let budget = tgrl.len().max(8);
+
+    let mut rows: Vec<(&str, Vec<deterrent_repro::sim::TestPattern>)> = vec![
+        ("Random", RandomPatterns::new(budget, 1).generate(&netlist, &analysis)),
+        ("TestMAX (ATPG)", Atpg::new(1).generate(&netlist, &analysis)),
+        ("MERO", Mero::new(5, budget * 50, 1).generate(&netlist, &analysis)),
+        ("TARMAC", Tarmac::new(budget, 1).generate(&netlist, &analysis)),
+        ("TGRL", tgrl),
+    ];
+    let mut config = DeterrentConfig::fast_preset();
+    config.rareness_threshold = 0.15;
+    let deterrent = Deterrent::new(&netlist, config).run_with_analysis(&analysis);
+    rows.push(("DETERRENT", deterrent.patterns.clone()));
+
+    println!("{:<18} {:>12} {:>12}", "technique", "test length", "cov (%)");
+    for (name, patterns) in &rows {
+        let report = evaluator.evaluate(patterns);
+        println!(
+            "{name:<18} {:>12} {:>12.1}",
+            patterns.len(),
+            report.coverage_percent()
+        );
+    }
+}

@@ -1,0 +1,49 @@
+//! Quickstart: run the full DETERRENT pipeline on a synthetic c2670-profile
+//! netlist and inspect the generated test patterns.
+//!
+//! ```text
+//! cargo run --example quickstart
+//! ```
+
+use deterrent_repro::deterrent_core::{Deterrent, DeterrentConfig};
+use deterrent_repro::netlist::synth::BenchmarkProfile;
+use deterrent_repro::sim::{rare::RareNetAnalysis, Simulator};
+
+fn main() {
+    // 1. Build (or load) a gate-level netlist. Here we generate the synthetic
+    //    c2670-profile benchmark scaled down for a fast demo; use
+    //    `netlist::bench::parse` to load a real ISCAS .bench file instead.
+    let netlist = BenchmarkProfile::c2670().scaled(15).generate(42);
+    println!(
+        "design {}: {} gates, {} scan inputs",
+        netlist.name(),
+        netlist.num_logic_gates(),
+        netlist.num_scan_inputs()
+    );
+
+    // 2. Run the pipeline: rare-net analysis, offline pairwise compatibility,
+    //    PPO training with action masking, set selection, SAT pattern
+    //    generation.
+    let config = DeterrentConfig::fast_preset();
+    let result = Deterrent::new(&netlist, config).run();
+    println!(
+        "rare nets: {}   largest compatible set: {}   patterns: {}",
+        result.rare_nets.len(),
+        result.metrics.max_compatible_set,
+        result.test_length()
+    );
+
+    // 3. Inspect the patterns: each one drives a whole set of rare nets to
+    //    their rare values simultaneously.
+    let analysis = RareNetAnalysis::estimate(&netlist, 0.1, 8192, 1);
+    let sim = Simulator::new(&netlist);
+    for (i, pattern) in result.patterns.iter().enumerate().take(5) {
+        let values = sim.run(pattern);
+        let excited = analysis
+            .rare_nets()
+            .iter()
+            .filter(|r| values.value(r.net) == r.rare_value)
+            .count();
+        println!("pattern {i}: {pattern} excites {excited} rare nets");
+    }
+}

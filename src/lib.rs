@@ -1,0 +1,38 @@
+//! Facade crate for the DETERRENT reproduction workspace.
+//!
+//! Re-exports every workspace crate under one roof so the root-level examples
+//! and integration tests (and downstream users who prefer a single
+//! dependency) can write `use deterrent_repro::deterrent_core::Deterrent;`.
+//!
+//! The individual crates are:
+//!
+//! * [`netlist`] — gate-level netlist model, `.bench` I/O, synthetic
+//!   benchmark generation.
+//! * [`sim`] — bit-parallel logic simulation and rare-net analysis.
+//! * [`sat`] — CDCL SAT solver, Tseitin encoding, justification oracle.
+//! * [`rl`] — MLP + Adam + masked-categorical PPO.
+//! * [`trojan`] — Trojan insertion and trigger-coverage evaluation.
+//! * [`deterrent_core`] — the DETERRENT pipeline itself.
+//! * [`baselines`] — Random, MERO, TARMAC, TGRL-like, and ATPG baselines.
+//!
+//! # Quick start
+//!
+//! ```
+//! use deterrent_repro::deterrent_core::{Deterrent, DeterrentConfig};
+//! use deterrent_repro::netlist::synth::BenchmarkProfile;
+//!
+//! let netlist = BenchmarkProfile::c2670().scaled(30).generate(7);
+//! let result = Deterrent::new(&netlist, DeterrentConfig::fast_preset()).run();
+//! println!("{} patterns generated", result.test_length());
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use baselines;
+pub use deterrent_core;
+pub use netlist;
+pub use rl;
+pub use sat;
+pub use sim;
+pub use trojan;
