@@ -59,22 +59,23 @@ impl TestGenerator for Tarmac {
         // clique growth).
         let n = rare.len();
         let mut memo: Vec<Option<bool>> = vec![None; n * n];
-        let compatible = |oracle: &mut CircuitOracle, memo: &mut Vec<Option<bool>>, i: usize, j: usize| {
-            if i == j {
-                return false;
-            }
-            let key = i * n + j;
-            if let Some(v) = memo[key] {
-                return v;
-            }
-            let v = oracle.is_compatible(&[
-                (rare[i].net, rare[i].rare_value),
-                (rare[j].net, rare[j].rare_value),
-            ]);
-            memo[key] = Some(v);
-            memo[j * n + i] = Some(v);
-            v
-        };
+        let compatible =
+            |oracle: &mut CircuitOracle, memo: &mut Vec<Option<bool>>, i: usize, j: usize| {
+                if i == j {
+                    return false;
+                }
+                let key = i * n + j;
+                if let Some(v) = memo[key] {
+                    return v;
+                }
+                let v = oracle.is_compatible(&[
+                    (rare[i].net, rare[i].rare_value),
+                    (rare[j].net, rare[j].rare_value),
+                ]);
+                memo[key] = Some(v);
+                memo[j * n + i] = Some(v);
+                v
+            };
 
         let mut patterns = Vec::with_capacity(self.num_cliques);
         for _ in 0..self.num_cliques {

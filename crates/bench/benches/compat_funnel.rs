@@ -1,0 +1,75 @@
+//! Criterion benchmark comparing compatibility-graph construction strategies:
+//! the all-SAT baseline vs the three-tier simulation-first funnel.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deterrent_core::{CompatBuildOptions, CompatStrategy, CompatibilityGraph, FunnelOptions};
+use netlist::synth::BenchmarkProfile;
+use sim::rare::RareNetAnalysis;
+
+fn setup() -> (netlist::Netlist, RareNetAnalysis) {
+    let nl = BenchmarkProfile::c2670().scaled(20).generate(3);
+    let analysis = RareNetAnalysis::estimate(&nl, 0.2, 8192, 3);
+    (nl, analysis)
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let (nl, analysis) = setup();
+    c.bench_function("compat/all_sat_serial", |b| {
+        b.iter(|| {
+            CompatibilityGraph::build_with(
+                &nl,
+                &analysis,
+                &CompatBuildOptions {
+                    threads: 1,
+                    strategy: CompatStrategy::AllSat,
+                },
+            )
+        })
+    });
+    c.bench_function("compat/funnel_serial", |b| {
+        b.iter(|| {
+            CompatibilityGraph::build_with(
+                &nl,
+                &analysis,
+                &CompatBuildOptions {
+                    threads: 1,
+                    strategy: CompatStrategy::Funnel(FunnelOptions::default()),
+                },
+            )
+        })
+    });
+    c.bench_function("compat/funnel_4_threads", |b| {
+        b.iter(|| {
+            CompatibilityGraph::build_with(
+                &nl,
+                &analysis,
+                &CompatBuildOptions {
+                    threads: 4,
+                    strategy: CompatStrategy::Funnel(FunnelOptions::default()),
+                },
+            )
+        })
+    });
+    c.bench_function("compat/funnel_no_cone_sat", |b| {
+        b.iter(|| {
+            CompatibilityGraph::build_with(
+                &nl,
+                &analysis,
+                &CompatBuildOptions {
+                    threads: 1,
+                    strategy: CompatStrategy::Funnel(FunnelOptions {
+                        cone_sat: false,
+                        ..FunnelOptions::default()
+                    }),
+                },
+            )
+        })
+    });
+}
+
+criterion_group! {
+    name = compat_funnel;
+    config = Criterion::default().sample_size(10);
+    targets = bench_strategies
+}
+criterion_main!(compat_funnel);

@@ -26,9 +26,7 @@ fn small_config() -> DeterrentConfig {
 fn bench_deterrent(c: &mut Criterion) {
     let (nl, analysis) = setup();
     c.bench_function("pipeline/deterrent_allsteps_masked", |b| {
-        b.iter(|| {
-            Deterrent::new(&nl, small_config()).run_with_analysis(&analysis)
-        })
+        b.iter(|| Deterrent::new(&nl, small_config()).run_with_analysis(&analysis))
     });
     c.bench_function("pipeline/deterrent_endofepisode", |b| {
         b.iter(|| {

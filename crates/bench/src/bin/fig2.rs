@@ -34,11 +34,9 @@ fn main() {
         let result = instance.run_deterrent(config);
         println!(
             "{:<24} {:>14.2} {:>26}",
-            label,
-            result.metrics.episodes_per_minute,
-            result.metrics.max_compatible_set
+            label, result.metrics.episodes_per_minute, result.metrics.max_compatible_set
         );
-        if best.map_or(true, |(_, b)| result.metrics.max_compatible_set > b) {
+        if best.is_none_or(|(_, b)| result.metrics.max_compatible_set > b) {
             best = Some((label, result.metrics.max_compatible_set));
         }
     }

@@ -13,21 +13,24 @@ fn main() {
         instance.analysis.len()
     );
 
-    for (label, boosted) in [("Default exploration", false), ("Boosted exploration", true)] {
+    for (label, boosted) in [
+        ("Default exploration", false),
+        ("Boosted exploration", true),
+    ] {
         let mut config = options.deterrent_config();
         if !boosted {
             config = config.with_default_exploration();
         }
         let result = instance.run_deterrent(config);
         println!("{label}:");
-        println!("  {:>12} {:>14} {:>14} {:>14}", "steps", "total loss", "policy loss", "entropy");
+        println!(
+            "  {:>12} {:>14} {:>14} {:>14}",
+            "steps", "total loss", "policy loss", "entropy"
+        );
         for (steps, losses) in result.metrics.loss_history.iter() {
             println!(
                 "  {:>12} {:>14.4} {:>14.4} {:>14.4}",
-                steps,
-                losses.total_loss,
-                losses.policy_loss,
-                -losses.entropy_loss
+                steps, losses.total_loss, losses.policy_loss, -losses.entropy_loss
             );
         }
         let final_entropy = result

@@ -31,7 +31,10 @@ fn main() {
         let mut generator = TrojanGenerator::new(&instance.netlist, options.seed ^ width as u64);
         let trojans = generator.sample_many(&instance.analysis, width, options.num_trojans);
         if trojans.is_empty() {
-            println!("{width:>14} {:>12} (no satisfiable triggers of this width)", 0);
+            println!(
+                "{width:>14} {:>12} (no satisfiable triggers of this width)",
+                0
+            );
             continue;
         }
         let evaluator = CoverageEvaluator::new(&instance.netlist, trojans.clone());

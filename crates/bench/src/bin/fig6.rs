@@ -27,7 +27,11 @@ fn main() {
         for (label, patterns) in [("DETERRENT", &deterrent.patterns), ("TGRL", &tgrl_patterns)] {
             let report = instance.coverage_report(patterns);
             let curve = report.cumulative_coverage_percent();
-            println!("  {label} ({} patterns, final coverage {:.1}%)", patterns.len(), report.coverage_percent());
+            println!(
+                "  {label} ({} patterns, final coverage {:.1}%)",
+                patterns.len(),
+                report.coverage_percent()
+            );
             // Print up to 16 sample points along the curve.
             let step = (curve.len() / 16).max(1);
             for (i, cov) in curve.iter().enumerate() {

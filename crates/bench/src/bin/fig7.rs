@@ -26,7 +26,8 @@ fn main() {
     for &theta in &thresholds {
         let analysis = RareNetAnalysis::estimate(&netlist, theta, 8192, options.seed);
         let mut generator = TrojanGenerator::new(&netlist, options.seed ^ (theta * 1000.0) as u64);
-        let trojans = generator.sample_many(&analysis, options.trigger_width.min(4), options.num_trojans);
+        let trojans =
+            generator.sample_many(&analysis, options.trigger_width.min(4), options.num_trojans);
         let mut config = options.deterrent_config();
         config.rareness_threshold = theta;
         let result = deterrent_core::Deterrent::new(&netlist, config).run_with_analysis(&analysis);
@@ -52,8 +53,11 @@ fn main() {
         (analyses.first(), analyses.last())
     {
         let mut generator = TrojanGenerator::new(&netlist, options.seed ^ 0x0f14);
-        let trojans =
-            generator.sample_many(tight_analysis, options.trigger_width.min(4), options.num_trojans);
+        let trojans = generator.sample_many(
+            tight_analysis,
+            options.trigger_width.min(4),
+            options.num_trojans,
+        );
         if !trojans.is_empty() {
             let coverage = CoverageEvaluator::new(&netlist, trojans)
                 .evaluate(&loose_result.patterns)

@@ -1,0 +1,199 @@
+//! Tier-breakdown report of the simulation-first compatibility funnel.
+//!
+//! Builds the pairwise-compatibility graph of a scaled benchmark profile
+//! twice — once with the paper's all-SAT offline phase and once with the
+//! three-tier funnel — verifies the adjacency matrices are bit-identical,
+//! and reports how each tier resolved the pairs plus the reduction in
+//! pairwise SAT queries.
+//!
+//! Usage: `funnel [--scale N] [--seed N] [--theta F] [--patterns N]
+//! [--threads N] [--limit K]` (defaults match the acceptance profile: c2670
+//! at scale 20, θ = 0.2).
+
+use std::time::Instant;
+
+use deterrent_core::{CompatBuildOptions, CompatStrategy, CompatibilityGraph, FunnelOptions};
+use netlist::synth::BenchmarkProfile;
+use sim::rare::RareNetAnalysis;
+
+struct Args {
+    scale: usize,
+    seed: u64,
+    theta: f64,
+    patterns: usize,
+    threads: usize,
+    limit: u32,
+}
+
+fn parse_args() -> Args {
+    let mut args = Args {
+        scale: 20,
+        seed: 3,
+        theta: 0.2,
+        patterns: 8192,
+        threads: 1,
+        limit: FunnelOptions::default().exhaustive_support_limit,
+    };
+    // A typo here would otherwise run the acceptance gate on the default
+    // configuration while claiming the requested one, so parse strictly.
+    fn parse_or_die<T: std::str::FromStr>(flag: &str, v: &str) -> T {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("error: invalid value {v:?} for {flag}");
+            std::process::exit(2);
+        })
+    }
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    while i < argv.len() {
+        let value = argv.get(i + 1);
+        match (argv[i].as_str(), value) {
+            ("--scale", Some(v)) => args.scale = parse_or_die("--scale", v),
+            ("--seed", Some(v)) => args.seed = parse_or_die("--seed", v),
+            ("--theta", Some(v)) => args.theta = parse_or_die("--theta", v),
+            ("--patterns", Some(v)) => args.patterns = parse_or_die("--patterns", v),
+            ("--threads", Some(v)) => args.threads = parse_or_die("--threads", v),
+            ("--limit", Some(v)) => args.limit = parse_or_die("--limit", v),
+            (flag, _) => {
+                eprintln!(
+                    "error: unknown or valueless flag {flag:?} (expected --scale/--seed/--theta/--patterns/--threads/--limit <value>)"
+                );
+                std::process::exit(2);
+            }
+        }
+        i += 2;
+    }
+    if !(args.theta > 0.0 && args.theta <= 0.5) {
+        eprintln!("error: --theta must be in (0, 0.5], got {}", args.theta);
+        std::process::exit(2);
+    }
+    if args.patterns == 0 {
+        eprintln!("error: --patterns must be at least 1");
+        std::process::exit(2);
+    }
+    args
+}
+
+fn main() {
+    let args = parse_args();
+    let profile = if args.scale <= 1 {
+        BenchmarkProfile::c2670()
+    } else {
+        BenchmarkProfile::c2670().scaled(args.scale)
+    };
+    let netlist = profile.generate(args.seed);
+    println!(
+        "design {}: {} gates ({} logic), {} scan inputs",
+        netlist.name(),
+        netlist.num_gates(),
+        netlist.num_logic_gates(),
+        netlist.num_scan_inputs()
+    );
+
+    let analysis = RareNetAnalysis::estimate(&netlist, args.theta, args.patterns, args.seed);
+    println!(
+        "rare nets at θ = {}: {} ({} simulated patterns retained as witnesses)",
+        args.theta,
+        analysis.len(),
+        analysis
+            .witnesses()
+            .map_or(0, sim::WitnessBank::num_patterns),
+    );
+
+    let t0 = Instant::now();
+    let all_sat = CompatibilityGraph::build_with(
+        &netlist,
+        &analysis,
+        &CompatBuildOptions {
+            threads: args.threads,
+            strategy: CompatStrategy::AllSat,
+        },
+    );
+    let all_sat_time = t0.elapsed();
+
+    let t1 = Instant::now();
+    let funnel = CompatibilityGraph::build_with(
+        &netlist,
+        &analysis,
+        &CompatBuildOptions {
+            threads: args.threads,
+            strategy: CompatStrategy::Funnel(FunnelOptions {
+                exhaustive_support_limit: args.limit,
+                ..FunnelOptions::default()
+            }),
+        },
+    );
+    let funnel_time = t1.elapsed();
+
+    assert_eq!(
+        funnel.adjacency(),
+        all_sat.adjacency(),
+        "funnel adjacency must be bit-identical to the all-SAT result"
+    );
+    println!("\nadjacency matrices are bit-identical ✓");
+
+    let fs = funnel.stats();
+    let along = all_sat.stats();
+    println!(
+        "\n{:<34} {:>12} {:>12}",
+        "offline phase", "all-SAT", "funnel"
+    );
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "kept rare nets", along.kept_rare_nets, fs.kept_rare_nets
+    );
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "pairs total", along.pairs_total, fs.pairs_total
+    );
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "  tier 1: sim-witnessed", along.pairs_sim_witnessed, fs.pairs_sim_witnessed
+    );
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "  tier 2: structurally pruned",
+        along.pairs_structurally_pruned,
+        fs.pairs_structurally_pruned
+    );
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "  tier 2: cone-enumerated", along.pairs_cone_enumerated, fs.pairs_cone_enumerated
+    );
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "  tier 3: SAT-resolved", along.pairs_sat_resolved, fs.pairs_sat_resolved
+    );
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "singleton SAT queries", along.singleton_sat_queries, fs.singleton_sat_queries
+    );
+    println!(
+        "{:<34} {:>12} {:>12}",
+        "total SAT queries",
+        along.total_sat_queries(),
+        fs.total_sat_queries()
+    );
+    println!(
+        "{:<34} {:>12.1?} {:>12.1?}",
+        "wall clock", all_sat_time, funnel_time
+    );
+
+    let pairwise_reduction = if fs.pairwise_sat_queries() == 0 {
+        f64::INFINITY
+    } else {
+        along.pairwise_sat_queries() as f64 / fs.pairwise_sat_queries() as f64
+    };
+    println!(
+        "\npairwise SAT queries: {} -> {} ({pairwise_reduction:.1}x reduction, {:.1}% of pairs SAT-free)",
+        along.pairwise_sat_queries(),
+        fs.pairwise_sat_queries(),
+        100.0 * fs.sat_free_pair_fraction()
+    );
+
+    if pairwise_reduction >= 5.0 {
+        println!("acceptance: ≥5x pairwise SAT reduction ✓");
+    } else {
+        println!("acceptance: FAILED — reduction below 5x");
+        std::process::exit(1);
+    }
+}

@@ -26,7 +26,11 @@ fn main() {
 
     let mut rows = Vec::new();
     for (label, reward_mode, compat_check) in [
-        ("Reward at all steps", RewardMode::AllSteps, CompatCheck::ExactSat),
+        (
+            "Reward at all steps",
+            RewardMode::AllSteps,
+            CompatCheck::ExactSat,
+        ),
         (
             "End-of-episode reward",
             RewardMode::EndOfEpisode,
@@ -49,8 +53,8 @@ fn main() {
 
     if rows.len() == 2 {
         let speedup = rows[1].metrics.steps_per_minute / rows[0].metrics.steps_per_minute.max(1e-9);
-        let drop = rows[0].metrics.max_compatible_set as f64
-            - rows[1].metrics.max_compatible_set as f64;
+        let drop =
+            rows[0].metrics.max_compatible_set as f64 - rows[1].metrics.max_compatible_set as f64;
         println!(
             "\nImprovement: {speedup:.1}x steps/min, {:+.1} change in max compatible nets",
             -drop

@@ -40,7 +40,11 @@ fn main() {
         if let (Some(d), Some(t), Some(m)) = (deterrent, tgrl, tarmac) {
             let baseline_len = ((t.test_length + m.test_length) / 2).max(1);
             deterrent_reductions.push(baseline_len as f64 / d.test_length.max(1) as f64);
-            coverage_summary.push((instance.name.clone(), d.coverage, t.coverage.max(m.coverage)));
+            coverage_summary.push((
+                instance.name.clone(),
+                d.coverage,
+                t.coverage.max(m.coverage),
+            ));
         }
     }
 

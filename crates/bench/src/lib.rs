@@ -200,21 +200,26 @@ pub struct TechniqueResult {
 /// Runs every baseline plus DETERRENT on `instance` and returns one
 /// [`TechniqueResult`] per technique, in Table 2 column order.
 #[must_use]
-pub fn run_all_techniques(instance: &BenchInstance, options: &HarnessOptions) -> Vec<TechniqueResult> {
+pub fn run_all_techniques(
+    instance: &BenchInstance,
+    options: &HarnessOptions,
+) -> Vec<TechniqueResult> {
     let seed = options.seed;
     let mut results = Vec::new();
 
     // TGRL first: its test length sets the budget for Random and TARMAC, the
     // same protocol the paper uses for a fair comparison.
     let tgrl_episodes = if options.scale <= 1 { 400 } else { 40 };
-    let tgrl_patterns = Tgrl::new(tgrl_episodes, seed).generate(&instance.netlist, &instance.analysis);
+    let tgrl_patterns =
+        Tgrl::new(tgrl_episodes, seed).generate(&instance.netlist, &instance.analysis);
     let budget = tgrl_patterns.len().max(8);
 
     let random_patterns =
         RandomPatterns::new(budget, seed).generate(&instance.netlist, &instance.analysis);
     let atpg_patterns = Atpg::new(seed).generate(&instance.netlist, &instance.analysis);
     let tarmac_patterns = Tarmac::new(budget, seed).generate(&instance.netlist, &instance.analysis);
-    let mero_patterns = Mero::new(5, budget * 50, seed).generate(&instance.netlist, &instance.analysis);
+    let mero_patterns =
+        Mero::new(5, budget * 50, seed).generate(&instance.netlist, &instance.analysis);
     let deterrent = instance.run_deterrent(options.deterrent_config());
 
     for (name, patterns) in [
@@ -236,7 +241,12 @@ pub fn run_all_techniques(instance: &BenchInstance, options: &HarnessOptions) ->
 
 /// Formats a Table-2-style row group as aligned text.
 #[must_use]
-pub fn format_results_table(design: &str, rare_nets: usize, gates: usize, rows: &[TechniqueResult]) -> String {
+pub fn format_results_table(
+    design: &str,
+    rare_nets: usize,
+    gates: usize,
+    rows: &[TechniqueResult],
+) -> String {
     let mut out = format!(
         "{design}: {gates} gates, {rare_nets} rare nets\n  {:<28} {:>12} {:>10}\n",
         "technique", "test length", "cov (%)"

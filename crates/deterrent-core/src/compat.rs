@@ -1,15 +1,175 @@
 //! Offline pairwise-compatibility computation over rare nets.
+//!
+//! DETERRENT's offline phase decides, for every unordered pair of rare nets,
+//! whether one input pattern can drive both to their rare values at once.
+//! The paper answers every pair with an exact SAT justification, thrown at 64
+//! processes. This module instead runs a **simulation-first funnel** that
+//! reaches the same (bit-identical) adjacency with a fraction of the SAT
+//! work:
+//!
+//! 1. **Tier 1 — sim witnesses.** The Monte-Carlo patterns already simulated
+//!    for probability estimation are mined ([`sim::WitnessBank`]): any
+//!    pattern under which both nets were observed at their rare values is a
+//!    constructive proof of compatibility, costing one AND per 64 patterns.
+//! 2. **Tier 2 — structural pruning.** Pairs whose fanin cones read disjoint
+//!    sets of scan inputs ([`netlist::InputSupports`]) can be justified
+//!    independently and the partial patterns merged, so the pair is
+//!    compatible exactly when both nets are individually justifiable — which
+//!    the singleton stage already established. Pairs whose **union** support
+//!    is small are decided exactly by bounded exhaustive cone enumeration
+//!    ([`sim::ConeSimulator`]): unlike random witnesses this proves
+//!    *incompatibility* too, discharging the pairs that would otherwise
+//!    always fall through to SAT. No pairwise SAT either way.
+//! 3. **Tier 3 — cone-restricted incremental SAT.** Only the survivors reach
+//!    a solver, and each worker poses them as assumptions against one
+//!    persistent [`sat::ConeOracle`] that encodes the union of the two fanin
+//!    cones on demand instead of re-encoding the whole netlist per query.
 
-use netlist::Netlist;
-use sat::CircuitOracle;
+use netlist::{InputSupports, NetId, Netlist};
+use sat::{CircuitOracle, ConeOracle};
 use sim::rare::{RareNet, RareNetAnalysis};
+use sim::{ConeSimulator, WitnessBank};
+
+/// Per-tier toggles of the compatibility funnel. Disabling a tier pushes its
+/// pairs down to the next one; with everything off the funnel degenerates to
+/// the all-SAT baseline (on whole-netlist oracles).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FunnelOptions {
+    /// Tier 1: resolve pairs from retained simulation witnesses.
+    pub sim_witnesses: bool,
+    /// Tier 2: resolve pairs whose cone supports are disjoint.
+    pub structural_pruning: bool,
+    /// Tier 2: decide pairs whose union cone support has at most this many
+    /// scan inputs by exhaustive cone enumeration (`2^limit` packed
+    /// assignments; 0 disables, values above 26 are clamped to 26). This is
+    /// the only SAT-free tier that can prove a pair *incompatible*.
+    pub exhaustive_support_limit: u32,
+    /// Tier 3 flavour: `true` uses lazy cone-restricted incremental oracles,
+    /// `false` uses whole-netlist oracles (one per worker, as the paper
+    /// does).
+    pub cone_sat: bool,
+}
+
+impl Default for FunnelOptions {
+    fn default() -> Self {
+        Self {
+            sim_witnesses: true,
+            structural_pruning: true,
+            exhaustive_support_limit: 18,
+            cone_sat: true,
+        }
+    }
+}
+
+/// How the compatibility graph is computed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CompatStrategy {
+    /// One SAT justification per pair (the paper's offline phase).
+    AllSat,
+    /// The three-tier simulation-first funnel.
+    Funnel(FunnelOptions),
+}
+
+impl Default for CompatStrategy {
+    fn default() -> Self {
+        CompatStrategy::Funnel(FunnelOptions::default())
+    }
+}
+
+/// Options for [`CompatibilityGraph::build_with`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompatBuildOptions {
+    /// Worker threads for the SAT tier (at least 1).
+    pub threads: usize,
+    /// Resolution strategy.
+    pub strategy: CompatStrategy,
+}
+
+impl Default for CompatBuildOptions {
+    fn default() -> Self {
+        Self {
+            threads: 1,
+            strategy: CompatStrategy::default(),
+        }
+    }
+}
+
+/// How each singleton and pair of the graph was resolved.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CompatStats {
+    /// Rare nets fed into the singleton filter.
+    pub candidate_rare_nets: usize,
+    /// Rare nets kept (individually justifiable).
+    pub kept_rare_nets: usize,
+    /// Singletons resolved by simulation — a retained witness or an
+    /// exhaustive cone enumeration — without SAT.
+    pub singleton_sim_resolved: u64,
+    /// Singleton SAT justification queries.
+    pub singleton_sat_queries: u64,
+    /// Unordered pairs over the kept rare nets.
+    pub pairs_total: u64,
+    /// Pairs resolved by tier 1 (joint simulation witness).
+    pub pairs_sim_witnessed: u64,
+    /// Pairs resolved by tier 2 (disjoint cone supports).
+    pub pairs_structurally_pruned: u64,
+    /// Pairs resolved by tier 2 (bounded exhaustive cone enumeration).
+    pub pairs_cone_enumerated: u64,
+    /// Pairs resolved by tier 3 (one SAT query each).
+    pub pairs_sat_resolved: u64,
+}
+
+impl CompatStats {
+    /// Pairwise SAT queries spent (one per tier-3 pair).
+    #[must_use]
+    pub fn pairwise_sat_queries(&self) -> u64 {
+        self.pairs_sat_resolved
+    }
+
+    /// All SAT queries spent (singleton + pairwise).
+    #[must_use]
+    pub fn total_sat_queries(&self) -> u64 {
+        self.singleton_sat_queries + self.pairs_sat_resolved
+    }
+
+    /// Fraction of pairs resolved without SAT, in `[0, 1]`.
+    #[must_use]
+    pub fn sat_free_pair_fraction(&self) -> f64 {
+        if self.pairs_total == 0 {
+            return 1.0;
+        }
+        1.0 - self.pairs_sat_resolved as f64 / self.pairs_total as f64
+    }
+}
+
+/// Either flavour of tier-3 oracle, so workers share one code path.
+enum PairOracle<'a> {
+    Cone(Box<ConeOracle<'a>>),
+    Full(Box<CircuitOracle>),
+}
+
+impl<'a> PairOracle<'a> {
+    fn new(netlist: &'a Netlist, cone: bool) -> Self {
+        if cone {
+            PairOracle::Cone(Box::new(ConeOracle::new(netlist)))
+        } else {
+            PairOracle::Full(Box::new(CircuitOracle::new(netlist)))
+        }
+    }
+
+    fn is_compatible(&mut self, targets: &[(NetId, bool)]) -> bool {
+        match self {
+            PairOracle::Cone(o) => o.is_compatible(targets),
+            PairOracle::Full(o) => o.is_compatible(targets),
+        }
+    }
+}
 
 /// Pairwise compatibility of the rare nets of one design.
 ///
 /// Two rare nets are *compatible* when a single input pattern can drive both
 /// to their rare values simultaneously. DETERRENT computes this relation for
-/// every pair offline (the paper parallelizes it across 64 processes) and
-/// uses it for action masking and cheap per-step state transitions.
+/// every pair offline and uses it for action masking and cheap per-step state
+/// transitions.
 ///
 /// Rare nets are referred to by their index into
 /// [`CompatibilityGraph::rare_nets`], which preserves the order of the
@@ -19,14 +179,12 @@ pub struct CompatibilityGraph {
     rare_nets: Vec<RareNet>,
     /// Row-major adjacency matrix, `adj[i * n + j]`.
     adjacency: Vec<bool>,
-    sat_queries: u64,
+    stats: CompatStats,
 }
 
 impl CompatibilityGraph {
-    /// Computes the graph with `threads` worker threads (at least 1).
-    ///
-    /// Each worker owns its own SAT oracle over the same netlist, mirroring
-    /// the per-process solvers of the paper's offline phase.
+    /// Computes the graph with the default (funnel) strategy and `threads`
+    /// worker threads for the SAT tier.
     ///
     /// Rare nets whose rare value is individually unjustifiable (possible
     /// when Monte-Carlo probability estimation reports ≈0 for a value the
@@ -35,78 +193,188 @@ impl CompatibilityGraph {
     /// any use for them.
     #[must_use]
     pub fn build(netlist: &Netlist, analysis: &RareNetAnalysis, threads: usize) -> Self {
-        let mut filter_oracle = CircuitOracle::new(netlist);
-        let mut singleton_queries = 0u64;
-        let rare_nets: Vec<RareNet> = analysis
-            .rare_nets()
-            .iter()
-            .copied()
-            .filter(|r| {
-                singleton_queries += 1;
-                filter_oracle.is_compatible(&[(r.net, r.rare_value)])
-            })
-            .collect();
+        Self::build_with(
+            netlist,
+            analysis,
+            &CompatBuildOptions {
+                threads,
+                strategy: CompatStrategy::default(),
+            },
+        )
+    }
+
+    /// Computes the graph with explicit strategy options. Every strategy
+    /// produces the identical adjacency matrix; they differ only in how much
+    /// SAT work is spent reaching it.
+    #[must_use]
+    pub fn build_with(
+        netlist: &Netlist,
+        analysis: &RareNetAnalysis,
+        options: &CompatBuildOptions,
+    ) -> Self {
+        let funnel = match options.strategy {
+            CompatStrategy::AllSat => FunnelOptions {
+                sim_witnesses: false,
+                structural_pruning: false,
+                exhaustive_support_limit: 0,
+                cone_sat: false,
+            },
+            CompatStrategy::Funnel(f) => f,
+        };
+        let mut stats = CompatStats {
+            candidate_rare_nets: analysis.len(),
+            ..CompatStats::default()
+        };
+
+        // Witness rows are indexed like `analysis.rare_nets()`.
+        let bank: Option<&WitnessBank> = if funnel.sim_witnesses {
+            analysis.witnesses()
+        } else {
+            None
+        };
+
+        let mut cone_sim = (funnel.exhaustive_support_limit > 0)
+            .then(|| ConeSimulator::new(netlist, funnel.exhaustive_support_limit.min(26)));
+
+        // ── Singleton stage: keep only individually justifiable nets. ──────
+        // The oracle is created on first SAT need; with witnesses attached it
+        // usually never is, and when it is, it carries over to tier 3.
+        let mut singleton_oracle: Option<PairOracle<'_>> = None;
+        let mut rare_nets: Vec<RareNet> = Vec::with_capacity(analysis.len());
+        let mut kept_candidate_idx: Vec<usize> = Vec::with_capacity(analysis.len());
+        for (ci, r) in analysis.rare_nets().iter().enumerate() {
+            let target = [(r.net, r.rare_value)];
+            let justifiable = if bank.is_some_and(|b| b.has_witness(ci)) {
+                stats.singleton_sim_resolved += 1;
+                true
+            } else if let Some(verdict) = cone_sim.as_mut().and_then(|d| d.decide(&target)) {
+                stats.singleton_sim_resolved += 1;
+                verdict
+            } else {
+                stats.singleton_sat_queries += 1;
+                singleton_oracle
+                    .get_or_insert_with(|| PairOracle::new(netlist, funnel.cone_sat))
+                    .is_compatible(&target)
+            };
+            if justifiable {
+                rare_nets.push(*r);
+                kept_candidate_idx.push(ci);
+            }
+        }
         let n = rare_nets.len();
+        stats.kept_rare_nets = n;
+        stats.pairs_total = (n * n.saturating_sub(1) / 2) as u64;
         let mut adjacency = vec![false; n * n];
         if n == 0 {
             return Self {
                 rare_nets,
                 adjacency,
-                sat_queries: singleton_queries,
+                stats,
             };
         }
 
-        // All unordered pairs (i < j).
-        let pairs: Vec<(usize, usize)> = (0..n)
-            .flat_map(|i| ((i + 1)..n).map(move |j| (i, j)))
-            .collect();
-        let threads = threads.max(1).min(pairs.len().max(1));
-        let chunk_size = pairs.len().div_ceil(threads);
+        // ── Tier 1: joint simulation witnesses. ────────────────────────────
+        let mut unresolved: Vec<(usize, usize)> = Vec::new();
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let witnessed = bank.is_some_and(|b| {
+                    b.pair_witnessed(kept_candidate_idx[i], kept_candidate_idx[j])
+                });
+                if witnessed {
+                    adjacency[i * n + j] = true;
+                    adjacency[j * n + i] = true;
+                    stats.pairs_sim_witnessed += 1;
+                } else {
+                    unresolved.push((i, j));
+                }
+            }
+        }
 
-        let mut results: Vec<(usize, usize, bool)> = Vec::with_capacity(pairs.len());
-        let mut total_queries = 0u64;
-        if threads <= 1 || pairs.len() < 64 {
-            let mut oracle = CircuitOracle::new(netlist);
-            for &(i, j) in &pairs {
-                let compatible = oracle.is_compatible(&[
+        // ── Tier 2: disjoint cone supports, then bounded enumeration. ──────
+        if funnel.structural_pruning && !unresolved.is_empty() {
+            let roots: Vec<NetId> = rare_nets.iter().map(|r| r.net).collect();
+            let supports = InputSupports::compute(netlist, &roots);
+            unresolved.retain(|&(i, j)| {
+                if supports.disjoint(i, j) {
+                    // Both nets are individually justifiable (singleton stage)
+                    // over disjoint inputs, so the partial patterns merge.
+                    adjacency[i * n + j] = true;
+                    adjacency[j * n + i] = true;
+                    stats.pairs_structurally_pruned += 1;
+                    false
+                } else {
+                    true
+                }
+            });
+        }
+        if let Some(cone_sim) = cone_sim.as_mut() {
+            unresolved.retain(|&(i, j)| {
+                let pair = [
                     (rare_nets[i].net, rare_nets[i].rare_value),
                     (rare_nets[j].net, rare_nets[j].rare_value),
-                ]);
-                results.push((i, j, compatible));
-            }
-            total_queries = oracle.num_queries();
+                ];
+                match cone_sim.decide(&pair) {
+                    Some(compatible) => {
+                        adjacency[i * n + j] = compatible;
+                        adjacency[j * n + i] = compatible;
+                        stats.pairs_cone_enumerated += 1;
+                        false
+                    }
+                    None => true,
+                }
+            });
+        }
+
+        // ── Tier 3: SAT on the survivors. ──────────────────────────────────
+        stats.pairs_sat_resolved = unresolved.len() as u64;
+        let threads = options.threads.max(1).min(unresolved.len().max(1));
+        let results: Vec<(usize, usize, bool)> = if unresolved.is_empty() {
+            Vec::new()
+        } else if threads <= 1 || unresolved.len() < 64 {
+            // Reuse the singleton-stage oracle when one was built: its
+            // encoding work and learned clauses carry over into the pairwise
+            // queries.
+            let mut oracle =
+                singleton_oracle.unwrap_or_else(|| PairOracle::new(netlist, funnel.cone_sat));
+            unresolved
+                .iter()
+                .map(|&(i, j)| {
+                    let compatible = oracle.is_compatible(&[
+                        (rare_nets[i].net, rare_nets[i].rare_value),
+                        (rare_nets[j].net, rare_nets[j].rare_value),
+                    ]);
+                    (i, j, compatible)
+                })
+                .collect()
         } else {
-            let chunks: Vec<&[(usize, usize)]> = pairs.chunks(chunk_size).collect();
-            let worker_outputs = crossbeam::thread::scope(|scope| {
+            let chunk_size = unresolved.len().div_ceil(threads);
+            let chunks: Vec<&[(usize, usize)]> = unresolved.chunks(chunk_size).collect();
+            crossbeam::thread::scope(|scope| {
                 let mut handles = Vec::new();
                 for chunk in &chunks {
                     let chunk: Vec<(usize, usize)> = chunk.to_vec();
                     let rare_nets = &rare_nets;
                     handles.push(scope.spawn(move |_| {
-                        let mut oracle = CircuitOracle::new(netlist);
-                        let mut out = Vec::with_capacity(chunk.len());
-                        for (i, j) in chunk {
-                            let compatible = oracle.is_compatible(&[
-                                (rare_nets[i].net, rare_nets[i].rare_value),
-                                (rare_nets[j].net, rare_nets[j].rare_value),
-                            ]);
-                            out.push((i, j, compatible));
-                        }
-                        (out, oracle.num_queries())
+                        let mut oracle = PairOracle::new(netlist, funnel.cone_sat);
+                        chunk
+                            .into_iter()
+                            .map(|(i, j)| {
+                                let compatible = oracle.is_compatible(&[
+                                    (rare_nets[i].net, rare_nets[i].rare_value),
+                                    (rare_nets[j].net, rare_nets[j].rare_value),
+                                ]);
+                                (i, j, compatible)
+                            })
+                            .collect::<Vec<_>>()
                     }));
                 }
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("compatibility worker panicked"))
-                    .collect::<Vec<_>>()
+                    .flat_map(|h| h.join().expect("compatibility worker panicked"))
+                    .collect()
             })
-            .expect("compatibility thread scope");
-            for (chunk_results, queries) in worker_outputs {
-                results.extend(chunk_results);
-                total_queries += queries;
-            }
-        }
-
+            .expect("compatibility thread scope")
+        };
         for (i, j, compatible) in results {
             adjacency[i * n + j] = compatible;
             adjacency[j * n + i] = compatible;
@@ -115,7 +383,7 @@ impl CompatibilityGraph {
         Self {
             rare_nets,
             adjacency,
-            sat_queries: singleton_queries + total_queries,
+            stats,
         }
     }
 
@@ -147,7 +415,10 @@ impl CompatibilityGraph {
     /// Panics if `i` or `j` is out of range.
     #[must_use]
     pub fn is_compatible(&self, i: usize, j: usize) -> bool {
-        assert!(i < self.len() && j < self.len(), "rare-net index out of range");
+        assert!(
+            i < self.len() && j < self.len(),
+            "rare-net index out of range"
+        );
         i != j && self.adjacency[i * self.len() + j]
     }
 
@@ -165,7 +436,9 @@ impl CompatibilityGraph {
     #[must_use]
     pub fn degree(&self, i: usize) -> usize {
         assert!(i < self.len(), "rare-net index out of range");
-        (0..self.len()).filter(|&j| self.is_compatible(i, j)).count()
+        (0..self.len())
+            .filter(|&j| self.is_compatible(i, j))
+            .count()
     }
 
     /// Number of compatible (unordered) pairs.
@@ -178,10 +451,23 @@ impl CompatibilityGraph {
             .count()
     }
 
-    /// Total SAT queries spent building the graph.
+    /// The row-major adjacency matrix (for bit-exact comparisons between
+    /// build strategies).
+    #[must_use]
+    pub fn adjacency(&self) -> &[bool] {
+        &self.adjacency
+    }
+
+    /// How each singleton and pair was resolved.
+    #[must_use]
+    pub fn stats(&self) -> &CompatStats {
+        &self.stats
+    }
+
+    /// Total SAT queries spent building the graph (singleton + pairwise).
     #[must_use]
     pub fn sat_queries(&self) -> u64 {
-        self.sat_queries
+        self.stats.total_sat_queries()
     }
 
     /// The `(net, rare_value)` targets of the rare nets selected by `set`
@@ -225,6 +511,132 @@ mod tests {
         let serial = CompatibilityGraph::build(&nl, &analysis, 1);
         let parallel = CompatibilityGraph::build(&nl, &analysis, 4);
         assert_eq!(serial.adjacency, parallel.adjacency);
+    }
+
+    /// The acceptance property of the funnel: every strategy and every tier
+    /// combination produces the identical adjacency matrix.
+    #[test]
+    fn all_strategies_produce_identical_adjacency() {
+        for (profile, seed) in [
+            (BenchmarkProfile::c2670().scaled(20), 7u64),
+            (BenchmarkProfile::c5315().scaled(40), 3u64),
+        ] {
+            let nl = profile.generate(seed);
+            let analysis = RareNetAnalysis::estimate(&nl, 0.2, 2048, 5);
+            let reference = CompatibilityGraph::build_with(
+                &nl,
+                &analysis,
+                &CompatBuildOptions {
+                    threads: 1,
+                    strategy: CompatStrategy::AllSat,
+                },
+            );
+            let variants = [
+                FunnelOptions::default(),
+                FunnelOptions {
+                    sim_witnesses: false,
+                    ..FunnelOptions::default()
+                },
+                FunnelOptions {
+                    structural_pruning: false,
+                    ..FunnelOptions::default()
+                },
+                FunnelOptions {
+                    cone_sat: false,
+                    ..FunnelOptions::default()
+                },
+            ];
+            for (v, funnel) in variants.into_iter().enumerate() {
+                let graph = CompatibilityGraph::build_with(
+                    &nl,
+                    &analysis,
+                    &CompatBuildOptions {
+                        threads: 2,
+                        strategy: CompatStrategy::Funnel(funnel),
+                    },
+                );
+                assert_eq!(
+                    graph.adjacency,
+                    reference.adjacency,
+                    "variant {v} diverged on {}",
+                    nl.name()
+                );
+                assert_eq!(graph.rare_nets, reference.rare_nets);
+            }
+        }
+    }
+
+    #[test]
+    fn funnel_spends_fewer_sat_queries_than_all_sat() {
+        let nl = BenchmarkProfile::c2670().scaled(20).generate(7);
+        let analysis = RareNetAnalysis::estimate(&nl, 0.2, 8192, 5);
+        let all_sat = CompatibilityGraph::build_with(
+            &nl,
+            &analysis,
+            &CompatBuildOptions {
+                threads: 1,
+                strategy: CompatStrategy::AllSat,
+            },
+        );
+        let funnel = CompatibilityGraph::build_with(&nl, &analysis, &CompatBuildOptions::default());
+        assert_eq!(funnel.adjacency, all_sat.adjacency);
+        assert!(
+            funnel.sat_queries() < all_sat.sat_queries(),
+            "funnel {} vs all-SAT {}",
+            funnel.sat_queries(),
+            all_sat.sat_queries()
+        );
+        // All-SAT resolves every pair with a query.
+        assert_eq!(
+            all_sat.stats().pairwise_sat_queries(),
+            all_sat.stats().pairs_total
+        );
+    }
+
+    #[test]
+    fn stats_tiers_partition_the_pairs() {
+        let nl = BenchmarkProfile::c5315().scaled(40).generate(9);
+        let analysis = RareNetAnalysis::estimate(&nl, 0.2, 4096, 4);
+        let graph = CompatibilityGraph::build(&nl, &analysis, 2);
+        let s = graph.stats();
+        assert_eq!(
+            s.pairs_sim_witnessed
+                + s.pairs_structurally_pruned
+                + s.pairs_cone_enumerated
+                + s.pairs_sat_resolved,
+            s.pairs_total
+        );
+        assert_eq!(s.kept_rare_nets, graph.len());
+        assert!(s.kept_rare_nets <= s.candidate_rare_nets);
+        assert_eq!(
+            s.singleton_sim_resolved + s.singleton_sat_queries,
+            s.candidate_rare_nets as u64
+        );
+        assert!(s.kept_rare_nets <= s.candidate_rare_nets);
+        assert!((0.0..=1.0).contains(&s.sat_free_pair_fraction()));
+        // Every sim-witnessed pair is a compatible pair.
+        assert!(graph.num_compatible_pairs() as u64 >= s.pairs_sim_witnessed);
+    }
+
+    #[test]
+    fn singleton_sat_only_for_never_observed_nets() {
+        // A rare net whose value was observed even once in simulation is
+        // justifiable for free; only nets with estimated probability exactly
+        // zero can need a singleton SAT query, and bounded cone enumeration
+        // may discharge even those.
+        let nl = BenchmarkProfile::c2670().scaled(20).generate(11);
+        let analysis = RareNetAnalysis::estimate(&nl, 0.2, 2048, 6);
+        let graph = CompatibilityGraph::build(&nl, &analysis, 1);
+        let never_observed = analysis
+            .rare_nets()
+            .iter()
+            .filter(|r| r.probability == 0.0)
+            .count() as u64;
+        assert!(graph.stats().singleton_sat_queries <= never_observed);
+        assert_eq!(
+            graph.stats().singleton_sim_resolved + graph.stats().singleton_sat_queries,
+            analysis.len() as u64
+        );
     }
 
     #[test]
@@ -282,7 +694,15 @@ mod tests {
             assert!(!graph.compatible_with_all(&[1], 1));
             let _ = graph.degree(0);
         }
-        assert!(graph.sat_queries() > 0 || graph.len() <= 1);
+        // Every pair is accounted for by exactly one tier.
+        let s = graph.stats();
+        assert_eq!(
+            s.pairs_sim_witnessed
+                + s.pairs_structurally_pruned
+                + s.pairs_cone_enumerated
+                + s.pairs_sat_resolved,
+            s.pairs_total
+        );
     }
 
     #[test]

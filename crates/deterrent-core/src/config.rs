@@ -2,6 +2,8 @@
 
 use rl::PpoConfig;
 
+use crate::CompatStrategy;
+
 /// When the agent receives its reward (Section 3.2 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum RewardMode {
@@ -44,6 +46,10 @@ pub struct DeterrentConfig {
     pub masking: bool,
     /// Per-step compatibility check implementation.
     pub compat_check: CompatCheck,
+    /// How the offline pairwise-compatibility graph is computed: the
+    /// simulation-first funnel (default) or one SAT query per pair (the
+    /// paper's offline phase). Both yield bit-identical graphs.
+    pub compat_strategy: CompatStrategy,
     /// PPO hyper-parameters (entropy coefficient and λ implement Section 3.4).
     pub ppo: PpoConfig,
     /// Number of training episodes.
@@ -71,6 +77,7 @@ impl Default for DeterrentConfig {
             reward_mode: RewardMode::AllSteps,
             masking: true,
             compat_check: CompatCheck::PairwiseGraph,
+            compat_strategy: CompatStrategy::default(),
             ppo: PpoConfig::boosted_exploration(),
             episodes: 300,
             steps_per_episode: 64,
@@ -146,6 +153,7 @@ mod tests {
         assert_eq!(c.reward_mode, RewardMode::AllSteps);
         assert!(c.masking);
         assert_eq!(c.compat_check, CompatCheck::PairwiseGraph);
+        assert!(matches!(c.compat_strategy, CompatStrategy::Funnel(_)));
         assert!((c.ppo.entropy_coef - 1.0).abs() < 1e-12);
         assert!((c.ppo.gae_lambda - 0.99).abs() < 1e-12);
         assert!((c.rareness_threshold - 0.1).abs() < 1e-12);

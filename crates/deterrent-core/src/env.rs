@@ -65,7 +65,7 @@ impl<'a> CompatSetEnv<'a> {
             members: Vec::new(),
             membership: vec![false; graph.len()],
             steps_taken: 0,
-            rng: StdRng::seed_from_u64(config.seed ^ 0x5eed_e0f),
+            rng: StdRng::seed_from_u64(config.seed ^ 0x05ee_de0f),
             harvest: Vec::new(),
             exact_sat_checks: 0,
         }
@@ -117,9 +117,8 @@ impl<'a> CompatSetEnv<'a> {
     }
 
     fn no_action_available(&self) -> bool {
-        (0..self.graph.len()).all(|j| {
-            self.membership[j] || !self.graph.compatible_with_all(&self.members, j)
-        })
+        (0..self.graph.len())
+            .all(|j| self.membership[j] || !self.graph.compatible_with_all(&self.members, j))
     }
 
     fn finish_episode(&mut self) {
@@ -303,7 +302,11 @@ mod tests {
             let before = env.exact_sat_checks();
             let _ = env.step(p);
             assert_eq!(env.exact_sat_checks(), before + 1);
-            assert_eq!(env.members().len(), 2, "pairwise-compatible pair is SAT-compatible");
+            assert_eq!(
+                env.members().len(),
+                2,
+                "pairwise-compatible pair is SAT-compatible"
+            );
         }
     }
 

@@ -7,8 +7,8 @@ use sim::rare::{RareNet, RareNetAnalysis};
 use sim::TestPattern;
 
 use crate::{
-    generate_patterns, select_k_largest, CompatSetEnv, CompatibilityGraph, DeterrentConfig,
-    RareNetSet,
+    generate_patterns, select_k_largest, CompatBuildOptions, CompatSetEnv, CompatibilityGraph,
+    DeterrentConfig, RareNetSet,
 };
 
 /// Metrics of the RL training phase, matching the quantities reported in
@@ -29,6 +29,17 @@ pub struct TrainingMetrics {
     pub training_seconds: f64,
     /// SAT queries spent building the pairwise-compatibility graph.
     pub compat_sat_queries: u64,
+    /// Unordered rare-net pairs the compatibility graph resolved.
+    pub compat_pairs_total: u64,
+    /// Pairs resolved by a retained simulation witness (tier 1, no SAT).
+    pub compat_pairs_witnessed: u64,
+    /// Pairs resolved by disjoint cone supports (tier 2, no SAT).
+    pub compat_pairs_pruned: u64,
+    /// Pairs resolved by bounded exhaustive cone enumeration (tier 2, no
+    /// SAT). Witnessed + pruned + enumerated + SAT partition the total.
+    pub compat_pairs_enumerated: u64,
+    /// Pairs that needed a SAT query (tier 3).
+    pub compat_pairs_sat: u64,
     /// Exact SAT checks performed inside the environment (non-zero only for
     /// the naive all-SAT formulation).
     pub env_sat_checks: u64,
@@ -97,7 +108,14 @@ impl<'a> Deterrent<'a> {
     /// θ = 0.10) is expressed: analyse once per threshold and reuse.
     #[must_use]
     pub fn run_with_analysis(&self, analysis: &RareNetAnalysis) -> DeterrentResult {
-        let graph = CompatibilityGraph::build(self.netlist, analysis, self.config.compat_threads);
+        let graph = CompatibilityGraph::build_with(
+            self.netlist,
+            analysis,
+            &CompatBuildOptions {
+                threads: self.config.compat_threads,
+                strategy: self.config.compat_strategy,
+            },
+        );
         if graph.is_empty() {
             return DeterrentResult {
                 patterns: Vec::new(),
@@ -109,12 +127,8 @@ impl<'a> Deterrent<'a> {
         }
 
         let mut env = CompatSetEnv::new(self.netlist, &graph, &self.config);
-        let mut trainer = PpoTrainer::new(
-            graph.len(),
-            graph.len(),
-            &self.config.ppo,
-            self.config.seed,
-        );
+        let mut trainer =
+            PpoTrainer::new(graph.len(), graph.len(), &self.config.ppo, self.config.seed);
         let options = TrainOptions {
             episodes: self.config.episodes,
             max_steps: self.config.steps_per_episode,
@@ -157,6 +171,11 @@ impl<'a> Deterrent<'a> {
             loss_history: trainer.loss_history().to_vec(),
             training_seconds,
             compat_sat_queries: graph.sat_queries(),
+            compat_pairs_total: graph.stats().pairs_total,
+            compat_pairs_witnessed: graph.stats().pairs_sim_witnessed,
+            compat_pairs_pruned: graph.stats().pairs_structurally_pruned,
+            compat_pairs_enumerated: graph.stats().pairs_cone_enumerated,
+            compat_pairs_sat: graph.stats().pairs_sat_resolved,
             env_sat_checks: env.exact_sat_checks(),
         };
 

@@ -89,9 +89,9 @@ mod tests {
     fn k_largest_dedupes_and_sorts_by_size() {
         let sets = vec![
             vec![3, 1],
-            vec![1, 3],          // duplicate of the first after canonicalization
+            vec![1, 3], // duplicate of the first after canonicalization
             vec![5, 2, 9],
-            vec![2],             // subset of {2,5,9}
+            vec![2], // subset of {2,5,9}
             vec![7, 8, 4, 6],
             vec![],
         ];

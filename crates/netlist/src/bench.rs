@@ -175,7 +175,12 @@ pub fn write(nl: &Netlist) -> String {
         }
         let kw = gate.kind.bench_keyword().unwrap_or("BUF");
         let fanins: Vec<&str> = gate.fanin.iter().map(|&f| nl.net_name(f)).collect();
-        out.push_str(&format!("{} = {}({})\n", nl.net_name(id), kw, fanins.join(", ")));
+        out.push_str(&format!(
+            "{} = {}({})\n",
+            nl.net_name(id),
+            kw,
+            fanins.join(", ")
+        ));
     }
     out
 }

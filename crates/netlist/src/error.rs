@@ -45,7 +45,12 @@ impl fmt::Display for NetlistError {
             NetlistError::DuplicateName(name) => write!(f, "duplicate signal name `{name}`"),
             NetlistError::UnknownNet(id) => write!(f, "reference to unknown net id {id}"),
             NetlistError::UnknownName(name) => write!(f, "reference to undefined signal `{name}`"),
-            NetlistError::BadFanin { gate, got, min, max } => write!(
+            NetlistError::BadFanin {
+                gate,
+                got,
+                min,
+                max,
+            } => write!(
                 f,
                 "gate `{gate}` has {got} fanins, expected between {min} and {max}"
             ),

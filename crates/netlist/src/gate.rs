@@ -54,7 +54,8 @@ impl GateKind {
     /// [`Input`](Self::Input) and not a [`Dff`](Self::Dff)).
     #[must_use]
     pub fn is_combinational(self) -> bool {
-        !matches!(self, GateKind::Input | GateKind::Dff) && !self.is_source() || matches!(self, GateKind::Const0 | GateKind::Const1)
+        !matches!(self, GateKind::Input | GateKind::Dff) && !self.is_source()
+            || matches!(self, GateKind::Const0 | GateKind::Const1)
     }
 
     /// Minimum number of fanins the kind requires.
@@ -97,7 +98,9 @@ impl GateKind {
         match self {
             GateKind::Const0 => false,
             GateKind::Const1 => true,
-            GateKind::Input | GateKind::Dff | GateKind::Buf => fanin.first().copied().unwrap_or(false),
+            GateKind::Input | GateKind::Dff | GateKind::Buf => {
+                fanin.first().copied().unwrap_or(false)
+            }
             GateKind::Not => !fanin.first().copied().unwrap_or(false),
             GateKind::And => fanin.iter().all(|&v| v),
             GateKind::Nand => !fanin.iter().all(|&v| v),
@@ -250,7 +253,11 @@ mod tests {
             for bit in 0..4 {
                 let a = (a_word >> bit) & 1 == 1;
                 let b = (b_word >> bit) & 1 == 1;
-                assert_eq!((packed >> bit) & 1 == 1, kind.eval(&[a, b]), "{kind} bit {bit}");
+                assert_eq!(
+                    (packed >> bit) & 1 == 1,
+                    kind.eval(&[a, b]),
+                    "{kind} bit {bit}"
+                );
             }
         }
     }

@@ -42,6 +42,7 @@
 
 pub mod bench;
 mod builder;
+pub mod cone;
 mod error;
 mod gate;
 mod netlist;
@@ -49,6 +50,7 @@ pub mod samples;
 pub mod synth;
 
 pub use builder::NetlistBuilder;
+pub use cone::{transitive_fanin, InputSupports};
 pub use error::NetlistError;
 pub use gate::{GateKind, Logic};
 pub use netlist::{Gate, NetId, Netlist};

@@ -268,7 +268,8 @@ impl BenchmarkProfile {
         }
 
         // Primary outputs: prefer signals near the end of the pool (deepest).
-        let candidates: Vec<NetId> = pool[internal_start.min(pool.len().saturating_sub(1))..].to_vec();
+        let candidates: Vec<NetId> =
+            pool[internal_start.min(pool.len().saturating_sub(1))..].to_vec();
         let mut outs: Vec<NetId> = candidates;
         outs.shuffle(&mut rng);
         for &o in outs.iter().take(self.num_outputs.max(1)) {

@@ -98,7 +98,10 @@ mod tests {
             let gy = 20.0 * (y - x * x);
             adam.step(&mut p, &[gx, gy]);
         }
-        assert!((p[0] - 1.0).abs() < 0.05 && (p[1] - 1.0).abs() < 0.1, "{p:?}");
+        assert!(
+            (p[0] - 1.0).abs() < 0.05 && (p[1] - 1.0).abs() < 0.1,
+            "{p:?}"
+        );
     }
 
     #[test]

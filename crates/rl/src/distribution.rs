@@ -27,9 +27,12 @@ impl MaskedCategorical {
     pub fn new(logits: &[f64], mask: Option<&[bool]>) -> Self {
         if let Some(m) = mask {
             assert_eq!(m.len(), logits.len(), "mask length mismatch");
-            assert!(m.iter().any(|&allowed| allowed), "at least one action must be allowed");
+            assert!(
+                m.iter().any(|&allowed| allowed),
+                "at least one action must be allowed"
+            );
         }
-        let allowed = |i: usize| mask.map_or(true, |m| m[i]);
+        let allowed = |i: usize| mask.is_none_or(|m| m[i]);
         // Numerically stable masked softmax.
         let max_logit = logits
             .iter()
@@ -142,7 +145,10 @@ impl MaskedCategorical {
     /// Panics if `action` is out of range or masked.
     #[must_use]
     pub fn grad_log_prob(&self, action: usize) -> Vec<f64> {
-        assert!(self.probs[action] > 0.0, "cannot take gradient of a masked action");
+        assert!(
+            self.probs[action] > 0.0,
+            "cannot take gradient of a masked action"
+        );
         self.probs
             .iter()
             .enumerate()

@@ -29,8 +29,14 @@ impl Mlp {
     /// Panics if fewer than two layer sizes are given or any size is zero.
     #[must_use]
     pub fn new(layer_sizes: &[usize], seed: u64) -> Self {
-        assert!(layer_sizes.len() >= 2, "need at least input and output sizes");
-        assert!(layer_sizes.iter().all(|&s| s > 0), "layer sizes must be positive");
+        assert!(
+            layer_sizes.len() >= 2,
+            "need at least input and output sizes"
+        );
+        assert!(
+            layer_sizes.iter().all(|&s| s > 0),
+            "layer sizes must be positive"
+        );
         let mut rng = StdRng::seed_from_u64(seed);
         let mut weights: Vec<Vec<f64>> = Vec::new();
         let mut biases: Vec<Vec<f64>> = Vec::new();
@@ -125,12 +131,15 @@ impl Mlp {
     /// the network.
     pub fn backward(&mut self, activations: &[Vec<f64>], grad_output: &[f64]) {
         let num_layers = self.weights.len();
-        assert_eq!(activations.len(), num_layers + 1, "activation count mismatch");
+        assert_eq!(
+            activations.len(),
+            num_layers + 1,
+            "activation count mismatch"
+        );
         assert_eq!(grad_output.len(), self.output_dim(), "output grad mismatch");
         let mut grad = grad_output.to_vec();
         for l in (0..num_layers).rev() {
             let n_in = self.layer_sizes[l];
-            let n_out = self.layer_sizes[l + 1];
             // Derivative through the activation of layer l's output.
             let mut delta = grad.clone();
             if l + 1 != num_layers {
@@ -139,20 +148,20 @@ impl Mlp {
                 }
             }
             // Parameter gradients.
-            for o in 0..n_out {
-                self.grad_biases[l][o] += delta[o];
+            for (o, &d) in delta.iter().enumerate() {
+                self.grad_biases[l][o] += d;
                 let row = &mut self.grad_weights[l][o * n_in..(o + 1) * n_in];
                 for (i, g) in row.iter_mut().enumerate() {
-                    *g += delta[o] * activations[l][i];
+                    *g += d * activations[l][i];
                 }
             }
             // Gradient with respect to the previous layer's activations.
             if l > 0 {
                 let mut prev_grad = vec![0.0; n_in];
-                for o in 0..n_out {
+                for (o, &d) in delta.iter().enumerate() {
                     let row = &self.weights[l][o * n_in..(o + 1) * n_in];
                     for (i, pg) in prev_grad.iter_mut().enumerate() {
-                        *pg += delta[o] * row[i];
+                        *pg += d * row[i];
                     }
                 }
                 grad = prev_grad;
@@ -200,7 +209,11 @@ impl Mlp {
     ///
     /// Panics if `params` has the wrong length.
     pub fn set_parameters(&mut self, params: &[f64]) {
-        assert_eq!(params.len(), self.num_parameters(), "parameter count mismatch");
+        assert_eq!(
+            params.len(),
+            self.num_parameters(),
+            "parameter count mismatch"
+        );
         let mut offset = 0;
         for (w, b) in self.weights.iter_mut().zip(self.biases.iter_mut()) {
             let w_len = w.len();

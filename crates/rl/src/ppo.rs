@@ -194,7 +194,10 @@ impl PpoTrainer {
     /// Panics if `state_dim` or `num_actions` is zero.
     #[must_use]
     pub fn new(state_dim: usize, num_actions: usize, config: &PpoConfig, seed: u64) -> Self {
-        assert!(state_dim > 0 && num_actions > 0, "dimensions must be positive");
+        assert!(
+            state_dim > 0 && num_actions > 0,
+            "dimensions must be positive"
+        );
         let mut policy_sizes = vec![state_dim];
         policy_sizes.extend_from_slice(&config.hidden_sizes);
         policy_sizes.push(num_actions);
@@ -303,7 +306,10 @@ impl PpoTrainer {
     ///
     /// Panics if the buffer is empty.
     pub fn update(&mut self) -> PpoLosses {
-        assert!(!self.buffer.is_empty(), "cannot update from an empty buffer");
+        assert!(
+            !self.buffer.is_empty(),
+            "cannot update from an empty buffer"
+        );
         let (mut advantages, returns) = self
             .buffer
             .advantages_and_returns(self.config.gamma, self.config.gae_lambda);
@@ -345,7 +351,10 @@ impl PpoTrainer {
                 };
                 let new_log_prob = dist.log_prob(t.action);
                 let ratio = (new_log_prob - t.log_prob).exp();
-                let clipped = ratio.clamp(1.0 - self.config.clip_epsilon, 1.0 + self.config.clip_epsilon);
+                let clipped = ratio.clamp(
+                    1.0 - self.config.clip_epsilon,
+                    1.0 + self.config.clip_epsilon,
+                );
                 let surr1 = ratio * adv;
                 let surr2 = clipped * adv;
                 policy_loss += -surr1.min(surr2);
@@ -462,7 +471,10 @@ mod tests {
             });
         }
         let (adv, _) = buffer.advantages_and_returns(0.99, 0.95);
-        assert!((adv[0] - adv[1]).abs() < 1e-12, "identical isolated episodes");
+        assert!(
+            (adv[0] - adv[1]).abs() < 1e-12,
+            "identical isolated episodes"
+        );
     }
 
     #[test]
@@ -494,7 +506,10 @@ mod tests {
             }
         }
         let mean: f64 = last_hundred.iter().sum::<f64>() / last_hundred.len() as f64;
-        assert!(mean > 0.85, "agent should prefer the rewarding arm, got {mean}");
+        assert!(
+            mean > 0.85,
+            "agent should prefer the rewarding arm, got {mean}"
+        );
         assert!(trainer.total_updates() > 0);
         assert!(!trainer.loss_history().is_empty());
     }

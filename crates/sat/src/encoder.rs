@@ -1,77 +1,105 @@
 //! Tseitin encoding of gate-level netlists into CNF.
 
-use netlist::{GateKind, NetId, Netlist};
+use netlist::{cone, GateKind, NetId, Netlist};
 
 use crate::types::{Cnf, Lit, Var};
 
-/// Tseitin encoder mapping every net of a [`Netlist`] to a CNF variable.
+const UNMAPPED: u32 = u32::MAX;
+
+/// Tseitin encoder mapping nets of a [`Netlist`] to CNF variables.
 ///
 /// Primary inputs and scan flip-flop outputs are free variables; every
 /// combinational gate contributes the standard Tseitin clauses relating its
 /// output variable to its fanin variables. Flip-flop *data* inputs impose no
 /// constraint on the flop output (full-scan semantics: the flop can be loaded
 /// with any value through the scan chain).
+///
+/// [`CircuitEncoder::new`] encodes the whole netlist with the identity
+/// net-to-variable mapping. [`CircuitEncoder::for_cone`] encodes only the
+/// transitive fanin of a set of root nets with a compact variable range —
+/// the formula (and the solver built from it) then scales with the cone, not
+/// the design.
 #[derive(Debug, Clone)]
 pub struct CircuitEncoder {
     cnf: Cnf,
-    net_vars: Vec<Var>,
+    /// Net index -> variable index, [`UNMAPPED`] when the net is outside the
+    /// encoded region.
+    net_vars: Vec<u32>,
+    encoded_gates: usize,
 }
 
 impl CircuitEncoder {
-    /// Encodes `netlist` into CNF.
+    /// Encodes the whole `netlist` into CNF; net `i` maps to variable `i`.
     #[must_use]
     pub fn new(netlist: &Netlist) -> Self {
         let n = netlist.num_gates();
         let mut cnf = Cnf::with_vars(n);
-        // One variable per net, with matching indices for easy lookup.
-        let net_vars: Vec<Var> = (0..n).map(|i| Var(i as u32)).collect();
-
-        let mut aux_counter = n;
-        let mut fresh = || {
-            let v = Var(aux_counter as u32);
-            aux_counter += 1;
-            v
-        };
-
-        for (id, gate) in netlist.iter() {
-            let y = net_vars[id.index()];
-            let fanin: Vec<Var> = gate.fanin.iter().map(|f| net_vars[f.index()]).collect();
-            match gate.kind {
-                GateKind::Input | GateKind::Dff => {}
-                GateKind::Const0 => cnf.add_clause([y.negative()]),
-                GateKind::Const1 => cnf.add_clause([y.positive()]),
-                GateKind::Buf => encode_equal(&mut cnf, y, fanin[0], false),
-                GateKind::Not => encode_equal(&mut cnf, y, fanin[0], true),
-                GateKind::And => encode_and(&mut cnf, y, &fanin, false),
-                GateKind::Nand => encode_and(&mut cnf, y, &fanin, true),
-                GateKind::Or => encode_or(&mut cnf, y, &fanin, false),
-                GateKind::Nor => encode_or(&mut cnf, y, &fanin, true),
-                GateKind::Xor => encode_xor(&mut cnf, y, &fanin, false, &mut fresh),
-                GateKind::Xnor => encode_xor(&mut cnf, y, &fanin, true, &mut fresh),
-            }
+        let net_vars: Vec<u32> = (0..n as u32).collect();
+        let all_nets: Vec<NetId> = netlist.iter().map(|(id, _)| id).collect();
+        let encoded_gates = encode_nets_into(netlist, &all_nets, &net_vars, &mut cnf);
+        Self {
+            cnf,
+            net_vars,
+            encoded_gates,
         }
+    }
 
-        Self { cnf, net_vars }
+    /// Encodes only the transitive fanin cone of `roots` with a compact
+    /// variable numbering. Nets outside the cone have no variable.
+    #[must_use]
+    pub fn for_cone(netlist: &Netlist, roots: &[NetId]) -> Self {
+        let cone_nets = cone::transitive_fanin(netlist, roots);
+        let mut net_vars = vec![UNMAPPED; netlist.num_gates()];
+        for (v, id) in cone_nets.iter().enumerate() {
+            net_vars[id.index()] = v as u32;
+        }
+        let mut cnf = Cnf::with_vars(cone_nets.len());
+        let encoded_gates = encode_nets_into(netlist, &cone_nets, &net_vars, &mut cnf);
+        Self {
+            cnf,
+            net_vars,
+            encoded_gates,
+        }
     }
 
     /// The CNF variable representing `net`.
     ///
     /// # Panics
     ///
-    /// Panics if `net` does not belong to the encoded netlist.
+    /// Panics if `net` does not belong to the encoded netlist or lies outside
+    /// the encoded cone.
     #[must_use]
     pub fn var(&self, net: NetId) -> Var {
-        self.net_vars[net.index()]
+        let v = self.net_vars[net.index()];
+        assert!(v != UNMAPPED, "net {net} is outside the encoded cone");
+        Var(v)
+    }
+
+    /// The CNF variable representing `net`, or `None` when the net lies
+    /// outside the encoded cone.
+    #[must_use]
+    pub fn try_var(&self, net: NetId) -> Option<Var> {
+        match self.net_vars.get(net.index()) {
+            Some(&v) if v != UNMAPPED => Some(Var(v)),
+            _ => None,
+        }
     }
 
     /// The literal asserting that `net` carries `value`.
     ///
     /// # Panics
     ///
-    /// Panics if `net` does not belong to the encoded netlist.
+    /// Panics if `net` does not belong to the encoded netlist or lies outside
+    /// the encoded cone.
     #[must_use]
     pub fn lit(&self, net: NetId, value: bool) -> Lit {
         self.var(net).lit(value)
+    }
+
+    /// Number of combinational gates whose clauses are in the formula.
+    #[must_use]
+    pub fn encoded_gates(&self) -> usize {
+        self.encoded_gates
     }
 
     /// The encoded formula.
@@ -84,6 +112,61 @@ impl CircuitEncoder {
     #[must_use]
     pub fn into_cnf(self) -> Cnf {
         self.cnf
+    }
+}
+
+/// Emits the Tseitin clauses of every combinational gate in `nets` into
+/// `cnf`, mapping nets to variables through `net_vars` (fanins must be
+/// mapped too). Returns the number of gates encoded.
+///
+/// Shared by both [`CircuitEncoder`] constructors and the lazy per-cone
+/// encoding of [`crate::ConeOracle`].
+pub(crate) fn encode_nets_into(
+    netlist: &Netlist,
+    nets: &[NetId],
+    net_vars: &[u32],
+    cnf: &mut Cnf,
+) -> usize {
+    let mut encoded = 0usize;
+    for &id in nets {
+        let gate = netlist.gate(id);
+        if matches!(gate.kind, GateKind::Input | GateKind::Dff) {
+            continue;
+        }
+        let y = Var(net_vars[id.index()]);
+        let fanin: Vec<Var> = gate
+            .fanin
+            .iter()
+            .map(|f| Var(net_vars[f.index()]))
+            .collect();
+        encode_gate(gate.kind, y, &fanin, &mut |cnf| cnf.new_var(), cnf);
+        encoded += 1;
+    }
+    encoded
+}
+
+/// Emits the Tseitin clauses of one gate into `cnf`. `fresh` allocates
+/// auxiliary variables (used by XOR/XNOR chains); it receives `cnf` so
+/// callers can allocate from the same variable space the clauses land in.
+fn encode_gate(
+    kind: GateKind,
+    y: Var,
+    fanin: &[Var],
+    fresh: &mut impl FnMut(&mut Cnf) -> Var,
+    cnf: &mut Cnf,
+) {
+    match kind {
+        GateKind::Input | GateKind::Dff => {}
+        GateKind::Const0 => cnf.add_clause([y.negative()]),
+        GateKind::Const1 => cnf.add_clause([y.positive()]),
+        GateKind::Buf => encode_equal(cnf, y, fanin[0], false),
+        GateKind::Not => encode_equal(cnf, y, fanin[0], true),
+        GateKind::And => encode_and(cnf, y, fanin, false),
+        GateKind::Nand => encode_and(cnf, y, fanin, true),
+        GateKind::Or => encode_or(cnf, y, fanin, false),
+        GateKind::Nor => encode_or(cnf, y, fanin, true),
+        GateKind::Xor => encode_xor(cnf, y, fanin, false, fresh),
+        GateKind::Xnor => encode_xor(cnf, y, fanin, true, fresh),
     }
 }
 
@@ -131,7 +214,7 @@ fn encode_xor(
     y: Var,
     fanin: &[Var],
     invert: bool,
-    fresh: &mut impl FnMut() -> Var,
+    fresh: &mut impl FnMut(&mut Cnf) -> Var,
 ) {
     match fanin.len() {
         0 => cnf.add_clause([y.lit(invert)]),
@@ -144,7 +227,7 @@ fn encode_xor(
                 let out = if i == fanin.len() - 1 && !invert {
                     y
                 } else {
-                    fresh()
+                    fresh(cnf)
                 };
                 encode_xor2(cnf, out, acc, next);
                 acc = out;
@@ -238,5 +321,45 @@ mod tests {
         for (id, _) in nl.iter() {
             assert_eq!(enc.var(id).index(), id.index());
         }
+    }
+
+    #[test]
+    fn cone_encoding_is_smaller_and_agrees_with_full() {
+        let nl = BenchmarkProfile::c2670().scaled(20).generate(6);
+        let full = CircuitEncoder::new(&nl);
+        for &root in nl.internal_nets().iter().take(12) {
+            let cone_enc = CircuitEncoder::for_cone(&nl, &[root]);
+            assert!(cone_enc.cnf().num_vars() <= full.cnf().num_vars());
+            assert!(cone_enc.encoded_gates() <= full.encoded_gates());
+            // Justifiability of the root must agree between the encodings.
+            for value in [false, true] {
+                let mut cone_solver = Solver::from_cnf(cone_enc.cnf());
+                let mut full_solver = Solver::from_cnf(full.cnf());
+                let cone_sat = cone_solver.solve(&[cone_enc.lit(root, value)]).is_sat();
+                let full_sat = full_solver.solve(&[full.lit(root, value)]).is_sat();
+                assert_eq!(cone_sat, full_sat, "net {root} = {value}");
+            }
+        }
+    }
+
+    #[test]
+    fn cone_encoding_excludes_unrelated_nets() {
+        let nl = samples::c17();
+        let g22 = nl.net_by_name("G22").unwrap();
+        let g23 = nl.net_by_name("G23").unwrap();
+        let enc = CircuitEncoder::for_cone(&nl, &[g22]);
+        assert!(enc.try_var(g22).is_some());
+        // G23's cone overlaps G22's, but G23 itself is not in G22's fanin.
+        assert!(enc.try_var(g23).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the encoded cone")]
+    fn var_outside_cone_panics() {
+        let nl = samples::c17();
+        let g22 = nl.net_by_name("G22").unwrap();
+        let g23 = nl.net_by_name("G23").unwrap();
+        let enc = CircuitEncoder::for_cone(&nl, &[g22]);
+        let _ = enc.var(g23);
     }
 }

@@ -11,10 +11,14 @@
 //!   learning, VSIDS-style activities, phase saving, restarts, incremental
 //!   solving under assumptions).
 //! * [`dimacs`] — DIMACS CNF reading/writing for interoperability.
-//! * [`CircuitEncoder`] — Tseitin encoding of a [`netlist::Netlist`].
+//! * [`CircuitEncoder`] — Tseitin encoding of a [`netlist::Netlist`], either
+//!   whole-design or restricted to a fanin cone.
 //! * [`CircuitOracle`] — the high-level interface used by the rest of the
 //!   workspace: "give me an input pattern that justifies these `(net, value)`
 //!   targets, or prove none exists".
+//! * [`ConeOracle`] — the same interface with lazy cone-restricted encoding
+//!   and one assumption-based solver shared across queries; the workhorse of
+//!   the offline compatibility funnel.
 //!
 //! # Example
 //!
@@ -40,6 +44,6 @@ mod solver;
 mod types;
 
 pub use encoder::CircuitEncoder;
-pub use oracle::CircuitOracle;
+pub use oracle::{CircuitOracle, ConeOracle};
 pub use solver::{SolveResult, Solver, SolverStats};
 pub use types::{Clause, Cnf, Lit, Var};

@@ -1,10 +1,22 @@
-//! High-level justification oracle used by the DETERRENT pipeline.
+//! High-level justification oracles used by the DETERRENT pipeline.
+//!
+//! Two oracles answer the same question — "is there an input pattern that
+//! drives these nets to these values?" — with different cost profiles:
+//!
+//! * [`CircuitOracle`] Tseitin-encodes the **whole netlist** once and reuses
+//!   one incremental solver under assumptions. Best when queries touch nets
+//!   scattered all over the design.
+//! * [`ConeOracle`] encodes **lazily and cone-restricted**: a query only adds
+//!   clauses for the not-yet-encoded part of the union of its targets'
+//!   fanin cones, into the same persistent assumption-based solver. Best for
+//!   the offline compatibility phase, where each query touches two small
+//!   cones and most of the design is never mentioned.
 
-use netlist::{NetId, Netlist};
+use netlist::{GateKind, NetId, Netlist};
 
-use crate::encoder::CircuitEncoder;
+use crate::encoder::{encode_nets_into, CircuitEncoder};
 use crate::solver::{SolveResult, Solver};
-use crate::types::Lit;
+use crate::types::{Cnf, Lit, Var};
 
 /// Answers "is there an input pattern that drives these nets to these
 /// values?" queries against one netlist.
@@ -92,6 +104,148 @@ impl CircuitOracle {
     }
 }
 
+const UNENCODED: u32 = u32::MAX;
+
+/// Assumption-based justification oracle with lazy, cone-restricted
+/// encoding.
+///
+/// One persistent CDCL solver is shared by every query; the Tseitin clauses
+/// of a gate are added at most once, the first time a query's fanin cone
+/// reaches it. Queries are posed as solver assumptions, so learned clauses
+/// carry over between queries exactly as in [`CircuitOracle`] — but the
+/// formula (and the variable range the decision heuristic scans) grows only
+/// with the union of the cones actually queried, not the whole design.
+#[derive(Debug)]
+pub struct ConeOracle<'a> {
+    netlist: &'a Netlist,
+    solver: Solver,
+    /// Net index -> solver variable, [`UNENCODED`] until the net's cone is
+    /// first touched by a query.
+    net_vars: Vec<u32>,
+    scan_inputs: Vec<NetId>,
+    queries: u64,
+    encoded_gates: u64,
+}
+
+impl<'a> ConeOracle<'a> {
+    /// Creates an empty oracle over `netlist`; no clauses are generated until
+    /// the first query.
+    #[must_use]
+    pub fn new(netlist: &'a Netlist) -> Self {
+        Self {
+            netlist,
+            solver: Solver::new(),
+            net_vars: vec![UNENCODED; netlist.num_gates()],
+            scan_inputs: netlist.scan_inputs(),
+            queries: 0,
+            encoded_gates: 0,
+        }
+    }
+
+    /// Number of scan inputs (width of returned patterns).
+    #[must_use]
+    pub fn pattern_width(&self) -> usize {
+        self.scan_inputs.len()
+    }
+
+    /// Number of justification queries answered so far.
+    #[must_use]
+    pub fn num_queries(&self) -> u64 {
+        self.queries
+    }
+
+    /// Number of combinational gates encoded so far (monotone over the
+    /// oracle's lifetime, bounded by the netlist's gate count).
+    #[must_use]
+    pub fn encoded_gates(&self) -> u64 {
+        self.encoded_gates
+    }
+
+    /// Adds the Tseitin clauses for every not-yet-encoded gate in the fanin
+    /// cone of `root`.
+    fn ensure_encoded(&mut self, root: NetId) {
+        if self.net_vars[root.index()] != UNENCODED {
+            // The root has a variable, which by construction means its whole
+            // cone is already encoded.
+            return;
+        }
+        // Collect the unencoded part of the cone (DFS pruned at encoded
+        // nets), then assign variables and emit clauses.
+        let mut stack = vec![root];
+        let mut fresh_nets: Vec<NetId> = Vec::new();
+        while let Some(id) = stack.pop() {
+            if self.net_vars[id.index()] != UNENCODED {
+                continue;
+            }
+            // Reserve with a placeholder so the DFS visits each net once;
+            // real variables are assigned below in deterministic id order.
+            self.net_vars[id.index()] = UNENCODED - 1;
+            fresh_nets.push(id);
+            let gate = self.netlist.gate(id);
+            if matches!(gate.kind, GateKind::Input | GateKind::Dff) {
+                continue;
+            }
+            for &f in &gate.fanin {
+                if self.net_vars[f.index()] == UNENCODED {
+                    stack.push(f);
+                }
+            }
+        }
+        fresh_nets.sort_unstable();
+        for &id in &fresh_nets {
+            self.net_vars[id.index()] = self.solver.new_var().0;
+        }
+        // Auxiliary (XOR-chain) variables are allocated through a scratch Cnf
+        // whose variable space is kept aligned with the solver's.
+        let mut scratch = Cnf::with_vars(self.solver.num_vars());
+        self.encoded_gates +=
+            encode_nets_into(self.netlist, &fresh_nets, &self.net_vars, &mut scratch) as u64;
+        for clause in scratch.clauses() {
+            self.solver.add_clause(clause.iter().copied());
+        }
+    }
+
+    /// Searches for a scan-input assignment that simultaneously drives every
+    /// `(net, value)` pair in `targets`, encoding the union of their cones on
+    /// demand. Returns the pattern bits (in scan-input order; inputs outside
+    /// every queried cone default to 0) or `None` when the targets are
+    /// jointly unjustifiable.
+    pub fn justify(&mut self, targets: &[(NetId, bool)]) -> Option<Vec<bool>> {
+        self.queries += 1;
+        for &(net, _) in targets {
+            self.ensure_encoded(net);
+        }
+        let assumptions: Vec<Lit> = targets
+            .iter()
+            .map(|&(net, value)| Var(self.net_vars[net.index()]).lit(value))
+            .collect();
+        match self.solver.solve(&assumptions) {
+            SolveResult::Sat(model) => Some(
+                self.scan_inputs
+                    .iter()
+                    .map(|&si| {
+                        let v = self.net_vars[si.index()];
+                        v != UNENCODED && model[v as usize]
+                    })
+                    .collect(),
+            ),
+            SolveResult::Unsat => None,
+        }
+    }
+
+    /// Returns `true` when an input pattern exists that drives every target
+    /// simultaneously (the paper's *compatibility* relation).
+    pub fn is_compatible(&mut self, targets: &[(NetId, bool)]) -> bool {
+        self.justify(targets).is_some()
+    }
+
+    /// Accumulated solver statistics.
+    #[must_use]
+    pub fn solver_stats(&self) -> crate::SolverStats {
+        self.solver.stats()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -117,7 +271,7 @@ mod tests {
         let mut oracle = CircuitOracle::new(&nl);
         let sim = Simulator::new(&nl);
         let mut justified = 0;
-        for rare in analysis.rare_nets().iter().take(10) {
+        for rare in analysis.rare_nets() {
             if let Some(bits) = oracle.justify(&[(rare.net, rare.rare_value)]) {
                 let pattern = TestPattern::new(bits);
                 assert!(
@@ -160,5 +314,87 @@ mod tests {
         let mut oracle = CircuitOracle::new(&nl);
         let g22 = nl.net_by_name("G22").unwrap();
         assert!(!oracle.is_compatible(&[(g22, true), (g22, false)]));
+    }
+
+    #[test]
+    fn cone_oracle_agrees_with_full_oracle() {
+        let nl = BenchmarkProfile::c2670().scaled(20).generate(8);
+        let analysis = sim::rare::RareNetAnalysis::estimate(&nl, 0.2, 2048, 3);
+        let targets = analysis.targets();
+        let mut full = CircuitOracle::new(&nl);
+        let mut cone = ConeOracle::new(&nl);
+        // Singletons and all pairs over a prefix must agree exactly.
+        let k = targets.len().min(8);
+        for i in 0..k {
+            assert_eq!(
+                full.is_compatible(&targets[i..=i]),
+                cone.is_compatible(&targets[i..=i]),
+                "singleton {i}"
+            );
+            for j in (i + 1)..k {
+                let pair = [targets[i], targets[j]];
+                assert_eq!(
+                    full.is_compatible(&pair),
+                    cone.is_compatible(&pair),
+                    "pair ({i},{j})"
+                );
+            }
+        }
+        assert_eq!(cone.num_queries(), (k + k * (k - 1) / 2) as u64);
+        // Lazy encoding never exceeds the design size and in practice stays
+        // well below it on cone-structured queries.
+        assert!(cone.encoded_gates() <= nl.num_logic_gates() as u64);
+    }
+
+    #[test]
+    fn cone_oracle_patterns_verify_in_simulation() {
+        let nl = BenchmarkProfile::c5315().scaled(40).generate(5);
+        let analysis = sim::rare::RareNetAnalysis::estimate(&nl, 0.2, 2048, 9);
+        let mut oracle = ConeOracle::new(&nl);
+        let sim = Simulator::new(&nl);
+        let mut justified = 0;
+        for rare in analysis.rare_nets() {
+            if let Some(bits) = oracle.justify(&[(rare.net, rare.rare_value)]) {
+                assert_eq!(bits.len(), oracle.pattern_width());
+                let pattern = TestPattern::new(bits);
+                assert!(
+                    sim.activates(&pattern, &[(rare.net, rare.rare_value)]),
+                    "cone-oracle pattern must activate {}",
+                    nl.net_name(rare.net)
+                );
+                justified += 1;
+            }
+        }
+        assert!(justified > 0, "at least one rare net should be justifiable");
+    }
+
+    #[test]
+    fn cone_oracle_encodes_incrementally() {
+        let nl = samples::c17();
+        let mut oracle = ConeOracle::new(&nl);
+        assert_eq!(oracle.encoded_gates(), 0);
+        let g22 = nl.net_by_name("G22").unwrap();
+        let g23 = nl.net_by_name("G23").unwrap();
+        assert!(oracle.is_compatible(&[(g22, true)]));
+        let after_first = oracle.encoded_gates();
+        assert!(after_first > 0);
+        // Re-querying the same cone adds no clauses.
+        assert!(oracle.is_compatible(&[(g22, false)]));
+        assert_eq!(oracle.encoded_gates(), after_first);
+        // A second, overlapping cone only adds its new gates.
+        assert!(oracle.is_compatible(&[(g23, true)]));
+        assert!(oracle.encoded_gates() > after_first);
+        assert!(oracle.encoded_gates() <= nl.num_logic_gates() as u64);
+    }
+
+    #[test]
+    fn cone_oracle_rejects_impossible_targets() {
+        let nl = samples::c17();
+        let mut oracle = ConeOracle::new(&nl);
+        let g10 = nl.net_by_name("G10").unwrap();
+        let g1 = nl.net_by_name("G1").unwrap();
+        assert!(!oracle.is_compatible(&[(g10, false), (g1, false)]));
+        assert!(oracle.is_compatible(&[(g10, false), (g1, true)]));
+        assert!(!oracle.is_compatible(&[(g10, true), (g10, false)]));
     }
 }

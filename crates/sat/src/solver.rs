@@ -213,9 +213,7 @@ impl Solver {
         match clause.len() {
             0 => self.unsat = true,
             1 => {
-                if !self.enqueue(clause[0], usize::MAX) {
-                    self.unsat = true;
-                } else if self.propagate().is_some() {
+                if !self.enqueue(clause[0], usize::MAX) || self.propagate().is_some() {
                     self.unsat = true;
                 }
             }
@@ -337,8 +335,7 @@ impl Solver {
         loop {
             let clause = self.clauses[confl].clone();
             let start = usize::from(p.is_some());
-            for idx in start..clause.len() {
-                let q = clause[idx];
+            for &q in &clause[start..] {
                 let v = q.var();
                 if !self.seen[v.index()] && self.level[v.index()] > 0 {
                     self.seen[v.index()] = true;
@@ -640,9 +637,9 @@ mod tests {
         s.add_clause([lit(-1), lit(3)]);
         s.add_clause([lit(1), lit(-3)]);
         let m = s.solve(&[]).model().unwrap().to_vec();
-        assert_eq!(m[0] ^ m[1], true);
-        assert_eq!(m[1] ^ m[2], true);
-        assert_eq!(m[0] ^ m[2], false);
+        assert!(m[0] ^ m[1]);
+        assert!(m[1] ^ m[2]);
+        assert!(!(m[0] ^ m[2]));
     }
 
     #[test]

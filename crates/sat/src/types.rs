@@ -63,7 +63,7 @@ impl Lit {
     /// `true` for a positive literal, `false` for a negated one.
     #[must_use]
     pub fn polarity(self) -> bool {
-        self.0 % 2 == 0
+        self.0.is_multiple_of(2)
     }
 
     /// Dense code usable as an array index (`2 * var + sign`).

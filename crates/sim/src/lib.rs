@@ -34,11 +34,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod cone_sim;
 mod pattern;
 pub mod probability;
 pub mod rare;
 mod simulator;
+pub mod witness;
 
+pub use cone_sim::ConeSimulator;
 pub use pattern::TestPattern;
-pub use probability::SignalProbabilities;
+pub use probability::{SignalProbabilities, SimTrace};
 pub use simulator::{simulate, NetValues, PackedValues, Simulator};
+pub use witness::WitnessBank;

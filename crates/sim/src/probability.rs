@@ -17,6 +17,82 @@ pub struct SignalProbabilities {
     num_patterns: usize,
 }
 
+/// The packed per-net simulation words of a probability-estimation run.
+///
+/// Layout is chunk-major: `words[chunk * num_nets + net]` holds the values of
+/// `net` for the (up to 64) patterns of `chunk`, one bit per pattern. The
+/// trace lets downstream passes mine the Monte-Carlo run for *witnesses* —
+/// patterns observed to drive a net (or several nets at once) to a value —
+/// without re-simulating (see [`crate::witness::WitnessBank`]).
+#[derive(Debug, Clone)]
+pub struct SimTrace {
+    num_nets: usize,
+    words: Vec<u64>,
+    chunk_lens: Vec<usize>,
+}
+
+impl SimTrace {
+    /// Number of 64-pattern chunks.
+    #[must_use]
+    pub fn num_chunks(&self) -> usize {
+        self.chunk_lens.len()
+    }
+
+    /// Number of patterns in `chunk` (64 except possibly the last).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is out of range.
+    #[must_use]
+    pub fn chunk_len(&self, chunk: usize) -> usize {
+        self.chunk_lens[chunk]
+    }
+
+    /// Bit mask selecting the valid pattern bits of `chunk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` is out of range.
+    #[must_use]
+    pub fn chunk_mask(&self, chunk: usize) -> u64 {
+        let len = self.chunk_lens[chunk];
+        if len == 64 {
+            u64::MAX
+        } else {
+            (1u64 << len) - 1
+        }
+    }
+
+    /// The packed word of `net` in `chunk`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk` or `net` is out of range.
+    #[must_use]
+    pub fn word(&self, chunk: usize, net: NetId) -> u64 {
+        self.words[chunk * self.num_nets + net.index()]
+    }
+
+    /// Total number of simulated patterns.
+    #[must_use]
+    pub fn num_patterns(&self) -> usize {
+        self.chunk_lens.iter().sum()
+    }
+
+    fn push_chunk(&mut self, words: &[u64], len: usize) {
+        self.words.extend_from_slice(words);
+        self.chunk_lens.push(len);
+    }
+
+    fn new(num_nets: usize) -> Self {
+        Self {
+            num_nets,
+            words: Vec::new(),
+            chunk_lens: Vec::new(),
+        }
+    }
+}
+
 impl SignalProbabilities {
     /// Estimates signal probabilities by simulating `num_patterns` uniformly
     /// random patterns (rounded up to a multiple of 64) generated from `seed`.
@@ -26,28 +102,59 @@ impl SignalProbabilities {
     /// Panics if `num_patterns` is zero.
     #[must_use]
     pub fn estimate(netlist: &Netlist, num_patterns: usize, seed: u64) -> Self {
+        Self::run_random(netlist, num_patterns, seed, false).0
+    }
+
+    /// Like [`SignalProbabilities::estimate`], but also returns the full
+    /// [`SimTrace`] of packed words so the run can be mined for witnesses
+    /// instead of being discarded.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_patterns` is zero.
+    #[must_use]
+    pub fn estimate_retaining(
+        netlist: &Netlist,
+        num_patterns: usize,
+        seed: u64,
+    ) -> (Self, SimTrace) {
+        let (probs, trace) = Self::run_random(netlist, num_patterns, seed, true);
+        (probs, trace.expect("trace retention was requested"))
+    }
+
+    fn run_random(
+        netlist: &Netlist,
+        num_patterns: usize,
+        seed: u64,
+        retain: bool,
+    ) -> (Self, Option<SimTrace>) {
         assert!(num_patterns > 0, "need at least one pattern");
         let sim = Simulator::new(netlist);
         let mut rng = StdRng::seed_from_u64(seed);
         let width = netlist.num_scan_inputs();
         let chunks = num_patterns.div_ceil(64);
-        let mut ones = vec![0u64; netlist.num_gates()];
+        let n = netlist.num_gates();
+        let mut ones = vec![0u64; n];
         let total = chunks * 64;
+        let mut trace = retain.then(|| SimTrace::new(n));
         for _ in 0..chunks {
             let batch = TestPattern::random_batch(width, 64, &mut rng);
             let packed = sim.run_batch(&batch);
             for (id, _) in netlist.iter() {
                 ones[id.index()] += u64::from(packed.count_ones(id));
             }
+            if let Some(trace) = trace.as_mut() {
+                trace.push_chunk(packed.words(), packed.batch_len());
+            }
         }
-        let prob_one = ones
-            .iter()
-            .map(|&c| c as f64 / total as f64)
-            .collect();
-        Self {
-            prob_one,
-            num_patterns: total,
-        }
+        let prob_one = ones.iter().map(|&c| c as f64 / total as f64).collect();
+        (
+            Self {
+                prob_one,
+                num_patterns: total,
+            },
+            trace,
+        )
     }
 
     /// Computes exact probabilities for every net by exhaustive enumeration of
@@ -59,11 +166,29 @@ impl SignalProbabilities {
     /// Panics if the netlist has more than 24 scan inputs.
     #[must_use]
     pub fn exhaustive(netlist: &Netlist) -> Self {
+        Self::run_exhaustive(netlist, false).0
+    }
+
+    /// Like [`SignalProbabilities::exhaustive`], but also returns the
+    /// [`SimTrace`] of the enumeration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the netlist has more than 24 scan inputs.
+    #[must_use]
+    pub fn exhaustive_retaining(netlist: &Netlist) -> (Self, SimTrace) {
+        let (probs, trace) = Self::run_exhaustive(netlist, true);
+        (probs, trace.expect("trace retention was requested"))
+    }
+
+    fn run_exhaustive(netlist: &Netlist, retain: bool) -> (Self, Option<SimTrace>) {
         let width = netlist.num_scan_inputs();
         assert!(width <= 24, "exhaustive enumeration limited to 24 inputs");
         let sim = Simulator::new(netlist);
         let total = 1usize << width;
-        let mut ones = vec![0u64; netlist.num_gates()];
+        let n = netlist.num_gates();
+        let mut ones = vec![0u64; n];
+        let mut trace = retain.then(|| SimTrace::new(n));
         let mut batch = Vec::with_capacity(64);
         let mut processed = 0usize;
         while processed < total {
@@ -76,12 +201,18 @@ impl SignalProbabilities {
             for (id, _) in netlist.iter() {
                 ones[id.index()] += u64::from(packed.count_ones(id));
             }
+            if let Some(trace) = trace.as_mut() {
+                trace.push_chunk(packed.words(), packed.batch_len());
+            }
             processed += batch.len();
         }
-        Self {
-            prob_one: ones.iter().map(|&c| c as f64 / total as f64).collect(),
-            num_patterns: total,
-        }
+        (
+            Self {
+                prob_one: ones.iter().map(|&c| c as f64 / total as f64).collect(),
+                num_patterns: total,
+            },
+            trace,
+        )
     }
 
     /// Probability that `net` evaluates to logic 1.

@@ -7,6 +7,7 @@
 
 use netlist::{GateKind, NetId, Netlist};
 
+use crate::witness::WitnessBank;
 use crate::SignalProbabilities;
 
 /// A rare net: the net id, the rare logic value, and its estimated
@@ -27,6 +28,11 @@ pub struct RareNetAnalysis {
     threshold: f64,
     rare_nets: Vec<RareNet>,
     probabilities: SignalProbabilities,
+    /// `(net, position)` pairs sorted by net id for O(log n) lookup.
+    by_net: Vec<(NetId, u32)>,
+    /// Witness bitmaps of the estimation run, one row per rare net (in
+    /// `rare_nets` order); `None` when built from external probabilities.
+    witnesses: Option<WitnessBank>,
 }
 
 impl RareNetAnalysis {
@@ -37,17 +43,32 @@ impl RareNetAnalysis {
     /// scan flip-flop outputs are controllable directly, so an adversary gains
     /// no stealth from using them, and prior work excludes them too).
     ///
+    /// The packed simulation words of the estimation run are retained per
+    /// rare net as a [`WitnessBank`], so downstream passes (the compatibility
+    /// funnel) can resolve pairwise queries without SAT. The bank is
+    /// harvested by replaying the same pattern stream once the rare nets are
+    /// known, keeping witness memory proportional to the rare-net count
+    /// rather than the design size.
+    ///
     /// # Panics
     ///
     /// Panics if `threshold` is not in `(0, 0.5]` or `num_patterns` is zero.
     #[must_use]
     pub fn estimate(netlist: &Netlist, threshold: f64, num_patterns: usize, seed: u64) -> Self {
         let probabilities = SignalProbabilities::estimate(netlist, num_patterns, seed);
-        Self::from_probabilities(netlist, threshold, probabilities)
+        let mut analysis = Self::from_probabilities(netlist, threshold, probabilities);
+        analysis.witnesses = Some(WitnessBank::harvest(
+            netlist,
+            &analysis.targets(),
+            num_patterns,
+            seed,
+        ));
+        analysis
     }
 
     /// Runs rare-net analysis using exhaustive (exact) probabilities; only
-    /// feasible for small circuits.
+    /// feasible for small circuits. Witnesses are retained as in
+    /// [`RareNetAnalysis::estimate`].
     ///
     /// # Panics
     ///
@@ -55,11 +76,14 @@ impl RareNetAnalysis {
     /// 24 scan inputs.
     #[must_use]
     pub fn exhaustive(netlist: &Netlist, threshold: f64) -> Self {
-        let probabilities = SignalProbabilities::exhaustive(netlist);
-        Self::from_probabilities(netlist, threshold, probabilities)
+        let (probabilities, trace) = SignalProbabilities::exhaustive_retaining(netlist);
+        let mut analysis = Self::from_probabilities(netlist, threshold, probabilities);
+        analysis.witnesses = Some(WitnessBank::from_trace(&trace, &analysis.targets()));
+        analysis
     }
 
-    /// Builds the analysis from precomputed probabilities.
+    /// Builds the analysis from precomputed probabilities. No witness bank is
+    /// attached (there was no simulation run to mine).
     ///
     /// # Panics
     ///
@@ -95,10 +119,18 @@ impl RareNetAnalysis {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.net.cmp(&b.net))
         });
+        let mut by_net: Vec<(NetId, u32)> = rare_nets
+            .iter()
+            .enumerate()
+            .map(|(pos, r)| (r.net, pos as u32))
+            .collect();
+        by_net.sort_unstable_by_key(|&(net, _)| net);
         Self {
             threshold,
             rare_nets,
             probabilities,
+            by_net,
+            witnesses: None,
         }
     }
 
@@ -129,7 +161,10 @@ impl RareNetAnalysis {
     /// The `(net, rare_value)` pairs, convenient for SAT justification calls.
     #[must_use]
     pub fn targets(&self) -> Vec<(NetId, bool)> {
-        self.rare_nets.iter().map(|r| (r.net, r.rare_value)).collect()
+        self.rare_nets
+            .iter()
+            .map(|r| (r.net, r.rare_value))
+            .collect()
     }
 
     /// The underlying signal probabilities.
@@ -139,9 +174,32 @@ impl RareNetAnalysis {
     }
 
     /// Looks up the rare-net record for `net`, if it is rare.
+    ///
+    /// O(log n) via an index sorted by net id (the `rare_nets` list itself is
+    /// sorted by probability, so it cannot be searched directly).
     #[must_use]
     pub fn find(&self, net: NetId) -> Option<&RareNet> {
-        self.rare_nets.iter().find(|r| r.net == net)
+        self.by_net
+            .binary_search_by_key(&net, |&(n, _)| n)
+            .ok()
+            .map(|i| &self.rare_nets[self.by_net[i].1 as usize])
+    }
+
+    /// Position of `net` in [`RareNetAnalysis::rare_nets`], if it is rare.
+    #[must_use]
+    pub fn position(&self, net: NetId) -> Option<usize> {
+        self.by_net
+            .binary_search_by_key(&net, |&(n, _)| n)
+            .ok()
+            .map(|i| self.by_net[i].1 as usize)
+    }
+
+    /// Witness bitmaps harvested from the estimation run (one row per rare
+    /// net, in `rare_nets` order), or `None` when the analysis was built from
+    /// external probabilities.
+    #[must_use]
+    pub fn witnesses(&self) -> Option<&WitnessBank> {
+        self.witnesses.as_ref()
     }
 }
 

@@ -64,6 +64,12 @@ impl PackedValues {
         self.batch
     }
 
+    /// All packed words indexed by [`NetId`].
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
     /// Number of patterns in the batch for which `net` is 1.
     #[must_use]
     pub fn count_ones(&self, net: NetId) -> u32 {
@@ -145,7 +151,10 @@ impl<'a> Simulator<'a> {
     /// pattern has the wrong width.
     #[must_use]
     pub fn run_batch(&self, patterns: &[TestPattern]) -> PackedValues {
-        assert!(!patterns.is_empty(), "batch must contain at least one pattern");
+        assert!(
+            !patterns.is_empty(),
+            "batch must contain at least one pattern"
+        );
         assert!(patterns.len() <= 64, "batch holds at most 64 patterns");
         for p in patterns {
             assert_eq!(
@@ -270,7 +279,9 @@ mod tests {
 
     #[test]
     fn packed_matches_scalar() {
-        let nl = netlist::synth::BenchmarkProfile::c2670().scaled(20).generate(3);
+        let nl = netlist::synth::BenchmarkProfile::c2670()
+            .scaled(20)
+            .generate(3);
         let sim = Simulator::new(&nl);
         let mut rng = StdRng::seed_from_u64(17);
         let patterns = TestPattern::random_batch(nl.num_scan_inputs(), 64, &mut rng);

@@ -1,0 +1,252 @@
+//! Witness harvesting: mining a Monte-Carlo simulation run for patterns that
+//! *prove* rare-net facts.
+//!
+//! The DETERRENT offline phase asks, for every unordered pair of rare nets,
+//! whether one input pattern can drive both to their rare values at once.
+//! The probability-estimation run already simulated thousands of random
+//! patterns — any pattern under which two rare nets were both observed at
+//! their rare values is a constructive *witness* of compatibility, making a
+//! SAT query for that pair unnecessary. A [`WitnessBank`] stores, per target
+//! `(net, rare_value)`, one bit per simulated pattern ("did this pattern
+//! drive the net to that value?"), so a pairwise check is a word-wise AND
+//! over the two rows.
+
+use netlist::{NetId, Netlist};
+
+use crate::probability::SimTrace;
+use crate::{Simulator, TestPattern};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Per-target witness bitmaps harvested from a simulation run.
+///
+/// Row `t` has one bit per simulated pattern; bit set means the pattern drove
+/// `targets[t].0` to `targets[t].1`. Padding bits of the final partial chunk
+/// are always zero, so row intersections never produce false witnesses.
+#[derive(Debug, Clone)]
+pub struct WitnessBank {
+    targets: Vec<(NetId, bool)>,
+    num_chunks: usize,
+    num_patterns: usize,
+    /// Row-major: `rows[t * num_chunks + c]`.
+    rows: Vec<u64>,
+}
+
+impl WitnessBank {
+    /// Builds the bank for `targets` from a retained simulation trace —
+    /// zero additional simulation work.
+    #[must_use]
+    pub fn from_trace(trace: &SimTrace, targets: &[(NetId, bool)]) -> Self {
+        let num_chunks = trace.num_chunks();
+        let mut rows = Vec::with_capacity(targets.len() * num_chunks);
+        for &(net, value) in targets {
+            for c in 0..num_chunks {
+                let word = trace.word(c, net);
+                let oriented = if value { word } else { !word };
+                rows.push(oriented & trace.chunk_mask(c));
+            }
+        }
+        Self {
+            targets: targets.to_vec(),
+            num_chunks,
+            num_patterns: trace.num_patterns(),
+            rows,
+        }
+    }
+
+    /// Re-simulates the `num_patterns` random patterns generated from `seed`
+    /// (the same stream [`crate::SignalProbabilities::estimate`] uses) and
+    /// harvests witnesses for `targets` only. This is the fallback when the
+    /// original estimation trace was not retained; memory stays proportional
+    /// to `targets.len()` rather than the netlist size.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_patterns` is zero.
+    #[must_use]
+    pub fn harvest(
+        netlist: &Netlist,
+        targets: &[(NetId, bool)],
+        num_patterns: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(num_patterns > 0, "need at least one pattern");
+        let num_chunks = num_patterns.div_ceil(64);
+        if targets.is_empty() {
+            // Nothing to harvest; skip the simulation replay entirely.
+            return Self {
+                targets: Vec::new(),
+                num_chunks,
+                num_patterns: num_chunks * 64,
+                rows: Vec::new(),
+            };
+        }
+        let sim = Simulator::new(netlist);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let width = netlist.num_scan_inputs();
+        let mut rows = vec![0u64; targets.len() * num_chunks];
+        for c in 0..num_chunks {
+            let batch = TestPattern::random_batch(width, 64, &mut rng);
+            let packed = sim.run_batch(&batch);
+            for (t, &(net, value)) in targets.iter().enumerate() {
+                let word = packed.word(net);
+                rows[t * num_chunks + c] = if value { word } else { !word };
+            }
+        }
+        Self {
+            targets: targets.to_vec(),
+            num_chunks,
+            num_patterns: num_chunks * 64,
+            rows,
+        }
+    }
+
+    /// The harvested targets, in row order.
+    #[must_use]
+    pub fn targets(&self) -> &[(NetId, bool)] {
+        &self.targets
+    }
+
+    /// Number of targets (rows).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.targets.len()
+    }
+
+    /// Returns `true` when the bank holds no targets.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.targets.is_empty()
+    }
+
+    /// Number of patterns each row covers.
+    #[must_use]
+    pub fn num_patterns(&self) -> usize {
+        self.num_patterns
+    }
+
+    /// The witness bitmap of target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn row(&self, t: usize) -> &[u64] {
+        &self.rows[t * self.num_chunks..(t + 1) * self.num_chunks]
+    }
+
+    /// Whether any simulated pattern drove target `t` to its value — a
+    /// constructive proof that the target is individually justifiable.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn has_witness(&self, t: usize) -> bool {
+        self.row(t).iter().any(|&w| w != 0)
+    }
+
+    /// Number of simulated patterns witnessing target `t`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t` is out of range.
+    #[must_use]
+    pub fn witness_count(&self, t: usize) -> u64 {
+        self.row(t).iter().map(|w| u64::from(w.count_ones())).sum()
+    }
+
+    /// Whether some single simulated pattern drove targets `a` and `b` to
+    /// their values simultaneously — a constructive proof of pairwise
+    /// compatibility requiring two ANDs per 64 patterns.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `a` or `b` is out of range.
+    #[must_use]
+    pub fn pair_witnessed(&self, a: usize, b: usize) -> bool {
+        self.row(a)
+            .iter()
+            .zip(self.row(b))
+            .any(|(&x, &y)| x & y != 0)
+    }
+
+    /// Whether some single simulated pattern drove *every* target in `set` to
+    /// its value at once (generalizes [`WitnessBank::pair_witnessed`]).
+    #[must_use]
+    pub fn set_witnessed(&self, set: &[usize]) -> bool {
+        if set.is_empty() {
+            return false;
+        }
+        (0..self.num_chunks).any(|c| {
+            set.iter()
+                .fold(u64::MAX, |acc, &t| acc & self.rows[t * self.num_chunks + c])
+                != 0
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SignalProbabilities;
+    use netlist::samples;
+
+    #[test]
+    fn trace_and_harvest_agree_on_random_run() {
+        let nl = samples::majority5();
+        let targets: Vec<(NetId, bool)> = nl
+            .internal_nets()
+            .into_iter()
+            .map(|id| (id, true))
+            .collect();
+        let (_, trace) = SignalProbabilities::estimate_retaining(&nl, 512, 11);
+        let from_trace = WitnessBank::from_trace(&trace, &targets);
+        let harvested = WitnessBank::harvest(&nl, &targets, 512, 11);
+        assert_eq!(from_trace.num_patterns(), harvested.num_patterns());
+        for t in 0..targets.len() {
+            assert_eq!(from_trace.row(t), harvested.row(t), "target {t}");
+        }
+    }
+
+    #[test]
+    fn rare_chain_witness_counts_match_theory() {
+        let nl = samples::rare_chain(4);
+        let root = nl.net_by_name("and3").unwrap();
+        let (_, trace) = SignalProbabilities::exhaustive_retaining(&nl);
+        let bank = WitnessBank::from_trace(&trace, &[(root, true), (root, false)]);
+        // Exactly one of the 16 exhaustive patterns sets the AND-chain root.
+        assert_eq!(bank.witness_count(0), 1);
+        assert_eq!(bank.witness_count(1), 15);
+        assert!(bank.has_witness(0));
+        // The same pattern cannot drive the root to 1 and 0 at once.
+        assert!(!bank.pair_witnessed(0, 1));
+    }
+
+    #[test]
+    fn partial_chunk_padding_is_masked() {
+        // rare_chain(3) has 3 inputs -> 8 exhaustive patterns, one partial
+        // chunk. Inverted rows must not leak witnesses from the padding bits.
+        let nl = samples::rare_chain(3);
+        let root = nl.net_by_name("and2").unwrap();
+        let (_, trace) = SignalProbabilities::exhaustive_retaining(&nl);
+        let bank = WitnessBank::from_trace(&trace, &[(root, false)]);
+        assert_eq!(bank.witness_count(0), 7, "7 of 8 patterns give root=0");
+    }
+
+    #[test]
+    fn pair_witnesses_prove_compatibility() {
+        let nl = samples::c17();
+        let (_, trace) = SignalProbabilities::exhaustive_retaining(&nl);
+        let g10 = nl.net_by_name("G10").unwrap();
+        let g1 = nl.net_by_name("G1").unwrap();
+        let bank = WitnessBank::from_trace(&trace, &[(g10, false), (g1, false), (g1, true)]);
+        // G10 = NAND(G1, G3) = 0 forces G1 = 1: no joint witness with G1=0,
+        // but plenty with G1=1.
+        assert!(!bank.pair_witnessed(0, 1));
+        assert!(bank.pair_witnessed(0, 2));
+        assert!(bank.set_witnessed(&[0, 2]));
+        assert!(!bank.set_witnessed(&[]));
+    }
+}

@@ -139,8 +139,8 @@ mod tests {
         let and1 = nl.net_by_name("and1").unwrap();
         let out = nl.primary_outputs()[0];
         let trojans = vec![
-            Trojan::new(vec![(root, true)], out),  // needs all ones
-            Trojan::new(vec![(and1, true)], out),  // needs x0=x1=1
+            Trojan::new(vec![(root, true)], out), // needs all ones
+            Trojan::new(vec![(and1, true)], out), // needs x0=x1=1
         ];
         let evaluator = CoverageEvaluator::new(&nl, trojans);
 
@@ -151,10 +151,8 @@ mod tests {
         assert!((report.coverage_percent() - 50.0).abs() < 1e-12);
 
         // Adding the all-ones pattern catches both.
-        let report = evaluator.evaluate(&[
-            TestPattern::from_bit_string("1100"),
-            TestPattern::ones(4),
-        ]);
+        let report =
+            evaluator.evaluate(&[TestPattern::from_bit_string("1100"), TestPattern::ones(4)]);
         assert_eq!(report.detected, 2);
         assert_eq!(report.cumulative_detected, vec![1, 2]);
         assert_eq!(report.patterns_for_fraction(1.0), Some(2));

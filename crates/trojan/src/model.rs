@@ -74,12 +74,7 @@ pub fn infect(netlist: &Netlist, trojan: &Trojan) -> Result<Netlist, NetlistErro
         if value {
             trigger_lits.push(net);
         } else {
-            let inv = fresh(
-                &mut gates,
-                GateKind::Not,
-                format!("ht_inv_{i}"),
-                vec![net],
-            );
+            let inv = fresh(&mut gates, GateKind::Not, format!("ht_inv_{i}"), vec![net]);
             trigger_lits.push(inv);
         }
     }
@@ -106,7 +101,13 @@ pub fn infect(netlist: &Netlist, trojan: &Trojan) -> Result<Netlist, NetlistErro
     let outputs: Vec<NetId> = netlist
         .primary_outputs()
         .iter()
-        .map(|&o| if o == trojan.payload_output { corrupted } else { o })
+        .map(|&o| {
+            if o == trojan.payload_output {
+                corrupted
+            } else {
+                o
+            }
+        })
         .collect();
 
     Netlist::from_parts(format!("{}_ht", netlist.name()), gates, outputs)

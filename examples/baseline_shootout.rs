@@ -31,10 +31,19 @@ fn main() {
     let budget = tgrl.len().max(8);
 
     let mut rows: Vec<(&str, Vec<deterrent_repro::sim::TestPattern>)> = vec![
-        ("Random", RandomPatterns::new(budget, 1).generate(&netlist, &analysis)),
+        (
+            "Random",
+            RandomPatterns::new(budget, 1).generate(&netlist, &analysis),
+        ),
         ("TestMAX (ATPG)", Atpg::new(1).generate(&netlist, &analysis)),
-        ("MERO", Mero::new(5, budget * 50, 1).generate(&netlist, &analysis)),
-        ("TARMAC", Tarmac::new(budget, 1).generate(&netlist, &analysis)),
+        (
+            "MERO",
+            Mero::new(5, budget * 50, 1).generate(&netlist, &analysis),
+        ),
+        (
+            "TARMAC",
+            Tarmac::new(budget, 1).generate(&netlist, &analysis),
+        ),
         ("TGRL", tgrl),
     ];
     let mut config = DeterrentConfig::fast_preset();
@@ -42,7 +51,10 @@ fn main() {
     let deterrent = Deterrent::new(&netlist, config).run_with_analysis(&analysis);
     rows.push(("DETERRENT", deterrent.patterns.clone()));
 
-    println!("{:<18} {:>12} {:>12}", "technique", "test length", "cov (%)");
+    println!(
+        "{:<18} {:>12} {:>12}",
+        "technique", "test length", "cov (%)"
+    );
     for (name, patterns) in &rows {
         let report = evaluator.evaluate(patterns);
         println!(

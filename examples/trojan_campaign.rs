@@ -35,7 +35,8 @@ fn main() {
     let deterrent_report = evaluator.evaluate(&deterrent.patterns);
 
     // Defender B: the same number of random patterns.
-    let random = RandomPatterns::new(deterrent.test_length().max(1), 7).generate(&netlist, &analysis);
+    let random =
+        RandomPatterns::new(deterrent.test_length().max(1), 7).generate(&netlist, &analysis);
     let random_report = evaluator.evaluate(&random);
 
     println!(

@@ -1,0 +1,178 @@
+//! Offline stand-in for the subset of the `criterion` benchmarking API used
+//! by this workspace (`criterion_group!`/`criterion_main!`, `bench_function`,
+//! `Bencher::iter`, `Bencher::iter_batched`, `BatchSize`).
+//!
+//! Instead of criterion's statistical machinery it runs a short warm-up, then
+//! `sample_size` timed samples, and prints min/median/mean per benchmark —
+//! enough to compare implementations offline and to keep `cargo bench`
+//! targets compiling and runnable.
+
+#![forbid(unsafe_code)]
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier, re-exported for benchmark bodies.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// How per-iteration setup output is batched in [`Bencher::iter_batched`].
+/// The stub runs one setup per timed routine call regardless of the variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small routine input.
+    SmallInput,
+    /// Large routine input.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Timing collector passed to benchmark closures.
+pub struct Bencher {
+    samples: Vec<Duration>,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Times `routine`, one sample per call, `sample_size` times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up (untimed).
+        std_black_box(routine());
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            std_black_box(routine());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    /// Times `routine` on fresh inputs produced by `setup`; setup time is not
+    /// measured.
+    pub fn iter_batched<I, O, S, F>(&mut self, mut setup: S, mut routine: F, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        F: FnMut(I) -> O,
+    {
+        std_black_box(routine(setup()));
+        for _ in 0..self.sample_size {
+            let input = setup();
+            let start = Instant::now();
+            std_black_box(routine(input));
+            self.samples.push(start.elapsed());
+        }
+    }
+}
+
+/// Benchmark driver.
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self { sample_size: 20 }
+    }
+}
+
+impl Criterion {
+    /// Sets how many timed samples each benchmark collects.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            samples: Vec::new(),
+            sample_size: self.sample_size,
+        };
+        f(&mut bencher);
+        let mut samples = bencher.samples;
+        if samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return self;
+        }
+        samples.sort_unstable();
+        let min = samples[0];
+        let median = samples[samples.len() / 2];
+        let mean = samples.iter().sum::<Duration>() / samples.len() as u32;
+        println!(
+            "{name:<44} min {:>12?}  median {:>12?}  mean {:>12?}  ({} samples)",
+            min,
+            median,
+            mean,
+            samples.len()
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group: a function running each target against a
+/// shared [`Criterion`] configuration.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default().sample_size(3);
+        let mut runs = 0usize;
+        c.bench_function("stub/noop", |b| {
+            b.iter(|| {
+                runs += 1;
+            })
+        });
+        // One warm-up plus three samples.
+        assert_eq!(runs, 4);
+    }
+
+    #[test]
+    fn iter_batched_runs_setup_per_sample() {
+        let mut c = Criterion::default().sample_size(2);
+        let mut setups = 0usize;
+        c.bench_function("stub/batched", |b| {
+            b.iter_batched(
+                || {
+                    setups += 1;
+                    vec![1u8; 16]
+                },
+                |v| v.len(),
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(setups, 3);
+    }
+}

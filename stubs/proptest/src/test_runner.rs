@@ -1,0 +1,80 @@
+//! Test-runner plumbing: per-test RNG, configuration, and case outcomes.
+
+use rand::rngs::StdRng;
+use rand::{RngCore, SeedableRng};
+
+/// Configuration accepted by `#![proptest_config(...)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted (non-rejected) cases each test runs.
+    pub cases: u32,
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 32 }
+    }
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per test.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+/// Outcome of one generated case.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was discarded by `prop_assume!`; it does not count.
+    Reject(String),
+    /// The case failed an assertion.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A failing outcome.
+    #[must_use]
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// A rejected (discarded) outcome.
+    #[must_use]
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+/// Deterministic per-test random source driving all strategies.
+#[derive(Debug, Clone)]
+pub struct TestRng(StdRng);
+
+impl TestRng {
+    /// A generator seeded from the test name (stable across runs), or from
+    /// `PROPTEST_SEED` when set, so failures can be re-run with other seeds.
+    #[must_use]
+    pub fn for_test(name: &str) -> Self {
+        let seed = match std::env::var("PROPTEST_SEED") {
+            Ok(v) => v.parse().unwrap_or(0),
+            Err(_) => 0,
+        };
+        // FNV-1a over the test name mixed with the optional external seed.
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ seed;
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01B3);
+        }
+        Self(StdRng::seed_from_u64(h))
+    }
+}
+
+impl RngCore for TestRng {
+    fn next_u32(&mut self) -> u32 {
+        self.0.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.0.next_u64()
+    }
+}

@@ -79,7 +79,9 @@ fn masking_does_not_reduce_best_set_quality() {
     masked_cfg.rareness_threshold = 0.2;
     masked_cfg.episodes = 40;
     masked_cfg.seed = 11;
-    let unmasked_cfg = masked_cfg.clone().with_ablation(RewardMode::AllSteps, false);
+    let unmasked_cfg = masked_cfg
+        .clone()
+        .with_ablation(RewardMode::AllSteps, false);
 
     let masked = Deterrent::new(&netlist, masked_cfg).run_with_analysis(&analysis);
     let unmasked = Deterrent::new(&netlist, unmasked_cfg).run_with_analysis(&analysis);
@@ -117,7 +119,9 @@ fn infected_netlists_expose_payload_only_under_trigger() {
 
     // A SAT-derived triggering pattern must cause an output mismatch.
     let mut oracle = CircuitOracle::new(&netlist);
-    let bits = oracle.justify(&trojan.trigger).expect("trigger satisfiable");
+    let bits = oracle
+        .justify(&trojan.trigger)
+        .expect("trigger satisfiable");
     let fire = TestPattern::new(bits);
     let golden_out: Vec<bool> = netlist
         .primary_outputs()
@@ -129,7 +133,10 @@ fn infected_netlists_expose_payload_only_under_trigger() {
         .iter()
         .map(|&o| bad_sim.run(&fire).value(o))
         .collect();
-    assert_ne!(golden_out, bad_out, "payload must corrupt an output when triggered");
+    assert_ne!(
+        golden_out, bad_out,
+        "payload must corrupt an output when triggered"
+    );
 }
 
 #[test]

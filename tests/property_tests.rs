@@ -1,9 +1,11 @@
 //! Repository-level property-based tests spanning multiple crates.
 
+use deterrent_repro::deterrent_core::{CompatBuildOptions, CompatStrategy, CompatibilityGraph};
 use deterrent_repro::netlist::synth::BenchmarkProfile;
-use deterrent_repro::netlist::{bench, GateKind, NetlistBuilder};
+use deterrent_repro::netlist::{bench, samples, GateKind, InputSupports, Netlist, NetlistBuilder};
 use deterrent_repro::sat::{CircuitOracle, Cnf, Lit, Solver, Var};
-use deterrent_repro::sim::{Simulator, TestPattern};
+use deterrent_repro::sim::rare::RareNetAnalysis;
+use deterrent_repro::sim::{ConeSimulator, Simulator, TestPattern};
 use proptest::prelude::*;
 
 /// Builds a small random combinational netlist from a proptest strategy.
@@ -19,6 +21,17 @@ fn arbitrary_netlist() -> impl Strategy<Value = deterrent_repro::netlist::Netlis
             rare_cone_width: (3, 4),
         };
         profile.generate(seed)
+    })
+}
+
+/// One of the small hand-written sample designs the funnel property test
+/// runs against.
+fn funnel_sample_netlist() -> impl Strategy<Value = Netlist> {
+    (0usize..4).prop_map(|choice| match choice {
+        0 => samples::c17(),
+        1 => samples::majority5(),
+        2 => samples::rare_chain(5),
+        _ => samples::rare_chain(7),
     })
 }
 
@@ -91,6 +104,60 @@ proptest! {
             let packed = kind.eval_packed(&words) & 1 == 1;
             prop_assert_eq!(scalar, packed, "{}", kind);
         }
+    }
+
+    /// Every SAT-free verdict of the compatibility funnel agrees with
+    /// full-netlist SAT ground truth: sim witnesses only claim compatible
+    /// pairs, disjoint supports reduce pairs to their singletons, exhaustive
+    /// cone enumeration is exact, and the assembled funnel graph is
+    /// bit-identical to the all-SAT graph.
+    #[test]
+    fn funnel_verdicts_agree_with_sat_ground_truth(
+        nl in funnel_sample_netlist(),
+        theta_pct in 8usize..45,
+        patterns_exp in 6usize..11,
+        seed in any::<u64>(),
+    ) {
+        let theta = theta_pct as f64 / 100.0;
+        let analysis = RareNetAnalysis::estimate(&nl, theta, 1 << patterns_exp, seed);
+        prop_assume!(!analysis.is_empty());
+
+        let mut truth_oracle = CircuitOracle::new(&nl);
+        let bank = analysis.witnesses().expect("estimate retains witnesses");
+        let targets = analysis.targets();
+        let roots: Vec<_> = targets.iter().map(|&(net, _)| net).collect();
+        let supports = InputSupports::compute(&nl, &roots);
+        let mut cone_sim = ConeSimulator::new(&nl, 10);
+
+        for i in 0..targets.len() {
+            for j in (i + 1)..targets.len() {
+                let pair = [targets[i], targets[j]];
+                let truth = truth_oracle.is_compatible(&pair);
+                // Tier 1: a joint witness is a constructive compatibility proof.
+                if bank.pair_witnessed(i, j) {
+                    prop_assert!(truth, "witnessed pair ({i},{j}) must be SAT-compatible");
+                }
+                // Tier 2a: disjoint supports reduce the pair to its singletons.
+                if supports.disjoint(i, j) {
+                    let both = truth_oracle.is_compatible(&pair[..1])
+                        && truth_oracle.is_compatible(&pair[1..]);
+                    prop_assert_eq!(truth, both, "disjoint pair ({}, {})", i, j);
+                }
+                // Tier 2b: bounded exhaustive cone enumeration is exact.
+                if let Some(verdict) = cone_sim.decide(&pair) {
+                    prop_assert_eq!(verdict, truth, "enumerated pair ({}, {})", i, j);
+                }
+            }
+        }
+
+        // End to end: the funnel graph equals the all-SAT graph bit for bit.
+        let all_sat = CompatibilityGraph::build_with(&nl, &analysis, &CompatBuildOptions {
+            threads: 1,
+            strategy: CompatStrategy::AllSat,
+        });
+        let funnel = CompatibilityGraph::build_with(&nl, &analysis, &CompatBuildOptions::default());
+        prop_assert_eq!(funnel.adjacency(), all_sat.adjacency());
+        prop_assert_eq!(funnel.rare_nets(), all_sat.rare_nets());
     }
 
     /// Adding gates through the builder never produces invalid netlists.
