@@ -1,19 +1,29 @@
-//! Tier-breakdown report of the simulation-first compatibility funnel.
+//! Tier-breakdown and parallel-speedup report of the simulation-first
+//! compatibility funnel.
 //!
 //! Builds the pairwise-compatibility graph of a scaled benchmark profile
 //! twice — once with the paper's all-SAT offline phase and once with the
 //! three-tier funnel — verifies the adjacency matrices are bit-identical,
 //! and reports how each tier resolved the pairs plus the reduction in
-//! pairwise SAT queries.
+//! pairwise SAT queries. The offline phase (probability estimation, witness
+//! harvest, funnel tiers) is additionally timed at one thread and at
+//! `--threads` workers; the deterministic exec runtime guarantees both runs
+//! produce the identical graph, so the ratio is a pure wall-clock speedup.
 //!
 //! Usage: `funnel [--scale N] [--seed N] [--theta F] [--patterns N]
-//! [--threads N] [--limit K]` (defaults match the acceptance profile: c2670
-//! at scale 20, θ = 0.2).
+//! [--threads N] [--limit K] [--min-speedup F]` (defaults match the
+//! acceptance profile: c2670 at scale 20, θ = 0.2, and the paper's 100k
+//! random-pattern budget). `--threads 0` resolves via
+//! `DETERRENT_THREADS`/available cores. A non-zero `--min-speedup` turns the
+//! speedup report into a gate, skipped when the host has fewer cores than
+//! workers (a 1-core box cannot exhibit wall-clock speedup).
 
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use deterrent_core::{CompatBuildOptions, CompatStrategy, CompatibilityGraph, FunnelOptions};
+use exec::Exec;
 use netlist::synth::BenchmarkProfile;
+use netlist::Netlist;
 use sim::rare::RareNetAnalysis;
 
 struct Args {
@@ -23,6 +33,7 @@ struct Args {
     patterns: usize,
     threads: usize,
     limit: u32,
+    min_speedup: f64,
 }
 
 fn parse_args() -> Args {
@@ -30,9 +41,10 @@ fn parse_args() -> Args {
         scale: 20,
         seed: 3,
         theta: 0.2,
-        patterns: 8192,
+        patterns: 100_000,
         threads: 1,
         limit: FunnelOptions::default().exhaustive_support_limit,
+        min_speedup: 0.0,
     };
     // A typo here would otherwise run the acceptance gate on the default
     // configuration while claiming the requested one, so parse strictly.
@@ -53,9 +65,10 @@ fn parse_args() -> Args {
             ("--patterns", Some(v)) => args.patterns = parse_or_die("--patterns", v),
             ("--threads", Some(v)) => args.threads = parse_or_die("--threads", v),
             ("--limit", Some(v)) => args.limit = parse_or_die("--limit", v),
+            ("--min-speedup", Some(v)) => args.min_speedup = parse_or_die("--min-speedup", v),
             (flag, _) => {
                 eprintln!(
-                    "error: unknown or valueless flag {flag:?} (expected --scale/--seed/--theta/--patterns/--threads/--limit <value>)"
+                    "error: unknown or valueless flag {flag:?} (expected --scale/--seed/--theta/--patterns/--threads/--limit/--min-speedup <value>)"
                 );
                 std::process::exit(2);
             }
@@ -73,6 +86,50 @@ fn parse_args() -> Args {
     args
 }
 
+/// One full offline phase — probability estimation + witness harvest +
+/// funnel graph build — on `threads` workers.
+fn offline_phase(
+    netlist: &Netlist,
+    args: &Args,
+    threads: usize,
+) -> (RareNetAnalysis, CompatibilityGraph, Duration) {
+    let start = Instant::now();
+    let exec = Exec::new(threads.max(1));
+    let analysis =
+        RareNetAnalysis::estimate_with(netlist, args.theta, args.patterns, args.seed, &exec);
+    let graph = CompatibilityGraph::build_with(
+        netlist,
+        &analysis,
+        &CompatBuildOptions {
+            threads: threads.max(1),
+            strategy: CompatStrategy::Funnel(FunnelOptions {
+                exhaustive_support_limit: args.limit,
+                ..FunnelOptions::default()
+            }),
+        },
+    );
+    (analysis, graph, start.elapsed())
+}
+
+/// Best-of-N wall clock of the offline phase, returning the last run's
+/// outputs (all runs produce bit-identical results by construction).
+fn timed_phase(
+    netlist: &Netlist,
+    args: &Args,
+    threads: usize,
+) -> (RareNetAnalysis, CompatibilityGraph, Duration) {
+    const RUNS: usize = 3;
+    let mut best = Duration::MAX;
+    let mut out = None;
+    for _ in 0..RUNS {
+        let (analysis, graph, elapsed) = offline_phase(netlist, args, threads);
+        best = best.min(elapsed);
+        out = Some((analysis, graph));
+    }
+    let (analysis, graph) = out.expect("at least one run");
+    (analysis, graph, best)
+}
+
 fn main() {
     let args = parse_args();
     let profile = if args.scale <= 1 {
@@ -81,15 +138,30 @@ fn main() {
         BenchmarkProfile::c2670().scaled(args.scale)
     };
     let netlist = profile.generate(args.seed);
+    let threads = Exec::new(args.threads).threads();
     println!(
-        "design {}: {} gates ({} logic), {} scan inputs",
+        "design {}: {} gates ({} logic), {} scan inputs, {} worker thread(s)",
         netlist.name(),
         netlist.num_gates(),
         netlist.num_logic_gates(),
-        netlist.num_scan_inputs()
+        netlist.num_scan_inputs(),
+        threads,
     );
 
-    let analysis = RareNetAnalysis::estimate(&netlist, args.theta, args.patterns, args.seed);
+    // ── Deterministic parallel speedup of the offline phase. ───────────────
+    let (serial_analysis, serial_graph, serial_time) = timed_phase(&netlist, &args, 1);
+    let (analysis, funnel, parallel_time) = if threads == 1 {
+        // One thread is both the baseline and the measurement — don't pay
+        // for the phase twice.
+        (serial_analysis, serial_graph.clone(), serial_time)
+    } else {
+        timed_phase(&netlist, &args, threads)
+    };
+    assert_eq!(
+        serial_graph.adjacency(),
+        funnel.adjacency(),
+        "exec runtime must be bit-identical at any thread count"
+    );
     println!(
         "rare nets at θ = {}: {} ({} simulated patterns retained as witnesses)",
         args.theta,
@@ -99,37 +171,22 @@ fn main() {
             .map_or(0, sim::WitnessBank::num_patterns),
     );
 
-    let t0 = Instant::now();
+    // ── All-SAT reference for the query-reduction gate. ────────────────────
     let all_sat = CompatibilityGraph::build_with(
         &netlist,
         &analysis,
         &CompatBuildOptions {
-            threads: args.threads,
+            threads,
             strategy: CompatStrategy::AllSat,
         },
     );
-    let all_sat_time = t0.elapsed();
-
-    let t1 = Instant::now();
-    let funnel = CompatibilityGraph::build_with(
-        &netlist,
-        &analysis,
-        &CompatBuildOptions {
-            threads: args.threads,
-            strategy: CompatStrategy::Funnel(FunnelOptions {
-                exhaustive_support_limit: args.limit,
-                ..FunnelOptions::default()
-            }),
-        },
-    );
-    let funnel_time = t1.elapsed();
 
     assert_eq!(
         funnel.adjacency(),
         all_sat.adjacency(),
         "funnel adjacency must be bit-identical to the all-SAT result"
     );
-    println!("\nadjacency matrices are bit-identical ✓");
+    println!("\nadjacency matrices are bit-identical ✓ (all-SAT, funnel ×1, funnel ×{threads})");
 
     let fs = funnel.stats();
     let along = all_sat.stats();
@@ -173,9 +230,20 @@ fn main() {
         along.total_sat_queries(),
         fs.total_sat_queries()
     );
+    // Both sides measured the same way: the pairwise-tier wall clock of one
+    // graph build (the funnel's probability estimation is shared setup, not
+    // part of this comparison).
     println!(
         "{:<34} {:>12.1?} {:>12.1?}",
-        "wall clock", all_sat_time, funnel_time
+        "pairwise tiers wall clock",
+        Duration::from_nanos(along.tier_nanos_total()),
+        Duration::from_nanos(fs.tier_nanos_total()),
+    );
+    println!(
+        "\nfunnel tier wall clock (×{threads}): tier1 {:?}, tier2 {:?}, tier3 {:?}",
+        Duration::from_nanos(fs.tier1_nanos),
+        Duration::from_nanos(fs.tier2_nanos),
+        Duration::from_nanos(fs.tier3_nanos),
     );
 
     let pairwise_reduction = if fs.pairwise_sat_queries() == 0 {
@@ -190,10 +258,43 @@ fn main() {
         100.0 * fs.sat_free_pair_fraction()
     );
 
+    let speedup = serial_time.as_secs_f64() / parallel_time.as_secs_f64().max(1e-12);
+    println!(
+        "offline phase wall clock: {serial_time:.1?} (1 thread) -> {parallel_time:.1?} ({threads} thread(s)): {speedup:.2}x speedup"
+    );
+
+    let mut failed = false;
     if pairwise_reduction >= 5.0 {
         println!("acceptance: ≥5x pairwise SAT reduction ✓");
     } else {
         println!("acceptance: FAILED — reduction below 5x");
+        failed = true;
+    }
+    if args.min_speedup > 0.0 {
+        let host_cores =
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        if host_cores < threads {
+            // A wall-clock speedup cannot exceed the host's core count; on a
+            // box with fewer cores than requested workers the gate would
+            // measure the scheduler, not the runtime. Determinism is still
+            // asserted above either way.
+            println!(
+                "acceptance: speedup gate skipped — host exposes {host_cores} core(s) for {threads} requested worker(s)"
+            );
+        } else if speedup >= args.min_speedup {
+            println!(
+                "acceptance: ≥{:.1}x offline-phase speedup at {threads} threads ✓",
+                args.min_speedup
+            );
+        } else {
+            println!(
+                "acceptance: FAILED — speedup {speedup:.2}x below {:.1}x",
+                args.min_speedup
+            );
+            failed = true;
+        }
+    }
+    if failed {
         std::process::exit(1);
     }
 }

@@ -25,10 +25,18 @@
 //!    persistent [`sat::ConeOracle`] that encodes the union of the two fanin
 //!    cones on demand instead of re-encoding the whole netlist per query.
 
+use std::time::Instant;
+
+use exec::Exec;
 use netlist::{InputSupports, NetId, Netlist};
 use sat::{CircuitOracle, ConeOracle};
 use sim::rare::{RareNet, RareNetAnalysis};
-use sim::{ConeSimulator, WitnessBank};
+use sim::{ConeSimulator, TestPattern, WitnessBank};
+
+/// Below this many pairs the tier-1 witness sweep stays on the calling
+/// thread: each check is a handful of word ANDs, so spawning workers would
+/// cost more than the sweep itself. Results are identical either way.
+const TIER1_PARALLEL_MIN_PAIRS: usize = 4096;
 
 /// Per-tier toggles of the compatibility funnel. Disabling a tier pushes its
 /// pairs down to the next one; with everything off the funnel degenerates to
@@ -79,7 +87,10 @@ impl Default for CompatStrategy {
 /// Options for [`CompatibilityGraph::build_with`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CompatBuildOptions {
-    /// Worker threads for the SAT tier (at least 1).
+    /// Worker threads for the parallel tiers (witness sweep, cone
+    /// enumeration, SAT). `0` resolves through [`exec::Exec::new`]: the
+    /// `DETERRENT_THREADS` environment variable, else all available cores.
+    /// The adjacency matrix is bit-identical at any thread count.
     pub threads: usize,
     /// Resolution strategy.
     pub strategy: CompatStrategy,
@@ -116,6 +127,15 @@ pub struct CompatStats {
     pub pairs_cone_enumerated: u64,
     /// Pairs resolved by tier 3 (one SAT query each).
     pub pairs_sat_resolved: u64,
+    /// Worker threads the parallel tiers ran on.
+    pub threads_used: usize,
+    /// Wall nanoseconds spent in tier 1 (joint-witness sweep).
+    pub tier1_nanos: u64,
+    /// Wall nanoseconds spent in tier 2 (structural pruning + bounded cone
+    /// enumeration).
+    pub tier2_nanos: u64,
+    /// Wall nanoseconds spent in tier 3 (SAT on the survivors).
+    pub tier3_nanos: u64,
 }
 
 impl CompatStats {
@@ -138,6 +158,12 @@ impl CompatStats {
             return 1.0;
         }
         1.0 - self.pairs_sat_resolved as f64 / self.pairs_total as f64
+    }
+
+    /// Total wall nanoseconds across the three pairwise tiers.
+    #[must_use]
+    pub fn tier_nanos_total(&self) -> u64 {
+        self.tier1_nanos + self.tier2_nanos + self.tier3_nanos
     }
 }
 
@@ -180,6 +206,12 @@ pub struct CompatibilityGraph {
     /// Row-major adjacency matrix, `adj[i * n + j]`.
     adjacency: Vec<bool>,
     stats: CompatStats,
+    /// The estimation run's witness bank, retained for downstream pattern
+    /// reuse (rows are indexed by *candidate* position, see `witness_rows`).
+    witnesses: Option<WitnessBank>,
+    /// Bank row of each kept rare net: `witness_rows[graph_idx]` is the
+    /// candidate index of `rare_nets[graph_idx]` in the originating analysis.
+    witness_rows: Vec<usize>,
 }
 
 impl CompatibilityGraph {
@@ -221,8 +253,10 @@ impl CompatibilityGraph {
             },
             CompatStrategy::Funnel(f) => f,
         };
+        let exec = Exec::new(options.threads);
         let mut stats = CompatStats {
             candidate_rare_nets: analysis.len(),
+            threads_used: exec.threads(),
             ..CompatStats::default()
         };
 
@@ -265,22 +299,47 @@ impl CompatibilityGraph {
         stats.kept_rare_nets = n;
         stats.pairs_total = (n * n.saturating_sub(1) / 2) as u64;
         let mut adjacency = vec![false; n * n];
+        // Retained for downstream witness-pattern reuse — a funnel
+        // capability. All-SAT builds model the paper's baseline (and serve
+        // as its cost reference), so they neither reuse witnesses nor pay
+        // for copying the bank's rows.
+        let witnesses = match options.strategy {
+            CompatStrategy::Funnel(_) => analysis.witnesses().cloned(),
+            CompatStrategy::AllSat => None,
+        };
         if n == 0 {
             return Self {
                 rare_nets,
                 adjacency,
                 stats,
+                witnesses,
+                witness_rows: kept_candidate_idx,
             };
         }
 
         // ── Tier 1: joint simulation witnesses. ────────────────────────────
-        let mut unresolved: Vec<(usize, usize)> = Vec::new();
-        for i in 0..n {
-            for j in (i + 1)..n {
-                let witnessed = bank.is_some_and(|b| {
-                    b.pair_witnessed(kept_candidate_idx[i], kept_candidate_idx[j])
-                });
-                if witnessed {
+        // Pair-chunk parallel word-AND sweep; each pair's verdict is a pure
+        // function of the bank, so the chunked merge is order-exact.
+        let tier1_start = Instant::now();
+        let pairs: Vec<(u32, u32)> = (0..n as u32)
+            .flat_map(|i| ((i + 1)..n as u32).map(move |j| (i, j)))
+            .collect();
+        let mut unresolved: Vec<(usize, usize)> = Vec::with_capacity(pairs.len());
+        if let Some(bank) = bank {
+            let sweep = |&(i, j): &(u32, u32)| {
+                bank.pair_witnessed(
+                    kept_candidate_idx[i as usize],
+                    kept_candidate_idx[j as usize],
+                )
+            };
+            let witnessed: Vec<bool> = if pairs.len() >= TIER1_PARALLEL_MIN_PAIRS {
+                exec.par_map(&pairs, |_, pair| sweep(pair))
+            } else {
+                pairs.iter().map(sweep).collect()
+            };
+            for (&(i, j), hit) in pairs.iter().zip(witnessed) {
+                let (i, j) = (i as usize, j as usize);
+                if hit {
                     adjacency[i * n + j] = true;
                     adjacency[j * n + i] = true;
                     stats.pairs_sim_witnessed += 1;
@@ -288,9 +347,13 @@ impl CompatibilityGraph {
                     unresolved.push((i, j));
                 }
             }
+        } else {
+            unresolved.extend(pairs.iter().map(|&(i, j)| (i as usize, j as usize)));
         }
+        stats.tier1_nanos = tier1_start.elapsed().as_nanos() as u64;
 
         // ── Tier 2: disjoint cone supports, then bounded enumeration. ──────
+        let tier2_start = Instant::now();
         if funnel.structural_pruning && !unresolved.is_empty() {
             let roots: Vec<NetId> = rare_nets.iter().map(|r| r.net).collect();
             let supports = InputSupports::compute(netlist, &roots);
@@ -307,13 +370,25 @@ impl CompatibilityGraph {
                 }
             });
         }
-        if let Some(cone_sim) = cone_sim.as_mut() {
-            unresolved.retain(|&(i, j)| {
-                let pair = [
-                    (rare_nets[i].net, rare_nets[i].rare_value),
-                    (rare_nets[j].net, rare_nets[j].rare_value),
-                ];
-                match cone_sim.decide(&pair) {
+        if cone_sim.is_some() && !unresolved.is_empty() {
+            // Enumeration is the funnel's dominant SAT-free cost (up to
+            // `2^limit` packed assignments per pair), so it fans out across
+            // pair chunks with one scratch ConeSimulator per worker. Each
+            // verdict depends only on its pair — the merge is order-exact.
+            let limit = funnel.exhaustive_support_limit.min(26);
+            let verdicts: Vec<Option<bool>> = exec.par_map_with(
+                &unresolved,
+                || ConeSimulator::new(netlist, limit),
+                |cone_sim, _, &(i, j)| {
+                    cone_sim.decide(&[
+                        (rare_nets[i].net, rare_nets[i].rare_value),
+                        (rare_nets[j].net, rare_nets[j].rare_value),
+                    ])
+                },
+            );
+            let mut verdicts = verdicts.into_iter();
+            unresolved.retain(
+                |&(i, j)| match verdicts.next().expect("one verdict per pair") {
                     Some(compatible) => {
                         adjacency[i * n + j] = compatible;
                         adjacency[j * n + i] = compatible;
@@ -321,16 +396,17 @@ impl CompatibilityGraph {
                         false
                     }
                     None => true,
-                }
-            });
+                },
+            );
         }
+        stats.tier2_nanos = tier2_start.elapsed().as_nanos() as u64;
 
         // ── Tier 3: SAT on the survivors. ──────────────────────────────────
+        let tier3_start = Instant::now();
         stats.pairs_sat_resolved = unresolved.len() as u64;
-        let threads = options.threads.max(1).min(unresolved.len().max(1));
         let results: Vec<(usize, usize, bool)> = if unresolved.is_empty() {
             Vec::new()
-        } else if threads <= 1 || unresolved.len() < 64 {
+        } else if exec.threads() <= 1 || unresolved.len() < 64 {
             // Reuse the singleton-stage oracle when one was built: its
             // encoding work and learned clauses carry over into the pairwise
             // queries.
@@ -347,43 +423,37 @@ impl CompatibilityGraph {
                 })
                 .collect()
         } else {
-            let chunk_size = unresolved.len().div_ceil(threads);
-            let chunks: Vec<&[(usize, usize)]> = unresolved.chunks(chunk_size).collect();
-            crossbeam::thread::scope(|scope| {
-                let mut handles = Vec::new();
-                for chunk in &chunks {
-                    let chunk: Vec<(usize, usize)> = chunk.to_vec();
-                    let rare_nets = &rare_nets;
-                    handles.push(scope.spawn(move |_| {
-                        let mut oracle = PairOracle::new(netlist, funnel.cone_sat);
-                        chunk
-                            .into_iter()
-                            .map(|(i, j)| {
-                                let compatible = oracle.is_compatible(&[
-                                    (rare_nets[i].net, rare_nets[i].rare_value),
-                                    (rare_nets[j].net, rare_nets[j].rare_value),
-                                ]);
-                                (i, j, compatible)
-                            })
-                            .collect::<Vec<_>>()
-                    }));
-                }
-                handles
-                    .into_iter()
-                    .flat_map(|h| h.join().expect("compatibility worker panicked"))
-                    .collect()
+            let rare_nets = &rare_nets;
+            let unresolved = &unresolved;
+            exec.par_ranges(unresolved.len(), move |range| {
+                let mut oracle = PairOracle::new(netlist, funnel.cone_sat);
+                range
+                    .map(|idx| {
+                        let (i, j) = unresolved[idx];
+                        let compatible = oracle.is_compatible(&[
+                            (rare_nets[i].net, rare_nets[i].rare_value),
+                            (rare_nets[j].net, rare_nets[j].rare_value),
+                        ]);
+                        (i, j, compatible)
+                    })
+                    .collect::<Vec<_>>()
             })
-            .expect("compatibility thread scope")
+            .into_iter()
+            .flatten()
+            .collect()
         };
         for (i, j, compatible) in results {
             adjacency[i * n + j] = compatible;
             adjacency[j * n + i] = compatible;
         }
+        stats.tier3_nanos = tier3_start.elapsed().as_nanos() as u64;
 
         Self {
             rare_nets,
             adjacency,
             stats,
+            witnesses,
+            witness_rows: kept_candidate_idx,
         }
     }
 
@@ -468,6 +538,31 @@ impl CompatibilityGraph {
     #[must_use]
     pub fn sat_queries(&self) -> u64 {
         self.stats.total_sat_queries()
+    }
+
+    /// The witness bank of the originating analysis, if one was retained.
+    /// Rows are indexed by candidate position; translate graph indices with
+    /// the mapping behind [`CompatibilityGraph::joint_witness_pattern`].
+    #[must_use]
+    pub fn witness_bank(&self) -> Option<&WitnessBank> {
+        self.witnesses.as_ref()
+    }
+
+    /// A concrete simulated pattern observed to drive *every* rare net of
+    /// `set` (indices into [`CompatibilityGraph::rare_nets`]) to its rare
+    /// value at once, when the estimation run witnessed one and the bank can
+    /// re-materialize its patterns. Such a pattern makes a SAT justification
+    /// of the set unnecessary.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any index is out of range.
+    #[must_use]
+    pub fn joint_witness_pattern(&self, set: &[usize]) -> Option<TestPattern> {
+        let bank = self.witnesses.as_ref()?;
+        let rows: Vec<usize> = set.iter().map(|&i| self.witness_rows[i]).collect();
+        let index = bank.set_witness_index(&rows)?;
+        bank.pattern(index)
     }
 
     /// The `(net, rare_value)` targets of the rare nets selected by `set`

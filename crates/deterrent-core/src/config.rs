@@ -62,9 +62,17 @@ pub struct DeterrentConfig {
     /// `k` — how many of the largest distinct compatible sets become test
     /// patterns.
     pub k_patterns: usize,
-    /// Worker threads for the offline pairwise-compatibility computation
-    /// (the paper uses 64 processes).
-    pub compat_threads: usize,
+    /// Worker threads of the deterministic parallel runtime, driving
+    /// probability estimation, witness harvesting, every compatibility-funnel
+    /// tier, and PPO rollout collection (the paper throws 64 processes at the
+    /// offline phase). `0` resolves through [`exec::Exec::new`]: the
+    /// `DETERRENT_THREADS` environment variable when set, otherwise all
+    /// available cores. Results are bit-identical at any thread count.
+    pub threads: usize,
+    /// Episodes collected per frozen-policy round during parallel rollout
+    /// collection. Fixed independently of the thread count so trajectories
+    /// (and therefore training) do not depend on the hardware.
+    pub rollout_round: usize,
     /// RNG seed controlling every stochastic component.
     pub seed: u64,
 }
@@ -83,7 +91,8 @@ impl Default for DeterrentConfig {
             steps_per_episode: 64,
             eval_rollouts: 64,
             k_patterns: 32,
-            compat_threads: 8,
+            threads: 0,
+            rollout_round: 8,
             seed: 0xDE7E88EA7,
         }
     }
@@ -106,7 +115,6 @@ impl DeterrentConfig {
             steps_per_episode: 24,
             eval_rollouts: 16,
             k_patterns: 16,
-            compat_threads: 4,
             ..Self::default()
         }
     }
@@ -120,7 +128,7 @@ impl DeterrentConfig {
             steps_per_episode: 128,
             eval_rollouts: 256,
             k_patterns: 64,
-            compat_threads: 16,
+            rollout_round: 16,
             ..Self::default()
         }
     }

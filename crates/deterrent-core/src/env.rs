@@ -24,7 +24,11 @@ use crate::{CompatCheck, CompatibilityGraph, DeterrentConfig, RewardMode};
 /// Episode-final states are recorded and can be drained with
 /// [`CompatSetEnv::take_harvest`]; they are the maximal compatible sets the
 /// pipeline turns into test patterns.
-#[derive(Debug)]
+///
+/// The environment is `Clone` and implements [`Environment::reseed`], so
+/// parallel rollout collection can give every episode its own copy with an
+/// independent, reproducible initial-state stream.
+#[derive(Debug, Clone)]
 pub struct CompatSetEnv<'a> {
     graph: &'a CompatibilityGraph,
     reward_mode: RewardMode,
@@ -182,6 +186,10 @@ impl Environment for CompatSetEnv<'_> {
         (0..self.graph.len())
             .map(|j| !self.membership[j] && self.graph.compatible_with_all(&self.members, j))
             .collect()
+    }
+
+    fn reseed(&mut self, seed: u64) {
+        self.rng = StdRng::seed_from_u64(seed);
     }
 }
 

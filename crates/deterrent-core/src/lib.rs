@@ -50,4 +50,6 @@ pub use compat::{
 pub use config::{CompatCheck, DeterrentConfig, RewardMode};
 pub use env::CompatSetEnv;
 pub use pipeline::{Deterrent, DeterrentResult, TrainingMetrics};
-pub use selection::{generate_patterns, select_k_largest, RareNetSet};
+pub use selection::{
+    generate_patterns, generate_patterns_with, select_k_largest, PatternGenStats, RareNetSet,
+};

@@ -1,13 +1,14 @@
 //! The end-to-end DETERRENT pipeline (Figure 4 of the paper).
 
+use exec::{Exec, ExecStats};
 use netlist::Netlist;
-use rl::{train, PpoLosses, PpoTrainer, TrainOptions};
+use rl::{train_parallel, CollectOptions, ParallelTrainOptions, PpoLosses, PpoTrainer};
 use sat::CircuitOracle;
 use sim::rare::{RareNet, RareNetAnalysis};
 use sim::TestPattern;
 
 use crate::{
-    generate_patterns, select_k_largest, CompatBuildOptions, CompatSetEnv, CompatibilityGraph,
+    generate_patterns_with, select_k_largest, CompatBuildOptions, CompatSetEnv, CompatibilityGraph,
     DeterrentConfig, RareNetSet,
 };
 
@@ -43,6 +44,23 @@ pub struct TrainingMetrics {
     /// Exact SAT checks performed inside the environment (non-zero only for
     /// the naive all-SAT formulation).
     pub env_sat_checks: u64,
+    /// Worker threads of the deterministic parallel runtime.
+    pub threads_used: usize,
+    /// Wall-clock seconds spent building the compatibility graph.
+    pub compat_build_seconds: f64,
+    /// Selected sets turned into patterns by reusing a concrete simulation
+    /// witness instead of a SAT justification.
+    pub patterns_witness_reused: u64,
+    /// SAT justification queries spent generating patterns (including greedy
+    /// repair retries).
+    pub pattern_sat_queries: u64,
+    /// Task/timing counters of the RL phase's parallel runtime (training
+    /// rollout rounds + greedy evaluation rollouts);
+    /// [`ExecStats::speedup`] is its realized parallel speedup. The other
+    /// stages keep their own timing surfaces: per-tier nanoseconds in
+    /// [`crate::CompatStats`] and [`TrainingMetrics::compat_build_seconds`]
+    /// for the graph, and the `funnel` binary for estimation.
+    pub exec_stats: ExecStats,
 }
 
 /// Output of a full DETERRENT run.
@@ -91,14 +109,19 @@ impl<'a> Deterrent<'a> {
     }
 
     /// Runs the full pipeline: rare-net analysis, offline compatibility,
-    /// RL training, set selection, and SAT pattern generation.
+    /// RL training, set selection, and SAT pattern generation. Every stage
+    /// runs on the deterministic parallel runtime sized by
+    /// [`DeterrentConfig::threads`]; the result is bit-identical at any
+    /// thread count.
     #[must_use]
     pub fn run(&self) -> DeterrentResult {
-        let analysis = RareNetAnalysis::estimate(
+        let exec = Exec::new(self.config.threads);
+        let analysis = RareNetAnalysis::estimate_with(
             self.netlist,
             self.config.rareness_threshold,
             self.config.probability_patterns,
             self.config.seed,
+            &exec,
         );
         self.run_with_analysis(&analysis)
     }
@@ -108,14 +131,17 @@ impl<'a> Deterrent<'a> {
     /// θ = 0.10) is expressed: analyse once per threshold and reuse.
     #[must_use]
     pub fn run_with_analysis(&self, analysis: &RareNetAnalysis) -> DeterrentResult {
+        let exec = Exec::new(self.config.threads);
+        let compat_start = std::time::Instant::now();
         let graph = CompatibilityGraph::build_with(
             self.netlist,
             analysis,
             &CompatBuildOptions {
-                threads: self.config.compat_threads,
+                threads: self.config.threads,
                 strategy: self.config.compat_strategy,
             },
         );
+        let compat_build_seconds = compat_start.elapsed().as_secs_f64();
         if graph.is_empty() {
             return DeterrentResult {
                 patterns: Vec::new(),
@@ -126,42 +152,56 @@ impl<'a> Deterrent<'a> {
             };
         }
 
-        let mut env = CompatSetEnv::new(self.netlist, &graph, &self.config);
+        // Training rollouts are collected in parallel rounds against frozen
+        // policy snapshots; each episode's environment clone drains its own
+        // harvest and SAT-check counter through the finish hook.
+        let proto_env = CompatSetEnv::new(self.netlist, &graph, &self.config);
         let mut trainer =
             PpoTrainer::new(graph.len(), graph.len(), &self.config.ppo, self.config.seed);
-        let options = TrainOptions {
+        let options = ParallelTrainOptions {
             episodes: self.config.episodes,
             max_steps: self.config.steps_per_episode,
+            round_episodes: self.config.rollout_round,
             seed: self.config.seed,
         };
+        let finish = |env: &mut CompatSetEnv<'_>| (env.take_harvest(), env.exact_sat_checks());
         let start = std::time::Instant::now();
-        let report = train(&mut env, &mut trainer, &options);
+        let outcome = train_parallel(&proto_env, &mut trainer, &options, &exec, finish);
         let training_seconds = start.elapsed().as_secs_f64();
+        let report = outcome.report;
 
-        // Harvest the sets seen during training plus greedy evaluation
-        // rollouts from the trained policy.
-        let mut harvested = env.take_harvest();
-        for _ in 0..self.config.eval_rollouts {
-            let mut state = rl::Environment::reset(&mut env);
-            loop {
-                let mask = rl::Environment::action_mask(&env);
-                if !mask.is_empty() && !mask.iter().any(|&m| m) {
-                    break;
-                }
-                let action = trainer.best_action(&state, &mask);
-                let outcome = rl::Environment::step(&mut env, action);
-                state = outcome.state;
-                if outcome.done {
-                    break;
-                }
-            }
+        // Greedy evaluation rollouts from the trained policy harvest extra
+        // maximal sets; their episode streams continue after the training
+        // streams so the two never overlap.
+        let eval = rl::collect_episodes(
+            &proto_env,
+            &trainer,
+            &CollectOptions {
+                count: self.config.eval_rollouts,
+                max_steps: self.config.steps_per_episode,
+                seed: self.config.seed,
+                first_episode: self.config.episodes as u64,
+                greedy: true,
+            },
+            &exec,
+            finish,
+        );
+
+        let mut harvested: Vec<Vec<usize>> = Vec::new();
+        let mut env_sat_checks = 0u64;
+        for (sets, checks) in outcome
+            .harvests
+            .into_iter()
+            .chain(eval.into_iter().map(|e| e.harvest))
+        {
+            harvested.extend(sets);
+            env_sat_checks += checks;
         }
-        harvested.extend(env.take_harvest());
 
         let max_compatible_set = harvested.iter().map(Vec::len).max().unwrap_or(0);
         let sets = select_k_largest(&harvested, self.config.k_patterns);
         let mut oracle = CircuitOracle::new(self.netlist);
-        let patterns = generate_patterns(&mut oracle, &graph, &sets);
+        let (patterns, gen_stats) = generate_patterns_with(&mut oracle, &graph, &sets);
 
         let metrics = TrainingMetrics {
             episodes_per_minute: report.episodes_per_minute(),
@@ -176,7 +216,12 @@ impl<'a> Deterrent<'a> {
             compat_pairs_pruned: graph.stats().pairs_structurally_pruned,
             compat_pairs_enumerated: graph.stats().pairs_cone_enumerated,
             compat_pairs_sat: graph.stats().pairs_sat_resolved,
-            env_sat_checks: env.exact_sat_checks(),
+            env_sat_checks,
+            threads_used: exec.threads(),
+            compat_build_seconds,
+            patterns_witness_reused: gen_stats.witness_reused,
+            pattern_sat_queries: gen_stats.sat_queries,
+            exec_stats: exec.stats(),
         };
 
         DeterrentResult {

@@ -46,36 +46,71 @@ pub fn select_k_largest(sets: &[Vec<usize>], k: usize) -> Vec<RareNetSet> {
     kept
 }
 
+/// How the patterns of one [`generate_patterns_with`] call were produced.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PatternGenStats {
+    /// Sets resolved by reusing a concrete simulation witness — the
+    /// estimation run already exhibited a pattern driving the whole set, so
+    /// no SAT justification was needed.
+    pub witness_reused: u64,
+    /// SAT justification queries spent (one per attempt, including the
+    /// greedy repair retries of unsatisfiable sets).
+    pub sat_queries: u64,
+}
+
 /// Generates one test pattern per selected set using the SAT oracle.
 ///
-/// Pairwise compatibility does not always imply joint satisfiability, so a
-/// set whose full conjunction is UNSAT is repaired by greedily dropping its
-/// last members until the remainder is satisfiable (singletons of rare nets
-/// are always satisfiable by construction of the rare-net analysis, because
-/// the rare value was observed in simulation). Duplicate patterns are
-/// removed while preserving order.
+/// Sets whose joint activation was already *witnessed* during the
+/// probability-estimation run skip SAT entirely: the witness bank retained by
+/// the [`CompatibilityGraph`] re-materializes the concrete simulated pattern
+/// ([`CompatibilityGraph::joint_witness_pattern`]). Pairwise compatibility
+/// does not always imply joint satisfiability, so a set whose full
+/// conjunction is UNSAT is repaired by greedily dropping its last members
+/// until the remainder is satisfiable (singletons of rare nets are always
+/// satisfiable by construction of the rare-net analysis, because the rare
+/// value was observed in simulation). Duplicate patterns are removed while
+/// preserving order.
+#[must_use]
+pub fn generate_patterns_with(
+    oracle: &mut CircuitOracle,
+    graph: &CompatibilityGraph,
+    sets: &[RareNetSet],
+) -> (Vec<TestPattern>, PatternGenStats) {
+    let mut stats = PatternGenStats::default();
+    let mut patterns: Vec<TestPattern> = Vec::with_capacity(sets.len());
+    let push_unique = |patterns: &mut Vec<TestPattern>, pattern: TestPattern| {
+        if !patterns.contains(&pattern) {
+            patterns.push(pattern);
+        }
+    };
+    for set in sets {
+        if let Some(pattern) = graph.joint_witness_pattern(set) {
+            stats.witness_reused += 1;
+            push_unique(&mut patterns, pattern);
+            continue;
+        }
+        let mut working = set.clone();
+        while !working.is_empty() {
+            let targets = graph.targets(&working);
+            stats.sat_queries += 1;
+            if let Some(bits) = oracle.justify(&targets) {
+                push_unique(&mut patterns, TestPattern::new(bits));
+                break;
+            }
+            working.pop();
+        }
+    }
+    (patterns, stats)
+}
+
+/// [`generate_patterns_with`] without the counters.
 #[must_use]
 pub fn generate_patterns(
     oracle: &mut CircuitOracle,
     graph: &CompatibilityGraph,
     sets: &[RareNetSet],
 ) -> Vec<TestPattern> {
-    let mut patterns: Vec<TestPattern> = Vec::with_capacity(sets.len());
-    for set in sets {
-        let mut working = set.clone();
-        while !working.is_empty() {
-            let targets = graph.targets(&working);
-            if let Some(bits) = oracle.justify(&targets) {
-                let pattern = TestPattern::new(bits);
-                if !patterns.contains(&pattern) {
-                    patterns.push(pattern);
-                }
-                break;
-            }
-            working.pop();
-        }
-    }
-    patterns
+    generate_patterns_with(oracle, graph, sets).0
 }
 
 #[cfg(test)]
@@ -150,6 +185,47 @@ mod tests {
                 .filter(|r| values.value(r.net) == r.rare_value)
                 .count();
             assert!(hits > 0, "pattern {p} activates no rare net");
+        }
+    }
+
+    #[test]
+    fn witnessed_sets_skip_sat_and_their_patterns_activate() {
+        let nl = BenchmarkProfile::c2670().scaled(20).generate(7);
+        let analysis = RareNetAnalysis::estimate(&nl, 0.2, 8192, 5);
+        let graph = CompatibilityGraph::build(&nl, &analysis, 1);
+        if graph.len() < 2 {
+            return;
+        }
+        // Sim-witnessed pairs exist on this profile (see the funnel tests);
+        // each such pair must be generated without any SAT query.
+        let mut witnessed_sets = Vec::new();
+        for i in 0..graph.len() {
+            for j in (i + 1)..graph.len() {
+                if graph.joint_witness_pattern(&[i, j]).is_some() {
+                    witnessed_sets.push(vec![i, j]);
+                }
+            }
+        }
+        assert!(
+            !witnessed_sets.is_empty(),
+            "profile should have sim-witnessed pairs"
+        );
+        let mut oracle = CircuitOracle::new(&nl);
+        let queries_before = oracle.num_queries();
+        let (patterns, stats) = generate_patterns_with(&mut oracle, &graph, &witnessed_sets);
+        assert_eq!(stats.witness_reused, witnessed_sets.len() as u64);
+        assert_eq!(stats.sat_queries, 0);
+        assert_eq!(oracle.num_queries(), queries_before);
+        // Reused witnesses are real activating patterns, not just claims
+        // (patterns may be fewer than sets after deduplication).
+        assert!(!patterns.is_empty());
+        let sim = Simulator::new(&nl);
+        for set in &witnessed_sets {
+            let pattern = graph.joint_witness_pattern(set).unwrap();
+            assert!(
+                sim.activates(&pattern, &graph.targets(set)),
+                "witness pattern must drive its whole set"
+            );
         }
     }
 

@@ -1,0 +1,300 @@
+//! The scoped-thread execution pool.
+
+use std::ops::Range;
+use std::time::Instant;
+
+use crate::stats::StatsCell;
+use crate::{ExecStats, THREADS_ENV_VAR};
+
+/// A deterministic parallel executor with a fixed worker count.
+///
+/// `Exec` owns no long-lived threads: every parallel call spawns scoped
+/// workers (joined before the call returns), so borrowing local data in task
+/// closures works naturally and a dropped `Exec` leaks nothing. Splitting is
+/// *static* — an index range is divided into one contiguous chunk per worker
+/// and results are merged in chunk order — so outputs are independent of
+/// scheduling and thread count.
+#[derive(Debug)]
+pub struct Exec {
+    threads: usize,
+    stats: StatsCell,
+}
+
+impl Default for Exec {
+    fn default() -> Self {
+        Self::new(0)
+    }
+}
+
+impl Exec {
+    /// Creates an executor with `threads` workers.
+    ///
+    /// `0` means "auto": the `DETERRENT_THREADS` environment variable when
+    /// set to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`].
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads > 0 {
+            threads
+        } else {
+            std::env::var(THREADS_ENV_VAR)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&t| t > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                })
+        };
+        Self {
+            threads,
+            stats: StatsCell::default(),
+        }
+    }
+
+    /// An executor that runs everything inline on the calling thread,
+    /// ignoring the environment. Useful as the serial reference in
+    /// determinism tests and for callers that must not spawn.
+    #[must_use]
+    pub fn serial() -> Self {
+        Self {
+            threads: 1,
+            stats: StatsCell::default(),
+        }
+    }
+
+    /// The resolved worker count (always at least 1).
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Snapshot of the accumulated task/timing counters.
+    #[must_use]
+    pub fn stats(&self) -> ExecStats {
+        self.stats.snapshot()
+    }
+
+    /// Resets the accumulated counters to zero.
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    /// Splits `0..n` into one contiguous range per worker, runs `work` on
+    /// each range concurrently, and returns the per-range results **in range
+    /// order**.
+    ///
+    /// This is the primitive the other combinators build on. The caller's
+    /// `work` must make each range's result independent of how `0..n` was
+    /// chunked (e.g. fold with an associative operation, or return per-index
+    /// values) — then the merged output is bit-identical at any thread
+    /// count.
+    pub fn par_ranges<R, F>(&self, n: usize, work: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(Range<usize>) -> R + Sync,
+    {
+        let call_start = Instant::now();
+        let results = if n == 0 {
+            Vec::new()
+        } else if self.threads <= 1 || n == 1 {
+            let busy_start = Instant::now();
+            let r = work(0..n);
+            self.stats
+                .record_busy(busy_start.elapsed().as_nanos() as u64);
+            vec![r]
+        } else {
+            let chunk = n.div_ceil(self.threads.min(n));
+            let work = &work;
+            let stats = &self.stats;
+            crossbeam::thread::scope(|scope| {
+                let handles: Vec<_> = (0..n)
+                    .step_by(chunk)
+                    .map(|lo| {
+                        let hi = (lo + chunk).min(n);
+                        scope.spawn(move |_| {
+                            let busy_start = Instant::now();
+                            let r = work(lo..hi);
+                            stats.record_busy(busy_start.elapsed().as_nanos() as u64);
+                            r
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("exec worker panicked"))
+                    .collect()
+            })
+            .expect("exec thread scope")
+        };
+        self.stats
+            .record_call(n as u64, call_start.elapsed().as_nanos() as u64);
+        results
+    }
+
+    /// Applies `f` to every index in `0..n` and returns the results in index
+    /// order.
+    pub fn par_index_map<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        self.par_ranges(n, |range| range.map(&f).collect::<Vec<_>>())
+            .into_iter()
+            .flatten()
+            .collect()
+    }
+
+    /// Applies `f(index, item)` to every item and returns the results in
+    /// item order.
+    pub fn par_map<T, R, F>(&self, items: &[T], f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_index_map(items.len(), |i| f(i, &items[i]))
+    }
+
+    /// Like [`Exec::par_map`], but each worker first builds one scratch
+    /// value with `init` and reuses it across all its items — the pattern
+    /// for expensive per-thread state such as packed-word simulation
+    /// buffers.
+    ///
+    /// `f` must not let the result depend on the scratch *history* (only on
+    /// the current item), otherwise chunk boundaries would leak into the
+    /// output.
+    pub fn par_map_with<S, T, R, I, F>(&self, items: &[T], init: I, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        I: Fn() -> S + Sync,
+        F: Fn(&mut S, usize, &T) -> R + Sync,
+    {
+        self.par_ranges(items.len(), |range| {
+            let mut scratch = init();
+            range
+                .map(|i| f(&mut scratch, i, &items[i]))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Splits `items` into fixed-size chunks of `chunk_len`, applies
+    /// `f(first_index, chunk)` to each, and returns the per-chunk results in
+    /// chunk order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `chunk_len` is zero.
+    pub fn par_chunks<T, R, F>(&self, items: &[T], chunk_len: usize, f: F) -> Vec<R>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &[T]) -> R + Sync,
+    {
+        assert!(chunk_len > 0, "chunk length must be positive");
+        let chunks = items.len().div_ceil(chunk_len);
+        self.par_index_map(chunks, |c| {
+            let lo = c * chunk_len;
+            let hi = (lo + chunk_len).min(items.len());
+            f(lo, &items[lo..hi])
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::split_seed;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn resolves_thread_counts() {
+        assert_eq!(Exec::new(3).threads(), 3);
+        assert_eq!(Exec::serial().threads(), 1);
+        assert!(Exec::new(0).threads() >= 1);
+    }
+
+    #[test]
+    fn par_map_preserves_order_at_any_thread_count() {
+        let items: Vec<u64> = (0..1000).collect();
+        let reference: Vec<u64> = items.iter().map(|&x| x * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            let exec = Exec::new(threads);
+            assert_eq!(exec.par_map(&items, |_, &x| x * 3 + 1), reference);
+        }
+    }
+
+    #[test]
+    fn par_ranges_covers_exactly_once() {
+        let exec = Exec::new(4);
+        let ranges = exec.par_ranges(10, |r| r);
+        let flat: Vec<usize> = ranges.into_iter().flatten().collect();
+        assert_eq!(flat, (0..10).collect::<Vec<_>>());
+        assert!(exec.par_ranges(0, |r| r).is_empty());
+    }
+
+    #[test]
+    fn seeded_work_is_thread_count_independent() {
+        let run = |threads| {
+            Exec::new(threads).par_index_map(64, |i| {
+                // Stand-in for per-chunk RNG streams.
+                split_seed(0xDEAD, i as u64).wrapping_mul(i as u64 + 1)
+            })
+        };
+        assert_eq!(run(1), run(4));
+        assert_eq!(run(1), run(7));
+    }
+
+    #[test]
+    fn par_map_with_builds_one_scratch_per_worker() {
+        let inits = AtomicUsize::new(0);
+        let exec = Exec::new(4);
+        let items: Vec<u32> = (0..100).collect();
+        let out = exec.par_map_with(
+            &items,
+            || {
+                inits.fetch_add(1, Ordering::Relaxed);
+                Vec::<u32>::with_capacity(8)
+            },
+            |scratch, _, &x| {
+                scratch.clear();
+                scratch.push(x);
+                scratch[0] + 1
+            },
+        );
+        assert_eq!(out, (1..=100).collect::<Vec<_>>());
+        assert!(inits.load(Ordering::Relaxed) <= 4, "at most one per worker");
+    }
+
+    #[test]
+    fn par_chunks_sees_fixed_chunks_in_order() {
+        let exec = Exec::new(3);
+        let items: Vec<u8> = (0..10).collect();
+        let sums = exec.par_chunks(&items, 4, |lo, chunk| {
+            (lo, chunk.iter().map(|&x| u32::from(x)).sum::<u32>())
+        });
+        assert_eq!(sums, vec![(0, 6), (4, 22), (8, 17)]);
+    }
+
+    #[test]
+    fn stats_count_calls_and_tasks() {
+        let exec = Exec::new(2);
+        let _ = exec.par_index_map(10, |i| i);
+        let _ = exec.par_index_map(5, |i| i);
+        let s = exec.stats();
+        assert_eq!(s.calls, 2);
+        assert_eq!(s.tasks, 15);
+        assert!(s.speedup() > 0.0);
+        exec.reset_stats();
+        assert_eq!(exec.stats().calls, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "chunk length")]
+    fn zero_chunk_len_panics() {
+        let _ = Exec::serial().par_chunks(&[1, 2, 3], 0, |_, _| ());
+    }
+}

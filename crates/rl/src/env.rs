@@ -32,6 +32,14 @@ pub trait Environment {
     fn action_mask(&self) -> Vec<bool> {
         Vec::new()
     }
+    /// Re-seeds the environment's internal randomness, if it has any.
+    ///
+    /// Parallel rollout collection clones one prototype environment per
+    /// episode and calls this with a seed split from the *episode index*, so
+    /// episode initial conditions are reproducible and independent of the
+    /// thread count. Deterministic environments can ignore it (the default
+    /// does nothing).
+    fn reseed(&mut self, _seed: u64) {}
 }
 
 /// Options for [`train`].

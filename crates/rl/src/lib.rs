@@ -15,6 +15,9 @@
 //!   coefficient `c_v`, smoothing parameter `λ`).
 //! * [`Environment`] — the environment interface implemented by
 //!   `deterrent-core`'s compatible-set MDP, plus a generic [`train`] loop.
+//! * [`collect_episodes`] / [`train_parallel`] — deterministic parallel
+//!   rollout collection: frozen-policy rounds fanned out over seed-split
+//!   per-episode environments, bit-identical at any thread count.
 //!
 //! # Example
 //!
@@ -47,9 +50,14 @@ mod distribution;
 mod env;
 mod mlp;
 mod ppo;
+mod rollout;
 
 pub use adam::Adam;
 pub use distribution::MaskedCategorical;
 pub use env::{train, Environment, StepOutcome, TrainOptions, TrainReport};
 pub use mlp::Mlp;
 pub use ppo::{PpoConfig, PpoLosses, PpoTrainer, RolloutBuffer, Transition};
+pub use rollout::{
+    collect_episodes, train_parallel, CollectOptions, EpisodeOutcome, ParallelTrainOptions,
+    ParallelTrainOutcome,
+};

@@ -1,7 +1,7 @@
 //! Proximal Policy Optimization with clipped surrogate objective.
 
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::{Adam, MaskedCategorical, Mlp};
 
@@ -254,13 +254,33 @@ impl PpoTrainer {
     ///
     /// Panics if the mask disallows every action.
     pub fn select_action(&mut self, state: &[f64], mask: &[bool]) -> (usize, f64, f64) {
+        let mut rng = self.rng.clone();
+        let out = self.policy_step(state, mask, &mut rng);
+        self.rng = rng;
+        out
+    }
+
+    /// Like [`PpoTrainer::select_action`], but samples with the caller's RNG
+    /// and does not mutate the trainer — the building block of parallel
+    /// rollout collection, where worker threads step a *frozen* policy with
+    /// their own seed-split generators.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the mask disallows every action.
+    pub fn policy_step<R: Rng + ?Sized>(
+        &self,
+        state: &[f64],
+        mask: &[bool],
+        rng: &mut R,
+    ) -> (usize, f64, f64) {
         let logits = self.policy.forward(state);
         let dist = if mask.is_empty() {
             MaskedCategorical::new(&logits, None)
         } else {
             MaskedCategorical::new(&logits, Some(mask))
         };
-        let action = dist.sample(&mut self.rng);
+        let action = dist.sample(rng);
         let log_prob = dist.log_prob(action);
         let value = self.value.forward(state)[0];
         (action, log_prob, value)

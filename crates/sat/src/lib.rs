@@ -40,6 +40,7 @@
 pub mod dimacs;
 mod encoder;
 mod oracle;
+mod order;
 mod solver;
 mod types;
 

@@ -29,7 +29,7 @@ use crate::types::{Cnf, Lit, Var};
 /// Returned patterns are assignments to [`netlist::Netlist::scan_inputs`] in
 /// that order (primary inputs first, then scan flip-flops), i.e. the same
 /// convention as `sim::TestPattern`.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CircuitOracle {
     encoder: CircuitEncoder,
     solver: Solver,

@@ -45,4 +45,4 @@ pub use cone_sim::ConeSimulator;
 pub use pattern::TestPattern;
 pub use probability::{SignalProbabilities, SimTrace};
 pub use simulator::{simulate, NetValues, PackedValues, Simulator};
-pub use witness::WitnessBank;
+pub use witness::{PatternSource, WitnessBank};

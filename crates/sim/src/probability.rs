@@ -1,10 +1,17 @@
 //! Monte-Carlo signal-probability estimation.
+//!
+//! The random pattern stream is defined **per 64-pattern chunk**: chunk `c`
+//! of master seed `s` is generated from its own RNG seeded with
+//! [`exec::split_seed`]`(s, c)`. Chunks are therefore independent work units
+//! and the estimate is bit-identical whether the chunks are simulated on one
+//! thread or many ([`SignalProbabilities::estimate_with`]).
 
+use exec::{split_seed, Exec};
 use netlist::{NetId, Netlist};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
-use crate::{Simulator, TestPattern};
+use crate::{PackedValues, Simulator, TestPattern};
 
 /// Estimated probability of each net being logic 1 under uniformly random
 /// scan-input patterns.
@@ -95,14 +102,29 @@ impl SimTrace {
 
 impl SignalProbabilities {
     /// Estimates signal probabilities by simulating `num_patterns` uniformly
-    /// random patterns (rounded up to a multiple of 64) generated from `seed`.
+    /// random patterns (rounded up to a multiple of 64) generated from `seed`,
+    /// on the calling thread.
     ///
     /// # Panics
     ///
     /// Panics if `num_patterns` is zero.
     #[must_use]
     pub fn estimate(netlist: &Netlist, num_patterns: usize, seed: u64) -> Self {
-        Self::run_random(netlist, num_patterns, seed, false).0
+        Self::estimate_with(netlist, num_patterns, seed, &Exec::serial())
+    }
+
+    /// Like [`SignalProbabilities::estimate`], but simulates the 64-pattern
+    /// chunks in parallel on `exec`. The result is **bit-identical** at any
+    /// thread count because each chunk's patterns come from an independent
+    /// seed-split RNG stream and the per-chunk one-counts merge by integer
+    /// addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_patterns` is zero.
+    #[must_use]
+    pub fn estimate_with(netlist: &Netlist, num_patterns: usize, seed: u64, exec: &Exec) -> Self {
+        Self::run_random(netlist, num_patterns, seed, false, exec).0
     }
 
     /// Like [`SignalProbabilities::estimate`], but also returns the full
@@ -118,7 +140,24 @@ impl SignalProbabilities {
         num_patterns: usize,
         seed: u64,
     ) -> (Self, SimTrace) {
-        let (probs, trace) = Self::run_random(netlist, num_patterns, seed, true);
+        Self::estimate_retaining_with(netlist, num_patterns, seed, &Exec::serial())
+    }
+
+    /// Like [`SignalProbabilities::estimate_retaining`], parallelized over
+    /// `exec` with the same bit-identical-at-any-thread-count guarantee
+    /// (trace chunks are merged in chunk order).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_patterns` is zero.
+    #[must_use]
+    pub fn estimate_retaining_with(
+        netlist: &Netlist,
+        num_patterns: usize,
+        seed: u64,
+        exec: &Exec,
+    ) -> (Self, SimTrace) {
+        let (probs, trace) = Self::run_random(netlist, num_patterns, seed, true, exec);
         (probs, trace.expect("trace retention was requested"))
     }
 
@@ -127,24 +166,42 @@ impl SignalProbabilities {
         num_patterns: usize,
         seed: u64,
         retain: bool,
+        exec: &Exec,
     ) -> (Self, Option<SimTrace>) {
         assert!(num_patterns > 0, "need at least one pattern");
-        let sim = Simulator::new(netlist);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let width = netlist.num_scan_inputs();
         let chunks = num_patterns.div_ceil(64);
         let n = netlist.num_gates();
-        let mut ones = vec![0u64; n];
         let total = chunks * 64;
+        // Each worker simulates a contiguous range of chunks with reusable
+        // scratch, returning its partial one-counts and (optionally) the raw
+        // packed words of its chunks.
+        let blocks = exec.par_ranges(chunks, |range| {
+            let sim = Simulator::new(netlist);
+            let mut packed = PackedValues::scratch();
+            let mut ones = vec![0u64; n];
+            let mut words: Vec<u64> = Vec::with_capacity(if retain { range.len() * n } else { 0 });
+            for c in range {
+                let mut rng = StdRng::seed_from_u64(split_seed(seed, c as u64));
+                sim.run_random_batch_into(&mut rng, &mut packed);
+                for (id, _) in netlist.iter() {
+                    ones[id.index()] += u64::from(packed.count_ones(id));
+                }
+                if retain {
+                    words.extend_from_slice(packed.words());
+                }
+            }
+            (ones, words)
+        });
+        let mut ones = vec![0u64; n];
         let mut trace = retain.then(|| SimTrace::new(n));
-        for _ in 0..chunks {
-            let batch = TestPattern::random_batch(width, 64, &mut rng);
-            let packed = sim.run_batch(&batch);
-            for (id, _) in netlist.iter() {
-                ones[id.index()] += u64::from(packed.count_ones(id));
+        for (block_ones, block_words) in blocks {
+            for (acc, part) in ones.iter_mut().zip(&block_ones) {
+                *acc += part;
             }
             if let Some(trace) = trace.as_mut() {
-                trace.push_chunk(packed.words(), packed.batch_len());
+                for chunk_words in block_words.chunks_exact(n) {
+                    trace.push_chunk(chunk_words, 64);
+                }
             }
         }
         let prob_one = ones.iter().map(|&c| c as f64 / total as f64).collect();
@@ -304,6 +361,28 @@ mod tests {
             assert!((est.prob_one(pi) - 0.5).abs() < 0.05);
         }
         assert_eq!(est.num_patterns(), 4096);
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_across_thread_counts() {
+        let nl = netlist::synth::BenchmarkProfile::c2670()
+            .scaled(10)
+            .generate(2);
+        let serial = SignalProbabilities::estimate(&nl, 2048, 11);
+        for threads in [2, 3, 8] {
+            let exec = Exec::new(threads);
+            let parallel = SignalProbabilities::estimate_with(&nl, 2048, 11, &exec);
+            assert_eq!(serial.as_slice(), parallel.as_slice(), "{threads} threads");
+        }
+        let (p1, t1) = SignalProbabilities::estimate_retaining(&nl, 1024, 5);
+        let (p4, t4) = SignalProbabilities::estimate_retaining_with(&nl, 1024, 5, &Exec::new(4));
+        assert_eq!(p1.as_slice(), p4.as_slice());
+        assert_eq!(t1.num_chunks(), t4.num_chunks());
+        for c in 0..t1.num_chunks() {
+            for (id, _) in nl.iter() {
+                assert_eq!(t1.word(c, id), t4.word(c, id), "chunk {c} net {id}");
+            }
+        }
     }
 
     #[test]

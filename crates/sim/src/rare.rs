@@ -5,9 +5,10 @@
 //! Rare nets are the candidate trigger nets an adversary would pick, and they
 //! form the action space of the DETERRENT RL agent.
 
+use exec::Exec;
 use netlist::{GateKind, NetId, Netlist};
 
-use crate::witness::WitnessBank;
+use crate::witness::{PatternSource, WitnessBank};
 use crate::SignalProbabilities;
 
 /// A rare net: the net id, the rare logic value, and its estimated
@@ -55,13 +56,33 @@ impl RareNetAnalysis {
     /// Panics if `threshold` is not in `(0, 0.5]` or `num_patterns` is zero.
     #[must_use]
     pub fn estimate(netlist: &Netlist, threshold: f64, num_patterns: usize, seed: u64) -> Self {
-        let probabilities = SignalProbabilities::estimate(netlist, num_patterns, seed);
+        Self::estimate_with(netlist, threshold, num_patterns, seed, &Exec::serial())
+    }
+
+    /// Like [`RareNetAnalysis::estimate`], but runs both the estimation
+    /// simulation and the witness-harvest replay in parallel on `exec`.
+    /// Bit-identical to the serial path at any thread count (the pattern
+    /// stream is seed-split per 64-pattern chunk).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in `(0, 0.5]` or `num_patterns` is zero.
+    #[must_use]
+    pub fn estimate_with(
+        netlist: &Netlist,
+        threshold: f64,
+        num_patterns: usize,
+        seed: u64,
+        exec: &Exec,
+    ) -> Self {
+        let probabilities = SignalProbabilities::estimate_with(netlist, num_patterns, seed, exec);
         let mut analysis = Self::from_probabilities(netlist, threshold, probabilities);
-        analysis.witnesses = Some(WitnessBank::harvest(
+        analysis.witnesses = Some(WitnessBank::harvest_with(
             netlist,
             &analysis.targets(),
             num_patterns,
             seed,
+            exec,
         ));
         analysis
     }
@@ -78,7 +99,13 @@ impl RareNetAnalysis {
     pub fn exhaustive(netlist: &Netlist, threshold: f64) -> Self {
         let (probabilities, trace) = SignalProbabilities::exhaustive_retaining(netlist);
         let mut analysis = Self::from_probabilities(netlist, threshold, probabilities);
-        analysis.witnesses = Some(WitnessBank::from_trace(&trace, &analysis.targets()));
+        analysis.witnesses = Some(
+            WitnessBank::from_trace(&trace, &analysis.targets()).with_source(
+                PatternSource::Exhaustive {
+                    width: netlist.num_scan_inputs(),
+                },
+            ),
+        );
         analysis
     }
 

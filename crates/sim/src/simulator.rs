@@ -1,6 +1,7 @@
 //! Scalar and 64-way bit-parallel gate-level simulation.
 
 use netlist::{GateKind, NetId, Netlist};
+use rand::RngCore;
 
 use crate::TestPattern;
 
@@ -68,6 +69,16 @@ impl PackedValues {
     #[must_use]
     pub fn words(&self) -> &[u64] {
         &self.words
+    }
+
+    /// An empty buffer for [`Simulator::run_batch_into`], letting a long run
+    /// of batches reuse one allocation.
+    #[must_use]
+    pub fn scratch() -> Self {
+        Self {
+            words: Vec::new(),
+            batch: 0,
+        }
     }
 
     /// Number of patterns in the batch for which `net` is 1.
@@ -151,6 +162,18 @@ impl<'a> Simulator<'a> {
     /// pattern has the wrong width.
     #[must_use]
     pub fn run_batch(&self, patterns: &[TestPattern]) -> PackedValues {
+        let mut out = PackedValues::scratch();
+        self.run_batch_into(patterns, &mut out);
+        out
+    }
+
+    /// Like [`Simulator::run_batch`], but reuses `out`'s allocation — the
+    /// per-thread scratch pattern for long simulation runs.
+    ///
+    /// # Panics
+    ///
+    /// Panics under the same conditions as [`Simulator::run_batch`].
+    pub fn run_batch_into(&self, patterns: &[TestPattern], out: &mut PackedValues) {
         assert!(
             !patterns.is_empty(),
             "batch must contain at least one pattern"
@@ -164,7 +187,10 @@ impl<'a> Simulator<'a> {
             );
         }
         let n = self.netlist.num_gates();
-        let mut words = vec![0u64; n];
+        out.words.clear();
+        out.words.resize(n, 0);
+        out.batch = patterns.len();
+        let words = &mut out.words;
         for (i, &si) in self.scan_inputs.iter().enumerate() {
             let mut w = 0u64;
             for (p, pat) in patterns.iter().enumerate() {
@@ -186,9 +212,41 @@ impl<'a> Simulator<'a> {
                 }
             }
         }
-        PackedValues {
-            words,
-            batch: patterns.len(),
+    }
+
+    /// Simulates a *uniformly random* batch of 64 patterns drawn from `rng`,
+    /// directly in packed form and into a reusable buffer.
+    ///
+    /// The batch is defined input-major: scan input `i` (in
+    /// [`netlist::Netlist::scan_inputs`] order) takes the `i`-th `next_u64`
+    /// draw as its packed word, so pattern `p` of the batch assigns input `i`
+    /// the bit `(draw_i >> p) & 1`. This is the canonical random-chunk
+    /// stream of the workspace — probability estimation, witness harvesting,
+    /// and witness-pattern materialization
+    /// ([`crate::PatternSource::Random`]) all share it. Generating packed
+    /// words directly (instead of materializing 64 [`TestPattern`]s) keeps
+    /// the hot loop free of allocations, which is what lets parallel
+    /// simulation workers scale instead of fighting over the allocator.
+    pub fn run_random_batch_into<R: RngCore + ?Sized>(&self, rng: &mut R, out: &mut PackedValues) {
+        let n = self.netlist.num_gates();
+        out.words.clear();
+        out.words.resize(n, 0);
+        out.batch = 64;
+        let words = &mut out.words;
+        for &si in &self.scan_inputs {
+            words[si.index()] = rng.next_u64();
+        }
+        let mut fanin_buf: Vec<u64> = Vec::with_capacity(8);
+        for &id in self.netlist.topo_order() {
+            let gate = self.netlist.gate(id);
+            match gate.kind {
+                GateKind::Input | GateKind::Dff => {}
+                kind => {
+                    fanin_buf.clear();
+                    fanin_buf.extend(gate.fanin.iter().map(|&f| words[f.index()]));
+                    words[id.index()] = kind.eval_packed(&fanin_buf);
+                }
+            }
         }
     }
 
@@ -338,6 +396,21 @@ mod tests {
             assert!(base % 64 == 0);
         });
         assert_eq!(seen, 130);
+    }
+
+    #[test]
+    fn run_batch_into_reuses_scratch_and_matches_run_batch() {
+        let nl = samples::majority5();
+        let sim = Simulator::new(&nl);
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut scratch = PackedValues::scratch();
+        for _ in 0..3 {
+            let patterns = TestPattern::random_batch(5, 64, &mut rng);
+            sim.run_batch_into(&patterns, &mut scratch);
+            let fresh = sim.run_batch(&patterns);
+            assert_eq!(scratch.words(), fresh.words());
+            assert_eq!(scratch.batch_len(), fresh.batch_len());
+        }
     }
 
     #[test]

@@ -11,13 +11,57 @@
 //! drive the net to that value?"), so a pairwise check is a word-wise AND
 //! over the two rows.
 
+use exec::{split_seed, Exec};
 use netlist::{NetId, Netlist};
 
 use crate::probability::SimTrace;
-use crate::{Simulator, TestPattern};
+use crate::{PackedValues, Simulator, TestPattern};
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+
+/// How the patterns behind a [`WitnessBank`] can be re-materialized, so a
+/// witness *index* can be turned back into the concrete [`TestPattern`] that
+/// produced it (and reused downstream instead of a SAT justification).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PatternSource {
+    /// Uniformly random patterns: chunk `c` is the input-major packed batch
+    /// drawn from `StdRng::seed_from_u64(split_seed(seed, c))` — one
+    /// `next_u64` per scan input, exactly the stream
+    /// [`crate::Simulator::run_random_batch_into`] simulates for
+    /// [`crate::SignalProbabilities::estimate`].
+    Random {
+        /// Scan-input width of the patterns.
+        width: usize,
+        /// Master seed of the per-chunk streams.
+        seed: u64,
+    },
+    /// Exhaustive enumeration: pattern `i` assigns scan input `b` the bit
+    /// `(i >> b) & 1` — the stream
+    /// [`crate::SignalProbabilities::exhaustive`] simulates.
+    Exhaustive {
+        /// Scan-input width of the patterns.
+        width: usize,
+    },
+}
+
+impl PatternSource {
+    /// Materializes pattern `index` of the stream.
+    #[must_use]
+    pub fn pattern(&self, index: usize) -> TestPattern {
+        match *self {
+            PatternSource::Random { width, seed } => {
+                use rand::RngCore;
+                let mut rng = StdRng::seed_from_u64(split_seed(seed, (index / 64) as u64));
+                let p = index % 64;
+                (0..width).map(|_| (rng.next_u64() >> p) & 1 == 1).collect()
+            }
+            PatternSource::Exhaustive { width } => {
+                (0..width).map(|b| (index >> b) & 1 == 1).collect()
+            }
+        }
+    }
+}
 
 /// Per-target witness bitmaps harvested from a simulation run.
 ///
@@ -31,11 +75,15 @@ pub struct WitnessBank {
     num_patterns: usize,
     /// Row-major: `rows[t * num_chunks + c]`.
     rows: Vec<u64>,
+    /// How to re-materialize the underlying patterns, when known.
+    source: Option<PatternSource>,
 }
 
 impl WitnessBank {
     /// Builds the bank for `targets` from a retained simulation trace —
-    /// zero additional simulation work.
+    /// zero additional simulation work. The bank has no [`PatternSource`]
+    /// (the trace does not say how its patterns were generated); attach one
+    /// with [`WitnessBank::with_source`] to enable pattern materialization.
     #[must_use]
     pub fn from_trace(trace: &SimTrace, targets: &[(NetId, bool)]) -> Self {
         let num_chunks = trace.num_chunks();
@@ -52,14 +100,23 @@ impl WitnessBank {
             num_chunks,
             num_patterns: trace.num_patterns(),
             rows,
+            source: None,
         }
     }
 
+    /// Attaches the generator description of the underlying pattern stream,
+    /// enabling [`WitnessBank::pattern`].
+    #[must_use]
+    pub fn with_source(mut self, source: PatternSource) -> Self {
+        self.source = Some(source);
+        self
+    }
+
     /// Re-simulates the `num_patterns` random patterns generated from `seed`
-    /// (the same stream [`crate::SignalProbabilities::estimate`] uses) and
-    /// harvests witnesses for `targets` only. This is the fallback when the
-    /// original estimation trace was not retained; memory stays proportional
-    /// to `targets.len()` rather than the netlist size.
+    /// (the same per-chunk streams [`crate::SignalProbabilities::estimate`]
+    /// uses) and harvests witnesses for `targets` only. This is the fallback
+    /// when the original estimation trace was not retained; memory stays
+    /// proportional to `targets.len()` rather than the netlist size.
     ///
     /// # Panics
     ///
@@ -71,8 +128,28 @@ impl WitnessBank {
         num_patterns: usize,
         seed: u64,
     ) -> Self {
+        Self::harvest_with(netlist, targets, num_patterns, seed, &Exec::serial())
+    }
+
+    /// Like [`WitnessBank::harvest`], replaying the chunks in parallel on
+    /// `exec`. Chunk streams are seed-split, so the bank is bit-identical at
+    /// any thread count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_patterns` is zero.
+    #[must_use]
+    pub fn harvest_with(
+        netlist: &Netlist,
+        targets: &[(NetId, bool)],
+        num_patterns: usize,
+        seed: u64,
+        exec: &Exec,
+    ) -> Self {
         assert!(num_patterns > 0, "need at least one pattern");
+        let width = netlist.num_scan_inputs();
         let num_chunks = num_patterns.div_ceil(64);
+        let source = Some(PatternSource::Random { width, seed });
         if targets.is_empty() {
             // Nothing to harvest; skip the simulation replay entirely.
             return Self {
@@ -80,18 +157,32 @@ impl WitnessBank {
                 num_chunks,
                 num_patterns: num_chunks * 64,
                 rows: Vec::new(),
+                source,
             };
         }
-        let sim = Simulator::new(netlist);
-        let mut rng = StdRng::seed_from_u64(seed);
-        let width = netlist.num_scan_inputs();
+        // Workers fill chunk-major blocks `local[k * targets + t]` for their
+        // contiguous chunk ranges; the merge transposes into the row-major
+        // bank layout in chunk order.
+        let blocks = exec.par_ranges(num_chunks, |range| {
+            let sim = Simulator::new(netlist);
+            let mut packed = PackedValues::scratch();
+            let mut local = vec![0u64; range.len() * targets.len()];
+            for (k, c) in range.clone().enumerate() {
+                let mut rng = StdRng::seed_from_u64(split_seed(seed, c as u64));
+                sim.run_random_batch_into(&mut rng, &mut packed);
+                for (t, &(net, value)) in targets.iter().enumerate() {
+                    let word = packed.word(net);
+                    local[k * targets.len() + t] = if value { word } else { !word };
+                }
+            }
+            (range.start, local)
+        });
         let mut rows = vec![0u64; targets.len() * num_chunks];
-        for c in 0..num_chunks {
-            let batch = TestPattern::random_batch(width, 64, &mut rng);
-            let packed = sim.run_batch(&batch);
-            for (t, &(net, value)) in targets.iter().enumerate() {
-                let word = packed.word(net);
-                rows[t * num_chunks + c] = if value { word } else { !word };
+        for (start, local) in blocks {
+            for (k, chunk_words) in local.chunks_exact(targets.len()).enumerate() {
+                for (t, &word) in chunk_words.iter().enumerate() {
+                    rows[t * num_chunks + start + k] = word;
+                }
             }
         }
         Self {
@@ -99,6 +190,7 @@ impl WitnessBank {
             num_chunks,
             num_patterns: num_chunks * 64,
             rows,
+            source,
         }
     }
 
@@ -176,14 +268,40 @@ impl WitnessBank {
     /// its value at once (generalizes [`WitnessBank::pair_witnessed`]).
     #[must_use]
     pub fn set_witnessed(&self, set: &[usize]) -> bool {
+        self.set_witness_index(set).is_some()
+    }
+
+    /// The index of the first simulated pattern that drove *every* target in
+    /// `set` to its value at once, or `None` when no pattern did (or `set`
+    /// is empty). Combine with [`WitnessBank::pattern`] to obtain the
+    /// concrete pattern and skip a SAT justification for the set.
+    #[must_use]
+    pub fn set_witness_index(&self, set: &[usize]) -> Option<usize> {
         if set.is_empty() {
-            return false;
+            return None;
         }
-        (0..self.num_chunks).any(|c| {
-            set.iter()
-                .fold(u64::MAX, |acc, &t| acc & self.rows[t * self.num_chunks + c])
-                != 0
+        (0..self.num_chunks).find_map(|c| {
+            let joint = set
+                .iter()
+                .fold(u64::MAX, |acc, &t| acc & self.rows[t * self.num_chunks + c]);
+            (joint != 0).then(|| c * 64 + joint.trailing_zeros() as usize)
         })
+    }
+
+    /// How the underlying pattern stream can be re-materialized, if known.
+    #[must_use]
+    pub fn source(&self) -> Option<PatternSource> {
+        self.source
+    }
+
+    /// Materializes simulated pattern `index`, when the bank knows its
+    /// [`PatternSource`] and `index` is in range.
+    #[must_use]
+    pub fn pattern(&self, index: usize) -> Option<TestPattern> {
+        if index >= self.num_patterns {
+            return None;
+        }
+        Some(self.source?.pattern(index))
     }
 }
 
@@ -233,6 +351,74 @@ mod tests {
         let (_, trace) = SignalProbabilities::exhaustive_retaining(&nl);
         let bank = WitnessBank::from_trace(&trace, &[(root, false)]);
         assert_eq!(bank.witness_count(0), 7, "7 of 8 patterns give root=0");
+    }
+
+    #[test]
+    fn parallel_harvest_is_bit_identical_to_serial() {
+        let nl = netlist::synth::BenchmarkProfile::c2670()
+            .scaled(10)
+            .generate(6);
+        let targets: Vec<(NetId, bool)> = nl
+            .internal_nets()
+            .into_iter()
+            .take(20)
+            .map(|id| (id, true))
+            .collect();
+        let serial = WitnessBank::harvest(&nl, &targets, 1000, 13);
+        for threads in [2, 5] {
+            let parallel = WitnessBank::harvest_with(&nl, &targets, 1000, 13, &Exec::new(threads));
+            for t in 0..targets.len() {
+                assert_eq!(serial.row(t), parallel.row(t), "{threads} threads, row {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn materialized_witness_patterns_activate_their_sets() {
+        let nl = netlist::synth::BenchmarkProfile::c2670()
+            .scaled(15)
+            .generate(4);
+        let targets: Vec<(NetId, bool)> = nl
+            .internal_nets()
+            .into_iter()
+            .take(12)
+            .map(|id| (id, true))
+            .collect();
+        let bank = WitnessBank::harvest(&nl, &targets, 512, 21);
+        let sim = crate::Simulator::new(&nl);
+        let mut verified = 0;
+        for a in 0..targets.len() {
+            for b in (a + 1)..targets.len() {
+                if let Some(idx) = bank.set_witness_index(&[a, b]) {
+                    let pattern = bank.pattern(idx).expect("harvested banks have a source");
+                    assert!(
+                        sim.activates(&pattern, &[targets[a], targets[b]]),
+                        "witness {idx} must drive targets {a} and {b}"
+                    );
+                    verified += 1;
+                }
+            }
+        }
+        assert!(verified > 0, "expected at least one joint witness");
+        assert!(bank.pattern(bank.num_patterns()).is_none());
+    }
+
+    #[test]
+    fn exhaustive_source_materializes_index_bits() {
+        let nl = samples::rare_chain(4);
+        let root = nl.net_by_name("and3").unwrap();
+        let (_, trace) = SignalProbabilities::exhaustive_retaining(&nl);
+        let bank = WitnessBank::from_trace(&trace, &[(root, true)])
+            .with_source(PatternSource::Exhaustive { width: 4 });
+        let idx = bank
+            .set_witness_index(&[0])
+            .expect("all-ones witnesses root");
+        assert_eq!(idx, 15, "only pattern 1111 sets the AND-chain root");
+        let pattern = bank.pattern(idx).unwrap();
+        assert_eq!(pattern.to_string(), "1111");
+        // Without a source the bank cannot materialize.
+        let sourceless = WitnessBank::from_trace(&trace, &[(root, true)]);
+        assert!(sourceless.pattern(idx).is_none());
     }
 
     #[test]

@@ -6,6 +6,8 @@
 //!
 //! The individual crates are:
 //!
+//! * [`exec`] — deterministic parallel execution runtime (seed-split RNG
+//!   streams, scoped thread pool, scratch reuse).
 //! * [`netlist`] — gate-level netlist model, `.bench` I/O, synthetic
 //!   benchmark generation.
 //! * [`sim`] — bit-parallel logic simulation and rare-net analysis.
@@ -31,6 +33,7 @@
 
 pub use baselines;
 pub use deterrent_core;
+pub use exec;
 pub use netlist;
 pub use rl;
 pub use sat;
