@@ -15,12 +15,10 @@ fn setup() -> (netlist::Netlist, RareNetAnalysis) {
 }
 
 fn small_config() -> DeterrentConfig {
-    DeterrentConfig {
-        episodes: 30,
-        eval_rollouts: 8,
-        k_patterns: 8,
-        ..DeterrentConfig::fast_preset()
-    }
+    DeterrentConfig::fast_preset()
+        .with_episodes(30)
+        .with_eval_rollouts(8)
+        .with_k_patterns(8)
 }
 
 fn bench_deterrent(c: &mut Criterion) {

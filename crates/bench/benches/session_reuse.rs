@@ -1,0 +1,66 @@
+//! Criterion benchmark of the staged session's artifact reuse: the same
+//! four-cell reward × masking ablation grid (Figure 2's shape) run cold —
+//! every cell recomputes everything in a private store — versus warm — all
+//! cells share one pre-populated store, so analysis, graph, training, and
+//! selection are served from cache and only pattern generation re-executes.
+//!
+//! The warm/cold gap is the wall-clock value of the session API for
+//! evaluation grids and campaign sweeps.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use deterrent_core::{ArtifactStore, DeterrentConfig, DeterrentSession, RewardMode};
+use netlist::synth::BenchmarkProfile;
+use netlist::Netlist;
+
+fn setup() -> Netlist {
+    BenchmarkProfile::c2670().scaled(25).generate(3)
+}
+
+fn grid_configs() -> Vec<DeterrentConfig> {
+    let base = DeterrentConfig::fast_preset()
+        .with_threshold(0.2)
+        .with_episodes(30)
+        .with_eval_rollouts(8)
+        .with_k_patterns(8);
+    [
+        (RewardMode::AllSteps, true),
+        (RewardMode::AllSteps, false),
+        (RewardMode::EndOfEpisode, true),
+        (RewardMode::EndOfEpisode, false),
+    ]
+    .into_iter()
+    .map(|(reward, masking)| base.clone().with_ablation(reward, masking))
+    .collect()
+}
+
+fn run_grid(netlist: &Netlist, store: &ArtifactStore) -> usize {
+    grid_configs()
+        .into_iter()
+        .map(|config| {
+            let mut session = DeterrentSession::with_store(netlist, config, store.clone());
+            session.run().patterns.len()
+        })
+        .sum()
+}
+
+fn bench_session_reuse(c: &mut Criterion) {
+    let netlist = setup();
+
+    c.bench_function("session/cold_ablation_grid", |b| {
+        b.iter(|| run_grid(&netlist, &ArtifactStore::new()))
+    });
+
+    // Pre-populate once; each iteration then reuses every cached stage.
+    let warm_store = ArtifactStore::new();
+    let _ = run_grid(&netlist, &warm_store);
+    c.bench_function("session/warm_ablation_grid", |b| {
+        b.iter(|| run_grid(&netlist, &warm_store))
+    });
+}
+
+criterion_group! {
+    name = session_reuse;
+    config = Criterion::default().sample_size(10);
+    targets = bench_session_reuse
+}
+criterion_main!(session_reuse);

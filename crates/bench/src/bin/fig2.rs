@@ -2,6 +2,10 @@
 //! end-of-episode) and action masking (with vs without) on the MIPS
 //! benchmark — training rate (episodes/minute) and the maximum number of
 //! compatible rare nets found.
+//!
+//! The four cells share one session grid: rare-net analysis and the
+//! compatibility graph run once and are served from the shared artifact
+//! store (asserted after the grid).
 
 use deterrent_bench::{BenchInstance, HarnessOptions};
 use deterrent_core::RewardMode;
@@ -40,9 +44,11 @@ fn main() {
             best = Some((label, result.metrics.max_compatible_set));
         }
     }
+    instance.assert_offline_reuse(combos.len());
+    println!("\n(offline stages shared: analysis and graph computed once for all four cells ✓)");
     if let Some((label, size)) = best {
         println!(
-            "\nBest architecture: {label} with {size} compatible rare nets \
+            "Best architecture: {label} with {size} compatible rare nets \
              (paper: all-steps reward with masking)."
         );
     }

@@ -1,10 +1,15 @@
 //! Figure 7: impact of the rareness threshold (0.10–0.14) on the number of
 //! rare nets and on DETERRENT's trigger coverage for c6288, plus the
 //! threshold-transfer experiment (train at 0.14, evaluate at 0.10).
+//!
+//! Each θ is one session cell over a single shared artifact store: rare-net
+//! analysis and the compatibility graph run exactly once per θ (asserted via
+//! the store counters), and the transfer experiment reuses the loose-θ
+//! patterns with no extra training.
 
 use deterrent_bench::HarnessOptions;
+use deterrent_core::{ArtifactStore, DeterrentSession};
 use netlist::synth::BenchmarkProfile;
-use sim::rare::RareNetAnalysis;
 use trojan::{CoverageEvaluator, TrojanGenerator};
 
 fn main() {
@@ -21,16 +26,20 @@ fn main() {
         "threshold", "#rare nets", "#Trojans", "DETERRENT cov (%)", "test length"
     );
 
+    let store = ArtifactStore::new();
     let thresholds = [0.10, 0.11, 0.12, 0.13, 0.14];
-    let mut analyses = Vec::new();
+    let mut cells = Vec::new();
     for &theta in &thresholds {
-        let analysis = RareNetAnalysis::estimate(&netlist, theta, 8192, options.seed);
+        let config = options.deterrent_config().with_threshold(theta);
+        let mut session = DeterrentSession::with_store(&netlist, config, store.clone());
+        let rare = session.analyze();
         let mut generator = TrojanGenerator::new(&netlist, options.seed ^ (theta * 1000.0) as u64);
-        let trojans =
-            generator.sample_many(&analysis, options.trigger_width.min(4), options.num_trojans);
-        let mut config = options.deterrent_config();
-        config.rareness_threshold = theta;
-        let result = deterrent_core::Deterrent::new(&netlist, config).run_with_analysis(&analysis);
+        let trojans = generator.sample_many(
+            rare.analysis(),
+            options.trigger_width.min(4),
+            options.num_trojans,
+        );
+        let result = session.run_from(&rare);
         let coverage = if trojans.is_empty() {
             f64::NAN
         } else {
@@ -40,21 +49,28 @@ fn main() {
         };
         println!(
             "{theta:>10.2} {:>12} {:>12} {coverage:>18.1} {:>14}",
-            analysis.len(),
+            rare.len(),
             trojans.len(),
             result.test_length()
         );
-        analyses.push((theta, analysis, result));
+        cells.push((theta, rare, result));
     }
 
+    // One analysis and one graph per θ, never more: every θ is a distinct
+    // cache key, and nothing in the sweep recomputed a stage.
+    let counters = store.counters();
+    assert_eq!(counters.analyze.misses, thresholds.len() as u64);
+    assert_eq!(counters.build_graph.misses, thresholds.len() as u64);
+    assert_eq!(counters.build_graph.hits, 0);
+    println!("\n(one analysis + one graph per θ, served from the shared store ✓)");
+
     // Threshold transfer: patterns generated from the loosest threshold
-    // evaluated against Trojans built from the tightest one.
-    if let (Some((_, tight_analysis, _)), Some((_, _, loose_result))) =
-        (analyses.first(), analyses.last())
-    {
+    // evaluated against Trojans built from the tightest one. The tight
+    // analysis is reused from the sweep — no re-estimation.
+    if let (Some((_, tight_rare, _)), Some((_, _, loose_result))) = (cells.first(), cells.last()) {
         let mut generator = TrojanGenerator::new(&netlist, options.seed ^ 0x0f14);
         let trojans = generator.sample_many(
-            tight_analysis,
+            tight_rare.analysis(),
             options.trigger_width.min(4),
             options.num_trojans,
         );

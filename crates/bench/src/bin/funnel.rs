@@ -13,14 +13,18 @@
 //! Usage: `funnel [--scale N] [--seed N] [--theta F] [--patterns N]
 //! [--threads N] [--limit K] [--min-speedup F]` (defaults match the
 //! acceptance profile: c2670 at scale 20, θ = 0.2, and the paper's 100k
-//! random-pattern budget). `--threads 0` resolves via
-//! `DETERRENT_THREADS`/available cores. A non-zero `--min-speedup` turns the
-//! speedup report into a gate, skipped when the host has fewer cores than
-//! workers (a 1-core box cannot exhibit wall-clock speedup).
+//! random-pattern budget). The enumeration tier defaults to the adaptive
+//! per-pair cost model; `--limit K` overrides it with the legacy fixed
+//! support cutoff (`--limit 0` disables enumeration). `--threads 0` resolves
+//! via `DETERRENT_THREADS`/available cores. A non-zero `--min-speedup` turns
+//! the speedup report into a gate, skipped when the host has fewer cores
+//! than workers (a 1-core box cannot exhibit wall-clock speedup).
 
 use std::time::{Duration, Instant};
 
-use deterrent_core::{CompatBuildOptions, CompatStrategy, CompatibilityGraph, FunnelOptions};
+use deterrent_core::{
+    CompatBuildOptions, CompatStrategy, CompatibilityGraph, EnumerationBudget, FunnelOptions,
+};
 use exec::Exec;
 use netlist::synth::BenchmarkProfile;
 use netlist::Netlist;
@@ -32,8 +36,19 @@ struct Args {
     theta: f64,
     patterns: usize,
     threads: usize,
-    limit: u32,
+    /// `None` = adaptive cost model; `Some(k)` = legacy fixed support limit.
+    limit: Option<u32>,
     min_speedup: f64,
+}
+
+impl Args {
+    fn enumeration(&self) -> EnumerationBudget {
+        match self.limit {
+            None => EnumerationBudget::adaptive(),
+            Some(0) => EnumerationBudget::Disabled,
+            Some(k) => EnumerationBudget::FixedSupportLimit(k),
+        }
+    }
 }
 
 fn parse_args() -> Args {
@@ -43,7 +58,7 @@ fn parse_args() -> Args {
         theta: 0.2,
         patterns: 100_000,
         threads: 1,
-        limit: FunnelOptions::default().exhaustive_support_limit,
+        limit: None,
         min_speedup: 0.0,
     };
     // A typo here would otherwise run the acceptance gate on the default
@@ -64,7 +79,7 @@ fn parse_args() -> Args {
             ("--theta", Some(v)) => args.theta = parse_or_die("--theta", v),
             ("--patterns", Some(v)) => args.patterns = parse_or_die("--patterns", v),
             ("--threads", Some(v)) => args.threads = parse_or_die("--threads", v),
-            ("--limit", Some(v)) => args.limit = parse_or_die("--limit", v),
+            ("--limit", Some(v)) => args.limit = Some(parse_or_die("--limit", v)),
             ("--min-speedup", Some(v)) => args.min_speedup = parse_or_die("--min-speedup", v),
             (flag, _) => {
                 eprintln!(
@@ -103,7 +118,7 @@ fn offline_phase(
         &CompatBuildOptions {
             threads: threads.max(1),
             strategy: CompatStrategy::Funnel(FunnelOptions {
-                exhaustive_support_limit: args.limit,
+                enumeration: args.enumeration(),
                 ..FunnelOptions::default()
             }),
         },
@@ -147,6 +162,15 @@ fn main() {
         netlist.num_scan_inputs(),
         threads,
     );
+    match args.enumeration() {
+        EnumerationBudget::Adaptive { .. } => {
+            println!("enumeration budget: adaptive per-pair cost model (default)");
+        }
+        EnumerationBudget::FixedSupportLimit(k) => {
+            println!("enumeration budget: fixed support limit {k} (--limit override)");
+        }
+        EnumerationBudget::Disabled => println!("enumeration budget: disabled (--limit 0)"),
+    }
 
     // ── Deterministic parallel speedup of the offline phase. ───────────────
     let (serial_analysis, serial_graph, serial_time) = timed_phase(&netlist, &args, 1);

@@ -6,12 +6,18 @@
 //! benchmark netlists (scaled down by default so the whole suite runs in
 //! minutes on a laptop; pass `--full` for paper-sized profiles), planting the
 //! Trojan populations, and running each test-generation technique.
+//!
+//! Every DETERRENT run goes through a [`deterrent_core::DeterrentSession`]
+//! backed by the instance's shared [`ArtifactStore`], so an ablation grid
+//! (Table 1, Figures 2–3) performs rare-net analysis and compatibility-graph
+//! construction exactly once per `(netlist, θ)` — the binaries assert this
+//! via the store's hit/miss counters ([`BenchInstance::assert_offline_reuse`]).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use baselines::{Atpg, Mero, RandomPatterns, Tarmac, TestGenerator, Tgrl};
-use deterrent_core::{Deterrent, DeterrentConfig, DeterrentResult};
+use deterrent_core::{ArtifactStore, DeterrentConfig, DeterrentResult, DeterrentSession};
 use netlist::synth::BenchmarkProfile;
 use netlist::Netlist;
 use sim::rare::RareNetAnalysis;
@@ -94,40 +100,53 @@ impl HarnessOptions {
         scaled.generate(self.seed)
     }
 
-    /// A DETERRENT configuration sized to the harness scale.
+    /// A DETERRENT configuration sized to the harness scale. The analysis
+    /// section matches what [`BenchInstance::prepare`] runs (8192 patterns at
+    /// the harness seed), so grid cells built on this config share the
+    /// instance's cached [`RareArtifact`].
     #[must_use]
     pub fn deterrent_config(&self) -> DeterrentConfig {
-        if self.scale <= 1 {
+        let base = if self.scale <= 1 {
             DeterrentConfig::paper_preset()
         } else {
-            DeterrentConfig {
-                episodes: 120,
-                eval_rollouts: 48,
-                k_patterns: 24,
-                seed: self.seed,
-                ..DeterrentConfig::fast_preset()
-            }
-        }
+            DeterrentConfig::fast_preset()
+                .with_episodes(120)
+                .with_eval_rollouts(48)
+                .with_k_patterns(24)
+        };
+        base.with_probability_patterns(BenchInstance::ANALYSIS_PATTERNS)
+            .with_seed(self.seed)
     }
 }
 
-/// One prepared benchmark instance: the netlist, its rare-net analysis, and a
-/// planted Trojan population.
+/// One prepared benchmark instance: the netlist, its rare-net analysis, a
+/// planted Trojan population, and the artifact store every DETERRENT run on
+/// this instance shares.
 #[derive(Debug)]
 pub struct BenchInstance {
     /// Benchmark name (from the profile).
     pub name: String,
     /// The golden netlist.
     pub netlist: Netlist,
-    /// Rare-net analysis at the given threshold.
+    /// Rare-net analysis at the given threshold (a clone of the cached
+    /// artifact's payload, kept for Trojan generation and reporting).
     pub analysis: RareNetAnalysis,
     /// The planted Trojans used for coverage evaluation.
     pub trojans: Vec<Trojan>,
+    /// The analysis configuration the instance was prepared with; every
+    /// [`BenchInstance::run_deterrent`] call is pinned to it so grid cells
+    /// hit the cached artifacts.
+    config: DeterrentConfig,
+    store: ArtifactStore,
 }
 
 impl BenchInstance {
+    /// Probability-estimation pattern budget used by every instance.
+    pub const ANALYSIS_PATTERNS: usize = 8192;
+
     /// Prepares a benchmark instance for `profile`: generate the netlist, run
-    /// rare-net analysis at `threshold`, and plant the Trojan population.
+    /// rare-net analysis at `threshold` (cached in the instance store), and
+    /// plant the Trojan population.
     ///
     /// When the design does not admit triggers of the requested width the
     /// width is reduced (down to 2) until sampling succeeds — the scaled-down
@@ -135,7 +154,12 @@ impl BenchInstance {
     #[must_use]
     pub fn prepare(profile: &BenchmarkProfile, options: &HarnessOptions, threshold: f64) -> Self {
         let netlist = options.netlist(profile);
-        let analysis = RareNetAnalysis::estimate(&netlist, threshold, 8192, options.seed);
+        let config = options.deterrent_config().with_threshold(threshold);
+        let store = ArtifactStore::new();
+        let analysis = {
+            let mut session = DeterrentSession::with_store(&netlist, config.clone(), store.clone());
+            session.analyze().analysis().clone()
+        };
         let mut generator = TrojanGenerator::new(&netlist, options.seed ^ 0x7707);
         let mut width = options.trigger_width;
         let mut trojans = Vec::new();
@@ -151,7 +175,15 @@ impl BenchInstance {
             netlist,
             analysis,
             trojans,
+            config,
+            store,
         }
+    }
+
+    /// The artifact store shared by every DETERRENT run on this instance.
+    #[must_use]
+    pub fn store(&self) -> ArtifactStore {
+        self.store.clone()
     }
 
     /// Trigger coverage (%) of `patterns` against the planted Trojans.
@@ -171,17 +203,52 @@ impl BenchInstance {
         CoverageEvaluator::new(&self.netlist, self.trojans.clone()).evaluate(patterns)
     }
 
-    /// Runs the DETERRENT pipeline on this instance.
+    /// Runs the DETERRENT pipeline on this instance through a session
+    /// sharing the instance store, so repeated calls (ablation grids) reuse
+    /// the cached analysis and graph.
     ///
+    /// The config's analysis section and seed are pinned to the instance's;
     /// `k` (the number of compatible sets turned into patterns) and the
     /// number of greedy evaluation rollouts are scaled with the rare-net
     /// count, mirroring how the paper tunes `k` per benchmark (e.g. 1304
     /// patterns for MIPS but only 8 for c2670).
     #[must_use]
     pub fn run_deterrent(&self, mut config: DeterrentConfig) -> DeterrentResult {
-        config.k_patterns = config.k_patterns.max(self.analysis.len());
-        config.eval_rollouts = config.eval_rollouts.max(self.analysis.len());
-        Deterrent::new(&self.netlist, config).run_with_analysis(&self.analysis)
+        config.analysis = self.config.analysis;
+        config.seed = self.config.seed;
+        config.select.k_patterns = config.select.k_patterns.max(self.analysis.len());
+        config.select.eval_rollouts = config.select.eval_rollouts.max(self.analysis.len());
+        let mut session = DeterrentSession::with_store(&self.netlist, config, self.store.clone());
+        session.run()
+    }
+
+    /// Asserts (via the store's hit/miss counters) that an ablation grid of
+    /// `cells` DETERRENT runs performed rare-net analysis and
+    /// compatibility-graph construction exactly **once** for this instance —
+    /// the session-reuse guarantee the staged API exists for.
+    ///
+    /// # Panics
+    ///
+    /// Panics when any cell recomputed the analysis or the graph.
+    pub fn assert_offline_reuse(&self, cells: usize) {
+        let counters = self.store.counters();
+        assert_eq!(
+            counters.analyze.misses, 1,
+            "rare-net analysis must run exactly once per (netlist, θ); counters: {counters:?}"
+        );
+        assert_eq!(
+            counters.analyze.hits, cells as u64,
+            "every grid cell must reuse the prepared analysis; counters: {counters:?}"
+        );
+        assert_eq!(
+            counters.build_graph.misses, 1,
+            "the compatibility graph must be built exactly once per (netlist, θ); counters: {counters:?}"
+        );
+        assert_eq!(
+            counters.build_graph.hits,
+            cells.saturating_sub(1) as u64,
+            "every later grid cell must reuse the graph; counters: {counters:?}"
+        );
     }
 }
 
@@ -284,6 +351,24 @@ mod tests {
         let random = RandomPatterns::new(32, 1).generate(&instance.netlist, &instance.analysis);
         let cov = instance.coverage(&random);
         assert!((0.0..=100.0).contains(&cov));
+    }
+
+    #[test]
+    fn grid_cells_share_the_offline_stages() {
+        let options = HarnessOptions {
+            num_trojans: 5,
+            trigger_width: 2,
+            ..HarnessOptions::default()
+        };
+        let instance = BenchInstance::prepare(&BenchmarkProfile::c2670(), &options, 0.2);
+        let base = options.deterrent_config().with_episodes(20);
+        let a = instance.run_deterrent(base.clone());
+        let b = instance.run_deterrent(
+            base.clone()
+                .with_ablation(deterrent_core::RewardMode::EndOfEpisode, true),
+        );
+        instance.assert_offline_reuse(2);
+        assert_eq!(a.rare_nets, b.rare_nets, "both cells saw the same graph");
     }
 
     #[test]

@@ -1,0 +1,634 @@
+//! Cache-keyed stage artifacts and the store that shares them.
+//!
+//! Every stage of a [`crate::DeterrentSession`] produces a cheaply clonable
+//! artifact (the heavy payload lives behind an [`Arc`]) whose **key** is a
+//! stable fingerprint of exactly the inputs that can change the stage's
+//! output: the netlist's behavioural content, the stage's own config
+//! section, the master seed, and the key of the upstream artifact. Thread
+//! counts are deliberately excluded — the deterministic parallel runtime
+//! guarantees bit-identical results at any worker count, so a graph built at
+//! one thread is served verbatim to a four-thread session.
+//!
+//! An [`ArtifactStore`] is a shareable handle (clone it freely); ablation
+//! grids hand one store to every cell's session so only the stages whose
+//! config slice actually changed are recomputed. Per-stage hit/miss counters
+//! make the reuse auditable.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use rl::{PpoConfig, PpoTrainer, TrainReport};
+use sim::rare::RareNetAnalysis;
+use sim::PatternSource;
+
+use crate::{
+    AnalysisConfig, CompatConfig, CompatibilityGraph, EnumerationBudget, RareNetSet, SelectConfig,
+    Stage, TrainConfig,
+};
+
+// ───────────────────────── fingerprinting ─────────────────────────
+
+/// Incremental FNV-1a over explicitly serialized fields: stable across runs
+/// and platforms, unlike [`std::collections::hash_map::DefaultHasher`].
+#[derive(Clone, Copy)]
+pub(crate) struct Fp(u64);
+
+impl Fp {
+    pub(crate) fn new(tag: &str) -> Self {
+        Fp(0xcbf2_9ce4_8422_2325).bytes(tag.as_bytes())
+    }
+
+    pub(crate) fn bytes(mut self, bytes: &[u8]) -> Self {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    pub(crate) fn u64(self, v: u64) -> Self {
+        self.bytes(&v.to_le_bytes())
+    }
+
+    /// Bulk variant for large word arrays (witness-bank rows): one
+    /// xor + multiply per word instead of eight. Weaker per-bit diffusion
+    /// than the byte-wise path, which is fine for content identity — and
+    /// ~8× cheaper on the banks' millions of words.
+    pub(crate) fn words(mut self, words: &[u64]) -> Self {
+        for &w in words {
+            self.0 ^= w;
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self
+    }
+
+    pub(crate) fn usize(self, v: usize) -> Self {
+        self.u64(v as u64)
+    }
+
+    pub(crate) fn f64(self, v: f64) -> Self {
+        self.u64(v.to_bits())
+    }
+
+    pub(crate) fn bool(self, v: bool) -> Self {
+        self.u64(u64::from(v))
+    }
+
+    pub(crate) fn finish(self) -> u64 {
+        self.0
+    }
+}
+
+fn fp_ppo(fp: Fp, ppo: &PpoConfig) -> Fp {
+    let mut fp = fp
+        .f64(ppo.gamma)
+        .f64(ppo.gae_lambda)
+        .f64(ppo.clip_epsilon)
+        .f64(ppo.entropy_coef)
+        .f64(ppo.value_coef)
+        .f64(ppo.learning_rate)
+        .usize(ppo.epochs)
+        .usize(ppo.batch_size)
+        .usize(ppo.hidden_sizes.len());
+    for &h in &ppo.hidden_sizes {
+        fp = fp.usize(h);
+    }
+    fp
+}
+
+fn fp_budget(fp: Fp, budget: &EnumerationBudget) -> Fp {
+    match *budget {
+        EnumerationBudget::Disabled => fp.u64(0),
+        EnumerationBudget::FixedSupportLimit(limit) => fp.u64(1).u64(u64::from(limit)),
+        EnumerationBudget::Adaptive {
+            sat_base_word_ops,
+            sat_per_gate_word_ops,
+            max_support,
+        } => fp
+            .u64(2)
+            .u64(sat_base_word_ops)
+            .u64(sat_per_gate_word_ops)
+            .u64(u64::from(max_support)),
+    }
+}
+
+fn fp_compat(fp: Fp, config: &CompatConfig) -> Fp {
+    match config.strategy {
+        crate::CompatStrategy::AllSat => fp.u64(0),
+        crate::CompatStrategy::Funnel(f) => fp_budget(
+            fp.u64(1)
+                .bool(f.sim_witnesses)
+                .bool(f.structural_pruning)
+                .bool(f.cone_sat),
+            &f.enumeration,
+        ),
+    }
+}
+
+/// Key of an [`RareArtifact`] computed by the session's own analyze stage.
+pub(crate) fn rare_key(netlist_fp: u64, config: &AnalysisConfig, seed: u64) -> u64 {
+    Fp::new("deterrent/analyze")
+        .u64(netlist_fp)
+        .f64(config.rareness_threshold)
+        .usize(config.probability_patterns)
+        .u64(seed)
+        .finish()
+}
+
+/// Key of an imported (externally computed) analysis: a fingerprint of its
+/// *content* — rare nets, threshold, and witness bank — so two sessions
+/// importing equal analyses share downstream artifacts.
+pub(crate) fn imported_rare_key(netlist_fp: u64, analysis: &RareNetAnalysis) -> u64 {
+    let mut fp = Fp::new("deterrent/import")
+        .u64(netlist_fp)
+        .f64(analysis.threshold())
+        .usize(analysis.len());
+    for r in analysis.rare_nets() {
+        fp = fp
+            .usize(r.net.index())
+            .bool(r.rare_value)
+            .f64(r.probability);
+    }
+    match analysis.witnesses() {
+        None => fp = fp.u64(0),
+        Some(bank) => {
+            fp = fp.u64(1).usize(bank.num_patterns());
+            for t in 0..bank.len() {
+                fp = fp.words(bank.row(t));
+            }
+            fp = match bank.source() {
+                None => fp.u64(0),
+                Some(PatternSource::Random { width, seed }) => fp.u64(1).usize(width).u64(seed),
+                Some(PatternSource::Exhaustive { width }) => fp.u64(2).usize(width),
+            };
+        }
+    }
+    fp.finish()
+}
+
+/// Key of a [`GraphArtifact`] derived from the rare artifact `parent`.
+pub(crate) fn graph_key(parent: u64, config: &CompatConfig) -> u64 {
+    fp_compat(Fp::new("deterrent/graph").u64(parent), config).finish()
+}
+
+/// Key of a [`PolicyArtifact`] derived from the graph artifact `parent`.
+pub(crate) fn policy_key(parent: u64, config: &TrainConfig, seed: u64) -> u64 {
+    let fp = Fp::new("deterrent/train")
+        .u64(parent)
+        .u64(config.reward_mode as u64)
+        .bool(config.masking)
+        .u64(config.compat_check as u64)
+        .usize(config.episodes)
+        .usize(config.steps_per_episode)
+        .usize(config.rollout_round)
+        .u64(seed);
+    fp_ppo(fp, &config.ppo).finish()
+}
+
+/// Key of a [`SetsArtifact`] derived from the policy artifact `parent`.
+pub(crate) fn sets_key(parent: u64, config: &SelectConfig, seed: u64) -> u64 {
+    Fp::new("deterrent/select")
+        .u64(parent)
+        .usize(config.eval_rollouts)
+        .usize(config.k_patterns)
+        .u64(seed)
+        .finish()
+}
+
+// ───────────────────────── artifacts ─────────────────────────
+
+/// Output of the analyze stage: the rare-net analysis (with its retained
+/// witness bank) behind an [`Arc`].
+#[derive(Debug, Clone)]
+pub struct RareArtifact {
+    pub(crate) key: u64,
+    analysis: Arc<RareNetAnalysis>,
+}
+
+impl RareArtifact {
+    pub(crate) fn new(key: u64, analysis: RareNetAnalysis) -> Self {
+        Self {
+            key,
+            analysis: Arc::new(analysis),
+        }
+    }
+
+    /// The cache key (netlist fingerprint ⊕ analysis config ⊕ seed).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The rare-net analysis.
+    #[must_use]
+    pub fn analysis(&self) -> &RareNetAnalysis {
+        &self.analysis
+    }
+
+    /// Number of rare nets found.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.analysis.len()
+    }
+
+    /// `true` when no net is rare at the threshold.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.analysis.is_empty()
+    }
+}
+
+/// Output of the build-graph stage: the pairwise-compatibility graph behind
+/// an [`Arc`], plus the threshold it answers for.
+#[derive(Debug, Clone)]
+pub struct GraphArtifact {
+    pub(crate) key: u64,
+    graph: Arc<CompatibilityGraph>,
+    pub(crate) rareness_threshold: f64,
+    pub(crate) build_seconds: f64,
+}
+
+impl GraphArtifact {
+    pub(crate) fn new(
+        key: u64,
+        graph: CompatibilityGraph,
+        rareness_threshold: f64,
+        build_seconds: f64,
+    ) -> Self {
+        Self {
+            key,
+            graph: Arc::new(graph),
+            rareness_threshold,
+            build_seconds,
+        }
+    }
+
+    /// The cache key (rare-artifact key ⊕ compat config).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The compatibility graph.
+    #[must_use]
+    pub fn graph(&self) -> &CompatibilityGraph {
+        &self.graph
+    }
+
+    /// The rareness threshold of the originating analysis.
+    #[must_use]
+    pub fn rareness_threshold(&self) -> f64 {
+        self.rareness_threshold
+    }
+
+    /// Wall-clock seconds the (cold) build took.
+    #[must_use]
+    pub fn build_seconds(&self) -> f64 {
+        self.build_seconds
+    }
+}
+
+/// Payload of a [`PolicyArtifact`].
+#[derive(Debug)]
+pub struct TrainedPolicy {
+    /// The trained PPO agent (frozen; the select stage rolls it out
+    /// greedily).
+    pub trainer: PpoTrainer,
+    /// Episode rewards/lengths, losses, wall clock.
+    pub report: TrainReport,
+    /// Episode-final compatible sets harvested during training, in episode
+    /// order.
+    pub harvested_sets: Vec<Vec<usize>>,
+    /// Exact SAT compatibility checks spent inside training environments
+    /// (non-zero only under [`crate::CompatCheck::ExactSat`]).
+    pub env_sat_checks: u64,
+    /// Wall-clock seconds of the (cold) training run.
+    pub training_seconds: f64,
+    /// Mean reward over the last 10% of training episodes.
+    pub final_mean_reward: f64,
+}
+
+/// Output of the train stage: the trained policy and its training harvest,
+/// behind an [`Arc`].
+#[derive(Debug, Clone)]
+pub struct PolicyArtifact {
+    pub(crate) key: u64,
+    inner: Arc<TrainedPolicy>,
+}
+
+impl PolicyArtifact {
+    pub(crate) fn new(key: u64, inner: TrainedPolicy) -> Self {
+        Self {
+            key,
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// The cache key (graph-artifact key ⊕ train config ⊕ seed).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The trained policy and its training harvest.
+    #[must_use]
+    pub fn policy(&self) -> &TrainedPolicy {
+        &self.inner
+    }
+}
+
+/// Payload of a [`SetsArtifact`].
+#[derive(Debug)]
+pub struct SelectedSets {
+    /// The `k` largest distinct compatible sets, largest first.
+    pub sets: Vec<RareNetSet>,
+    /// Size of the largest harvested compatible set (training + evaluation).
+    pub max_compatible_set: usize,
+    /// Exact SAT checks spent inside the greedy evaluation environments.
+    pub eval_env_sat_checks: u64,
+    /// Total candidate sets harvested before selection.
+    pub harvested_total: usize,
+}
+
+/// Output of the select stage: the chosen compatible sets, behind an
+/// [`Arc`].
+#[derive(Debug, Clone)]
+pub struct SetsArtifact {
+    pub(crate) key: u64,
+    inner: Arc<SelectedSets>,
+}
+
+impl SetsArtifact {
+    pub(crate) fn new(key: u64, inner: SelectedSets) -> Self {
+        Self {
+            key,
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// The cache key (policy-artifact key ⊕ select config ⊕ seed).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The selection result.
+    #[must_use]
+    pub fn selected(&self) -> &SelectedSets {
+        &self.inner
+    }
+
+    /// The selected sets, largest first.
+    #[must_use]
+    pub fn sets(&self) -> &[RareNetSet] {
+        &self.inner.sets
+    }
+}
+
+// ───────────────────────── the store ─────────────────────────
+
+/// Hit/miss counters of one cached stage.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageCounters {
+    /// Lookups served from the store.
+    pub hits: u64,
+    /// Lookups that had to compute (and then inserted).
+    pub misses: u64,
+}
+
+/// Per-stage hit/miss counters of an [`ArtifactStore`].
+///
+/// The generate stage is not cached (pattern generation is cheap relative to
+/// everything upstream), so it has no counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StoreCounters {
+    /// Analyze-stage counters.
+    pub analyze: StageCounters,
+    /// Build-graph-stage counters.
+    pub build_graph: StageCounters,
+    /// Train-stage counters.
+    pub train: StageCounters,
+    /// Select-stage counters.
+    pub select: StageCounters,
+}
+
+impl StoreCounters {
+    /// The counters of `stage` ([`Stage::Generate`] is uncached and always
+    /// zero).
+    #[must_use]
+    pub fn stage(&self, stage: Stage) -> StageCounters {
+        match stage {
+            Stage::Analyze => self.analyze,
+            Stage::BuildGraph => self.build_graph,
+            Stage::Train => self.train,
+            Stage::Select => self.select,
+            Stage::Generate => StageCounters::default(),
+        }
+    }
+
+    /// Total hits across all stages.
+    #[must_use]
+    pub fn total_hits(&self) -> u64 {
+        self.analyze.hits + self.build_graph.hits + self.train.hits + self.select.hits
+    }
+
+    /// Total misses across all stages.
+    #[must_use]
+    pub fn total_misses(&self) -> u64 {
+        self.analyze.misses + self.build_graph.misses + self.train.misses + self.select.misses
+    }
+}
+
+#[derive(Debug, Default)]
+struct StoreInner {
+    rare: HashMap<u64, RareArtifact>,
+    graph: HashMap<u64, GraphArtifact>,
+    policy: HashMap<u64, PolicyArtifact>,
+    sets: HashMap<u64, SetsArtifact>,
+    counters: StoreCounters,
+}
+
+/// A shareable, thread-safe store of stage artifacts.
+///
+/// Cloning the store clones a *handle*: all clones see the same cache. Hand
+/// one store to every cell of an ablation grid (via
+/// [`crate::DeterrentSession::with_store`]) and the shared prefix of the
+/// pipeline — typically rare-net analysis and the compatibility graph — is
+/// computed once.
+///
+/// Lookups and inserts are individually atomic but a miss does not reserve
+/// its key: two *simultaneous* sessions racing on the same cold key will
+/// each compute the artifact (both correct and identical — last insert
+/// wins) and each count a miss. Drive grid cells sequentially, or warm the
+/// store first, when the counters feed assertions.
+#[derive(Debug, Clone, Default)]
+pub struct ArtifactStore {
+    inner: Arc<Mutex<StoreInner>>,
+}
+
+impl ArtifactStore {
+    /// A fresh, empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
+        self.inner.lock().expect("artifact store lock poisoned")
+    }
+
+    /// Per-stage hit/miss counters so far.
+    #[must_use]
+    pub fn counters(&self) -> StoreCounters {
+        self.lock().counters
+    }
+
+    /// Number of artifacts currently cached (all stages).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        let inner = self.lock();
+        inner.rare.len() + inner.graph.len() + inner.policy.len() + inner.sets.len()
+    }
+
+    /// `true` when nothing is cached.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops every cached artifact and zeroes the counters.
+    pub fn clear(&self) {
+        let mut inner = self.lock();
+        *inner = StoreInner::default();
+    }
+
+    pub(crate) fn lookup_rare(&self, key: u64) -> Option<RareArtifact> {
+        let mut inner = self.lock();
+        let found = inner.rare.get(&key).cloned();
+        let c = &mut inner.counters.analyze;
+        if found.is_some() {
+            c.hits += 1;
+        } else {
+            c.misses += 1;
+        }
+        found
+    }
+
+    pub(crate) fn insert_rare(&self, artifact: &RareArtifact) {
+        self.lock().rare.insert(artifact.key, artifact.clone());
+    }
+
+    pub(crate) fn lookup_graph(&self, key: u64) -> Option<GraphArtifact> {
+        let mut inner = self.lock();
+        let found = inner.graph.get(&key).cloned();
+        let c = &mut inner.counters.build_graph;
+        if found.is_some() {
+            c.hits += 1;
+        } else {
+            c.misses += 1;
+        }
+        found
+    }
+
+    pub(crate) fn insert_graph(&self, artifact: &GraphArtifact) {
+        self.lock().graph.insert(artifact.key, artifact.clone());
+    }
+
+    pub(crate) fn lookup_policy(&self, key: u64) -> Option<PolicyArtifact> {
+        let mut inner = self.lock();
+        let found = inner.policy.get(&key).cloned();
+        let c = &mut inner.counters.train;
+        if found.is_some() {
+            c.hits += 1;
+        } else {
+            c.misses += 1;
+        }
+        found
+    }
+
+    pub(crate) fn insert_policy(&self, artifact: &PolicyArtifact) {
+        self.lock().policy.insert(artifact.key, artifact.clone());
+    }
+
+    pub(crate) fn lookup_sets(&self, key: u64) -> Option<SetsArtifact> {
+        let mut inner = self.lock();
+        let found = inner.sets.get(&key).cloned();
+        let c = &mut inner.counters.select;
+        if found.is_some() {
+            c.hits += 1;
+        } else {
+            c.misses += 1;
+        }
+        found
+    }
+
+    pub(crate) fn insert_sets(&self, artifact: &SetsArtifact) {
+        self.lock().sets.insert(artifact.key, artifact.clone());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::synth::BenchmarkProfile;
+
+    #[test]
+    fn fingerprints_are_stable_and_field_sensitive() {
+        let cfg = AnalysisConfig::default();
+        let a = rare_key(1, &cfg, 7);
+        assert_eq!(a, rare_key(1, &cfg, 7), "same inputs, same key");
+        assert_ne!(a, rare_key(2, &cfg, 7), "netlist matters");
+        assert_ne!(a, rare_key(1, &cfg, 8), "seed matters");
+        let tighter = AnalysisConfig {
+            rareness_threshold: 0.09,
+            ..cfg
+        };
+        assert_ne!(a, rare_key(1, &tighter, 7), "threshold matters");
+    }
+
+    #[test]
+    fn stage_keys_chain() {
+        let compat = CompatConfig::default();
+        let g1 = graph_key(1, &compat);
+        let g2 = graph_key(2, &compat);
+        assert_ne!(g1, g2, "a different parent invalidates downstream");
+        let train = TrainConfig::default();
+        assert_ne!(policy_key(g1, &train, 3), policy_key(g2, &train, 3));
+        assert_ne!(policy_key(g1, &train, 3), policy_key(g1, &train, 4));
+    }
+
+    #[test]
+    fn imported_keys_reflect_content() {
+        let nl = BenchmarkProfile::c2670().scaled(25).generate(3);
+        let fp = nl.content_fingerprint();
+        let a = RareNetAnalysis::estimate(&nl, 0.2, 1024, 1);
+        let b = RareNetAnalysis::estimate(&nl, 0.2, 1024, 1);
+        assert_eq!(imported_rare_key(fp, &a), imported_rare_key(fp, &b));
+        let c = RareNetAnalysis::estimate(&nl, 0.2, 1024, 2);
+        assert_ne!(
+            imported_rare_key(fp, &a),
+            imported_rare_key(fp, &c),
+            "different estimation seeds give different witness banks"
+        );
+    }
+
+    #[test]
+    fn store_counts_hits_and_misses() {
+        let store = ArtifactStore::new();
+        assert!(store.is_empty());
+        assert!(store.lookup_rare(42).is_none());
+        let nl = BenchmarkProfile::c2670().scaled(30).generate(1);
+        let analysis = RareNetAnalysis::estimate(&nl, 0.2, 512, 1);
+        store.insert_rare(&RareArtifact::new(42, analysis));
+        assert!(store.lookup_rare(42).is_some());
+        let shared = store.clone();
+        assert!(shared.lookup_rare(42).is_some(), "clones share the cache");
+        let c = store.counters();
+        assert_eq!(c.analyze.misses, 1);
+        assert_eq!(c.analyze.hits, 2);
+        assert_eq!(store.len(), 1);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.counters(), StoreCounters::default());
+    }
+}

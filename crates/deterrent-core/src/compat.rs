@@ -38,6 +38,105 @@ use sim::{ConeSimulator, TestPattern, WitnessBank};
 /// cost more than the sweep itself. Results are identical either way.
 const TIER1_PARALLEL_MIN_PAIRS: usize = 4096;
 
+/// How tier 2 decides, per pair, whether bounded exhaustive cone enumeration
+/// is worth running instead of falling through to SAT.
+///
+/// Enumerating a pair costs `2^k / 64 · cone` word operations, where `k` is
+/// the union cone's scan-input support and `cone` its gate count — both known
+/// before committing. A SAT query on the same cone has a roughly affine cost
+/// in the cone size. Comparing the two per pair (the default,
+/// [`EnumerationBudget::adaptive`]) lets small-support/large-cone pairs
+/// enumerate deeper than any fixed support cutoff would dare while stopping
+/// early on the cones where a fixed cutoff would burn milliseconds per pair.
+/// The verdict itself is exact either way — the budget only chooses *where*
+/// the exact answer comes from, never *what* it is.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EnumerationBudget {
+    /// Never enumerate (every unresolved pair goes to SAT).
+    Disabled,
+    /// The legacy fixed knob, kept as an override: enumerate exactly the
+    /// pairs whose union support has at most this many scan inputs
+    /// (clamped to 26).
+    FixedSupportLimit(u32),
+    /// The per-pair cost model: enumerate iff
+    /// `2^support / 64 · cone ≤ sat_base_word_ops + sat_per_gate_word_ops · cone`,
+    /// with `max_support` as a hard ceiling (clamped to 26).
+    Adaptive {
+        /// Fixed word-op-equivalent overhead of one SAT query (encoding,
+        /// solver setup).
+        sat_base_word_ops: u64,
+        /// Marginal word-op-equivalent SAT cost per cone gate.
+        sat_per_gate_word_ops: u64,
+        /// Hard support ceiling regardless of the model's verdict.
+        max_support: u32,
+    },
+}
+
+impl EnumerationBudget {
+    /// The default adaptive cost model. The constants are calibrated against
+    /// this repo's CDCL solver on the synthetic ISCAS profiles: a
+    /// cone-restricted query costs a fixed overhead (encode + solver setup,
+    /// `2^18` word-op equivalents) plus a few hundred word ops per cone gate,
+    /// deliberately weighted a little toward enumeration because packed
+    /// sweeps are branch-free, cache-friendly, and parallelize perfectly.
+    ///
+    /// The model dominates any fixed support cutoff in both directions: a
+    /// support-19 pair over a 25-net cone enumerates (declined by the old
+    /// fixed-18 knob), while a support-16 pair over a 50 000-net cone goes to
+    /// SAT (the fixed knob would burn ~50M word ops enumerating it).
+    #[must_use]
+    pub fn adaptive() -> Self {
+        Self::Adaptive {
+            sat_base_word_ops: 1 << 18,
+            sat_per_gate_word_ops: 256,
+            max_support: 26,
+        }
+    }
+
+    /// Whether enumeration is enabled at all.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        !matches!(
+            self,
+            Self::Disabled | Self::FixedSupportLimit(0) | Self::Adaptive { max_support: 0, .. }
+        )
+    }
+
+    /// The hard support ceiling a [`ConeSimulator`] must be sized for.
+    #[must_use]
+    pub fn support_ceiling(&self) -> u32 {
+        match *self {
+            Self::Disabled => 0,
+            Self::FixedSupportLimit(limit) => limit.min(26),
+            Self::Adaptive { max_support, .. } => max_support.min(26),
+        }
+    }
+
+    /// Whether a query with the given union support and cone size should be
+    /// enumerated.
+    #[must_use]
+    pub fn admits(&self, support: u32, cone_size: usize) -> bool {
+        match *self {
+            Self::Disabled => false,
+            Self::FixedSupportLimit(limit) => support <= limit.min(26),
+            Self::Adaptive {
+                sat_base_word_ops,
+                sat_per_gate_word_ops,
+                max_support,
+            } => {
+                if support > max_support.min(26) {
+                    return false;
+                }
+                let chunks = (1u64 << support).div_ceil(64);
+                let enum_word_ops = chunks.saturating_mul(cone_size as u64);
+                let sat_word_ops = sat_base_word_ops
+                    .saturating_add(sat_per_gate_word_ops.saturating_mul(cone_size as u64));
+                enum_word_ops <= sat_word_ops
+            }
+        }
+    }
+}
+
 /// Per-tier toggles of the compatibility funnel. Disabling a tier pushes its
 /// pairs down to the next one; with everything off the funnel degenerates to
 /// the all-SAT baseline (on whole-netlist oracles).
@@ -47,11 +146,10 @@ pub struct FunnelOptions {
     pub sim_witnesses: bool,
     /// Tier 2: resolve pairs whose cone supports are disjoint.
     pub structural_pruning: bool,
-    /// Tier 2: decide pairs whose union cone support has at most this many
-    /// scan inputs by exhaustive cone enumeration (`2^limit` packed
-    /// assignments; 0 disables, values above 26 are clamped to 26). This is
-    /// the only SAT-free tier that can prove a pair *incompatible*.
-    pub exhaustive_support_limit: u32,
+    /// Tier 2: when bounded exhaustive cone enumeration runs (the only
+    /// SAT-free tier that can prove a pair *incompatible*). Defaults to the
+    /// adaptive per-pair cost model.
+    pub enumeration: EnumerationBudget,
     /// Tier 3 flavour: `true` uses lazy cone-restricted incremental oracles,
     /// `false` uses whole-netlist oracles (one per worker, as the paper
     /// does).
@@ -63,7 +161,7 @@ impl Default for FunnelOptions {
         Self {
             sim_witnesses: true,
             structural_pruning: true,
-            exhaustive_support_limit: 18,
+            enumeration: EnumerationBudget::adaptive(),
             cone_sat: true,
         }
     }
@@ -244,16 +342,31 @@ impl CompatibilityGraph {
         analysis: &RareNetAnalysis,
         options: &CompatBuildOptions,
     ) -> Self {
-        let funnel = match options.strategy {
+        let exec = Exec::new(options.threads);
+        Self::build_on(netlist, analysis, options.strategy, &exec)
+    }
+
+    /// Like [`CompatibilityGraph::build_with`], but runs on a caller-provided
+    /// executor instead of spawning its own — the build's task and timing
+    /// counters then land in that executor's [`exec::ExecStats`]. This is
+    /// what a [`crate::DeterrentSession`] uses so one `Exec` serves every
+    /// stage.
+    #[must_use]
+    pub fn build_on(
+        netlist: &Netlist,
+        analysis: &RareNetAnalysis,
+        strategy: CompatStrategy,
+        exec: &Exec,
+    ) -> Self {
+        let funnel = match strategy {
             CompatStrategy::AllSat => FunnelOptions {
                 sim_witnesses: false,
                 structural_pruning: false,
-                exhaustive_support_limit: 0,
+                enumeration: EnumerationBudget::Disabled,
                 cone_sat: false,
             },
             CompatStrategy::Funnel(f) => f,
         };
-        let exec = Exec::new(options.threads);
         let mut stats = CompatStats {
             candidate_rare_nets: analysis.len(),
             threads_used: exec.threads(),
@@ -267,8 +380,10 @@ impl CompatibilityGraph {
             None
         };
 
-        let mut cone_sim = (funnel.exhaustive_support_limit > 0)
-            .then(|| ConeSimulator::new(netlist, funnel.exhaustive_support_limit.min(26)));
+        let budget = funnel.enumeration;
+        let mut cone_sim = budget
+            .is_enabled()
+            .then(|| ConeSimulator::new(netlist, budget.support_ceiling()));
 
         // ── Singleton stage: keep only individually justifiable nets. ──────
         // The oracle is created on first SAT need; with witnesses attached it
@@ -281,7 +396,10 @@ impl CompatibilityGraph {
             let justifiable = if bank.is_some_and(|b| b.has_witness(ci)) {
                 stats.singleton_sim_resolved += 1;
                 true
-            } else if let Some(verdict) = cone_sim.as_mut().and_then(|d| d.decide(&target)) {
+            } else if let Some(verdict) = cone_sim
+                .as_mut()
+                .and_then(|d| d.decide_if(&target, |k, cone| budget.admits(k, cone)))
+            {
                 stats.singleton_sim_resolved += 1;
                 verdict
             } else {
@@ -303,7 +421,7 @@ impl CompatibilityGraph {
         // capability. All-SAT builds model the paper's baseline (and serve
         // as its cost reference), so they neither reuse witnesses nor pay
         // for copying the bank's rows.
-        let witnesses = match options.strategy {
+        let witnesses = match strategy {
             CompatStrategy::Funnel(_) => analysis.witnesses().cloned(),
             CompatStrategy::AllSat => None,
         };
@@ -372,18 +490,21 @@ impl CompatibilityGraph {
         }
         if cone_sim.is_some() && !unresolved.is_empty() {
             // Enumeration is the funnel's dominant SAT-free cost (up to
-            // `2^limit` packed assignments per pair), so it fans out across
+            // `2^ceiling` packed assignments per pair), so it fans out across
             // pair chunks with one scratch ConeSimulator per worker. Each
             // verdict depends only on its pair — the merge is order-exact.
-            let limit = funnel.exhaustive_support_limit.min(26);
+            let ceiling = budget.support_ceiling();
             let verdicts: Vec<Option<bool>> = exec.par_map_with(
                 &unresolved,
-                || ConeSimulator::new(netlist, limit),
+                || ConeSimulator::new(netlist, ceiling),
                 |cone_sim, _, &(i, j)| {
-                    cone_sim.decide(&[
-                        (rare_nets[i].net, rare_nets[i].rare_value),
-                        (rare_nets[j].net, rare_nets[j].rare_value),
-                    ])
+                    cone_sim.decide_if(
+                        &[
+                            (rare_nets[i].net, rare_nets[i].rare_value),
+                            (rare_nets[j].net, rare_nets[j].rare_value),
+                        ],
+                        |k, cone| budget.admits(k, cone),
+                    )
                 },
             );
             let mut verdicts = verdicts.into_iter();
@@ -640,6 +761,14 @@ mod tests {
                     cone_sat: false,
                     ..FunnelOptions::default()
                 },
+                FunnelOptions {
+                    enumeration: EnumerationBudget::FixedSupportLimit(18),
+                    ..FunnelOptions::default()
+                },
+                FunnelOptions {
+                    enumeration: EnumerationBudget::Disabled,
+                    ..FunnelOptions::default()
+                },
             ];
             for (v, funnel) in variants.into_iter().enumerate() {
                 let graph = CompatibilityGraph::build_with(
@@ -659,6 +788,31 @@ mod tests {
                 assert_eq!(graph.rare_nets, reference.rare_nets);
             }
         }
+    }
+
+    #[test]
+    fn adaptive_budget_scales_with_cone_size() {
+        let budget = EnumerationBudget::adaptive();
+        // A tiny cone affords deep enumeration…
+        assert!(budget.admits(16, 20));
+        // …but the same support is declined on a cone three orders larger,
+        // where 2^16/64 · cone word ops dwarf one SAT query.
+        assert!(!budget.admits(16, 50_000));
+        // Small supports are always worth enumerating (≤ one chunk).
+        assert!(budget.admits(6, 50_000));
+        // The hard ceiling binds regardless of cone size.
+        assert!(!budget.admits(27, 1));
+        assert!(!EnumerationBudget::Disabled.admits(1, 1));
+        assert!(EnumerationBudget::FixedSupportLimit(18).admits(18, usize::MAX));
+        assert!(!EnumerationBudget::FixedSupportLimit(18).admits(19, 1));
+        // The fixed knob dominates neither direction: adaptive enumerates
+        // deeper than fixed-18 on small cones (2^19/64 · 25 ≈ 205k word ops,
+        // under the SAT estimate)…
+        assert!(budget.admits(19, 25));
+        assert!(!EnumerationBudget::FixedSupportLimit(18).admits(19, 25));
+        // …and declines within the fixed knob's range on big cones.
+        assert!(!budget.admits(16, 50_000));
+        assert!(EnumerationBudget::FixedSupportLimit(18).admits(16, 50_000));
     }
 
     #[test]

@@ -1,4 +1,9 @@
-//! Configuration of the DETERRENT pipeline.
+//! Configuration of the DETERRENT pipeline, split into per-stage sections.
+//!
+//! Each section configures exactly one stage of a
+//! [`crate::DeterrentSession`] and is fingerprinted independently, so a
+//! change to (say) the reward mode invalidates only the training artifact
+//! while the rare-net analysis and compatibility graph stay cached.
 
 use rl::PpoConfig;
 
@@ -29,39 +34,114 @@ pub enum CompatCheck {
     ExactSat,
 }
 
-/// Every knob of the DETERRENT pipeline.
-///
-/// The defaults correspond to the paper's final architecture: all-steps
-/// reward, action masking, pairwise-graph compatibility checks, and boosted
-/// exploration (entropy coefficient 1.0, GAE λ = 0.99).
-#[derive(Debug, Clone, PartialEq)]
-pub struct DeterrentConfig {
-    /// Rareness threshold θ below which nets count as rare (paper default 0.1).
+/// Stage ❶ — rare-net analysis (Monte-Carlo probability estimation).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AnalysisConfig {
+    /// Rareness threshold θ below which nets count as rare (paper default
+    /// 0.1).
     pub rareness_threshold: f64,
     /// Number of random patterns used to estimate signal probabilities.
     pub probability_patterns: usize,
+}
+
+impl Default for AnalysisConfig {
+    fn default() -> Self {
+        Self {
+            rareness_threshold: 0.1,
+            probability_patterns: 16 * 1024,
+        }
+    }
+}
+
+/// Stage ❷ — offline pairwise-compatibility graph construction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CompatConfig {
+    /// How the graph is computed: the simulation-first funnel (default) or
+    /// one SAT query per pair (the paper's offline phase). Both yield
+    /// bit-identical graphs. The funnel's enumeration tier defaults to the
+    /// adaptive per-pair cost model; pin
+    /// [`crate::EnumerationBudget::FixedSupportLimit`] inside the strategy to
+    /// override it with the legacy fixed knob.
+    pub strategy: CompatStrategy,
+}
+
+/// Stage ❸ — PPO training over the compatible-set MDP.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
     /// Reward schedule.
     pub reward_mode: RewardMode,
     /// Whether invalid actions are masked out (Section 3.3).
     pub masking: bool,
     /// Per-step compatibility check implementation.
     pub compat_check: CompatCheck,
-    /// How the offline pairwise-compatibility graph is computed: the
-    /// simulation-first funnel (default) or one SAT query per pair (the
-    /// paper's offline phase). Both yield bit-identical graphs.
-    pub compat_strategy: CompatStrategy,
-    /// PPO hyper-parameters (entropy coefficient and λ implement Section 3.4).
+    /// PPO hyper-parameters (entropy coefficient and λ implement Section
+    /// 3.4).
     pub ppo: PpoConfig,
     /// Number of training episodes.
     pub episodes: usize,
-    /// Episode length `T` (maximum actions per episode).
+    /// Episode length `T` (maximum actions per episode). Also bounds the
+    /// greedy evaluation rollouts of the selection stage.
     pub steps_per_episode: usize,
+    /// Episodes collected per frozen-policy round during parallel rollout
+    /// collection. Fixed independently of the thread count so trajectories
+    /// (and therefore training) do not depend on the hardware.
+    pub rollout_round: usize,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            reward_mode: RewardMode::AllSteps,
+            masking: true,
+            compat_check: CompatCheck::PairwiseGraph,
+            ppo: PpoConfig::boosted_exploration(),
+            episodes: 300,
+            steps_per_episode: 64,
+            rollout_round: 8,
+        }
+    }
+}
+
+/// Stage ❹ — harvest/selection of the compatible sets that become patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SelectConfig {
     /// Number of greedy evaluation rollouts used to harvest additional
     /// maximal sets after training.
     pub eval_rollouts: usize,
     /// `k` — how many of the largest distinct compatible sets become test
     /// patterns.
     pub k_patterns: usize,
+}
+
+impl Default for SelectConfig {
+    fn default() -> Self {
+        Self {
+            eval_rollouts: 64,
+            k_patterns: 32,
+        }
+    }
+}
+
+/// Every knob of the DETERRENT pipeline, grouped by stage.
+///
+/// The defaults correspond to the paper's final architecture: all-steps
+/// reward, action masking, pairwise-graph compatibility checks, and boosted
+/// exploration (entropy coefficient 1.0, GAE λ = 0.99).
+///
+/// `threads` and `seed` are session-wide: the seed feeds every stochastic
+/// component, and the thread count sizes the deterministic parallel runtime
+/// without ever affecting results (so it is excluded from artifact cache
+/// keys).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeterrentConfig {
+    /// Rare-net analysis (stage ❶).
+    pub analysis: AnalysisConfig,
+    /// Compatibility-graph construction (stage ❷).
+    pub compat: CompatConfig,
+    /// PPO training (stage ❸).
+    pub train: TrainConfig,
+    /// Set harvest and selection (stage ❹).
+    pub select: SelectConfig,
     /// Worker threads of the deterministic parallel runtime, driving
     /// probability estimation, witness harvesting, every compatibility-funnel
     /// tier, and PPO rollout collection (the paper throws 64 processes at the
@@ -69,10 +149,6 @@ pub struct DeterrentConfig {
     /// `DETERRENT_THREADS` environment variable when set, otherwise all
     /// available cores. Results are bit-identical at any thread count.
     pub threads: usize,
-    /// Episodes collected per frozen-policy round during parallel rollout
-    /// collection. Fixed independently of the thread count so trajectories
-    /// (and therefore training) do not depend on the hardware.
-    pub rollout_round: usize,
     /// RNG seed controlling every stochastic component.
     pub seed: u64,
 }
@@ -80,41 +156,44 @@ pub struct DeterrentConfig {
 impl Default for DeterrentConfig {
     fn default() -> Self {
         Self {
-            rareness_threshold: 0.1,
-            probability_patterns: 16 * 1024,
-            reward_mode: RewardMode::AllSteps,
-            masking: true,
-            compat_check: CompatCheck::PairwiseGraph,
-            compat_strategy: CompatStrategy::default(),
-            ppo: PpoConfig::boosted_exploration(),
-            episodes: 300,
-            steps_per_episode: 64,
-            eval_rollouts: 64,
-            k_patterns: 32,
+            analysis: AnalysisConfig::default(),
+            compat: CompatConfig::default(),
+            train: TrainConfig::default(),
+            select: SelectConfig::default(),
             threads: 0,
-            rollout_round: 8,
-            seed: 0xDE7E88EA7,
+            seed: Self::DEFAULT_SEED,
         }
     }
 }
 
 impl DeterrentConfig {
+    /// The seed the pipeline defaults ship with.
+    pub const DEFAULT_SEED: u64 = 0xDE7E88EA7;
+
     /// A configuration sized for unit tests and examples: few episodes, small
     /// networks, small pattern budgets. Finishes in well under a second on
     /// scaled-down benchmark profiles.
     #[must_use]
     pub fn fast_preset() -> Self {
         Self {
-            probability_patterns: 4096,
-            ppo: PpoConfig {
-                hidden_sizes: vec![32, 32],
-                batch_size: 128,
-                ..PpoConfig::boosted_exploration()
+            analysis: AnalysisConfig {
+                probability_patterns: 4096,
+                ..AnalysisConfig::default()
             },
-            episodes: 60,
-            steps_per_episode: 24,
-            eval_rollouts: 16,
-            k_patterns: 16,
+            train: TrainConfig {
+                ppo: PpoConfig {
+                    hidden_sizes: vec![32, 32],
+                    batch_size: 128,
+                    ..PpoConfig::boosted_exploration()
+                },
+                episodes: 60,
+                steps_per_episode: 24,
+                ..TrainConfig::default()
+            },
+            select: SelectConfig {
+                eval_rollouts: 16,
+                k_patterns: 16,
+            },
             ..Self::default()
         }
     }
@@ -124,20 +203,91 @@ impl DeterrentConfig {
     #[must_use]
     pub fn paper_preset() -> Self {
         Self {
-            episodes: 2000,
-            steps_per_episode: 128,
-            eval_rollouts: 256,
-            k_patterns: 64,
-            rollout_round: 16,
+            train: TrainConfig {
+                episodes: 2000,
+                steps_per_episode: 128,
+                rollout_round: 16,
+                ..TrainConfig::default()
+            },
+            select: SelectConfig {
+                eval_rollouts: 256,
+                k_patterns: 64,
+            },
             ..Self::default()
         }
+    }
+
+    /// Returns a copy with the rareness threshold θ replaced.
+    #[must_use]
+    pub fn with_threshold(mut self, theta: f64) -> Self {
+        self.analysis.rareness_threshold = theta;
+        self
+    }
+
+    /// Returns a copy with the probability-estimation pattern budget
+    /// replaced.
+    #[must_use]
+    pub fn with_probability_patterns(mut self, patterns: usize) -> Self {
+        self.analysis.probability_patterns = patterns;
+        self
+    }
+
+    /// Returns a copy with the master seed replaced.
+    #[must_use]
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns a copy with the worker-thread knob replaced (0 = auto).
+    /// Thread counts never affect results, only wall clock.
+    #[must_use]
+    pub fn with_threads(mut self, threads: usize) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Returns a copy with the training episode budget replaced.
+    #[must_use]
+    pub fn with_episodes(mut self, episodes: usize) -> Self {
+        self.train.episodes = episodes;
+        self
+    }
+
+    /// Returns a copy with the per-step compatibility check replaced (the
+    /// Table 1 exact-SAT ablation).
+    #[must_use]
+    pub fn with_compat_check(mut self, check: CompatCheck) -> Self {
+        self.train.compat_check = check;
+        self
+    }
+
+    /// Returns a copy with the graph-construction strategy replaced.
+    #[must_use]
+    pub fn with_strategy(mut self, strategy: CompatStrategy) -> Self {
+        self.compat.strategy = strategy;
+        self
+    }
+
+    /// Returns a copy with `k` (sets turned into patterns) replaced.
+    #[must_use]
+    pub fn with_k_patterns(mut self, k: usize) -> Self {
+        self.select.k_patterns = k;
+        self
+    }
+
+    /// Returns a copy with the greedy evaluation rollout budget replaced.
+    #[must_use]
+    pub fn with_eval_rollouts(mut self, rollouts: usize) -> Self {
+        self.select.eval_rollouts = rollouts;
+        self
     }
 
     /// Returns a copy with the reward/masking ablation of Figure 2 applied.
     #[must_use]
     pub fn with_ablation(mut self, reward_mode: RewardMode, masking: bool) -> Self {
-        self.reward_mode = reward_mode;
-        self.masking = masking;
+        self.train.reward_mode = reward_mode;
+        self.train.masking = masking;
         self
     }
 
@@ -145,8 +295,8 @@ impl DeterrentConfig {
     /// Figure 3 comparison.
     #[must_use]
     pub fn with_default_exploration(mut self) -> Self {
-        self.ppo.entropy_coef = 0.01;
-        self.ppo.gae_lambda = 0.95;
+        self.train.ppo.entropy_coef = 0.01;
+        self.train.ppo.gae_lambda = 0.95;
         self
     }
 }
@@ -158,31 +308,46 @@ mod tests {
     #[test]
     fn default_matches_final_architecture() {
         let c = DeterrentConfig::default();
-        assert_eq!(c.reward_mode, RewardMode::AllSteps);
-        assert!(c.masking);
-        assert_eq!(c.compat_check, CompatCheck::PairwiseGraph);
-        assert!(matches!(c.compat_strategy, CompatStrategy::Funnel(_)));
-        assert!((c.ppo.entropy_coef - 1.0).abs() < 1e-12);
-        assert!((c.ppo.gae_lambda - 0.99).abs() < 1e-12);
-        assert!((c.rareness_threshold - 0.1).abs() < 1e-12);
+        assert_eq!(c.train.reward_mode, RewardMode::AllSteps);
+        assert!(c.train.masking);
+        assert_eq!(c.train.compat_check, CompatCheck::PairwiseGraph);
+        assert!(matches!(c.compat.strategy, CompatStrategy::Funnel(_)));
+        assert!((c.train.ppo.entropy_coef - 1.0).abs() < 1e-12);
+        assert!((c.train.ppo.gae_lambda - 0.99).abs() < 1e-12);
+        assert!((c.analysis.rareness_threshold - 0.1).abs() < 1e-12);
+        assert_eq!(c.seed, DeterrentConfig::DEFAULT_SEED);
     }
 
     #[test]
     fn ablation_builder() {
         let c = DeterrentConfig::default().with_ablation(RewardMode::EndOfEpisode, false);
-        assert_eq!(c.reward_mode, RewardMode::EndOfEpisode);
-        assert!(!c.masking);
+        assert_eq!(c.train.reward_mode, RewardMode::EndOfEpisode);
+        assert!(!c.train.masking);
     }
 
     #[test]
     fn exploration_toggle() {
         let c = DeterrentConfig::default().with_default_exploration();
-        assert!(c.ppo.entropy_coef < 0.5);
-        assert!(c.ppo.gae_lambda < 0.99);
+        assert!(c.train.ppo.entropy_coef < 0.5);
+        assert!(c.train.ppo.gae_lambda < 0.99);
+    }
+
+    #[test]
+    fn stage_builders_touch_only_their_section() {
+        let base = DeterrentConfig::fast_preset();
+        let c = base.clone().with_threshold(0.2).with_seed(9);
+        assert!((c.analysis.rareness_threshold - 0.2).abs() < 1e-12);
+        assert_eq!(c.seed, 9);
+        assert_eq!(c.train, base.train, "train section untouched");
+        assert_eq!(c.compat, base.compat, "compat section untouched");
+        assert_eq!(c.select, base.select, "select section untouched");
     }
 
     #[test]
     fn presets_differ_in_scale() {
-        assert!(DeterrentConfig::fast_preset().episodes < DeterrentConfig::paper_preset().episodes);
+        assert!(
+            DeterrentConfig::fast_preset().train.episodes
+                < DeterrentConfig::paper_preset().train.episodes
+        );
     }
 }

@@ -55,17 +55,18 @@ impl<'a> CompatSetEnv<'a> {
     #[must_use]
     pub fn new(netlist: &Netlist, graph: &'a CompatibilityGraph, config: &DeterrentConfig) -> Self {
         assert!(!graph.is_empty(), "environment needs at least one rare net");
-        let oracle = match config.compat_check {
+        let train = &config.train;
+        let oracle = match train.compat_check {
             CompatCheck::ExactSat => Some(CircuitOracle::new(netlist)),
             CompatCheck::PairwiseGraph => None,
         };
         Self {
             graph,
-            reward_mode: config.reward_mode,
-            masking: config.masking,
-            compat_check: config.compat_check,
+            reward_mode: train.reward_mode,
+            masking: train.masking,
+            compat_check: train.compat_check,
             oracle,
-            steps_per_episode: config.steps_per_episode,
+            steps_per_episode: train.steps_per_episode,
             members: Vec::new(),
             membership: vec![false; graph.len()],
             steps_taken: 0,
@@ -280,8 +281,8 @@ mod tests {
         let (nl, analysis) = setup();
         let graph = CompatibilityGraph::build(&nl, &analysis, 2);
         let mut config = DeterrentConfig::fast_preset();
-        config.reward_mode = RewardMode::EndOfEpisode;
-        config.steps_per_episode = 3;
+        config.train.reward_mode = RewardMode::EndOfEpisode;
+        config.train.steps_per_episode = 3;
         let mut env = CompatSetEnv::new(&nl, &graph, &config);
         env.reset();
         let mut rewards = Vec::new();
@@ -302,7 +303,7 @@ mod tests {
         let (nl, analysis) = setup();
         let graph = CompatibilityGraph::build(&nl, &analysis, 2);
         let mut config = DeterrentConfig::fast_preset();
-        config.compat_check = CompatCheck::ExactSat;
+        config.train.compat_check = CompatCheck::ExactSat;
         let mut env = CompatSetEnv::new(&nl, &graph, &config);
         env.reset();
         let seed = env.members()[0];
@@ -323,7 +324,7 @@ mod tests {
         let (nl, analysis) = setup();
         let graph = CompatibilityGraph::build(&nl, &analysis, 2);
         let mut config = DeterrentConfig::fast_preset();
-        config.steps_per_episode = 2;
+        config.train.steps_per_episode = 2;
         let mut env = CompatSetEnv::new(&nl, &graph, &config);
         for _ in 0..3 {
             env.reset();

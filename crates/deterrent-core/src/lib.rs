@@ -5,51 +5,89 @@
 //! of a gate-level netlist and turns the `k` largest sets into a compact test
 //! pattern set that activates rare Trojan triggers.
 //!
-//! The pipeline (Figure 4 of the paper) is:
+//! # The staged session API
 //!
-//! 1. **Rare-net identification** — random logic simulation plus a rareness
-//!    threshold ([`sim::rare::RareNetAnalysis`]).
-//! 2. **Offline pairwise compatibility** — decides, for every pair of rare
-//!    nets, whether one input pattern can drive both to their rare values
-//!    simultaneously ([`CompatibilityGraph`]). The paper answers every pair
-//!    with SAT across 64 processes; this implementation runs a three-tier
-//!    simulation-first funnel (retained Monte-Carlo witnesses → disjoint
-//!    cone-support pruning → cone-restricted incremental SAT) that reaches
-//!    the bit-identical graph with a fraction of the SAT queries.
-//! 3. **RL training** — a PPO agent over the compatible-set MDP
-//!    ([`CompatSetEnv`]) with action masking, configurable reward mode
-//!    (all-steps vs end-of-episode), and boosted exploration.
-//! 4. **Set selection and pattern generation** — the `k` largest distinct
-//!    compatible sets are justified by the SAT oracle into test patterns
-//!    ([`generate_patterns`]).
+//! The primary entry point is [`DeterrentSession`], which exposes the
+//! pipeline (Figure 4 of the paper) as five typed stages, each returning a
+//! cheaply clonable, cache-keyed artifact:
 //!
-//! The one-stop entry point is [`Deterrent`]:
+//! 1. [`DeterrentSession::analyze`] → [`RareArtifact`] — rare-net
+//!    identification by random logic simulation against a rareness threshold
+//!    ([`sim::rare::RareNetAnalysis`]), retaining the run's witness bank.
+//! 2. [`DeterrentSession::build_graph`] → [`GraphArtifact`] — offline
+//!    pairwise compatibility ([`CompatibilityGraph`]). The paper answers
+//!    every pair with SAT across 64 processes; this implementation runs a
+//!    three-tier simulation-first funnel (retained Monte-Carlo witnesses →
+//!    cone-support pruning and cost-model-driven exhaustive cone enumeration
+//!    → cone-restricted incremental SAT) that reaches the bit-identical
+//!    graph with a fraction of the SAT queries.
+//! 3. [`DeterrentSession::train`] → [`PolicyArtifact`] — PPO over the
+//!    compatible-set MDP ([`CompatSetEnv`]) with action masking,
+//!    configurable reward mode, and boosted exploration.
+//! 4. [`DeterrentSession::select`] → [`SetsArtifact`] — greedy evaluation
+//!    rollouts plus `k`-largest distinct set selection.
+//! 5. [`DeterrentSession::generate`] → [`DeterrentResult`] — SAT/witness
+//!    justification of each selected set into a concrete test pattern.
+//!
+//! Artifacts live in an [`ArtifactStore`] keyed by (netlist fingerprint,
+//! per-stage config section, seed, upstream key) — never the thread count —
+//! with hit/miss counters. Sessions sharing a store recompute only the
+//! stages whose inputs changed, which is what the paper's evaluation grids
+//! need: the Table 1 / Figure 2–3 ablations share one analysis and one
+//! graph across all cells, and threshold transfer reuses one analysis per θ.
+//! [`RunObserver`]s receive stage start/finish events ([`StageMetrics`]) and
+//! per-round training progress.
+//!
+//! [`DeterrentConfig`] groups its knobs by stage ([`AnalysisConfig`],
+//! [`CompatConfig`], [`TrainConfig`], [`SelectConfig`]) with `with_*`
+//! builder methods for the common ablations.
 //!
 //! ```
-//! use deterrent_core::{Deterrent, DeterrentConfig};
+//! use deterrent_core::{DeterrentConfig, DeterrentSession};
 //! use netlist::synth::BenchmarkProfile;
 //!
 //! let netlist = BenchmarkProfile::c2670().scaled(30).generate(1);
-//! let config = DeterrentConfig::fast_preset();
-//! let result = Deterrent::new(&netlist, config).run();
+//! let config = DeterrentConfig::fast_preset().with_threshold(0.2);
+//! let mut session = DeterrentSession::new(&netlist, config);
+//! let rare = session.analyze();
+//! let graph = session.build_graph(&rare);
+//! let policy = session.train(&graph);
+//! let sets = session.select(&graph, &policy);
+//! let result = session.generate(&graph, &policy, &sets);
 //! assert!(!result.patterns.is_empty());
 //! ```
+//!
+//! The monolithic [`Deterrent::run`] wrapper remains for one-shot callers
+//! and produces bit-identical output.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod artifact;
 mod compat;
 mod config;
 mod env;
+mod observer;
 mod pipeline;
 mod selection;
+mod session;
 
-pub use compat::{
-    CompatBuildOptions, CompatStats, CompatStrategy, CompatibilityGraph, FunnelOptions,
+pub use artifact::{
+    ArtifactStore, GraphArtifact, PolicyArtifact, RareArtifact, SelectedSets, SetsArtifact,
+    StageCounters, StoreCounters, TrainedPolicy,
 };
-pub use config::{CompatCheck, DeterrentConfig, RewardMode};
+pub use compat::{
+    CompatBuildOptions, CompatStats, CompatStrategy, CompatibilityGraph, EnumerationBudget,
+    FunnelOptions,
+};
+pub use config::{
+    AnalysisConfig, CompatCheck, CompatConfig, DeterrentConfig, RewardMode, SelectConfig,
+    TrainConfig,
+};
 pub use env::CompatSetEnv;
+pub use observer::{RecordingObserver, RoundProgress, RunObserver, Stage, StageMetrics};
 pub use pipeline::{Deterrent, DeterrentResult, TrainingMetrics};
 pub use selection::{
     generate_patterns, generate_patterns_with, select_k_largest, PatternGenStats, RareNetSet,
 };
+pub use session::DeterrentSession;

@@ -1,0 +1,164 @@
+//! Progress observation for staged sessions.
+//!
+//! A [`RunObserver`] registered on a [`crate::DeterrentSession`] is told when
+//! each stage starts and finishes (with per-stage [`StageMetrics`], including
+//! whether the artifact came from the cache) and, during training, after
+//! every frozen-policy rollout round ([`rl::RoundProgress`]). Observation is
+//! strictly passive: results are bit-identical with or without observers.
+
+pub use rl::RoundProgress;
+
+/// The five stages of a [`crate::DeterrentSession`], in pipeline order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stage {
+    /// Rare-net analysis (Monte-Carlo probability estimation + witness
+    /// harvest).
+    Analyze,
+    /// Pairwise-compatibility graph construction.
+    BuildGraph,
+    /// PPO training over the compatible-set MDP.
+    Train,
+    /// Harvest of greedy evaluation rollouts and `k`-largest set selection.
+    Select,
+    /// SAT/witness test-pattern generation.
+    Generate,
+}
+
+impl Stage {
+    /// All stages in pipeline order.
+    pub const ALL: [Stage; 5] = [
+        Stage::Analyze,
+        Stage::BuildGraph,
+        Stage::Train,
+        Stage::Select,
+        Stage::Generate,
+    ];
+
+    /// Human-readable stage name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Analyze => "analyze",
+            Stage::BuildGraph => "build_graph",
+            Stage::Train => "train",
+            Stage::Select => "select",
+            Stage::Generate => "generate",
+        }
+    }
+}
+
+impl std::fmt::Display for Stage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// What one stage execution cost and produced, reported to
+/// [`RunObserver::stage_finished`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StageMetrics {
+    /// Which stage finished.
+    pub stage: Stage,
+    /// Wall-clock seconds the stage took (near zero on a cache hit).
+    pub wall_seconds: f64,
+    /// `true` when the stage's artifact was served from the
+    /// [`crate::ArtifactStore`] instead of being recomputed.
+    pub cache_hit: bool,
+    /// Stage-specific output cardinality: rare nets (analyze), resolved
+    /// pairs (build_graph), episodes (train), selected sets (select), or
+    /// generated patterns (generate).
+    pub items: u64,
+}
+
+/// Observer of a session's stage and training progress.
+///
+/// All methods have empty default bodies, so implementors override only what
+/// they care about. Observers run on the session's thread, between stages —
+/// keep them cheap.
+pub trait RunObserver {
+    /// A stage is about to run (or be served from the cache).
+    fn stage_started(&mut self, stage: Stage) {
+        let _ = stage;
+    }
+
+    /// A stage finished; `metrics` says how and at what cost.
+    fn stage_finished(&mut self, metrics: &StageMetrics) {
+        let _ = metrics;
+    }
+
+    /// A frozen-policy training round finished (only emitted from the
+    /// [`Stage::Train`] stage, and only when it actually trains — a cached
+    /// policy artifact emits no rounds).
+    fn training_round(&mut self, progress: &RoundProgress) {
+        let _ = progress;
+    }
+}
+
+/// Lets callers keep a handle to an observer they registered: register
+/// `Rc::new(RefCell::new(observer))` (boxed) and inspect the `Rc` afterwards.
+impl<O: RunObserver> RunObserver for std::rc::Rc<std::cell::RefCell<O>> {
+    fn stage_started(&mut self, stage: Stage) {
+        self.borrow_mut().stage_started(stage);
+    }
+
+    fn stage_finished(&mut self, metrics: &StageMetrics) {
+        self.borrow_mut().stage_finished(metrics);
+    }
+
+    fn training_round(&mut self, progress: &RoundProgress) {
+        self.borrow_mut().training_round(progress);
+    }
+}
+
+/// A [`RunObserver`] that accumulates everything it sees — handy in tests
+/// and for post-run inspection.
+#[derive(Debug, Default)]
+pub struct RecordingObserver {
+    /// Stages that started, in order.
+    pub started: Vec<Stage>,
+    /// Per-stage metrics, in completion order.
+    pub finished: Vec<StageMetrics>,
+    /// Every training-round snapshot.
+    pub rounds: Vec<RoundProgress>,
+}
+
+impl RunObserver for RecordingObserver {
+    fn stage_started(&mut self, stage: Stage) {
+        self.started.push(stage);
+    }
+
+    fn stage_finished(&mut self, metrics: &StageMetrics) {
+        self.finished.push(*metrics);
+    }
+
+    fn training_round(&mut self, progress: &RoundProgress) {
+        self.rounds.push(*progress);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stage_names_are_stable() {
+        assert_eq!(Stage::ALL.len(), 5);
+        assert_eq!(Stage::Analyze.to_string(), "analyze");
+        assert_eq!(Stage::Generate.name(), "generate");
+    }
+
+    #[test]
+    fn recording_observer_accumulates() {
+        let mut rec = RecordingObserver::default();
+        rec.stage_started(Stage::Analyze);
+        rec.stage_finished(&StageMetrics {
+            stage: Stage::Analyze,
+            wall_seconds: 0.5,
+            cache_hit: false,
+            items: 3,
+        });
+        assert_eq!(rec.started, vec![Stage::Analyze]);
+        assert_eq!(rec.finished.len(), 1);
+        assert!(!rec.finished[0].cache_hit);
+    }
+}

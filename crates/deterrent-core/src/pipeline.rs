@@ -1,18 +1,20 @@
-//! The end-to-end DETERRENT pipeline (Figure 4 of the paper).
+//! The end-to-end DETERRENT pipeline (Figure 4 of the paper), as a thin
+//! compatibility wrapper over the staged [`crate::DeterrentSession`].
+//!
+//! [`Deterrent::run`] produces bit-identical patterns, sets, and rare nets
+//! to driving the session stages explicitly — it simply runs all five with a
+//! private artifact store. New code that reruns shared prefixes (ablation
+//! grids, threshold sweeps, campaigns) should use the session API directly.
 
-use exec::{Exec, ExecStats};
+use exec::ExecStats;
 use netlist::Netlist;
-use rl::{train_parallel, CollectOptions, ParallelTrainOptions, PpoLosses, PpoTrainer};
-use sat::CircuitOracle;
+use rl::PpoLosses;
 use sim::rare::{RareNet, RareNetAnalysis};
 use sim::TestPattern;
 
-use crate::{
-    generate_patterns_with, select_k_largest, CompatBuildOptions, CompatSetEnv, CompatibilityGraph,
-    DeterrentConfig, RareNetSet,
-};
+use crate::{DeterrentConfig, DeterrentSession, RareNetSet};
 
-/// Metrics of the RL training phase, matching the quantities reported in
+/// Metrics of a full pipeline run, matching the quantities reported in
 /// Table 1 and Figures 2–3 of the paper.
 #[derive(Debug, Clone, Default)]
 pub struct TrainingMetrics {
@@ -46,7 +48,8 @@ pub struct TrainingMetrics {
     pub env_sat_checks: u64,
     /// Worker threads of the deterministic parallel runtime.
     pub threads_used: usize,
-    /// Wall-clock seconds spent building the compatibility graph.
+    /// Wall-clock seconds spent building the compatibility graph (the cold
+    /// build; a cache hit reports the originating build's time).
     pub compat_build_seconds: f64,
     /// Selected sets turned into patterns by reusing a concrete simulation
     /// witness instead of a SAT justification.
@@ -54,12 +57,12 @@ pub struct TrainingMetrics {
     /// SAT justification queries spent generating patterns (including greedy
     /// repair retries).
     pub pattern_sat_queries: u64,
-    /// Task/timing counters of the RL phase's parallel runtime (training
-    /// rollout rounds + greedy evaluation rollouts);
-    /// [`ExecStats::speedup`] is its realized parallel speedup. The other
-    /// stages keep their own timing surfaces: per-tier nanoseconds in
-    /// [`crate::CompatStats`] and [`TrainingMetrics::compat_build_seconds`]
-    /// for the graph, and the `funnel` binary for estimation.
+    /// Task/timing counters of the session's shared parallel runtime across
+    /// **every** stage that actually ran — probability estimation, witness
+    /// harvest, funnel tiers, and rollout collection;
+    /// [`ExecStats::speedup`] is the realized parallel speedup. Stages
+    /// served from the artifact cache contribute nothing (their work never
+    /// ran).
     pub exec_stats: ExecStats,
 }
 
@@ -88,7 +91,8 @@ impl DeterrentResult {
     }
 }
 
-/// The DETERRENT pipeline bound to one netlist.
+/// The monolithic one-call pipeline, kept as a compatibility wrapper over
+/// [`DeterrentSession`].
 #[derive(Debug, Clone)]
 pub struct Deterrent<'a> {
     netlist: &'a Netlist,
@@ -109,128 +113,24 @@ impl<'a> Deterrent<'a> {
     }
 
     /// Runs the full pipeline: rare-net analysis, offline compatibility,
-    /// RL training, set selection, and SAT pattern generation. Every stage
-    /// runs on the deterministic parallel runtime sized by
-    /// [`DeterrentConfig::threads`]; the result is bit-identical at any
+    /// RL training, set selection, and SAT pattern generation — all five
+    /// session stages on one deterministic parallel runtime sized by
+    /// [`DeterrentConfig::threads`]. The result is bit-identical at any
     /// thread count.
     #[must_use]
     pub fn run(&self) -> DeterrentResult {
-        let exec = Exec::new(self.config.threads);
-        let analysis = RareNetAnalysis::estimate_with(
-            self.netlist,
-            self.config.rareness_threshold,
-            self.config.probability_patterns,
-            self.config.seed,
-            &exec,
-        );
-        self.run_with_analysis(&analysis)
+        DeterrentSession::new(self.netlist, self.config.clone()).run()
     }
 
     /// Runs the pipeline on a precomputed rare-net analysis. This is how the
     /// paper's threshold-transfer experiment (train at θ = 0.14, evaluate at
-    /// θ = 0.10) is expressed: analyse once per threshold and reuse.
+    /// θ = 0.10) was expressed before the session API; prefer one
+    /// [`DeterrentSession`] per θ with a shared [`crate::ArtifactStore`].
     #[must_use]
     pub fn run_with_analysis(&self, analysis: &RareNetAnalysis) -> DeterrentResult {
-        let exec = Exec::new(self.config.threads);
-        let compat_start = std::time::Instant::now();
-        let graph = CompatibilityGraph::build_with(
-            self.netlist,
-            analysis,
-            &CompatBuildOptions {
-                threads: self.config.threads,
-                strategy: self.config.compat_strategy,
-            },
-        );
-        let compat_build_seconds = compat_start.elapsed().as_secs_f64();
-        if graph.is_empty() {
-            return DeterrentResult {
-                patterns: Vec::new(),
-                sets: Vec::new(),
-                rare_nets: Vec::new(),
-                rareness_threshold: analysis.threshold(),
-                metrics: TrainingMetrics::default(),
-            };
-        }
-
-        // Training rollouts are collected in parallel rounds against frozen
-        // policy snapshots; each episode's environment clone drains its own
-        // harvest and SAT-check counter through the finish hook.
-        let proto_env = CompatSetEnv::new(self.netlist, &graph, &self.config);
-        let mut trainer =
-            PpoTrainer::new(graph.len(), graph.len(), &self.config.ppo, self.config.seed);
-        let options = ParallelTrainOptions {
-            episodes: self.config.episodes,
-            max_steps: self.config.steps_per_episode,
-            round_episodes: self.config.rollout_round,
-            seed: self.config.seed,
-        };
-        let finish = |env: &mut CompatSetEnv<'_>| (env.take_harvest(), env.exact_sat_checks());
-        let start = std::time::Instant::now();
-        let outcome = train_parallel(&proto_env, &mut trainer, &options, &exec, finish);
-        let training_seconds = start.elapsed().as_secs_f64();
-        let report = outcome.report;
-
-        // Greedy evaluation rollouts from the trained policy harvest extra
-        // maximal sets; their episode streams continue after the training
-        // streams so the two never overlap.
-        let eval = rl::collect_episodes(
-            &proto_env,
-            &trainer,
-            &CollectOptions {
-                count: self.config.eval_rollouts,
-                max_steps: self.config.steps_per_episode,
-                seed: self.config.seed,
-                first_episode: self.config.episodes as u64,
-                greedy: true,
-            },
-            &exec,
-            finish,
-        );
-
-        let mut harvested: Vec<Vec<usize>> = Vec::new();
-        let mut env_sat_checks = 0u64;
-        for (sets, checks) in outcome
-            .harvests
-            .into_iter()
-            .chain(eval.into_iter().map(|e| e.harvest))
-        {
-            harvested.extend(sets);
-            env_sat_checks += checks;
-        }
-
-        let max_compatible_set = harvested.iter().map(Vec::len).max().unwrap_or(0);
-        let sets = select_k_largest(&harvested, self.config.k_patterns);
-        let mut oracle = CircuitOracle::new(self.netlist);
-        let (patterns, gen_stats) = generate_patterns_with(&mut oracle, &graph, &sets);
-
-        let metrics = TrainingMetrics {
-            episodes_per_minute: report.episodes_per_minute(),
-            steps_per_minute: report.steps_per_minute(),
-            max_compatible_set,
-            final_mean_reward: report.mean_reward_last(self.config.episodes.div_ceil(10).max(1)),
-            loss_history: trainer.loss_history().to_vec(),
-            training_seconds,
-            compat_sat_queries: graph.sat_queries(),
-            compat_pairs_total: graph.stats().pairs_total,
-            compat_pairs_witnessed: graph.stats().pairs_sim_witnessed,
-            compat_pairs_pruned: graph.stats().pairs_structurally_pruned,
-            compat_pairs_enumerated: graph.stats().pairs_cone_enumerated,
-            compat_pairs_sat: graph.stats().pairs_sat_resolved,
-            env_sat_checks,
-            threads_used: exec.threads(),
-            compat_build_seconds,
-            patterns_witness_reused: gen_stats.witness_reused,
-            pattern_sat_queries: gen_stats.sat_queries,
-            exec_stats: exec.stats(),
-        };
-
-        DeterrentResult {
-            patterns,
-            sets,
-            rare_nets: graph.rare_nets().to_vec(),
-            rareness_threshold: analysis.threshold(),
-            metrics,
-        }
+        let mut session = DeterrentSession::new(self.netlist, self.config.clone());
+        let rare = session.import_analysis(analysis.clone());
+        session.run_from(&rare)
     }
 }
 
@@ -249,8 +149,7 @@ mod tests {
     #[test]
     fn full_pipeline_produces_patterns_that_hit_rare_nets() {
         let nl = small_netlist();
-        let mut config = DeterrentConfig::fast_preset();
-        config.rareness_threshold = 0.2;
+        let config = DeterrentConfig::fast_preset().with_threshold(0.2);
         let result = Deterrent::new(&nl, config).run();
         assert!(!result.rare_nets.is_empty());
         assert!(!result.patterns.is_empty());
@@ -272,9 +171,9 @@ mod tests {
     #[test]
     fn pipeline_detects_planted_trojans_better_than_nothing() {
         let nl = small_netlist();
-        let mut config = DeterrentConfig::fast_preset();
-        config.rareness_threshold = 0.2;
-        config.seed = 5;
+        let config = DeterrentConfig::fast_preset()
+            .with_threshold(0.2)
+            .with_seed(5);
         let result = Deterrent::new(&nl, config).run();
 
         let analysis = RareNetAnalysis::estimate(&nl, 0.2, 4096, 9);
@@ -294,10 +193,10 @@ mod tests {
     #[test]
     fn end_of_episode_mode_runs_and_reports_metrics() {
         let nl = small_netlist();
-        let mut config = DeterrentConfig::fast_preset();
-        config.rareness_threshold = 0.2;
-        config.reward_mode = RewardMode::EndOfEpisode;
-        config.episodes = 20;
+        let config = DeterrentConfig::fast_preset()
+            .with_threshold(0.2)
+            .with_ablation(RewardMode::EndOfEpisode, true)
+            .with_episodes(20);
         let result = Deterrent::new(&nl, config).run();
         assert!(result.metrics.steps_per_minute > 0.0);
     }
@@ -305,8 +204,8 @@ mod tests {
     #[test]
     fn empty_rare_net_set_yields_empty_result() {
         let nl = netlist::samples::c17();
-        let mut config = DeterrentConfig::fast_preset();
-        config.rareness_threshold = 0.01; // nothing in c17 is that rare
+        // Nothing in c17 is rare at θ = 0.01.
+        let config = DeterrentConfig::fast_preset().with_threshold(0.01);
         let result = Deterrent::new(&nl, config).run();
         assert!(result.patterns.is_empty());
         assert!(result.sets.is_empty());
@@ -316,9 +215,23 @@ mod tests {
     fn threshold_transfer_reuses_external_analysis() {
         let nl = small_netlist();
         let loose = RareNetAnalysis::estimate(&nl, 0.25, 4096, 2);
-        let mut config = DeterrentConfig::fast_preset();
-        config.episodes = 20;
+        let config = DeterrentConfig::fast_preset().with_episodes(20);
         let result = Deterrent::new(&nl, config).run_with_analysis(&loose);
         assert!((result.rareness_threshold - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn wrapper_equals_explicit_session_with_imported_analysis() {
+        let nl = small_netlist();
+        let analysis = RareNetAnalysis::estimate(&nl, 0.2, 4096, 7);
+        let config = DeterrentConfig::fast_preset().with_episodes(20);
+        let wrapped = Deterrent::new(&nl, config.clone()).run_with_analysis(&analysis);
+
+        let mut session = DeterrentSession::new(&nl, config);
+        let rare = session.import_analysis(analysis);
+        let staged = session.run_from(&rare);
+        assert_eq!(wrapped.patterns, staged.patterns);
+        assert_eq!(wrapped.sets, staged.sets);
+        assert_eq!(wrapped.rare_nets, staged.rare_nets);
     }
 }

@@ -1,0 +1,636 @@
+//! The staged DETERRENT session — the crate's primary API.
+//!
+//! A [`DeterrentSession`] binds one netlist to one [`DeterrentConfig`] and
+//! exposes the pipeline as five explicit, individually cacheable stages:
+//!
+//! | stage | method | artifact |
+//! |---|---|---|
+//! | ❶ rare-net analysis | [`DeterrentSession::analyze`] | [`RareArtifact`] |
+//! | ❷ compatibility graph | [`DeterrentSession::build_graph`] | [`GraphArtifact`] |
+//! | ❸ PPO training | [`DeterrentSession::train`] | [`PolicyArtifact`] |
+//! | ❹ harvest & selection | [`DeterrentSession::select`] | [`SetsArtifact`] |
+//! | ❺ pattern generation | [`DeterrentSession::generate`] | [`crate::DeterrentResult`] |
+//!
+//! Each artifact is cheaply clonable and keyed by the netlist fingerprint,
+//! the stage's own config section, the seed, and the upstream artifact's key
+//! — never the thread count. Sessions that share an [`ArtifactStore`] (see
+//! [`DeterrentSession::with_store`]) therefore recompute only the stages
+//! whose inputs actually changed, which is exactly what the paper's
+//! evaluation grids need: Table 1 and Figures 2–3 rerun the same
+//! netlist/graph under reward/masking/exploration ablations, and the
+//! threshold-transfer experiment reuses one analysis per θ.
+//!
+//! All stages run on **one** shared deterministic executor, so estimation,
+//! graph construction, and rollout collection all contribute to the final
+//! [`crate::TrainingMetrics::exec_stats`]. Results are bit-identical to the
+//! monolithic [`crate::Deterrent::run`] wrapper at any thread count.
+
+use std::time::Instant;
+
+use exec::{Exec, ExecStats};
+use netlist::Netlist;
+use rl::{train_parallel_observed, CollectOptions, ParallelTrainOptions, PpoTrainer};
+use sat::CircuitOracle;
+use sim::rare::RareNetAnalysis;
+
+use crate::artifact::{
+    graph_key, imported_rare_key, policy_key, rare_key, sets_key, SelectedSets, TrainedPolicy,
+};
+use crate::{
+    generate_patterns_with, select_k_largest, ArtifactStore, CompatSetEnv, CompatibilityGraph,
+    DeterrentConfig, DeterrentResult, GraphArtifact, PolicyArtifact, RareArtifact, RunObserver,
+    SetsArtifact, Stage, StageMetrics, TrainingMetrics,
+};
+
+/// A staged DETERRENT pipeline bound to one netlist and one configuration.
+///
+/// See the [module docs](self) for the stage/artifact model. The typical
+/// single-run flow is [`DeterrentSession::run`]; grids drive the stages
+/// explicitly or share an [`ArtifactStore`] across per-cell sessions.
+///
+/// # Example
+///
+/// ```
+/// use deterrent_core::{ArtifactStore, DeterrentConfig, DeterrentSession, RewardMode};
+/// use netlist::synth::BenchmarkProfile;
+///
+/// let netlist = BenchmarkProfile::c2670().scaled(30).generate(1);
+/// let config = DeterrentConfig::fast_preset().with_threshold(0.2);
+/// let store = ArtifactStore::new();
+///
+/// // Cell 1: the final architecture.
+/// let mut session = DeterrentSession::with_store(&netlist, config.clone(), store.clone());
+/// let baseline = session.run();
+///
+/// // Cell 2: reward ablation — analysis and graph are served from the store.
+/// let ablated = config.with_ablation(RewardMode::EndOfEpisode, true);
+/// let mut session = DeterrentSession::with_store(&netlist, ablated, store.clone());
+/// let _ = session.run();
+/// assert_eq!(store.counters().analyze.misses, 1);
+/// assert_eq!(store.counters().build_graph.misses, 1);
+/// assert!(!baseline.patterns.is_empty());
+/// ```
+pub struct DeterrentSession<'a> {
+    netlist: &'a Netlist,
+    netlist_fp: u64,
+    config: DeterrentConfig,
+    exec: Exec,
+    store: ArtifactStore,
+    observers: Vec<Box<dyn RunObserver>>,
+}
+
+impl std::fmt::Debug for DeterrentSession<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DeterrentSession")
+            .field("netlist", &self.netlist.name())
+            .field("netlist_fp", &self.netlist_fp)
+            .field("config", &self.config)
+            .field("threads", &self.exec.threads())
+            .field("observers", &self.observers.len())
+            .finish()
+    }
+}
+
+impl<'a> DeterrentSession<'a> {
+    /// Creates a session with a fresh private [`ArtifactStore`].
+    #[must_use]
+    pub fn new(netlist: &'a Netlist, config: DeterrentConfig) -> Self {
+        Self::with_store(netlist, config, ArtifactStore::new())
+    }
+
+    /// Creates a session sharing `store` — the way ablation grids reuse the
+    /// stages whose inputs did not change between cells.
+    #[must_use]
+    pub fn with_store(netlist: &'a Netlist, config: DeterrentConfig, store: ArtifactStore) -> Self {
+        let exec = Exec::new(config.threads);
+        Self {
+            netlist,
+            netlist_fp: netlist.content_fingerprint(),
+            config,
+            exec,
+            store,
+            observers: Vec::new(),
+        }
+    }
+
+    /// The netlist the session is bound to.
+    #[must_use]
+    pub fn netlist(&self) -> &'a Netlist {
+        self.netlist
+    }
+
+    /// The configuration in use.
+    #[must_use]
+    pub fn config(&self) -> &DeterrentConfig {
+        &self.config
+    }
+
+    /// Replaces the configuration — the idiomatic way to step one session
+    /// through an ablation grid. Already-cached artifacts stay valid; only
+    /// stages whose config section changed will recompute. Changing the
+    /// thread knob rebuilds the executor (and resets its stats).
+    pub fn set_config(&mut self, config: DeterrentConfig) {
+        if config.threads != self.config.threads {
+            self.exec = Exec::new(config.threads);
+        }
+        self.config = config;
+    }
+
+    /// A handle to the session's artifact store (clones share the cache).
+    #[must_use]
+    pub fn store(&self) -> ArtifactStore {
+        self.store.clone()
+    }
+
+    /// Task/timing counters of the session's shared executor, accumulated
+    /// across every stage run so far (estimation, witness harvest, funnel
+    /// tiers, rollout collection). Cache hits contribute nothing — the work
+    /// never ran.
+    #[must_use]
+    pub fn exec_stats(&self) -> ExecStats {
+        self.exec.stats()
+    }
+
+    /// Registers a progress observer. Observers are per-session (not stored
+    /// in artifacts) and strictly passive.
+    pub fn add_observer(&mut self, observer: Box<dyn RunObserver>) {
+        self.observers.push(observer);
+    }
+
+    fn notify_started(&mut self, stage: Stage) {
+        for o in &mut self.observers {
+            o.stage_started(stage);
+        }
+    }
+
+    fn notify_finished(&mut self, metrics: StageMetrics) {
+        for o in &mut self.observers {
+            o.stage_finished(&metrics);
+        }
+    }
+
+    /// Stage ❶ — rare-net analysis at the configured threshold, pattern
+    /// budget, and seed. Cached by (netlist, analysis config, seed).
+    pub fn analyze(&mut self) -> RareArtifact {
+        let key = rare_key(self.netlist_fp, &self.config.analysis, self.config.seed);
+        self.notify_started(Stage::Analyze);
+        let start = Instant::now();
+        let (artifact, cache_hit) = match self.store.lookup_rare(key) {
+            Some(found) => (found, true),
+            None => {
+                let analysis = RareNetAnalysis::estimate_with(
+                    self.netlist,
+                    self.config.analysis.rareness_threshold,
+                    self.config.analysis.probability_patterns,
+                    self.config.seed,
+                    &self.exec,
+                );
+                let artifact = RareArtifact::new(key, analysis);
+                self.store.insert_rare(&artifact);
+                (artifact, false)
+            }
+        };
+        self.notify_finished(StageMetrics {
+            stage: Stage::Analyze,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            cache_hit,
+            items: artifact.len() as u64,
+        });
+        artifact
+    }
+
+    /// Registers an externally computed analysis as a [`RareArtifact`],
+    /// keyed by its *content* so equal analyses share downstream artifacts.
+    /// This is how the legacy [`crate::Deterrent::run_with_analysis`] path
+    /// and callers with bespoke estimation settings enter the session world.
+    pub fn import_analysis(&mut self, analysis: RareNetAnalysis) -> RareArtifact {
+        let key = imported_rare_key(self.netlist_fp, &analysis);
+        self.notify_started(Stage::Analyze);
+        let start = Instant::now();
+        let (artifact, cache_hit) = match self.store.lookup_rare(key) {
+            Some(found) => (found, true),
+            None => {
+                let artifact = RareArtifact::new(key, analysis);
+                self.store.insert_rare(&artifact);
+                (artifact, false)
+            }
+        };
+        self.notify_finished(StageMetrics {
+            stage: Stage::Analyze,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            cache_hit,
+            items: artifact.len() as u64,
+        });
+        artifact
+    }
+
+    /// Stage ❷ — pairwise-compatibility graph over `rare`'s rare nets.
+    /// Cached by (rare key, compat config); built on the session executor.
+    pub fn build_graph(&mut self, rare: &RareArtifact) -> GraphArtifact {
+        let key = graph_key(rare.key, &self.config.compat);
+        self.notify_started(Stage::BuildGraph);
+        let start = Instant::now();
+        let (artifact, cache_hit) = match self.store.lookup_graph(key) {
+            Some(found) => (found, true),
+            None => {
+                let graph = CompatibilityGraph::build_on(
+                    self.netlist,
+                    rare.analysis(),
+                    self.config.compat.strategy,
+                    &self.exec,
+                );
+                let artifact = GraphArtifact::new(
+                    key,
+                    graph,
+                    rare.analysis().threshold(),
+                    start.elapsed().as_secs_f64(),
+                );
+                self.store.insert_graph(&artifact);
+                (artifact, false)
+            }
+        };
+        self.notify_finished(StageMetrics {
+            stage: Stage::BuildGraph,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            cache_hit,
+            items: artifact.graph().stats().pairs_total,
+        });
+        artifact
+    }
+
+    /// Stage ❸ — PPO training over the compatible-set MDP of `graph`.
+    /// Cached by (graph key, train config, seed). Emits
+    /// [`RunObserver::training_round`] after every frozen-policy round when
+    /// it actually trains.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph has no rare nets (check
+    /// [`CompatibilityGraph::is_empty`] first, or use
+    /// [`DeterrentSession::run`] which short-circuits to an empty result).
+    pub fn train(&mut self, graph: &GraphArtifact) -> PolicyArtifact {
+        let key = policy_key(graph.key, &self.config.train, self.config.seed);
+        self.notify_started(Stage::Train);
+        let start = Instant::now();
+        let (artifact, cache_hit) = match self.store.lookup_policy(key) {
+            Some(found) => (found, true),
+            None => {
+                let train = self.config.train.clone();
+                let proto_env = CompatSetEnv::new(self.netlist, graph.graph(), &self.config);
+                let mut trainer = PpoTrainer::new(
+                    graph.graph().len(),
+                    graph.graph().len(),
+                    &train.ppo,
+                    self.config.seed,
+                );
+                let options = ParallelTrainOptions {
+                    episodes: train.episodes,
+                    max_steps: train.steps_per_episode,
+                    round_episodes: train.rollout_round,
+                    seed: self.config.seed,
+                };
+                let finish =
+                    |env: &mut CompatSetEnv<'_>| (env.take_harvest(), env.exact_sat_checks());
+                let mut observers = std::mem::take(&mut self.observers);
+                let outcome = train_parallel_observed(
+                    &proto_env,
+                    &mut trainer,
+                    &options,
+                    &self.exec,
+                    finish,
+                    |progress| {
+                        for o in &mut observers {
+                            o.training_round(progress);
+                        }
+                    },
+                );
+                self.observers = observers;
+                let training_seconds = start.elapsed().as_secs_f64();
+
+                let mut harvested_sets = Vec::new();
+                let mut env_sat_checks = 0u64;
+                for (sets, checks) in outcome.harvests {
+                    harvested_sets.extend(sets);
+                    env_sat_checks += checks;
+                }
+                let final_mean_reward = outcome
+                    .report
+                    .mean_reward_last(train.episodes.div_ceil(10).max(1));
+                let artifact = PolicyArtifact::new(
+                    key,
+                    TrainedPolicy {
+                        trainer,
+                        report: outcome.report,
+                        harvested_sets,
+                        env_sat_checks,
+                        training_seconds,
+                        final_mean_reward,
+                    },
+                );
+                self.store.insert_policy(&artifact);
+                (artifact, false)
+            }
+        };
+        self.notify_finished(StageMetrics {
+            stage: Stage::Train,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            cache_hit,
+            items: self.config.train.episodes as u64,
+        });
+        artifact
+    }
+
+    /// Stage ❹ — greedy evaluation rollouts from the trained policy plus
+    /// `k`-largest selection over the combined training + evaluation
+    /// harvest. Cached by (policy key, select config, seed).
+    ///
+    /// The evaluation episode streams continue where the training streams
+    /// ended (`first_episode = episodes`), so training and evaluation never
+    /// share an RNG stream.
+    pub fn select(&mut self, graph: &GraphArtifact, policy: &PolicyArtifact) -> SetsArtifact {
+        debug_assert_eq!(
+            policy_key(graph.key, &self.config.train, self.config.seed),
+            policy.key,
+            "select: the policy artifact does not belong to this graph/config"
+        );
+        let key = sets_key(policy.key, &self.config.select, self.config.seed);
+        self.notify_started(Stage::Select);
+        let start = Instant::now();
+        let (artifact, cache_hit) = match self.store.lookup_sets(key) {
+            Some(found) => (found, true),
+            None => {
+                let proto_env = CompatSetEnv::new(self.netlist, graph.graph(), &self.config);
+                let finish =
+                    |env: &mut CompatSetEnv<'_>| (env.take_harvest(), env.exact_sat_checks());
+                let eval = rl::collect_episodes(
+                    &proto_env,
+                    &policy.policy().trainer,
+                    &CollectOptions {
+                        count: self.config.select.eval_rollouts,
+                        max_steps: self.config.train.steps_per_episode,
+                        seed: self.config.seed,
+                        first_episode: self.config.train.episodes as u64,
+                        greedy: true,
+                    },
+                    &self.exec,
+                    finish,
+                );
+
+                let mut harvested: Vec<Vec<usize>> = policy.policy().harvested_sets.clone();
+                let mut eval_env_sat_checks = 0u64;
+                for outcome in eval {
+                    let (sets, checks) = outcome.harvest;
+                    harvested.extend(sets);
+                    eval_env_sat_checks += checks;
+                }
+                let max_compatible_set = harvested.iter().map(Vec::len).max().unwrap_or(0);
+                let harvested_total = harvested.len();
+                let sets = select_k_largest(&harvested, self.config.select.k_patterns);
+                let artifact = SetsArtifact::new(
+                    key,
+                    SelectedSets {
+                        sets,
+                        max_compatible_set,
+                        eval_env_sat_checks,
+                        harvested_total,
+                    },
+                );
+                self.store.insert_sets(&artifact);
+                (artifact, false)
+            }
+        };
+        self.notify_finished(StageMetrics {
+            stage: Stage::Select,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            cache_hit,
+            items: artifact.sets().len() as u64,
+        });
+        artifact
+    }
+
+    /// Stage ❺ — SAT/witness pattern generation over the selected sets,
+    /// assembling the final [`DeterrentResult`]. Not cached (cheap relative
+    /// to everything upstream, and the result composes all upstream
+    /// artifacts).
+    pub fn generate(
+        &mut self,
+        graph: &GraphArtifact,
+        policy: &PolicyArtifact,
+        sets: &SetsArtifact,
+    ) -> DeterrentResult {
+        self.notify_started(Stage::Generate);
+        let start = Instant::now();
+        let mut oracle = CircuitOracle::new(self.netlist);
+        let (patterns, gen_stats) = generate_patterns_with(&mut oracle, graph.graph(), sets.sets());
+
+        let trained = policy.policy();
+        let selected = sets.selected();
+        let stats = graph.graph().stats();
+        let metrics = TrainingMetrics {
+            episodes_per_minute: trained.report.episodes_per_minute(),
+            steps_per_minute: trained.report.steps_per_minute(),
+            max_compatible_set: selected.max_compatible_set,
+            final_mean_reward: trained.final_mean_reward,
+            loss_history: trained.trainer.loss_history().to_vec(),
+            training_seconds: trained.training_seconds,
+            compat_sat_queries: graph.graph().sat_queries(),
+            compat_pairs_total: stats.pairs_total,
+            compat_pairs_witnessed: stats.pairs_sim_witnessed,
+            compat_pairs_pruned: stats.pairs_structurally_pruned,
+            compat_pairs_enumerated: stats.pairs_cone_enumerated,
+            compat_pairs_sat: stats.pairs_sat_resolved,
+            env_sat_checks: trained.env_sat_checks + selected.eval_env_sat_checks,
+            threads_used: self.exec.threads(),
+            compat_build_seconds: graph.build_seconds,
+            patterns_witness_reused: gen_stats.witness_reused,
+            pattern_sat_queries: gen_stats.sat_queries,
+            exec_stats: self.exec.stats(),
+        };
+
+        let result = DeterrentResult {
+            patterns,
+            sets: sets.sets().to_vec(),
+            rare_nets: graph.graph().rare_nets().to_vec(),
+            rareness_threshold: graph.rareness_threshold,
+            metrics,
+        };
+        self.notify_finished(StageMetrics {
+            stage: Stage::Generate,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            cache_hit: false,
+            items: result.patterns.len() as u64,
+        });
+        result
+    }
+
+    /// Runs all five stages: analyze → build_graph → train → select →
+    /// generate. Bit-identical to the legacy monolithic
+    /// [`crate::Deterrent::run`] at any thread count.
+    pub fn run(&mut self) -> DeterrentResult {
+        let rare = self.analyze();
+        self.run_from(&rare)
+    }
+
+    /// Runs the pipeline from an existing rare-net artifact (stages ❷–❺).
+    pub fn run_from(&mut self, rare: &RareArtifact) -> DeterrentResult {
+        let graph = self.build_graph(rare);
+        if graph.graph().is_empty() {
+            return DeterrentResult {
+                patterns: Vec::new(),
+                sets: Vec::new(),
+                rare_nets: Vec::new(),
+                rareness_threshold: graph.rareness_threshold,
+                metrics: TrainingMetrics {
+                    compat_sat_queries: graph.graph().sat_queries(),
+                    compat_pairs_total: graph.graph().stats().pairs_total,
+                    threads_used: self.exec.threads(),
+                    compat_build_seconds: graph.build_seconds,
+                    exec_stats: self.exec.stats(),
+                    ..TrainingMetrics::default()
+                },
+            };
+        }
+        let policy = self.train(&graph);
+        let sets = self.select(&graph, &policy);
+        self.generate(&graph, &policy, &sets)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{CompatCheck, RecordingObserver, RewardMode};
+    use netlist::synth::BenchmarkProfile;
+
+    fn small_netlist() -> Netlist {
+        BenchmarkProfile::c2670().scaled(20).generate(3)
+    }
+
+    fn fast_config() -> DeterrentConfig {
+        DeterrentConfig::fast_preset().with_threshold(0.2)
+    }
+
+    #[test]
+    fn staged_run_equals_monolithic_run() {
+        let nl = small_netlist();
+        let config = fast_config();
+        let mut session = DeterrentSession::new(&nl, config.clone());
+        let rare = session.analyze();
+        let graph = session.build_graph(&rare);
+        let policy = session.train(&graph);
+        let sets = session.select(&graph, &policy);
+        let staged = session.generate(&graph, &policy, &sets);
+
+        let monolithic = crate::Deterrent::new(&nl, config).run();
+        assert_eq!(staged.patterns, monolithic.patterns);
+        assert_eq!(staged.sets, monolithic.sets);
+        assert_eq!(staged.rare_nets, monolithic.rare_nets);
+        assert_eq!(
+            staged.metrics.max_compatible_set,
+            monolithic.metrics.max_compatible_set
+        );
+        assert_eq!(
+            staged.metrics.env_sat_checks,
+            monolithic.metrics.env_sat_checks
+        );
+    }
+
+    #[test]
+    fn observers_see_stages_and_rounds() {
+        use std::cell::RefCell;
+        use std::rc::Rc;
+
+        let nl = small_netlist();
+        let config = fast_config().with_episodes(20);
+        let recorder = Rc::new(RefCell::new(RecordingObserver::default()));
+        let mut session = DeterrentSession::new(&nl, config.clone());
+        session.add_observer(Box::new(recorder.clone()));
+        let _ = session.run();
+        {
+            let rec = recorder.borrow();
+            assert_eq!(rec.started, Stage::ALL.to_vec());
+            assert_eq!(rec.finished.len(), 5);
+            assert!(rec.finished.iter().all(|m| !m.cache_hit), "cold run");
+            // 20 episodes in rounds of 8 → 3 rounds.
+            assert_eq!(rec.rounds.len(), 3);
+            assert_eq!(rec.rounds.last().unwrap().episodes_done, 20);
+        }
+
+        // A warm rerun over the same store reports cache hits and no rounds.
+        let warm = Rc::new(RefCell::new(RecordingObserver::default()));
+        let mut session2 = DeterrentSession::with_store(&nl, config, session.store());
+        session2.add_observer(Box::new(warm.clone()));
+        let _ = session2.run();
+        let rec = warm.borrow();
+        assert!(rec
+            .finished
+            .iter()
+            .filter(|m| m.stage != Stage::Generate)
+            .all(|m| m.cache_hit));
+        assert!(rec.rounds.is_empty(), "cached policies emit no rounds");
+    }
+
+    #[test]
+    fn shared_store_reuses_upstream_stages_across_ablation_cells() {
+        let nl = small_netlist();
+        let store = ArtifactStore::new();
+        let base = fast_config().with_episodes(20);
+        let cells = [
+            base.clone(),
+            base.clone().with_ablation(RewardMode::EndOfEpisode, true),
+            base.clone().with_ablation(RewardMode::AllSteps, false),
+            base.clone().with_compat_check(CompatCheck::ExactSat),
+        ];
+        for config in cells {
+            let mut session = DeterrentSession::with_store(&nl, config, store.clone());
+            let _ = session.run();
+        }
+        let counters = store.counters();
+        assert_eq!(counters.analyze.misses, 1, "one analysis for the grid");
+        assert_eq!(counters.analyze.hits, 3);
+        assert_eq!(counters.build_graph.misses, 1, "one graph for the grid");
+        assert_eq!(counters.build_graph.hits, 3);
+        assert_eq!(counters.train.misses, 4, "every cell trains differently");
+    }
+
+    #[test]
+    fn set_config_steps_one_session_through_a_grid() {
+        let nl = small_netlist();
+        let base = fast_config().with_episodes(20);
+        let mut session = DeterrentSession::new(&nl, base.clone());
+        let a = session.run();
+        session.set_config(base.clone().with_ablation(RewardMode::EndOfEpisode, true));
+        let b = session.run();
+        let counters = session.store().counters();
+        assert_eq!(counters.analyze.misses, 1);
+        assert_eq!(counters.build_graph.misses, 1);
+        assert_eq!(counters.train.misses, 2);
+        assert_eq!(a.rare_nets, b.rare_nets, "same graph under both rewards");
+    }
+
+    #[test]
+    fn empty_graph_short_circuits() {
+        let nl = netlist::samples::c17();
+        let config = DeterrentConfig::fast_preset().with_threshold(0.01);
+        let mut session = DeterrentSession::new(&nl, config);
+        let result = session.run();
+        assert!(result.patterns.is_empty());
+        assert!(result.sets.is_empty());
+    }
+
+    #[test]
+    fn exec_stats_cover_estimation() {
+        let nl = small_netlist();
+        let mut session = DeterrentSession::new(&nl, fast_config());
+        let _ = session.analyze();
+        let after_analyze = session.exec_stats();
+        assert!(
+            after_analyze.calls >= 2,
+            "estimation + witness harvest must run on the session executor, got {after_analyze:?}"
+        );
+        let rare = session.analyze();
+        let result = session.run_from(&rare);
+        assert!(result.metrics.exec_stats.calls >= after_analyze.calls);
+        assert!(result.metrics.exec_stats.tasks >= after_analyze.tasks);
+    }
+}

@@ -167,6 +167,44 @@ impl Netlist {
         &self.name
     }
 
+    /// A stable 64-bit fingerprint of the netlist's *behavioural* content:
+    /// every gate's kind and fanin (in net-id order) plus the primary
+    /// outputs. Signal names are deliberately excluded — two netlists that
+    /// differ only in naming simulate and justify identically.
+    ///
+    /// The hash (FNV-1a) depends only on the data, never on pointer values or
+    /// process state, so it is reproducible across runs and platforms and can
+    /// key derived artifacts (rare-net analyses, compatibility graphs).
+    #[must_use]
+    pub fn content_fingerprint(&self) -> u64 {
+        const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+        const PRIME: u64 = 0x0000_0100_0000_01b3;
+        let mut h = OFFSET;
+        let mut mix = |v: u64| {
+            for byte in v.to_le_bytes() {
+                h ^= u64::from(byte);
+                h = h.wrapping_mul(PRIME);
+            }
+        };
+        mix(self.gates.len() as u64);
+        for gate in &self.gates {
+            mix(gate.kind as u64);
+            mix(gate.fanin.len() as u64);
+            for &f in &gate.fanin {
+                mix(f.index() as u64);
+            }
+        }
+        mix(self.outputs.len() as u64);
+        for &o in &self.outputs {
+            mix(o.index() as u64);
+        }
+        mix(self.flip_flops.len() as u64);
+        for &ff in &self.flip_flops {
+            mix(ff.index() as u64);
+        }
+        h
+    }
+
     /// All gates, indexed by [`NetId`].
     #[must_use]
     pub fn gates(&self) -> &[Gate] {
@@ -480,6 +518,31 @@ mod tests {
         assert!(nl.scan_outputs().contains(&g));
         // The DFF's data edge does not create a combinational cycle.
         assert_eq!(nl.depth(), 1);
+    }
+
+    #[test]
+    fn content_fingerprint_ignores_names_but_not_structure() {
+        let build = |gate_name: &str, kind: GateKind| {
+            let mut b = crate::NetlistBuilder::new("fp");
+            let a = b.input("a");
+            let c = b.input("c");
+            let g = b.gate(kind, gate_name, &[a, c]).unwrap();
+            b.output(g);
+            b.build().unwrap()
+        };
+        let base = build("g", GateKind::And);
+        assert_eq!(
+            base.content_fingerprint(),
+            build("renamed", GateKind::And).content_fingerprint(),
+            "names must not affect the fingerprint"
+        );
+        assert_ne!(
+            base.content_fingerprint(),
+            build("g", GateKind::Or).content_fingerprint(),
+            "function changes must change the fingerprint"
+        );
+        // Stable across calls.
+        assert_eq!(base.content_fingerprint(), base.content_fingerprint());
     }
 
     #[test]

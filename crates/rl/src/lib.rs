@@ -58,6 +58,6 @@ pub use env::{train, Environment, StepOutcome, TrainOptions, TrainReport};
 pub use mlp::Mlp;
 pub use ppo::{PpoConfig, PpoLosses, PpoTrainer, RolloutBuffer, Transition};
 pub use rollout::{
-    collect_episodes, train_parallel, CollectOptions, EpisodeOutcome, ParallelTrainOptions,
-    ParallelTrainOutcome,
+    collect_episodes, train_parallel, train_parallel_observed, CollectOptions, EpisodeOutcome,
+    ParallelTrainOptions, ParallelTrainOutcome, RoundProgress,
 };

@@ -91,6 +91,26 @@ impl<'a> ConeSimulator<'a> {
     /// query is then better left to SAT), `Some(verdict)` otherwise.
     #[must_use]
     pub fn decide(&mut self, targets: &[(NetId, bool)]) -> Option<bool> {
+        let limit = self.support_limit;
+        self.decide_if(targets, |support, _| support <= limit)
+    }
+
+    /// Like [`ConeSimulator::decide`], but the caller chooses per query
+    /// whether enumeration is worthwhile: after the union cone is collected,
+    /// `admit(support_size, cone_size)` is consulted (cone size counts every
+    /// net in the union transitive fanin, inputs included). Returning `false`
+    /// declines the query (`None`), leaving it to SAT.
+    ///
+    /// This is the hook for cost-model-driven budgets — enumeration costs
+    /// `2^support / 64 · cone_size` word operations, which the caller can
+    /// weigh against its estimate of a SAT query on the same cone. The
+    /// configured support limit still applies as a hard ceiling.
+    #[must_use]
+    pub fn decide_if(
+        &mut self,
+        targets: &[(NetId, bool)],
+        admit: impl FnOnce(u32, usize) -> bool,
+    ) -> Option<bool> {
         if targets.is_empty() {
             return Some(true);
         }
@@ -124,7 +144,7 @@ impl<'a> ConeSimulator<'a> {
             }
         }
         let k = support.len() as u32;
-        if k > self.support_limit {
+        if k > self.support_limit || !admit(k, cone.len()) {
             return None;
         }
 
@@ -199,6 +219,30 @@ mod tests {
         assert_eq!(tight.decide(&[(cout, true)]), None);
         let mut loose = ConeSimulator::new(&nl, 9);
         assert_eq!(loose.decide(&[(cout, true)]), Some(true));
+    }
+
+    #[test]
+    fn decide_if_consults_the_predicate_with_cone_facts() {
+        let nl = samples::c17();
+        let g22 = nl.net_by_name("G22").unwrap();
+        let mut decider = ConeSimulator::new(&nl, 16);
+        // Record what the predicate sees, then decline.
+        let mut seen = None;
+        assert_eq!(
+            decider.decide_if(&[(g22, true)], |support, cone| {
+                seen = Some((support, cone));
+                false
+            }),
+            None,
+            "a declining predicate must leave the query to SAT"
+        );
+        let (support, cone) = seen.expect("predicate consulted");
+        // G22's cone reads G1, G2, G3, G6 and spans G10/G16/G11/G22 + inputs.
+        assert_eq!(support, 4);
+        assert_eq!(cone, 8);
+        // Admitting yields the same verdict as the plain limit path.
+        assert_eq!(decider.decide_if(&[(g22, true)], |_, _| true), Some(true));
+        assert_eq!(decider.decide(&[(g22, true)]), Some(true));
     }
 
     #[test]

@@ -7,16 +7,21 @@
 //! ```
 
 use deterrent_repro::baselines::{Atpg, Mero, RandomPatterns, Tarmac, TestGenerator, Tgrl};
-use deterrent_repro::deterrent_core::{Deterrent, DeterrentConfig};
+use deterrent_repro::deterrent_core::{DeterrentConfig, DeterrentSession};
 use deterrent_repro::netlist::synth::BenchmarkProfile;
-use deterrent_repro::sim::rare::RareNetAnalysis;
 use deterrent_repro::trojan::{CoverageEvaluator, TrojanGenerator};
 
 fn main() {
     let netlist = BenchmarkProfile::c2670().scaled(20).generate(11);
-    let analysis = RareNetAnalysis::estimate(&netlist, 0.15, 8192, 4);
+    let config = DeterrentConfig::fast_preset()
+        .with_threshold(0.15)
+        .with_probability_patterns(8192)
+        .with_seed(4);
+    let mut session = DeterrentSession::new(&netlist, config);
+    let rare = session.analyze();
+    let analysis = rare.analysis();
     let mut adversary = TrojanGenerator::new(&netlist, 555);
-    let trojans = adversary.sample_many(&analysis, 2, 40);
+    let trojans = adversary.sample_many(analysis, 2, 40);
     println!(
         "{}: {} gates, {} rare nets, {} planted Trojans\n",
         netlist.name(),
@@ -27,28 +32,26 @@ fn main() {
     let evaluator = CoverageEvaluator::new(&netlist, trojans);
 
     // TGRL sets the pattern budget for Random/TARMAC (the paper's protocol).
-    let tgrl = Tgrl::new(30, 1).generate(&netlist, &analysis);
+    let tgrl = Tgrl::new(30, 1).generate(&netlist, analysis);
     let budget = tgrl.len().max(8);
 
     let mut rows: Vec<(&str, Vec<deterrent_repro::sim::TestPattern>)> = vec![
         (
             "Random",
-            RandomPatterns::new(budget, 1).generate(&netlist, &analysis),
+            RandomPatterns::new(budget, 1).generate(&netlist, analysis),
         ),
-        ("TestMAX (ATPG)", Atpg::new(1).generate(&netlist, &analysis)),
+        ("TestMAX (ATPG)", Atpg::new(1).generate(&netlist, analysis)),
         (
             "MERO",
-            Mero::new(5, budget * 50, 1).generate(&netlist, &analysis),
+            Mero::new(5, budget * 50, 1).generate(&netlist, analysis),
         ),
         (
             "TARMAC",
-            Tarmac::new(budget, 1).generate(&netlist, &analysis),
+            Tarmac::new(budget, 1).generate(&netlist, analysis),
         ),
         ("TGRL", tgrl),
     ];
-    let mut config = DeterrentConfig::fast_preset();
-    config.rareness_threshold = 0.15;
-    let deterrent = Deterrent::new(&netlist, config).run_with_analysis(&analysis);
+    let deterrent = session.run_from(&rare);
     rows.push(("DETERRENT", deterrent.patterns.clone()));
 
     println!(

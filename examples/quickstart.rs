@@ -1,13 +1,48 @@
-//! Quickstart: run the full DETERRENT pipeline on a synthetic c2670-profile
-//! netlist and inspect the generated test patterns.
+//! Quickstart: drive the staged DETERRENT session on a synthetic
+//! c2670-profile netlist, watch per-stage progress through a `RunObserver`,
+//! and inspect the generated test patterns.
 //!
 //! ```text
 //! cargo run --example quickstart
 //! ```
 
-use deterrent_repro::deterrent_core::{Deterrent, DeterrentConfig};
+use std::io::Write;
+
+use deterrent_repro::deterrent_core::{
+    DeterrentConfig, DeterrentSession, RoundProgress, RunObserver, Stage, StageMetrics,
+};
 use deterrent_repro::netlist::synth::BenchmarkProfile;
-use deterrent_repro::sim::{rare::RareNetAnalysis, Simulator};
+use deterrent_repro::sim::Simulator;
+
+/// Prints one line per stage plus live training progress. Partial lines are
+/// flushed so progress is visible *while* a stage runs, not after it.
+struct ProgressPrinter;
+
+impl RunObserver for ProgressPrinter {
+    fn stage_started(&mut self, stage: Stage) {
+        print!("  [{stage}] ");
+        let _ = std::io::stdout().flush();
+    }
+
+    fn stage_finished(&mut self, metrics: &StageMetrics) {
+        println!(
+            "{} items in {:.1} ms{}",
+            metrics.items,
+            metrics.wall_seconds * 1e3,
+            if metrics.cache_hit { " (cached)" } else { "" }
+        );
+    }
+
+    fn training_round(&mut self, progress: &RoundProgress) {
+        if progress.episodes_done == progress.episodes_total {
+            print!(
+                "{}/{} episodes · ",
+                progress.episodes_done, progress.episodes_total
+            );
+            let _ = std::io::stdout().flush();
+        }
+    }
+}
 
 fn main() {
     // 1. Build (or load) a gate-level netlist. Here we generate the synthetic
@@ -21,11 +56,19 @@ fn main() {
         netlist.num_scan_inputs()
     );
 
-    // 2. Run the pipeline: rare-net analysis, offline pairwise compatibility,
-    //    PPO training with action masking, set selection, SAT pattern
-    //    generation.
+    // 2. Open a staged session and run the five stages explicitly: rare-net
+    //    analysis, offline pairwise compatibility, PPO training with action
+    //    masking, set selection, SAT pattern generation. Each stage returns a
+    //    cache-keyed artifact you can reuse across configs.
     let config = DeterrentConfig::fast_preset();
-    let result = Deterrent::new(&netlist, config).run();
+    let mut session = DeterrentSession::new(&netlist, config);
+    session.add_observer(Box::new(ProgressPrinter));
+    println!("stages:");
+    let rare = session.analyze();
+    let graph = session.build_graph(&rare);
+    let policy = session.train(&graph);
+    let sets = session.select(&graph, &policy);
+    let result = session.generate(&graph, &policy, &sets);
     println!(
         "rare nets: {}   largest compatible set: {}   patterns: {}",
         result.rare_nets.len(),
@@ -33,13 +76,23 @@ fn main() {
         result.test_length()
     );
 
-    // 3. Inspect the patterns: each one drives a whole set of rare nets to
+    // 3. Rerunning any stage is free — artifacts come from the session store.
+    let again = session.analyze();
+    assert_eq!(again.key(), rare.key());
+    println!(
+        "store: {} artifacts, {} hits / {} misses",
+        session.store().len(),
+        session.store().counters().total_hits(),
+        session.store().counters().total_misses()
+    );
+
+    // 4. Inspect the patterns: each one drives a whole set of rare nets to
     //    their rare values simultaneously.
-    let analysis = RareNetAnalysis::estimate(&netlist, 0.1, 8192, 1);
     let sim = Simulator::new(&netlist);
     for (i, pattern) in result.patterns.iter().enumerate().take(5) {
         let values = sim.run(pattern);
-        let excited = analysis
+        let excited = rare
+            .analysis()
             .rare_nets()
             .iter()
             .filter(|r| values.value(r.net) == r.rare_value)

@@ -2,19 +2,32 @@
 //! on the rare nets of a loose threshold (0.14) and evaluate the generated
 //! patterns against triggers built from the tight threshold (0.10).
 //!
+//! Both thresholds are session cells over one shared artifact store: each θ
+//! gets exactly one rare-net analysis, and the tight-θ cell never trains —
+//! its analysis exists only to source the adversary's triggers.
+//!
 //! ```text
 //! cargo run --example threshold_transfer
 //! ```
 
-use deterrent_repro::deterrent_core::{Deterrent, DeterrentConfig};
+use deterrent_repro::deterrent_core::{ArtifactStore, DeterrentConfig, DeterrentSession};
 use deterrent_repro::netlist::synth::BenchmarkProfile;
-use deterrent_repro::sim::rare::RareNetAnalysis;
 use deterrent_repro::trojan::{CoverageEvaluator, TrojanGenerator};
 
 fn main() {
     let netlist = BenchmarkProfile::c6288().scaled(25).generate(5);
-    let loose = RareNetAnalysis::estimate(&netlist, 0.14, 8192, 3);
-    let tight = RareNetAnalysis::estimate(&netlist, 0.10, 8192, 3);
+    let store = ArtifactStore::new();
+    let base = DeterrentConfig::fast_preset()
+        .with_probability_patterns(8192)
+        .with_seed(3);
+
+    // One analysis per θ, via the session cache.
+    let mut loose_session =
+        DeterrentSession::with_store(&netlist, base.clone().with_threshold(0.14), store.clone());
+    let loose = loose_session.analyze();
+    let mut tight_session =
+        DeterrentSession::with_store(&netlist, base.with_threshold(0.10), store.clone());
+    let tight = tight_session.analyze();
     println!(
         "design {}: {} rare nets at threshold 0.14, {} at 0.10",
         netlist.name(),
@@ -22,19 +35,23 @@ fn main() {
         tight.len()
     );
 
-    // Train on the larger (loose-threshold) action space.
-    let mut config = DeterrentConfig::fast_preset();
-    config.rareness_threshold = 0.14;
-    let result = Deterrent::new(&netlist, config).run_with_analysis(&loose);
+    // Train on the larger (loose-threshold) action space only.
+    let result = loose_session.run_from(&loose);
     println!(
         "trained on 0.14: {} patterns, largest compatible set {}",
         result.test_length(),
         result.metrics.max_compatible_set
     );
+    let counters = store.counters();
+    assert_eq!(counters.analyze.misses, 2, "exactly one analysis per θ");
+    assert_eq!(
+        counters.build_graph.misses, 1,
+        "only the trained θ ever built a graph"
+    );
 
     // Evaluate against Trojans whose triggers use only tight-threshold nets.
     let mut adversary = TrojanGenerator::new(&netlist, 99);
-    let trojans = adversary.sample_many(&tight, 2, 40);
+    let trojans = adversary.sample_many(tight.analysis(), 2, 40);
     if trojans.is_empty() {
         println!("no satisfiable tight-threshold triggers at this scale; rerun with another seed");
         return;

@@ -2,41 +2,46 @@
 //! SAT-validated hardware Trojans and measure how many are exposed by
 //! DETERRENT patterns compared to an equal budget of random patterns.
 //!
+//! The defender's analysis artifact doubles as the adversary's rare-net
+//! source — one estimation run serves both sides through the session store.
+//!
 //! ```text
 //! cargo run --example trojan_campaign
 //! ```
 
 use deterrent_repro::baselines::{RandomPatterns, TestGenerator};
-use deterrent_repro::deterrent_core::{Deterrent, DeterrentConfig};
+use deterrent_repro::deterrent_core::{DeterrentConfig, DeterrentSession};
 use deterrent_repro::netlist::synth::BenchmarkProfile;
-use deterrent_repro::sim::rare::RareNetAnalysis;
 use deterrent_repro::trojan::{CoverageEvaluator, TrojanGenerator};
 
 fn main() {
     let netlist = BenchmarkProfile::c5315().scaled(25).generate(9);
-    let analysis = RareNetAnalysis::estimate(&netlist, 0.15, 8192, 2);
+    let config = DeterrentConfig::fast_preset()
+        .with_threshold(0.15)
+        .with_probability_patterns(8192)
+        .with_seed(2);
+    let mut session = DeterrentSession::new(&netlist, config);
+    let rare = session.analyze();
     println!(
         "design {}: {} gates, {} rare nets at threshold 0.15",
         netlist.name(),
         netlist.num_logic_gates(),
-        analysis.len()
+        rare.len()
     );
 
     // Adversary: plant 40 two-net-trigger Trojans (each validated by SAT).
     let mut adversary = TrojanGenerator::new(&netlist, 1337);
-    let trojans = adversary.sample_many(&analysis, 2, 40);
+    let trojans = adversary.sample_many(rare.analysis(), 2, 40);
     println!("adversary planted {} valid Trojans", trojans.len());
     let evaluator = CoverageEvaluator::new(&netlist, trojans);
 
-    // Defender A: DETERRENT.
-    let mut config = DeterrentConfig::fast_preset();
-    config.rareness_threshold = 0.15;
-    let deterrent = Deterrent::new(&netlist, config).run_with_analysis(&analysis);
+    // Defender A: DETERRENT (stages ❷–❺ on the already-analyzed artifact).
+    let deterrent = session.run_from(&rare);
     let deterrent_report = evaluator.evaluate(&deterrent.patterns);
 
     // Defender B: the same number of random patterns.
     let random =
-        RandomPatterns::new(deterrent.test_length().max(1), 7).generate(&netlist, &analysis);
+        RandomPatterns::new(deterrent.test_length().max(1), 7).generate(&netlist, rare.analysis());
     let random_report = evaluator.evaluate(&random);
 
     println!(

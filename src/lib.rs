@@ -20,13 +20,18 @@
 //! # Quick start
 //!
 //! ```
-//! use deterrent_repro::deterrent_core::{Deterrent, DeterrentConfig};
+//! use deterrent_repro::deterrent_core::{DeterrentConfig, DeterrentSession};
 //! use deterrent_repro::netlist::synth::BenchmarkProfile;
 //!
 //! let netlist = BenchmarkProfile::c2670().scaled(30).generate(7);
-//! let result = Deterrent::new(&netlist, DeterrentConfig::fast_preset()).run();
+//! let mut session = DeterrentSession::new(&netlist, DeterrentConfig::fast_preset());
+//! let result = session.run();
 //! println!("{} patterns generated", result.test_length());
 //! ```
+//!
+//! Drive the stages individually (`analyze`, `build_graph`, `train`,
+//! `select`, `generate`) to reuse cached artifacts across configurations —
+//! see the `deterrent_core` crate docs and the `quickstart` example.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -65,11 +65,11 @@ fn adjacency_matrix_is_bit_identical_across_thread_counts() {
 fn pipeline_patterns_and_sets_are_bit_identical_across_thread_counts() {
     let nl = BenchmarkProfile::c2670().scaled(20).generate(11);
     let run = |threads: usize| {
-        let mut config = DeterrentConfig::fast_preset();
-        config.rareness_threshold = 0.2;
-        config.episodes = 30;
-        config.eval_rollouts = 8;
-        config.threads = threads;
+        let config = DeterrentConfig::fast_preset()
+            .with_threshold(0.2)
+            .with_episodes(30)
+            .with_eval_rollouts(8)
+            .with_threads(threads);
         Deterrent::new(&nl, config).run()
     };
     let reference = run(1);

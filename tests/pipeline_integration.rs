@@ -17,9 +17,9 @@ fn test_netlist(seed: u64) -> deterrent_repro::netlist::Netlist {
 #[test]
 fn deterrent_patterns_verified_end_to_end() {
     let netlist = test_netlist(100);
-    let mut config = DeterrentConfig::fast_preset();
-    config.rareness_threshold = 0.2;
-    config.seed = 17;
+    let config = DeterrentConfig::fast_preset()
+        .with_threshold(0.2)
+        .with_seed(17);
     let result = Deterrent::new(&netlist, config).run();
     assert!(!result.patterns.is_empty());
 
@@ -52,9 +52,9 @@ fn deterrent_beats_random_at_equal_budget() {
     }
     let evaluator = CoverageEvaluator::new(&netlist, trojans);
 
-    let mut config = DeterrentConfig::fast_preset();
-    config.rareness_threshold = 0.2;
-    config.seed = 3;
+    let config = DeterrentConfig::fast_preset()
+        .with_threshold(0.2)
+        .with_seed(3);
     let deterrent = Deterrent::new(&netlist, config).run_with_analysis(&analysis);
     let deterrent_cov = evaluator.evaluate(&deterrent.patterns).coverage_percent();
 
@@ -75,10 +75,10 @@ fn masking_does_not_reduce_best_set_quality() {
     // (statistically; we allow equality).
     let netlist = test_netlist(55);
     let analysis = RareNetAnalysis::estimate(&netlist, 0.2, 8192, 9);
-    let mut masked_cfg = DeterrentConfig::fast_preset();
-    masked_cfg.rareness_threshold = 0.2;
-    masked_cfg.episodes = 40;
-    masked_cfg.seed = 11;
+    let masked_cfg = DeterrentConfig::fast_preset()
+        .with_threshold(0.2)
+        .with_episodes(40)
+        .with_seed(11);
     let unmasked_cfg = masked_cfg
         .clone()
         .with_ablation(RewardMode::AllSteps, false);
