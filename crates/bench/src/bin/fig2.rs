@@ -52,4 +52,5 @@ fn main() {
              (paper: all-steps reward with masking)."
         );
     }
+    instance.finish(&options);
 }

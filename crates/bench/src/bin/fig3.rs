@@ -54,4 +54,5 @@ fn main() {
         "Shape to verify: with boosted exploration the total loss (driven by the \
          entropy term) stays away from zero for longer, keeping the agent exploring."
     );
+    instance.finish(&options);
 }

@@ -49,4 +49,5 @@ fn main() {
         "\nShape to verify: DETERRENT's coverage stays roughly flat as the trigger \
          widens, while TGRL's drops sharply (paper Figure 5)."
     );
+    instance.finish(&options);
 }

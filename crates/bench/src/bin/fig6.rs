@@ -11,6 +11,7 @@ fn main() {
         let instance = BenchInstance::prepare(&profile, &options, 0.1);
         if instance.trojans.is_empty() {
             println!("{}: skipped (no Trojans at this scale)\n", profile.name);
+            instance.finish(&options);
             continue;
         }
         println!(
@@ -44,6 +45,7 @@ fn main() {
             }
         }
         println!();
+        instance.finish(&options);
     }
     println!(
         "Shape to verify: DETERRENT reaches its maximum coverage within a handful of \

@@ -67,4 +67,5 @@ fn main() {
         );
         println!("(Paper: 86.9x steps/min speed-up at a 5.6% drop in compatible nets.)");
     }
+    instance.finish(&options);
 }

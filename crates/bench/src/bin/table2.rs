@@ -22,6 +22,7 @@ fn main() {
                 "{}: skipped (no satisfiable triggers at this scale)\n",
                 profile.name
             );
+            instance.finish(&options);
             continue;
         }
         let rows = run_all_techniques(&instance, &options);
@@ -46,6 +47,7 @@ fn main() {
                 t.coverage.max(m.coverage),
             ));
         }
+        instance.finish(&options);
     }
 
     if !deterrent_reductions.is_empty() {

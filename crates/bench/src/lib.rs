@@ -16,6 +16,8 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+use std::path::PathBuf;
+
 use baselines::{Atpg, Mero, RandomPatterns, Tarmac, TestGenerator, Tgrl};
 use deterrent_core::{ArtifactStore, DeterrentConfig, DeterrentResult, DeterrentSession};
 use netlist::synth::BenchmarkProfile;
@@ -29,7 +31,7 @@ use trojan::{CoverageEvaluator, Trojan, TrojanGenerator};
 /// The default scale of 20 turns c2670's 775 gates into ≈ 40 and MIPS's
 /// 23 511 into ≈ 1 175, keeping every experiment's *shape* while finishing in
 /// seconds. `--full` (scale 1) reproduces the paper-sized profiles.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct HarnessOptions {
     /// Divisor applied to every benchmark profile.
     pub scale: usize,
@@ -39,6 +41,13 @@ pub struct HarnessOptions {
     pub trigger_width: usize,
     /// Master seed.
     pub seed: u64,
+    /// Persistent artifact-cache directory (`--cache-dir`). Also honours
+    /// the `DETERRENT_CACHE_DIR` environment variable when unset; `None`
+    /// with no variable means memory-only caching.
+    pub cache_dir: Option<PathBuf>,
+    /// `--expect-warm`: after the run, assert that the persistent cache
+    /// served every stage (zero recomputations) — the CI cache-reuse gate.
+    pub expect_warm: bool,
 }
 
 impl Default for HarnessOptions {
@@ -48,13 +57,16 @@ impl Default for HarnessOptions {
             num_trojans: 50,
             trigger_width: 4,
             seed: 2022,
+            cache_dir: None,
+            expect_warm: false,
         }
     }
 }
 
 impl HarnessOptions {
     /// Parses command-line arguments: `--full` (paper-sized), `--scale N`,
-    /// `--trojans N`, `--width N`, `--seed N`.
+    /// `--trojans N`, `--width N`, `--seed N`, `--cache-dir DIR`,
+    /// `--expect-warm`.
     #[must_use]
     pub fn from_args() -> Self {
         let mut options = Self::default();
@@ -82,11 +94,29 @@ impl HarnessOptions {
                     options.seed = args[i + 1].parse().unwrap_or(options.seed);
                     i += 1;
                 }
+                "--cache-dir" if i + 1 < args.len() => {
+                    options.cache_dir = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
+                "--expect-warm" => {
+                    options.expect_warm = true;
+                }
                 _ => {}
             }
             i += 1;
         }
         options
+    }
+
+    /// An artifact store honouring the harness cache-dir knob: disk-backed
+    /// when `--cache-dir` (or `DETERRENT_CACHE_DIR`) names a directory,
+    /// memory-only otherwise.
+    #[must_use]
+    pub fn store(&self) -> ArtifactStore {
+        match self.deterrent_config().resolved_cache_dir() {
+            Some(dir) => ArtifactStore::with_disk(dir),
+            None => ArtifactStore::new(),
+        }
     }
 
     /// Builds the netlist for `profile` at the configured scale.
@@ -103,7 +133,7 @@ impl HarnessOptions {
     /// A DETERRENT configuration sized to the harness scale. The analysis
     /// section matches what [`BenchInstance::prepare`] runs (8192 patterns at
     /// the harness seed), so grid cells built on this config share the
-    /// instance's cached [`RareArtifact`].
+    /// instance's cached [`deterrent_core::RareArtifact`].
     #[must_use]
     pub fn deterrent_config(&self) -> DeterrentConfig {
         let base = if self.scale <= 1 {
@@ -114,8 +144,13 @@ impl HarnessOptions {
                 .with_eval_rollouts(48)
                 .with_k_patterns(24)
         };
-        base.with_probability_patterns(BenchInstance::ANALYSIS_PATTERNS)
-            .with_seed(self.seed)
+        let base = base
+            .with_probability_patterns(BenchInstance::ANALYSIS_PATTERNS)
+            .with_seed(self.seed);
+        match &self.cache_dir {
+            Some(dir) => base.with_cache_dir(dir.clone()),
+            None => base,
+        }
     }
 }
 
@@ -155,7 +190,7 @@ impl BenchInstance {
     pub fn prepare(profile: &BenchmarkProfile, options: &HarnessOptions, threshold: f64) -> Self {
         let netlist = options.netlist(profile);
         let config = options.deterrent_config().with_threshold(threshold);
-        let store = ArtifactStore::new();
+        let store = options.store();
         let analysis = {
             let mut session = DeterrentSession::with_store(&netlist, config.clone(), store.clone());
             session.analyze().analysis().clone()
@@ -224,8 +259,9 @@ impl BenchInstance {
 
     /// Asserts (via the store's hit/miss counters) that an ablation grid of
     /// `cells` DETERRENT runs performed rare-net analysis and
-    /// compatibility-graph construction exactly **once** for this instance —
-    /// the session-reuse guarantee the staged API exists for.
+    /// compatibility-graph construction at most **once** for this instance —
+    /// computed on a cold cache, or loaded from the persistent disk tier on
+    /// a warm one, but never recomputed by a grid cell.
     ///
     /// # Panics
     ///
@@ -233,16 +269,18 @@ impl BenchInstance {
     pub fn assert_offline_reuse(&self, cells: usize) {
         let counters = self.store.counters();
         assert_eq!(
-            counters.analyze.misses, 1,
-            "rare-net analysis must run exactly once per (netlist, θ); counters: {counters:?}"
+            counters.analyze.misses + counters.analyze.disk_hits,
+            1,
+            "rare-net analysis must enter the store exactly once per (netlist, θ); counters: {counters:?}"
         );
         assert_eq!(
             counters.analyze.hits, cells as u64,
             "every grid cell must reuse the prepared analysis; counters: {counters:?}"
         );
         assert_eq!(
-            counters.build_graph.misses, 1,
-            "the compatibility graph must be built exactly once per (netlist, θ); counters: {counters:?}"
+            counters.build_graph.misses + counters.build_graph.disk_hits,
+            1,
+            "the compatibility graph must enter the store exactly once per (netlist, θ); counters: {counters:?}"
         );
         assert_eq!(
             counters.build_graph.hits,
@@ -250,6 +288,80 @@ impl BenchInstance {
             "every later grid cell must reuse the graph; counters: {counters:?}"
         );
     }
+
+    /// Epilogue every bench binary calls after its experiment: prints the
+    /// per-stage store counters to **stderr** (stdout stays byte-identical
+    /// between cold and warm runs, which the CI cache-reuse gate compares)
+    /// and, under `--expect-warm`, asserts the persistent cache served every
+    /// stage.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `--expect-warm` was given and any stage recomputed, hit
+    /// a corrupt file, or the store has no disk tier at all.
+    pub fn finish(&self, options: &HarnessOptions) {
+        print_store_summary(&self.store);
+        if options.expect_warm {
+            assert_warm(&self.store);
+        }
+    }
+}
+
+/// Prints one stderr line per stage with the store's tier-by-tier counters,
+/// in a stable machine-greppable format:
+///
+/// ```text
+/// [store] analyze: mem_hits=2 disk_hits=1 computed=0 disk_misses=0 corrupt=0
+/// ```
+///
+/// `computed` is the number of lookups no cache tier could serve (the
+/// stage's `misses` counter). The CI cache-reuse gate greps these lines to
+/// prove a warm run recomputed nothing.
+pub fn print_store_summary(store: &ArtifactStore) {
+    let counters = store.counters();
+    match store.disk_dir() {
+        Some(dir) => eprintln!("[store] disk tier at {}", dir.display()),
+        None => eprintln!("[store] memory-only (no --cache-dir)"),
+    }
+    for (stage, c) in counters.stages() {
+        eprintln!(
+            "[store] {stage}: mem_hits={} disk_hits={} computed={} disk_misses={} corrupt={}",
+            c.hits, c.disk_hits, c.misses, c.disk_misses, c.disk_corrupt
+        );
+    }
+}
+
+/// Asserts every stage of the run was served from the cache — zero
+/// recomputations and zero corrupt files (the `--expect-warm` contract).
+///
+/// # Panics
+///
+/// Panics when the store has no disk tier, recomputed any stage, or hit a
+/// corrupt artifact file.
+pub fn assert_warm(store: &ArtifactStore) {
+    let counters = store.counters();
+    assert!(
+        store.disk_dir().is_some(),
+        "--expect-warm requires --cache-dir (or DETERRENT_CACHE_DIR)"
+    );
+    assert_eq!(
+        counters.total_misses(),
+        0,
+        "--expect-warm: every stage must be served from the cache; counters: {counters:?}"
+    );
+    assert_eq!(
+        counters.total_disk_corrupt(),
+        0,
+        "--expect-warm: no artifact file may be corrupt; counters: {counters:?}"
+    );
+    assert!(
+        counters.total_disk_hits() > 0,
+        "--expect-warm: the disk tier never served anything — was the cache populated?; counters: {counters:?}"
+    );
+    eprintln!(
+        "[store] --expect-warm satisfied: {} disk hit(s), 0 recomputations",
+        counters.total_disk_hits()
+    );
 }
 
 /// Coverage and test length of one technique on one benchmark (a cell group

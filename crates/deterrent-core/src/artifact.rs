@@ -13,17 +13,37 @@
 //! grids hand one store to every cell's session so only the stages whose
 //! config slice actually changed are recomputed. Per-stage hit/miss counters
 //! make the reuse auditable.
+//!
+//! # The persistent disk tier
+//!
+//! A store created with [`ArtifactStore::with_disk`] additionally persists
+//! every artifact to `<cache_dir>/<stage>/<key:016x>.dtc` using the
+//! hand-rolled versioned binary codec in [`crate::codec`] (little-endian
+//! fields, magic + format-version + checksum header, atomic
+//! rename-on-write; see that module's docs for the exact layout and the
+//! versioning policy). Lookups then go **memory → disk → compute**: a disk
+//! hit decodes the file, promotes the artifact into the memory tier, and
+//! counts in [`StageCounters::disk_hits`]; corrupt, truncated, or
+//! version-mismatched files are silently treated as misses (counted in
+//! [`StageCounters::disk_corrupt`]), recomputed, and overwritten. Because
+//! keys never include the thread count and the codec round-trips every
+//! payload bit-exactly, a warm-from-disk run is bit-identical to a cold run
+//! at any thread count — which is what lets a second CLI invocation of the
+//! bench binaries skip estimation, graph construction, training, selection,
+//! and generation entirely.
 
 use std::collections::HashMap;
+use std::path::{Path, PathBuf};
 use std::sync::{Arc, Mutex};
 
 use rl::{PpoConfig, PpoTrainer, TrainReport};
 use sim::rare::RareNetAnalysis;
-use sim::PatternSource;
+use sim::{PatternSource, TestPattern};
 
+use crate::codec::{self, DiskLookup, DiskStage, DiskStore};
 use crate::{
-    AnalysisConfig, CompatConfig, CompatibilityGraph, EnumerationBudget, RareNetSet, SelectConfig,
-    Stage, TrainConfig,
+    AnalysisConfig, CompatConfig, CompatibilityGraph, EnumerationBudget, PatternGenStats,
+    RareNetSet, SelectConfig, Stage, TrainConfig,
 };
 
 // ───────────────────────── fingerprinting ─────────────────────────
@@ -193,6 +213,14 @@ pub(crate) fn sets_key(parent: u64, config: &SelectConfig, seed: u64) -> u64 {
         .usize(config.k_patterns)
         .u64(seed)
         .finish()
+}
+
+/// Key of a [`PatternsArtifact`] derived from the sets artifact `parent`.
+/// Generation has no config section of its own — the selected sets (whose
+/// key already chains netlist → analysis → graph → policy) determine the
+/// patterns completely.
+pub(crate) fn patterns_key(parent: u64) -> u64 {
+    Fp::new("deterrent/generate").u64(parent).finish()
 }
 
 // ───────────────────────── artifacts ─────────────────────────
@@ -385,21 +413,76 @@ impl SetsArtifact {
     }
 }
 
+/// Payload of a [`PatternsArtifact`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct GeneratedPatterns {
+    /// The generated test patterns, deduplicated, in selected-set order.
+    pub patterns: Vec<TestPattern>,
+    /// How the patterns were produced (witness reuse vs SAT queries).
+    pub stats: PatternGenStats,
+}
+
+/// Output of the generate stage: the concrete test patterns, behind an
+/// [`Arc`]. Cached so a fully warm session skips even the SAT/witness
+/// justification of the selected sets.
+#[derive(Debug, Clone)]
+pub struct PatternsArtifact {
+    pub(crate) key: u64,
+    inner: Arc<GeneratedPatterns>,
+}
+
+impl PatternsArtifact {
+    pub(crate) fn new(key: u64, inner: GeneratedPatterns) -> Self {
+        Self {
+            key,
+            inner: Arc::new(inner),
+        }
+    }
+
+    /// The cache key (sets-artifact key).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The generated patterns and their generation stats.
+    #[must_use]
+    pub fn generated(&self) -> &GeneratedPatterns {
+        &self.inner
+    }
+
+    /// The generated test patterns.
+    #[must_use]
+    pub fn patterns(&self) -> &[TestPattern] {
+        &self.inner.patterns
+    }
+}
+
 // ───────────────────────── the store ─────────────────────────
 
-/// Hit/miss counters of one cached stage.
+/// Hit/miss counters of one cached stage, split by tier.
+///
+/// With a disk tier attached, every lookup resolves to exactly one of
+/// `hits` (memory), `disk_hits`, or `misses` (computed); `disk_misses` and
+/// `disk_corrupt` subdivide the misses by what the disk probe found, so
+/// `misses == disk_misses + disk_corrupt` whenever a disk tier is present.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StageCounters {
-    /// Lookups served from the store.
+    /// Lookups served from the in-memory tier.
     pub hits: u64,
-    /// Lookups that had to compute (and then inserted).
+    /// Lookups that had to compute (and then inserted into every tier).
     pub misses: u64,
+    /// Lookups served by decoding a valid artifact file from the disk tier
+    /// (the artifact is then promoted into the memory tier).
+    pub disk_hits: u64,
+    /// Disk probes that found no artifact file.
+    pub disk_misses: u64,
+    /// Disk probes that found a corrupt, truncated, or version-mismatched
+    /// file — treated as a miss; the recomputed artifact overwrites it.
+    pub disk_corrupt: u64,
 }
 
 /// Per-stage hit/miss counters of an [`ArtifactStore`].
-///
-/// The generate stage is not cached (pattern generation is cheap relative to
-/// everything upstream), so it has no counters.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreCounters {
     /// Analyze-stage counters.
@@ -410,11 +493,12 @@ pub struct StoreCounters {
     pub train: StageCounters,
     /// Select-stage counters.
     pub select: StageCounters,
+    /// Generate-stage counters.
+    pub generate: StageCounters,
 }
 
 impl StoreCounters {
-    /// The counters of `stage` ([`Stage::Generate`] is uncached and always
-    /// zero).
+    /// The counters of `stage`.
     #[must_use]
     pub fn stage(&self, stage: Stage) -> StageCounters {
         match stage {
@@ -422,20 +506,44 @@ impl StoreCounters {
             Stage::BuildGraph => self.build_graph,
             Stage::Train => self.train,
             Stage::Select => self.select,
-            Stage::Generate => StageCounters::default(),
+            Stage::Generate => self.generate,
         }
     }
 
-    /// Total hits across all stages.
+    /// `(stage, counters)` for every cached stage, in pipeline order.
     #[must_use]
-    pub fn total_hits(&self) -> u64 {
-        self.analyze.hits + self.build_graph.hits + self.train.hits + self.select.hits
+    pub fn stages(&self) -> [(Stage, StageCounters); 5] {
+        [
+            (Stage::Analyze, self.analyze),
+            (Stage::BuildGraph, self.build_graph),
+            (Stage::Train, self.train),
+            (Stage::Select, self.select),
+            (Stage::Generate, self.generate),
+        ]
     }
 
-    /// Total misses across all stages.
+    /// Total memory-tier hits across all stages.
+    #[must_use]
+    pub fn total_hits(&self) -> u64 {
+        self.stages().iter().map(|(_, c)| c.hits).sum()
+    }
+
+    /// Total computations (lookups no tier could serve) across all stages.
     #[must_use]
     pub fn total_misses(&self) -> u64 {
-        self.analyze.misses + self.build_graph.misses + self.train.misses + self.select.misses
+        self.stages().iter().map(|(_, c)| c.misses).sum()
+    }
+
+    /// Total disk-tier hits across all stages.
+    #[must_use]
+    pub fn total_disk_hits(&self) -> u64 {
+        self.stages().iter().map(|(_, c)| c.disk_hits).sum()
+    }
+
+    /// Total corrupt artifact files encountered across all stages.
+    #[must_use]
+    pub fn total_disk_corrupt(&self) -> u64 {
+        self.stages().iter().map(|(_, c)| c.disk_corrupt).sum()
     }
 }
 
@@ -445,6 +553,7 @@ struct StoreInner {
     graph: HashMap<u64, GraphArtifact>,
     policy: HashMap<u64, PolicyArtifact>,
     sets: HashMap<u64, SetsArtifact>,
+    patterns: HashMap<u64, PatternsArtifact>,
     counters: StoreCounters,
 }
 
@@ -456,6 +565,13 @@ struct StoreInner {
 /// pipeline — typically rare-net analysis and the compatibility graph — is
 /// computed once.
 ///
+/// A store created with [`ArtifactStore::with_disk`] adds a persistent tier
+/// under a cache directory: lookups go memory → disk → compute, inserts
+/// write both tiers, and invalid files silently recompute (see the
+/// module docs). Stores sharing one directory — concurrently, even
+/// across processes — are safe: files are written atomically, so racing
+/// writers at worst duplicate identical work.
+///
 /// Lookups and inserts are individually atomic but a miss does not reserve
 /// its key: two *simultaneous* sessions racing on the same cold key will
 /// each compute the artifact (both correct and identical — last insert
@@ -464,13 +580,95 @@ struct StoreInner {
 #[derive(Debug, Clone, Default)]
 pub struct ArtifactStore {
     inner: Arc<Mutex<StoreInner>>,
+    disk: Option<Arc<DiskStore>>,
+}
+
+/// Generates the memory → disk → compute lookup and the write-both-tiers
+/// insert for one cached stage (the five stages differ only in artifact
+/// type, map field, counter field, and codec functions).
+macro_rules! stage_cache {
+    (
+        $(#[$doc:meta])*
+        $lookup:ident, $insert:ident, $map:ident, $counter:ident, $stage:expr,
+        $artifact:ty, $encode:path, $decode:path
+    ) => {
+        $(#[$doc])*
+        pub(crate) fn $lookup(&self, key: u64) -> Option<$artifact> {
+            {
+                let mut inner = self.lock();
+                if let Some(found) = inner.$map.get(&key).cloned() {
+                    inner.counters.$counter.hits += 1;
+                    return Some(found);
+                }
+            }
+            // Memory miss; probe the disk tier (no lock held during I/O).
+            let disk_result = self
+                .disk
+                .as_ref()
+                .map(|disk| match disk.load($stage, key) {
+                    DiskLookup::Hit(payload) => match $decode(key, &payload) {
+                        Ok(artifact) => DiskLookup::Hit(artifact),
+                        Err(_) => DiskLookup::Corrupt,
+                    },
+                    DiskLookup::Miss => DiskLookup::Miss,
+                    DiskLookup::Corrupt => DiskLookup::Corrupt,
+                });
+            let mut inner = self.lock();
+            let c = &mut inner.counters.$counter;
+            match disk_result {
+                Some(DiskLookup::Hit(artifact)) => {
+                    c.disk_hits += 1;
+                    inner.$map.insert(key, artifact.clone());
+                    Some(artifact)
+                }
+                Some(DiskLookup::Miss) => {
+                    c.disk_misses += 1;
+                    c.misses += 1;
+                    None
+                }
+                Some(DiskLookup::Corrupt) => {
+                    c.disk_corrupt += 1;
+                    c.misses += 1;
+                    None
+                }
+                None => {
+                    c.misses += 1;
+                    None
+                }
+            }
+        }
+
+        pub(crate) fn $insert(&self, artifact: &$artifact) {
+            self.lock().$map.insert(artifact.key, artifact.clone());
+            if let Some(disk) = &self.disk {
+                disk.store($stage, artifact.key, &$encode(artifact));
+            }
+        }
+    };
 }
 
 impl ArtifactStore {
-    /// A fresh, empty store.
+    /// A fresh, empty, memory-only store.
     #[must_use]
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// A store backed by the persistent disk tier at `cache_dir` (created
+    /// on first write). Artifacts already on disk — from earlier runs or
+    /// other processes — are served without recomputation.
+    #[must_use]
+    pub fn with_disk(cache_dir: impl Into<PathBuf>) -> Self {
+        Self {
+            inner: Arc::default(),
+            disk: Some(Arc::new(DiskStore::new(cache_dir.into()))),
+        }
+    }
+
+    /// The disk-tier cache directory, when one is attached.
+    #[must_use]
+    pub fn disk_dir(&self) -> Option<&Path> {
+        self.disk.as_deref().map(DiskStore::root)
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {
@@ -483,88 +681,90 @@ impl ArtifactStore {
         self.lock().counters
     }
 
-    /// Number of artifacts currently cached (all stages).
+    /// Number of artifacts currently cached in memory (all stages).
     #[must_use]
     pub fn len(&self) -> usize {
         let inner = self.lock();
-        inner.rare.len() + inner.graph.len() + inner.policy.len() + inner.sets.len()
+        inner.rare.len()
+            + inner.graph.len()
+            + inner.policy.len()
+            + inner.sets.len()
+            + inner.patterns.len()
     }
 
-    /// `true` when nothing is cached.
+    /// `true` when nothing is cached in memory.
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
 
-    /// Drops every cached artifact and zeroes the counters.
+    /// Drops every cached artifact from the memory tier and zeroes the
+    /// counters. Artifact files in the disk tier are left in place (they
+    /// will serve subsequent lookups as disk hits).
     pub fn clear(&self) {
         let mut inner = self.lock();
-        *inner = StoreInner::default();
+        inner.rare.clear();
+        inner.graph.clear();
+        inner.policy.clear();
+        inner.sets.clear();
+        inner.patterns.clear();
+        inner.counters = StoreCounters::default();
     }
 
-    pub(crate) fn lookup_rare(&self, key: u64) -> Option<RareArtifact> {
-        let mut inner = self.lock();
-        let found = inner.rare.get(&key).cloned();
-        let c = &mut inner.counters.analyze;
-        if found.is_some() {
-            c.hits += 1;
-        } else {
-            c.misses += 1;
-        }
-        found
-    }
+    stage_cache!(
+        lookup_rare,
+        insert_rare,
+        rare,
+        analyze,
+        DiskStage::Analyze,
+        RareArtifact,
+        codec::encode_rare,
+        codec::decode_rare
+    );
 
-    pub(crate) fn insert_rare(&self, artifact: &RareArtifact) {
-        self.lock().rare.insert(artifact.key, artifact.clone());
-    }
+    stage_cache!(
+        lookup_graph,
+        insert_graph,
+        graph,
+        build_graph,
+        DiskStage::Graph,
+        GraphArtifact,
+        codec::encode_graph,
+        codec::decode_graph
+    );
 
-    pub(crate) fn lookup_graph(&self, key: u64) -> Option<GraphArtifact> {
-        let mut inner = self.lock();
-        let found = inner.graph.get(&key).cloned();
-        let c = &mut inner.counters.build_graph;
-        if found.is_some() {
-            c.hits += 1;
-        } else {
-            c.misses += 1;
-        }
-        found
-    }
+    stage_cache!(
+        lookup_policy,
+        insert_policy,
+        policy,
+        train,
+        DiskStage::Train,
+        PolicyArtifact,
+        codec::encode_policy,
+        codec::decode_policy
+    );
 
-    pub(crate) fn insert_graph(&self, artifact: &GraphArtifact) {
-        self.lock().graph.insert(artifact.key, artifact.clone());
-    }
+    stage_cache!(
+        lookup_sets,
+        insert_sets,
+        sets,
+        select,
+        DiskStage::Select,
+        SetsArtifact,
+        codec::encode_sets,
+        codec::decode_sets
+    );
 
-    pub(crate) fn lookup_policy(&self, key: u64) -> Option<PolicyArtifact> {
-        let mut inner = self.lock();
-        let found = inner.policy.get(&key).cloned();
-        let c = &mut inner.counters.train;
-        if found.is_some() {
-            c.hits += 1;
-        } else {
-            c.misses += 1;
-        }
-        found
-    }
-
-    pub(crate) fn insert_policy(&self, artifact: &PolicyArtifact) {
-        self.lock().policy.insert(artifact.key, artifact.clone());
-    }
-
-    pub(crate) fn lookup_sets(&self, key: u64) -> Option<SetsArtifact> {
-        let mut inner = self.lock();
-        let found = inner.sets.get(&key).cloned();
-        let c = &mut inner.counters.select;
-        if found.is_some() {
-            c.hits += 1;
-        } else {
-            c.misses += 1;
-        }
-        found
-    }
-
-    pub(crate) fn insert_sets(&self, artifact: &SetsArtifact) {
-        self.lock().sets.insert(artifact.key, artifact.clone());
-    }
+    stage_cache!(
+        lookup_patterns,
+        insert_patterns,
+        patterns,
+        generate,
+        DiskStage::Generate,
+        PatternsArtifact,
+        codec::encode_patterns,
+        codec::decode_patterns
+    );
 }
 
 #[cfg(test)]

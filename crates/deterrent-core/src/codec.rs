@@ -1,0 +1,1037 @@
+//! Hand-rolled binary codec and disk tier for the persistent artifact cache.
+//!
+//! The offline container has no serde (the `serde` feature hooks in
+//! `netlist` stay placeholders), so stage artifacts are persisted with an
+//! explicit little-endian binary format. One artifact per file at
+//! `<cache_dir>/<stage>/<key:016x>.dtc`:
+//!
+//! ```text
+//! offset  size  field
+//! 0       8     magic  b"DTRNTC\x01\n"
+//! 8       4     format version (u32 LE) — bumped on any layout change
+//! 12      4     stage tag (u32 LE): 1 analyze, 2 graph, 3 train,
+//!               4 select, 5 generate
+//! 16      8     artifact cache key (u64 LE) — must match the file name
+//! 24      8     payload length in bytes (u64 LE)
+//! 32      8     FNV-1a checksum of the payload bytes (u64 LE)
+//! 40      …     payload (stage-specific field stream, all LE)
+//! ```
+//!
+//! Every multi-byte integer and float is little-endian (`f64` as its IEEE-754
+//! bit pattern), so files written on any supported host decode on any other.
+//! Writes go to a unique temp file in the destination directory followed by
+//! an atomic rename, so readers never observe a partially written artifact —
+//! concurrent sessions sharing a cache directory at worst write the same
+//! bytes twice.
+//!
+//! **Versioning policy:** there is no migration path. A file whose magic,
+//! version, stage tag, key, length, or checksum does not match — or whose
+//! payload fails structural validation — is treated exactly like a missing
+//! file: the stage recomputes and the file is overwritten. Corruption is
+//! counted per stage in [`crate::StageCounters::disk_corrupt`].
+
+use std::fs;
+use std::io::Write as _;
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use netlist::NetId;
+use rl::{AdamSnapshot, PolicySnapshot, PpoConfig, PpoLosses, PpoTrainer, TrainReport};
+use sim::rare::{RareNet, RareNetAnalysis};
+use sim::{PatternSource, SignalProbabilities, TestPattern, WitnessBank};
+
+use crate::artifact::{
+    GeneratedPatterns, GraphArtifact, PatternsArtifact, RareArtifact, SelectedSets, SetsArtifact,
+    TrainedPolicy,
+};
+use crate::{CompatStats, CompatibilityGraph, PatternGenStats, PolicyArtifact};
+
+/// File magic: "DETERRENT cache", with a version-0 sentinel byte and a
+/// newline so accidental text-mode mangling breaks the magic.
+const MAGIC: [u8; 8] = *b"DTRNTC\x01\n";
+
+/// Bumped whenever any payload layout changes; old files then read as
+/// corrupt and are silently recomputed.
+pub(crate) const FORMAT_VERSION: u32 = 1;
+
+const HEADER_LEN: usize = 40;
+
+/// File extension of on-disk artifacts.
+pub(crate) const FILE_EXT: &str = "dtc";
+
+/// The five cacheable stages, as stored in file headers and directory names.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DiskStage {
+    Analyze,
+    Graph,
+    Train,
+    Select,
+    Generate,
+}
+
+impl DiskStage {
+    fn tag(self) -> u32 {
+        match self {
+            Self::Analyze => 1,
+            Self::Graph => 2,
+            Self::Train => 3,
+            Self::Select => 4,
+            Self::Generate => 5,
+        }
+    }
+
+    pub(crate) fn dir(self) -> &'static str {
+        match self {
+            Self::Analyze => "analyze",
+            Self::Graph => "graph",
+            Self::Train => "train",
+            Self::Select => "select",
+            Self::Generate => "generate",
+        }
+    }
+}
+
+/// Why a payload failed to decode. Internal: every variant is handled
+/// identically (treat the file as a cache miss and overwrite it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum DecodeError {
+    /// The byte stream ended before the field stream did, or a length field
+    /// exceeds the remaining bytes.
+    Truncated,
+    /// A field value is structurally impossible (bad enum tag, inconsistent
+    /// lengths, out-of-domain scalar).
+    Malformed(&'static str),
+}
+
+type Decode<T> = Result<T, DecodeError>;
+
+// ───────────────────────── primitives ─────────────────────────
+
+/// Little-endian field-stream writer.
+struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    fn new() -> Self {
+        Self { buf: Vec::new() }
+    }
+
+    fn u8(&mut self, v: u8) {
+        self.buf.push(v);
+    }
+
+    fn bool(&mut self, v: bool) {
+        self.u8(u8::from(v));
+    }
+
+    fn u64(&mut self, v: u64) {
+        self.buf.extend_from_slice(&v.to_le_bytes());
+    }
+
+    fn usize(&mut self, v: usize) {
+        self.u64(v as u64);
+    }
+
+    fn f64(&mut self, v: f64) {
+        self.u64(v.to_bits());
+    }
+
+    fn f64_slice(&mut self, vs: &[f64]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.f64(v);
+        }
+    }
+
+    fn u64_slice(&mut self, vs: &[u64]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.u64(v);
+        }
+    }
+
+    fn usize_slice(&mut self, vs: &[usize]) {
+        self.usize(vs.len());
+        for &v in vs {
+            self.usize(v);
+        }
+    }
+
+    fn finish(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// Little-endian field-stream reader over a checksum-validated payload.
+struct Reader<'a> {
+    buf: &'a [u8],
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Self { buf }
+    }
+
+    fn take(&mut self, n: usize) -> Decode<&'a [u8]> {
+        if self.buf.len() < n {
+            return Err(DecodeError::Truncated);
+        }
+        let (head, rest) = self.buf.split_at(n);
+        self.buf = rest;
+        Ok(head)
+    }
+
+    fn u8(&mut self) -> Decode<u8> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn bool(&mut self) -> Decode<bool> {
+        match self.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            _ => Err(DecodeError::Malformed("bool")),
+        }
+    }
+
+    fn u64(&mut self) -> Decode<u64> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    fn usize(&mut self) -> Decode<usize> {
+        usize::try_from(self.u64()?).map_err(|_| DecodeError::Malformed("usize"))
+    }
+
+    fn f64(&mut self) -> Decode<f64> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// Reads a length prefix for elements of `elem_bytes` each, rejecting
+    /// lengths the remaining buffer cannot possibly hold (so corrupt length
+    /// fields fail fast instead of attempting huge allocations).
+    fn len(&mut self, elem_bytes: usize) -> Decode<usize> {
+        let n = self.usize()?;
+        if n.checked_mul(elem_bytes.max(1))
+            .is_none_or(|total| total > self.buf.len())
+        {
+            return Err(DecodeError::Truncated);
+        }
+        Ok(n)
+    }
+
+    fn f64_vec(&mut self) -> Decode<Vec<f64>> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.f64()).collect()
+    }
+
+    fn u64_vec(&mut self) -> Decode<Vec<u64>> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.u64()).collect()
+    }
+
+    fn usize_vec(&mut self) -> Decode<Vec<usize>> {
+        let n = self.len(8)?;
+        (0..n).map(|_| self.usize()).collect()
+    }
+
+    fn done(&self) -> Decode<()> {
+        if self.buf.is_empty() {
+            Ok(())
+        } else {
+            Err(DecodeError::Malformed("trailing bytes"))
+        }
+    }
+}
+
+/// FNV-1a over a byte slice — the payload checksum (same function the cache
+/// keys use, over bytes instead of fields).
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ───────────────────────── shared sub-codecs ─────────────────────────
+
+fn w_rare_nets(w: &mut Writer, nets: &[RareNet]) {
+    w.usize(nets.len());
+    for r in nets {
+        w.u64(r.net.index() as u64);
+        w.bool(r.rare_value);
+        w.f64(r.probability);
+    }
+}
+
+fn r_rare_nets(r: &mut Reader<'_>) -> Decode<Vec<RareNet>> {
+    let n = r.len(17)?;
+    (0..n)
+        .map(|_| {
+            let net = r.u64()?;
+            let net =
+                NetId(u32::try_from(net).map_err(|_| DecodeError::Malformed("net id range"))?);
+            Ok(RareNet {
+                net,
+                rare_value: r.bool()?,
+                probability: r.f64()?,
+            })
+        })
+        .collect()
+}
+
+fn w_witness_bank(w: &mut Writer, bank: Option<&WitnessBank>) {
+    let Some(bank) = bank else {
+        w.u8(0);
+        return;
+    };
+    w.u8(1);
+    w.usize(bank.len());
+    for &(net, value) in bank.targets() {
+        w.u64(net.index() as u64);
+        w.bool(value);
+    }
+    w.usize(bank.num_chunks());
+    w.usize(bank.num_patterns());
+    w.u64_slice(bank.raw_rows());
+    match bank.source() {
+        None => w.u8(0),
+        Some(PatternSource::Random { width, seed }) => {
+            w.u8(1);
+            w.usize(width);
+            w.u64(seed);
+        }
+        Some(PatternSource::Exhaustive { width }) => {
+            w.u8(2);
+            w.usize(width);
+        }
+    }
+}
+
+fn r_witness_bank(r: &mut Reader<'_>) -> Decode<Option<WitnessBank>> {
+    match r.u8()? {
+        0 => Ok(None),
+        1 => {
+            let n = r.len(9)?;
+            let targets: Vec<(NetId, bool)> = (0..n)
+                .map(|_| {
+                    let net = u32::try_from(r.u64()?)
+                        .map_err(|_| DecodeError::Malformed("net id range"))?;
+                    Ok((NetId(net), r.bool()?))
+                })
+                .collect::<Decode<_>>()?;
+            let num_chunks = r.usize()?;
+            let num_patterns = r.usize()?;
+            let rows = r.u64_vec()?;
+            if rows.len() != targets.len().saturating_mul(num_chunks) {
+                return Err(DecodeError::Malformed("witness rows shape"));
+            }
+            let source = match r.u8()? {
+                0 => None,
+                1 => Some(PatternSource::Random {
+                    width: r.usize()?,
+                    seed: r.u64()?,
+                }),
+                2 => Some(PatternSource::Exhaustive { width: r.usize()? }),
+                _ => return Err(DecodeError::Malformed("pattern source tag")),
+            };
+            Ok(Some(WitnessBank::from_raw_parts(
+                targets,
+                num_chunks,
+                num_patterns,
+                rows,
+                source,
+            )))
+        }
+        _ => Err(DecodeError::Malformed("witness bank tag")),
+    }
+}
+
+fn w_bool_slice_packed(w: &mut Writer, bits: &[bool]) {
+    w.usize(bits.len());
+    for word_bits in bits.chunks(64) {
+        let mut word = 0u64;
+        for (i, &b) in word_bits.iter().enumerate() {
+            word |= u64::from(b) << i;
+        }
+        w.u64(word);
+    }
+}
+
+fn r_bool_vec_packed(r: &mut Reader<'_>) -> Decode<Vec<bool>> {
+    let n = r.usize()?;
+    let words = n.div_ceil(64);
+    if words.checked_mul(8).is_none_or(|total| total > r.buf.len()) {
+        return Err(DecodeError::Truncated);
+    }
+    let mut bits = Vec::with_capacity(n);
+    for _ in 0..words {
+        let word = r.u64()?;
+        for i in 0..64 {
+            if bits.len() == n {
+                break;
+            }
+            bits.push(word >> i & 1 == 1);
+        }
+    }
+    Ok(bits)
+}
+
+fn w_sets(w: &mut Writer, sets: &[Vec<usize>]) {
+    w.usize(sets.len());
+    for set in sets {
+        w.usize_slice(set);
+    }
+}
+
+fn r_sets(r: &mut Reader<'_>) -> Decode<Vec<Vec<usize>>> {
+    let n = r.len(8)?;
+    (0..n).map(|_| r.usize_vec()).collect()
+}
+
+fn w_losses(w: &mut Writer, losses: &[(u64, PpoLosses)]) {
+    w.usize(losses.len());
+    for &(steps, l) in losses {
+        w.u64(steps);
+        w.f64(l.policy_loss);
+        w.f64(l.entropy_loss);
+        w.f64(l.value_loss);
+        w.f64(l.total_loss);
+    }
+}
+
+fn r_losses(r: &mut Reader<'_>) -> Decode<Vec<(u64, PpoLosses)>> {
+    let n = r.len(40)?;
+    (0..n)
+        .map(|_| {
+            Ok((
+                r.u64()?,
+                PpoLosses {
+                    policy_loss: r.f64()?,
+                    entropy_loss: r.f64()?,
+                    value_loss: r.f64()?,
+                    total_loss: r.f64()?,
+                },
+            ))
+        })
+        .collect()
+}
+
+fn w_adam(w: &mut Writer, adam: &AdamSnapshot) {
+    w.f64(adam.learning_rate);
+    w.f64_slice(&adam.m);
+    w.f64_slice(&adam.v);
+    w.u64(adam.steps);
+}
+
+fn r_adam(r: &mut Reader<'_>, num_params: usize) -> Decode<AdamSnapshot> {
+    let snapshot = AdamSnapshot {
+        learning_rate: r.f64()?,
+        m: r.f64_vec()?,
+        v: r.f64_vec()?,
+        steps: r.u64()?,
+    };
+    if snapshot.m.len() != num_params || snapshot.v.len() != num_params {
+        return Err(DecodeError::Malformed("adam moment shape"));
+    }
+    Ok(snapshot)
+}
+
+/// Parameter count of an MLP with the given layer sizes.
+fn mlp_params(layer_sizes: &[usize]) -> Decode<usize> {
+    if layer_sizes.len() < 2 || layer_sizes.contains(&0) {
+        return Err(DecodeError::Malformed("mlp layer sizes"));
+    }
+    let mut total = 0usize;
+    for pair in layer_sizes.windows(2) {
+        total = pair[0]
+            .checked_mul(pair[1])
+            .and_then(|w| total.checked_add(w))
+            .and_then(|t| t.checked_add(pair[1]))
+            .ok_or(DecodeError::Malformed("mlp size overflow"))?;
+    }
+    Ok(total)
+}
+
+// ───────────────────────── payload codecs ─────────────────────────
+
+pub(crate) fn encode_rare(artifact: &RareArtifact) -> Vec<u8> {
+    let analysis = artifact.analysis();
+    let mut w = Writer::new();
+    w.f64(analysis.threshold());
+    w_rare_nets(&mut w, analysis.rare_nets());
+    w.usize(analysis.probabilities().num_patterns());
+    w.f64_slice(analysis.probabilities().as_slice());
+    w_witness_bank(&mut w, analysis.witnesses());
+    w.finish()
+}
+
+pub(crate) fn decode_rare(key: u64, payload: &[u8]) -> Decode<RareArtifact> {
+    let mut r = Reader::new(payload);
+    let threshold = r.f64()?;
+    if !(threshold > 0.0 && threshold <= 0.5) {
+        return Err(DecodeError::Malformed("threshold domain"));
+    }
+    let rare_nets = r_rare_nets(&mut r)?;
+    let num_patterns = r.usize()?;
+    if num_patterns == 0 {
+        return Err(DecodeError::Malformed("zero patterns"));
+    }
+    let prob_one = r.f64_vec()?;
+    let witnesses = r_witness_bank(&mut r)?;
+    r.done()?;
+    let analysis = RareNetAnalysis::from_raw_parts(
+        threshold,
+        rare_nets,
+        SignalProbabilities::from_raw_parts(prob_one, num_patterns),
+        witnesses,
+    );
+    Ok(RareArtifact::new(key, analysis))
+}
+
+fn w_stats(w: &mut Writer, stats: &CompatStats) {
+    w.usize(stats.candidate_rare_nets);
+    w.usize(stats.kept_rare_nets);
+    w.u64(stats.singleton_sim_resolved);
+    w.u64(stats.singleton_sat_queries);
+    w.u64(stats.pairs_total);
+    w.u64(stats.pairs_sim_witnessed);
+    w.u64(stats.pairs_structurally_pruned);
+    w.u64(stats.pairs_cone_enumerated);
+    w.u64(stats.pairs_sat_resolved);
+    w.usize(stats.threads_used);
+    w.u64(stats.tier1_nanos);
+    w.u64(stats.tier2_nanos);
+    w.u64(stats.tier3_nanos);
+}
+
+fn r_stats(r: &mut Reader<'_>) -> Decode<CompatStats> {
+    Ok(CompatStats {
+        candidate_rare_nets: r.usize()?,
+        kept_rare_nets: r.usize()?,
+        singleton_sim_resolved: r.u64()?,
+        singleton_sat_queries: r.u64()?,
+        pairs_total: r.u64()?,
+        pairs_sim_witnessed: r.u64()?,
+        pairs_structurally_pruned: r.u64()?,
+        pairs_cone_enumerated: r.u64()?,
+        pairs_sat_resolved: r.u64()?,
+        threads_used: r.usize()?,
+        tier1_nanos: r.u64()?,
+        tier2_nanos: r.u64()?,
+        tier3_nanos: r.u64()?,
+    })
+}
+
+pub(crate) fn encode_graph(artifact: &GraphArtifact) -> Vec<u8> {
+    let graph = artifact.graph();
+    let mut w = Writer::new();
+    w.f64(artifact.rareness_threshold());
+    w.f64(artifact.build_seconds());
+    w_rare_nets(&mut w, graph.rare_nets());
+    w_bool_slice_packed(&mut w, graph.adjacency());
+    w_stats(&mut w, graph.stats());
+    w_witness_bank(&mut w, graph.witness_bank());
+    w.usize_slice(graph.witness_rows());
+    w.finish()
+}
+
+pub(crate) fn decode_graph(key: u64, payload: &[u8]) -> Decode<GraphArtifact> {
+    let mut r = Reader::new(payload);
+    let rareness_threshold = r.f64()?;
+    let build_seconds = r.f64()?;
+    let rare_nets = r_rare_nets(&mut r)?;
+    let adjacency = r_bool_vec_packed(&mut r)?;
+    if adjacency.len() != rare_nets.len() * rare_nets.len() {
+        return Err(DecodeError::Malformed("adjacency shape"));
+    }
+    let stats = r_stats(&mut r)?;
+    let witnesses = r_witness_bank(&mut r)?;
+    let witness_rows = r.usize_vec()?;
+    if witness_rows.len() != rare_nets.len() {
+        return Err(DecodeError::Malformed("witness rows length"));
+    }
+    r.done()?;
+    let graph =
+        CompatibilityGraph::from_raw_parts(rare_nets, adjacency, stats, witnesses, witness_rows);
+    Ok(GraphArtifact::new(
+        key,
+        graph,
+        rareness_threshold,
+        build_seconds,
+    ))
+}
+
+fn w_ppo_config(w: &mut Writer, config: &PpoConfig) {
+    w.f64(config.gamma);
+    w.f64(config.gae_lambda);
+    w.f64(config.clip_epsilon);
+    w.f64(config.entropy_coef);
+    w.f64(config.value_coef);
+    w.f64(config.learning_rate);
+    w.usize(config.epochs);
+    w.usize(config.batch_size);
+    w.usize_slice(&config.hidden_sizes);
+}
+
+fn r_ppo_config(r: &mut Reader<'_>) -> Decode<PpoConfig> {
+    Ok(PpoConfig {
+        gamma: r.f64()?,
+        gae_lambda: r.f64()?,
+        clip_epsilon: r.f64()?,
+        entropy_coef: r.f64()?,
+        value_coef: r.f64()?,
+        learning_rate: r.f64()?,
+        epochs: r.usize()?,
+        batch_size: r.usize()?,
+        hidden_sizes: r.usize_vec()?,
+    })
+}
+
+pub(crate) fn encode_policy(artifact: &PolicyArtifact) -> Vec<u8> {
+    let trained = artifact.policy();
+    let snapshot = trained.trainer.snapshot();
+    let mut w = Writer::new();
+    w_ppo_config(&mut w, &snapshot.config);
+    w.usize(snapshot.num_actions);
+    w.u64(snapshot.total_steps);
+    w.u64(snapshot.total_updates);
+    w_losses(&mut w, &snapshot.loss_history);
+    w.usize_slice(&snapshot.policy_layer_sizes);
+    w.f64_slice(&snapshot.policy_params);
+    w_adam(&mut w, &snapshot.policy_opt);
+    w.usize_slice(&snapshot.value_layer_sizes);
+    w.f64_slice(&snapshot.value_params);
+    w_adam(&mut w, &snapshot.value_opt);
+    w.f64_slice(&trained.report.episode_rewards);
+    w.usize_slice(&trained.report.episode_lengths);
+    w_losses(&mut w, &trained.report.losses);
+    w.f64(trained.report.wall_seconds);
+    w_sets(&mut w, &trained.harvested_sets);
+    w.u64(trained.env_sat_checks);
+    w.f64(trained.training_seconds);
+    w.f64(trained.final_mean_reward);
+    w.finish()
+}
+
+pub(crate) fn decode_policy(key: u64, payload: &[u8]) -> Decode<PolicyArtifact> {
+    let mut r = Reader::new(payload);
+    let config = r_ppo_config(&mut r)?;
+    let num_actions = r.usize()?;
+    if num_actions == 0 {
+        return Err(DecodeError::Malformed("zero actions"));
+    }
+    let total_steps = r.u64()?;
+    let total_updates = r.u64()?;
+    let loss_history = r_losses(&mut r)?;
+    let policy_layer_sizes = r.usize_vec()?;
+    let policy_param_count = mlp_params(&policy_layer_sizes)?;
+    let policy_params = r.f64_vec()?;
+    if policy_params.len() != policy_param_count {
+        return Err(DecodeError::Malformed("policy param shape"));
+    }
+    let policy_opt = r_adam(&mut r, policy_param_count)?;
+    let value_layer_sizes = r.usize_vec()?;
+    let value_param_count = mlp_params(&value_layer_sizes)?;
+    let value_params = r.f64_vec()?;
+    if value_params.len() != value_param_count {
+        return Err(DecodeError::Malformed("value param shape"));
+    }
+    let value_opt = r_adam(&mut r, value_param_count)?;
+    let snapshot = PolicySnapshot {
+        config,
+        num_actions,
+        total_steps,
+        total_updates,
+        loss_history,
+        policy_layer_sizes,
+        policy_params,
+        value_layer_sizes,
+        value_params,
+        policy_opt,
+        value_opt,
+    };
+    let report = TrainReport {
+        episode_rewards: r.f64_vec()?,
+        episode_lengths: r.usize_vec()?,
+        losses: r_losses(&mut r)?,
+        wall_seconds: r.f64()?,
+    };
+    let harvested_sets = r_sets(&mut r)?;
+    let env_sat_checks = r.u64()?;
+    let training_seconds = r.f64()?;
+    let final_mean_reward = r.f64()?;
+    r.done()?;
+    // The restored action-sampling RNG is seeded from the cache key: the
+    // pipeline only uses cached trainers frozen (greedy rollouts), so the
+    // stream is never consumed, but the seed must at least be deterministic.
+    let trainer = PpoTrainer::from_snapshot(&snapshot, key);
+    Ok(PolicyArtifact::new(
+        key,
+        TrainedPolicy {
+            trainer,
+            report,
+            harvested_sets,
+            env_sat_checks,
+            training_seconds,
+            final_mean_reward,
+        },
+    ))
+}
+
+pub(crate) fn encode_sets(artifact: &SetsArtifact) -> Vec<u8> {
+    let selected = artifact.selected();
+    let mut w = Writer::new();
+    w_sets(&mut w, &selected.sets);
+    w.usize(selected.max_compatible_set);
+    w.u64(selected.eval_env_sat_checks);
+    w.usize(selected.harvested_total);
+    w.finish()
+}
+
+pub(crate) fn decode_sets(key: u64, payload: &[u8]) -> Decode<SetsArtifact> {
+    let mut r = Reader::new(payload);
+    let sets = r_sets(&mut r)?;
+    let selected = SelectedSets {
+        sets,
+        max_compatible_set: r.usize()?,
+        eval_env_sat_checks: r.u64()?,
+        harvested_total: r.usize()?,
+    };
+    r.done()?;
+    Ok(SetsArtifact::new(key, selected))
+}
+
+pub(crate) fn encode_patterns(artifact: &PatternsArtifact) -> Vec<u8> {
+    let generated = artifact.generated();
+    let mut w = Writer::new();
+    w.usize(generated.patterns.len());
+    for pattern in &generated.patterns {
+        let bits: Vec<bool> = (0..pattern.width()).map(|i| pattern.bit(i)).collect();
+        w_bool_slice_packed(&mut w, &bits);
+    }
+    w.u64(generated.stats.witness_reused);
+    w.u64(generated.stats.sat_queries);
+    w.finish()
+}
+
+pub(crate) fn decode_patterns(key: u64, payload: &[u8]) -> Decode<PatternsArtifact> {
+    let mut r = Reader::new(payload);
+    let n = r.len(8)?;
+    let patterns: Vec<TestPattern> = (0..n)
+        .map(|_| Ok(TestPattern::new(r_bool_vec_packed(&mut r)?)))
+        .collect::<Decode<_>>()?;
+    let stats = PatternGenStats {
+        witness_reused: r.u64()?,
+        sat_queries: r.u64()?,
+    };
+    r.done()?;
+    Ok(PatternsArtifact::new(
+        key,
+        GeneratedPatterns { patterns, stats },
+    ))
+}
+
+// ───────────────────────── the disk tier ─────────────────────────
+
+/// Result of probing the disk tier for one key. Generic so the store can
+/// map the validated payload bytes into a decoded artifact in place.
+pub(crate) enum DiskLookup<T> {
+    /// Header and checksum validated; the payload is ready to use.
+    Hit(T),
+    /// No file for this key.
+    Miss,
+    /// A file exists but is truncated, version-mismatched, or fails its
+    /// checksum — the caller recomputes and overwrites it.
+    Corrupt,
+}
+
+/// Process-unique suffix counter for temp files, so concurrent writers in
+/// one process never collide (cross-process uniqueness comes from the pid).
+static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
+
+/// The persistent tier of an [`crate::ArtifactStore`]: one file per artifact
+/// under `<root>/<stage>/<key:016x>.dtc` (see the [module docs](self) for
+/// the format). All operations are best-effort — I/O errors on write are
+/// swallowed (the cache is an accelerator, not a store of record) and
+/// unreadable files are reported as [`DiskLookup::Corrupt`].
+#[derive(Debug)]
+pub(crate) struct DiskStore {
+    root: PathBuf,
+}
+
+impl DiskStore {
+    pub(crate) fn new(root: PathBuf) -> Self {
+        Self { root }
+    }
+
+    pub(crate) fn root(&self) -> &Path {
+        &self.root
+    }
+
+    fn file_path(&self, stage: DiskStage, key: u64) -> PathBuf {
+        self.root
+            .join(stage.dir())
+            .join(format!("{key:016x}.{FILE_EXT}"))
+    }
+
+    /// Reads and validates the artifact file for `(stage, key)`.
+    pub(crate) fn load(&self, stage: DiskStage, key: u64) -> DiskLookup<Vec<u8>> {
+        let mut bytes = match fs::read(self.file_path(stage, key)) {
+            Ok(bytes) => bytes,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => return DiskLookup::Miss,
+            Err(_) => return DiskLookup::Corrupt,
+        };
+        if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
+            return DiskLookup::Corrupt;
+        }
+        let field_u32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4"));
+        let field_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8"));
+        if field_u32(8) != FORMAT_VERSION
+            || field_u32(12) != stage.tag()
+            || field_u64(16) != key
+            || field_u64(24) != (bytes.len() - HEADER_LEN) as u64
+        {
+            return DiskLookup::Corrupt;
+        }
+        let checksum = field_u64(32);
+        let payload = bytes.split_off(HEADER_LEN);
+        if checksum != fnv1a(&payload) {
+            return DiskLookup::Corrupt;
+        }
+        DiskLookup::Hit(payload)
+    }
+
+    /// Atomically writes the artifact file for `(stage, key)`: the header +
+    /// payload go to a process-unique temp file in the destination
+    /// directory, then rename into place (so a concurrent reader sees the
+    /// old complete file or the new complete file, never a partial one).
+    /// Best-effort: I/O failures leave the cache cold but never the caller
+    /// broken.
+    pub(crate) fn store(&self, stage: DiskStage, key: u64, payload: &[u8]) {
+        let dir = self.root.join(stage.dir());
+        if fs::create_dir_all(&dir).is_err() {
+            return;
+        }
+        let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+        bytes.extend_from_slice(&stage.tag().to_le_bytes());
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        let temp = dir.join(format!(
+            ".tmp-{}-{}-{key:016x}",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        let written = fs::File::create(&temp)
+            .and_then(|mut f| f.write_all(&bytes))
+            .is_ok();
+        if written {
+            let _ = fs::rename(&temp, self.file_path(stage, key));
+        } else {
+            let _ = fs::remove_file(&temp);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netlist::synth::BenchmarkProfile;
+
+    fn temp_root(tag: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "dtc-codec-{}-{}-{tag}",
+            std::process::id(),
+            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+        ));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn sample_analysis() -> RareNetAnalysis {
+        let nl = BenchmarkProfile::c2670().scaled(25).generate(3);
+        RareNetAnalysis::estimate(&nl, 0.2, 1024, 7)
+    }
+
+    #[test]
+    fn rare_payload_round_trips_bit_exactly() {
+        let analysis = sample_analysis();
+        let artifact = RareArtifact::new(42, analysis);
+        let payload = encode_rare(&artifact);
+        let decoded = decode_rare(42, &payload).expect("decode");
+        let (a, b) = (artifact.analysis(), decoded.analysis());
+        assert_eq!(a.threshold().to_bits(), b.threshold().to_bits());
+        assert_eq!(a.rare_nets(), b.rare_nets());
+        assert_eq!(a.probabilities().as_slice(), b.probabilities().as_slice());
+        assert_eq!(
+            a.probabilities().num_patterns(),
+            b.probabilities().num_patterns()
+        );
+        let (wa, wb) = (a.witnesses().unwrap(), b.witnesses().unwrap());
+        assert_eq!(wa.targets(), wb.targets());
+        assert_eq!(wa.raw_rows(), wb.raw_rows());
+        assert_eq!(wa.source(), wb.source());
+        // The rebuilt by-net index answers lookups identically.
+        for r in a.rare_nets() {
+            assert_eq!(a.position(r.net), b.position(r.net));
+        }
+    }
+
+    #[test]
+    fn graph_payload_round_trips_bit_exactly() {
+        let nl = BenchmarkProfile::c2670().scaled(25).generate(3);
+        let analysis = RareNetAnalysis::estimate(&nl, 0.2, 1024, 7);
+        let graph = CompatibilityGraph::build(&nl, &analysis, 1);
+        let artifact = GraphArtifact::new(9, graph, analysis.threshold(), 0.5);
+        let payload = encode_graph(&artifact);
+        let decoded = decode_graph(9, &payload).expect("decode");
+        assert_eq!(artifact.graph().adjacency(), decoded.graph().adjacency());
+        assert_eq!(artifact.graph().rare_nets(), decoded.graph().rare_nets());
+        assert_eq!(artifact.graph().stats(), decoded.graph().stats());
+        assert_eq!(
+            artifact.graph().witness_rows(),
+            decoded.graph().witness_rows()
+        );
+        assert_eq!(artifact.build_seconds(), decoded.build_seconds());
+        // Witness pattern materialization survives the round trip.
+        if artifact.graph().len() >= 2 {
+            for i in 0..artifact.graph().len() {
+                for j in (i + 1)..artifact.graph().len() {
+                    assert_eq!(
+                        artifact.graph().joint_witness_pattern(&[i, j]),
+                        decoded.graph().joint_witness_pattern(&[i, j]),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sets_and_patterns_payloads_round_trip() {
+        let sets_artifact = SetsArtifact::new(
+            5,
+            SelectedSets {
+                sets: vec![vec![0, 2, 5], vec![1], vec![]],
+                max_compatible_set: 3,
+                eval_env_sat_checks: 17,
+                harvested_total: 99,
+            },
+        );
+        let decoded = decode_sets(5, &encode_sets(&sets_artifact)).expect("sets");
+        assert_eq!(decoded.selected().sets, sets_artifact.selected().sets);
+        assert_eq!(decoded.selected().harvested_total, 99);
+
+        let patterns_artifact = PatternsArtifact::new(
+            6,
+            GeneratedPatterns {
+                patterns: vec![
+                    TestPattern::from_bit_string("1011_0010_1"),
+                    TestPattern::zeros(64),
+                    TestPattern::ones(65),
+                    TestPattern::default(),
+                ],
+                stats: PatternGenStats {
+                    witness_reused: 3,
+                    sat_queries: 2,
+                },
+            },
+        );
+        let decoded = decode_patterns(6, &encode_patterns(&patterns_artifact)).expect("patterns");
+        assert_eq!(
+            decoded.generated().patterns,
+            patterns_artifact.generated().patterns
+        );
+        assert_eq!(
+            decoded.generated().stats,
+            patterns_artifact.generated().stats
+        );
+    }
+
+    #[test]
+    fn truncated_and_malformed_payloads_are_errors_not_panics() {
+        let artifact = RareArtifact::new(1, sample_analysis());
+        let payload = encode_rare(&artifact);
+        for cut in [0, 1, 7, 8, payload.len() / 2, payload.len() - 1] {
+            assert!(decode_rare(1, &payload[..cut]).is_err(), "cut at {cut}");
+        }
+        // Trailing garbage is rejected too.
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(matches!(
+            decode_rare(1, &long),
+            Err(DecodeError::Malformed("trailing bytes"))
+        ));
+        // A length field pointing past the buffer fails fast.
+        let mut huge = payload;
+        let len_at = 8; // rare-net count lives right after the threshold
+        huge[len_at..len_at + 8].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(decode_rare(1, &huge).is_err());
+    }
+
+    #[test]
+    fn disk_store_validates_header_version_key_and_checksum() {
+        let root = temp_root("header");
+        let disk = DiskStore::new(root.clone());
+        assert!(matches!(disk.load(DiskStage::Analyze, 7), DiskLookup::Miss));
+        disk.store(DiskStage::Analyze, 7, b"payload bytes");
+        match disk.load(DiskStage::Analyze, 7) {
+            DiskLookup::Hit(payload) => assert_eq!(payload, b"payload bytes"),
+            _ => panic!("expected hit"),
+        }
+        // Wrong stage and wrong key are misses (different files).
+        assert!(matches!(disk.load(DiskStage::Graph, 7), DiskLookup::Miss));
+        assert!(matches!(disk.load(DiskStage::Analyze, 8), DiskLookup::Miss));
+
+        let path = disk.file_path(DiskStage::Analyze, 7);
+        let original = fs::read(&path).unwrap();
+
+        // Bad magic.
+        let mut bad = original.clone();
+        bad[0] ^= 0xFF;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            disk.load(DiskStage::Analyze, 7),
+            DiskLookup::Corrupt
+        ));
+
+        // Wrong format version.
+        let mut bad = original.clone();
+        bad[8] = bad[8].wrapping_add(1);
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            disk.load(DiskStage::Analyze, 7),
+            DiskLookup::Corrupt
+        ));
+
+        // Truncated payload.
+        fs::write(&path, &original[..original.len() - 3]).unwrap();
+        assert!(matches!(
+            disk.load(DiskStage::Analyze, 7),
+            DiskLookup::Corrupt
+        ));
+
+        // Flipped payload bit (checksum mismatch).
+        let mut bad = original.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 0x10;
+        fs::write(&path, &bad).unwrap();
+        assert!(matches!(
+            disk.load(DiskStage::Analyze, 7),
+            DiskLookup::Corrupt
+        ));
+
+        // Overwriting heals the file.
+        disk.store(DiskStage::Analyze, 7, b"payload bytes");
+        assert!(matches!(
+            disk.load(DiskStage::Analyze, 7),
+            DiskLookup::Hit(_)
+        ));
+        let _ = fs::remove_dir_all(&root);
+    }
+}

@@ -698,6 +698,34 @@ impl CompatibilityGraph {
             .map(|&i| (self.rare_nets[i].net, self.rare_nets[i].rare_value))
             .collect()
     }
+
+    /// Codec support: the witness-bank row (candidate index in the
+    /// originating analysis) of each kept rare net.
+    pub(crate) fn witness_rows(&self) -> &[usize] {
+        &self.witness_rows
+    }
+
+    /// Codec support: reassembles a graph from the raw parts exposed by
+    /// [`CompatibilityGraph::rare_nets`], [`CompatibilityGraph::adjacency`],
+    /// [`CompatibilityGraph::stats`], [`CompatibilityGraph::witness_bank`],
+    /// and [`CompatibilityGraph::witness_rows`]. The caller is responsible
+    /// for internal consistency (the disk-cache decoder validates lengths
+    /// before calling).
+    pub(crate) fn from_raw_parts(
+        rare_nets: Vec<RareNet>,
+        adjacency: Vec<bool>,
+        stats: CompatStats,
+        witnesses: Option<WitnessBank>,
+        witness_rows: Vec<usize>,
+    ) -> Self {
+        Self {
+            rare_nets,
+            adjacency,
+            stats,
+            witnesses,
+            witness_rows,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -5,6 +5,8 @@
 //! change to (say) the reward mode invalidates only the training artifact
 //! while the rare-net analysis and compatibility graph stay cached.
 
+use std::path::PathBuf;
+
 use rl::PpoConfig;
 
 use crate::CompatStrategy;
@@ -151,6 +153,13 @@ pub struct DeterrentConfig {
     pub threads: usize,
     /// RNG seed controlling every stochastic component.
     pub seed: u64,
+    /// Directory of the persistent artifact cache. `None` (the default)
+    /// falls back to the `DETERRENT_CACHE_DIR` environment variable; when
+    /// neither is set, sessions created with
+    /// [`crate::DeterrentSession::new`] cache in memory only. Like the
+    /// thread knob, the cache directory never affects results (artifacts
+    /// round-trip bit-exactly) and is excluded from every cache key.
+    pub cache_dir: Option<PathBuf>,
 }
 
 impl Default for DeterrentConfig {
@@ -162,6 +171,7 @@ impl Default for DeterrentConfig {
             select: SelectConfig::default(),
             threads: 0,
             seed: Self::DEFAULT_SEED,
+            cache_dir: None,
         }
     }
 }
@@ -169,6 +179,10 @@ impl Default for DeterrentConfig {
 impl DeterrentConfig {
     /// The seed the pipeline defaults ship with.
     pub const DEFAULT_SEED: u64 = 0xDE7E88EA7;
+
+    /// Name of the environment variable consulted when
+    /// [`DeterrentConfig::cache_dir`] is `None`.
+    pub const CACHE_DIR_ENV: &'static str = "DETERRENT_CACHE_DIR";
 
     /// A configuration sized for unit tests and examples: few episodes, small
     /// networks, small pattern budgets. Finishes in well under a second on
@@ -245,6 +259,28 @@ impl DeterrentConfig {
     pub fn with_threads(mut self, threads: usize) -> Self {
         self.threads = threads;
         self
+    }
+
+    /// Returns a copy with the persistent-cache directory replaced.
+    /// Cache directories never affect results, only wall clock.
+    #[must_use]
+    pub fn with_cache_dir(mut self, cache_dir: impl Into<PathBuf>) -> Self {
+        self.cache_dir = Some(cache_dir.into());
+        self
+    }
+
+    /// The effective persistent-cache directory: the explicit
+    /// [`DeterrentConfig::cache_dir`] knob, else the non-empty
+    /// `DETERRENT_CACHE_DIR` environment variable, else `None` (memory-only
+    /// caching).
+    #[must_use]
+    pub fn resolved_cache_dir(&self) -> Option<PathBuf> {
+        if self.cache_dir.is_some() {
+            return self.cache_dir.clone();
+        }
+        std::env::var_os(Self::CACHE_DIR_ENV)
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
     }
 
     /// Returns a copy with the training episode budget replaced.

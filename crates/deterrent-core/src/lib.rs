@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod artifact;
+mod codec;
 mod compat;
 mod config;
 mod env;
@@ -73,8 +74,8 @@ mod selection;
 mod session;
 
 pub use artifact::{
-    ArtifactStore, GraphArtifact, PolicyArtifact, RareArtifact, SelectedSets, SetsArtifact,
-    StageCounters, StoreCounters, TrainedPolicy,
+    ArtifactStore, GeneratedPatterns, GraphArtifact, PatternsArtifact, PolicyArtifact,
+    RareArtifact, SelectedSets, SetsArtifact, StageCounters, StoreCounters, TrainedPolicy,
 };
 pub use compat::{
     CompatBuildOptions, CompatStats, CompatStrategy, CompatibilityGraph, EnumerationBudget,

@@ -34,7 +34,8 @@ use sat::CircuitOracle;
 use sim::rare::RareNetAnalysis;
 
 use crate::artifact::{
-    graph_key, imported_rare_key, policy_key, rare_key, sets_key, SelectedSets, TrainedPolicy,
+    graph_key, imported_rare_key, patterns_key, policy_key, rare_key, sets_key, GeneratedPatterns,
+    PatternsArtifact, SelectedSets, TrainedPolicy,
 };
 use crate::{
     generate_patterns_with, select_k_largest, ArtifactStore, CompatSetEnv, CompatibilityGraph,
@@ -44,7 +45,7 @@ use crate::{
 
 /// A staged DETERRENT pipeline bound to one netlist and one configuration.
 ///
-/// See the [module docs](self) for the stage/artifact model. The typical
+/// See the module docs for the stage/artifact model. The typical
 /// single-run flow is [`DeterrentSession::run`]; grids drive the stages
 /// explicitly or share an [`ArtifactStore`] across per-cell sessions.
 ///
@@ -92,10 +93,19 @@ impl std::fmt::Debug for DeterrentSession<'_> {
 }
 
 impl<'a> DeterrentSession<'a> {
-    /// Creates a session with a fresh private [`ArtifactStore`].
+    /// Creates a session with a fresh private [`ArtifactStore`]. When the
+    /// config names a cache directory (the `cache_dir` knob or the
+    /// `DETERRENT_CACHE_DIR` environment variable,
+    /// [`DeterrentConfig::resolved_cache_dir`]), the store is backed by the
+    /// persistent disk tier there, so artifacts survive the process and a
+    /// repeat invocation recomputes nothing.
     #[must_use]
     pub fn new(netlist: &'a Netlist, config: DeterrentConfig) -> Self {
-        Self::with_store(netlist, config, ArtifactStore::new())
+        let store = match config.resolved_cache_dir() {
+            Some(dir) => ArtifactStore::with_disk(dir),
+            None => ArtifactStore::new(),
+        };
+        Self::with_store(netlist, config, store)
     }
 
     /// Creates a session sharing `store` — the way ablation grids reuse the
@@ -409,19 +419,38 @@ impl<'a> DeterrentSession<'a> {
     }
 
     /// Stage ❺ — SAT/witness pattern generation over the selected sets,
-    /// assembling the final [`DeterrentResult`]. Not cached (cheap relative
-    /// to everything upstream, and the result composes all upstream
-    /// artifacts).
+    /// assembling the final [`DeterrentResult`]. Cached by (sets key) as a
+    /// [`PatternsArtifact`], so a fully warm session performs zero SAT
+    /// justification; the surrounding result still composes live session
+    /// state (executor stats, thread count).
     pub fn generate(
         &mut self,
         graph: &GraphArtifact,
         policy: &PolicyArtifact,
         sets: &SetsArtifact,
     ) -> DeterrentResult {
+        let key = patterns_key(sets.key);
         self.notify_started(Stage::Generate);
         let start = Instant::now();
-        let mut oracle = CircuitOracle::new(self.netlist);
-        let (patterns, gen_stats) = generate_patterns_with(&mut oracle, graph.graph(), sets.sets());
+        let (generated, cache_hit) = match self.store.lookup_patterns(key) {
+            Some(found) => (found, true),
+            None => {
+                let mut oracle = CircuitOracle::new(self.netlist);
+                let (patterns, gen_stats) =
+                    generate_patterns_with(&mut oracle, graph.graph(), sets.sets());
+                let artifact = PatternsArtifact::new(
+                    key,
+                    GeneratedPatterns {
+                        patterns,
+                        stats: gen_stats,
+                    },
+                );
+                self.store.insert_patterns(&artifact);
+                (artifact, false)
+            }
+        };
+        let gen_stats = generated.generated().stats;
+        let patterns = generated.patterns().to_vec();
 
         let trained = policy.policy();
         let selected = sets.selected();
@@ -457,7 +486,7 @@ impl<'a> DeterrentSession<'a> {
         self.notify_finished(StageMetrics {
             stage: Stage::Generate,
             wall_seconds: start.elapsed().as_secs_f64(),
-            cache_hit: false,
+            cache_hit,
             items: result.patterns.len() as u64,
         });
         result

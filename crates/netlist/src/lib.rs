@@ -7,7 +7,7 @@
 //!   which every gate drives exactly one net (identified by a [`NetId`]).
 //! * [`NetlistBuilder`] — an ergonomic way to construct netlists by hand or
 //!   from a parser.
-//! * [`bench`] — a reader/writer for the ISCAS `.bench` format used by the
+//! * [`bench`](mod@bench) — a reader/writer for the ISCAS `.bench` format used by the
 //!   original DETERRENT artifact (c2670, c5315, …, s35932).
 //! * [`synth`] — a deterministic synthetic benchmark generator producing
 //!   circuits whose size and rare-net profile match the benchmarks evaluated

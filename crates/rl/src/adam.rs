@@ -68,6 +68,30 @@ impl Adam {
     pub fn steps(&self) -> u64 {
         self.t
     }
+
+    /// The first- and second-moment vectors (`m`, `v`), for persisting the
+    /// optimizer state alongside the parameters it drives.
+    #[must_use]
+    pub fn moments(&self) -> (&[f64], &[f64]) {
+        (&self.m, &self.v)
+    }
+
+    /// Rebuilds an optimizer from a persisted state — the inverse of
+    /// [`Adam::learning_rate`] / [`Adam::moments`] / [`Adam::steps`]. The
+    /// β/ε constants are the construction-time defaults of [`Adam::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `m` and `v` differ in length.
+    #[must_use]
+    pub fn from_raw_state(learning_rate: f64, m: Vec<f64>, v: Vec<f64>, t: u64) -> Self {
+        assert_eq!(m.len(), v.len(), "moment vectors must match in length");
+        let mut adam = Self::new(m.len(), learning_rate);
+        adam.m = m;
+        adam.v = v;
+        adam.t = t;
+        adam
+    }
 }
 
 #[cfg(test)]

@@ -56,7 +56,9 @@ pub use adam::Adam;
 pub use distribution::MaskedCategorical;
 pub use env::{train, Environment, StepOutcome, TrainOptions, TrainReport};
 pub use mlp::Mlp;
-pub use ppo::{PpoConfig, PpoLosses, PpoTrainer, RolloutBuffer, Transition};
+pub use ppo::{
+    AdamSnapshot, PolicySnapshot, PpoConfig, PpoLosses, PpoTrainer, RolloutBuffer, Transition,
+};
 pub use rollout::{
     collect_episodes, train_parallel, train_parallel_observed, CollectOptions, EpisodeOutcome,
     ParallelTrainOptions, ParallelTrainOutcome, RoundProgress,

@@ -61,6 +61,14 @@ impl Mlp {
         }
     }
 
+    /// The layer sizes the network was built with (input first, output
+    /// last) — together with [`Mlp::parameters`] enough to reconstruct the
+    /// network exactly.
+    #[must_use]
+    pub fn layer_sizes(&self) -> &[usize] {
+        &self.layer_sizes
+    }
+
     /// Input dimension.
     #[must_use]
     pub fn input_dim(&self) -> usize {

@@ -169,6 +169,77 @@ pub struct PpoLosses {
     pub total_loss: f64,
 }
 
+/// Persisted state of one [`Adam`] optimizer inside a [`PolicySnapshot`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct AdamSnapshot {
+    /// Learning rate at snapshot time.
+    pub learning_rate: f64,
+    /// First-moment vector `m`.
+    pub m: Vec<f64>,
+    /// Second-moment vector `v`.
+    pub v: Vec<f64>,
+    /// Update steps performed.
+    pub steps: u64,
+}
+
+impl AdamSnapshot {
+    fn of(adam: &Adam) -> Self {
+        let (m, v) = adam.moments();
+        Self {
+            learning_rate: adam.learning_rate(),
+            m: m.to_vec(),
+            v: v.to_vec(),
+            steps: adam.steps(),
+        }
+    }
+
+    fn restore(&self) -> Adam {
+        Adam::from_raw_state(
+            self.learning_rate,
+            self.m.clone(),
+            self.v.clone(),
+            self.steps,
+        )
+    }
+}
+
+/// A frozen, plain-data snapshot of a [`PpoTrainer`]: everything needed to
+/// reconstruct the trained agent for greedy/frozen-policy use and for
+/// continued optimization — network weights, optimizer moments, step/update
+/// counters, and the loss history.
+///
+/// Deliberately **not** captured: the in-flight [`RolloutBuffer`] (training
+/// rounds always learn from freshly collected episodes) and the
+/// action-sampling RNG state ([`PpoTrainer::from_snapshot`] reseeds it).
+/// Frozen-policy evaluation ([`PpoTrainer::best_action`],
+/// [`PpoTrainer::policy_step`]) is therefore bit-identical between the
+/// original and a restored trainer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PolicySnapshot {
+    /// Hyper-parameters the trainer was built with.
+    pub config: PpoConfig,
+    /// Number of discrete actions.
+    pub num_actions: usize,
+    /// Environment steps observed.
+    pub total_steps: u64,
+    /// Gradient updates performed.
+    pub total_updates: u64,
+    /// `(steps, losses)` history of every update.
+    pub loss_history: Vec<(u64, PpoLosses)>,
+    /// Layer sizes of the policy network (input first).
+    pub policy_layer_sizes: Vec<usize>,
+    /// Flat policy parameters ([`crate::Mlp::parameters`] order).
+    pub policy_params: Vec<f64>,
+    /// Layer sizes of the value network (input first).
+    pub value_layer_sizes: Vec<usize>,
+    /// Flat value parameters ([`crate::Mlp::parameters`] order).
+    pub value_params: Vec<f64>,
+    /// Policy optimizer state.
+    pub policy_opt: AdamSnapshot,
+    /// Value optimizer state.
+    pub value_opt: AdamSnapshot,
+}
+
 /// PPO agent: policy network, value network, and their optimizers.
 #[derive(Debug, Clone)]
 pub struct PpoTrainer {
@@ -245,6 +316,55 @@ impl PpoTrainer {
     #[must_use]
     pub fn loss_history(&self) -> &[(u64, PpoLosses)] {
         &self.loss_history
+    }
+
+    /// Captures a [`PolicySnapshot`] of the trained agent (see its docs for
+    /// what is and is not included).
+    #[must_use]
+    pub fn snapshot(&self) -> PolicySnapshot {
+        PolicySnapshot {
+            config: self.config.clone(),
+            num_actions: self.num_actions,
+            total_steps: self.total_steps,
+            total_updates: self.total_updates,
+            loss_history: self.loss_history.clone(),
+            policy_layer_sizes: self.policy.layer_sizes().to_vec(),
+            policy_params: self.policy.parameters(),
+            value_layer_sizes: self.value.layer_sizes().to_vec(),
+            value_params: self.value.parameters(),
+            policy_opt: AdamSnapshot::of(&self.policy_opt),
+            value_opt: AdamSnapshot::of(&self.value_opt),
+        }
+    }
+
+    /// Reconstructs a trainer from a [`PolicySnapshot`]. The rollout buffer
+    /// starts empty and the action-sampling RNG is seeded from `seed` (pass
+    /// the training run's master seed for a conventional stream); frozen
+    /// policy/value evaluation is bit-identical to the snapshotted trainer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the snapshot's parameter vectors do not match its layer
+    /// sizes.
+    #[must_use]
+    pub fn from_snapshot(snapshot: &PolicySnapshot, seed: u64) -> Self {
+        let mut policy = Mlp::new(&snapshot.policy_layer_sizes, 0);
+        policy.set_parameters(&snapshot.policy_params);
+        let mut value = Mlp::new(&snapshot.value_layer_sizes, 0);
+        value.set_parameters(&snapshot.value_params);
+        Self {
+            config: snapshot.config.clone(),
+            policy,
+            value,
+            policy_opt: snapshot.policy_opt.restore(),
+            value_opt: snapshot.value_opt.restore(),
+            buffer: RolloutBuffer::new(),
+            rng: StdRng::seed_from_u64(seed),
+            num_actions: snapshot.num_actions,
+            total_steps: snapshot.total_steps,
+            total_updates: snapshot.total_updates,
+            loss_history: snapshot.loss_history.clone(),
+        }
     }
 
     /// Samples an action for `state` under `mask` (empty slice = no masking)
@@ -586,6 +706,52 @@ mod tests {
             "boosted exploration should keep policy entropy at least as high: \
              boosted {boosted_entropy} vs default {default_entropy}"
         );
+    }
+
+    #[test]
+    fn snapshot_round_trip_preserves_frozen_behaviour() {
+        // Train a little so the optimizer moments and loss history are
+        // non-trivial, then check the restored trainer is indistinguishable
+        // under frozen-policy use.
+        let config = PpoConfig {
+            batch_size: 16,
+            hidden_sizes: vec![8],
+            ..PpoConfig::default()
+        };
+        let mut trainer = PpoTrainer::new(2, 3, &config, 7);
+        let state = vec![0.4, -0.1];
+        for _ in 0..40 {
+            let (action, log_prob, value) = trainer.select_action(&state, &[]);
+            trainer.record(Transition {
+                state: state.clone(),
+                mask: vec![],
+                action,
+                reward: f64::from(u8::from(action == 2)),
+                done: true,
+                log_prob,
+                value,
+            });
+            trainer.update_if_ready();
+        }
+        let snapshot = trainer.snapshot();
+        let restored = PpoTrainer::from_snapshot(&snapshot, 7);
+        assert_eq!(restored.snapshot(), snapshot, "snapshot is a fixed point");
+        assert_eq!(restored.loss_history(), trainer.loss_history());
+        assert_eq!(restored.total_steps(), trainer.total_steps());
+        assert_eq!(restored.total_updates(), trainer.total_updates());
+        assert_eq!(
+            restored.best_action(&state, &[]),
+            trainer.best_action(&state, &[])
+        );
+        use rand::SeedableRng;
+        let mut a = rand::rngs::StdRng::seed_from_u64(99);
+        let mut b = rand::rngs::StdRng::seed_from_u64(99);
+        assert_eq!(
+            trainer.policy_step(&state, &[], &mut a),
+            restored.policy_step(&state, &[], &mut b),
+            "frozen sampling must match given the same RNG stream"
+        );
+        assert_eq!(restored.pending_transitions(), 0, "buffer not captured");
     }
 
     #[test]

@@ -320,6 +320,23 @@ impl SignalProbabilities {
     pub fn as_slice(&self) -> &[f64] {
         &self.prob_one
     }
+
+    /// Rebuilds an estimate from its raw parts — the inverse of
+    /// [`SignalProbabilities::as_slice`] + [`SignalProbabilities::num_patterns`].
+    /// Exists so callers persisting an analysis (e.g. a disk-backed artifact
+    /// cache) can round-trip it bit-exactly without a serde dependency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_patterns` is zero.
+    #[must_use]
+    pub fn from_raw_parts(prob_one: Vec<f64>, num_patterns: usize) -> Self {
+        assert!(num_patterns > 0, "need at least one pattern");
+        Self {
+            prob_one,
+            num_patterns,
+        }
+    }
 }
 
 #[cfg(test)]

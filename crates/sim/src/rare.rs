@@ -228,6 +228,44 @@ impl RareNetAnalysis {
     pub fn witnesses(&self) -> Option<&WitnessBank> {
         self.witnesses.as_ref()
     }
+
+    /// Rebuilds an analysis from its raw parts — the inverse of
+    /// [`RareNetAnalysis::threshold`] / [`RareNetAnalysis::rare_nets`] /
+    /// [`RareNetAnalysis::probabilities`] / [`RareNetAnalysis::witnesses`].
+    /// The by-net lookup index is rederived; `rare_nets` must already be in
+    /// the canonical order (rarest first, ties by net id) an estimation run
+    /// produces. Exists so callers persisting an analysis (e.g. a disk-backed
+    /// artifact cache) can round-trip it bit-exactly without a serde
+    /// dependency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `threshold` is not in `(0, 0.5]`.
+    #[must_use]
+    pub fn from_raw_parts(
+        threshold: f64,
+        rare_nets: Vec<RareNet>,
+        probabilities: SignalProbabilities,
+        witnesses: Option<WitnessBank>,
+    ) -> Self {
+        assert!(
+            threshold > 0.0 && threshold <= 0.5,
+            "rareness threshold must be in (0, 0.5]"
+        );
+        let mut by_net: Vec<(NetId, u32)> = rare_nets
+            .iter()
+            .enumerate()
+            .map(|(pos, r)| (r.net, pos as u32))
+            .collect();
+        by_net.sort_unstable_by_key(|&(net, _)| net);
+        Self {
+            threshold,
+            rare_nets,
+            probabilities,
+            by_net,
+            witnesses,
+        }
+    }
 }
 
 #[cfg(test)]

@@ -218,6 +218,51 @@ impl WitnessBank {
         self.num_patterns
     }
 
+    /// Number of 64-pattern chunks per row.
+    #[must_use]
+    pub fn num_chunks(&self) -> usize {
+        self.num_chunks
+    }
+
+    /// All row words, row-major (`row(t)` is
+    /// `raw_rows()[t * num_chunks .. (t + 1) * num_chunks]`).
+    #[must_use]
+    pub fn raw_rows(&self) -> &[u64] {
+        &self.rows
+    }
+
+    /// Rebuilds a bank from its raw parts — the inverse of
+    /// [`WitnessBank::targets`] / [`WitnessBank::num_chunks`] /
+    /// [`WitnessBank::num_patterns`] / [`WitnessBank::raw_rows`] /
+    /// [`WitnessBank::source`]. Exists so callers persisting an analysis
+    /// (e.g. a disk-backed artifact cache) can round-trip it bit-exactly
+    /// without a serde dependency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows.len() != targets.len() * num_chunks`.
+    #[must_use]
+    pub fn from_raw_parts(
+        targets: Vec<(NetId, bool)>,
+        num_chunks: usize,
+        num_patterns: usize,
+        rows: Vec<u64>,
+        source: Option<PatternSource>,
+    ) -> Self {
+        assert_eq!(
+            rows.len(),
+            targets.len() * num_chunks,
+            "row words must be targets x chunks"
+        );
+        Self {
+            targets,
+            num_chunks,
+            num_patterns,
+            rows,
+            source,
+        }
+    }
+
     /// The witness bitmap of target `t`.
     ///
     /// # Panics

@@ -13,10 +13,15 @@ use deterrent_repro::trojan::{CoverageEvaluator, TrojanGenerator};
 
 fn main() {
     let netlist = BenchmarkProfile::c2670().scaled(20).generate(11);
-    let config = DeterrentConfig::fast_preset()
+    // `--cache-dir DIR` (or DETERRENT_CACHE_DIR) persists the DETERRENT
+    // artifacts; the baselines are cheap enough to always recompute.
+    let mut config = DeterrentConfig::fast_preset()
         .with_threshold(0.15)
         .with_probability_patterns(8192)
         .with_seed(4);
+    if let Some(dir) = deterrent_repro::cache_dir_arg() {
+        config = config.with_cache_dir(dir);
+    }
     let mut session = DeterrentSession::new(&netlist, config);
     let rare = session.analyze();
     let analysis = rare.analysis();

@@ -60,7 +60,12 @@ fn main() {
     //    analysis, offline pairwise compatibility, PPO training with action
     //    masking, set selection, SAT pattern generation. Each stage returns a
     //    cache-keyed artifact you can reuse across configs.
-    let config = DeterrentConfig::fast_preset();
+    //    Pass `--cache-dir DIR` (or set DETERRENT_CACHE_DIR) to persist the
+    //    artifacts on disk: a second invocation then skips every stage.
+    let mut config = DeterrentConfig::fast_preset();
+    if let Some(dir) = deterrent_repro::cache_dir_arg() {
+        config = config.with_cache_dir(dir);
+    }
     let mut session = DeterrentSession::new(&netlist, config);
     session.add_observer(Box::new(ProgressPrinter));
     println!("stages:");

@@ -16,10 +16,18 @@ use deterrent_repro::trojan::{CoverageEvaluator, TrojanGenerator};
 
 fn main() {
     let netlist = BenchmarkProfile::c6288().scaled(25).generate(5);
-    let store = ArtifactStore::new();
-    let base = DeterrentConfig::fast_preset()
+    let mut base = DeterrentConfig::fast_preset()
         .with_probability_patterns(8192)
         .with_seed(3);
+    if let Some(dir) = deterrent_repro::cache_dir_arg() {
+        base = base.with_cache_dir(dir);
+    }
+    // `--cache-dir DIR` (or DETERRENT_CACHE_DIR) makes the shared store
+    // persistent: a second run serves both θ-analyses from disk.
+    let store = match base.resolved_cache_dir() {
+        Some(dir) => ArtifactStore::with_disk(dir),
+        None => ArtifactStore::new(),
+    };
 
     // One analysis per θ, via the session cache.
     let mut loose_session =
@@ -43,9 +51,14 @@ fn main() {
         result.metrics.max_compatible_set
     );
     let counters = store.counters();
-    assert_eq!(counters.analyze.misses, 2, "exactly one analysis per θ");
     assert_eq!(
-        counters.build_graph.misses, 1,
+        counters.analyze.misses + counters.analyze.disk_hits,
+        2,
+        "exactly one analysis per θ (computed cold, loaded from disk warm)"
+    );
+    assert_eq!(
+        counters.build_graph.misses + counters.build_graph.disk_hits,
+        1,
         "only the trained θ ever built a graph"
     );
 

@@ -16,10 +16,15 @@ use deterrent_repro::trojan::{CoverageEvaluator, TrojanGenerator};
 
 fn main() {
     let netlist = BenchmarkProfile::c5315().scaled(25).generate(9);
-    let config = DeterrentConfig::fast_preset()
+    // `--cache-dir DIR` (or DETERRENT_CACHE_DIR) persists the artifacts so a
+    // second campaign run skips estimation and training entirely.
+    let mut config = DeterrentConfig::fast_preset()
         .with_threshold(0.15)
         .with_probability_patterns(8192)
         .with_seed(2);
+    if let Some(dir) = deterrent_repro::cache_dir_arg() {
+        config = config.with_cache_dir(dir);
+    }
     let mut session = DeterrentSession::new(&netlist, config);
     let rare = session.analyze();
     println!(

@@ -44,3 +44,15 @@ pub use rl;
 pub use sat;
 pub use sim;
 pub use trojan;
+
+/// The value following `--cache-dir` in this process's arguments, when
+/// given — the one flag every root example shares, wiring
+/// [`deterrent_core::DeterrentConfig::with_cache_dir`] to the persistent
+/// artifact cache (the `DETERRENT_CACHE_DIR` environment variable works
+/// without any flag).
+#[must_use]
+pub fn cache_dir_arg() -> Option<std::path::PathBuf> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--cache-dir")?;
+    args.get(i + 1).map(std::path::PathBuf::from)
+}

@@ -109,11 +109,12 @@ fn results_and_cache_keys_are_thread_count_invariant() {
         DeterrentSession::with_store(&nl, test_config().with_threads(4), store.clone());
     let parallel_result = parallel.run();
     let counters = store.counters();
-    assert_eq!(counters.total_misses(), 4, "one miss per cached stage");
+    assert_eq!(counters.total_misses(), 5, "one miss per cached stage");
     assert_eq!(counters.analyze.hits, 1);
     assert_eq!(counters.build_graph.hits, 1);
     assert_eq!(counters.train.hits, 1);
     assert_eq!(counters.select.hits, 1);
+    assert_eq!(counters.generate.hits, 1);
     assert_bit_identical(
         &serial_result,
         &parallel_result,
