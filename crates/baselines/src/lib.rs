@@ -19,6 +19,24 @@
 //!   based single-stuck-at pattern generation with greedy compaction. Like
 //!   the real tool it optimizes fault coverage, not rare-value combinations,
 //!   and therefore shows poor trigger coverage.
+//!
+//! # Example
+//!
+//! Every technique takes the netlist plus its rare-net analysis and
+//! returns test patterns, so they are interchangeable behind
+//! [`TestGenerator`]:
+//!
+//! ```
+//! use baselines::{RandomPatterns, TestGenerator};
+//! use netlist::samples;
+//! use sim::rare::RareNetAnalysis;
+//!
+//! let nl = samples::rare_chain(6);
+//! let analysis = RareNetAnalysis::estimate(&nl, 0.1, 2048, 42);
+//! let patterns = RandomPatterns::new(16, 7).generate(&nl, &analysis);
+//! assert_eq!(patterns.len(), 16);
+//! assert!(patterns.iter().all(|p| p.width() == nl.num_scan_inputs()));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -12,6 +12,23 @@
 //! (Table 1, Figures 2–3) performs rare-net analysis and compatibility-graph
 //! construction exactly once per `(netlist, θ)` — the binaries assert this
 //! via the store's hit/miss counters ([`BenchInstance::assert_offline_reuse`]).
+//!
+//! # Example
+//!
+//! [`HarnessOptions`] turns the shared CLI flags into scaled netlists and
+//! a matching pipeline configuration:
+//!
+//! ```
+//! use deterrent_bench::HarnessOptions;
+//! use netlist::synth::BenchmarkProfile;
+//!
+//! let options = HarnessOptions::default(); // --scale 20, seed 2022
+//! let nl = options.netlist(&BenchmarkProfile::c2670());
+//! assert!(nl.num_logic_gates() < 775, "profiles are shrunk by default");
+//! let config = options.deterrent_config();
+//! assert_eq!(config.seed, options.seed);
+//! assert!(config.cache_policy.is_unbounded(), "no --cache-max-bytes given");
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -45,6 +62,13 @@ pub struct HarnessOptions {
     /// the `DETERRENT_CACHE_DIR` environment variable when unset; `None`
     /// with no variable means memory-only caching.
     pub cache_dir: Option<PathBuf>,
+    /// Cache size budget in bytes (`--cache-max-bytes`, `k`/`m`/`g`
+    /// suffixes accepted). Also honours `DETERRENT_CACHE_MAX_BYTES` when
+    /// unset; `None` with no variable means unbounded.
+    pub cache_max_bytes: Option<u64>,
+    /// `--slim-policy`: persist train-stage artifacts with the slim codec
+    /// variant (~3× smaller; warm runs see a truncated loss history).
+    pub slim_policy: bool,
     /// `--expect-warm`: after the run, assert that the persistent cache
     /// served every stage (zero recomputations) — the CI cache-reuse gate.
     pub expect_warm: bool,
@@ -58,6 +82,8 @@ impl Default for HarnessOptions {
             trigger_width: 4,
             seed: 2022,
             cache_dir: None,
+            cache_max_bytes: None,
+            slim_policy: false,
             expect_warm: false,
         }
     }
@@ -66,7 +92,7 @@ impl Default for HarnessOptions {
 impl HarnessOptions {
     /// Parses command-line arguments: `--full` (paper-sized), `--scale N`,
     /// `--trojans N`, `--width N`, `--seed N`, `--cache-dir DIR`,
-    /// `--expect-warm`.
+    /// `--cache-max-bytes N[k|m|g]`, `--slim-policy`, `--expect-warm`.
     #[must_use]
     pub fn from_args() -> Self {
         let mut options = Self::default();
@@ -98,6 +124,13 @@ impl HarnessOptions {
                     options.cache_dir = Some(PathBuf::from(&args[i + 1]));
                     i += 1;
                 }
+                "--cache-max-bytes" if i + 1 < args.len() => {
+                    options.cache_max_bytes = deterrent_core::parse_bytes(&args[i + 1]);
+                    i += 1;
+                }
+                "--slim-policy" => {
+                    options.slim_policy = true;
+                }
                 "--expect-warm" => {
                     options.expect_warm = true;
                 }
@@ -108,13 +141,15 @@ impl HarnessOptions {
         options
     }
 
-    /// An artifact store honouring the harness cache-dir knob: disk-backed
-    /// when `--cache-dir` (or `DETERRENT_CACHE_DIR`) names a directory,
-    /// memory-only otherwise.
+    /// An artifact store honouring the harness cache knobs: disk-backed
+    /// when `--cache-dir` (or `DETERRENT_CACHE_DIR`) names a directory —
+    /// bounded per `--cache-max-bytes` / `DETERRENT_CACHE_MAX_BYTES` and
+    /// slimmed per `--slim-policy` — memory-only otherwise.
     #[must_use]
     pub fn store(&self) -> ArtifactStore {
-        match self.deterrent_config().resolved_cache_dir() {
-            Some(dir) => ArtifactStore::with_disk(dir),
+        let config = self.deterrent_config();
+        match config.resolved_cache_dir() {
+            Some(dir) => ArtifactStore::with_disk_policy(dir, config.resolved_cache_policy()),
             None => ArtifactStore::new(),
         }
     }
@@ -144,13 +179,15 @@ impl HarnessOptions {
                 .with_eval_rollouts(48)
                 .with_k_patterns(24)
         };
-        let base = base
+        let mut base = base
             .with_probability_patterns(BenchInstance::ANALYSIS_PATTERNS)
             .with_seed(self.seed);
-        match &self.cache_dir {
-            Some(dir) => base.with_cache_dir(dir.clone()),
-            None => base,
+        if let Some(dir) = &self.cache_dir {
+            base = base.with_cache_dir(dir.clone());
         }
+        base.cache_policy.max_bytes = self.cache_max_bytes;
+        base.cache_policy.slim_policy = self.slim_policy;
+        base
     }
 }
 
@@ -318,17 +355,7 @@ impl BenchInstance {
 /// stage's `misses` counter). The CI cache-reuse gate greps these lines to
 /// prove a warm run recomputed nothing.
 pub fn print_store_summary(store: &ArtifactStore) {
-    let counters = store.counters();
-    match store.disk_dir() {
-        Some(dir) => eprintln!("[store] disk tier at {}", dir.display()),
-        None => eprintln!("[store] memory-only (no --cache-dir)"),
-    }
-    for (stage, c) in counters.stages() {
-        eprintln!(
-            "[store] {stage}: mem_hits={} disk_hits={} computed={} disk_misses={} corrupt={}",
-            c.hits, c.disk_hits, c.misses, c.disk_misses, c.disk_corrupt
-        );
-    }
+    eprint!("{}", store.summary());
 }
 
 /// Asserts every stage of the run was served from the cache — zero

@@ -1,0 +1,182 @@
+//! `deterrent-cache` — inspect and maintain a persistent artifact cache.
+//!
+//! ```text
+//! deterrent-cache stats  [--cache-dir DIR]
+//! deterrent-cache gc     [--cache-dir DIR] [--max-bytes N[k|m|g]] [--per-stage-max N[k|m|g]]
+//! deterrent-cache verify [--cache-dir DIR] [--no-heal]
+//! ```
+//!
+//! The cache directory comes from `--cache-dir`, else the
+//! `DETERRENT_CACHE_DIR` environment variable. `gc` budgets come from the
+//! flags, else `DETERRENT_CACHE_MAX_BYTES`; with no budget at all, `gc`
+//! still prunes corrupt files and orphaned `.lru` sidecars.
+//!
+//! Exit codes — deliberately distinct so CI can gate on them:
+//!
+//! * `0` — clean: every artifact file's header and FNV-1a checksum
+//!   validated (or, for `gc`/`stats`, the operation completed).
+//! * `1` — `verify` found corrupt files. With healing (the default) they
+//!   were deleted and will simply recompute on the next run; `--no-heal`
+//!   only reports them.
+//! * `2` — an I/O error prevented inspecting the cache (unreadable
+//!   directory or file, missing `--cache-dir`/`DETERRENT_CACHE_DIR`, bad
+//!   flags). Corruption was *not* established.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use deterrent_core::cache::{cache_stats, gc, verify, CachePolicy};
+use deterrent_core::{parse_bytes, DeterrentConfig};
+
+struct Args {
+    command: String,
+    cache_dir: Option<PathBuf>,
+    max_bytes: Option<u64>,
+    per_stage_max: Option<u64>,
+    heal: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let argv: Vec<String> = std::env::args().collect();
+    let command = argv
+        .get(1)
+        .filter(|c| ["stats", "gc", "verify"].contains(&c.as_str()))
+        .ok_or("usage: deterrent-cache <stats|gc|verify> [--cache-dir DIR] ...")?
+        .clone();
+    let mut args = Args {
+        command,
+        cache_dir: None,
+        max_bytes: None,
+        per_stage_max: None,
+        heal: true,
+    };
+    let mut i = 2;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--cache-dir" => args.cache_dir = Some(PathBuf::from(value(&mut i)?)),
+            "--max-bytes" => {
+                args.max_bytes = Some(parse_bytes(&value(&mut i)?).ok_or("bad --max-bytes")?);
+            }
+            "--per-stage-max" => {
+                args.per_stage_max =
+                    Some(parse_bytes(&value(&mut i)?).ok_or("bad --per-stage-max")?);
+            }
+            "--no-heal" => args.heal = false,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("deterrent-cache: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(dir) = args.cache_dir.clone().or_else(|| {
+        std::env::var_os(DeterrentConfig::CACHE_DIR_ENV)
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    }) else {
+        eprintln!(
+            "deterrent-cache: no cache directory (--cache-dir or {})",
+            DeterrentConfig::CACHE_DIR_ENV
+        );
+        return ExitCode::from(2);
+    };
+
+    match args.command.as_str() {
+        "stats" => match cache_stats(&dir) {
+            Ok(stats) => {
+                println!("cache {}", dir.display());
+                for usage in stats.stages {
+                    println!(
+                        "  {:<12} {:>6} file(s) {:>12} bytes",
+                        usage.stage.name(),
+                        usage.files,
+                        usage.bytes
+                    );
+                }
+                println!(
+                    "  {:<12} {:>6} file(s) {:>12} bytes",
+                    "total",
+                    stats.total_files(),
+                    stats.total_bytes()
+                );
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("deterrent-cache: stats failed: {e}");
+                ExitCode::from(2)
+            }
+        },
+        "gc" => {
+            let env_budget = std::env::var(DeterrentConfig::CACHE_MAX_BYTES_ENV)
+                .ok()
+                .as_deref()
+                .and_then(parse_bytes);
+            let policy = CachePolicy {
+                max_bytes: args.max_bytes.or(env_budget),
+                per_stage_max: args.per_stage_max,
+                ..CachePolicy::default()
+            };
+            match gc(&dir, &policy) {
+                Ok(report) => {
+                    println!(
+                        "gc {}: evicted {} file(s) ({} bytes), removed {} corrupt, \
+                         {} orphan sidecar(s); {} bytes remain",
+                        dir.display(),
+                        report.evicted_files,
+                        report.evicted_bytes,
+                        report.corrupt_removed,
+                        report.orphan_sidecars_removed,
+                        report.bytes_remaining
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(e) => {
+                    eprintln!("deterrent-cache: gc failed: {e}");
+                    ExitCode::from(2)
+                }
+            }
+        }
+        "verify" => {
+            let report = verify(&dir, args.heal);
+            println!(
+                "verify {}: {} valid, {} corrupt{}",
+                dir.display(),
+                report.valid,
+                report.corrupt.len(),
+                if report.healed && !report.corrupt.is_empty() {
+                    " (healed)"
+                } else {
+                    ""
+                }
+            );
+            for path in &report.corrupt {
+                println!("  corrupt: {}", path.display());
+            }
+            for (path, error) in &report.io_errors {
+                eprintln!("  io error: {}: {error}", path.display());
+            }
+            if !report.io_errors.is_empty() {
+                ExitCode::from(2)
+            } else if !report.corrupt.is_empty() {
+                ExitCode::from(1)
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => unreachable!("validated at parse time"),
+    }
+}

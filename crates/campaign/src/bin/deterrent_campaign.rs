@@ -1,0 +1,225 @@
+//! `deterrent-campaign` — run a netlists × θ × seeds sweep from the CLI.
+//!
+//! The deterministic report (TSV by default, `--format markdown` for a
+//! table) goes to **stdout** — byte-identical at any thread count and
+//! across warm cache restarts, so CI can `cmp` two runs. Progress lines
+//! and the per-stage `[store]` cache counters go to **stderr**.
+//!
+//! Flags:
+//!
+//! | flag | meaning | default |
+//! |---|---|---|
+//! | `--netlists A,B` | benchmark names (see `campaign::profile_by_name`) | `c2670,c5315` |
+//! | `--scale N` | divisor applied to the paper-sized profiles | `20` |
+//! | `--thetas A,B` | rareness thresholds θ | `0.15,0.2` |
+//! | `--seeds A,B` | master pipeline seeds | `1,2` |
+//! | `--episodes N` | PPO episodes per cell | `40` |
+//! | `--threads N` | campaign workers (0 = `DETERRENT_THREADS` / cores) | `0` |
+//! | `--cell-threads N` | session workers inside each cell | `1` |
+//! | `--cache-dir DIR` | persistent cache (else `DETERRENT_CACHE_DIR`) | memory-only |
+//! | `--cache-max-bytes N[k\|m\|g]` | cache budget (else `DETERRENT_CACHE_MAX_BYTES`) | unbounded |
+//! | `--per-stage-max N[k\|m\|g]` | per-stage-directory budget | unbounded |
+//! | `--slim-policy` | slim train-stage artifacts (~3× smaller) | full |
+//! | `--format tsv\|markdown` | report format on stdout | `tsv` |
+//! | `--quiet` | suppress per-cell progress on stderr | off |
+//! | `--expect-warm` | assert every stage was served from the cache | off |
+
+use std::process::ExitCode;
+
+use campaign::{profile_by_name, CampaignPlan, NetlistSpec, SilentProgress, StderrProgress};
+use deterrent_core::{parse_bytes, ArtifactStore, DeterrentConfig};
+use exec::Exec;
+
+struct Args {
+    netlists: Vec<String>,
+    scale: usize,
+    thetas: Vec<f64>,
+    seeds: Vec<u64>,
+    episodes: usize,
+    threads: usize,
+    cell_threads: usize,
+    cache_dir: Option<String>,
+    cache_max_bytes: Option<u64>,
+    per_stage_max: Option<u64>,
+    slim_policy: bool,
+    markdown: bool,
+    quiet: bool,
+    expect_warm: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        Self {
+            netlists: vec!["c2670".into(), "c5315".into()],
+            scale: 20,
+            thetas: vec![0.15, 0.2],
+            seeds: vec![1, 2],
+            episodes: 40,
+            threads: 0,
+            cell_threads: 1,
+            cache_dir: None,
+            cache_max_bytes: None,
+            per_stage_max: None,
+            slim_policy: false,
+            markdown: false,
+            quiet: false,
+            expect_warm: false,
+        }
+    }
+}
+
+fn parse_list<T, F: Fn(&str) -> Option<T>>(raw: &str, parse: F) -> Option<Vec<T>> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect::<Option<Vec<T>>>()
+        .filter(|v| !v.is_empty())
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--netlists" => {
+                args.netlists = parse_list(&value(&mut i)?, |s| {
+                    profile_by_name(s).map(|_| s.to_string())
+                })
+                .ok_or("unknown netlist name (see `campaign::profile_by_name`)")?;
+            }
+            "--scale" => args.scale = value(&mut i)?.parse().map_err(|_| "bad --scale")?,
+            "--thetas" => {
+                args.thetas = parse_list(&value(&mut i)?, |s| s.parse().ok())
+                    .ok_or("bad --thetas (comma-separated floats)")?;
+            }
+            "--seeds" => {
+                args.seeds = parse_list(&value(&mut i)?, |s| s.parse().ok())
+                    .ok_or("bad --seeds (comma-separated integers)")?;
+            }
+            "--episodes" => args.episodes = value(&mut i)?.parse().map_err(|_| "bad --episodes")?,
+            "--threads" => args.threads = value(&mut i)?.parse().map_err(|_| "bad --threads")?,
+            "--cell-threads" => {
+                args.cell_threads = value(&mut i)?.parse().map_err(|_| "bad --cell-threads")?;
+            }
+            "--cache-dir" => args.cache_dir = Some(value(&mut i)?),
+            "--cache-max-bytes" => {
+                args.cache_max_bytes =
+                    Some(parse_bytes(&value(&mut i)?).ok_or("bad --cache-max-bytes")?);
+            }
+            "--per-stage-max" => {
+                args.per_stage_max =
+                    Some(parse_bytes(&value(&mut i)?).ok_or("bad --per-stage-max")?);
+            }
+            "--slim-policy" => args.slim_policy = true,
+            "--format" => {
+                args.markdown = match value(&mut i)?.as_str() {
+                    "tsv" => false,
+                    "markdown" | "md" => true,
+                    _ => return Err("bad --format (tsv|markdown)".into()),
+                };
+            }
+            "--quiet" => args.quiet = true,
+            "--expect-warm" => args.expect_warm = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("deterrent-campaign: {message}");
+            return ExitCode::from(2);
+        }
+    };
+
+    let mut base = if args.scale <= 1 {
+        DeterrentConfig::paper_preset()
+    } else {
+        DeterrentConfig::fast_preset()
+            .with_probability_patterns(4096)
+            .with_eval_rollouts(16)
+            .with_k_patterns(8)
+    }
+    .with_episodes(args.episodes);
+    if let Some(dir) = &args.cache_dir {
+        base = base.with_cache_dir(dir);
+    }
+    if let Some(max_bytes) = args.cache_max_bytes {
+        base = base.with_cache_max_bytes(max_bytes);
+    }
+    base.cache_policy.per_stage_max = args.per_stage_max;
+    base.cache_policy.slim_policy = args.slim_policy;
+
+    // Flag → env → memory-only, exactly like sessions resolve it.
+    let store = match base.resolved_cache_dir() {
+        Some(dir) => ArtifactStore::with_disk_policy(dir, base.resolved_cache_policy()),
+        None => ArtifactStore::new(),
+    };
+
+    let plan = CampaignPlan {
+        netlists: args
+            .netlists
+            .iter()
+            .map(|name| {
+                let profile = profile_by_name(name).expect("validated at parse time");
+                NetlistSpec::new(profile, args.scale, 3)
+            })
+            .collect(),
+        thetas: args.thetas.clone(),
+        seeds: args.seeds.clone(),
+        base,
+        cell_threads: args.cell_threads,
+    };
+    eprintln!(
+        "[campaign] {} cells ({} netlists × {} θ × {} seeds)",
+        plan.len(),
+        plan.netlists.len(),
+        plan.thetas.len(),
+        plan.seeds.len()
+    );
+
+    let exec = Exec::new(args.threads);
+    let report = if args.quiet {
+        plan.run(&store, &exec, &SilentProgress)
+    } else {
+        plan.run(&store, &exec, &StderrProgress)
+    };
+
+    print!(
+        "{}",
+        if args.markdown {
+            report.to_markdown()
+        } else {
+            report.to_tsv()
+        }
+    );
+    eprint!("{}", store.summary());
+
+    if args.expect_warm {
+        let counters = store.counters();
+        if store.disk_dir().is_none() {
+            eprintln!("[campaign] --expect-warm requires --cache-dir (or DETERRENT_CACHE_DIR)");
+            return ExitCode::FAILURE;
+        }
+        if counters.total_misses() != 0 || counters.total_disk_corrupt() != 0 {
+            eprintln!("[campaign] --expect-warm failed: a stage recomputed or hit a corrupt file");
+            return ExitCode::FAILURE;
+        }
+        eprintln!(
+            "[campaign] --expect-warm satisfied: {} disk hit(s), 0 recomputations",
+            counters.total_disk_hits()
+        );
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,501 @@
+//! Campaign sweeps over the DETERRENT pipeline.
+//!
+//! The paper's evaluation is a *campaign*: the same pipeline swept over
+//! many benchmarks, rareness thresholds θ, and seeds (Table 2 runs every
+//! technique over eight designs; TARMAC/TGRL-style coverage harnesses
+//! repeat that per seed). This crate turns the staged
+//! [`deterrent_core::DeterrentSession`] API into exactly that kind of
+//! engine:
+//!
+//! * [`CampaignPlan`] — a grid of [`NetlistSpec`]s × θ × seeds over one
+//!   base [`deterrent_core::DeterrentConfig`], expanded in a deterministic
+//!   order by [`CampaignPlan::cells`].
+//! * [`CampaignPlan::run`] — schedules every cell on the deterministic
+//!   parallel runtime ([`exec::Exec`]), one
+//!   [`deterrent_core::DeterrentSession`] per cell, all sharing one
+//!   (optionally disk-backed and size-bounded) [`ArtifactStore`]. Per-cell
+//!   stage progress streams through a [`ProgressSink`]. The resulting
+//!   [`CampaignReport`] contains only deterministic quantities, so its
+//!   TSV/Markdown rendering is **bit-identical at any thread count** and
+//!   across warm restarts from the cache.
+//! * Binaries: `deterrent-campaign` (run a sweep from the command line)
+//!   and `deterrent-cache` (`stats` / `gc` / `verify` maintenance of a
+//!   cache directory; see the binary sources for flag tables).
+//!
+//! # Example
+//!
+//! ```
+//! use campaign::{CampaignPlan, NetlistSpec};
+//! use deterrent_core::DeterrentConfig;
+//! use netlist::synth::BenchmarkProfile;
+//!
+//! let plan = CampaignPlan {
+//!     netlists: vec![NetlistSpec::new(BenchmarkProfile::c2670(), 20, 1)],
+//!     thetas: vec![0.15, 0.2],
+//!     seeds: vec![1, 2],
+//!     base: DeterrentConfig::fast_preset(),
+//!     cell_threads: 1,
+//! };
+//! // One netlist × two θ × two seeds = four cells, θ-major within a netlist.
+//! let cells = plan.cells();
+//! assert_eq!(cells.len(), 4);
+//! assert_eq!(cells[0].theta, 0.15);
+//! assert_eq!(cells[0].seed, 1);
+//! assert_eq!(cells[3].theta, 0.2);
+//! assert_eq!(cells[3].seed, 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Write as _;
+
+use deterrent_core::{
+    ArtifactStore, DeterrentConfig, DeterrentResult, DeterrentSession, RunObserver, Stage,
+    StageMetrics,
+};
+use exec::Exec;
+use netlist::synth::BenchmarkProfile;
+use netlist::Netlist;
+
+/// One benchmark of a campaign: a synthetic profile, the divisor applied
+/// to its paper-sized gate counts, and the generation seed.
+#[derive(Debug, Clone)]
+pub struct NetlistSpec {
+    /// Display label (the profile's benchmark name).
+    pub label: String,
+    profile: BenchmarkProfile,
+    /// Divisor applied to the profile (1 = paper-sized).
+    pub scale: usize,
+    /// Seed of the deterministic netlist generator.
+    pub netlist_seed: u64,
+}
+
+impl NetlistSpec {
+    /// A spec for `profile` shrunk by `scale` (1 = paper-sized), generated
+    /// with `netlist_seed`.
+    #[must_use]
+    pub fn new(profile: BenchmarkProfile, scale: usize, netlist_seed: u64) -> Self {
+        Self {
+            label: profile.name.clone(),
+            profile,
+            scale,
+            netlist_seed,
+        }
+    }
+
+    /// Generates the netlist (deterministic in the spec).
+    #[must_use]
+    pub fn build(&self) -> Netlist {
+        let profile = if self.scale <= 1 {
+            self.profile.clone()
+        } else {
+            self.profile.scaled(self.scale)
+        };
+        profile.generate(self.netlist_seed)
+    }
+}
+
+/// Looks up a benchmark profile by its lowercase name (`c2670`, `c5315`,
+/// `c6288`, `c7552`, `s13207`, `s15850`, `s35932`, `mips`) — the names the
+/// `deterrent-campaign --netlists` flag accepts.
+#[must_use]
+pub fn profile_by_name(name: &str) -> Option<BenchmarkProfile> {
+    match name {
+        "c2670" => Some(BenchmarkProfile::c2670()),
+        "c5315" => Some(BenchmarkProfile::c5315()),
+        "c6288" => Some(BenchmarkProfile::c6288()),
+        "c7552" => Some(BenchmarkProfile::c7552()),
+        "s13207" => Some(BenchmarkProfile::s13207()),
+        "s15850" => Some(BenchmarkProfile::s15850()),
+        "s35932" => Some(BenchmarkProfile::s35932()),
+        "mips" => Some(BenchmarkProfile::mips()),
+        _ => None,
+    }
+}
+
+/// One cell of the expanded grid: which netlist, θ, and seed to run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignCell {
+    /// Position in [`CampaignPlan::cells`] order (also the report row).
+    pub index: usize,
+    /// Label of the netlist spec.
+    pub netlist: String,
+    /// Index into [`CampaignPlan::netlists`].
+    pub netlist_index: usize,
+    /// Rareness threshold θ of this cell.
+    pub theta: f64,
+    /// Master pipeline seed of this cell.
+    pub seed: u64,
+}
+
+/// A grid of pipeline runs: netlists × θ × seeds over one base config.
+///
+/// [`CampaignPlan::run`] executes the grid on the deterministic parallel
+/// runtime with one shared [`ArtifactStore`], which is where campaigns pay
+/// off: reruns (and overlapping grids) are served from the cache, and a
+/// bounded cache (see [`deterrent_core::CachePolicy`]) keeps long sweeps
+/// from growing the cache dir without limit.
+#[derive(Debug, Clone)]
+pub struct CampaignPlan {
+    /// The benchmarks to sweep.
+    pub netlists: Vec<NetlistSpec>,
+    /// The rareness thresholds θ to sweep.
+    pub thetas: Vec<f64>,
+    /// The master seeds to sweep.
+    pub seeds: Vec<u64>,
+    /// Base configuration of every cell; each cell replaces only θ, the
+    /// seed, and the thread knob.
+    pub base: DeterrentConfig,
+    /// Worker threads of each cell's *session* executor (0 is clamped to
+    /// 1: campaign-level parallelism comes from the campaign executor, so
+    /// cells default to serial sessions and results stay bit-identical
+    /// whichever level the parallelism lives at).
+    pub cell_threads: usize,
+}
+
+impl CampaignPlan {
+    /// Expands the grid in deterministic report order: netlists outermost,
+    /// then θ, then seeds.
+    #[must_use]
+    pub fn cells(&self) -> Vec<CampaignCell> {
+        let mut cells = Vec::with_capacity(self.len());
+        for (netlist_index, spec) in self.netlists.iter().enumerate() {
+            for &theta in &self.thetas {
+                for &seed in &self.seeds {
+                    cells.push(CampaignCell {
+                        index: cells.len(),
+                        netlist: spec.label.clone(),
+                        netlist_index,
+                        theta,
+                        seed,
+                    });
+                }
+            }
+        }
+        cells
+    }
+
+    /// Number of cells in the grid.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.netlists.len() * self.thetas.len() * self.seeds.len()
+    }
+
+    /// `true` when the grid is empty along any axis.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Runs every cell of the grid on `exec`, sharing `store` across all
+    /// sessions, streaming progress to `sink`. The report rows are in
+    /// [`CampaignPlan::cells`] order regardless of which thread ran which
+    /// cell, and contain only deterministic quantities — rendering the
+    /// report is bit-identical at any thread count and across warm
+    /// restarts from a persistent cache.
+    #[must_use]
+    pub fn run(
+        &self,
+        store: &ArtifactStore,
+        exec: &Exec,
+        sink: &dyn ProgressSink,
+    ) -> CampaignReport {
+        let netlists: Vec<Netlist> = self.netlists.iter().map(NetlistSpec::build).collect();
+        let cells = self.cells();
+        let results = exec.par_map(&cells, |_, cell| {
+            sink.cell_started(cell);
+            let config = self
+                .base
+                .clone()
+                .with_threshold(cell.theta)
+                .with_seed(cell.seed)
+                .with_threads(self.cell_threads.max(1));
+            let netlist = &netlists[cell.netlist_index];
+            let mut session = DeterrentSession::with_store(netlist, config, store.clone());
+            session.add_observer(Box::new(CellObserver { sink, cell }));
+            let result = session.run();
+            let row = CellResult::new(cell, netlist, &result);
+            sink.cell_finished(&row);
+            row
+        });
+        CampaignReport { cells: results }
+    }
+}
+
+/// Deterministic outcome of one cell, a row of the [`CampaignReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// The cell that produced this row.
+    pub cell: CampaignCell,
+    /// Logic gates of the (scaled) netlist.
+    pub gates: usize,
+    /// Rare nets found at this cell's θ.
+    pub rare_nets: usize,
+    /// Compatible sets selected (`k` largest distinct).
+    pub sets: usize,
+    /// Test patterns generated.
+    pub patterns: usize,
+    /// Largest compatible set harvested.
+    pub max_compatible_set: usize,
+}
+
+impl CellResult {
+    fn new(cell: &CampaignCell, netlist: &Netlist, result: &DeterrentResult) -> Self {
+        Self {
+            cell: cell.clone(),
+            gates: netlist.num_logic_gates(),
+            rare_nets: result.rare_nets.len(),
+            sets: result.sets.len(),
+            patterns: result.patterns.len(),
+            max_compatible_set: result.metrics.max_compatible_set,
+        }
+    }
+}
+
+/// The collected rows of a campaign, in plan order.
+///
+/// Rows hold only quantities that are bit-identical at any thread count
+/// and across warm cache restarts — no wall clocks, no cache counters —
+/// so [`CampaignReport::to_tsv`] / [`CampaignReport::to_markdown`] output
+/// can be `cmp`-gated in CI. Cache-tier counters belong on stderr (see
+/// [`ArtifactStore::summary`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct CampaignReport {
+    /// One row per cell, in [`CampaignPlan::cells`] order.
+    pub cells: Vec<CellResult>,
+}
+
+impl CampaignReport {
+    const COLUMNS: [&'static str; 8] = [
+        "netlist",
+        "theta",
+        "seed",
+        "gates",
+        "rare_nets",
+        "sets",
+        "patterns",
+        "max_compatible_set",
+    ];
+
+    fn row(r: &CellResult) -> [String; 8] {
+        [
+            r.cell.netlist.clone(),
+            format!("{}", r.cell.theta),
+            format!("{}", r.cell.seed),
+            format!("{}", r.gates),
+            format!("{}", r.rare_nets),
+            format!("{}", r.sets),
+            format!("{}", r.patterns),
+            format!("{}", r.max_compatible_set),
+        ]
+    }
+
+    /// The report as tab-separated values with a header row.
+    #[must_use]
+    pub fn to_tsv(&self) -> String {
+        let mut out = Self::COLUMNS.join("\t");
+        out.push('\n');
+        for r in &self.cells {
+            out.push_str(&Self::row(r).join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The report as a GitHub-flavoured Markdown table.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "| {} |", Self::COLUMNS.join(" | "));
+        let _ = writeln!(out, "|{}", "---|".repeat(Self::COLUMNS.len()));
+        for r in &self.cells {
+            let _ = writeln!(out, "| {} |", Self::row(r).join(" | "));
+        }
+        out
+    }
+}
+
+/// Receiver of campaign progress. Implementations must be [`Sync`]: cells
+/// run on worker threads and report concurrently (events from different
+/// cells interleave; events of one cell arrive in order). Progress is
+/// strictly passive — results are identical with any sink.
+pub trait ProgressSink: Sync {
+    /// A cell is about to run.
+    fn cell_started(&self, cell: &CampaignCell) {
+        let _ = cell;
+    }
+
+    /// A pipeline stage of `cell` finished (cache hits included).
+    fn stage_finished(&self, cell: &CampaignCell, metrics: &StageMetrics) {
+        let _ = (cell, metrics);
+    }
+
+    /// A cell finished with `result`.
+    fn cell_finished(&self, result: &CellResult) {
+        let _ = result;
+    }
+}
+
+/// A [`ProgressSink`] that reports nothing.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SilentProgress;
+
+impl ProgressSink for SilentProgress {}
+
+/// A [`ProgressSink`] printing one stderr line per stage and per cell.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StderrProgress;
+
+impl ProgressSink for StderrProgress {
+    fn cell_started(&self, cell: &CampaignCell) {
+        eprintln!(
+            "[campaign] cell {} start: {} θ={} seed={}",
+            cell.index, cell.netlist, cell.theta, cell.seed
+        );
+    }
+
+    fn stage_finished(&self, cell: &CampaignCell, metrics: &StageMetrics) {
+        eprintln!(
+            "[campaign] cell {} {}: {} in {:.3}s",
+            cell.index,
+            metrics.stage,
+            if metrics.cache_hit {
+                "warm"
+            } else {
+                "computed"
+            },
+            metrics.wall_seconds
+        );
+    }
+
+    fn cell_finished(&self, result: &CellResult) {
+        eprintln!(
+            "[campaign] cell {} done: {} rare nets, {} sets, {} patterns",
+            result.cell.index, result.rare_nets, result.sets, result.patterns
+        );
+    }
+}
+
+/// Forwards one session's [`RunObserver`] events to the campaign's
+/// [`ProgressSink`], tagged with the cell.
+struct CellObserver<'s> {
+    sink: &'s dyn ProgressSink,
+    cell: &'s CampaignCell,
+}
+
+impl RunObserver for CellObserver<'_> {
+    fn stage_started(&mut self, _stage: Stage) {}
+
+    fn stage_finished(&mut self, metrics: &StageMetrics) {
+        self.sink.stage_finished(self.cell, metrics);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_plan() -> CampaignPlan {
+        CampaignPlan {
+            netlists: vec![
+                NetlistSpec::new(BenchmarkProfile::c2670(), 25, 3),
+                NetlistSpec::new(BenchmarkProfile::c5315(), 30, 3),
+            ],
+            thetas: vec![0.18, 0.22],
+            seeds: vec![7, 8],
+            base: DeterrentConfig::fast_preset()
+                .with_probability_patterns(1024)
+                .with_episodes(12)
+                .with_eval_rollouts(4)
+                .with_k_patterns(4),
+            cell_threads: 1,
+        }
+    }
+
+    #[test]
+    fn cells_expand_in_deterministic_order() {
+        let plan = tiny_plan();
+        let cells = plan.cells();
+        assert_eq!(cells.len(), plan.len());
+        assert_eq!(cells.len(), 8);
+        assert_eq!(cells[0].netlist, "c2670");
+        assert_eq!((cells[0].theta, cells[0].seed), (0.18, 7));
+        assert_eq!((cells[1].theta, cells[1].seed), (0.18, 8));
+        assert_eq!((cells[2].theta, cells[2].seed), (0.22, 7));
+        assert_eq!(cells[7].netlist, "c5315");
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+    }
+
+    #[test]
+    fn report_is_bit_identical_at_any_thread_count() {
+        let plan = tiny_plan();
+        let serial = plan.run(&ArtifactStore::new(), &Exec::new(1), &SilentProgress);
+        let parallel = plan.run(&ArtifactStore::new(), &Exec::new(4), &SilentProgress);
+        assert_eq!(serial, parallel);
+        assert_eq!(serial.to_tsv(), parallel.to_tsv());
+        assert_eq!(serial.to_markdown(), parallel.to_markdown());
+        assert_eq!(serial.cells.len(), 8);
+    }
+
+    #[test]
+    fn shared_store_makes_reruns_warm() {
+        let plan = tiny_plan();
+        let store = ArtifactStore::new();
+        let exec = Exec::new(1);
+        let cold = plan.run(&store, &exec, &SilentProgress);
+        let misses_after_cold = store.counters().total_misses();
+        assert!(misses_after_cold > 0);
+        let warm = plan.run(&store, &exec, &SilentProgress);
+        assert_eq!(cold, warm, "warm rerun must reproduce the report");
+        assert_eq!(
+            store.counters().total_misses(),
+            misses_after_cold,
+            "the rerun must not compute anything new"
+        );
+    }
+
+    #[test]
+    fn progress_reaches_the_sink() {
+        use std::sync::Mutex;
+
+        #[derive(Default)]
+        struct Counting {
+            started: Mutex<usize>,
+            stages: Mutex<usize>,
+            finished: Mutex<usize>,
+        }
+        impl ProgressSink for Counting {
+            fn cell_started(&self, _cell: &CampaignCell) {
+                *self.started.lock().unwrap() += 1;
+            }
+            fn stage_finished(&self, _cell: &CampaignCell, _metrics: &StageMetrics) {
+                *self.stages.lock().unwrap() += 1;
+            }
+            fn cell_finished(&self, _result: &CellResult) {
+                *self.finished.lock().unwrap() += 1;
+            }
+        }
+
+        let mut plan = tiny_plan();
+        plan.netlists.truncate(1);
+        plan.thetas.truncate(1);
+        let sink = Counting::default();
+        let _ = plan.run(&ArtifactStore::new(), &Exec::new(2), &sink);
+        assert_eq!(*sink.started.lock().unwrap(), 2);
+        assert_eq!(*sink.finished.lock().unwrap(), 2);
+        // Five stages per cell (empty-graph cells emit fewer; θ=0.18 on
+        // c2670/25 finds rare nets, so all five run).
+        assert!(*sink.stages.lock().unwrap() >= 2 * 2);
+    }
+
+    #[test]
+    fn profiles_resolve_by_name() {
+        for name in [
+            "c2670", "c5315", "c6288", "c7552", "s13207", "s15850", "s35932", "mips",
+        ] {
+            assert!(profile_by_name(name).is_some(), "{name}");
+        }
+        assert!(profile_by_name("b17").is_none());
+    }
+}

@@ -42,8 +42,8 @@ use sim::{PatternSource, TestPattern};
 
 use crate::codec::{self, DiskLookup, DiskStage, DiskStore};
 use crate::{
-    AnalysisConfig, CompatConfig, CompatibilityGraph, EnumerationBudget, PatternGenStats,
-    RareNetSet, SelectConfig, Stage, TrainConfig,
+    AnalysisConfig, CachePolicy, CompatConfig, CompatibilityGraph, EnumerationBudget,
+    PatternGenStats, RareNetSet, SelectConfig, Stage, TrainConfig,
 };
 
 // ───────────────────────── fingerprinting ─────────────────────────
@@ -641,7 +641,7 @@ macro_rules! stage_cache {
         pub(crate) fn $insert(&self, artifact: &$artifact) {
             self.lock().$map.insert(artifact.key, artifact.clone());
             if let Some(disk) = &self.disk {
-                disk.store($stage, artifact.key, &$encode(artifact));
+                disk.store($stage, artifact.key, &$encode(artifact, disk.slim_policy()));
             }
         }
     };
@@ -655,13 +655,24 @@ impl ArtifactStore {
     }
 
     /// A store backed by the persistent disk tier at `cache_dir` (created
-    /// on first write). Artifacts already on disk — from earlier runs or
-    /// other processes — are served without recomputation.
+    /// on first write), with the default unbounded [`CachePolicy`].
+    /// Artifacts already on disk — from earlier runs or other processes —
+    /// are served without recomputation.
     #[must_use]
     pub fn with_disk(cache_dir: impl Into<PathBuf>) -> Self {
+        Self::with_disk_policy(cache_dir, CachePolicy::default())
+    }
+
+    /// Like [`ArtifactStore::with_disk`], but with an explicit
+    /// [`CachePolicy`]: size budgets are enforced (LRU-first) after every
+    /// insert, and `slim_policy` switches train-stage artifacts to the slim
+    /// codec variant. Policies never affect results — only which lookups
+    /// are served warm — so they are excluded from every cache key.
+    #[must_use]
+    pub fn with_disk_policy(cache_dir: impl Into<PathBuf>, policy: CachePolicy) -> Self {
         Self {
             inner: Arc::default(),
-            disk: Some(Arc::new(DiskStore::new(cache_dir.into()))),
+            disk: Some(Arc::new(DiskStore::new(cache_dir.into(), policy))),
         }
     }
 
@@ -669,6 +680,38 @@ impl ArtifactStore {
     #[must_use]
     pub fn disk_dir(&self) -> Option<&Path> {
         self.disk.as_deref().map(DiskStore::root)
+    }
+
+    /// The per-stage counters rendered as the stable, machine-greppable
+    /// `[store]` summary lines the bench and campaign binaries print to
+    /// stderr (one line for the disk tier location, then one per stage):
+    ///
+    /// ```text
+    /// [store] analyze: mem_hits=2 disk_hits=1 computed=0 disk_misses=0 corrupt=0
+    /// ```
+    ///
+    /// `computed` is the number of lookups no cache tier could serve (the
+    /// stage's `misses` counter). CI gates grep these lines to prove a warm
+    /// run recomputed nothing.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        use std::fmt::Write as _;
+        let counters = self.counters();
+        let mut out = String::new();
+        match self.disk_dir() {
+            Some(dir) => {
+                let _ = writeln!(out, "[store] disk tier at {}", dir.display());
+            }
+            None => out.push_str("[store] memory-only (no cache dir)\n"),
+        }
+        for (stage, c) in counters.stages() {
+            let _ = writeln!(
+                out,
+                "[store] {stage}: mem_hits={} disk_hits={} computed={} disk_misses={} corrupt={}",
+                c.hits, c.disk_hits, c.misses, c.disk_misses, c.disk_corrupt
+            );
+        }
+        out
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, StoreInner> {

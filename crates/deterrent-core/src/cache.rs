@@ -1,0 +1,414 @@
+//! Cache budgets, LRU eviction, and offline maintenance of the disk tier.
+//!
+//! PR 4's persistent artifact cache grew without bound: every distinct key
+//! writes a file and nothing ever deletes one. This module makes the disk
+//! tier *self-maintaining*:
+//!
+//! * [`CachePolicy`] — a size budget ([`CachePolicy::max_bytes`] for the
+//!   whole cache, [`CachePolicy::per_stage_max`] per stage directory)
+//!   enforced **on every insert**, plus the [`CachePolicy::slim_policy`]
+//!   knob that switches train-stage artifacts to the slim codec variant
+//!   (see the `codec` module docs for the on-disk formats).
+//! * LRU ordering by an explicit **access-stamp sidecar** (`<key>.lru`
+//!   next to each `<key>.dtc`), *not* by file `atime` — CI runners and
+//!   many production mounts are `noatime`, so access times cannot be
+//!   trusted. Sidecar stamps are written on insert and on every disk hit,
+//!   and are monotonic within a process (wall-clock nanoseconds fused with
+//!   an atomic counter), so stores in different processes sharing one
+//!   directory still agree on recency to wall-clock precision.
+//! * An eviction guarantee: an artifact **read by the current process is
+//!   never evicted by that process** (the store pins every disk hit), so a
+//!   long campaign can re-open artifacts it already used without them
+//!   vanishing mid-run. Freshly *inserted* artifacts are evictable — they
+//!   are already in the memory tier, so deleting the file costs nothing
+//!   until the next process.
+//! * Offline maintenance entry points used by the `deterrent-cache` CLI:
+//!   [`cache_stats`] (per-stage file counts and bytes), [`gc`] (prune
+//!   corrupt files, orphan sidecars, and over-budget artifacts), and
+//!   [`verify`] (validate every file's header + checksum, optionally
+//!   healing by deletion, with I/O errors reported separately from
+//!   corruption so CI can gate on the distinction).
+//!
+//! Budgets never affect results — only which lookups are served warm. The
+//! [`crate::DeterrentConfig::cache_policy`] knob and the
+//! `DETERRENT_CACHE_MAX_BYTES` environment variable (see
+//! [`crate::DeterrentConfig::resolved_cache_policy`]) configure the policy
+//! for sessions; [`crate::ArtifactStore::with_disk_policy`] sets it
+//! directly.
+//!
+//! # Choosing between the two budgets
+//!
+//! A *global* budget smaller than a campaign's whole working set hits the
+//! classic **LRU scan anomaly** on reruns: a cyclic rescan evicts every
+//! artifact just before it is needed, so the second sweep runs cold even
+//! though it stays under budget (output is still byte-identical — budgets
+//! never change results, only wall clock). When the goal is "keep the
+//! cheap stages warm and shed the expensive ones", use
+//! [`CachePolicy::per_stage_max`]: train-stage files are ~4× the other
+//! four stages combined, so a cap that only the `train/` directory
+//! exceeds retains analyze/graph/select/generate in full across reruns
+//! and confines recomputation (and the anomaly) to the train stage. The
+//! CI bounded-cache gate does exactly this. Use `max_bytes` as the hard
+//! disk ceiling, `per_stage_max` as the retention shaper, and
+//! [`CachePolicy::slim_policy`] to make each train file ~3× cheaper
+//! before any eviction is needed.
+
+use std::collections::HashSet;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+use crate::codec::{self, CacheEntry, DiskStage};
+use crate::Stage;
+
+/// How over-budget artifacts are chosen for eviction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum Eviction {
+    /// Least-recently-used first, by sidecar access stamp (ties broken by
+    /// stage and key so eviction order is deterministic).
+    #[default]
+    Lru,
+}
+
+/// Size budget and codec options of the persistent disk tier.
+///
+/// The default policy is unbounded (both budgets `None`) with the full
+/// policy codec — exactly PR 4's behaviour. Budgets are enforced on every
+/// insert: after writing a new artifact the store evicts
+/// least-recently-used files (skipping any artifact this process has read)
+/// until the cache fits. A policy never changes results, only what is
+/// served warm, so it is excluded from every cache key.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CachePolicy {
+    /// Maximum total bytes of the cache directory (artifact files plus
+    /// their sidecars), or `None` for unbounded.
+    pub max_bytes: Option<u64>,
+    /// Maximum bytes per stage directory, applied before the global
+    /// budget. Useful because train-stage artifacts dominate (roughly 4× the
+    /// other four stages combined at fast-preset scale).
+    pub per_stage_max: Option<u64>,
+    /// Eviction order among over-budget artifacts.
+    pub eviction: Eviction,
+    /// Write train-stage artifacts with the slim codec variant: Adam
+    /// optimizer moments dropped and the loss history truncated to its most
+    /// recent entries, shrinking policy files roughly 3×. Greedy/frozen
+    /// rollouts from a slim artifact are bit-identical to full ones; the
+    /// only observable difference is that a warm run's
+    /// [`crate::TrainingMetrics::loss_history`] holds at most
+    /// [`crate::SLIM_LOSS_KEEP`] entries. Default `false` (full
+    /// fidelity).
+    pub slim_policy: bool,
+}
+
+impl CachePolicy {
+    /// An unbounded policy with the full codec (the default).
+    #[must_use]
+    pub fn unbounded() -> Self {
+        Self::default()
+    }
+
+    /// A policy bounding the whole cache at `max_bytes`.
+    #[must_use]
+    pub fn with_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.max_bytes = Some(max_bytes);
+        self
+    }
+
+    /// Returns a copy bounding every stage directory at `per_stage_max`.
+    #[must_use]
+    pub fn with_per_stage_max(mut self, per_stage_max: u64) -> Self {
+        self.per_stage_max = Some(per_stage_max);
+        self
+    }
+
+    /// Returns a copy with the slim train-stage codec toggled.
+    #[must_use]
+    pub fn with_slim_policy(mut self, slim: bool) -> Self {
+        self.slim_policy = slim;
+        self
+    }
+
+    /// `true` when neither budget is set (no insert-time eviction runs).
+    #[must_use]
+    pub fn is_unbounded(&self) -> bool {
+        self.max_bytes.is_none() && self.per_stage_max.is_none()
+    }
+}
+
+/// Parses a human-friendly byte count: a plain integer, or one with a
+/// `k`/`m`/`g` suffix (powers of 1024, case-insensitive). Used by the
+/// `--cache-max-bytes` CLI flags and the `DETERRENT_CACHE_MAX_BYTES`
+/// environment variable.
+///
+/// ```
+/// use deterrent_core::parse_bytes;
+/// assert_eq!(parse_bytes("65536"), Some(65536));
+/// assert_eq!(parse_bytes("64k"), Some(64 * 1024));
+/// assert_eq!(parse_bytes("2M"), Some(2 * 1024 * 1024));
+/// assert_eq!(parse_bytes("1g"), Some(1024 * 1024 * 1024));
+/// assert_eq!(parse_bytes("nope"), None);
+/// ```
+#[must_use]
+pub fn parse_bytes(s: &str) -> Option<u64> {
+    let s = s.trim();
+    let (digits, multiplier) = match s.as_bytes().last()? {
+        b'k' | b'K' => (&s[..s.len() - 1], 1024u64),
+        b'm' | b'M' => (&s[..s.len() - 1], 1024 * 1024),
+        b'g' | b'G' => (&s[..s.len() - 1], 1024 * 1024 * 1024),
+        _ => (s, 1),
+    };
+    digits
+        .parse::<u64>()
+        .ok()
+        .and_then(|n| n.checked_mul(multiplier))
+}
+
+/// Disk usage of one stage directory, reported by [`cache_stats`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageUsage {
+    /// Which stage.
+    pub stage: Stage,
+    /// Number of artifact files.
+    pub files: u64,
+    /// Bytes of artifact files plus their access-stamp sidecars.
+    pub bytes: u64,
+}
+
+/// Disk usage of a cache directory, per stage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Per-stage usage, in pipeline order.
+    pub stages: [StageUsage; 5],
+}
+
+impl CacheStats {
+    /// Total artifact files across all stages.
+    #[must_use]
+    pub fn total_files(&self) -> u64 {
+        self.stages.iter().map(|s| s.files).sum()
+    }
+
+    /// Total bytes (artifacts + sidecars) across all stages.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.stages.iter().map(|s| s.bytes).sum()
+    }
+}
+
+/// Measures the disk usage of the cache at `root`, per stage. A missing
+/// directory (nothing cached yet) reports zeroes; unreadable directories
+/// are an error.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while listing the stage directories.
+pub fn cache_stats(root: &Path) -> io::Result<CacheStats> {
+    let entries = codec::scan_entries(root)?;
+    let mut stages = DiskStage::ALL.map(|stage| StageUsage {
+        stage: stage.stage(),
+        files: 0,
+        bytes: 0,
+    });
+    for entry in &entries {
+        let slot = &mut stages[entry.stage.index()];
+        slot.files += 1;
+        slot.bytes += entry.bytes;
+    }
+    Ok(CacheStats { stages })
+}
+
+/// What [`gc`] did.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct GcReport {
+    /// Artifacts evicted to fit the policy budgets (LRU first).
+    pub evicted_files: u64,
+    /// Bytes freed by budget eviction.
+    pub evicted_bytes: u64,
+    /// Corrupt or unreadable artifact files removed.
+    pub corrupt_removed: u64,
+    /// Access-stamp sidecars whose artifact no longer exists, removed.
+    pub orphan_sidecars_removed: u64,
+    /// Bytes remaining in the cache after the sweep.
+    pub bytes_remaining: u64,
+}
+
+/// Garbage-collects the cache at `root`: removes corrupt artifact files
+/// (bad header, version, key, or checksum), deletes orphaned sidecars, and
+/// then evicts least-recently-used artifacts until the cache fits
+/// `policy`'s budgets. Nothing is pinned — offline gc assumes no run is in
+/// flight; the in-process insert-time enforcement is what protects a live
+/// run's working set.
+///
+/// # Errors
+///
+/// Returns any I/O error encountered while listing the stage directories
+/// (individual unreadable files are treated as corrupt, not errors).
+pub fn gc(root: &Path, policy: &CachePolicy) -> io::Result<GcReport> {
+    let mut report = GcReport::default();
+    let mut entries = codec::scan_entries(root)?;
+
+    // Remove corrupt artifacts (validate header + checksum in full).
+    entries.retain(|entry| {
+        if codec::validate_file(&entry.artifact, entry.stage, entry.key) {
+            true
+        } else {
+            remove_entry(entry);
+            report.corrupt_removed += 1;
+            false
+        }
+    });
+
+    report.orphan_sidecars_removed = remove_orphan_sidecars(root)?;
+
+    let evict = codec::plan_evictions(&entries, policy, &HashSet::new());
+    for index in evict {
+        let entry = &entries[index];
+        remove_entry(entry);
+        report.evicted_files += 1;
+        report.evicted_bytes += entry.bytes;
+    }
+    report.bytes_remaining = cache_stats(root)?.total_bytes();
+    Ok(report)
+}
+
+/// What [`verify`] found. `is_clean` / exit-code mapping: corruption and
+/// I/O errors are deliberately separate so callers (the `deterrent-cache
+/// verify` CLI, CI gates) can distinguish "the cache had bad files, which
+/// were healed and will simply recompute" from "the cache could not be
+/// inspected at all".
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct VerifyReport {
+    /// Artifact files whose header and checksum validated.
+    pub valid: u64,
+    /// Artifact files that failed validation (and were deleted when
+    /// healing).
+    pub corrupt: Vec<PathBuf>,
+    /// Whether corrupt files were deleted (`heal` was set).
+    pub healed: bool,
+    /// Paths that could not be inspected, with the error text.
+    pub io_errors: Vec<(PathBuf, String)>,
+}
+
+impl VerifyReport {
+    /// `true` when every file validated and every directory was readable.
+    #[must_use]
+    pub fn is_clean(&self) -> bool {
+        self.corrupt.is_empty() && self.io_errors.is_empty()
+    }
+}
+
+/// Verifies every artifact file under `root` against the codec's header
+/// and FNV-1a payload checksum. With `heal`, corrupt files are deleted (the
+/// next run recomputes them); without it they are only reported. I/O
+/// errors (unreadable directories or files) are collected in
+/// [`VerifyReport::io_errors`], never conflated with corruption.
+#[must_use]
+pub fn verify(root: &Path, heal: bool) -> VerifyReport {
+    let mut report = VerifyReport {
+        healed: heal,
+        ..VerifyReport::default()
+    };
+    let entries = match codec::scan_entries(root) {
+        Ok(entries) => entries,
+        Err(e) => {
+            report.io_errors.push((root.to_path_buf(), e.to_string()));
+            return report;
+        }
+    };
+    for entry in &entries {
+        match fs::read(&entry.artifact) {
+            Ok(bytes) => {
+                if codec::validate_bytes(&bytes, entry.stage, entry.key) {
+                    report.valid += 1;
+                } else {
+                    if heal {
+                        remove_entry(entry);
+                    }
+                    report.corrupt.push(entry.artifact.clone());
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {
+                // Raced with an eviction or concurrent writer; not an error.
+            }
+            Err(e) => {
+                report
+                    .io_errors
+                    .push((entry.artifact.clone(), e.to_string()));
+            }
+        }
+    }
+    report
+}
+
+fn remove_entry(entry: &CacheEntry) {
+    let _ = fs::remove_file(&entry.artifact);
+    let _ = fs::remove_file(&entry.sidecar);
+}
+
+fn remove_orphan_sidecars(root: &Path) -> io::Result<u64> {
+    let mut removed = 0;
+    for stage in DiskStage::ALL {
+        let dir = root.join(stage.dir());
+        let listing = match fs::read_dir(&dir) {
+            Ok(listing) => listing,
+            Err(e) if e.kind() == io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        for item in listing.flatten() {
+            let path = item.path();
+            if path.extension().and_then(|e| e.to_str()) == Some(codec::SIDECAR_EXT)
+                && !path.with_extension(codec::FILE_EXT).exists()
+            {
+                let _ = fs::remove_file(&path);
+                removed += 1;
+            }
+        }
+    }
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_bytes_handles_suffixes_and_rejects_garbage() {
+        assert_eq!(parse_bytes(" 42 "), Some(42));
+        assert_eq!(parse_bytes("1K"), Some(1024));
+        assert_eq!(parse_bytes("3m"), Some(3 << 20));
+        assert_eq!(parse_bytes("2G"), Some(2 << 30));
+        assert_eq!(parse_bytes(""), None);
+        assert_eq!(parse_bytes("k"), None);
+        assert_eq!(parse_bytes("12q"), None);
+        assert_eq!(parse_bytes("-5"), None);
+    }
+
+    #[test]
+    fn policy_builders_compose() {
+        let policy = CachePolicy::unbounded()
+            .with_max_bytes(1 << 20)
+            .with_per_stage_max(1 << 18)
+            .with_slim_policy(true);
+        assert_eq!(policy.max_bytes, Some(1 << 20));
+        assert_eq!(policy.per_stage_max, Some(1 << 18));
+        assert!(policy.slim_policy);
+        assert!(!policy.is_unbounded());
+        assert!(CachePolicy::default().is_unbounded());
+    }
+
+    #[test]
+    fn stats_of_missing_root_are_zero() {
+        let stats = cache_stats(Path::new("/definitely/not/a/real/dir")).expect("missing is ok");
+        assert_eq!(stats.total_files(), 0);
+        assert_eq!(stats.total_bytes(), 0);
+        assert_eq!(stats.stages.len(), 5);
+    }
+
+    #[test]
+    fn verify_of_missing_root_is_clean() {
+        let report = verify(Path::new("/definitely/not/a/real/dir"), true);
+        assert!(report.is_clean());
+        assert_eq!(report.valid, 0);
+    }
+}

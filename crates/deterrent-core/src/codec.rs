@@ -28,7 +28,52 @@
 //! version, stage tag, key, length, or checksum does not match — or whose
 //! payload fails structural validation — is treated exactly like a missing
 //! file: the stage recomputes and the file is overwritten. Corruption is
-//! counted per stage in [`crate::StageCounters::disk_corrupt`].
+//! counted per stage in [`crate::StageCounters::disk_corrupt`]. The format
+//! version is bumped on **any** observable layout change, including new
+//! payload variants: version 1 was PR 4's initial format; version 2 added
+//! the train-stage payload variant tag (full vs slim, below). Bumping the
+//! version is always safe — old caches silently recompute — so when in
+//! doubt, bump.
+//!
+//! # Train-stage payload variants
+//!
+//! Since format version 2 the train-stage payload begins with a one-byte
+//! variant tag:
+//!
+//! * `0` — **full**: the complete [`PolicySnapshot`] (both networks, both
+//!   Adam moment vectors, the whole loss history) plus the training
+//!   report and harvest. Byte-for-byte fidelity on warm runs.
+//! * `1` — **slim** (written when [`crate::CachePolicy::slim_policy`] is
+//!   set): the Adam moment vectors are omitted (restored as zeroes — they
+//!   only matter for *continuing* training, which cached artifacts never
+//!   do) and the loss history is truncated to its most recent
+//!   [`SLIM_LOSS_KEEP`] entries. This shrinks train-stage files roughly
+//!   3×. Greedy/frozen rollouts from a slim artifact are bit-identical to
+//!   full ones; the only observable difference is a truncated
+//!   [`crate::TrainingMetrics::loss_history`] on warm runs.
+//!
+//! Both variants decode transparently regardless of the store's current
+//! policy, so one cache directory can mix them.
+//!
+//! # Access-stamp sidecars and eviction
+//!
+//! Next to each artifact file the store maintains a tiny sidecar
+//! `<key:016x>.lru` holding a single little-endian `u64` access stamp,
+//! rewritten (atomically, same temp-file + rename protocol) on insert and
+//! on every disk hit. Stamps are wall-clock nanoseconds fused with a
+//! process-wide monotonic counter, so they strictly increase within a
+//! process and order across processes to wall-clock precision. LRU
+//! eviction reads these sidecars — **not** file `atime`, which `noatime`
+//! mounts (most CI runners) never update. A missing or unreadable sidecar
+//! orders the artifact oldest (evicted first). Sidecar bytes count toward
+//! the budgets; corrupt sidecars never invalidate the artifact itself.
+//!
+//! When a [`crate::CachePolicy`] sets a budget, every insert enforces it:
+//! the store scans the cache directory, applies the per-stage budget, then
+//! the global one, deleting least-recently-stamped artifacts (with their
+//! sidecars) until the cache fits. Artifacts this process has *read* are
+//! pinned and never evicted by it (see [`crate::cache`]); freshly inserted
+//! artifacts are fair game — they are already in the memory tier.
 
 use std::fs;
 use std::io::Write as _;
@@ -51,13 +96,21 @@ use crate::{CompatStats, CompatibilityGraph, PatternGenStats, PolicyArtifact};
 const MAGIC: [u8; 8] = *b"DTRNTC\x01\n";
 
 /// Bumped whenever any payload layout changes; old files then read as
-/// corrupt and are silently recomputed.
-pub(crate) const FORMAT_VERSION: u32 = 1;
+/// corrupt and are silently recomputed. Version 2 introduced the
+/// train-stage payload variant tag (full vs slim).
+pub(crate) const FORMAT_VERSION: u32 = 2;
 
 const HEADER_LEN: usize = 40;
 
 /// File extension of on-disk artifacts.
 pub(crate) const FILE_EXT: &str = "dtc";
+
+/// File extension of the access-stamp sidecars driving LRU eviction.
+pub(crate) const SIDECAR_EXT: &str = "lru";
+
+/// How many of the most recent loss-history entries the slim train-stage
+/// payload variant retains (the older tail is dropped on encode).
+pub const SLIM_LOSS_KEEP: usize = 8;
 
 /// The five cacheable stages, as stored in file headers and directory names.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -70,6 +123,15 @@ pub(crate) enum DiskStage {
 }
 
 impl DiskStage {
+    /// All stages, in pipeline (and directory-scan) order.
+    pub(crate) const ALL: [DiskStage; 5] = [
+        Self::Analyze,
+        Self::Graph,
+        Self::Train,
+        Self::Select,
+        Self::Generate,
+    ];
+
     fn tag(self) -> u32 {
         match self {
             Self::Analyze => 1,
@@ -77,6 +139,22 @@ impl DiskStage {
             Self::Train => 3,
             Self::Select => 4,
             Self::Generate => 5,
+        }
+    }
+
+    /// Position in [`DiskStage::ALL`] / pipeline order.
+    pub(crate) fn index(self) -> usize {
+        self.tag() as usize - 1
+    }
+
+    /// The public stage enum this disk stage persists.
+    pub(crate) fn stage(self) -> crate::Stage {
+        match self {
+            Self::Analyze => crate::Stage::Analyze,
+            Self::Graph => crate::Stage::BuildGraph,
+            Self::Train => crate::Stage::Train,
+            Self::Select => crate::Stage::Select,
+            Self::Generate => crate::Stage::Generate,
         }
     }
 
@@ -457,7 +535,7 @@ fn mlp_params(layer_sizes: &[usize]) -> Decode<usize> {
 
 // ───────────────────────── payload codecs ─────────────────────────
 
-pub(crate) fn encode_rare(artifact: &RareArtifact) -> Vec<u8> {
+pub(crate) fn encode_rare(artifact: &RareArtifact, _slim: bool) -> Vec<u8> {
     let analysis = artifact.analysis();
     let mut w = Writer::new();
     w.f64(analysis.threshold());
@@ -525,7 +603,7 @@ fn r_stats(r: &mut Reader<'_>) -> Decode<CompatStats> {
     })
 }
 
-pub(crate) fn encode_graph(artifact: &GraphArtifact) -> Vec<u8> {
+pub(crate) fn encode_graph(artifact: &GraphArtifact, _slim: bool) -> Vec<u8> {
     let graph = artifact.graph();
     let mut w = Writer::new();
     w.f64(artifact.rareness_threshold());
@@ -590,10 +668,23 @@ fn r_ppo_config(r: &mut Reader<'_>) -> Decode<PpoConfig> {
     })
 }
 
-pub(crate) fn encode_policy(artifact: &PolicyArtifact) -> Vec<u8> {
+/// Train-stage payload variant tags (format version ≥ 2).
+const POLICY_VARIANT_FULL: u8 = 0;
+const POLICY_VARIANT_SLIM: u8 = 1;
+
+pub(crate) fn encode_policy(artifact: &PolicyArtifact, slim: bool) -> Vec<u8> {
     let trained = artifact.policy();
-    let snapshot = trained.trainer.snapshot();
+    let snapshot = if slim {
+        trained.trainer.snapshot().slimmed(SLIM_LOSS_KEEP)
+    } else {
+        trained.trainer.snapshot()
+    };
     let mut w = Writer::new();
+    w.u8(if slim {
+        POLICY_VARIANT_SLIM
+    } else {
+        POLICY_VARIANT_FULL
+    });
     w_ppo_config(&mut w, &snapshot.config);
     w.usize(snapshot.num_actions);
     w.u64(snapshot.total_steps);
@@ -601,13 +692,21 @@ pub(crate) fn encode_policy(artifact: &PolicyArtifact) -> Vec<u8> {
     w_losses(&mut w, &snapshot.loss_history);
     w.usize_slice(&snapshot.policy_layer_sizes);
     w.f64_slice(&snapshot.policy_params);
-    w_adam(&mut w, &snapshot.policy_opt);
+    w_adam_variant(&mut w, &snapshot.policy_opt, slim);
     w.usize_slice(&snapshot.value_layer_sizes);
     w.f64_slice(&snapshot.value_params);
-    w_adam(&mut w, &snapshot.value_opt);
+    w_adam_variant(&mut w, &snapshot.value_opt, slim);
     w.f64_slice(&trained.report.episode_rewards);
     w.usize_slice(&trained.report.episode_lengths);
-    w_losses(&mut w, &trained.report.losses);
+    if slim {
+        let keep = trained.report.losses.len().min(SLIM_LOSS_KEEP);
+        w_losses(
+            &mut w,
+            &trained.report.losses[trained.report.losses.len() - keep..],
+        );
+    } else {
+        w_losses(&mut w, &trained.report.losses);
+    }
     w.f64(trained.report.wall_seconds);
     w_sets(&mut w, &trained.harvested_sets);
     w.u64(trained.env_sat_checks);
@@ -616,8 +715,33 @@ pub(crate) fn encode_policy(artifact: &PolicyArtifact) -> Vec<u8> {
     w.finish()
 }
 
+/// Slim payloads persist only the Adam learning rate and step counter; the
+/// moment vectors are restored as zeroes (they only matter for continuing
+/// training, which cached artifacts never do).
+fn w_adam_variant(w: &mut Writer, adam: &AdamSnapshot, slim: bool) {
+    if slim {
+        w.f64(adam.learning_rate);
+        w.u64(adam.steps);
+    } else {
+        w_adam(w, adam);
+    }
+}
+
+fn r_adam_variant(r: &mut Reader<'_>, num_params: usize, slim: bool) -> Decode<AdamSnapshot> {
+    if slim {
+        Ok(AdamSnapshot::zeroed(r.f64()?, num_params, r.u64()?))
+    } else {
+        r_adam(r, num_params)
+    }
+}
+
 pub(crate) fn decode_policy(key: u64, payload: &[u8]) -> Decode<PolicyArtifact> {
     let mut r = Reader::new(payload);
+    let slim = match r.u8()? {
+        POLICY_VARIANT_FULL => false,
+        POLICY_VARIANT_SLIM => true,
+        _ => return Err(DecodeError::Malformed("policy variant tag")),
+    };
     let config = r_ppo_config(&mut r)?;
     let num_actions = r.usize()?;
     if num_actions == 0 {
@@ -632,14 +756,14 @@ pub(crate) fn decode_policy(key: u64, payload: &[u8]) -> Decode<PolicyArtifact> 
     if policy_params.len() != policy_param_count {
         return Err(DecodeError::Malformed("policy param shape"));
     }
-    let policy_opt = r_adam(&mut r, policy_param_count)?;
+    let policy_opt = r_adam_variant(&mut r, policy_param_count, slim)?;
     let value_layer_sizes = r.usize_vec()?;
     let value_param_count = mlp_params(&value_layer_sizes)?;
     let value_params = r.f64_vec()?;
     if value_params.len() != value_param_count {
         return Err(DecodeError::Malformed("value param shape"));
     }
-    let value_opt = r_adam(&mut r, value_param_count)?;
+    let value_opt = r_adam_variant(&mut r, value_param_count, slim)?;
     let snapshot = PolicySnapshot {
         config,
         num_actions,
@@ -681,7 +805,7 @@ pub(crate) fn decode_policy(key: u64, payload: &[u8]) -> Decode<PolicyArtifact> 
     ))
 }
 
-pub(crate) fn encode_sets(artifact: &SetsArtifact) -> Vec<u8> {
+pub(crate) fn encode_sets(artifact: &SetsArtifact, _slim: bool) -> Vec<u8> {
     let selected = artifact.selected();
     let mut w = Writer::new();
     w_sets(&mut w, &selected.sets);
@@ -704,7 +828,7 @@ pub(crate) fn decode_sets(key: u64, payload: &[u8]) -> Decode<SetsArtifact> {
     Ok(SetsArtifact::new(key, selected))
 }
 
-pub(crate) fn encode_patterns(artifact: &PatternsArtifact) -> Vec<u8> {
+pub(crate) fn encode_patterns(artifact: &PatternsArtifact, _slim: bool) -> Vec<u8> {
     let generated = artifact.generated();
     let mut w = Writer::new();
     w.usize(generated.patterns.len());
@@ -752,23 +876,217 @@ pub(crate) enum DiskLookup<T> {
 /// one process never collide (cross-process uniqueness comes from the pid).
 static TEMP_COUNTER: AtomicU64 = AtomicU64::new(0);
 
+/// Last access stamp handed out by [`next_stamp`], so stamps are strictly
+/// monotonic within the process even when the wall clock stalls or steps
+/// backwards.
+static LAST_STAMP: AtomicU64 = AtomicU64::new(0);
+
+/// A fresh access stamp: wall-clock nanoseconds since the epoch, bumped
+/// past every stamp this process already issued. Strictly increasing
+/// in-process; ordered across processes to wall-clock precision — exactly
+/// what LRU needs (ties across processes are broken deterministically by
+/// stage and key at eviction time).
+pub(crate) fn next_stamp() -> u64 {
+    let now = std::time::SystemTime::now()
+        .duration_since(std::time::UNIX_EPOCH)
+        .map(|d| u64::try_from(d.as_nanos()).unwrap_or(u64::MAX))
+        .unwrap_or(0);
+    let prev = LAST_STAMP
+        .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |last| {
+            Some(now.max(last.saturating_add(1)))
+        })
+        .expect("fetch_update closure never returns None");
+    now.max(prev.saturating_add(1))
+}
+
+/// One artifact on disk, as seen by the eviction and maintenance scans:
+/// its stage, key, total footprint (artifact + sidecar bytes), and access
+/// stamp (0 when the sidecar is missing or unreadable, ordering it
+/// oldest).
+#[derive(Debug, Clone)]
+pub(crate) struct CacheEntry {
+    pub(crate) stage: DiskStage,
+    pub(crate) key: u64,
+    pub(crate) bytes: u64,
+    pub(crate) stamp: u64,
+    pub(crate) artifact: PathBuf,
+    pub(crate) sidecar: PathBuf,
+}
+
+/// Lists every artifact under `root` with its footprint and access stamp.
+/// A missing root or stage directory contributes nothing; other I/O errors
+/// while listing are returned. Temp files and sidecars are not entries
+/// (sidecar bytes are folded into their artifact's footprint).
+pub(crate) fn scan_entries(root: &Path) -> std::io::Result<Vec<CacheEntry>> {
+    let mut entries = Vec::new();
+    for stage in DiskStage::ALL {
+        let dir = root.join(stage.dir());
+        let listing = match fs::read_dir(&dir) {
+            Ok(listing) => listing,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        for item in listing {
+            let item = item?;
+            let path = item.path();
+            if path.extension().and_then(|e| e.to_str()) != Some(FILE_EXT) {
+                continue;
+            }
+            let Some(key) = path
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .and_then(|s| u64::from_str_radix(s, 16).ok())
+            else {
+                continue;
+            };
+            let Ok(meta) = item.metadata() else { continue };
+            let sidecar = path.with_extension(SIDECAR_EXT);
+            let mut bytes = meta.len();
+            let mut stamp = 0;
+            if let Ok(side_meta) = fs::metadata(&sidecar) {
+                bytes += side_meta.len();
+                if let Ok(side_bytes) = fs::read(&sidecar) {
+                    if side_bytes.len() == 8 {
+                        stamp = u64::from_le_bytes(side_bytes.try_into().expect("8 bytes"));
+                    }
+                }
+            }
+            entries.push(CacheEntry {
+                stage,
+                key,
+                bytes,
+                stamp,
+                artifact: path,
+                sidecar,
+            });
+        }
+    }
+    Ok(entries)
+}
+
+/// Validates `bytes` as a complete artifact file for `(stage, key)`:
+/// magic, format version, stage tag, key, payload length, and FNV-1a
+/// payload checksum. Payload *structure* is not decoded — that happens at
+/// load time — but every bit of the file is covered by the checksum.
+pub(crate) fn validate_bytes(bytes: &[u8], stage: DiskStage, key: u64) -> bool {
+    if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
+        return false;
+    }
+    let field_u32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4"));
+    let field_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8"));
+    field_u32(8) == FORMAT_VERSION
+        && field_u32(12) == stage.tag()
+        && field_u64(16) == key
+        && field_u64(24) == (bytes.len() - HEADER_LEN) as u64
+        && field_u64(32) == fnv1a(&bytes[HEADER_LEN..])
+}
+
+/// Reads and validates the artifact file at `path` (see [`validate_bytes`]).
+/// Unreadable counts as invalid.
+pub(crate) fn validate_file(path: &Path, stage: DiskStage, key: u64) -> bool {
+    fs::read(path).is_ok_and(|bytes| validate_bytes(&bytes, stage, key))
+}
+
+/// Plans which of `entries` to evict so the cache fits `policy`: first
+/// each stage is brought under [`crate::CachePolicy::per_stage_max`], then
+/// the whole cache under [`crate::CachePolicy::max_bytes`], evicting
+/// least-recently-stamped first (ties broken by stage then key, so the
+/// plan is deterministic). Entries in `pinned` (as `(stage index, key)`)
+/// are never selected. Returns indices into `entries`.
+pub(crate) fn plan_evictions(
+    entries: &[CacheEntry],
+    policy: &crate::CachePolicy,
+    pinned: &std::collections::HashSet<(usize, u64)>,
+) -> Vec<usize> {
+    let crate::cache::Eviction::Lru = policy.eviction;
+    if policy.is_unbounded() {
+        return Vec::new();
+    }
+    // LRU order: oldest stamp first, deterministic tie-break.
+    let mut order: Vec<usize> = (0..entries.len()).collect();
+    order.sort_by_key(|&i| (entries[i].stamp, entries[i].stage.index(), entries[i].key));
+
+    let evictable = |entry: &CacheEntry| !pinned.contains(&(entry.stage.index(), entry.key));
+    let mut evicted = vec![false; entries.len()];
+
+    if let Some(per_stage) = policy.per_stage_max {
+        for stage in DiskStage::ALL {
+            let mut stage_total: u64 = entries
+                .iter()
+                .filter(|e| e.stage == stage)
+                .map(|e| e.bytes)
+                .sum();
+            for &i in &order {
+                if stage_total <= per_stage {
+                    break;
+                }
+                let entry = &entries[i];
+                if entry.stage == stage && !evicted[i] && evictable(entry) {
+                    evicted[i] = true;
+                    stage_total -= entry.bytes;
+                }
+            }
+        }
+    }
+
+    if let Some(max_bytes) = policy.max_bytes {
+        let mut total: u64 = entries
+            .iter()
+            .enumerate()
+            .filter(|(i, _)| !evicted[*i])
+            .map(|(_, e)| e.bytes)
+            .sum();
+        for &i in &order {
+            if total <= max_bytes {
+                break;
+            }
+            if !evicted[i] && evictable(&entries[i]) {
+                evicted[i] = true;
+                total -= entries[i].bytes;
+            }
+        }
+    }
+
+    order.retain(|&i| evicted[i]);
+    order
+}
+
 /// The persistent tier of an [`crate::ArtifactStore`]: one file per artifact
-/// under `<root>/<stage>/<key:016x>.dtc` (see the [module docs](self) for
-/// the format). All operations are best-effort — I/O errors on write are
-/// swallowed (the cache is an accelerator, not a store of record) and
-/// unreadable files are reported as [`DiskLookup::Corrupt`].
+/// under `<root>/<stage>/<key:016x>.dtc` plus a `.lru` access-stamp sidecar
+/// (see the [module docs](self) for both formats). All operations are
+/// best-effort — I/O errors on write are swallowed (the cache is an
+/// accelerator, not a store of record) and unreadable files are reported as
+/// [`DiskLookup::Corrupt`].
+///
+/// The store enforces its [`crate::CachePolicy`] budgets after every
+/// insert, and pins every `(stage, key)` it has served from disk so the
+/// current process never evicts its own working set.
 #[derive(Debug)]
 pub(crate) struct DiskStore {
     root: PathBuf,
+    policy: crate::CachePolicy,
+    /// `(stage index, key)` pairs this process has read from disk —
+    /// protected from this store's budget enforcement.
+    pinned: std::sync::Mutex<std::collections::HashSet<(usize, u64)>>,
 }
 
 impl DiskStore {
-    pub(crate) fn new(root: PathBuf) -> Self {
-        Self { root }
+    pub(crate) fn new(root: PathBuf, policy: crate::CachePolicy) -> Self {
+        Self {
+            root,
+            policy,
+            pinned: std::sync::Mutex::default(),
+        }
     }
 
     pub(crate) fn root(&self) -> &Path {
         &self.root
+    }
+
+    /// Whether train-stage artifacts are written with the slim payload
+    /// variant.
+    pub(crate) fn slim_policy(&self) -> bool {
+        self.policy.slim_policy
     }
 
     fn file_path(&self, stage: DiskStage, key: u64) -> PathBuf {
@@ -777,30 +1095,35 @@ impl DiskStore {
             .join(format!("{key:016x}.{FILE_EXT}"))
     }
 
-    /// Reads and validates the artifact file for `(stage, key)`.
+    fn pin(&self, stage: DiskStage, key: u64) {
+        self.pinned
+            .lock()
+            .expect("disk store pin lock poisoned")
+            .insert((stage.index(), key));
+    }
+
+    /// Atomically (re)writes the access-stamp sidecar for `(stage, key)`.
+    fn touch(&self, stage: DiskStage, key: u64) {
+        let dir = self.root.join(stage.dir());
+        let sidecar = self.file_path(stage, key).with_extension(SIDECAR_EXT);
+        write_atomically(&dir, &sidecar, &next_stamp().to_le_bytes(), key);
+    }
+
+    /// Reads and validates the artifact file for `(stage, key)`. A hit
+    /// refreshes the access-stamp sidecar and pins the artifact against
+    /// eviction by this process.
     pub(crate) fn load(&self, stage: DiskStage, key: u64) -> DiskLookup<Vec<u8>> {
         let mut bytes = match fs::read(self.file_path(stage, key)) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return DiskLookup::Miss,
             Err(_) => return DiskLookup::Corrupt,
         };
-        if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
+        if !validate_bytes(&bytes, stage, key) {
             return DiskLookup::Corrupt;
         }
-        let field_u32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4"));
-        let field_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8"));
-        if field_u32(8) != FORMAT_VERSION
-            || field_u32(12) != stage.tag()
-            || field_u64(16) != key
-            || field_u64(24) != (bytes.len() - HEADER_LEN) as u64
-        {
-            return DiskLookup::Corrupt;
-        }
-        let checksum = field_u64(32);
         let payload = bytes.split_off(HEADER_LEN);
-        if checksum != fnv1a(&payload) {
-            return DiskLookup::Corrupt;
-        }
+        self.pin(stage, key);
+        self.touch(stage, key);
         DiskLookup::Hit(payload)
     }
 
@@ -808,8 +1131,9 @@ impl DiskStore {
     /// payload go to a process-unique temp file in the destination
     /// directory, then rename into place (so a concurrent reader sees the
     /// old complete file or the new complete file, never a partial one).
-    /// Best-effort: I/O failures leave the cache cold but never the caller
-    /// broken.
+    /// Also stamps the sidecar and then enforces the cache policy's
+    /// budgets. Best-effort: I/O failures leave the cache cold but never
+    /// the caller broken.
     pub(crate) fn store(&self, stage: DiskStage, key: u64, payload: &[u8]) {
         let dir = self.root.join(stage.dir());
         if fs::create_dir_all(&dir).is_err() {
@@ -823,20 +1147,52 @@ impl DiskStore {
         bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
         bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
         bytes.extend_from_slice(payload);
-        let temp = dir.join(format!(
-            ".tmp-{}-{}-{key:016x}",
-            std::process::id(),
-            TEMP_COUNTER.fetch_add(1, Ordering::Relaxed),
-        ));
-        let written = fs::File::create(&temp)
-            .and_then(|mut f| f.write_all(&bytes))
-            .is_ok();
-        if written {
-            let _ = fs::rename(&temp, self.file_path(stage, key));
-        } else {
-            let _ = fs::remove_file(&temp);
+        if write_atomically(&dir, &self.file_path(stage, key), &bytes, key) {
+            self.touch(stage, key);
+        }
+        self.enforce_budget();
+    }
+
+    /// Brings the cache directory under the policy's budgets, deleting
+    /// least-recently-used artifacts (and their sidecars) first. Artifacts
+    /// this process has read are pinned and survive; freshly inserted ones
+    /// are evictable (the memory tier still holds them). Best-effort.
+    fn enforce_budget(&self) {
+        if self.policy.is_unbounded() {
+            return;
+        }
+        let Ok(entries) = scan_entries(&self.root) else {
+            return;
+        };
+        let pinned = self
+            .pinned
+            .lock()
+            .expect("disk store pin lock poisoned")
+            .clone();
+        for index in plan_evictions(&entries, &self.policy, &pinned) {
+            let entry = &entries[index];
+            let _ = fs::remove_file(&entry.artifact);
+            let _ = fs::remove_file(&entry.sidecar);
         }
     }
+}
+
+/// Writes `bytes` to `dest` via a process-unique temp file in `dir` + an
+/// atomic rename. Returns whether the rename happened.
+fn write_atomically(dir: &Path, dest: &Path, bytes: &[u8], key: u64) -> bool {
+    let temp = dir.join(format!(
+        ".tmp-{}-{}-{key:016x}",
+        std::process::id(),
+        TEMP_COUNTER.fetch_add(1, Ordering::Relaxed),
+    ));
+    let written = fs::File::create(&temp)
+        .and_then(|mut f| f.write_all(bytes))
+        .is_ok();
+    if written && fs::rename(&temp, dest).is_ok() {
+        return true;
+    }
+    let _ = fs::remove_file(&temp);
+    false
 }
 
 #[cfg(test)]
@@ -863,7 +1219,7 @@ mod tests {
     fn rare_payload_round_trips_bit_exactly() {
         let analysis = sample_analysis();
         let artifact = RareArtifact::new(42, analysis);
-        let payload = encode_rare(&artifact);
+        let payload = encode_rare(&artifact, false);
         let decoded = decode_rare(42, &payload).expect("decode");
         let (a, b) = (artifact.analysis(), decoded.analysis());
         assert_eq!(a.threshold().to_bits(), b.threshold().to_bits());
@@ -889,7 +1245,7 @@ mod tests {
         let analysis = RareNetAnalysis::estimate(&nl, 0.2, 1024, 7);
         let graph = CompatibilityGraph::build(&nl, &analysis, 1);
         let artifact = GraphArtifact::new(9, graph, analysis.threshold(), 0.5);
-        let payload = encode_graph(&artifact);
+        let payload = encode_graph(&artifact, false);
         let decoded = decode_graph(9, &payload).expect("decode");
         assert_eq!(artifact.graph().adjacency(), decoded.graph().adjacency());
         assert_eq!(artifact.graph().rare_nets(), decoded.graph().rare_nets());
@@ -923,7 +1279,7 @@ mod tests {
                 harvested_total: 99,
             },
         );
-        let decoded = decode_sets(5, &encode_sets(&sets_artifact)).expect("sets");
+        let decoded = decode_sets(5, &encode_sets(&sets_artifact, false)).expect("sets");
         assert_eq!(decoded.selected().sets, sets_artifact.selected().sets);
         assert_eq!(decoded.selected().harvested_total, 99);
 
@@ -942,7 +1298,8 @@ mod tests {
                 },
             },
         );
-        let decoded = decode_patterns(6, &encode_patterns(&patterns_artifact)).expect("patterns");
+        let decoded =
+            decode_patterns(6, &encode_patterns(&patterns_artifact, false)).expect("patterns");
         assert_eq!(
             decoded.generated().patterns,
             patterns_artifact.generated().patterns
@@ -956,7 +1313,7 @@ mod tests {
     #[test]
     fn truncated_and_malformed_payloads_are_errors_not_panics() {
         let artifact = RareArtifact::new(1, sample_analysis());
-        let payload = encode_rare(&artifact);
+        let payload = encode_rare(&artifact, false);
         for cut in [0, 1, 7, 8, payload.len() / 2, payload.len() - 1] {
             assert!(decode_rare(1, &payload[..cut]).is_err(), "cut at {cut}");
         }
@@ -977,7 +1334,7 @@ mod tests {
     #[test]
     fn disk_store_validates_header_version_key_and_checksum() {
         let root = temp_root("header");
-        let disk = DiskStore::new(root.clone());
+        let disk = DiskStore::new(root.clone(), crate::CachePolicy::default());
         assert!(matches!(disk.load(DiskStage::Analyze, 7), DiskLookup::Miss));
         disk.store(DiskStage::Analyze, 7, b"payload bytes");
         match disk.load(DiskStage::Analyze, 7) {

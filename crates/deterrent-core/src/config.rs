@@ -9,7 +9,7 @@ use std::path::PathBuf;
 
 use rl::PpoConfig;
 
-use crate::CompatStrategy;
+use crate::{parse_bytes, CachePolicy, CompatStrategy};
 
 /// When the agent receives its reward (Section 3.2 of the paper).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -160,6 +160,15 @@ pub struct DeterrentConfig {
     /// thread knob, the cache directory never affects results (artifacts
     /// round-trip bit-exactly) and is excluded from every cache key.
     pub cache_dir: Option<PathBuf>,
+    /// Size budget and codec options of the persistent cache's disk tier.
+    /// The default is unbounded with the full-fidelity codec (PR 4
+    /// behaviour). When [`CachePolicy::max_bytes`] is unset, sessions fall
+    /// back to the `DETERRENT_CACHE_MAX_BYTES` environment variable (a
+    /// byte count, optionally with a `k`/`m`/`g` suffix — see
+    /// [`crate::parse_bytes`]). Like `cache_dir`, the policy never affects
+    /// results — only which lookups are served warm — and is excluded from
+    /// every cache key.
+    pub cache_policy: CachePolicy,
 }
 
 impl Default for DeterrentConfig {
@@ -172,6 +181,7 @@ impl Default for DeterrentConfig {
             threads: 0,
             seed: Self::DEFAULT_SEED,
             cache_dir: None,
+            cache_policy: CachePolicy::default(),
         }
     }
 }
@@ -183,6 +193,12 @@ impl DeterrentConfig {
     /// Name of the environment variable consulted when
     /// [`DeterrentConfig::cache_dir`] is `None`.
     pub const CACHE_DIR_ENV: &'static str = "DETERRENT_CACHE_DIR";
+
+    /// Name of the environment variable consulted when
+    /// [`CachePolicy::max_bytes`] is `None`: a byte count, optionally with
+    /// a `k`/`m`/`g` suffix (see [`crate::parse_bytes`]). Unparsable
+    /// values are ignored (unbounded).
+    pub const CACHE_MAX_BYTES_ENV: &'static str = "DETERRENT_CACHE_MAX_BYTES";
 
     /// A configuration sized for unit tests and examples: few episodes, small
     /// networks, small pattern budgets. Finishes in well under a second on
@@ -281,6 +297,37 @@ impl DeterrentConfig {
         std::env::var_os(Self::CACHE_DIR_ENV)
             .filter(|v| !v.is_empty())
             .map(PathBuf::from)
+    }
+
+    /// The effective cache policy: [`DeterrentConfig::cache_policy`], with
+    /// a missing global budget filled from the `DETERRENT_CACHE_MAX_BYTES`
+    /// environment variable (ignored when unset, empty, or unparsable).
+    #[must_use]
+    pub fn resolved_cache_policy(&self) -> CachePolicy {
+        let mut policy = self.cache_policy;
+        if policy.max_bytes.is_none() {
+            policy.max_bytes = std::env::var(Self::CACHE_MAX_BYTES_ENV)
+                .ok()
+                .as_deref()
+                .and_then(parse_bytes);
+        }
+        policy
+    }
+
+    /// Returns a copy with the persistent-cache policy replaced. Policies
+    /// never affect results, only wall clock and disk footprint.
+    #[must_use]
+    pub fn with_cache_policy(mut self, policy: CachePolicy) -> Self {
+        self.cache_policy = policy;
+        self
+    }
+
+    /// Returns a copy with the persistent cache bounded at `max_bytes`
+    /// (LRU eviction on insert; see [`CachePolicy`]).
+    #[must_use]
+    pub fn with_cache_max_bytes(mut self, max_bytes: u64) -> Self {
+        self.cache_policy.max_bytes = Some(max_bytes);
+        self
     }
 
     /// Returns a copy with the training episode budget replaced.

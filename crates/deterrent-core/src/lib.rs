@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod artifact;
+pub mod cache;
 mod codec;
 mod compat;
 mod config;
@@ -77,6 +78,10 @@ pub use artifact::{
     ArtifactStore, GeneratedPatterns, GraphArtifact, PatternsArtifact, PolicyArtifact,
     RareArtifact, SelectedSets, SetsArtifact, StageCounters, StoreCounters, TrainedPolicy,
 };
+pub use cache::{
+    parse_bytes, CachePolicy, CacheStats, Eviction, GcReport, StageUsage, VerifyReport,
+};
+pub use codec::SLIM_LOSS_KEEP;
 pub use compat::{
     CompatBuildOptions, CompatStats, CompatStrategy, CompatibilityGraph, EnumerationBudget,
     FunnelOptions,

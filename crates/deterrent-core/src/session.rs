@@ -77,7 +77,7 @@ pub struct DeterrentSession<'a> {
     config: DeterrentConfig,
     exec: Exec,
     store: ArtifactStore,
-    observers: Vec<Box<dyn RunObserver>>,
+    observers: Vec<Box<dyn RunObserver + 'a>>,
 }
 
 impl std::fmt::Debug for DeterrentSession<'_> {
@@ -97,12 +97,13 @@ impl<'a> DeterrentSession<'a> {
     /// config names a cache directory (the `cache_dir` knob or the
     /// `DETERRENT_CACHE_DIR` environment variable,
     /// [`DeterrentConfig::resolved_cache_dir`]), the store is backed by the
-    /// persistent disk tier there, so artifacts survive the process and a
-    /// repeat invocation recomputes nothing.
+    /// persistent disk tier there — bounded and slimmed per the config's
+    /// [`DeterrentConfig::resolved_cache_policy`] — so artifacts survive
+    /// the process and a repeat invocation recomputes nothing.
     #[must_use]
     pub fn new(netlist: &'a Netlist, config: DeterrentConfig) -> Self {
         let store = match config.resolved_cache_dir() {
-            Some(dir) => ArtifactStore::with_disk(dir),
+            Some(dir) => ArtifactStore::with_disk_policy(dir, config.resolved_cache_policy()),
             None => ArtifactStore::new(),
         };
         Self::with_store(netlist, config, store)
@@ -162,8 +163,11 @@ impl<'a> DeterrentSession<'a> {
     }
 
     /// Registers a progress observer. Observers are per-session (not stored
-    /// in artifacts) and strictly passive.
-    pub fn add_observer(&mut self, observer: Box<dyn RunObserver>) {
+    /// in artifacts) and strictly passive. Observers may borrow from the
+    /// surrounding scope (any lifetime outliving the session's netlist
+    /// borrow) — campaign drivers register forwarding observers that hold
+    /// a reference to a shared progress sink.
+    pub fn add_observer(&mut self, observer: Box<dyn RunObserver + 'a>) {
         self.observers.push(observer);
     }
 

@@ -16,6 +16,25 @@
 //!   payload) for side-by-side simulation.
 //! * [`CoverageEvaluator`] / [`CoverageReport`] — computes trigger coverage
 //!   of a pattern set, the headline metric of every table and figure.
+//!
+//! # Example
+//!
+//! Plant SAT-validated Trojans on a design's rare nets, then score a
+//! pattern set by how many triggers it fires:
+//!
+//! ```
+//! use sim::rare::RareNetAnalysis;
+//! use trojan::{CoverageEvaluator, TrojanGenerator};
+//!
+//! let nl = netlist::synth::BenchmarkProfile::c2670().scaled(15).generate(21);
+//! let analysis = RareNetAnalysis::estimate(&nl, 0.15, 4096, 5);
+//! let trojans = TrojanGenerator::new(&nl, 1).sample_many(&analysis, 2, 5);
+//! assert!(!trojans.is_empty());
+//!
+//! let patterns = vec![sim::TestPattern::ones(nl.num_scan_inputs())];
+//! let report = CoverageEvaluator::new(&nl, trojans).evaluate(&patterns);
+//! assert!((0.0..=100.0).contains(&report.coverage_percent()));
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -16,6 +16,8 @@
 //! * [`trojan`] — Trojan insertion and trigger-coverage evaluation.
 //! * [`deterrent_core`] — the DETERRENT pipeline itself.
 //! * [`baselines`] — Random, MERO, TARMAC, TGRL-like, and ATPG baselines.
+//! * [`campaign`] — netlists × θ × seeds sweep driver over one bounded
+//!   artifact cache, plus the `deterrent-campaign`/`deterrent-cache` CLIs.
 //!
 //! # Quick start
 //!
@@ -37,6 +39,7 @@
 #![warn(missing_docs)]
 
 pub use baselines;
+pub use campaign;
 pub use deterrent_core;
 pub use exec;
 pub use netlist;

@@ -1,0 +1,144 @@
+//! Markdown link checker over the repo's documentation set.
+//!
+//! CI runs this as its link gate: every relative link in the top-level
+//! Markdown files must point at a file (or directory) that exists, and
+//! every same-file `#anchor` must match a heading. External `http(s)`
+//! links are not fetched — the build environment is offline by design —
+//! only structurally validated.
+
+use std::fs;
+use std::path::Path;
+
+// The hand-maintained documentation set. PAPERS.md and SNIPPETS.md are
+// machine-retrieved reference dumps and are deliberately not linted.
+const DOCS: [&str; 5] = [
+    "README.md",
+    "ARCHITECTURE.md",
+    "ROADMAP.md",
+    "CHANGES.md",
+    "PAPER.md",
+];
+
+/// Extracts inline Markdown link targets `[text](target)` outside fenced
+/// code blocks. Good enough for this repo's hand-written docs; images
+/// (`![`) count too.
+fn link_targets(markdown: &str) -> Vec<String> {
+    let mut targets = Vec::new();
+    let mut in_fence = false;
+    for line in markdown.lines() {
+        if line.trim_start().starts_with("```") {
+            in_fence = !in_fence;
+            continue;
+        }
+        if in_fence {
+            continue;
+        }
+        let bytes = line.as_bytes();
+        let mut i = 0;
+        while i < bytes.len() {
+            if bytes[i] == b']' && i + 1 < bytes.len() && bytes[i + 1] == b'(' {
+                if let Some(end) = line[i + 2..].find(')') {
+                    let target = &line[i + 2..i + 2 + end];
+                    targets.push(target.split_whitespace().next().unwrap_or("").to_string());
+                    i += 2 + end;
+                    continue;
+                }
+            }
+            i += 1;
+        }
+    }
+    targets
+}
+
+/// GitHub-style heading slug: lowercase, alphanumerics kept, spaces to
+/// dashes, everything else dropped.
+fn slug(heading: &str) -> String {
+    heading
+        .trim()
+        .trim_start_matches('#')
+        .trim()
+        .chars()
+        .filter_map(|c| {
+            if c.is_alphanumeric() {
+                Some(c.to_ascii_lowercase())
+            } else if c == ' ' || c == '-' {
+                Some('-')
+            } else {
+                None
+            }
+        })
+        .collect()
+}
+
+fn heading_slugs(markdown: &str) -> Vec<String> {
+    let mut in_fence = false;
+    markdown
+        .lines()
+        .filter(|line| {
+            if line.trim_start().starts_with("```") {
+                in_fence = !in_fence;
+                return false;
+            }
+            !in_fence && line.starts_with('#')
+        })
+        .map(slug)
+        .collect()
+}
+
+#[test]
+fn markdown_links_resolve() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let mut broken = Vec::new();
+    for doc in DOCS {
+        let path = root.join(doc);
+        let text = fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {doc}: {e}"));
+        let slugs = heading_slugs(&text);
+        for target in link_targets(&text) {
+            if target.is_empty()
+                || target.starts_with("http://")
+                || target.starts_with("https://")
+                || target.starts_with("mailto:")
+            {
+                continue;
+            }
+            if let Some(anchor) = target.strip_prefix('#') {
+                if !slugs.iter().any(|s| s == anchor) {
+                    broken.push(format!("{doc}: missing anchor {target}"));
+                }
+                continue;
+            }
+            // Relative file link (drop any #anchor; anchors into other
+            // files are not resolved here).
+            let file = target.split('#').next().unwrap_or(&target);
+            if !root.join(file).exists() {
+                broken.push(format!("{doc}: missing file {file}"));
+            }
+        }
+    }
+    assert!(
+        broken.is_empty(),
+        "broken markdown links:\n{}",
+        broken.join("\n")
+    );
+}
+
+#[test]
+fn docs_exist_and_are_nonempty() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    for doc in DOCS {
+        let text = fs::read_to_string(root.join(doc)).unwrap_or_else(|e| panic!("{doc}: {e}"));
+        assert!(text.len() > 100, "{doc} is suspiciously small");
+    }
+}
+
+#[test]
+fn readme_links_architecture() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    let readme = fs::read_to_string(root.join("README.md")).unwrap();
+    assert!(
+        link_targets(&readme)
+            .iter()
+            .any(|t| t.starts_with("ARCHITECTURE.md")),
+        "README must link ARCHITECTURE.md"
+    );
+}
