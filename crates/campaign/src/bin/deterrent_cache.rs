@@ -134,12 +134,13 @@ fn main() -> ExitCode {
                 Ok(report) => {
                     println!(
                         "gc {}: evicted {} file(s) ({} bytes), removed {} corrupt, \
-                         {} orphan sidecar(s); {} bytes remain",
+                         {} orphan sidecar(s), {} stale tmp file(s); {} bytes remain",
                         dir.display(),
                         report.evicted_files,
                         report.evicted_bytes,
                         report.corrupt_removed,
                         report.orphan_sidecars_removed,
+                        report.stale_tmp_removed,
                         report.bytes_remaining
                     );
                     ExitCode::SUCCESS

@@ -23,11 +23,24 @@
 //! | `--format tsv\|markdown` | report format on stdout | `tsv` |
 //! | `--quiet` | suppress per-cell progress on stderr | off |
 //! | `--expect-warm` | assert every stage was served from the cache | off |
+//! | `--checkpoint FILE` | record completed cells; resume skips them | off |
+//! | `--max-retries N` | retries per cell after a failed attempt | `2` |
+//! | `--cell-deadline-secs F` | per-attempt wall-clock budget | unlimited |
+//! | `--fail-fast` | cancel unstarted cells after the first terminal failure | off |
+//! | `--max-failures N` | cancel after N terminal failures | never |
+//! | `--fault-plan SPEC` | inject faults (else `DETERRENT_FAULT_PLAN`) | none |
+//!
+//! The exit code is `0` only when every cell recovered (outcome `ok` or
+//! `retried:N`); any `timeout`/`failed` row exits `1`, flag errors exit `2`.
 
+use std::path::PathBuf;
 use std::process::ExitCode;
+use std::time::Duration;
 
-use campaign::{profile_by_name, CampaignPlan, NetlistSpec, SilentProgress, StderrProgress};
-use deterrent_core::{parse_bytes, ArtifactStore, DeterrentConfig};
+use campaign::{
+    profile_by_name, CampaignPlan, NetlistSpec, RunPolicy, SilentProgress, StderrProgress,
+};
+use deterrent_core::{parse_bytes, ArtifactStore, DeterrentConfig, FaultPlan};
 use exec::Exec;
 
 struct Args {
@@ -45,6 +58,12 @@ struct Args {
     markdown: bool,
     quiet: bool,
     expect_warm: bool,
+    checkpoint: Option<PathBuf>,
+    max_retries: u32,
+    cell_deadline: Option<Duration>,
+    fail_fast: bool,
+    max_failures: Option<usize>,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for Args {
@@ -64,6 +83,12 @@ impl Default for Args {
             markdown: false,
             quiet: false,
             expect_warm: false,
+            checkpoint: None,
+            max_retries: RunPolicy::default().max_retries,
+            cell_deadline: None,
+            fail_fast: false,
+            max_failures: None,
+            fault_plan: None,
         }
     }
 }
@@ -127,9 +152,30 @@ fn parse_args() -> Result<Args, String> {
             }
             "--quiet" => args.quiet = true,
             "--expect-warm" => args.expect_warm = true,
+            "--checkpoint" => args.checkpoint = Some(PathBuf::from(value(&mut i)?)),
+            "--max-retries" => {
+                args.max_retries = value(&mut i)?.parse().map_err(|_| "bad --max-retries")?;
+            }
+            "--cell-deadline-secs" => {
+                let secs: f64 = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --cell-deadline-secs")?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("bad --cell-deadline-secs (finite, non-negative)".into());
+                }
+                args.cell_deadline = Some(Duration::from_secs_f64(secs));
+            }
+            "--fail-fast" => args.fail_fast = true,
+            "--max-failures" => {
+                args.max_failures = Some(value(&mut i)?.parse().map_err(|_| "bad --max-failures")?);
+            }
+            "--fault-plan" => args.fault_plan = Some(FaultPlan::parse(&value(&mut i)?)?),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
+    }
+    if args.fault_plan.is_none() {
+        args.fault_plan = FaultPlan::from_env()?;
     }
     Ok(args)
 }
@@ -161,9 +207,15 @@ fn main() -> ExitCode {
     base.cache_policy.per_stage_max = args.per_stage_max;
     base.cache_policy.slim_policy = args.slim_policy;
 
-    // Flag → env → memory-only, exactly like sessions resolve it.
+    // Flag → env → memory-only, exactly like sessions resolve it. The
+    // fault plan (if any) is shared between the disk tier and the cell
+    // failure domains, so one seeded schedule drives both.
     let store = match base.resolved_cache_dir() {
-        Some(dir) => ArtifactStore::with_disk_policy(dir, base.resolved_cache_policy()),
+        Some(dir) => ArtifactStore::with_disk_policy_faults(
+            dir,
+            base.resolved_cache_policy(),
+            args.fault_plan.clone(),
+        ),
         None => ArtifactStore::new(),
     };
 
@@ -189,12 +241,24 @@ fn main() -> ExitCode {
         plan.seeds.len()
     );
 
+    let policy = RunPolicy {
+        max_retries: args.max_retries,
+        cell_deadline: args.cell_deadline,
+        fail_fast: args.fail_fast,
+        max_failures: args.max_failures,
+        faults: args.fault_plan.clone(),
+        checkpoint: args.checkpoint.clone(),
+    };
     let exec = Exec::new(args.threads);
     let report = if args.quiet {
-        plan.run(&store, &exec, &SilentProgress)
+        plan.run_with_policy(&store, &exec, &SilentProgress, &policy)
     } else {
-        plan.run(&store, &exec, &StderrProgress)
+        plan.run_with_policy(&store, &exec, &StderrProgress, &policy)
     };
+    eprintln!("[campaign] outcomes: {}", report.outcome_summary());
+    if let Some(faults) = &args.fault_plan {
+        eprintln!("[campaign] injected faults: {:?}", faults.counts());
+    }
 
     print!(
         "{}",
@@ -220,6 +284,10 @@ fn main() -> ExitCode {
             "[campaign] --expect-warm satisfied: {} disk hit(s), 0 recomputations",
             counters.total_disk_hits()
         );
+    }
+    if !report.all_recovered() {
+        eprintln!("[campaign] unrecovered cell failures (see the outcome column)");
+        return ExitCode::FAILURE;
     }
     ExitCode::SUCCESS
 }

@@ -22,6 +22,21 @@
 //!   and `deterrent-cache` (`stats` / `gc` / `verify` maintenance of a
 //!   cache directory; see the binary sources for flag tables).
 //!
+//! # Failure domains
+//!
+//! Every cell runs in its own failure domain:
+//! [`CampaignPlan::run_with_policy`] wraps each attempt in
+//! [`exec::catch_task`], retries with deterministic backoff
+//! ([`RunPolicy::max_retries`]), enforces an optional per-cell wall-clock
+//! deadline, and reports what happened in a [`CellOutcome`] column of the
+//! report. A seeded [`deterrent_core::FaultPlan`] can inject panics and
+//! timeouts into the domains (each site at most once), so the recovery
+//! paths are ordinary tested code and a faulted run's report is
+//! byte-identical to a clean run's in every data column. A
+//! [`Checkpoint`] file records completed rows so a killed campaign
+//! resumes without recomputing them; `fail_fast` / `max_failures` cancel
+//! the remaining cells once real (non-recoverable) failures accumulate.
+//!
 //! # Example
 //!
 //! ```
@@ -48,15 +63,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod checkpoint;
+
 use std::fmt::Write as _;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
 
 use deterrent_core::{
-    ArtifactStore, DeterrentConfig, DeterrentResult, DeterrentSession, RunObserver, Stage,
-    StageMetrics,
+    ArtifactStore, DeterrentConfig, DeterrentResult, DeterrentSession, FaultKind, FaultPlan,
+    RunObserver, Stage, StageMetrics,
 };
-use exec::Exec;
+use exec::{catch_task, split_seed, CancelToken, Exec};
 use netlist::synth::BenchmarkProfile;
 use netlist::Netlist;
+
+pub use checkpoint::{Checkpoint, SavedRow};
+
+/// Marker substring of the panic a [`RunPolicy::cell_deadline`] expiry
+/// raises inside a cell's failure domain — how the retry loop tells a
+/// deadline expiry apart from an ordinary panic and classifies it as
+/// [`CellOutcome::TimedOut`].
+pub const DEADLINE_MARKER: &str = "cell deadline exceeded";
 
 /// One benchmark of a campaign: a synthetic profile, the divisor applied
 /// to its paper-sized gate counts, and the generation seed.
@@ -188,12 +216,13 @@ impl CampaignPlan {
         self.len() == 0
     }
 
-    /// Runs every cell of the grid on `exec`, sharing `store` across all
-    /// sessions, streaming progress to `sink`. The report rows are in
-    /// [`CampaignPlan::cells`] order regardless of which thread ran which
-    /// cell, and contain only deterministic quantities — rendering the
-    /// report is bit-identical at any thread count and across warm
-    /// restarts from a persistent cache.
+    /// Runs every cell of the grid on `exec` with the default
+    /// [`RunPolicy`] (bounded retries, no deadline, no faults, no
+    /// checkpoint), sharing `store` across all sessions and streaming
+    /// progress to `sink`. The report rows are in [`CampaignPlan::cells`]
+    /// order regardless of which thread ran which cell, and contain only
+    /// deterministic quantities — rendering the report is bit-identical at
+    /// any thread count and across warm restarts from a persistent cache.
     #[must_use]
     pub fn run(
         &self,
@@ -201,25 +230,310 @@ impl CampaignPlan {
         exec: &Exec,
         sink: &dyn ProgressSink,
     ) -> CampaignReport {
+        self.run_with_policy(store, exec, sink, &RunPolicy::default())
+    }
+
+    /// Like [`CampaignPlan::run`], but with explicit fault-tolerance
+    /// machinery: each cell runs in its own failure domain (panics are
+    /// contained by [`exec::catch_task`] and retried up to
+    /// [`RunPolicy::max_retries`] times with deterministic backoff), an
+    /// optional per-cell wall-clock deadline converts runaway cells into
+    /// [`CellOutcome::TimedOut`], a [`deterrent_core::FaultPlan`] injects
+    /// deterministic panics/timeouts for testing, completed rows persist
+    /// to a [`Checkpoint`] for kill-and-resume, and `fail_fast` /
+    /// `max_failures` cancel the rest of the grid once terminal failures
+    /// accumulate.
+    ///
+    /// Because injected faults fire at most once per cell and retried
+    /// attempts recompute from the same deterministic inputs, every
+    /// recovered cell's data columns are bit-identical to a fault-free
+    /// run — only the outcome column records that recovery happened.
+    #[must_use]
+    pub fn run_with_policy(
+        &self,
+        store: &ArtifactStore,
+        exec: &Exec,
+        sink: &dyn ProgressSink,
+        policy: &RunPolicy,
+    ) -> CampaignReport {
         let netlists: Vec<Netlist> = self.netlists.iter().map(NetlistSpec::build).collect();
         let cells = self.cells();
+        let checkpoint = policy.checkpoint.as_ref().map(Checkpoint::open);
+        // A fresh token per run: cancellation never leaks across runs.
+        let cancel = CancelToken::new();
+        let failures = AtomicUsize::new(0);
         let results = exec.par_map(&cells, |_, cell| {
-            sink.cell_started(cell);
-            let config = self
-                .base
-                .clone()
-                .with_threshold(cell.theta)
-                .with_seed(cell.seed)
-                .with_threads(self.cell_threads.max(1));
+            let key = self.cell_key(cell);
             let netlist = &netlists[cell.netlist_index];
-            let mut session = DeterrentSession::with_store(netlist, config, store.clone());
-            session.add_observer(Box::new(CellObserver { sink, cell }));
-            let result = session.run();
-            let row = CellResult::new(cell, netlist, &result);
+            if let Some(saved) = checkpoint.as_ref().and_then(|c| c.get(key)) {
+                let row = CellResult::from_saved(cell, &saved);
+                sink.cell_finished(&row);
+                return row;
+            }
+            if cancel.is_cancelled() {
+                return CellResult::unrun(
+                    cell,
+                    netlist,
+                    CellOutcome::Failed("cancelled".to_string()),
+                );
+            }
+            sink.cell_started(cell);
+            let row = self.run_cell(cell, netlist, store, sink, policy, key);
+            if row.outcome.recovered() {
+                if let Some(ckpt) = &checkpoint {
+                    if let Err(e) = ckpt.record(key, row.to_saved()) {
+                        eprintln!("[campaign] warning: checkpoint write failed: {e}");
+                    }
+                }
+            } else {
+                let seen = failures.fetch_add(1, Ordering::Relaxed) + 1;
+                if policy.fail_fast || policy.max_failures.is_some_and(|limit| seen >= limit) {
+                    cancel.cancel();
+                }
+            }
             sink.cell_finished(&row);
             row
         });
         CampaignReport { cells: results }
+    }
+
+    /// One cell's failure domain: up to `1 + max_retries` attempts, each
+    /// wrapped in [`exec::catch_task`], with deterministic seeded backoff
+    /// between attempts. Fault-plan timeouts consume an attempt without
+    /// consuming wall clock; fault-plan panics unwind through the same
+    /// containment as real ones.
+    fn run_cell(
+        &self,
+        cell: &CampaignCell,
+        netlist: &Netlist,
+        store: &ArtifactStore,
+        sink: &dyn ProgressSink,
+        policy: &RunPolicy,
+        key: u64,
+    ) -> CellResult {
+        let mut last_failure: Option<AttemptFailure> = None;
+        for attempt in 0..=policy.max_retries {
+            if attempt > 0 {
+                // Seeded backoff: the duration is a pure function of
+                // (cell key, attempt) — wall clock never enters the
+                // decision, so retried runs stay deterministic.
+                let millis = 1 + split_seed(key ^ BACKOFF_SALT, u64::from(attempt)) % 8;
+                std::thread::sleep(Duration::from_millis(millis));
+            }
+            if let Some(plan) = &policy.faults {
+                if plan.should_inject(FaultKind::CellTimeout, key) {
+                    // Simulated deadline expiry: a timed-out attempt that
+                    // consumes no wall clock.
+                    last_failure = Some(AttemptFailure::Timeout);
+                    continue;
+                }
+            }
+            let attempt_result = catch_task(cell.index, || {
+                if let Some(plan) = &policy.faults {
+                    if plan.should_inject(FaultKind::CellPanic, key) {
+                        panic!("injected cell fault (plan seed {})", plan.seed());
+                    }
+                }
+                let config = self
+                    .base
+                    .clone()
+                    .with_threshold(cell.theta)
+                    .with_seed(cell.seed)
+                    .with_threads(self.cell_threads.max(1));
+                let mut session = DeterrentSession::with_store(netlist, config, store.clone());
+                session.add_observer(Box::new(CellObserver { sink, cell }));
+                if let Some(limit) = policy.cell_deadline {
+                    session.add_observer(Box::new(DeadlineObserver::new(limit)));
+                }
+                session.run()
+            });
+            match attempt_result {
+                Ok(result) => {
+                    let outcome = if attempt == 0 {
+                        CellOutcome::Ok
+                    } else {
+                        CellOutcome::Retried(attempt)
+                    };
+                    return CellResult::new(cell, netlist, &result, outcome);
+                }
+                Err(err) => {
+                    let message = err
+                        .panic_message()
+                        .unwrap_or("attempt cancelled")
+                        .to_string();
+                    last_failure = Some(if message.contains(DEADLINE_MARKER) {
+                        AttemptFailure::Timeout
+                    } else {
+                        AttemptFailure::Panic(message)
+                    });
+                }
+            }
+        }
+        let outcome = match last_failure {
+            Some(AttemptFailure::Timeout) => CellOutcome::TimedOut,
+            Some(AttemptFailure::Panic(message)) => CellOutcome::Failed(message),
+            None => CellOutcome::Failed("no attempts ran".to_string()),
+        };
+        CellResult::unrun(cell, netlist, outcome)
+    }
+
+    /// Content fingerprint of one cell: netlist spec (label, scale,
+    /// generation seed) ⊕ the semantic fields of the cell's effective
+    /// config (θ and the master seed included;
+    /// [`DeterrentConfig::content_fingerprint`] excludes threads and cache
+    /// knobs). This is the checkpoint row key and the fault-injection site
+    /// identity, so both survive replanning as long as the cell means the
+    /// same computation.
+    fn cell_key(&self, cell: &CampaignCell) -> u64 {
+        let spec = &self.netlists[cell.netlist_index];
+        let config_fp = self
+            .base
+            .clone()
+            .with_threshold(cell.theta)
+            .with_seed(cell.seed)
+            .content_fingerprint();
+        let mut hash = fnv1a_bytes(0xcbf2_9ce4_8422_2325, b"campaign/cell");
+        hash = fnv1a_bytes(hash, spec.label.as_bytes());
+        for v in [
+            spec.scale as u64,
+            spec.netlist_seed,
+            cell.theta.to_bits(),
+            cell.seed,
+            config_fp,
+        ] {
+            hash = fnv1a_bytes(hash, &v.to_le_bytes());
+        }
+        hash
+    }
+}
+
+/// Salt decorrelating backoff durations from fault-plan decisions on the
+/// same cell key.
+const BACKOFF_SALT: u64 = 0xBAC0_FF5A_17ED_0001;
+
+fn fnv1a_bytes(mut hash: u64, bytes: &[u8]) -> u64 {
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Why one attempt of a cell failed (the loop keeps only the last).
+enum AttemptFailure {
+    Timeout,
+    Panic(String),
+}
+
+/// Fault-tolerance knobs of [`CampaignPlan::run_with_policy`].
+#[derive(Debug, Clone)]
+pub struct RunPolicy {
+    /// Retries after a failed attempt (so `1 + max_retries` attempts per
+    /// cell). Default 2 — enough to absorb one injected timeout *and* one
+    /// injected panic on the same cell.
+    pub max_retries: u32,
+    /// Wall-clock budget of one attempt, enforced at stage boundaries by
+    /// a [`RunObserver`] that panics with [`DEADLINE_MARKER`] (contained
+    /// and classified as [`CellOutcome::TimedOut`]). `None` = unlimited.
+    pub cell_deadline: Option<Duration>,
+    /// Cancel every not-yet-started cell after the first terminal
+    /// (non-recovered) cell failure.
+    pub fail_fast: bool,
+    /// Cancel after this many terminal cell failures. `None` = never.
+    pub max_failures: Option<usize>,
+    /// Deterministic fault-injection schedule for the cell failure
+    /// domains. (Thread the same plan into the store via
+    /// [`ArtifactStore::with_disk_policy_faults`] to also fault the disk
+    /// tier.)
+    pub faults: Option<FaultPlan>,
+    /// Checkpoint file recording completed rows for kill-and-resume.
+    pub checkpoint: Option<PathBuf>,
+}
+
+impl Default for RunPolicy {
+    fn default() -> Self {
+        Self {
+            max_retries: 2,
+            cell_deadline: None,
+            fail_fast: false,
+            max_failures: None,
+            faults: None,
+            checkpoint: None,
+        }
+    }
+}
+
+/// A [`RunObserver`] that enforces a per-attempt wall-clock deadline at
+/// stage boundaries: the first stage to finish past the limit panics with
+/// [`DEADLINE_MARKER`], which the cell's failure domain contains and
+/// classifies as [`CellOutcome::TimedOut`]. Checking at stage boundaries
+/// keeps the session code free of cancellation plumbing while still
+/// bounding every cell to roughly one stage past its budget.
+struct DeadlineObserver {
+    start: Instant,
+    limit: Duration,
+}
+
+impl DeadlineObserver {
+    fn new(limit: Duration) -> Self {
+        Self {
+            start: Instant::now(),
+            limit,
+        }
+    }
+}
+
+impl RunObserver for DeadlineObserver {
+    fn stage_started(&mut self, _stage: Stage) {}
+
+    fn stage_finished(&mut self, metrics: &StageMetrics) {
+        let elapsed = self.start.elapsed();
+        if elapsed > self.limit {
+            panic!(
+                "{DEADLINE_MARKER}: {elapsed:?} > {:?} after {}",
+                self.limit, metrics.stage
+            );
+        }
+    }
+}
+
+/// How one cell's failure domain concluded.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellOutcome {
+    /// Succeeded on the first attempt.
+    Ok,
+    /// Succeeded after this many retries; the data columns are
+    /// bit-identical to a first-try success.
+    Retried(u32),
+    /// Every attempt ran past the cell deadline (real or injected); the
+    /// data columns are zero.
+    TimedOut,
+    /// Every attempt panicked; the string is the last panic message. The
+    /// data columns are zero.
+    Failed(String),
+}
+
+impl CellOutcome {
+    /// `true` when the cell produced its result (first try or retried) —
+    /// the outcomes a checkpoint persists and a chaos gate accepts.
+    #[must_use]
+    pub fn recovered(&self) -> bool {
+        matches!(self, Self::Ok | Self::Retried(_))
+    }
+
+    /// The outcome as the report's single-token column value: `ok`,
+    /// `retried:N`, `timeout`, or `failed:<reason>` (reason whitespace
+    /// flattened so the TSV stays one row per cell).
+    #[must_use]
+    pub fn column(&self) -> String {
+        match self {
+            Self::Ok => "ok".to_string(),
+            Self::Retried(n) => format!("retried:{n}"),
+            Self::TimedOut => "timeout".to_string(),
+            Self::Failed(reason) => {
+                format!("failed:{}", reason.replace(['\t', '\n', '\r'], " "))
+            }
+        }
     }
 }
 
@@ -238,10 +552,17 @@ pub struct CellResult {
     pub patterns: usize,
     /// Largest compatible set harvested.
     pub max_compatible_set: usize,
+    /// How the cell's failure domain concluded.
+    pub outcome: CellOutcome,
 }
 
 impl CellResult {
-    fn new(cell: &CampaignCell, netlist: &Netlist, result: &DeterrentResult) -> Self {
+    fn new(
+        cell: &CampaignCell,
+        netlist: &Netlist,
+        result: &DeterrentResult,
+        outcome: CellOutcome,
+    ) -> Self {
         Self {
             cell: cell.clone(),
             gates: netlist.num_logic_gates(),
@@ -249,6 +570,53 @@ impl CellResult {
             sets: result.sets.len(),
             patterns: result.patterns.len(),
             max_compatible_set: result.metrics.max_compatible_set,
+            outcome,
+        }
+    }
+
+    /// A row for a cell that produced no result (timed out, failed, or
+    /// cancelled): data columns zero, gates still known from the netlist.
+    fn unrun(cell: &CampaignCell, netlist: &Netlist, outcome: CellOutcome) -> Self {
+        Self {
+            cell: cell.clone(),
+            gates: netlist.num_logic_gates(),
+            rare_nets: 0,
+            sets: 0,
+            patterns: 0,
+            max_compatible_set: 0,
+            outcome,
+        }
+    }
+
+    /// A row restored from a checkpoint without recomputing the cell.
+    fn from_saved(cell: &CampaignCell, saved: &SavedRow) -> Self {
+        Self {
+            cell: cell.clone(),
+            gates: saved.gates as usize,
+            rare_nets: saved.rare_nets as usize,
+            sets: saved.sets as usize,
+            patterns: saved.patterns as usize,
+            max_compatible_set: saved.max_compatible_set as usize,
+            outcome: if saved.retries == 0 {
+                CellOutcome::Ok
+            } else {
+                CellOutcome::Retried(saved.retries)
+            },
+        }
+    }
+
+    /// The checkpoint-persisted slice of this row (recovered rows only).
+    fn to_saved(&self) -> SavedRow {
+        SavedRow {
+            retries: match self.outcome {
+                CellOutcome::Retried(n) => n,
+                _ => 0,
+            },
+            gates: self.gates as u64,
+            rare_nets: self.rare_nets as u64,
+            sets: self.sets as u64,
+            patterns: self.patterns as u64,
+            max_compatible_set: self.max_compatible_set as u64,
         }
     }
 }
@@ -267,7 +635,7 @@ pub struct CampaignReport {
 }
 
 impl CampaignReport {
-    const COLUMNS: [&'static str; 8] = [
+    const COLUMNS: [&'static str; 9] = [
         "netlist",
         "theta",
         "seed",
@@ -276,9 +644,10 @@ impl CampaignReport {
         "sets",
         "patterns",
         "max_compatible_set",
+        "outcome",
     ];
 
-    fn row(r: &CellResult) -> [String; 8] {
+    fn row(r: &CellResult) -> [String; 9] {
         [
             r.cell.netlist.clone(),
             format!("{}", r.cell.theta),
@@ -288,7 +657,31 @@ impl CampaignReport {
             format!("{}", r.sets),
             format!("{}", r.patterns),
             format!("{}", r.max_compatible_set),
+            r.outcome.column(),
         ]
+    }
+
+    /// `true` when every cell recovered (outcome `ok` or `retried:N`) —
+    /// the success criterion of chaos gates and the campaign CLI's exit
+    /// code.
+    #[must_use]
+    pub fn all_recovered(&self) -> bool {
+        self.cells.iter().all(|r| r.outcome.recovered())
+    }
+
+    /// One-line outcome tally, e.g. `ok=6 retried=2 timeout=0 failed=0`.
+    #[must_use]
+    pub fn outcome_summary(&self) -> String {
+        let (mut ok, mut retried, mut timeout, mut failed) = (0u64, 0u64, 0u64, 0u64);
+        for r in &self.cells {
+            match r.outcome {
+                CellOutcome::Ok => ok += 1,
+                CellOutcome::Retried(_) => retried += 1,
+                CellOutcome::TimedOut => timeout += 1,
+                CellOutcome::Failed(_) => failed += 1,
+            }
+        }
+        format!("ok={ok} retried={retried} timeout={timeout} failed={failed}")
     }
 
     /// The report as tab-separated values with a header row.
@@ -487,6 +880,218 @@ mod tests {
         // Five stages per cell (empty-graph cells emit fewer; θ=0.18 on
         // c2670/25 finds rare nets, so all five run).
         assert!(*sink.stages.lock().unwrap() >= 2 * 2);
+    }
+
+    /// A smaller grid for the fault-tolerance tests: two cells, one
+    /// netlist.
+    fn two_cell_plan() -> CampaignPlan {
+        let mut plan = tiny_plan();
+        plan.netlists.truncate(1);
+        plan.seeds.truncate(1);
+        plan
+    }
+
+    /// The report TSV minus the outcome column — the projection that must
+    /// be byte-identical between clean and faulted runs.
+    fn data_projection(tsv: &str) -> String {
+        tsv.lines()
+            .map(|line| match line.rfind('\t') {
+                Some(cut) => &line[..cut],
+                None => line,
+            })
+            .fold(String::new(), |mut out, line| {
+                out.push_str(line);
+                out.push('\n');
+                out
+            })
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!(
+            "deterrent-campaign-{tag}-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ))
+    }
+
+    #[test]
+    fn faulted_run_recovers_bit_identical_at_any_thread_count() {
+        let plan = two_cell_plan();
+        let cache = temp_dir("chaos");
+        let _ = std::fs::remove_dir_all(&cache);
+
+        // Clean cold run populates the disk tier and fixes the expected
+        // data bytes.
+        let clean_store = ArtifactStore::with_disk(&cache);
+        let clean = plan.run(&clean_store, &Exec::new(1), &SilentProgress);
+        assert!(clean.all_recovered());
+        let expected = data_projection(&clean.to_tsv());
+
+        // Warm faulted runs: fresh memory tier, same disk tier, so every
+        // lookup exercises the faulted disk path; cell panics and
+        // timeouts fire on top. Each run gets a fresh plan instance (the
+        // fire-once state must not leak between runs).
+        let spec = "seed=11,panic=1000,timeout=1000,corrupt=800,io=300,evict=500";
+        for threads in [1, 4] {
+            let faults = deterrent_core::FaultPlan::parse(spec).expect("spec");
+            let store = ArtifactStore::with_disk_policy_faults(
+                &cache,
+                deterrent_core::CachePolicy::default(),
+                Some(faults.clone()),
+            );
+            let policy = RunPolicy {
+                faults: Some(faults.clone()),
+                ..RunPolicy::default()
+            };
+            let report =
+                plan.run_with_policy(&store, &Exec::new(threads), &SilentProgress, &policy);
+            assert!(
+                report.all_recovered(),
+                "fire-once faults always heal (threads={threads}): {}",
+                report.outcome_summary()
+            );
+            assert_eq!(
+                data_projection(&report.to_tsv()),
+                expected,
+                "data columns bit-identical under faults at threads={threads}"
+            );
+            let counts = faults.counts();
+            assert!(counts.panics >= 1, "≥1 injected panic: {counts:?}");
+            assert!(counts.timeouts >= 1, "≥1 injected timeout: {counts:?}");
+            assert!(
+                counts.corrupt_reads + counts.io_errors + counts.eviction_races >= 1,
+                "≥1 injected disk fault: {counts:?}"
+            );
+            // Every outcome records the recovery.
+            for row in &report.cells {
+                assert!(
+                    matches!(row.outcome, CellOutcome::Retried(_)),
+                    "panic+timeout at rate 1000 forces retries: {:?}",
+                    row.outcome
+                );
+            }
+            // The store healed whatever the plan corrupted.
+            let events = store.cache_events();
+            assert_eq!(
+                events.corrupt + events.io,
+                counts.corrupt_reads + counts.io_errors,
+                "every injected disk fault was classified: {events:?} vs {counts:?}"
+            );
+        }
+        let _ = std::fs::remove_dir_all(&cache);
+    }
+
+    #[test]
+    fn zero_deadline_times_out_deterministically() {
+        let plan = two_cell_plan();
+        let policy = RunPolicy {
+            max_retries: 1,
+            cell_deadline: Some(Duration::ZERO),
+            ..RunPolicy::default()
+        };
+        let a = plan.run_with_policy(
+            &ArtifactStore::new(),
+            &Exec::new(1),
+            &SilentProgress,
+            &policy,
+        );
+        let b = plan.run_with_policy(
+            &ArtifactStore::new(),
+            &Exec::new(4),
+            &SilentProgress,
+            &policy,
+        );
+        assert_eq!(a.to_tsv(), b.to_tsv(), "timeouts render identically");
+        assert!(!a.all_recovered());
+        for row in &a.cells {
+            assert_eq!(row.outcome, CellOutcome::TimedOut);
+            assert_eq!((row.rare_nets, row.patterns), (0, 0), "no data columns");
+            assert!(row.gates > 0, "gates are known without running");
+        }
+        assert_eq!(a.outcome_summary(), "ok=0 retried=0 timeout=2 failed=0");
+    }
+
+    #[test]
+    fn fail_fast_cancels_unstarted_cells() {
+        let plan = two_cell_plan();
+        let policy = RunPolicy {
+            max_retries: 0,
+            cell_deadline: Some(Duration::ZERO),
+            fail_fast: true,
+            ..RunPolicy::default()
+        };
+        // Serial executor: the first cell times out, cancelling the rest.
+        let report = plan.run_with_policy(
+            &ArtifactStore::new(),
+            &Exec::serial(),
+            &SilentProgress,
+            &policy,
+        );
+        assert_eq!(report.cells[0].outcome, CellOutcome::TimedOut);
+        assert_eq!(
+            report.cells[1].outcome,
+            CellOutcome::Failed("cancelled".to_string())
+        );
+    }
+
+    #[test]
+    fn checkpoint_resume_recomputes_only_unfinished_cells() {
+        let plan = two_cell_plan();
+        let ckpt = temp_dir("ckpt").join("campaign.ckpt");
+        let _ = std::fs::remove_dir_all(ckpt.parent().unwrap());
+        let policy = RunPolicy {
+            checkpoint: Some(ckpt.clone()),
+            ..RunPolicy::default()
+        };
+
+        let store1 = ArtifactStore::new();
+        let first = plan.run_with_policy(&store1, &Exec::new(1), &SilentProgress, &policy);
+        assert!(first.all_recovered());
+        assert!(store1.counters().total_misses() > 0);
+
+        // Full resume: every cell restored, nothing recomputed.
+        let store2 = ArtifactStore::new();
+        let resumed = plan.run_with_policy(&store2, &Exec::new(1), &SilentProgress, &policy);
+        assert_eq!(resumed, first, "restored rows reproduce the report");
+        assert_eq!(
+            store2.counters().total_misses(),
+            0,
+            "a fully checkpointed campaign computes nothing"
+        );
+
+        // Partial resume: grow the grid; only the new cells compute.
+        let mut bigger = plan.clone();
+        bigger.seeds.push(8);
+        let store3 = ArtifactStore::new();
+        let grown = bigger.run_with_policy(&store3, &Exec::new(1), &SilentProgress, &policy);
+        assert!(grown.all_recovered());
+        assert_eq!(grown.cells.len(), 4);
+        assert_eq!(
+            store3.counters().analyze.misses,
+            2,
+            "exactly the two new cells ran their analyze stage"
+        );
+        // The restored rows are byte-identical to the first run's.
+        let old_rows: Vec<&CellResult> = grown.cells.iter().filter(|r| r.cell.seed == 7).collect();
+        assert_eq!(old_rows.len(), 2);
+        for (restored, original) in old_rows.iter().zip(&first.cells) {
+            assert_eq!(
+                (restored.rare_nets, restored.sets, restored.patterns),
+                (original.rare_nets, original.sets, original.patterns)
+            );
+        }
+
+        // A semantic config change invalidates the checkpoint keys.
+        let mut changed = plan.clone();
+        changed.base = changed.base.with_episodes(13);
+        let store4 = ArtifactStore::new();
+        let rerun = changed.run_with_policy(&store4, &Exec::new(1), &SilentProgress, &policy);
+        assert!(rerun.all_recovered());
+        assert!(
+            store4.counters().total_misses() > 0,
+            "changed semantics must recompute despite the checkpoint"
+        );
+        let _ = std::fs::remove_dir_all(ckpt.parent().unwrap());
     }
 
     #[test]

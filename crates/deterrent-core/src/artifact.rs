@@ -23,9 +23,11 @@
 //! rename-on-write; see that module's docs for the exact layout and the
 //! versioning policy). Lookups then go **memory → disk → compute**: a disk
 //! hit decodes the file, promotes the artifact into the memory tier, and
-//! counts in [`StageCounters::disk_hits`]; corrupt, truncated, or
-//! version-mismatched files are silently treated as misses (counted in
-//! [`StageCounters::disk_corrupt`]), recomputed, and overwritten. Because
+//! counts in [`StageCounters::disk_hits`]; corrupt, truncated,
+//! version-mismatched, or I/O-failing files are treated as misses (counted
+//! in [`StageCounters::disk_corrupt`], classified per-kind in
+//! [`crate::CacheEvents`], and announced by one rate-limited stderr warning
+//! unless `DETERRENT_QUIET=1`), recomputed, and overwritten. Because
 //! keys never include the thread count and the codec round-trips every
 //! payload bit-exactly, a warm-from-disk run is bit-identical to a cold run
 //! at any thread count — which is what lets a second CLI invocation of the
@@ -40,7 +42,9 @@ use rl::{PpoConfig, PpoTrainer, TrainReport};
 use sim::rare::RareNetAnalysis;
 use sim::{PatternSource, TestPattern};
 
+use crate::cache::{CacheError, CacheErrorKind, CacheEvents};
 use crate::codec::{self, DiskLookup, DiskStage, DiskStore};
+use crate::fault::FaultPlan;
 use crate::{
     AnalysisConfig, CachePolicy, CompatConfig, CompatibilityGraph, EnumerationBudget,
     PatternGenStats, RareNetSet, SelectConfig, Stage, TrainConfig,
@@ -143,6 +147,29 @@ fn fp_compat(fp: Fp, config: &CompatConfig) -> Fp {
             &f.enumeration,
         ),
     }
+}
+
+/// Fingerprint of every *semantic* field of a
+/// [`crate::DeterrentConfig`] — the four stage sections plus the master
+/// seed — excluding the thread knob and the cache settings, which never
+/// affect results. See [`crate::DeterrentConfig::content_fingerprint`].
+pub(crate) fn config_fingerprint(config: &crate::DeterrentConfig) -> u64 {
+    let fp = Fp::new("deterrent/config")
+        .f64(config.analysis.rareness_threshold)
+        .usize(config.analysis.probability_patterns);
+    let fp = fp_compat(fp, &config.compat);
+    let fp = fp
+        .u64(config.train.reward_mode as u64)
+        .bool(config.train.masking)
+        .u64(config.train.compat_check as u64)
+        .usize(config.train.episodes)
+        .usize(config.train.steps_per_episode)
+        .usize(config.train.rollout_round);
+    fp_ppo(fp, &config.train.ppo)
+        .usize(config.select.eval_rollouts)
+        .usize(config.select.k_patterns)
+        .u64(config.seed)
+        .finish()
 }
 
 /// Key of an [`RareArtifact`] computed by the session's own analyze stage.
@@ -608,11 +635,21 @@ macro_rules! stage_cache {
                 .map(|disk| match disk.load($stage, key) {
                     DiskLookup::Hit(payload) => match $decode(key, &payload) {
                         Ok(artifact) => DiskLookup::Hit(artifact),
-                        Err(_) => DiskLookup::Corrupt,
+                        Err(e) => DiskLookup::Failed(CacheError::new(
+                            CacheErrorKind::Corrupt,
+                            $stage.stage(),
+                            key,
+                            format!("payload decode failed: {e:?}"),
+                        )),
                     },
                     DiskLookup::Miss => DiskLookup::Miss,
-                    DiskLookup::Corrupt => DiskLookup::Corrupt,
+                    DiskLookup::Failed(err) => DiskLookup::Failed(err),
                 });
+            if let Some(DiskLookup::Failed(err)) = &disk_result {
+                if let Some(disk) = &self.disk {
+                    disk.note_failure(err);
+                }
+            }
             let mut inner = self.lock();
             let c = &mut inner.counters.$counter;
             match disk_result {
@@ -626,7 +663,7 @@ macro_rules! stage_cache {
                     c.misses += 1;
                     None
                 }
-                Some(DiskLookup::Corrupt) => {
+                Some(DiskLookup::Failed(_)) => {
                     c.disk_corrupt += 1;
                     c.misses += 1;
                     None
@@ -670,9 +707,28 @@ impl ArtifactStore {
     /// are served warm — so they are excluded from every cache key.
     #[must_use]
     pub fn with_disk_policy(cache_dir: impl Into<PathBuf>, policy: CachePolicy) -> Self {
+        Self::with_disk_policy_faults(cache_dir, policy, None)
+    }
+
+    /// Like [`ArtifactStore::with_disk_policy`], but threading an optional
+    /// [`FaultPlan`] into the disk tier: the plan deterministically injects
+    /// corrupt reads, transient I/O errors, and eviction races at seeded
+    /// `(stage, key)` sites (each at most once), exercising exactly the
+    /// recover-by-recompute paths real faults would take. A `None` plan is
+    /// identical to [`ArtifactStore::with_disk_policy`].
+    #[must_use]
+    pub fn with_disk_policy_faults(
+        cache_dir: impl Into<PathBuf>,
+        policy: CachePolicy,
+        faults: Option<FaultPlan>,
+    ) -> Self {
         Self {
             inner: Arc::default(),
-            disk: Some(Arc::new(DiskStore::new(cache_dir.into(), policy))),
+            disk: Some(Arc::new(DiskStore::with_faults(
+                cache_dir.into(),
+                policy,
+                faults,
+            ))),
         }
     }
 
@@ -680,6 +736,18 @@ impl ArtifactStore {
     #[must_use]
     pub fn disk_dir(&self) -> Option<&Path> {
         self.disk.as_deref().map(DiskStore::root)
+    }
+
+    /// Classified disk-tier failure counters ([`CacheEvents`]): how many
+    /// lookups hit corrupt, version-mismatched, or I/O-failing artifact
+    /// files (all healed by recompute), and how many files budget
+    /// enforcement evicted. All zero for a memory-only store.
+    #[must_use]
+    pub fn cache_events(&self) -> CacheEvents {
+        self.disk
+            .as_deref()
+            .map(DiskStore::events)
+            .unwrap_or_default()
     }
 
     /// The per-stage counters rendered as the stable, machine-greppable

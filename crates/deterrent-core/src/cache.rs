@@ -54,12 +54,119 @@
 //! before any eviction is needed.
 
 use std::collections::HashSet;
+use std::fmt;
 use std::fs;
 use std::io;
 use std::path::{Path, PathBuf};
 
 use crate::codec::{self, CacheEntry, DiskStage};
 use crate::Stage;
+
+/// Classification of a disk-tier failure.
+///
+/// Every ad-hoc "treat as corrupt" path of the disk tier now produces one of
+/// these kinds, so failure events are countable and distinguishable (see
+/// [`CacheEvents`]) while the recovery semantics stay exactly what they
+/// were: recompute and heal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheErrorKind {
+    /// The file's magic, stage tag, key, length, checksum, or payload
+    /// structure is invalid.
+    Corrupt,
+    /// The header is intact but carries a different format version (an old
+    /// or future cache — recomputed, never migrated).
+    VersionMismatch,
+    /// The file or directory could not be read or written.
+    Io,
+    /// A budget-driven eviction removed the artifact.
+    Budget,
+}
+
+impl CacheErrorKind {
+    /// Stable lower-case name (`corrupt`, `version-mismatch`, `io`,
+    /// `budget`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Self::Corrupt => "corrupt",
+            Self::VersionMismatch => "version-mismatch",
+            Self::Io => "io",
+            Self::Budget => "budget",
+        }
+    }
+}
+
+/// A classified disk-tier failure: what kind, which artifact, and a short
+/// human-readable detail. All variants heal the same way (the stage
+/// recomputes and overwrites), so this type is informational — it feeds the
+/// [`CacheEvents`] counters and the rate-limited heal warning.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CacheError {
+    /// The failure class.
+    pub kind: CacheErrorKind,
+    /// The stage whose artifact failed.
+    pub stage: Stage,
+    /// The artifact cache key.
+    pub key: u64,
+    /// Short description of what exactly failed.
+    pub detail: String,
+}
+
+impl CacheError {
+    pub(crate) fn new(
+        kind: CacheErrorKind,
+        stage: Stage,
+        key: u64,
+        detail: impl Into<String>,
+    ) -> Self {
+        Self {
+            kind,
+            stage,
+            key,
+            detail: detail.into(),
+        }
+    }
+}
+
+impl fmt::Display for CacheError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} artifact {}/{:016x}: {}",
+            self.kind.name(),
+            self.stage,
+            self.key,
+            self.detail
+        )
+    }
+}
+
+impl std::error::Error for CacheError {}
+
+/// Per-kind counters of every disk-tier failure event a store has seen,
+/// including budget-driven evictions. Counting is additional to — never a
+/// replacement for — the per-stage [`crate::StageCounters`]: a corrupt
+/// lookup still counts in `disk_corrupt` exactly as before.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheEvents {
+    /// Structurally invalid files encountered (header, checksum, or payload
+    /// decode failures).
+    pub corrupt: u64,
+    /// Files with an intact header but a different format version.
+    pub version_mismatch: u64,
+    /// Read or write I/O errors (including injected ones).
+    pub io: u64,
+    /// Artifacts evicted by budget enforcement.
+    pub budget_evictions: u64,
+}
+
+impl CacheEvents {
+    /// Total failure events across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.corrupt + self.version_mismatch + self.io + self.budget_evictions
+    }
+}
 
 /// How over-budget artifacts are chosen for eviction.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -229,16 +336,20 @@ pub struct GcReport {
     pub corrupt_removed: u64,
     /// Access-stamp sidecars whose artifact no longer exists, removed.
     pub orphan_sidecars_removed: u64,
+    /// Stale `.tmp-*` files — residue of a writer killed mid-write, before
+    /// the atomic rename — removed.
+    pub stale_tmp_removed: u64,
     /// Bytes remaining in the cache after the sweep.
     pub bytes_remaining: u64,
 }
 
-/// Garbage-collects the cache at `root`: removes corrupt artifact files
-/// (bad header, version, key, or checksum), deletes orphaned sidecars, and
-/// then evicts least-recently-used artifacts until the cache fits
-/// `policy`'s budgets. Nothing is pinned — offline gc assumes no run is in
-/// flight; the in-process insert-time enforcement is what protects a live
-/// run's working set.
+/// Garbage-collects the cache at `root`: removes stale temp files left by
+/// torn writes, removes corrupt artifact files (bad header, version, key,
+/// or checksum), deletes orphaned sidecars, and then evicts
+/// least-recently-used artifacts until the cache fits `policy`'s budgets.
+/// Nothing is pinned — offline gc assumes no run is in flight; the
+/// in-process insert-time enforcement is what protects a live run's working
+/// set.
 ///
 /// # Errors
 ///
@@ -246,6 +357,16 @@ pub struct GcReport {
 /// (individual unreadable files are treated as corrupt, not errors).
 pub fn gc(root: &Path, policy: &CachePolicy) -> io::Result<GcReport> {
     let mut report = GcReport::default();
+
+    // Stale temp files are invisible to scan_entries (they have no `.dtc`
+    // extension), so a torn write never serves reads — but the bytes leak
+    // until an offline sweep removes them.
+    for stale in codec::scan_stale_temps(root)? {
+        if fs::remove_file(&stale).is_ok() {
+            report.stale_tmp_removed += 1;
+        }
+    }
+
     let mut entries = codec::scan_entries(root)?;
 
     // Remove corrupt artifacts (validate header + checksum in full).
@@ -410,5 +531,72 @@ mod tests {
         let report = verify(Path::new("/definitely/not/a/real/dir"), true);
         assert!(report.is_clean());
         assert_eq!(report.valid, 0);
+    }
+
+    #[test]
+    fn cache_error_classification_and_display() {
+        let err = CacheError::new(
+            CacheErrorKind::Corrupt,
+            Stage::Analyze,
+            0xAB,
+            "checksum mismatch".to_string(),
+        );
+        assert_eq!(err.kind, CacheErrorKind::Corrupt);
+        assert_eq!(
+            err.to_string(),
+            "corrupt artifact analyze/00000000000000ab: checksum mismatch"
+        );
+        assert_eq!(CacheErrorKind::VersionMismatch.name(), "version-mismatch");
+        assert_eq!(CacheErrorKind::Io.name(), "io");
+        assert_eq!(CacheErrorKind::Budget.name(), "budget");
+        let events = CacheEvents {
+            corrupt: 1,
+            version_mismatch: 2,
+            io: 3,
+            budget_evictions: 4,
+        };
+        assert_eq!(events.total(), 10);
+    }
+
+    #[test]
+    fn gc_heals_torn_writes_without_panicking() {
+        use crate::codec::DiskStore;
+
+        let root = std::env::temp_dir().join(format!(
+            "deterrent-gc-torn-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = fs::remove_dir_all(&root);
+        let disk = DiskStore::with_faults(root.clone(), CachePolicy::default(), None);
+        disk.store(DiskStage::Analyze, 0xFEED, b"whole artifact payload");
+
+        // Simulate a writer killed between temp-file creation and rename:
+        // a stale temp file plus a truncated (torn) artifact.
+        let stage_dir = root.join(DiskStage::Analyze.dir());
+        fs::write(
+            stage_dir.join(".tmp-99999-0-000000000000feed"),
+            b"partial bytes of a dead writer",
+        )
+        .unwrap();
+        let artifact = stage_dir.join(format!("{:016x}.dtc", 0xFEED_u64));
+        let whole = fs::read(&artifact).unwrap();
+        fs::write(&artifact, &whole[..whole.len() / 2]).unwrap();
+
+        let report = gc(&root, &CachePolicy::default()).expect("gc survives torn state");
+        assert_eq!(report.stale_tmp_removed, 1, "stale temp file removed");
+        assert_eq!(report.corrupt_removed, 1, "torn artifact removed");
+        assert!(!stage_dir.join(".tmp-99999-0-000000000000feed").exists());
+        assert!(!artifact.exists());
+
+        // The healed cache is simply cold again.
+        assert!(matches!(
+            disk.load(DiskStage::Analyze, 0xFEED),
+            codec::DiskLookup::Miss
+        ));
+        let clean = gc(&root, &CachePolicy::default()).expect("second gc");
+        assert_eq!(clean.stale_tmp_removed, 0);
+        assert_eq!(clean.corrupt_removed, 0);
+        let _ = fs::remove_dir_all(&root);
     }
 }

@@ -89,6 +89,8 @@ use crate::artifact::{
     GeneratedPatterns, GraphArtifact, PatternsArtifact, RareArtifact, SelectedSets, SetsArtifact,
     TrainedPolicy,
 };
+use crate::cache::{CacheError, CacheErrorKind, CacheEvents};
+use crate::fault::{FaultKind, FaultPlan};
 use crate::{CompatStats, CompatibilityGraph, PatternGenStats, PolicyArtifact};
 
 /// File magic: "DETERRENT cache", with a version-0 sentinel byte and a
@@ -867,9 +869,10 @@ pub(crate) enum DiskLookup<T> {
     Hit(T),
     /// No file for this key.
     Miss,
-    /// A file exists but is truncated, version-mismatched, or fails its
-    /// checksum — the caller recomputes and overwrites it.
-    Corrupt,
+    /// A file exists but could not be used; the [`CacheError`] classifies
+    /// why (corrupt / version-mismatch / io). The caller recomputes and
+    /// overwrites it — same heal semantics for every kind.
+    Failed(CacheError),
 }
 
 /// Process-unique suffix counter for temp files, so concurrent writers in
@@ -964,21 +967,58 @@ pub(crate) fn scan_entries(root: &Path) -> std::io::Result<Vec<CacheEntry>> {
     Ok(entries)
 }
 
-/// Validates `bytes` as a complete artifact file for `(stage, key)`:
+/// Classifies `bytes` as a complete artifact file for `(stage, key)`:
 /// magic, format version, stage tag, key, payload length, and FNV-1a
 /// payload checksum. Payload *structure* is not decoded — that happens at
 /// load time — but every bit of the file is covered by the checksum.
-pub(crate) fn validate_bytes(bytes: &[u8], stage: DiskStage, key: u64) -> bool {
-    if bytes.len() < HEADER_LEN || bytes[..8] != MAGIC {
-        return false;
+///
+/// An intact header with a different format version classifies as
+/// [`CacheErrorKind::VersionMismatch`]; every other failure is
+/// [`CacheErrorKind::Corrupt`].
+pub(crate) fn classify_bytes(bytes: &[u8], stage: DiskStage, key: u64) -> Result<(), CacheError> {
+    let fail = |kind: CacheErrorKind, detail: String| {
+        Err(CacheError::new(kind, stage.stage(), key, detail))
+    };
+    if bytes.len() < HEADER_LEN {
+        return fail(
+            CacheErrorKind::Corrupt,
+            format!("short file ({} bytes)", bytes.len()),
+        );
+    }
+    if bytes[..8] != MAGIC {
+        return fail(CacheErrorKind::Corrupt, "bad magic".to_string());
     }
     let field_u32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4"));
     let field_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8"));
-    field_u32(8) == FORMAT_VERSION
-        && field_u32(12) == stage.tag()
-        && field_u64(16) == key
-        && field_u64(24) == (bytes.len() - HEADER_LEN) as u64
-        && field_u64(32) == fnv1a(&bytes[HEADER_LEN..])
+    let version = field_u32(8);
+    if version != FORMAT_VERSION {
+        return fail(
+            CacheErrorKind::VersionMismatch,
+            format!("format version {version} (expected {FORMAT_VERSION})"),
+        );
+    }
+    if field_u32(12) != stage.tag() {
+        return fail(CacheErrorKind::Corrupt, "stage tag mismatch".to_string());
+    }
+    if field_u64(16) != key {
+        return fail(CacheErrorKind::Corrupt, "key mismatch".to_string());
+    }
+    if field_u64(24) != (bytes.len() - HEADER_LEN) as u64 {
+        return fail(
+            CacheErrorKind::Corrupt,
+            "payload length mismatch".to_string(),
+        );
+    }
+    if field_u64(32) != fnv1a(&bytes[HEADER_LEN..]) {
+        return fail(CacheErrorKind::Corrupt, "checksum mismatch".to_string());
+    }
+    Ok(())
+}
+
+/// Boolean view of [`classify_bytes`] for the maintenance scans, which
+/// treat every failure kind identically.
+pub(crate) fn validate_bytes(bytes: &[u8], stage: DiskStage, key: u64) -> bool {
+    classify_bytes(bytes, stage, key).is_ok()
 }
 
 /// Reads and validates the artifact file at `path` (see [`validate_bytes`]).
@@ -1051,16 +1091,45 @@ pub(crate) fn plan_evictions(
     order
 }
 
+/// Per-kind failure-event accumulator behind `&DiskStore`.
+#[derive(Debug, Default)]
+struct EventCell {
+    corrupt: AtomicU64,
+    version_mismatch: AtomicU64,
+    io: AtomicU64,
+    budget_evictions: AtomicU64,
+}
+
+impl EventCell {
+    fn snapshot(&self) -> CacheEvents {
+        CacheEvents {
+            corrupt: self.corrupt.load(Ordering::Relaxed),
+            version_mismatch: self.version_mismatch.load(Ordering::Relaxed),
+            io: self.io.load(Ordering::Relaxed),
+            budget_evictions: self.budget_evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Environment variable that silences the rate-limited heal warning when
+/// set to `1`.
+pub const QUIET_ENV_VAR: &str = "DETERRENT_QUIET";
+
 /// The persistent tier of an [`crate::ArtifactStore`]: one file per artifact
 /// under `<root>/<stage>/<key:016x>.dtc` plus a `.lru` access-stamp sidecar
 /// (see the [module docs](self) for both formats). All operations are
 /// best-effort — I/O errors on write are swallowed (the cache is an
-/// accelerator, not a store of record) and unreadable files are reported as
-/// [`DiskLookup::Corrupt`].
+/// accelerator, not a store of record) and unusable files are reported as
+/// [`DiskLookup::Failed`] with a classified [`CacheError`].
 ///
 /// The store enforces its [`crate::CachePolicy`] budgets after every
 /// insert, and pins every `(stage, key)` it has served from disk so the
 /// current process never evicts its own working set.
+///
+/// An attached [`FaultPlan`] deterministically injects faults — short
+/// reads, checksum flips, `ErrorKind::Other` on open/rename, eviction
+/// races — so the recovery paths are exercised by tests and CI instead of
+/// waiting for real corruption.
 #[derive(Debug)]
 pub(crate) struct DiskStore {
     root: PathBuf,
@@ -1068,15 +1137,62 @@ pub(crate) struct DiskStore {
     /// `(stage index, key)` pairs this process has read from disk —
     /// protected from this store's budget enforcement.
     pinned: std::sync::Mutex<std::collections::HashSet<(usize, u64)>>,
+    /// Optional deterministic fault-injection schedule.
+    faults: Option<FaultPlan>,
+    /// Per-kind failure-event counters.
+    events: EventCell,
+    /// Whether the one rate-limited heal warning has been printed.
+    warned: std::sync::atomic::AtomicBool,
 }
 
 impl DiskStore {
-    pub(crate) fn new(root: PathBuf, policy: crate::CachePolicy) -> Self {
+    pub(crate) fn with_faults(
+        root: PathBuf,
+        policy: crate::CachePolicy,
+        faults: Option<FaultPlan>,
+    ) -> Self {
         Self {
             root,
             policy,
             pinned: std::sync::Mutex::default(),
+            faults,
+            events: EventCell::default(),
+            warned: std::sync::atomic::AtomicBool::new(false),
         }
+    }
+
+    /// Snapshot of the per-kind failure-event counters.
+    pub(crate) fn events(&self) -> CacheEvents {
+        self.events.snapshot()
+    }
+
+    /// Counts a classified lookup failure and emits the rate-limited heal
+    /// warning (first failure per store only; silenced by
+    /// `DETERRENT_QUIET=1`). Counters always run; only the warning is
+    /// rate-limited.
+    pub(crate) fn note_failure(&self, err: &CacheError) {
+        let counter = match err.kind {
+            CacheErrorKind::Corrupt => &self.events.corrupt,
+            CacheErrorKind::VersionMismatch => &self.events.version_mismatch,
+            CacheErrorKind::Io => &self.events.io,
+            CacheErrorKind::Budget => &self.events.budget_evictions,
+        };
+        counter.fetch_add(1, Ordering::Relaxed);
+        if self.warned.swap(true, Ordering::Relaxed) {
+            return;
+        }
+        if std::env::var(QUIET_ENV_VAR).is_ok_and(|v| v.trim() == "1") {
+            return;
+        }
+        eprintln!(
+            "[store] warning: healing {err} (recomputing; later heals are \
+             silent — set {QUIET_ENV_VAR}=1 to silence this line)"
+        );
+    }
+
+    /// The stable fault-injection site identity of `(stage, key)`.
+    fn fault_site(stage: DiskStage, key: u64) -> u64 {
+        u64::from(stage.tag()).rotate_left(56) ^ key
     }
 
     pub(crate) fn root(&self) -> &Path {
@@ -1111,15 +1227,49 @@ impl DiskStore {
 
     /// Reads and validates the artifact file for `(stage, key)`. A hit
     /// refreshes the access-stamp sidecar and pins the artifact against
-    /// eviction by this process.
+    /// eviction by this process. An attached [`FaultPlan`] may
+    /// deterministically inject an open error, an eviction race (reported
+    /// as a clean miss), a short read, or a checksum flip.
     pub(crate) fn load(&self, stage: DiskStage, key: u64) -> DiskLookup<Vec<u8>> {
+        let site = Self::fault_site(stage, key);
+        if let Some(plan) = &self.faults {
+            if plan.should_inject(FaultKind::IoError, site) {
+                let injected = std::io::Error::other("injected transient fault");
+                return DiskLookup::Failed(CacheError::new(
+                    CacheErrorKind::Io,
+                    stage.stage(),
+                    key,
+                    format!("open failed: {injected}"),
+                ));
+            }
+        }
         let mut bytes = match fs::read(self.file_path(stage, key)) {
             Ok(bytes) => bytes,
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return DiskLookup::Miss,
-            Err(_) => return DiskLookup::Corrupt,
+            Err(e) => {
+                return DiskLookup::Failed(CacheError::new(
+                    CacheErrorKind::Io,
+                    stage.stage(),
+                    key,
+                    format!("read failed: {e}"),
+                ))
+            }
         };
-        if !validate_bytes(&bytes, stage, key) {
-            return DiskLookup::Corrupt;
+        if let Some(plan) = &self.faults {
+            if plan.should_inject(FaultKind::EvictionRace, site) {
+                // The file vanished between scan and read: a clean miss.
+                return DiskLookup::Miss;
+            }
+            if plan.should_inject(FaultKind::CorruptRead, site) {
+                if site & 1 == 0 {
+                    bytes.truncate(bytes.len() / 2);
+                } else if let Some(last) = bytes.last_mut() {
+                    *last ^= 0xFF;
+                }
+            }
+        }
+        if let Err(err) = classify_bytes(&bytes, stage, key) {
+            return DiskLookup::Failed(err);
         }
         let payload = bytes.split_off(HEADER_LEN);
         self.pin(stage, key);
@@ -1137,7 +1287,17 @@ impl DiskStore {
     pub(crate) fn store(&self, stage: DiskStage, key: u64, payload: &[u8]) {
         let dir = self.root.join(stage.dir());
         if fs::create_dir_all(&dir).is_err() {
+            self.events.io.fetch_add(1, Ordering::Relaxed);
             return;
+        }
+        if let Some(plan) = &self.faults {
+            if plan.should_inject(FaultKind::IoError, Self::fault_site(stage, key)) {
+                // Injected rename failure: the artifact stays cold on disk
+                // (the memory tier still holds it), counted like any real
+                // write error.
+                self.events.io.fetch_add(1, Ordering::Relaxed);
+                return;
+            }
         }
         let mut bytes = Vec::with_capacity(HEADER_LEN + payload.len());
         bytes.extend_from_slice(&MAGIC);
@@ -1149,6 +1309,8 @@ impl DiskStore {
         bytes.extend_from_slice(payload);
         if write_atomically(&dir, &self.file_path(stage, key), &bytes, key) {
             self.touch(stage, key);
+        } else {
+            self.events.io.fetch_add(1, Ordering::Relaxed);
         }
         self.enforce_budget();
     }
@@ -1173,8 +1335,95 @@ impl DiskStore {
             let entry = &entries[index];
             let _ = fs::remove_file(&entry.artifact);
             let _ = fs::remove_file(&entry.sidecar);
+            self.events.budget_evictions.fetch_add(1, Ordering::Relaxed);
         }
     }
+}
+
+/// Size of the header [`encode_record`] prepends.
+const RECORD_HEADER_LEN: usize = 32;
+
+/// Wraps `payload` in the codec's versioned record container: the cache
+/// MAGIC, the current format version, a caller-chosen record `tag`, the
+/// payload length, and an FNV-1a payload checksum (32 bytes of header).
+/// Used for non-artifact files that want the same torn-write and
+/// version-skew protection as artifacts — e.g. campaign checkpoint files.
+#[must_use]
+pub fn encode_record(tag: u32, payload: &[u8]) -> Vec<u8> {
+    let mut bytes = Vec::with_capacity(RECORD_HEADER_LEN + payload.len());
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&tag.to_le_bytes());
+    bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+    bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
+    bytes.extend_from_slice(payload);
+    bytes
+}
+
+/// Validates and unwraps a record produced by [`encode_record`] with the
+/// same `tag`, returning the payload bytes.
+///
+/// # Errors
+///
+/// Returns a short description when the magic, format version, tag,
+/// length, or checksum does not match — callers treat any error like a
+/// missing file (recompute from scratch), mirroring the artifact
+/// versioning policy.
+pub fn decode_record(tag: u32, bytes: &[u8]) -> Result<Vec<u8>, String> {
+    if bytes.len() < RECORD_HEADER_LEN {
+        return Err(format!("short record ({} bytes)", bytes.len()));
+    }
+    if bytes[..8] != MAGIC {
+        return Err("bad magic".to_string());
+    }
+    let field_u32 = |at: usize| u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4"));
+    let field_u64 = |at: usize| u64::from_le_bytes(bytes[at..at + 8].try_into().expect("8"));
+    let version = field_u32(8);
+    if version != FORMAT_VERSION {
+        return Err(format!(
+            "format version {version} (expected {FORMAT_VERSION})"
+        ));
+    }
+    let found_tag = field_u32(12);
+    if found_tag != tag {
+        return Err(format!("record tag {found_tag:#x} (expected {tag:#x})"));
+    }
+    let payload = &bytes[RECORD_HEADER_LEN..];
+    if field_u64(16) != payload.len() as u64 {
+        return Err("payload length mismatch".to_string());
+    }
+    if field_u64(24) != fnv1a(payload) {
+        return Err("checksum mismatch".to_string());
+    }
+    Ok(payload.to_vec())
+}
+
+/// Lists leftover `.tmp-*` files under `root`'s stage directories — the
+/// residue of a writer killed between temp-file creation and rename. Live
+/// writers hold their temp files only for the duration of one write, so
+/// offline maintenance (gc) may remove everything this returns.
+pub(crate) fn scan_stale_temps(root: &Path) -> std::io::Result<Vec<PathBuf>> {
+    let mut stale = Vec::new();
+    for stage in DiskStage::ALL {
+        let dir = root.join(stage.dir());
+        let listing = match fs::read_dir(&dir) {
+            Ok(listing) => listing,
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => continue,
+            Err(e) => return Err(e),
+        };
+        for item in listing {
+            let path = item?.path();
+            let is_temp = path
+                .file_name()
+                .and_then(|n| n.to_str())
+                .is_some_and(|n| n.starts_with(".tmp-"));
+            if is_temp {
+                stale.push(path);
+            }
+        }
+    }
+    stale.sort();
+    Ok(stale)
 }
 
 /// Writes `bytes` to `dest` via a process-unique temp file in `dir` + an
@@ -1334,7 +1583,7 @@ mod tests {
     #[test]
     fn disk_store_validates_header_version_key_and_checksum() {
         let root = temp_root("header");
-        let disk = DiskStore::new(root.clone(), crate::CachePolicy::default());
+        let disk = DiskStore::with_faults(root.clone(), crate::CachePolicy::default(), None);
         assert!(matches!(disk.load(DiskStage::Analyze, 7), DiskLookup::Miss));
         disk.store(DiskStage::Analyze, 7, b"payload bytes");
         match disk.load(DiskStage::Analyze, 7) {
@@ -1348,40 +1597,58 @@ mod tests {
         let path = disk.file_path(DiskStage::Analyze, 7);
         let original = fs::read(&path).unwrap();
 
+        // Route each failure through note_failure, as the artifact store
+        // does, so the event counters are exercised too.
+        let failure_kind = |lookup: DiskLookup<Vec<u8>>| match lookup {
+            DiskLookup::Failed(err) => {
+                disk.note_failure(&err);
+                err.kind
+            }
+            _ => panic!("expected a classified failure"),
+        };
+
         // Bad magic.
         let mut bad = original.clone();
         bad[0] ^= 0xFF;
         fs::write(&path, &bad).unwrap();
-        assert!(matches!(
-            disk.load(DiskStage::Analyze, 7),
-            DiskLookup::Corrupt
-        ));
+        assert_eq!(
+            failure_kind(disk.load(DiskStage::Analyze, 7)),
+            crate::cache::CacheErrorKind::Corrupt
+        );
 
-        // Wrong format version.
+        // Wrong format version with an intact magic classifies as
+        // version skew, not corruption.
         let mut bad = original.clone();
         bad[8] = bad[8].wrapping_add(1);
         fs::write(&path, &bad).unwrap();
-        assert!(matches!(
-            disk.load(DiskStage::Analyze, 7),
-            DiskLookup::Corrupt
-        ));
+        assert_eq!(
+            failure_kind(disk.load(DiskStage::Analyze, 7)),
+            crate::cache::CacheErrorKind::VersionMismatch
+        );
 
         // Truncated payload.
         fs::write(&path, &original[..original.len() - 3]).unwrap();
-        assert!(matches!(
-            disk.load(DiskStage::Analyze, 7),
-            DiskLookup::Corrupt
-        ));
+        assert_eq!(
+            failure_kind(disk.load(DiskStage::Analyze, 7)),
+            crate::cache::CacheErrorKind::Corrupt
+        );
 
         // Flipped payload bit (checksum mismatch).
         let mut bad = original.clone();
         let last = bad.len() - 1;
         bad[last] ^= 0x10;
         fs::write(&path, &bad).unwrap();
-        assert!(matches!(
-            disk.load(DiskStage::Analyze, 7),
-            DiskLookup::Corrupt
-        ));
+        assert_eq!(
+            failure_kind(disk.load(DiskStage::Analyze, 7)),
+            crate::cache::CacheErrorKind::Corrupt
+        );
+
+        // Every failure above was counted and classified.
+        let events = disk.events();
+        assert_eq!(events.corrupt, 3);
+        assert_eq!(events.version_mismatch, 1);
+        assert_eq!(events.io, 0);
+        assert_eq!(events.total(), 4);
 
         // Overwriting heals the file.
         disk.store(DiskStage::Analyze, 7, b"payload bytes");

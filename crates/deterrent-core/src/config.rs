@@ -382,6 +382,17 @@ impl DeterrentConfig {
         self.train.ppo.gae_lambda = 0.95;
         self
     }
+
+    /// A stable fingerprint of every field that can change pipeline
+    /// *results*: the four stage sections and the master seed. The thread
+    /// knob and the cache settings are excluded — they only move work
+    /// around, never change outputs. Two configs with equal fingerprints
+    /// produce bit-identical pipelines, which is what lets a campaign
+    /// checkpoint recognise rows computed by an equivalent earlier run.
+    #[must_use]
+    pub fn content_fingerprint(&self) -> u64 {
+        crate::artifact::config_fingerprint(self)
+    }
 }
 
 #[cfg(test)]
@@ -424,6 +435,35 @@ mod tests {
         assert_eq!(c.train, base.train, "train section untouched");
         assert_eq!(c.compat, base.compat, "compat section untouched");
         assert_eq!(c.select, base.select, "select section untouched");
+    }
+
+    #[test]
+    fn content_fingerprint_tracks_semantics_only() {
+        let base = DeterrentConfig::fast_preset();
+        let fp = base.content_fingerprint();
+        assert_eq!(fp, base.clone().content_fingerprint(), "stable");
+        assert_eq!(
+            fp,
+            base.clone().with_threads(8).content_fingerprint(),
+            "threads are non-semantic"
+        );
+        assert_eq!(
+            fp,
+            base.clone()
+                .with_cache_dir("/tmp/elsewhere")
+                .with_cache_max_bytes(1024)
+                .content_fingerprint(),
+            "cache settings are non-semantic"
+        );
+        assert_ne!(fp, base.clone().with_seed(123).content_fingerprint());
+        assert_ne!(fp, base.clone().with_threshold(0.33).content_fingerprint());
+        assert_ne!(fp, base.clone().with_episodes(1).content_fingerprint());
+        assert_ne!(
+            fp,
+            base.clone()
+                .with_ablation(RewardMode::EndOfEpisode, false)
+                .content_fingerprint()
+        );
     }
 
     #[test]

@@ -1,0 +1,316 @@
+//! Deterministic fault injection for exercising recovery paths.
+//!
+//! Fault tolerance that is never exercised is fault tolerance that does not
+//! work. A [`FaultPlan`] is a *seeded schedule* of injected faults threaded
+//! into the disk tier (see [`crate::ArtifactStore::with_disk_policy_faults`])
+//! and into the campaign driver's per-cell failure domains, so the same
+//! recovery machinery that handles real corruption, I/O errors, panics, and
+//! timeouts runs as first-class tested code — no hand-built corrupt files.
+//!
+//! Two properties make injected faults compatible with the workspace's core
+//! invariant (bit-identical results at any thread count):
+//!
+//! 1. **Pure site decisions.** Whether a fault fires at a *site* (a stable
+//!    64-bit identity: cache `(stage, key)`, or a campaign cell fingerprint)
+//!    is a pure function of `(plan seed, fault kind, site)` via
+//!    [`exec::split_seed`] — never of wall-clock time, thread id, or
+//!    operation order.
+//! 2. **Fire-once per site.** Each `(kind, site)` fires at most once per
+//!    plan, so the retry/heal path that follows always succeeds and the
+//!    recovered output is identical to a fault-free run.
+//!
+//! The schedule is parsed from a compact spec (the `DETERRENT_FAULT_PLAN`
+//! environment variable, [`FAULT_PLAN_ENV_VAR`]):
+//!
+//! ```text
+//! seed=42,panic=400,timeout=300,corrupt=1000,io=500,evict=200
+//! ```
+//!
+//! where each rate is per-mille (0–1000) of sites that fault. `1000` means
+//! "every site faults exactly once" — the deterministic worst case.
+
+use std::collections::HashSet;
+use std::sync::{Arc, Mutex};
+
+use exec::split_seed;
+
+/// Environment variable holding a [`FaultPlan`] spec (see the module docs
+/// for the format). Read by the campaign CLI, never by the library.
+pub const FAULT_PLAN_ENV_VAR: &str = "DETERRENT_FAULT_PLAN";
+
+/// The kinds of faults a [`FaultPlan`] can inject.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FaultKind {
+    /// Panic inside a campaign cell's failure domain (spec key `panic`).
+    CellPanic,
+    /// Simulated per-cell deadline expiry, without consuming wall clock
+    /// (spec key `timeout`).
+    CellTimeout,
+    /// Corrupted artifact read: a short read or a flipped checksum byte,
+    /// chosen by site parity (spec key `corrupt`).
+    CorruptRead,
+    /// Transient `ErrorKind::Other` I/O error on artifact open or rename
+    /// (spec key `io`).
+    IoError,
+    /// Simulated eviction race: an artifact file that vanishes between
+    /// directory scan and read, surfacing as a clean miss (spec key
+    /// `evict`).
+    EvictionRace,
+}
+
+impl FaultKind {
+    const ALL: [FaultKind; 5] = [
+        Self::CellPanic,
+        Self::CellTimeout,
+        Self::CorruptRead,
+        Self::IoError,
+        Self::EvictionRace,
+    ];
+
+    fn index(self) -> usize {
+        match self {
+            Self::CellPanic => 0,
+            Self::CellTimeout => 1,
+            Self::CorruptRead => 2,
+            Self::IoError => 3,
+            Self::EvictionRace => 4,
+        }
+    }
+
+    fn spec_key(self) -> &'static str {
+        match self {
+            Self::CellPanic => "panic",
+            Self::CellTimeout => "timeout",
+            Self::CorruptRead => "corrupt",
+            Self::IoError => "io",
+            Self::EvictionRace => "evict",
+        }
+    }
+
+    /// Decorrelates the per-kind decision streams of one plan seed.
+    fn salt(self) -> u64 {
+        0xFA17_0000_0000_0000 ^ ((self.index() as u64 + 1) << 32)
+    }
+}
+
+/// How many faults of each kind a plan has injected so far.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct FaultCounts {
+    /// Injected cell panics.
+    pub panics: u64,
+    /// Injected cell timeouts.
+    pub timeouts: u64,
+    /// Injected corrupt reads (short read or checksum flip).
+    pub corrupt_reads: u64,
+    /// Injected transient I/O errors.
+    pub io_errors: u64,
+    /// Injected eviction races.
+    pub eviction_races: u64,
+}
+
+impl FaultCounts {
+    /// Total faults injected across all kinds.
+    #[must_use]
+    pub fn total(&self) -> u64 {
+        self.panics + self.timeouts + self.corrupt_reads + self.io_errors + self.eviction_races
+    }
+}
+
+#[derive(Debug, Default)]
+struct PlanState {
+    fired: HashSet<(u8, u64)>,
+    counts: FaultCounts,
+}
+
+/// A seeded, deterministic fault-injection schedule. Cloning shares the
+/// fire-once bookkeeping, so one plan can be threaded into both the disk
+/// tier and the campaign driver and its counters stay coherent.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    seed: u64,
+    /// Per-kind injection rates, per-mille of sites (indexed by
+    /// [`FaultKind::index`]).
+    rates: [u16; 5],
+    state: Arc<Mutex<PlanState>>,
+}
+
+impl FaultPlan {
+    /// A plan that injects nothing (all rates zero) — useful as a base for
+    /// the `with_rate` builder in tests.
+    #[must_use]
+    pub fn quiet(seed: u64) -> Self {
+        Self {
+            seed,
+            rates: [0; 5],
+            state: Arc::default(),
+        }
+    }
+
+    /// Returns a copy with `kind`'s injection rate set to `per_mille`
+    /// (clamped to 1000). Shares no fired-state with `self`.
+    #[must_use]
+    pub fn with_rate(mut self, kind: FaultKind, per_mille: u16) -> Self {
+        self.rates[kind.index()] = per_mille.min(1000);
+        self.state = Arc::default();
+        self
+    }
+
+    /// Parses a plan spec: comma-separated `key=value` pairs with keys
+    /// `seed` (u64, default 0) and the per-kind rates `panic`, `timeout`,
+    /// `corrupt`, `io`, `evict` (per-mille, 0–1000, default 0).
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed pair or unknown key.
+    pub fn parse(spec: &str) -> Result<Self, String> {
+        let mut plan = Self::quiet(0);
+        for pair in spec.split(',').map(str::trim).filter(|p| !p.is_empty()) {
+            let (key, value) = pair
+                .split_once('=')
+                .ok_or_else(|| format!("fault plan: expected key=value, got {pair:?}"))?;
+            let (key, value) = (key.trim(), value.trim());
+            if key == "seed" {
+                plan.seed = value
+                    .parse()
+                    .map_err(|_| format!("fault plan: bad seed {value:?}"))?;
+                continue;
+            }
+            let kind = FaultKind::ALL
+                .into_iter()
+                .find(|k| k.spec_key() == key)
+                .ok_or_else(|| format!("fault plan: unknown key {key:?}"))?;
+            let rate: u16 = value
+                .parse()
+                .map_err(|_| format!("fault plan: bad rate {value:?} for {key}"))?;
+            if rate > 1000 {
+                return Err(format!("fault plan: rate {rate} for {key} exceeds 1000"));
+            }
+            plan.rates[kind.index()] = rate;
+        }
+        Ok(plan)
+    }
+
+    /// Reads [`FAULT_PLAN_ENV_VAR`].
+    ///
+    /// Returns `Ok(None)` when the variable is unset or empty.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`FaultPlan::parse`] errors for a set-but-malformed value.
+    pub fn from_env() -> Result<Option<Self>, String> {
+        match std::env::var(FAULT_PLAN_ENV_VAR) {
+            Ok(spec) if !spec.trim().is_empty() => Self::parse(&spec).map(Some),
+            _ => Ok(None),
+        }
+    }
+
+    /// The plan seed.
+    #[must_use]
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Decides whether a `kind` fault fires at `site`, firing at most once
+    /// per `(kind, site)` pair. The decision is a pure function of
+    /// `(seed, kind, site)`; the fire-once bookkeeping only downgrades
+    /// repeat decisions, so recovery retries always run clean.
+    #[must_use]
+    pub fn should_inject(&self, kind: FaultKind, site: u64) -> bool {
+        let rate = u64::from(self.rates[kind.index()]);
+        if rate == 0 {
+            return false;
+        }
+        if split_seed(self.seed ^ kind.salt(), site) % 1000 >= rate {
+            return false;
+        }
+        let mut state = self.state.lock().expect("fault plan state poisoned");
+        if !state.fired.insert((kind.index() as u8, site)) {
+            return false;
+        }
+        match kind {
+            FaultKind::CellPanic => state.counts.panics += 1,
+            FaultKind::CellTimeout => state.counts.timeouts += 1,
+            FaultKind::CorruptRead => state.counts.corrupt_reads += 1,
+            FaultKind::IoError => state.counts.io_errors += 1,
+            FaultKind::EvictionRace => state.counts.eviction_races += 1,
+        }
+        true
+    }
+
+    /// Snapshot of how many faults have been injected so far.
+    #[must_use]
+    pub fn counts(&self) -> FaultCounts {
+        self.state.lock().expect("fault plan state poisoned").counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_round_trips_rates_and_seed() {
+        let plan = FaultPlan::parse("seed=42, panic=400, corrupt=1000,io=5").expect("parse");
+        assert_eq!(plan.seed(), 42);
+        assert_eq!(plan.rates[FaultKind::CellPanic.index()], 400);
+        assert_eq!(plan.rates[FaultKind::CorruptRead.index()], 1000);
+        assert_eq!(plan.rates[FaultKind::IoError.index()], 5);
+        assert_eq!(plan.rates[FaultKind::CellTimeout.index()], 0);
+        assert!(FaultPlan::parse("").expect("empty ok").counts().total() == 0);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_specs() {
+        assert!(FaultPlan::parse("panic").is_err());
+        assert!(FaultPlan::parse("bogus=5").is_err());
+        assert!(FaultPlan::parse("panic=oops").is_err());
+        assert!(FaultPlan::parse("panic=1001").is_err());
+        assert!(FaultPlan::parse("seed=minus").is_err());
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_fire_once() {
+        let make = || FaultPlan::parse("seed=7,corrupt=500").expect("parse");
+        let (a, b) = (make(), make());
+        let decisions_a: Vec<bool> = (0..64)
+            .map(|s| a.should_inject(FaultKind::CorruptRead, s))
+            .collect();
+        let decisions_b: Vec<bool> = (0..64)
+            .map(|s| b.should_inject(FaultKind::CorruptRead, s))
+            .collect();
+        assert_eq!(decisions_a, decisions_b, "same seed, same schedule");
+        let fired = decisions_a.iter().filter(|&&d| d).count();
+        assert!(fired > 0, "a 50% rate over 64 sites fires at least once");
+        assert_eq!(a.counts().corrupt_reads, fired as u64);
+        // Second decision at an already-fired site never fires again.
+        for site in 0..64 {
+            assert!(!a.should_inject(FaultKind::CorruptRead, site));
+        }
+        assert_eq!(a.counts().corrupt_reads, fired as u64);
+    }
+
+    #[test]
+    fn kinds_have_independent_streams() {
+        let plan = FaultPlan::quiet(1)
+            .with_rate(FaultKind::CellPanic, 500)
+            .with_rate(FaultKind::CellTimeout, 500);
+        let panics: Vec<bool> = (0..128)
+            .map(|s| plan.should_inject(FaultKind::CellPanic, s))
+            .collect();
+        let timeouts: Vec<bool> = (0..128)
+            .map(|s| plan.should_inject(FaultKind::CellTimeout, s))
+            .collect();
+        assert_ne!(panics, timeouts, "kind salt decorrelates the streams");
+    }
+
+    #[test]
+    fn full_rate_fires_every_site_exactly_once() {
+        let plan = FaultPlan::quiet(3).with_rate(FaultKind::IoError, 1000);
+        for site in 0..16 {
+            assert!(plan.should_inject(FaultKind::IoError, site));
+            assert!(!plan.should_inject(FaultKind::IoError, site));
+        }
+        assert_eq!(plan.counts().io_errors, 16);
+        assert_eq!(plan.counts().total(), 16);
+    }
+}

@@ -69,6 +69,7 @@ mod codec;
 mod compat;
 mod config;
 mod env;
+mod fault;
 mod observer;
 mod pipeline;
 mod selection;
@@ -79,9 +80,10 @@ pub use artifact::{
     RareArtifact, SelectedSets, SetsArtifact, StageCounters, StoreCounters, TrainedPolicy,
 };
 pub use cache::{
-    parse_bytes, CachePolicy, CacheStats, Eviction, GcReport, StageUsage, VerifyReport,
+    parse_bytes, CacheError, CacheErrorKind, CacheEvents, CachePolicy, CacheStats, Eviction,
+    GcReport, StageUsage, VerifyReport,
 };
-pub use codec::SLIM_LOSS_KEEP;
+pub use codec::{decode_record, encode_record, QUIET_ENV_VAR, SLIM_LOSS_KEEP};
 pub use compat::{
     CompatBuildOptions, CompatStats, CompatStrategy, CompatibilityGraph, EnumerationBudget,
     FunnelOptions,
@@ -91,6 +93,7 @@ pub use config::{
     TrainConfig,
 };
 pub use env::CompatSetEnv;
+pub use fault::{FaultCounts, FaultKind, FaultPlan, FAULT_PLAN_ENV_VAR};
 pub use observer::{RecordingObserver, RoundProgress, RunObserver, Stage, StageMetrics};
 pub use pipeline::{Deterrent, DeterrentResult, TrainingMetrics};
 pub use selection::{

@@ -652,6 +652,89 @@ mod tests {
     }
 
     #[test]
+    fn faulted_disk_tier_heals_to_bit_identical_results() {
+        use crate::{CachePolicy, FaultKind, FaultPlan};
+
+        let root = std::env::temp_dir().join(format!(
+            "deterrent-fault-store-{}-{:?}",
+            std::process::id(),
+            std::thread::current().id()
+        ));
+        let _ = std::fs::remove_dir_all(&root);
+        let nl = small_netlist();
+        let config = fast_config().with_episodes(20);
+
+        // Cold run populates the disk tier.
+        let cold_store = ArtifactStore::with_disk(&root);
+        let cold = DeterrentSession::with_store(&nl, config.clone(), cold_store).run();
+
+        // First warm run: every disk load returns corrupt bytes (full-rate
+        // corruption fires once per site), recovery recomputes and re-stores,
+        // and the result must not change.
+        let plan = FaultPlan::quiet(5).with_rate(FaultKind::CorruptRead, 1000);
+        let store = ArtifactStore::with_disk_policy_faults(
+            &root,
+            CachePolicy::default(),
+            Some(plan.clone()),
+        );
+        let warm = DeterrentSession::with_store(&nl, config.clone(), store.clone()).run();
+        assert_eq!(warm.patterns, cold.patterns, "faults never change results");
+        assert_eq!(warm.rare_nets, cold.rare_nets);
+        assert_eq!(warm.sets, cold.sets);
+
+        let counts = plan.counts();
+        assert!(
+            counts.corrupt_reads >= 1,
+            "full-rate corrupt reads fired: {counts:?}"
+        );
+        let events = store.cache_events();
+        assert_eq!(
+            events.corrupt, counts.corrupt_reads,
+            "every injected corruption was classified and counted"
+        );
+        let counters = store.counters();
+        for (_, c) in counters.stages() {
+            assert_eq!(
+                c.misses,
+                c.disk_misses + c.disk_corrupt,
+                "the tier invariant holds under faults"
+            );
+        }
+        assert!(
+            counters.total_disk_corrupt() >= 1,
+            "faults surfaced as corrupt-lookup misses"
+        );
+
+        // Second warm run, fresh memory tier, fresh schedule: every disk
+        // interaction hits an injected I/O error instead. Same healed result.
+        let io_plan = FaultPlan::quiet(7).with_rate(FaultKind::IoError, 1000);
+        let io_store = ArtifactStore::with_disk_policy_faults(
+            &root,
+            CachePolicy::default(),
+            Some(io_plan.clone()),
+        );
+        let io_warm = DeterrentSession::with_store(&nl, config, io_store.clone()).run();
+        assert_eq!(
+            io_warm.patterns, cold.patterns,
+            "io faults heal identically"
+        );
+        let io_counts = io_plan.counts();
+        assert!(
+            io_counts.io_errors >= 1,
+            "full-rate io errors fired: {io_counts:?}"
+        );
+        let io_events = io_store.cache_events();
+        assert!(
+            io_events.io >= 1,
+            "injected io failures were classified and counted: {io_events:?}"
+        );
+        for (_, c) in io_store.counters().stages() {
+            assert_eq!(c.misses, c.disk_misses + c.disk_corrupt);
+        }
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
     fn exec_stats_cover_estimation() {
         let nl = small_netlist();
         let mut session = DeterrentSession::new(&nl, fast_config());

@@ -26,6 +26,20 @@
 //! [`std::thread::available_parallelism`]. Every parallel call records task
 //! and timing counters in an [`ExecStats`] surface for speedup reporting.
 //!
+//! # Fault containment
+//!
+//! Panics and cancellation are part of the execution contract rather than
+//! process-fatal events. The isolated combinators
+//! ([`Exec::par_map_isolated`], [`Exec::try_par_map`]) wrap each task in
+//! [`std::panic::catch_unwind`] and convert a panic into a [`TaskError`]
+//! carrying the task index and payload message, so one exploding task cannot
+//! tear down the pool. A cooperative [`CancelToken`] (shared via
+//! [`Exec::cancel_token`]) is consulted at chunk and task boundaries; after
+//! it fires, unstarted tasks report [`TaskFailure::Cancelled`]. The legacy
+//! infallible combinators still propagate panics, but re-raised with the
+//! failing task index and message attached instead of a bare join failure.
+//! [`ExecStats`] counts both contained panics and cancelled tasks.
+//!
 //! # Example
 //!
 //! ```
@@ -47,10 +61,12 @@
 mod pool;
 mod seed;
 mod stats;
+mod task;
 
 pub use pool::Exec;
 pub use seed::{split_seed, SeedStream};
 pub use stats::ExecStats;
+pub use task::{catch_task, CancelToken, TaskError, TaskFailure};
 
 /// Environment variable consulted by [`Exec::new`] when the thread knob is 0.
 pub const THREADS_ENV_VAR: &str = "DETERRENT_THREADS";

@@ -4,6 +4,7 @@ use std::ops::Range;
 use std::time::Instant;
 
 use crate::stats::StatsCell;
+use crate::task::{catch_task, payload_message, CancelToken, TaskError};
 use crate::{ExecStats, THREADS_ENV_VAR};
 
 /// A deterministic parallel executor with a fixed worker count.
@@ -14,10 +15,17 @@ use crate::{ExecStats, THREADS_ENV_VAR};
 /// *static* — an index range is divided into one contiguous chunk per worker
 /// and results are merged in chunk order — so outputs are independent of
 /// scheduling and thread count.
+///
+/// Two failure modes are first-class: the *isolated* combinators
+/// ([`Exec::par_map_isolated`], [`Exec::try_par_map`],
+/// [`Exec::try_par_index_map`]) contain per-task panics as [`TaskError`]
+/// values, and every executor carries a [`CancelToken`] consulted at chunk
+/// and task boundaries so a cooperative shutdown skips unstarted work.
 #[derive(Debug)]
 pub struct Exec {
     threads: usize,
     stats: StatsCell,
+    cancel: CancelToken,
 }
 
 impl Default for Exec {
@@ -48,6 +56,7 @@ impl Exec {
         Self {
             threads,
             stats: StatsCell::default(),
+            cancel: CancelToken::new(),
         }
     }
 
@@ -59,7 +68,25 @@ impl Exec {
         Self {
             threads: 1,
             stats: StatsCell::default(),
+            cancel: CancelToken::new(),
         }
+    }
+
+    /// Replaces the executor's cancel token (builder style), so several
+    /// executors — or an executor and its driving loop — can share one flag.
+    #[must_use]
+    pub fn with_cancel_token(mut self, token: CancelToken) -> Self {
+        self.cancel = token;
+        self
+    }
+
+    /// A handle to the executor's cancel token. Cancelling it makes the
+    /// isolated combinators skip all not-yet-started tasks (reported as
+    /// [`crate::TaskFailure::Cancelled`]); the legacy infallible combinators
+    /// always run to completion.
+    #[must_use]
+    pub fn cancel_token(&self) -> CancelToken {
+        self.cancel.clone()
     }
 
     /// The resolved worker count (always at least 1).
@@ -88,6 +115,12 @@ impl Exec {
     /// chunked (e.g. fold with an associative operation, or return per-index
     /// values) — then the merged output is bit-identical at any thread
     /// count.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside `work` propagates to the caller, re-raised with the
+    /// failing task range and the downcast payload message attached (the
+    /// original payload text is preserved as a substring).
     pub fn par_ranges<R, F>(&self, n: usize, work: F) -> Vec<R>
     where
         R: Send,
@@ -111,17 +144,27 @@ impl Exec {
                     .step_by(chunk)
                     .map(|lo| {
                         let hi = (lo + chunk).min(n);
-                        scope.spawn(move |_| {
+                        let handle = scope.spawn(move |_| {
                             let busy_start = Instant::now();
                             let r = work(lo..hi);
                             stats.record_busy(busy_start.elapsed().as_nanos() as u64);
                             r
-                        })
+                        });
+                        (lo..hi, handle)
                     })
                     .collect();
                 handles
                     .into_iter()
-                    .map(|h| h.join().expect("exec worker panicked"))
+                    .map(|(range, h)| {
+                        h.join().unwrap_or_else(|payload| {
+                            panic!(
+                                "exec worker panicked on tasks {}..{}: {}",
+                                range.start,
+                                range.end,
+                                payload_message(payload.as_ref())
+                            )
+                        })
+                    })
                     .collect()
             })
             .expect("exec thread scope")
@@ -133,15 +176,96 @@ impl Exec {
 
     /// Applies `f` to every index in `0..n` and returns the results in index
     /// order.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside `f` propagates to the caller, re-raised with the exact
+    /// failing index and the downcast payload message attached.
     pub fn par_index_map<R, F>(&self, n: usize, f: F) -> Vec<R>
     where
         R: Send,
         F: Fn(usize) -> R + Sync,
     {
-        self.par_ranges(n, |range| range.map(&f).collect::<Vec<_>>())
-            .into_iter()
-            .flatten()
-            .collect()
+        self.par_ranges(n, |range| {
+            range
+                .map(|i| catch_task(i, || f(i)).unwrap_or_else(|e| panic!("exec {e}")))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Applies `f(index, item)` to every item, containing per-task panics:
+    /// the result vector holds, in item order, either the task's value or a
+    /// [`TaskError`] with its index and downcast panic message. One failing
+    /// task never prevents the others from running.
+    ///
+    /// Cancellation (via [`Exec::cancel_token`]) is checked before each
+    /// task: once the token fires, remaining tasks report
+    /// [`crate::TaskFailure::Cancelled`] without running. Tasks already in
+    /// flight complete normally.
+    pub fn par_map_isolated<T, R, F>(&self, items: &[T], f: F) -> Vec<Result<R, TaskError>>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_ranges(items.len(), |range| {
+            let mut out = Vec::with_capacity(range.len());
+            for i in range {
+                if self.cancel.is_cancelled() {
+                    self.stats.record_task_cancelled();
+                    out.push(Err(TaskError::cancelled(i)));
+                    continue;
+                }
+                let result = catch_task(i, || f(i, &items[i]));
+                if result.is_err() {
+                    self.stats.record_panic_caught();
+                }
+                out.push(result);
+            }
+            out
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Fallible variant of [`Exec::par_map`]: all tasks run isolated, and
+    /// the lowest-index failure (if any) is returned as the error.
+    ///
+    /// Because each chunk contains panics independently and results merge in
+    /// index order, the reported error is the globally first failing task —
+    /// identical at any thread count for deterministic task bodies.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TaskError`] of the lowest-index task that panicked or
+    /// was skipped by cancellation.
+    pub fn try_par_map<T, R, F>(&self, items: &[T], f: F) -> Result<Vec<R>, TaskError>
+    where
+        T: Sync,
+        R: Send,
+        F: Fn(usize, &T) -> R + Sync,
+    {
+        self.par_map_isolated(items, f).into_iter().collect()
+    }
+
+    /// Fallible variant of [`Exec::par_index_map`]; see
+    /// [`Exec::try_par_map`] for the error contract.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`TaskError`] of the lowest-index task that panicked or
+    /// was skipped by cancellation.
+    pub fn try_par_index_map<R, F>(&self, n: usize, f: F) -> Result<Vec<R>, TaskError>
+    where
+        R: Send,
+        F: Fn(usize) -> R + Sync,
+    {
+        let indices: Vec<usize> = (0..n).collect();
+        self.try_par_map(&indices, |_, &i| f(i))
     }
 
     /// Applies `f(index, item)` to every item and returns the results in
@@ -296,5 +420,107 @@ mod tests {
     #[should_panic(expected = "chunk length")]
     fn zero_chunk_len_panics() {
         let _ = Exec::serial().par_chunks(&[1, 2, 3], 0, |_, _| ());
+    }
+
+    #[test]
+    fn isolated_map_contains_panics_at_any_thread_count() {
+        for threads in [1, 4] {
+            let exec = Exec::new(threads);
+            let items: Vec<u32> = (0..16).collect();
+            let out = exec.par_map_isolated(&items, |_, &x| {
+                assert!(x != 5 && x != 11, "task {x} exploded");
+                x * 2
+            });
+            assert_eq!(out.len(), 16);
+            for (i, r) in out.iter().enumerate() {
+                if i == 5 || i == 11 {
+                    let err = r.as_ref().unwrap_err();
+                    assert_eq!(err.index, i);
+                    assert!(
+                        err.panic_message().unwrap().contains("exploded"),
+                        "got: {err}"
+                    );
+                } else {
+                    assert_eq!(*r.as_ref().unwrap(), (i as u32) * 2);
+                }
+            }
+            assert_eq!(exec.stats().panics_caught, 2, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn try_par_map_reports_lowest_failing_index() {
+        for threads in [1, 4] {
+            let exec = Exec::new(threads);
+            let items: Vec<u32> = (0..64).collect();
+            let err = exec
+                .try_par_map(&items, |_, &x| {
+                    assert!(x != 9 && x != 40, "boom at {x}");
+                    x
+                })
+                .unwrap_err();
+            assert_eq!(err.index, 9, "threads={threads}");
+            assert_eq!(
+                exec.try_par_map(&items[..5], |_, &x| x).unwrap(),
+                vec![0, 1, 2, 3, 4]
+            );
+        }
+    }
+
+    #[test]
+    fn cancelled_token_skips_unstarted_tasks() {
+        for threads in [1, 4] {
+            let exec = Exec::new(threads);
+            exec.cancel_token().cancel();
+            let items: Vec<u32> = (0..8).collect();
+            let out = exec.par_map_isolated(&items, |_, &x| x);
+            assert!(out
+                .iter()
+                .all(|r| matches!(r, Err(e) if e.panic_message().is_none())));
+            assert_eq!(exec.stats().tasks_cancelled, 8, "threads={threads}");
+            // Reset re-arms the same executor.
+            exec.cancel_token().reset();
+            assert!(exec
+                .par_map_isolated(&items, |_, &x| x)
+                .iter()
+                .all(Result::is_ok));
+        }
+    }
+
+    #[test]
+    fn mid_run_cancellation_is_observed_serially() {
+        // On the serial path tasks run strictly in index order, so a token
+        // fired by task 2 deterministically cancels tasks 3..8.
+        let exec = Exec::serial();
+        let token = exec.cancel_token();
+        let items: Vec<u32> = (0..8).collect();
+        let out = exec.par_map_isolated(&items, |i, &x| {
+            if i == 2 {
+                token.cancel();
+            }
+            x
+        });
+        assert!(out[..3].iter().all(Result::is_ok));
+        assert!(out[3..].iter().all(Result::is_err));
+        assert_eq!(exec.stats().tasks_cancelled, 5);
+    }
+
+    #[test]
+    fn shared_token_spans_executors() {
+        let token = CancelToken::new();
+        let a = Exec::serial().with_cancel_token(token.clone());
+        let b = Exec::new(4).with_cancel_token(token.clone());
+        token.cancel();
+        assert!(a.par_map_isolated(&[1], |_, &x| x)[0].is_err());
+        assert!(b.par_map_isolated(&[1, 2], |_, &x| x)[1].is_err());
+    }
+
+    #[test]
+    #[should_panic(expected = "task 7 panicked: kaboom")]
+    fn legacy_path_reports_failing_index_and_message() {
+        let _ = Exec::new(4).par_index_map(32, |i| {
+            assert!(i != 7, "kaboom");
+            i
+        });
     }
 }

@@ -19,6 +19,12 @@ pub struct ExecStats {
     pub busy_nanos: u64,
     /// Summed wall time of the parallel calls, in nanoseconds.
     pub wall_nanos: u64,
+    /// Panics contained by the isolated combinators (converted into
+    /// [`crate::TaskError`] values instead of unwinding the caller).
+    pub panics_caught: u64,
+    /// Tasks skipped because a [`crate::CancelToken`] fired before they
+    /// started.
+    pub tasks_cancelled: u64,
 }
 
 impl ExecStats {
@@ -41,6 +47,8 @@ pub(crate) struct StatsCell {
     tasks: AtomicU64,
     busy_nanos: AtomicU64,
     wall_nanos: AtomicU64,
+    panics_caught: AtomicU64,
+    tasks_cancelled: AtomicU64,
 }
 
 impl StatsCell {
@@ -54,12 +62,22 @@ impl StatsCell {
         self.busy_nanos.fetch_add(busy_nanos, Ordering::Relaxed);
     }
 
+    pub(crate) fn record_panic_caught(&self) {
+        self.panics_caught.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_task_cancelled(&self) {
+        self.tasks_cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
     pub(crate) fn snapshot(&self) -> ExecStats {
         ExecStats {
             calls: self.calls.load(Ordering::Relaxed),
             tasks: self.tasks.load(Ordering::Relaxed),
             busy_nanos: self.busy_nanos.load(Ordering::Relaxed),
             wall_nanos: self.wall_nanos.load(Ordering::Relaxed),
+            panics_caught: self.panics_caught.load(Ordering::Relaxed),
+            tasks_cancelled: self.tasks_cancelled.load(Ordering::Relaxed),
         }
     }
 
@@ -68,6 +86,8 @@ impl StatsCell {
         self.tasks.store(0, Ordering::Relaxed);
         self.busy_nanos.store(0, Ordering::Relaxed);
         self.wall_nanos.store(0, Ordering::Relaxed);
+        self.panics_caught.store(0, Ordering::Relaxed);
+        self.tasks_cancelled.store(0, Ordering::Relaxed);
     }
 }
 
