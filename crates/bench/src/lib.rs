@@ -41,6 +41,7 @@ use netlist::synth::BenchmarkProfile;
 use netlist::Netlist;
 use sim::rare::RareNetAnalysis;
 use sim::TestPattern;
+use telemetry::{JsonlSink, Telemetry, TraceSink, TRACE_OUT_ENV_VAR};
 use trojan::{CoverageEvaluator, Trojan, TrojanGenerator};
 
 /// How aggressively the paper-sized benchmark profiles are shrunk.
@@ -72,6 +73,11 @@ pub struct HarnessOptions {
     /// `--expect-warm`: after the run, assert that the persistent cache
     /// served every stage (zero recomputations) — the CI cache-reuse gate.
     pub expect_warm: bool,
+    /// `--trace-out FILE`: write a JSONL telemetry trace of every session
+    /// the harness runs. Also honours `DETERRENT_TRACE_OUT` when unset;
+    /// `None` with no variable disables telemetry entirely. Tracing is
+    /// out-of-band: stdout is byte-identical with or without it.
+    pub trace_out: Option<PathBuf>,
 }
 
 impl Default for HarnessOptions {
@@ -85,6 +91,7 @@ impl Default for HarnessOptions {
             cache_max_bytes: None,
             slim_policy: false,
             expect_warm: false,
+            trace_out: None,
         }
     }
 }
@@ -92,7 +99,8 @@ impl Default for HarnessOptions {
 impl HarnessOptions {
     /// Parses command-line arguments: `--full` (paper-sized), `--scale N`,
     /// `--trojans N`, `--width N`, `--seed N`, `--cache-dir DIR`,
-    /// `--cache-max-bytes N[k|m|g]`, `--slim-policy`, `--expect-warm`.
+    /// `--cache-max-bytes N[k|m|g]`, `--slim-policy`, `--expect-warm`,
+    /// `--trace-out FILE`.
     #[must_use]
     pub fn from_args() -> Self {
         let mut options = Self::default();
@@ -134,11 +142,43 @@ impl HarnessOptions {
                 "--expect-warm" => {
                     options.expect_warm = true;
                 }
+                "--trace-out" if i + 1 < args.len() => {
+                    options.trace_out = Some(PathBuf::from(&args[i + 1]));
+                    i += 1;
+                }
                 _ => {}
             }
             i += 1;
         }
+        if options.trace_out.is_none() {
+            if let Ok(path) = std::env::var(TRACE_OUT_ENV_VAR) {
+                if !path.trim().is_empty() {
+                    options.trace_out = Some(PathBuf::from(path));
+                }
+            }
+        }
         options
+    }
+
+    /// A telemetry handle honouring `--trace-out` / `DETERRENT_TRACE_OUT`:
+    /// a JSONL sink on the named file, or the zero-cost disabled handle
+    /// when no trace was requested (or the file cannot be created — the
+    /// harness warns and runs untraced rather than failing an experiment).
+    #[must_use]
+    pub fn telemetry(&self) -> Telemetry {
+        match &self.trace_out {
+            Some(path) => match JsonlSink::create(path) {
+                Ok(sink) => {
+                    let sinks: Vec<Box<dyn TraceSink>> = vec![Box::new(sink)];
+                    Telemetry::new(sinks)
+                }
+                Err(e) => {
+                    eprintln!("[bench] cannot create trace file {}: {e}", path.display());
+                    Telemetry::disabled()
+                }
+            },
+            None => Telemetry::disabled(),
+        }
     }
 
     /// An artifact store honouring the harness cache knobs: disk-backed
@@ -210,6 +250,7 @@ pub struct BenchInstance {
     /// hit the cached artifacts.
     config: DeterrentConfig,
     store: ArtifactStore,
+    telemetry: Telemetry,
 }
 
 impl BenchInstance {
@@ -228,8 +269,10 @@ impl BenchInstance {
         let netlist = options.netlist(profile);
         let config = options.deterrent_config().with_threshold(threshold);
         let store = options.store();
+        let telemetry = options.telemetry();
         let analysis = {
             let mut session = DeterrentSession::with_store(&netlist, config.clone(), store.clone());
+            session.set_telemetry(telemetry.clone(), None);
             session.analyze().analysis().clone()
         };
         let mut generator = TrojanGenerator::new(&netlist, options.seed ^ 0x7707);
@@ -249,6 +292,7 @@ impl BenchInstance {
             trojans,
             config,
             store,
+            telemetry,
         }
     }
 
@@ -291,6 +335,7 @@ impl BenchInstance {
         config.select.k_patterns = config.select.k_patterns.max(self.analysis.len());
         config.select.eval_rollouts = config.select.eval_rollouts.max(self.analysis.len());
         let mut session = DeterrentSession::with_store(&self.netlist, config, self.store.clone());
+        session.set_telemetry(self.telemetry.clone(), None);
         session.run()
     }
 
@@ -338,6 +383,9 @@ impl BenchInstance {
     /// a corrupt file, or the store has no disk tier at all.
     pub fn finish(&self, options: &HarnessOptions) {
         print_store_summary(&self.store);
+        if self.telemetry.is_enabled() {
+            self.telemetry.flush_metrics();
+        }
         if options.expect_warm {
             assert_warm(&self.store);
         }

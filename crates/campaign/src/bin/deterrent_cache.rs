@@ -1,10 +1,14 @@
 //! `deterrent-cache` — inspect and maintain a persistent artifact cache.
 //!
 //! ```text
-//! deterrent-cache stats  [--cache-dir DIR]
+//! deterrent-cache stats  [--cache-dir DIR] [--json]
 //! deterrent-cache gc     [--cache-dir DIR] [--max-bytes N[k|m|g]] [--per-stage-max N[k|m|g]]
-//! deterrent-cache verify [--cache-dir DIR] [--no-heal]
+//! deterrent-cache verify [--cache-dir DIR] [--no-heal] [--json]
 //! ```
+//!
+//! `--json` switches `stats` / `verify` from the human table to a single
+//! JSON object on stdout, built from the same report structs (the exit
+//! codes are unchanged).
 //!
 //! The cache directory comes from `--cache-dir`, else the
 //! `DETERRENT_CACHE_DIR` environment variable. `gc` budgets come from the
@@ -27,6 +31,7 @@ use std::process::ExitCode;
 
 use deterrent_core::cache::{cache_stats, gc, verify, CachePolicy};
 use deterrent_core::{parse_bytes, DeterrentConfig};
+use telemetry::{obj, Value};
 
 struct Args {
     command: String,
@@ -34,6 +39,7 @@ struct Args {
     max_bytes: Option<u64>,
     per_stage_max: Option<u64>,
     heal: bool,
+    json: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -49,6 +55,7 @@ fn parse_args() -> Result<Args, String> {
         max_bytes: None,
         per_stage_max: None,
         heal: true,
+        json: false,
     };
     let mut i = 2;
     let value = |i: &mut usize| -> Result<String, String> {
@@ -68,6 +75,7 @@ fn parse_args() -> Result<Args, String> {
                     Some(parse_bytes(&value(&mut i)?).ok_or("bad --per-stage-max")?);
             }
             "--no-heal" => args.heal = false,
+            "--json" => args.json = true,
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
@@ -98,21 +106,48 @@ fn main() -> ExitCode {
     match args.command.as_str() {
         "stats" => match cache_stats(&dir) {
             Ok(stats) => {
-                println!("cache {}", dir.display());
-                for usage in stats.stages {
+                if args.json {
+                    // The same struct the table renders from, as one JSON
+                    // object per invocation.
+                    let value = obj([
+                        ("cache_dir", Value::str(dir.display().to_string())),
+                        (
+                            "stages",
+                            Value::Arr(
+                                stats
+                                    .stages
+                                    .iter()
+                                    .map(|usage| {
+                                        obj([
+                                            ("stage", Value::str(usage.stage.name())),
+                                            ("files", Value::u64(usage.files)),
+                                            ("bytes", Value::u64(usage.bytes)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        ("total_files", Value::u64(stats.total_files())),
+                        ("total_bytes", Value::u64(stats.total_bytes())),
+                    ]);
+                    println!("{}", value.to_json());
+                } else {
+                    println!("cache {}", dir.display());
+                    for usage in stats.stages {
+                        println!(
+                            "  {:<12} {:>6} file(s) {:>12} bytes",
+                            usage.stage.name(),
+                            usage.files,
+                            usage.bytes
+                        );
+                    }
                     println!(
                         "  {:<12} {:>6} file(s) {:>12} bytes",
-                        usage.stage.name(),
-                        usage.files,
-                        usage.bytes
+                        "total",
+                        stats.total_files(),
+                        stats.total_bytes()
                     );
                 }
-                println!(
-                    "  {:<12} {:>6} file(s) {:>12} bytes",
-                    "total",
-                    stats.total_files(),
-                    stats.total_bytes()
-                );
                 ExitCode::SUCCESS
             }
             Err(e) => {
@@ -153,22 +188,56 @@ fn main() -> ExitCode {
         }
         "verify" => {
             let report = verify(&dir, args.heal);
-            println!(
-                "verify {}: {} valid, {} corrupt{}",
-                dir.display(),
-                report.valid,
-                report.corrupt.len(),
-                if report.healed && !report.corrupt.is_empty() {
-                    " (healed)"
-                } else {
-                    ""
+            if args.json {
+                let value = obj([
+                    ("cache_dir", Value::str(dir.display().to_string())),
+                    ("valid", Value::u64(report.valid)),
+                    (
+                        "corrupt",
+                        Value::Arr(
+                            report
+                                .corrupt
+                                .iter()
+                                .map(|p| Value::str(p.display().to_string()))
+                                .collect(),
+                        ),
+                    ),
+                    ("healed", Value::Bool(report.healed)),
+                    (
+                        "io_errors",
+                        Value::Arr(
+                            report
+                                .io_errors
+                                .iter()
+                                .map(|(path, error)| {
+                                    obj([
+                                        ("path", Value::str(path.display().to_string())),
+                                        ("error", Value::str(error)),
+                                    ])
+                                })
+                                .collect(),
+                        ),
+                    ),
+                ]);
+                println!("{}", value.to_json());
+            } else {
+                println!(
+                    "verify {}: {} valid, {} corrupt{}",
+                    dir.display(),
+                    report.valid,
+                    report.corrupt.len(),
+                    if report.healed && !report.corrupt.is_empty() {
+                        " (healed)"
+                    } else {
+                        ""
+                    }
+                );
+                for path in &report.corrupt {
+                    println!("  corrupt: {}", path.display());
                 }
-            );
-            for path in &report.corrupt {
-                println!("  corrupt: {}", path.display());
-            }
-            for (path, error) in &report.io_errors {
-                eprintln!("  io error: {}: {error}", path.display());
+                for (path, error) in &report.io_errors {
+                    eprintln!("  io error: {}: {error}", path.display());
+                }
             }
             if !report.io_errors.is_empty() {
                 ExitCode::from(2)

@@ -29,6 +29,12 @@
 //! | `--fail-fast` | cancel unstarted cells after the first terminal failure | off |
 //! | `--max-failures N` | cancel after N terminal failures | never |
 //! | `--fault-plan SPEC` | inject faults (else `DETERRENT_FAULT_PLAN`) | none |
+//! | `--trace-out FILE` | machine-readable JSONL trace (else `DETERRENT_TRACE_OUT`) | off |
+//! | `--metrics-out FILE` | Prometheus-text metric dump after the run | off |
+//!
+//! Telemetry is strictly out-of-band: arming `--trace-out` /
+//! `--metrics-out` changes nothing on stdout, so a traced report still
+//! `cmp`s clean against an untraced one.
 //!
 //! The exit code is `0` only when every cell recovered (outcome `ok` or
 //! `retried:N`); any `timeout`/`failed` row exits `1`, flag errors exit `2`.
@@ -38,10 +44,11 @@ use std::process::ExitCode;
 use std::time::Duration;
 
 use campaign::{
-    profile_by_name, CampaignPlan, NetlistSpec, RunPolicy, SilentProgress, StderrProgress,
+    profile_by_name, CampaignPlan, NetlistSpec, RunPolicy, SilentProgress, StderrTraceSink,
 };
 use deterrent_core::{parse_bytes, ArtifactStore, DeterrentConfig, FaultPlan};
 use exec::Exec;
+use telemetry::{JsonlSink, Telemetry, TraceSink, TRACE_OUT_ENV_VAR};
 
 struct Args {
     netlists: Vec<String>,
@@ -64,6 +71,8 @@ struct Args {
     fail_fast: bool,
     max_failures: Option<usize>,
     fault_plan: Option<FaultPlan>,
+    trace_out: Option<PathBuf>,
+    metrics_out: Option<PathBuf>,
 }
 
 impl Default for Args {
@@ -89,6 +98,8 @@ impl Default for Args {
             fail_fast: false,
             max_failures: None,
             fault_plan: None,
+            trace_out: None,
+            metrics_out: None,
         }
     }
 }
@@ -170,12 +181,21 @@ fn parse_args() -> Result<Args, String> {
                 args.max_failures = Some(value(&mut i)?.parse().map_err(|_| "bad --max-failures")?);
             }
             "--fault-plan" => args.fault_plan = Some(FaultPlan::parse(&value(&mut i)?)?),
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value(&mut i)?)),
+            "--metrics-out" => args.metrics_out = Some(PathBuf::from(value(&mut i)?)),
             other => return Err(format!("unknown flag {other}")),
         }
         i += 1;
     }
     if args.fault_plan.is_none() {
         args.fault_plan = FaultPlan::from_env()?;
+    }
+    if args.trace_out.is_none() {
+        if let Ok(path) = std::env::var(TRACE_OUT_ENV_VAR) {
+            if !path.trim().is_empty() {
+                args.trace_out = Some(PathBuf::from(path));
+            }
+        }
     }
     Ok(args)
 }
@@ -241,6 +261,29 @@ fn main() -> ExitCode {
         plan.seeds.len()
     );
 
+    // Progress, traces, and metrics all flow through one telemetry
+    // pipeline: the stderr sink renders the classic progress lines, the
+    // JSONL sink records the machine-readable trace. With neither armed
+    // the handle is disabled and the run pays nothing.
+    let mut sinks: Vec<Box<dyn TraceSink>> = Vec::new();
+    if !args.quiet {
+        sinks.push(Box::new(StderrTraceSink::new()));
+    }
+    if let Some(path) = &args.trace_out {
+        match JsonlSink::create(path) {
+            Ok(sink) => sinks.push(Box::new(sink)),
+            Err(e) => {
+                eprintln!("deterrent-campaign: cannot create {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+    let tele = if sinks.is_empty() && args.metrics_out.is_none() {
+        Telemetry::disabled()
+    } else {
+        Telemetry::new(sinks)
+    };
+
     let policy = RunPolicy {
         max_retries: args.max_retries,
         cell_deadline: args.cell_deadline,
@@ -248,13 +291,11 @@ fn main() -> ExitCode {
         max_failures: args.max_failures,
         faults: args.fault_plan.clone(),
         checkpoint: args.checkpoint.clone(),
+        telemetry: tele.clone(),
     };
-    let exec = Exec::new(args.threads);
-    let report = if args.quiet {
-        plan.run_with_policy(&store, &exec, &SilentProgress, &policy)
-    } else {
-        plan.run_with_policy(&store, &exec, &StderrProgress, &policy)
-    };
+    let mut exec = Exec::new(args.threads);
+    exec.set_telemetry(tele.clone(), None);
+    let report = plan.run_with_policy(&store, &exec, &SilentProgress, &policy);
     eprintln!("[campaign] outcomes: {}", report.outcome_summary());
     if let Some(faults) = &args.fault_plan {
         eprintln!("[campaign] injected faults: {:?}", faults.counts());
@@ -269,6 +310,17 @@ fn main() -> ExitCode {
         }
     );
     eprint!("{}", store.summary());
+
+    if tele.is_enabled() {
+        tele.flush_metrics();
+        if let Some(path) = &args.metrics_out {
+            let text = tele.metrics().map(|m| m.render_text()).unwrap_or_default();
+            if let Err(e) = std::fs::write(path, text) {
+                eprintln!("deterrent-campaign: cannot write {}: {e}", path.display());
+            }
+        }
+        tele.flush();
+    }
 
     if args.expect_warm {
         let counters = store.counters();

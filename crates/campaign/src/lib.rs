@@ -64,6 +64,7 @@
 #![warn(missing_docs)]
 
 mod checkpoint;
+mod trace;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
@@ -72,13 +73,15 @@ use std::time::{Duration, Instant};
 
 use deterrent_core::{
     ArtifactStore, DeterrentConfig, DeterrentResult, DeterrentSession, FaultKind, FaultPlan,
-    RunObserver, Stage, StageMetrics,
+    RunObserver, Stage, StageMetrics, QUIET_ENV_VAR,
 };
 use exec::{catch_task, split_seed, CancelToken, Exec};
 use netlist::synth::BenchmarkProfile;
 use netlist::Netlist;
+use telemetry::{Span, SpanContext, Telemetry};
 
 pub use checkpoint::{Checkpoint, SavedRow};
+pub use trace::StderrTraceSink;
 
 /// Marker substring of the panic a [`RunPolicy::cell_deadline`] expiry
 /// raises inside a cell's failure domain — how the retry loop tells a
@@ -262,27 +265,70 @@ impl CampaignPlan {
         // A fresh token per run: cancellation never leaks across runs.
         let cancel = CancelToken::new();
         let failures = AtomicUsize::new(0);
+        let tele = &policy.telemetry;
+        let mut run_span = tele.span("campaign");
+        run_span.attr_u64("cells", cells.len() as u64);
+        run_span.attr_u64("netlists", self.netlists.len() as u64);
+        run_span.attr_u64("thetas", self.thetas.len() as u64);
+        run_span.attr_u64("seeds", self.seeds.len() as u64);
+        let run_ctx = run_span.context();
+        let counters_before = store.counters();
+        let events_before = store.cache_events();
+        let exec_before = exec.stats();
+        let checkpoint_writes = tele.counter("campaign.checkpoint_writes");
+        let checkpoint_write_failures = tele.counter("campaign.checkpoint_write_failures");
         let results = exec.par_map(&cells, |_, cell| {
             let key = self.cell_key(cell);
             let netlist = &netlists[cell.netlist_index];
+            let mut cell_span = tele.child_span(&run_ctx, &format!("cell.{}", cell.index));
+            cell_span.attr_u64("index", cell.index as u64);
+            cell_span.attr_str("netlist", &cell.netlist);
+            cell_span.attr_f64("theta", cell.theta);
+            cell_span.attr_u64("seed", cell.seed);
             if let Some(saved) = checkpoint.as_ref().and_then(|c| c.get(key)) {
                 let row = CellResult::from_saved(cell, &saved);
+                cell_span.attr_bool("restored", true);
+                close_cell_span(cell_span, &row);
                 sink.cell_finished(&row);
                 return row;
             }
             if cancel.is_cancelled() {
-                return CellResult::unrun(
-                    cell,
-                    netlist,
-                    CellOutcome::Failed("cancelled".to_string()),
-                );
+                let row =
+                    CellResult::unrun(cell, netlist, CellOutcome::Failed("cancelled".to_string()));
+                // Which cells a fail-fast cancellation catches unstarted
+                // depends on scheduling, so the span opts out of the
+                // canonical (thread-invariance) projection.
+                cell_span.attr_bool("cancelled", true);
+                cell_span.vary(telemetry::NONDET_VARY_KEY, telemetry::Value::Bool(true));
+                close_cell_span(cell_span, &row);
+                return row;
             }
             sink.cell_started(cell);
-            let row = self.run_cell(cell, netlist, store, sink, policy, key);
+            let mut start_mark = cell_span.child("cell_start");
+            start_mark.attr_u64("index", cell.index as u64);
+            start_mark.attr_str("netlist", &cell.netlist);
+            start_mark.attr_f64("theta", cell.theta);
+            start_mark.attr_u64("seed", cell.seed);
+            start_mark.mark();
+            let row = self.run_cell(
+                cell,
+                netlist,
+                store,
+                sink,
+                policy,
+                key,
+                &cell_span.context(),
+            );
             if row.outcome.recovered() {
                 if let Some(ckpt) = &checkpoint {
-                    if let Err(e) = ckpt.record(key, row.to_saved()) {
-                        eprintln!("[campaign] warning: checkpoint write failed: {e}");
+                    match ckpt.record(key, row.to_saved()) {
+                        Ok(()) => checkpoint_writes.inc(1),
+                        Err(e) => {
+                            checkpoint_write_failures.inc(1);
+                            if !quiet_requested() {
+                                eprintln!("[campaign] warning: checkpoint write failed: {e}");
+                            }
+                        }
                     }
                 }
             } else {
@@ -291,10 +337,99 @@ impl CampaignPlan {
                     cancel.cancel();
                 }
             }
+            close_cell_span(cell_span, &row);
             sink.cell_finished(&row);
             row
         });
-        CampaignReport { cells: results }
+        let report = CampaignReport { cells: results };
+        if tele.is_enabled() {
+            let mut tally = [0u64; 4];
+            for row in &report.cells {
+                tally[match row.outcome {
+                    CellOutcome::Ok => 0,
+                    CellOutcome::Retried(_) => 1,
+                    CellOutcome::TimedOut => 2,
+                    CellOutcome::Failed(_) => 3,
+                }] += 1;
+            }
+            run_span.attr_u64("ok", tally[0]);
+            run_span.attr_u64("retried", tally[1]);
+            run_span.attr_u64("timeout", tally[2]);
+            run_span.attr_u64("failed", tally[3]);
+            // Store/executor deltas go in `vary`: the store may be shared
+            // with other concurrent work, and which tier served an artifact
+            // depends on scheduling when a disk tier backs the run.
+            let counters_after = store.counters();
+            for (stage, after) in counters_after.stages() {
+                let before = counters_before.stage(stage);
+                let name = stage.name();
+                run_span.vary_u64(
+                    &format!("store.{name}.mem_hits"),
+                    after.hits.saturating_sub(before.hits),
+                );
+                run_span.vary_u64(
+                    &format!("store.{name}.computed"),
+                    after.misses.saturating_sub(before.misses),
+                );
+                run_span.vary_u64(
+                    &format!("store.{name}.disk_hits"),
+                    after.disk_hits.saturating_sub(before.disk_hits),
+                );
+                run_span.vary_u64(
+                    &format!("store.{name}.disk_misses"),
+                    after.disk_misses.saturating_sub(before.disk_misses),
+                );
+                run_span.vary_u64(
+                    &format!("store.{name}.disk_corrupt"),
+                    after.disk_corrupt.saturating_sub(before.disk_corrupt),
+                );
+            }
+            let events_after = store.cache_events();
+            run_span.vary_u64(
+                "cache.corrupt",
+                events_after.corrupt.saturating_sub(events_before.corrupt),
+            );
+            run_span.vary_u64(
+                "cache.version_mismatch",
+                events_after
+                    .version_mismatch
+                    .saturating_sub(events_before.version_mismatch),
+            );
+            run_span.vary_u64("cache.io", events_after.io.saturating_sub(events_before.io));
+            run_span.vary_u64(
+                "cache.evictions",
+                events_after
+                    .budget_evictions
+                    .saturating_sub(events_before.budget_evictions),
+            );
+            let exec_after = exec.stats();
+            run_span.vary_u64(
+                "exec.calls",
+                exec_after.calls.saturating_sub(exec_before.calls),
+            );
+            run_span.vary_u64(
+                "exec.tasks",
+                exec_after.tasks.saturating_sub(exec_before.tasks),
+            );
+            run_span.vary_u64(
+                "exec.busy_nanos",
+                exec_after.busy_nanos.saturating_sub(exec_before.busy_nanos),
+            );
+            run_span.vary_u64(
+                "exec.panics_caught",
+                exec_after
+                    .panics_caught
+                    .saturating_sub(exec_before.panics_caught),
+            );
+            run_span.vary_u64(
+                "exec.tasks_cancelled",
+                exec_after
+                    .tasks_cancelled
+                    .saturating_sub(exec_before.tasks_cancelled),
+            );
+        }
+        run_span.close();
+        report
     }
 
     /// One cell's failure domain: up to `1 + max_retries` attempts, each
@@ -302,6 +437,7 @@ impl CampaignPlan {
     /// between attempts. Fault-plan timeouts consume an attempt without
     /// consuming wall clock; fault-plan panics unwind through the same
     /// containment as real ones.
+    #[allow(clippy::too_many_arguments)]
     fn run_cell(
         &self,
         cell: &CampaignCell,
@@ -310,25 +446,35 @@ impl CampaignPlan {
         sink: &dyn ProgressSink,
         policy: &RunPolicy,
         key: u64,
+        cell_ctx: &SpanContext,
     ) -> CellResult {
+        let tele = &policy.telemetry;
         let mut last_failure: Option<AttemptFailure> = None;
         for attempt in 0..=policy.max_retries {
+            let mut attempt_span = tele.child_span(cell_ctx, &format!("attempt.{attempt}"));
+            attempt_span.attr_u64("attempt", u64::from(attempt));
             if attempt > 0 {
                 // Seeded backoff: the duration is a pure function of
                 // (cell key, attempt) — wall clock never enters the
                 // decision, so retried runs stay deterministic.
                 let millis = 1 + split_seed(key ^ BACKOFF_SALT, u64::from(attempt)) % 8;
+                attempt_span.attr_u64("backoff_ms", millis);
                 std::thread::sleep(Duration::from_millis(millis));
             }
             if let Some(plan) = &policy.faults {
                 if plan.should_inject(FaultKind::CellTimeout, key) {
                     // Simulated deadline expiry: a timed-out attempt that
                     // consumes no wall clock.
+                    attempt_span.attr_str("result", "timeout");
+                    attempt_span.attr_bool("injected", true);
+                    attempt_span.close();
                     last_failure = Some(AttemptFailure::Timeout);
                     continue;
                 }
             }
-            let attempt_result = catch_task(cell.index, || {
+            let attempt_ctx = attempt_span.context();
+            let attempt_tele = tele.clone();
+            let attempt_result = catch_task(cell.index, move || {
                 if let Some(plan) = &policy.faults {
                     if plan.should_inject(FaultKind::CellPanic, key) {
                         panic!("injected cell fault (plan seed {})", plan.seed());
@@ -341,6 +487,7 @@ impl CampaignPlan {
                     .with_seed(cell.seed)
                     .with_threads(self.cell_threads.max(1));
                 let mut session = DeterrentSession::with_store(netlist, config, store.clone());
+                session.set_telemetry(attempt_tele, Some(attempt_ctx));
                 session.add_observer(Box::new(CellObserver { sink, cell }));
                 if let Some(limit) = policy.cell_deadline {
                     session.add_observer(Box::new(DeadlineObserver::new(limit)));
@@ -354,6 +501,12 @@ impl CampaignPlan {
                     } else {
                         CellOutcome::Retried(attempt)
                     };
+                    attempt_span.attr_str("result", "ok");
+                    // Executor totals depend on which session computed the
+                    // shared artifacts, so they are nondeterministic facts.
+                    attempt_span.vary_u64("exec_calls", result.metrics.exec_stats.calls);
+                    attempt_span.vary_u64("exec_tasks", result.metrics.exec_stats.tasks);
+                    attempt_span.close();
                     return CellResult::new(cell, netlist, &result, outcome);
                 }
                 Err(err) => {
@@ -361,11 +514,23 @@ impl CampaignPlan {
                         .panic_message()
                         .unwrap_or("attempt cancelled")
                         .to_string();
-                    last_failure = Some(if message.contains(DEADLINE_MARKER) {
+                    let failure = if message.contains(DEADLINE_MARKER) {
                         AttemptFailure::Timeout
                     } else {
                         AttemptFailure::Panic(message)
-                    });
+                    };
+                    attempt_span.attr_str(
+                        "result",
+                        match failure {
+                            AttemptFailure::Timeout => "timeout",
+                            AttemptFailure::Panic(_) => "panic",
+                        },
+                    );
+                    if let AttemptFailure::Panic(message) = &failure {
+                        attempt_span.vary_str("error", message);
+                    }
+                    attempt_span.close();
+                    last_failure = Some(failure);
                 }
             }
         }
@@ -448,6 +613,12 @@ pub struct RunPolicy {
     pub faults: Option<FaultPlan>,
     /// Checkpoint file recording completed rows for kill-and-resume.
     pub checkpoint: Option<PathBuf>,
+    /// Telemetry handle the run emits spans and counters through. The
+    /// default (disabled) handle costs nothing and emits nothing; attach
+    /// sinks with [`telemetry::Telemetry::new`] to capture a trace. All
+    /// telemetry is out-of-band: the [`CampaignReport`] is byte-identical
+    /// with or without it, at any thread count.
+    pub telemetry: Telemetry,
 }
 
 impl Default for RunPolicy {
@@ -459,8 +630,36 @@ impl Default for RunPolicy {
             max_failures: None,
             faults: None,
             checkpoint: None,
+            telemetry: Telemetry::disabled(),
         }
     }
+}
+
+/// `true` when [`QUIET_ENV_VAR`] requests stderr silence (`"1"`, after
+/// trimming). Gates the checkpoint-write warning; the failure is still
+/// counted in the `campaign.checkpoint_write_failures` telemetry counter.
+fn quiet_requested() -> bool {
+    std::env::var(QUIET_ENV_VAR).is_ok_and(|v| v.trim() == "1")
+}
+
+/// Closes a cell span with the row's outcome and data columns. Outcome
+/// kind, retry count, and the deterministic data columns go in `attrs`
+/// (thread-count invariant); a failure's free-text reason goes in `vary`
+/// (panic messages can carry durations).
+fn close_cell_span(mut span: Span, row: &CellResult) {
+    span.attr_str("outcome", row.outcome.kind());
+    if let CellOutcome::Retried(n) = row.outcome {
+        span.attr_u64("retries", u64::from(n));
+    }
+    if let CellOutcome::Failed(reason) = &row.outcome {
+        span.vary_str("error", reason);
+    }
+    span.attr_u64("gates", row.gates as u64);
+    span.attr_u64("rare_nets", row.rare_nets as u64);
+    span.attr_u64("sets", row.sets as u64);
+    span.attr_u64("patterns", row.patterns as u64);
+    span.attr_u64("max_compatible_set", row.max_compatible_set as u64);
+    span.close();
 }
 
 /// A [`RunObserver`] that enforces a per-attempt wall-clock deadline at
@@ -519,6 +718,20 @@ impl CellOutcome {
     #[must_use]
     pub fn recovered(&self) -> bool {
         matches!(self, Self::Ok | Self::Retried(_))
+    }
+
+    /// The outcome's kind as a static token: `ok`, `retried`, `timeout`,
+    /// or `failed`. This is what cell spans carry in their deterministic
+    /// `attrs`; the retry count and failure reason ride separately (the
+    /// count as another attr, the free-text reason in `vary`).
+    #[must_use]
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Self::Ok => "ok",
+            Self::Retried(_) => "retried",
+            Self::TimedOut => "timeout",
+            Self::Failed(_) => "failed",
+        }
     }
 
     /// The outcome as the report's single-token column value: `ok`,
@@ -743,29 +956,37 @@ pub struct StderrProgress;
 impl ProgressSink for StderrProgress {
     fn cell_started(&self, cell: &CampaignCell) {
         eprintln!(
-            "[campaign] cell {} start: {} θ={} seed={}",
-            cell.index, cell.netlist, cell.theta, cell.seed
+            "{}",
+            trace::render_cell_start(
+                cell.index,
+                &cell.netlist,
+                &cell.theta.to_string(),
+                cell.seed
+            )
         );
     }
 
     fn stage_finished(&self, cell: &CampaignCell, metrics: &StageMetrics) {
         eprintln!(
-            "[campaign] cell {} {}: {} in {:.3}s",
-            cell.index,
-            metrics.stage,
-            if metrics.cache_hit {
-                "warm"
-            } else {
-                "computed"
-            },
-            metrics.wall_seconds
+            "{}",
+            trace::render_stage_finished(
+                cell.index,
+                metrics.stage.name(),
+                metrics.cache_hit,
+                metrics.wall_seconds
+            )
         );
     }
 
     fn cell_finished(&self, result: &CellResult) {
         eprintln!(
-            "[campaign] cell {} done: {} rare nets, {} sets, {} patterns",
-            result.cell.index, result.rare_nets, result.sets, result.patterns
+            "{}",
+            trace::render_cell_done(
+                result.cell.index,
+                result.rare_nets,
+                result.sets,
+                result.patterns
+            )
         );
     }
 }
@@ -1102,5 +1323,128 @@ mod tests {
             assert!(profile_by_name(name).is_some(), "{name}");
         }
         assert!(profile_by_name("b17").is_none());
+    }
+
+    #[test]
+    fn telemetry_spans_cover_the_whole_campaign() {
+        use telemetry::{EventKind, MemorySink, Telemetry};
+
+        let plan = two_cell_plan();
+        let sink = MemorySink::new();
+        let policy = RunPolicy {
+            telemetry: Telemetry::new(vec![Box::new(sink.clone())]),
+            ..RunPolicy::default()
+        };
+        let store = ArtifactStore::new();
+        let report = plan.run_with_policy(&store, &Exec::new(2), &SilentProgress, &policy);
+        assert!(report.all_recovered());
+
+        let events = sink.events();
+        let run = events
+            .iter()
+            .find(|e| e.name == "campaign")
+            .expect("one campaign root span");
+        assert_eq!(run.kind, EventKind::Span);
+        assert_eq!(run.parent, 0);
+        assert_eq!(run.attr_u64("cells"), Some(2));
+        assert_eq!(run.attr_u64("ok"), Some(2));
+        assert_eq!(run.attr_u64("failed"), Some(0));
+        // The run span reconciles with the store's own counters: the two
+        // cold cells computed every stage.
+        let computed: u64 = store
+            .counters()
+            .stages()
+            .iter()
+            .map(|(_, c)| c.misses)
+            .sum();
+        let traced: u64 = Stage::ALL
+            .iter()
+            .map(|s| {
+                run.vary_u64(&format!("store.{}.computed", s.name()))
+                    .unwrap()
+            })
+            .sum();
+        assert_eq!(traced, computed);
+
+        // One cell span + one start mark + one attempt span per cell,
+        // each under the right parent.
+        for index in 0..2 {
+            let cell = events
+                .iter()
+                .find(|e| e.name == format!("cell.{index}"))
+                .unwrap_or_else(|| panic!("cell.{index} span"));
+            assert_eq!(cell.parent, run.id);
+            assert_eq!(cell.attr_str("outcome"), Some("ok"));
+            assert_eq!(cell.attr_str("netlist"), Some("c2670"));
+            let mark = events
+                .iter()
+                .find(|e| {
+                    e.kind == EventKind::Mark
+                        && e.path == format!("campaign/cell.{index}/cell_start")
+                })
+                .expect("start mark");
+            assert_eq!(mark.parent, cell.id);
+            let attempt = events
+                .iter()
+                .find(|e| e.path == format!("campaign/cell.{index}/attempt.0"))
+                .expect("attempt span");
+            assert_eq!(attempt.parent, cell.id);
+            assert_eq!(attempt.attr_str("result"), Some("ok"));
+            // All five pipeline stages ran inside the attempt.
+            for stage in Stage::ALL {
+                assert!(
+                    events
+                        .iter()
+                        .any(|e| e.path
+                            == format!("campaign/cell.{index}/attempt.0/{}", stage.name())),
+                    "stage span {} for cell {index}",
+                    stage.name()
+                );
+            }
+        }
+        // Cell data columns mirror the report rows exactly.
+        for row in &report.cells {
+            let span = events
+                .iter()
+                .find(|e| e.name == format!("cell.{}", row.cell.index))
+                .expect("cell span");
+            assert_eq!(span.attr_u64("rare_nets"), Some(row.rare_nets as u64));
+            assert_eq!(span.attr_u64("sets"), Some(row.sets as u64));
+            assert_eq!(span.attr_u64("patterns"), Some(row.patterns as u64));
+        }
+    }
+
+    #[test]
+    fn checkpoint_write_failure_is_counted() {
+        use telemetry::{MemorySink, Telemetry};
+
+        let plan = two_cell_plan();
+        let dir = temp_dir("ckpt-fail");
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("mkdir");
+        // A checkpoint path whose parent is a regular file: every row
+        // write fails with NotADirectory, exercising the warning path.
+        let blocker = dir.join("blocker");
+        std::fs::write(&blocker, b"not a directory").expect("blocker");
+        let tele = Telemetry::new(vec![Box::new(MemorySink::new())]);
+        let policy = RunPolicy {
+            checkpoint: Some(blocker.join("campaign.ckpt")),
+            telemetry: tele.clone(),
+            ..RunPolicy::default()
+        };
+        let report = plan.run_with_policy(
+            &ArtifactStore::new(),
+            &Exec::new(1),
+            &SilentProgress,
+            &policy,
+        );
+        assert!(report.all_recovered(), "write failures never fail cells");
+        assert_eq!(
+            tele.counter("campaign.checkpoint_write_failures").get(),
+            2,
+            "both rows failed to persist and were counted"
+        );
+        assert_eq!(tele.counter("campaign.checkpoint_writes").get(), 0);
+        let _ = std::fs::remove_dir_all(&dir);
     }
 }

@@ -32,16 +32,26 @@ use netlist::Netlist;
 use rl::{train_parallel_observed, CollectOptions, ParallelTrainOptions, PpoTrainer};
 use sat::CircuitOracle;
 use sim::rare::RareNetAnalysis;
+use telemetry::{Span, SpanContext, Telemetry};
 
 use crate::artifact::{
     graph_key, imported_rare_key, patterns_key, policy_key, rare_key, sets_key, GeneratedPatterns,
     PatternsArtifact, SelectedSets, TrainedPolicy,
 };
 use crate::{
-    generate_patterns_with, select_k_largest, ArtifactStore, CompatSetEnv, CompatibilityGraph,
-    DeterrentConfig, DeterrentResult, GraphArtifact, PolicyArtifact, RareArtifact, RunObserver,
-    SetsArtifact, Stage, StageMetrics, TrainingMetrics,
+    generate_patterns_with, select_k_largest, ArtifactStore, CacheEvents, CompatSetEnv,
+    CompatibilityGraph, DeterrentConfig, DeterrentResult, GraphArtifact, PolicyArtifact,
+    RareArtifact, RunObserver, SetsArtifact, Stage, StageCounters, StageMetrics, TrainingMetrics,
 };
+
+/// In-flight telemetry for one stage invocation: the open span plus the
+/// counter baselines needed to report per-stage deltas when it closes.
+struct StageTrace {
+    span: Span,
+    exec_before: ExecStats,
+    counters_before: StageCounters,
+    events_before: CacheEvents,
+}
 
 /// A staged DETERRENT pipeline bound to one netlist and one configuration.
 ///
@@ -78,6 +88,8 @@ pub struct DeterrentSession<'a> {
     exec: Exec,
     store: ArtifactStore,
     observers: Vec<Box<dyn RunObserver + 'a>>,
+    telemetry: Telemetry,
+    trace_parent: Option<SpanContext>,
 }
 
 impl std::fmt::Debug for DeterrentSession<'_> {
@@ -121,6 +133,8 @@ impl<'a> DeterrentSession<'a> {
             exec,
             store,
             observers: Vec::new(),
+            telemetry: Telemetry::disabled(),
+            trace_parent: None,
         }
     }
 
@@ -143,8 +157,24 @@ impl<'a> DeterrentSession<'a> {
     pub fn set_config(&mut self, config: DeterrentConfig) {
         if config.threads != self.config.threads {
             self.exec = Exec::new(config.threads);
+            // A rebuilt executor must keep reporting into the same trace.
+            self.exec
+                .set_telemetry(self.telemetry.clone(), self.trace_parent.clone());
         }
         self.config = config;
+    }
+
+    /// Attaches a telemetry handle. Every stage invocation then emits one
+    /// span named after the stage — a child of `parent` when given (the
+    /// campaign parents stage spans under the cell attempt) — carrying its
+    /// [`StageMetrics`] plus cache-tier and executor deltas, and the
+    /// session executor emits per-dispatch `exec.call` spans. Telemetry is
+    /// strictly out-of-band: artifacts, caching, and results are
+    /// unaffected. A disabled handle detaches.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, parent: Option<SpanContext>) {
+        self.exec.set_telemetry(telemetry.clone(), parent.clone());
+        self.telemetry = telemetry;
+        self.trace_parent = parent;
     }
 
     /// A handle to the session's artifact store (clones share the cache).
@@ -177,6 +207,84 @@ impl<'a> DeterrentSession<'a> {
         }
     }
 
+    /// Opens the stage span and snapshots the counters it will report
+    /// deltas against. `None` when telemetry is disabled.
+    fn begin_stage_trace(&self, stage: Stage) -> Option<StageTrace> {
+        if !self.telemetry.is_enabled() {
+            return None;
+        }
+        let span = match &self.trace_parent {
+            Some(ctx) => self.telemetry.child_span(ctx, stage.name()),
+            None => self.telemetry.span(stage.name()),
+        };
+        Some(StageTrace {
+            span,
+            exec_before: self.exec.stats(),
+            counters_before: self.store.counters().stage(stage),
+            events_before: self.store.cache_events(),
+        })
+    }
+
+    /// Closes the stage span with the stage's [`StageMetrics`] as
+    /// deterministic attributes and the cache-tier / executor / timing
+    /// deltas as nondeterministic ones. Everything downstream of *which
+    /// session computed a shared artifact* — `cache_hit`, executor deltas,
+    /// store tier counters — is scheduling-dependent when the store is
+    /// shared (a concurrent session may compute the artifact first), so
+    /// only the stage identity and its deterministic payload size stay in
+    /// `attrs`.
+    fn finish_stage_trace(&self, trace: Option<StageTrace>, metrics: &StageMetrics) {
+        let Some(mut trace) = trace else { return };
+        let span = &mut trace.span;
+        span.attr_str("stage", metrics.stage.name());
+        span.attr_u64("items", metrics.items);
+        span.vary("cache_hit", telemetry::Value::Bool(metrics.cache_hit));
+        let exec = self.exec.stats();
+        span.vary_u64(
+            "exec_calls",
+            exec.calls.saturating_sub(trace.exec_before.calls),
+        );
+        span.vary_u64(
+            "exec_tasks",
+            exec.tasks.saturating_sub(trace.exec_before.tasks),
+        );
+        let wall_ns = (metrics.wall_seconds * 1e9) as u64;
+        span.vary_u64("wall_ns", wall_ns);
+        span.vary_u64(
+            "exec_busy_ns",
+            exec.busy_nanos.saturating_sub(trace.exec_before.busy_nanos),
+        );
+        let c = self.store.counters().stage(metrics.stage);
+        let b = trace.counters_before;
+        span.vary_u64("store_mem_hits", c.hits.saturating_sub(b.hits));
+        span.vary_u64("store_computed", c.misses.saturating_sub(b.misses));
+        span.vary_u64("store_disk_hits", c.disk_hits.saturating_sub(b.disk_hits));
+        span.vary_u64(
+            "store_disk_misses",
+            c.disk_misses.saturating_sub(b.disk_misses),
+        );
+        span.vary_u64(
+            "store_disk_corrupt",
+            c.disk_corrupt.saturating_sub(b.disk_corrupt),
+        );
+        let e = self.store.cache_events();
+        let eb = trace.events_before;
+        span.vary_u64("cache_corrupt", e.corrupt.saturating_sub(eb.corrupt));
+        span.vary_u64(
+            "cache_version_mismatch",
+            e.version_mismatch.saturating_sub(eb.version_mismatch),
+        );
+        span.vary_u64("cache_io", e.io.saturating_sub(eb.io));
+        span.vary_u64(
+            "cache_evictions",
+            e.budget_evictions.saturating_sub(eb.budget_evictions),
+        );
+        self.telemetry
+            .histogram("stage.wall_nanos")
+            .observe_nanos(wall_ns);
+        trace.span.close();
+    }
+
     fn notify_finished(&mut self, metrics: StageMetrics) {
         for o in &mut self.observers {
             o.stage_finished(&metrics);
@@ -188,6 +296,7 @@ impl<'a> DeterrentSession<'a> {
     pub fn analyze(&mut self) -> RareArtifact {
         let key = rare_key(self.netlist_fp, &self.config.analysis, self.config.seed);
         self.notify_started(Stage::Analyze);
+        let trace = self.begin_stage_trace(Stage::Analyze);
         let start = Instant::now();
         let (artifact, cache_hit) = match self.store.lookup_rare(key) {
             Some(found) => (found, true),
@@ -204,12 +313,14 @@ impl<'a> DeterrentSession<'a> {
                 (artifact, false)
             }
         };
-        self.notify_finished(StageMetrics {
+        let metrics = StageMetrics {
             stage: Stage::Analyze,
             wall_seconds: start.elapsed().as_secs_f64(),
             cache_hit,
             items: artifact.len() as u64,
-        });
+        };
+        self.finish_stage_trace(trace, &metrics);
+        self.notify_finished(metrics);
         artifact
     }
 
@@ -220,6 +331,7 @@ impl<'a> DeterrentSession<'a> {
     pub fn import_analysis(&mut self, analysis: RareNetAnalysis) -> RareArtifact {
         let key = imported_rare_key(self.netlist_fp, &analysis);
         self.notify_started(Stage::Analyze);
+        let trace = self.begin_stage_trace(Stage::Analyze);
         let start = Instant::now();
         let (artifact, cache_hit) = match self.store.lookup_rare(key) {
             Some(found) => (found, true),
@@ -229,12 +341,14 @@ impl<'a> DeterrentSession<'a> {
                 (artifact, false)
             }
         };
-        self.notify_finished(StageMetrics {
+        let metrics = StageMetrics {
             stage: Stage::Analyze,
             wall_seconds: start.elapsed().as_secs_f64(),
             cache_hit,
             items: artifact.len() as u64,
-        });
+        };
+        self.finish_stage_trace(trace, &metrics);
+        self.notify_finished(metrics);
         artifact
     }
 
@@ -243,6 +357,7 @@ impl<'a> DeterrentSession<'a> {
     pub fn build_graph(&mut self, rare: &RareArtifact) -> GraphArtifact {
         let key = graph_key(rare.key, &self.config.compat);
         self.notify_started(Stage::BuildGraph);
+        let trace = self.begin_stage_trace(Stage::BuildGraph);
         let start = Instant::now();
         let (artifact, cache_hit) = match self.store.lookup_graph(key) {
             Some(found) => (found, true),
@@ -263,12 +378,14 @@ impl<'a> DeterrentSession<'a> {
                 (artifact, false)
             }
         };
-        self.notify_finished(StageMetrics {
+        let metrics = StageMetrics {
             stage: Stage::BuildGraph,
             wall_seconds: start.elapsed().as_secs_f64(),
             cache_hit,
             items: artifact.graph().stats().pairs_total,
-        });
+        };
+        self.finish_stage_trace(trace, &metrics);
+        self.notify_finished(metrics);
         artifact
     }
 
@@ -285,6 +402,7 @@ impl<'a> DeterrentSession<'a> {
     pub fn train(&mut self, graph: &GraphArtifact) -> PolicyArtifact {
         let key = policy_key(graph.key, &self.config.train, self.config.seed);
         self.notify_started(Stage::Train);
+        let trace = self.begin_stage_trace(Stage::Train);
         let start = Instant::now();
         let (artifact, cache_hit) = match self.store.lookup_policy(key) {
             Some(found) => (found, true),
@@ -345,12 +463,14 @@ impl<'a> DeterrentSession<'a> {
                 (artifact, false)
             }
         };
-        self.notify_finished(StageMetrics {
+        let metrics = StageMetrics {
             stage: Stage::Train,
             wall_seconds: start.elapsed().as_secs_f64(),
             cache_hit,
             items: self.config.train.episodes as u64,
-        });
+        };
+        self.finish_stage_trace(trace, &metrics);
+        self.notify_finished(metrics);
         artifact
     }
 
@@ -369,6 +489,7 @@ impl<'a> DeterrentSession<'a> {
         );
         let key = sets_key(policy.key, &self.config.select, self.config.seed);
         self.notify_started(Stage::Select);
+        let trace = self.begin_stage_trace(Stage::Select);
         let start = Instant::now();
         let (artifact, cache_hit) = match self.store.lookup_sets(key) {
             Some(found) => (found, true),
@@ -413,12 +534,14 @@ impl<'a> DeterrentSession<'a> {
                 (artifact, false)
             }
         };
-        self.notify_finished(StageMetrics {
+        let metrics = StageMetrics {
             stage: Stage::Select,
             wall_seconds: start.elapsed().as_secs_f64(),
             cache_hit,
             items: artifact.sets().len() as u64,
-        });
+        };
+        self.finish_stage_trace(trace, &metrics);
+        self.notify_finished(metrics);
         artifact
     }
 
@@ -435,6 +558,7 @@ impl<'a> DeterrentSession<'a> {
     ) -> DeterrentResult {
         let key = patterns_key(sets.key);
         self.notify_started(Stage::Generate);
+        let trace = self.begin_stage_trace(Stage::Generate);
         let start = Instant::now();
         let (generated, cache_hit) = match self.store.lookup_patterns(key) {
             Some(found) => (found, true),
@@ -487,12 +611,14 @@ impl<'a> DeterrentSession<'a> {
             rareness_threshold: graph.rareness_threshold,
             metrics,
         };
-        self.notify_finished(StageMetrics {
+        let metrics = StageMetrics {
             stage: Stage::Generate,
             wall_seconds: start.elapsed().as_secs_f64(),
             cache_hit,
             items: result.patterns.len() as u64,
-        });
+        };
+        self.finish_stage_trace(trace, &metrics);
+        self.notify_finished(metrics);
         result
     }
 
@@ -732,6 +858,67 @@ mod tests {
             assert_eq!(c.misses, c.disk_misses + c.disk_corrupt);
         }
         let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn telemetry_spans_cover_every_stage() {
+        use telemetry::{MemorySink, SpanContext, Telemetry};
+
+        let nl = small_netlist();
+        let sink = MemorySink::new();
+        let tele = Telemetry::new(vec![Box::new(sink.clone())]);
+        let parent = SpanContext {
+            id: 42,
+            path: "campaign/cell.0/attempt.0".to_string(),
+        };
+        let mut session = DeterrentSession::new(&nl, fast_config());
+        session.set_telemetry(tele.clone(), Some(parent.clone()));
+        let result = session.run();
+
+        let events = sink.events();
+        let stage_spans: Vec<_> = events
+            .iter()
+            .filter(|e| Stage::ALL.iter().any(|s| s.name() == e.name))
+            .collect();
+        assert_eq!(stage_spans.len(), 5, "one span per stage");
+        for (stage, span) in Stage::ALL.iter().zip(&stage_spans) {
+            assert_eq!(span.name, stage.name(), "stages emit in pipeline order");
+            assert_eq!(span.parent, parent.id);
+            assert_eq!(span.path, format!("{}/{}", parent.path, stage.name()));
+            assert_eq!(span.attr_str("stage"), Some(stage.name()));
+            assert_eq!(
+                span.vary.get("cache_hit").and_then(|v| v.as_bool()),
+                Some(false)
+            );
+            assert!(span.vary_u64("wall_ns").is_some());
+            assert!(span.vary_u64("store_computed").is_some());
+        }
+        // The session executor's dispatch spans ride along under the same
+        // parent, and their count matches the executor's own counters.
+        let dispatches = events.iter().filter(|e| e.name == "exec.call").count() as u64;
+        assert_eq!(dispatches, result.metrics.exec_stats.calls);
+        assert_eq!(
+            tele.counter("exec.tasks").get(),
+            result.metrics.exec_stats.tasks
+        );
+        // A warm rerun flags every pre-generate stage as a cache hit.
+        let warm_sink = MemorySink::new();
+        let warm_tele = Telemetry::new(vec![Box::new(warm_sink.clone())]);
+        let mut warm = DeterrentSession::with_store(&nl, fast_config(), session.store());
+        warm.set_telemetry(warm_tele, None);
+        let _ = warm.run();
+        for event in warm_sink.events() {
+            if Stage::ALL.iter().any(|s| s.name() == event.name) && event.name != "generate" {
+                assert_eq!(
+                    event.vary.get("cache_hit").and_then(|v| v.as_bool()),
+                    Some(true),
+                    "warm {} must be a cache hit",
+                    event.name
+                );
+                assert_eq!(event.parent, 0, "no parent context → root spans");
+                assert_eq!(event.path, event.name);
+            }
+        }
     }
 
     #[test]

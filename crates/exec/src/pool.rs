@@ -3,9 +3,26 @@
 use std::ops::Range;
 use std::time::Instant;
 
+use telemetry::{Counter, Histogram, SpanContext, Telemetry};
+
 use crate::stats::StatsCell;
 use crate::task::{catch_task, payload_message, CancelToken, TaskError};
 use crate::{ExecStats, THREADS_ENV_VAR};
+
+/// Pre-resolved telemetry handles so the hot dispatch path pays one branch
+/// when telemetry is off and no registry lookups when it is on.
+#[derive(Debug)]
+struct ExecTelemetry {
+    telemetry: Telemetry,
+    /// Span to parent `exec.call` dispatch spans under (a session's stage
+    /// context, a campaign attempt, …); `None` emits root spans.
+    parent: Option<SpanContext>,
+    calls: Counter,
+    tasks: Counter,
+    panics: Counter,
+    cancelled: Counter,
+    call_wall: Histogram,
+}
 
 /// A deterministic parallel executor with a fixed worker count.
 ///
@@ -26,6 +43,7 @@ pub struct Exec {
     threads: usize,
     stats: StatsCell,
     cancel: CancelToken,
+    telemetry: Option<Box<ExecTelemetry>>,
 }
 
 impl Default for Exec {
@@ -57,6 +75,7 @@ impl Exec {
             threads,
             stats: StatsCell::default(),
             cancel: CancelToken::new(),
+            telemetry: None,
         }
     }
 
@@ -69,7 +88,37 @@ impl Exec {
             threads: 1,
             stats: StatsCell::default(),
             cancel: CancelToken::new(),
+            telemetry: None,
         }
+    }
+
+    /// Attaches a telemetry handle (builder style); see
+    /// [`Exec::set_telemetry`].
+    #[must_use]
+    pub fn with_telemetry(mut self, telemetry: Telemetry, parent: Option<SpanContext>) -> Self {
+        self.set_telemetry(telemetry, parent);
+        self
+    }
+
+    /// Attaches a telemetry handle. Every parallel dispatch then emits one
+    /// `exec.call` span (child of `parent` when given) and maintains the
+    /// `exec.calls` / `exec.tasks` / `exec.panics_caught` /
+    /// `exec.tasks_cancelled` counters and the `exec.call_wall_nanos`
+    /// histogram, mirroring [`ExecStats`] exactly. Telemetry is strictly
+    /// out-of-band: chunking, ordering, and results are unaffected.
+    /// A disabled handle detaches.
+    pub fn set_telemetry(&mut self, telemetry: Telemetry, parent: Option<SpanContext>) {
+        self.telemetry = telemetry.is_enabled().then(|| {
+            Box::new(ExecTelemetry {
+                calls: telemetry.counter("exec.calls"),
+                tasks: telemetry.counter("exec.tasks"),
+                panics: telemetry.counter("exec.panics_caught"),
+                cancelled: telemetry.counter("exec.tasks_cancelled"),
+                call_wall: telemetry.histogram("exec.call_wall_nanos"),
+                parent,
+                telemetry,
+            })
+        });
     }
 
     /// Replaces the executor's cancel token (builder style), so several
@@ -126,6 +175,22 @@ impl Exec {
         R: Send,
         F: Fn(Range<usize>) -> R + Sync,
     {
+        let span = self.telemetry.as_ref().map(|t| {
+            let mut span = match &t.parent {
+                Some(ctx) => t.telemetry.child_span(ctx, "exec.call"),
+                None => t.telemetry.span("exec.call"),
+            };
+            span.attr_u64("tasks", n as u64);
+            // Whether a dispatch happens at all can depend on which
+            // session computed a shared artifact first, so dispatch spans
+            // opt out of the canonical (thread-invariance) projection.
+            span.vary(telemetry::NONDET_VARY_KEY, telemetry::Value::Bool(true));
+            span
+        });
+        let busy_before = self
+            .telemetry
+            .as_ref()
+            .map(|_| self.stats.snapshot().busy_nanos);
         let call_start = Instant::now();
         let results = if n == 0 {
             Vec::new()
@@ -169,8 +234,21 @@ impl Exec {
             })
             .expect("exec thread scope")
         };
-        self.stats
-            .record_call(n as u64, call_start.elapsed().as_nanos() as u64);
+        let wall_ns = call_start.elapsed().as_nanos() as u64;
+        self.stats.record_call(n as u64, wall_ns);
+        if let Some(t) = &self.telemetry {
+            t.calls.inc(1);
+            t.tasks.inc(n as u64);
+            t.call_wall.observe_nanos(wall_ns);
+            if let Some(mut span) = span {
+                span.vary_u64("wall_ns", wall_ns);
+                if let Some(before) = busy_before {
+                    let busy = self.stats.snapshot().busy_nanos.saturating_sub(before);
+                    span.vary_u64("busy_ns", busy);
+                }
+                span.close();
+            }
+        }
         results
     }
 
@@ -216,12 +294,18 @@ impl Exec {
             for i in range {
                 if self.cancel.is_cancelled() {
                     self.stats.record_task_cancelled();
+                    if let Some(t) = &self.telemetry {
+                        t.cancelled.inc(1);
+                    }
                     out.push(Err(TaskError::cancelled(i)));
                     continue;
                 }
                 let result = catch_task(i, || f(i, &items[i]));
                 if result.is_err() {
                     self.stats.record_panic_caught();
+                    if let Some(t) = &self.telemetry {
+                        t.panics.inc(1);
+                    }
                 }
                 out.push(result);
             }
@@ -513,6 +597,38 @@ mod tests {
         token.cancel();
         assert!(a.par_map_isolated(&[1], |_, &x| x)[0].is_err());
         assert!(b.par_map_isolated(&[1, 2], |_, &x| x)[1].is_err());
+    }
+
+    #[test]
+    fn telemetry_counters_mirror_exec_stats() {
+        use telemetry::{MemorySink, Telemetry};
+        for threads in [1, 4] {
+            let sink = MemorySink::new();
+            let tele = Telemetry::new(vec![Box::new(sink.clone())]);
+            let exec = Exec::new(threads).with_telemetry(tele.clone(), None);
+            let items: Vec<u32> = (0..32).collect();
+            let _ = exec.par_map_isolated(&items, |_, &x| {
+                assert!(x != 3, "pow");
+                x
+            });
+            let _ = exec.par_index_map(8, |i| i);
+            let stats = exec.stats();
+            assert_eq!(tele.counter("exec.calls").get(), stats.calls);
+            assert_eq!(tele.counter("exec.tasks").get(), stats.tasks);
+            assert_eq!(
+                tele.counter("exec.panics_caught").get(),
+                stats.panics_caught
+            );
+            // One "exec.call" span per dispatch, with the task count as a
+            // deterministic attribute.
+            let spans: Vec<_> = sink
+                .events()
+                .into_iter()
+                .filter(|e| e.name == "exec.call")
+                .collect();
+            assert_eq!(spans.len() as u64, stats.calls, "threads={threads}");
+            assert_eq!(spans[0].attr_u64("tasks"), Some(32));
+        }
     }
 
     #[test]

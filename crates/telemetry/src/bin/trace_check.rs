@@ -1,0 +1,77 @@
+//! `trace-check` — validates DETERRENT JSONL trace files against the
+//! telemetry schema and emits canonical projections for diffing.
+//!
+//! ```text
+//! trace-check FILE...               validate every line of every file
+//! trace-check --canonical FILE      validate, then print the canonical
+//!                                   (sorted, thread-invariant) projection
+//!                                   to stdout for `cmp`/`diff` against
+//!                                   another run
+//! ```
+//!
+//! Exit codes: 0 = all lines valid, 1 = schema violation (the offending
+//! file and line are named on stderr), 2 = usage or I/O error.
+
+use std::fs;
+use std::process::ExitCode;
+
+use telemetry::{canonicalize_trace, parse_trace};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut canonical = false;
+    let mut files = Vec::new();
+    for arg in &args {
+        match arg.as_str() {
+            "--canonical" => canonical = true,
+            "--help" | "-h" => {
+                eprintln!("usage: trace-check [--canonical] FILE...");
+                return ExitCode::SUCCESS;
+            }
+            flag if flag.starts_with('-') => {
+                eprintln!("trace-check: unknown flag {flag:?}");
+                return ExitCode::from(2);
+            }
+            path => files.push(path),
+        }
+    }
+    if files.is_empty() {
+        eprintln!("usage: trace-check [--canonical] FILE...");
+        return ExitCode::from(2);
+    }
+
+    let mut total = 0usize;
+    for path in &files {
+        let document = match fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(e) => {
+                eprintln!("trace-check: {path}: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        if canonical {
+            match canonicalize_trace(&document) {
+                Ok(projection) => print!("{projection}"),
+                Err(e) => {
+                    eprintln!("trace-check: {path}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        } else {
+            match parse_trace(&document) {
+                Ok(events) => total += events.len(),
+                Err(e) => {
+                    eprintln!("trace-check: {path}: {e}");
+                    return ExitCode::from(1);
+                }
+            }
+        }
+    }
+    if !canonical {
+        eprintln!(
+            "trace-check: {total} event(s) across {} file(s): all valid",
+            files.len()
+        );
+    }
+    ExitCode::SUCCESS
+}
