@@ -1,10 +1,17 @@
 //! `deterrent-cache` — inspect and maintain a persistent artifact cache.
 //!
 //! ```text
-//! deterrent-cache stats  [--cache-dir DIR] [--json]
+//! deterrent-cache stats  [--cache-dir DIR] [--max-bytes N[k|m|g]] [--json]
 //! deterrent-cache gc     [--cache-dir DIR] [--max-bytes N[k|m|g]] [--per-stage-max N[k|m|g]]
 //! deterrent-cache verify [--cache-dir DIR] [--no-heal] [--json]
 //! ```
+//!
+//! `stats` also estimates the last campaign's working set from the
+//! per-stage file counts and sizes, and warns on stderr when the resolved
+//! byte budget (`--max-bytes`, else `DETERRENT_CACHE_MAX_BYTES`) is below
+//! it — a budget in that range churns the cache on every rerun (the LRU
+//! scan anomaly). The estimate is also in the `--json` output as
+//! `working_set_estimate`.
 //!
 //! `--json` switches `stats` / `verify` from the human table to a single
 //! JSON object on stdout, built from the same report structs (the exit
@@ -106,6 +113,15 @@ fn main() -> ExitCode {
     match args.command.as_str() {
         "stats" => match cache_stats(&dir) {
             Ok(stats) => {
+                // Budget to check against: the explicit flag, else the
+                // environment the next run would resolve.
+                let budget = args.max_bytes.or_else(|| {
+                    std::env::var(DeterrentConfig::CACHE_MAX_BYTES_ENV)
+                        .ok()
+                        .as_deref()
+                        .and_then(parse_bytes)
+                });
+                let estimate = stats.working_set_estimate();
                 if args.json {
                     // The same struct the table renders from, as one JSON
                     // object per invocation.
@@ -129,6 +145,7 @@ fn main() -> ExitCode {
                         ),
                         ("total_files", Value::u64(stats.total_files())),
                         ("total_bytes", Value::u64(stats.total_bytes())),
+                        ("working_set_estimate", Value::u64(estimate)),
                     ]);
                     println!("{}", value.to_json());
                 } else {
@@ -146,6 +163,15 @@ fn main() -> ExitCode {
                         "total",
                         stats.total_files(),
                         stats.total_bytes()
+                    );
+                }
+                if budget.is_some_and(|max_bytes| max_bytes < estimate) {
+                    eprintln!(
+                        "deterrent-cache: warning: max_bytes {} is below the last \
+                         campaign's estimated working set ({estimate} bytes) — reruns \
+                         will churn the cache (LRU scan anomaly); raise the budget or \
+                         use --per-stage-max to shed only the train stage",
+                        budget.unwrap_or(0)
                     );
                 }
                 ExitCode::SUCCESS

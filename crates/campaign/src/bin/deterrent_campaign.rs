@@ -46,7 +46,7 @@ use std::time::Duration;
 use campaign::{
     profile_by_name, CampaignPlan, NetlistSpec, RunPolicy, SilentProgress, StderrTraceSink,
 };
-use deterrent_core::{parse_bytes, ArtifactStore, DeterrentConfig, FaultPlan};
+use deterrent_core::{parse_bytes, ArtifactStore, FaultPlan};
 use exec::Exec;
 use telemetry::{JsonlSink, Telemetry, TraceSink, TRACE_OUT_ENV_VAR};
 
@@ -209,15 +209,7 @@ fn main() -> ExitCode {
         }
     };
 
-    let mut base = if args.scale <= 1 {
-        DeterrentConfig::paper_preset()
-    } else {
-        DeterrentConfig::fast_preset()
-            .with_probability_patterns(4096)
-            .with_eval_rollouts(16)
-            .with_k_patterns(8)
-    }
-    .with_episodes(args.episodes);
+    let mut base = campaign::base_config_for(args.scale, args.episodes);
     if let Some(dir) = &args.cache_dir {
         base = base.with_cache_dir(dir);
     }
@@ -292,6 +284,7 @@ fn main() -> ExitCode {
         faults: args.fault_plan.clone(),
         checkpoint: args.checkpoint.clone(),
         telemetry: tele.clone(),
+        span_parent: None,
     };
     let mut exec = Exec::new(args.threads);
     exec.set_telemetry(tele.clone(), None);

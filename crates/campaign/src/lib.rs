@@ -64,24 +64,27 @@
 #![warn(missing_docs)]
 
 mod checkpoint;
+mod spec;
 mod trace;
 
 use std::fmt::Write as _;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use deterrent_core::{
-    ArtifactStore, DeterrentConfig, DeterrentResult, DeterrentSession, FaultKind, FaultPlan,
-    RunObserver, Stage, StageMetrics, QUIET_ENV_VAR,
+    ArtifactStore, CacheEvents, DeterrentConfig, DeterrentResult, DeterrentSession, FaultKind,
+    FaultPlan, RunObserver, Stage, StageMetrics, StoreCounters, QUIET_ENV_VAR,
 };
-use exec::{catch_task, split_seed, CancelToken, Exec};
+use exec::{catch_task, split_seed, CancelToken, Exec, ExecPool, ExecStats};
 use netlist::synth::BenchmarkProfile;
 use netlist::Netlist;
-use telemetry::{Span, SpanContext, Telemetry};
+use telemetry::{Counter, Span, SpanContext, Telemetry};
 
 pub use checkpoint::{Checkpoint, SavedRow};
-pub use trace::StderrTraceSink;
+pub use spec::{base_config_for, PlanSpec};
+pub use trace::{render_trace_line, StderrTraceSink};
 
 /// Marker substring of the panic a [`RunPolicy::cell_deadline`] expiry
 /// raises inside a cell's failure domain — how the retry loop tells a
@@ -266,169 +269,96 @@ impl CampaignPlan {
         let cancel = CancelToken::new();
         let failures = AtomicUsize::new(0);
         let tele = &policy.telemetry;
-        let mut run_span = tele.span("campaign");
-        run_span.attr_u64("cells", cells.len() as u64);
-        run_span.attr_u64("netlists", self.netlists.len() as u64);
-        run_span.attr_u64("thetas", self.thetas.len() as u64);
-        run_span.attr_u64("seeds", self.seeds.len() as u64);
+        let run_span = open_run_span(self, cells.len(), policy);
         let run_ctx = run_span.context();
         let counters_before = store.counters();
         let events_before = store.cache_events();
         let exec_before = exec.stats();
         let checkpoint_writes = tele.counter("campaign.checkpoint_writes");
         let checkpoint_write_failures = tele.counter("campaign.checkpoint_write_failures");
-        let results = exec.par_map(&cells, |_, cell| {
-            let key = self.cell_key(cell);
-            let netlist = &netlists[cell.netlist_index];
-            let mut cell_span = tele.child_span(&run_ctx, &format!("cell.{}", cell.index));
-            cell_span.attr_u64("index", cell.index as u64);
-            cell_span.attr_str("netlist", &cell.netlist);
-            cell_span.attr_f64("theta", cell.theta);
-            cell_span.attr_u64("seed", cell.seed);
-            if let Some(saved) = checkpoint.as_ref().and_then(|c| c.get(key)) {
-                let row = CellResult::from_saved(cell, &saved);
-                cell_span.attr_bool("restored", true);
-                close_cell_span(cell_span, &row);
-                sink.cell_finished(&row);
-                return row;
-            }
-            if cancel.is_cancelled() {
-                let row =
-                    CellResult::unrun(cell, netlist, CellOutcome::Failed("cancelled".to_string()));
-                // Which cells a fail-fast cancellation catches unstarted
-                // depends on scheduling, so the span opts out of the
-                // canonical (thread-invariance) projection.
-                cell_span.attr_bool("cancelled", true);
-                cell_span.vary(telemetry::NONDET_VARY_KEY, telemetry::Value::Bool(true));
-                close_cell_span(cell_span, &row);
-                return row;
-            }
-            sink.cell_started(cell);
-            let mut start_mark = cell_span.child("cell_start");
-            start_mark.attr_u64("index", cell.index as u64);
-            start_mark.attr_str("netlist", &cell.netlist);
-            start_mark.attr_f64("theta", cell.theta);
-            start_mark.attr_u64("seed", cell.seed);
-            start_mark.mark();
-            let row = self.run_cell(
-                cell,
-                netlist,
-                store,
-                sink,
-                policy,
-                key,
-                &cell_span.context(),
-            );
-            if row.outcome.recovered() {
-                if let Some(ckpt) = &checkpoint {
-                    match ckpt.record(key, row.to_saved()) {
-                        Ok(()) => checkpoint_writes.inc(1),
-                        Err(e) => {
-                            checkpoint_write_failures.inc(1);
-                            if !quiet_requested() {
-                                eprintln!("[campaign] warning: checkpoint write failed: {e}");
-                            }
-                        }
-                    }
-                }
-            } else {
-                let seen = failures.fetch_add(1, Ordering::Relaxed) + 1;
-                if policy.fail_fast || policy.max_failures.is_some_and(|limit| seen >= limit) {
-                    cancel.cancel();
-                }
-            }
-            close_cell_span(cell_span, &row);
-            sink.cell_finished(&row);
-            row
-        });
+        let env = CellEnv {
+            plan: self,
+            netlists: &netlists,
+            store,
+            sink,
+            policy,
+            checkpoint: checkpoint.as_ref(),
+            cancel: &cancel,
+            failures: &failures,
+            run_ctx: &run_ctx,
+            checkpoint_writes: &checkpoint_writes,
+            checkpoint_write_failures: &checkpoint_write_failures,
+        };
+        let results = exec.par_map(&cells, |_, cell| env.execute(cell));
         let report = CampaignReport { cells: results };
-        if tele.is_enabled() {
-            let mut tally = [0u64; 4];
-            for row in &report.cells {
-                tally[match row.outcome {
-                    CellOutcome::Ok => 0,
-                    CellOutcome::Retried(_) => 1,
-                    CellOutcome::TimedOut => 2,
-                    CellOutcome::Failed(_) => 3,
-                }] += 1;
-            }
-            run_span.attr_u64("ok", tally[0]);
-            run_span.attr_u64("retried", tally[1]);
-            run_span.attr_u64("timeout", tally[2]);
-            run_span.attr_u64("failed", tally[3]);
-            // Store/executor deltas go in `vary`: the store may be shared
-            // with other concurrent work, and which tier served an artifact
-            // depends on scheduling when a disk tier backs the run.
-            let counters_after = store.counters();
-            for (stage, after) in counters_after.stages() {
-                let before = counters_before.stage(stage);
-                let name = stage.name();
-                run_span.vary_u64(
-                    &format!("store.{name}.mem_hits"),
-                    after.hits.saturating_sub(before.hits),
-                );
-                run_span.vary_u64(
-                    &format!("store.{name}.computed"),
-                    after.misses.saturating_sub(before.misses),
-                );
-                run_span.vary_u64(
-                    &format!("store.{name}.disk_hits"),
-                    after.disk_hits.saturating_sub(before.disk_hits),
-                );
-                run_span.vary_u64(
-                    &format!("store.{name}.disk_misses"),
-                    after.disk_misses.saturating_sub(before.disk_misses),
-                );
-                run_span.vary_u64(
-                    &format!("store.{name}.disk_corrupt"),
-                    after.disk_corrupt.saturating_sub(before.disk_corrupt),
-                );
-            }
-            let events_after = store.cache_events();
-            run_span.vary_u64(
-                "cache.corrupt",
-                events_after.corrupt.saturating_sub(events_before.corrupt),
-            );
-            run_span.vary_u64(
-                "cache.version_mismatch",
-                events_after
-                    .version_mismatch
-                    .saturating_sub(events_before.version_mismatch),
-            );
-            run_span.vary_u64("cache.io", events_after.io.saturating_sub(events_before.io));
-            run_span.vary_u64(
-                "cache.evictions",
-                events_after
-                    .budget_evictions
-                    .saturating_sub(events_before.budget_evictions),
-            );
-            let exec_after = exec.stats();
-            run_span.vary_u64(
-                "exec.calls",
-                exec_after.calls.saturating_sub(exec_before.calls),
-            );
-            run_span.vary_u64(
-                "exec.tasks",
-                exec_after.tasks.saturating_sub(exec_before.tasks),
-            );
-            run_span.vary_u64(
-                "exec.busy_nanos",
-                exec_after.busy_nanos.saturating_sub(exec_before.busy_nanos),
-            );
-            run_span.vary_u64(
-                "exec.panics_caught",
-                exec_after
-                    .panics_caught
-                    .saturating_sub(exec_before.panics_caught),
-            );
-            run_span.vary_u64(
-                "exec.tasks_cancelled",
-                exec_after
-                    .tasks_cancelled
-                    .saturating_sub(exec_before.tasks_cancelled),
-            );
-        }
-        run_span.close();
+        finish_run_span(
+            run_span,
+            tele.is_enabled(),
+            &report,
+            store,
+            &counters_before,
+            &events_before,
+            exec_before,
+            exec.stats(),
+        );
+        report
+    }
+
+    /// Like [`CampaignPlan::run_with_policy`], but scheduled on a
+    /// persistent [`ExecPool`] instead of per-run scoped threads — the
+    /// runner a resident service (the `deterrent-serve` daemon) uses so
+    /// sequential campaigns reuse one set of workers.
+    ///
+    /// The pool splits the cell list with the same static chunk rule as
+    /// the scoped executor and merges rows in plan order, so for any given
+    /// plan the report is **bit-identical** to [`CampaignPlan::run_with_policy`]
+    /// at any thread count. In-flight cells are bounded by the pool's
+    /// worker count. The progress sink is shared (`Arc`) rather than
+    /// borrowed because pool tasks outlive the caller's stack frame.
+    #[must_use]
+    pub fn run_on_pool(
+        &self,
+        store: &ArtifactStore,
+        pool: &ExecPool,
+        sink: Arc<dyn ProgressSink + Send + Sync>,
+        policy: &RunPolicy,
+    ) -> CampaignReport {
+        let cells = Arc::new(self.cells());
+        let tele = &policy.telemetry;
+        let run_span = open_run_span(self, cells.len(), policy);
+        let counters_before = store.counters();
+        let events_before = store.cache_events();
+        let exec_before = pool.stats();
+        let shared = Arc::new(PoolCellEnv {
+            plan: self.clone(),
+            netlists: self.netlists.iter().map(NetlistSpec::build).collect(),
+            store: store.clone(),
+            sink,
+            policy: policy.clone(),
+            checkpoint: policy.checkpoint.as_ref().map(Checkpoint::open),
+            // A fresh token per run: cancellation never leaks across runs.
+            cancel: CancelToken::new(),
+            failures: AtomicUsize::new(0),
+            run_ctx: run_span.context(),
+            checkpoint_writes: tele.counter("campaign.checkpoint_writes"),
+            checkpoint_write_failures: tele.counter("campaign.checkpoint_write_failures"),
+        });
+        let results = {
+            let shared = Arc::clone(&shared);
+            let cells = Arc::clone(&cells);
+            pool.par_index_map(cells.len(), move |i| shared.env().execute(&cells[i]))
+        };
+        let report = CampaignReport { cells: results };
+        finish_run_span(
+            run_span,
+            tele.is_enabled(),
+            &report,
+            store,
+            &counters_before,
+            &events_before,
+            exec_before,
+            pool.stats(),
+        );
         report
     }
 
@@ -619,6 +549,11 @@ pub struct RunPolicy {
     /// telemetry is out-of-band: the [`CampaignReport`] is byte-identical
     /// with or without it, at any thread count.
     pub telemetry: Telemetry,
+    /// Parent span context for the root `campaign` span. `None` (the
+    /// default) makes it a root span; the serve daemon sets this to its
+    /// per-job `serve.job` span so streamed traces nest the whole campaign
+    /// under the job that requested it.
+    pub span_parent: Option<SpanContext>,
 }
 
 impl Default for RunPolicy {
@@ -631,6 +566,7 @@ impl Default for RunPolicy {
             faults: None,
             checkpoint: None,
             telemetry: Telemetry::disabled(),
+            span_parent: None,
         }
     }
 }
@@ -640,6 +576,251 @@ impl Default for RunPolicy {
 /// counted in the `campaign.checkpoint_write_failures` telemetry counter.
 fn quiet_requested() -> bool {
     std::env::var(QUIET_ENV_VAR).is_ok_and(|v| v.trim() == "1")
+}
+
+/// Everything one cell's failure domain reads, borrowed from whichever
+/// runner owns the storage — [`CampaignPlan::run_with_policy`] borrows
+/// straight from its stack frame, [`CampaignPlan::run_on_pool`] from an
+/// [`Arc`]-shared [`PoolCellEnv`]. Keeping a single `execute` body is what
+/// guarantees the two runners produce identical rows, spans, checkpoint
+/// writes, and cancellation behavior.
+struct CellEnv<'a> {
+    plan: &'a CampaignPlan,
+    netlists: &'a [Netlist],
+    store: &'a ArtifactStore,
+    sink: &'a dyn ProgressSink,
+    policy: &'a RunPolicy,
+    checkpoint: Option<&'a Checkpoint>,
+    cancel: &'a CancelToken,
+    failures: &'a AtomicUsize,
+    run_ctx: &'a SpanContext,
+    checkpoint_writes: &'a Counter,
+    checkpoint_write_failures: &'a Counter,
+}
+
+impl CellEnv<'_> {
+    /// Runs one cell end to end: checkpoint restore, cancellation check,
+    /// the retry loop ([`CampaignPlan::run_cell`]), checkpoint recording,
+    /// and failure accounting for `fail_fast` / `max_failures`.
+    fn execute(&self, cell: &CampaignCell) -> CellResult {
+        let tele = &self.policy.telemetry;
+        let key = self.plan.cell_key(cell);
+        let netlist = &self.netlists[cell.netlist_index];
+        let mut cell_span = tele.child_span(self.run_ctx, &format!("cell.{}", cell.index));
+        cell_span.attr_u64("index", cell.index as u64);
+        cell_span.attr_str("netlist", &cell.netlist);
+        cell_span.attr_f64("theta", cell.theta);
+        cell_span.attr_u64("seed", cell.seed);
+        if let Some(saved) = self.checkpoint.and_then(|c| c.get(key)) {
+            let row = CellResult::from_saved(cell, &saved);
+            cell_span.attr_bool("restored", true);
+            close_cell_span(cell_span, &row);
+            self.sink.cell_finished(&row);
+            return row;
+        }
+        if self.cancel.is_cancelled() {
+            let row =
+                CellResult::unrun(cell, netlist, CellOutcome::Failed("cancelled".to_string()));
+            // Which cells a fail-fast cancellation catches unstarted
+            // depends on scheduling, so the span opts out of the
+            // canonical (thread-invariance) projection.
+            cell_span.attr_bool("cancelled", true);
+            cell_span.vary(telemetry::NONDET_VARY_KEY, telemetry::Value::Bool(true));
+            close_cell_span(cell_span, &row);
+            return row;
+        }
+        self.sink.cell_started(cell);
+        let mut start_mark = cell_span.child("cell_start");
+        start_mark.attr_u64("index", cell.index as u64);
+        start_mark.attr_str("netlist", &cell.netlist);
+        start_mark.attr_f64("theta", cell.theta);
+        start_mark.attr_u64("seed", cell.seed);
+        start_mark.mark();
+        let row = self.plan.run_cell(
+            cell,
+            netlist,
+            self.store,
+            self.sink,
+            self.policy,
+            key,
+            &cell_span.context(),
+        );
+        if row.outcome.recovered() {
+            if let Some(ckpt) = self.checkpoint {
+                match ckpt.record(key, row.to_saved()) {
+                    Ok(()) => self.checkpoint_writes.inc(1),
+                    Err(e) => {
+                        self.checkpoint_write_failures.inc(1);
+                        if !quiet_requested() {
+                            eprintln!("[campaign] warning: checkpoint write failed: {e}");
+                        }
+                    }
+                }
+            }
+        } else {
+            let seen = self.failures.fetch_add(1, Ordering::Relaxed) + 1;
+            if self.policy.fail_fast || self.policy.max_failures.is_some_and(|limit| seen >= limit)
+            {
+                self.cancel.cancel();
+            }
+        }
+        close_cell_span(cell_span, &row);
+        self.sink.cell_finished(&row);
+        row
+    }
+}
+
+/// The owned (`'static`) storage behind [`CellEnv`] for pool scheduling:
+/// pool tasks outlive the caller's stack frame, so everything a cell
+/// touches lives in one [`Arc`]-shared bundle for the duration of the run.
+struct PoolCellEnv {
+    plan: CampaignPlan,
+    netlists: Vec<Netlist>,
+    store: ArtifactStore,
+    sink: Arc<dyn ProgressSink + Send + Sync>,
+    policy: RunPolicy,
+    checkpoint: Option<Checkpoint>,
+    cancel: CancelToken,
+    failures: AtomicUsize,
+    run_ctx: SpanContext,
+    checkpoint_writes: Counter,
+    checkpoint_write_failures: Counter,
+}
+
+impl PoolCellEnv {
+    /// Borrows the bundle as the shared per-cell environment.
+    fn env(&self) -> CellEnv<'_> {
+        CellEnv {
+            plan: &self.plan,
+            netlists: &self.netlists,
+            store: &self.store,
+            sink: self.sink.as_ref(),
+            policy: &self.policy,
+            checkpoint: self.checkpoint.as_ref(),
+            cancel: &self.cancel,
+            failures: &self.failures,
+            run_ctx: &self.run_ctx,
+            checkpoint_writes: &self.checkpoint_writes,
+            checkpoint_write_failures: &self.checkpoint_write_failures,
+        }
+    }
+}
+
+/// Opens the root `campaign` span with the grid-shape attrs — parented
+/// under [`RunPolicy::span_parent`] when set (the serve daemon parents
+/// campaigns under its per-job `serve.job` span), a root span otherwise.
+fn open_run_span(plan: &CampaignPlan, cells: usize, policy: &RunPolicy) -> Span {
+    let tele = &policy.telemetry;
+    let mut run_span = match &policy.span_parent {
+        Some(parent) => tele.child_span(parent, "campaign"),
+        None => tele.span("campaign"),
+    };
+    run_span.attr_u64("cells", cells as u64);
+    run_span.attr_u64("netlists", plan.netlists.len() as u64);
+    run_span.attr_u64("thetas", plan.thetas.len() as u64);
+    run_span.attr_u64("seeds", plan.seeds.len() as u64);
+    run_span
+}
+
+/// Closes the root `campaign` span with the outcome tally in `attrs` and
+/// the store/cache/executor deltas in `vary` — the deltas go in `vary`
+/// because the store may be shared with other concurrent work, and which
+/// tier served an artifact depends on scheduling when a disk tier backs
+/// the run.
+#[allow(clippy::too_many_arguments)]
+fn finish_run_span(
+    mut run_span: Span,
+    enabled: bool,
+    report: &CampaignReport,
+    store: &ArtifactStore,
+    counters_before: &StoreCounters,
+    events_before: &CacheEvents,
+    exec_before: ExecStats,
+    exec_after: ExecStats,
+) {
+    if enabled {
+        let mut tally = [0u64; 4];
+        for row in &report.cells {
+            tally[match row.outcome {
+                CellOutcome::Ok => 0,
+                CellOutcome::Retried(_) => 1,
+                CellOutcome::TimedOut => 2,
+                CellOutcome::Failed(_) => 3,
+            }] += 1;
+        }
+        run_span.attr_u64("ok", tally[0]);
+        run_span.attr_u64("retried", tally[1]);
+        run_span.attr_u64("timeout", tally[2]);
+        run_span.attr_u64("failed", tally[3]);
+        let counters_after = store.counters();
+        for (stage, after) in counters_after.stages() {
+            let before = counters_before.stage(stage);
+            let name = stage.name();
+            run_span.vary_u64(
+                &format!("store.{name}.mem_hits"),
+                after.hits.saturating_sub(before.hits),
+            );
+            run_span.vary_u64(
+                &format!("store.{name}.computed"),
+                after.misses.saturating_sub(before.misses),
+            );
+            run_span.vary_u64(
+                &format!("store.{name}.disk_hits"),
+                after.disk_hits.saturating_sub(before.disk_hits),
+            );
+            run_span.vary_u64(
+                &format!("store.{name}.disk_misses"),
+                after.disk_misses.saturating_sub(before.disk_misses),
+            );
+            run_span.vary_u64(
+                &format!("store.{name}.disk_corrupt"),
+                after.disk_corrupt.saturating_sub(before.disk_corrupt),
+            );
+        }
+        let events_after = store.cache_events();
+        run_span.vary_u64(
+            "cache.corrupt",
+            events_after.corrupt.saturating_sub(events_before.corrupt),
+        );
+        run_span.vary_u64(
+            "cache.version_mismatch",
+            events_after
+                .version_mismatch
+                .saturating_sub(events_before.version_mismatch),
+        );
+        run_span.vary_u64("cache.io", events_after.io.saturating_sub(events_before.io));
+        run_span.vary_u64(
+            "cache.evictions",
+            events_after
+                .budget_evictions
+                .saturating_sub(events_before.budget_evictions),
+        );
+        run_span.vary_u64(
+            "exec.calls",
+            exec_after.calls.saturating_sub(exec_before.calls),
+        );
+        run_span.vary_u64(
+            "exec.tasks",
+            exec_after.tasks.saturating_sub(exec_before.tasks),
+        );
+        run_span.vary_u64(
+            "exec.busy_nanos",
+            exec_after.busy_nanos.saturating_sub(exec_before.busy_nanos),
+        );
+        run_span.vary_u64(
+            "exec.panics_caught",
+            exec_after
+                .panics_caught
+                .saturating_sub(exec_before.panics_caught),
+        );
+        run_span.vary_u64(
+            "exec.tasks_cancelled",
+            exec_after
+                .tasks_cancelled
+                .saturating_sub(exec_before.tasks_cancelled),
+        );
+    }
+    run_span.close();
 }
 
 /// Closes a cell span with the row's outcome and data columns. Outcome

@@ -71,7 +71,7 @@ impl StderrTraceSink {
 
 impl TraceSink for StderrTraceSink {
     fn event(&self, event: &TraceEvent) {
-        if let Some(line) = render_event(event) {
+        if let Some(line) = render_trace_line(event) {
             eprintln!("{line}");
         }
     }
@@ -79,7 +79,13 @@ impl TraceSink for StderrTraceSink {
 
 /// Renders one trace event as its stderr progress line, or `None` for
 /// events the progress stream does not report.
-fn render_event(event: &TraceEvent) -> Option<String> {
+///
+/// This is the single source of the `[campaign] …` formats: the local
+/// [`StderrTraceSink`] prints these strings, and `deterrent-submit`
+/// renders the *same* strings from events streamed over the daemon
+/// socket — so client-side progress is byte-identical to a local run's.
+#[must_use]
+pub fn render_trace_line(event: &TraceEvent) -> Option<String> {
     match event.kind {
         EventKind::Mark if event.name == "cell_start" => {
             let theta = match event.attrs.get("theta") {
@@ -164,7 +170,7 @@ mod tests {
         cell.attr_u64("patterns", 8);
         cell.close();
 
-        let lines: Vec<String> = sink.events().iter().filter_map(render_event).collect();
+        let lines: Vec<String> = sink.events().iter().filter_map(render_trace_line).collect();
         assert_eq!(
             lines,
             vec![
@@ -183,7 +189,7 @@ mod tests {
         cell.attr_u64("index", 1);
         cell.attr_bool("cancelled", true);
         cell.close();
-        assert!(sink.events().iter().all(|e| render_event(e).is_none()));
+        assert!(sink.events().iter().all(|e| render_trace_line(e).is_none()));
     }
 
     #[test]

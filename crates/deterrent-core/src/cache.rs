@@ -301,6 +301,33 @@ impl CacheStats {
     pub fn total_bytes(&self) -> u64 {
         self.stages.iter().map(|s| s.bytes).sum()
     }
+
+    /// Estimates the working set of the campaign that produced this cache:
+    /// the bytes the directory would hold if *every* stage still had as
+    /// many files as the most-populated stage does now.
+    ///
+    /// Each campaign cell writes roughly one artifact per stage, so the
+    /// most-populated stage's file count approximates the cell count even
+    /// after budget eviction has thinned the others; scaling every stage's
+    /// mean file size back up to that count reconstructs the pre-eviction
+    /// footprint. On an unevicted cache this equals [`total_bytes`]
+    /// (every stage has the same count), so the estimate never shrinks
+    /// below actual usage. A `max_bytes` budget under this value will
+    /// churn on reruns (the LRU scan anomaly — see the module docs).
+    ///
+    /// [`total_bytes`]: CacheStats::total_bytes
+    #[must_use]
+    pub fn working_set_estimate(&self) -> u64 {
+        let max_files = self.stages.iter().map(|s| s.files).max().unwrap_or(0);
+        self.stages
+            .iter()
+            .filter(|s| s.files > 0)
+            .map(|s| {
+                let scaled = u128::from(s.bytes) * u128::from(max_files) / u128::from(s.files);
+                u64::try_from(scaled).unwrap_or(u64::MAX)
+            })
+            .sum()
+    }
 }
 
 /// Measures the disk usage of the cache at `root`, per stage. A missing
@@ -389,6 +416,11 @@ pub fn gc(root: &Path, policy: &CachePolicy) -> io::Result<GcReport> {
         report.evicted_files += 1;
         report.evicted_bytes += entry.bytes;
     }
+    if report.corrupt_removed + report.orphan_sidecars_removed + report.evicted_files > 0 {
+        // Invalidate the in-memory index of any live store sharing this
+        // directory (see the generation-counter protocol in `codec`).
+        codec::bump_generation(root);
+    }
     report.bytes_remaining = cache_stats(root)?.total_bytes();
     Ok(report)
 }
@@ -459,6 +491,9 @@ pub fn verify(root: &Path, heal: bool) -> VerifyReport {
             }
         }
     }
+    if heal && !report.corrupt.is_empty() {
+        codec::bump_generation(root);
+    }
     report
 }
 
@@ -516,6 +551,44 @@ mod tests {
         assert!(policy.slim_policy);
         assert!(!policy.is_unbounded());
         assert!(CachePolicy::default().is_unbounded());
+    }
+
+    #[test]
+    fn working_set_estimate_reconstructs_evicted_stages() {
+        let usage = |stage, files, bytes| StageUsage {
+            stage,
+            files,
+            bytes,
+        };
+        // Unevicted cache: estimate equals actual usage.
+        let full = CacheStats {
+            stages: [
+                usage(Stage::Analyze, 4, 400),
+                usage(Stage::BuildGraph, 4, 800),
+                usage(Stage::Train, 4, 4000),
+                usage(Stage::Select, 4, 200),
+                usage(Stage::Generate, 4, 200),
+            ],
+        };
+        assert_eq!(full.working_set_estimate(), full.total_bytes());
+
+        // Eviction thinned the train stage to one of four files: the
+        // estimate scales its mean file size back up to four.
+        let evicted = CacheStats {
+            stages: [
+                usage(Stage::Analyze, 4, 400),
+                usage(Stage::BuildGraph, 4, 800),
+                usage(Stage::Train, 1, 1000),
+                usage(Stage::Select, 4, 200),
+                usage(Stage::Generate, 4, 200),
+            ],
+        };
+        assert_eq!(evicted.working_set_estimate(), 5600);
+        assert!(evicted.working_set_estimate() > evicted.total_bytes());
+
+        // Empty cache estimates zero.
+        let empty = cache_stats(Path::new("/definitely/not/a/real/dir")).unwrap();
+        assert_eq!(empty.working_set_estimate(), 0);
     }
 
     #[test]

@@ -1115,6 +1115,60 @@ impl EventCell {
 /// set to `1`.
 pub const QUIET_ENV_VAR: &str = "DETERRENT_QUIET";
 
+/// Name of the cross-process generation-counter file at the cache root: a
+/// single little-endian `u64`, rewritten (atomically) by every writer that
+/// changes the directory's contents — inserts, access-stamp refreshes,
+/// budget evictions, gc deletions, verify heals. Stores keep an in-memory
+/// size/stamp index of the directory and only fall back to an O(files)
+/// rescan when the counter no longer matches the value their index was
+/// built against, so the common single-writer case enforces budgets
+/// without touching the directory listing at all.
+pub(crate) const GEN_FILE: &str = "gen.ctr";
+
+/// Reads the generation counter at `root` (0 when missing or unreadable —
+/// indistinguishable from a never-written cache, which is exactly right:
+/// both force one initial rescan).
+pub(crate) fn read_generation(root: &Path) -> u64 {
+    fs::read(root.join(GEN_FILE))
+        .ok()
+        .and_then(|bytes| <[u8; 8]>::try_from(bytes).ok())
+        .map(u64::from_le_bytes)
+        .unwrap_or(0)
+}
+
+/// Advances the generation counter at `root` and returns the new value.
+/// Best-effort like every other cache write: two processes bumping inside
+/// the same read→rename window can collapse to one increment, leaving each
+/// other's index stale until the *next* foreign bump — the worst case is
+/// one delayed budget-enforcement pass, never a wrong artifact (correctness
+/// always comes from the files themselves, not the index).
+pub(crate) fn bump_generation(root: &Path) -> u64 {
+    let next = read_generation(root).wrapping_add(1);
+    if fs::create_dir_all(root).is_ok() {
+        write_atomically(root, &root.join(GEN_FILE), &next.to_le_bytes(), next);
+    }
+    next
+}
+
+/// One artifact's footprint and access stamp as the in-memory index tracks
+/// it (the path is derivable from the `(stage, key)` index key).
+#[derive(Debug, Clone, Copy)]
+struct IndexedEntry {
+    bytes: u64,
+    stamp: u64,
+}
+
+/// The in-memory mirror of the cache directory driving budget
+/// enforcement: what [`scan_entries`] would return, keyed by
+/// `(stage index, key)`, plus the generation-counter value it was built
+/// against. `valid == false` forces a rescan on next use.
+#[derive(Debug, Default)]
+struct CacheIndex {
+    valid: bool,
+    gen_seen: u64,
+    entries: std::collections::HashMap<(usize, u64), IndexedEntry>,
+}
+
 /// The persistent tier of an [`crate::ArtifactStore`]: one file per artifact
 /// under `<root>/<stage>/<key:016x>.dtc` plus a `.lru` access-stamp sidecar
 /// (see the [module docs](self) for both formats). All operations are
@@ -1143,6 +1197,13 @@ pub(crate) struct DiskStore {
     events: EventCell,
     /// Whether the one rate-limited heal warning has been printed.
     warned: std::sync::atomic::AtomicBool,
+    /// In-memory size/stamp mirror of the directory, so budget
+    /// enforcement does not rescan O(files) on every insert. Invalidated
+    /// by the cross-process [`GEN_FILE`] counter.
+    index: std::sync::Mutex<CacheIndex>,
+    /// How many full directory rescans the index has performed (observable
+    /// for tests asserting the single-writer fast path).
+    rescans: AtomicU64,
 }
 
 impl DiskStore {
@@ -1158,7 +1219,15 @@ impl DiskStore {
             faults,
             events: EventCell::default(),
             warned: std::sync::atomic::AtomicBool::new(false),
+            index: std::sync::Mutex::default(),
+            rescans: AtomicU64::new(0),
         }
+    }
+
+    /// How many times the index fell back to a full directory rescan.
+    #[cfg(test)]
+    pub(crate) fn index_rescans(&self) -> u64 {
+        self.rescans.load(Ordering::Relaxed)
     }
 
     /// Snapshot of the per-kind failure-event counters.
@@ -1218,11 +1287,83 @@ impl DiskStore {
             .insert((stage.index(), key));
     }
 
-    /// Atomically (re)writes the access-stamp sidecar for `(stage, key)`.
-    fn touch(&self, stage: DiskStage, key: u64) {
+    /// Atomically (re)writes the access-stamp sidecar for `(stage, key)`,
+    /// returning the stamp written (`None` when the sidecar write failed —
+    /// the artifact then orders oldest, same as a missing sidecar).
+    fn touch(&self, stage: DiskStage, key: u64) -> Option<u64> {
         let dir = self.root.join(stage.dir());
         let sidecar = self.file_path(stage, key).with_extension(SIDECAR_EXT);
-        write_atomically(&dir, &sidecar, &next_stamp().to_le_bytes(), key);
+        let stamp = next_stamp();
+        write_atomically(&dir, &sidecar, &stamp.to_le_bytes(), key).then_some(stamp)
+    }
+
+    /// Records a directory mutation for `(stage, key)` in the in-memory
+    /// index and bumps the cross-process generation counter so *other*
+    /// stores sharing the directory rescan. `bytes` is `Some` on insert
+    /// (total artifact + sidecar footprint) and `None` on a bare
+    /// access-stamp refresh; a refresh of an entry the index has never
+    /// seen invalidates it (the directory changed behind our back without
+    /// a counter bump we noticed).
+    fn note_mutation(&self, stage: DiskStage, key: u64, bytes: Option<u64>, stamp: u64) {
+        let mut index = self.lock_index();
+        // A foreign bump we have not yet synced against must not be
+        // swallowed by our own: check staleness *before* bumping.
+        if index.valid && read_generation(&self.root) != index.gen_seen {
+            index.valid = false;
+        }
+        let slot = (stage.index(), key);
+        if index.valid {
+            match (index.entries.get_mut(&slot), bytes) {
+                (Some(entry), _) => {
+                    if let Some(bytes) = bytes {
+                        entry.bytes = bytes;
+                    }
+                    entry.stamp = stamp;
+                }
+                (None, Some(bytes)) => {
+                    index.entries.insert(slot, IndexedEntry { bytes, stamp });
+                }
+                (None, None) => index.valid = false,
+            }
+        }
+        index.gen_seen = bump_generation(&self.root);
+    }
+
+    /// Locks the index, ignoring poisoning: the index is structurally
+    /// valid at every await-free point and a stale one only costs a
+    /// rescan, so a panicking peer must not wedge budget enforcement.
+    fn lock_index(&self) -> std::sync::MutexGuard<'_, CacheIndex> {
+        self.index
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
+    /// Brings `index` in sync with the directory: a no-op when it is valid
+    /// and the generation counter still matches the value it was built
+    /// against, otherwise one full [`scan_entries`] rescan.
+    fn sync_index(&self, index: &mut CacheIndex) {
+        let file_gen = read_generation(&self.root);
+        if index.valid && index.gen_seen == file_gen {
+            return;
+        }
+        index.entries.clear();
+        match scan_entries(&self.root) {
+            Ok(entries) => {
+                for entry in entries {
+                    index.entries.insert(
+                        (entry.stage.index(), entry.key),
+                        IndexedEntry {
+                            bytes: entry.bytes,
+                            stamp: entry.stamp,
+                        },
+                    );
+                }
+                index.valid = true;
+                index.gen_seen = file_gen;
+                self.rescans.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => index.valid = false,
+        }
     }
 
     /// Reads and validates the artifact file for `(stage, key)`. A hit
@@ -1273,7 +1414,9 @@ impl DiskStore {
         }
         let payload = bytes.split_off(HEADER_LEN);
         self.pin(stage, key);
-        self.touch(stage, key);
+        if let Some(stamp) = self.touch(stage, key) {
+            self.note_mutation(stage, key, None, stamp);
+        }
         DiskLookup::Hit(payload)
     }
 
@@ -1308,7 +1451,16 @@ impl DiskStore {
         bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
         bytes.extend_from_slice(payload);
         if write_atomically(&dir, &self.file_path(stage, key), &bytes, key) {
-            self.touch(stage, key);
+            let stamp = self.touch(stage, key);
+            // Footprint = artifact + sidecar, matching what a rescan
+            // would measure.
+            let sidecar_bytes = if stamp.is_some() { 8 } else { 0 };
+            self.note_mutation(
+                stage,
+                key,
+                Some(bytes.len() as u64 + sidecar_bytes),
+                stamp.unwrap_or(0),
+            );
         } else {
             self.events.io.fetch_add(1, Ordering::Relaxed);
         }
@@ -1319,24 +1471,53 @@ impl DiskStore {
     /// least-recently-used artifacts (and their sidecars) first. Artifacts
     /// this process has read are pinned and survive; freshly inserted ones
     /// are evictable (the memory tier still holds them). Best-effort.
+    ///
+    /// Entries come from the in-memory index; the O(files) directory
+    /// rescan only happens when the cross-process generation counter says
+    /// another writer changed the directory since the index was built.
     fn enforce_budget(&self) {
         if self.policy.is_unbounded() {
             return;
         }
-        let Ok(entries) = scan_entries(&self.root) else {
+        let mut index = self.lock_index();
+        self.sync_index(&mut index);
+        if !index.valid {
             return;
-        };
+        }
+        let entries: Vec<CacheEntry> = index
+            .entries
+            .iter()
+            .map(|(&(stage_idx, key), entry)| {
+                let stage = DiskStage::ALL[stage_idx];
+                let artifact = self.file_path(stage, key);
+                let sidecar = artifact.with_extension(SIDECAR_EXT);
+                CacheEntry {
+                    stage,
+                    key,
+                    bytes: entry.bytes,
+                    stamp: entry.stamp,
+                    artifact,
+                    sidecar,
+                }
+            })
+            .collect();
         let pinned = self
             .pinned
             .lock()
             .expect("disk store pin lock poisoned")
             .clone();
-        for index in plan_evictions(&entries, &self.policy, &pinned) {
-            let entry = &entries[index];
+        let plan = plan_evictions(&entries, &self.policy, &pinned);
+        if plan.is_empty() {
+            return;
+        }
+        for i in plan {
+            let entry = &entries[i];
             let _ = fs::remove_file(&entry.artifact);
             let _ = fs::remove_file(&entry.sidecar);
+            index.entries.remove(&(entry.stage.index(), entry.key));
             self.events.budget_evictions.fetch_add(1, Ordering::Relaxed);
         }
+        index.gen_seen = bump_generation(&self.root);
     }
 }
 
@@ -1656,6 +1837,62 @@ mod tests {
             disk.load(DiskStage::Analyze, 7),
             DiskLookup::Hit(_)
         ));
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn budget_enforcement_uses_the_index_without_rescanning() {
+        let root = temp_root("index-fast-path");
+        // Budget small enough that every insert runs enforcement.
+        let policy = crate::CachePolicy::default().with_max_bytes(200);
+        let disk = DiskStore::with_faults(root.clone(), policy, None);
+        for key in 0..6u64 {
+            disk.store(DiskStage::Analyze, key, &[0u8; 48]);
+        }
+        // One initial rescan builds the index; the remaining five inserts
+        // (and their evictions) run entirely off it — the generation file
+        // tracks our own bumps.
+        assert_eq!(disk.index_rescans(), 1);
+        assert!(disk.events().budget_evictions > 0);
+        let on_disk = scan_entries(&root).unwrap();
+        let total: u64 = on_disk.iter().map(|e| e.bytes).sum();
+        assert!(total <= 200, "cache over budget: {total}");
+        // The survivors are the most recently inserted keys.
+        let mut keys: Vec<u64> = on_disk.iter().map(|e| e.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![4, 5]);
+        let _ = fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn generation_counter_invalidates_other_stores_indexes() {
+        let root = temp_root("index-cross-store");
+        let policy = crate::CachePolicy::default().with_max_bytes(200);
+        // Two stores sharing one directory, as two daemon processes would.
+        let a = DiskStore::with_faults(root.clone(), policy, None);
+        let b = DiskStore::with_faults(root.clone(), policy, None);
+
+        b.store(DiskStage::Analyze, 1, &[0u8; 48]);
+        assert_eq!(b.index_rescans(), 1);
+        // A writes behind B's back, bumping the generation counter.
+        a.store(DiskStage::Analyze, 2, &[0u8; 48]);
+        // B's next insert sees the bump, rescans, and accounts for A's
+        // artifact when enforcing the budget.
+        b.store(DiskStage::Analyze, 3, &[0u8; 48]);
+        assert_eq!(b.index_rescans(), 2);
+        let on_disk = scan_entries(&root).unwrap();
+        let total: u64 = on_disk.iter().map(|e| e.bytes).sum();
+        assert!(total <= 200, "cache over budget: {total}");
+        let mut keys: Vec<u64> = on_disk.iter().map(|e| e.key).collect();
+        keys.sort_unstable();
+        assert_eq!(keys, vec![2, 3], "LRU evicted the oldest key across stores");
+
+        // Offline gc bumps the counter too, so live stores re-examine the
+        // directory instead of trusting a stale index.
+        let before = a.index_rescans();
+        crate::cache::gc(&root, &crate::CachePolicy::default().with_max_bytes(100)).unwrap();
+        a.store(DiskStage::Analyze, 9, &[0u8; 48]);
+        assert!(a.index_rescans() > before);
         let _ = fs::remove_dir_all(&root);
     }
 }

@@ -1,0 +1,383 @@
+//! Persistent channel-fed worker pool.
+//!
+//! [`Exec`](crate::Exec) spawns scoped threads per parallel call (~20–100 µs
+//! of setup each time), which is fine for a one-shot CLI but wasteful for a
+//! resident service dispatching thousands of calls. [`ExecPool`] keeps a
+//! fixed set of long-lived workers fed over a multi-consumer channel and
+//! reuses them across calls — and across whole campaigns.
+//!
+//! The pool preserves the workspace's core invariant by construction: a
+//! dispatch splits `0..n` with the **same static chunk math** as
+//! [`Exec::par_ranges`](crate::Exec::par_ranges) (one contiguous range per
+//! worker, via the one shared chunk-size helper) and merges per-chunk
+//! results **in range order**, so for the same deterministic task body the
+//! output is bit-identical to the scoped executor at any thread count.
+//!
+//! The price of persistence is `'static` bounds: pool tasks outlive the
+//! caller's stack frame, so closures are shared via [`Arc`] instead of
+//! borrowed. Do not call pool combinators from *inside* a pool task — with
+//! every worker busy on the outer call, the inner dispatch would wait
+//! forever.
+
+use std::ops::Range;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use crate::pool::chunk_size;
+use crate::stats::StatsCell;
+use crate::task::{catch_task, payload_message};
+use crate::{ExecStats, THREADS_ENV_VAR};
+
+/// A unit of work executed by one pool worker.
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A persistent worker pool with [`Exec`](crate::Exec)-identical chunking.
+///
+/// Cloning the pool produces another handle to the same workers; the worker
+/// threads shut down when the last handle is dropped (or on an explicit
+/// [`ExecPool::shutdown`]). A pool resolved to one thread runs everything
+/// inline on the calling thread, exactly like `Exec`.
+///
+/// # Example
+///
+/// ```
+/// use exec::{Exec, ExecPool};
+///
+/// let pool = ExecPool::new(4);
+/// let pooled = pool.par_index_map(8, |i| i * i);
+/// let scoped = Exec::new(4).par_index_map(8, |i| i * i);
+/// assert_eq!(pooled, scoped);
+/// ```
+#[derive(Clone)]
+pub struct ExecPool {
+    inner: Arc<PoolInner>,
+}
+
+struct PoolInner {
+    threads: usize,
+    stats: Arc<StatsCell>,
+    /// `None` once the pool has been shut down.
+    sender: Mutex<Option<crossbeam::channel::Sender<Job>>>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl std::fmt::Debug for ExecPool {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExecPool")
+            .field("threads", &self.inner.threads)
+            .finish_non_exhaustive()
+    }
+}
+
+impl ExecPool {
+    /// Creates a pool with `threads` persistent workers.
+    ///
+    /// `0` means "auto", resolved exactly like [`Exec::new`](crate::Exec::new):
+    /// the [`DETERRENT_THREADS`](crate::THREADS_ENV_VAR) environment variable
+    /// when set to a positive integer, otherwise
+    /// [`std::thread::available_parallelism`]. A pool resolved to one thread
+    /// spawns no workers at all and runs every call inline.
+    #[must_use]
+    pub fn new(threads: usize) -> Self {
+        let threads = if threads > 0 {
+            threads
+        } else {
+            std::env::var(THREADS_ENV_VAR)
+                .ok()
+                .and_then(|v| v.trim().parse::<usize>().ok())
+                .filter(|&t| t > 0)
+                .unwrap_or_else(|| {
+                    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+                })
+        };
+        let stats = Arc::new(StatsCell::default());
+        let (sender, receiver) = crossbeam::channel::unbounded::<Job>();
+        let workers = if threads > 1 {
+            (0..threads)
+                .map(|i| {
+                    let receiver = receiver.clone();
+                    std::thread::Builder::new()
+                        .name(format!("exec-pool-{i}"))
+                        .spawn(move || worker_loop(&receiver))
+                        .expect("spawn pool worker")
+                })
+                .collect()
+        } else {
+            Vec::new()
+        };
+        Self {
+            inner: Arc::new(PoolInner {
+                threads,
+                stats,
+                sender: Mutex::new(Some(sender)),
+                workers: Mutex::new(workers),
+            }),
+        }
+    }
+
+    /// The resolved worker count (always at least 1). This is also the bound
+    /// on concurrently executing tasks — excess chunks queue in the channel.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.inner.threads
+    }
+
+    /// Snapshot of the accumulated task/timing counters, accumulated across
+    /// every call since creation (or the last [`ExecPool::reset_stats`]).
+    #[must_use]
+    pub fn stats(&self) -> ExecStats {
+        self.inner.stats.snapshot()
+    }
+
+    /// Resets the accumulated counters to zero.
+    pub fn reset_stats(&self) {
+        self.inner.stats.reset();
+    }
+
+    /// Splits `0..n` into one contiguous range per worker — the same chunks
+    /// as [`Exec::par_ranges`](crate::Exec::par_ranges) — runs `work` on
+    /// each range on the persistent workers, and returns the per-range
+    /// results **in range order**.
+    ///
+    /// # Panics
+    ///
+    /// A panic inside `work` is contained by the worker (the pool stays
+    /// healthy) and re-raised on the calling thread once all chunks have
+    /// finished, with the lowest panicking range and its payload message
+    /// attached — mirroring the scoped executor's error text. Also panics
+    /// when called on a pool after [`ExecPool::shutdown`].
+    pub fn par_ranges<R, F>(&self, n: usize, work: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(Range<usize>) -> R + Send + Sync + 'static,
+    {
+        let call_start = Instant::now();
+        let results = if n == 0 {
+            Vec::new()
+        } else if self.inner.threads <= 1 || n == 1 {
+            let busy_start = Instant::now();
+            let r = work(0..n);
+            self.inner
+                .stats
+                .record_busy(busy_start.elapsed().as_nanos() as u64);
+            vec![r]
+        } else {
+            self.dispatch(n, work)
+        };
+        self.inner
+            .stats
+            .record_call(n as u64, call_start.elapsed().as_nanos() as u64);
+        results
+    }
+
+    /// The multi-chunk path of [`ExecPool::par_ranges`]: one queued job per
+    /// chunk, results collected over a per-call channel and merged by slot.
+    fn dispatch<R, F>(&self, n: usize, work: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(Range<usize>) -> R + Send + Sync + 'static,
+    {
+        let chunk = chunk_size(n, self.inner.threads);
+        let work = Arc::new(work);
+        let (result_tx, result_rx) = crossbeam::channel::unbounded();
+        let mut expected = 0usize;
+        {
+            let guard = lock_ignoring_poison(&self.inner.sender);
+            let sender = guard.as_ref().expect("exec pool used after shutdown");
+            for (slot, lo) in (0..n).step_by(chunk).enumerate() {
+                let hi = (lo + chunk).min(n);
+                let work = Arc::clone(&work);
+                let stats = Arc::clone(&self.inner.stats);
+                let result_tx = result_tx.clone();
+                expected += 1;
+                let job: Job = Box::new(move || {
+                    let busy_start = Instant::now();
+                    let outcome = catch_unwind(AssertUnwindSafe(|| work(lo..hi)));
+                    stats.record_busy(busy_start.elapsed().as_nanos() as u64);
+                    let outcome = outcome.map_err(|payload| payload_message(payload.as_ref()));
+                    let _ = result_tx.send((slot, lo..hi, outcome));
+                });
+                sender.send(job).expect("pool workers disconnected");
+            }
+        }
+        drop(result_tx);
+        let mut slots: Vec<Option<R>> = std::iter::repeat_with(|| None).take(expected).collect();
+        let mut first_panic: Option<(Range<usize>, String)> = None;
+        for _ in 0..expected {
+            let (slot, range, outcome) = result_rx.recv().expect("pool worker result");
+            match outcome {
+                Ok(r) => slots[slot] = Some(r),
+                Err(message) => {
+                    let earlier = first_panic
+                        .as_ref()
+                        .is_none_or(|(prev, _)| range.start < prev.start);
+                    if earlier {
+                        first_panic = Some((range, message));
+                    }
+                }
+            }
+        }
+        if let Some((range, message)) = first_panic {
+            panic!(
+                "exec worker panicked on tasks {}..{}: {}",
+                range.start, range.end, message
+            );
+        }
+        slots
+            .into_iter()
+            .map(|r| r.expect("pool chunk result"))
+            .collect()
+    }
+
+    /// Applies `f` to every index in `0..n` and returns the results in index
+    /// order — the pooled equivalent of
+    /// [`Exec::par_index_map`](crate::Exec::par_index_map).
+    ///
+    /// # Panics
+    ///
+    /// A panic inside `f` propagates to the caller, re-raised with the exact
+    /// failing index and the downcast payload message attached.
+    pub fn par_index_map<R, F>(&self, n: usize, f: F) -> Vec<R>
+    where
+        R: Send + 'static,
+        F: Fn(usize) -> R + Send + Sync + 'static,
+    {
+        self.par_ranges(n, move |range| {
+            range
+                .map(|i| catch_task(i, || f(i)).unwrap_or_else(|e| panic!("exec {e}")))
+                .collect::<Vec<_>>()
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Shuts the workers down and joins them. Queued jobs still run to
+    /// completion first; subsequent parallel calls on any handle panic.
+    /// Idempotent — dropping the last handle performs the same teardown.
+    pub fn shutdown(&self) {
+        self.inner.shutdown();
+    }
+}
+
+/// Locks a pool mutex, recovering the data from a poisoned lock: the pool's
+/// shared state (a sender option, a worker list) stays structurally valid
+/// even when a panic unwound through a guard, and `shutdown` runs inside
+/// `Drop`, where a secondary panic would abort the process.
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+impl PoolInner {
+    fn shutdown(&self) {
+        // Dropping the sender disconnects the job channel; workers exit
+        // their receive loop once the queue drains.
+        drop(lock_ignoring_poison(&self.sender).take());
+        let workers = std::mem::take(&mut *lock_ignoring_poison(&self.workers));
+        let current = std::thread::current().id();
+        for handle in workers {
+            // A worker can drop the last pool handle itself (via a queued
+            // job); it must not join its own thread.
+            if handle.thread().id() != current {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for PoolInner {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Runs queued jobs until the channel disconnects. Each job contains its own
+/// panic handling; a defensive outer catch keeps a worker alive even for a
+/// job that panics outside its own guard.
+fn worker_loop(receiver: &crossbeam::channel::Receiver<Job>) {
+    while let Ok(job) = receiver.recv() {
+        let _ = catch_unwind(AssertUnwindSafe(job));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{split_seed, Exec};
+
+    #[test]
+    fn par_ranges_matches_exec_chunking() {
+        for threads in [1usize, 2, 3, 4, 7] {
+            for n in [0usize, 1, 2, 5, 16, 33] {
+                let pool = ExecPool::new(threads);
+                let pooled = pool.par_ranges(n, |r| (r.start, r.end));
+                let scoped = Exec::new(threads).par_ranges(n, |r| (r.start, r.end));
+                assert_eq!(pooled, scoped, "threads={threads} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_index_map_bit_identical_to_exec() {
+        let expected = Exec::new(1).par_index_map(40, |i| split_seed(99, i as u64));
+        for threads in [1usize, 4] {
+            let pool = ExecPool::new(threads);
+            assert_eq!(
+                pool.par_index_map(40, |i| split_seed(99, i as u64)),
+                expected,
+                "threads={threads}"
+            );
+        }
+    }
+
+    #[test]
+    fn pool_reuses_workers_across_calls() {
+        let pool = ExecPool::new(4);
+        for round in 0..5u64 {
+            let got = pool.par_index_map(10, move |i| round * 100 + i as u64);
+            let want: Vec<u64> = (0..10).map(|i| round * 100 + i).collect();
+            assert_eq!(got, want);
+        }
+        let stats = pool.stats();
+        assert_eq!(stats.calls, 5);
+        assert_eq!(stats.tasks, 50);
+    }
+
+    #[test]
+    fn clone_shares_workers_and_stats() {
+        let pool = ExecPool::new(2);
+        let other = pool.clone();
+        other.par_index_map(4, |i| i);
+        assert_eq!(pool.stats().calls, 1);
+    }
+
+    #[test]
+    fn panic_reports_lowest_range_and_survives() {
+        let pool = ExecPool::new(4);
+        let result = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            pool.par_ranges(8, |r| {
+                assert!(r.start != 2, "boom at {}", r.start);
+                r.len()
+            })
+        }));
+        let message = payload_message(result.unwrap_err().as_ref());
+        assert!(
+            message.contains("exec worker panicked on tasks 2..4"),
+            "unexpected message: {message}"
+        );
+        // The pool must stay usable after containing a task panic.
+        assert_eq!(pool.par_index_map(4, |i| i * 2), vec![0, 2, 4, 6]);
+    }
+
+    #[test]
+    fn shutdown_is_idempotent() {
+        let pool = ExecPool::new(3);
+        assert_eq!(pool.par_index_map(3, |i| i), vec![0, 1, 2]);
+        pool.shutdown();
+        pool.shutdown();
+    }
+}

@@ -26,6 +26,12 @@
 //! [`std::thread::available_parallelism`]. Every parallel call records task
 //! and timing counters in an [`ExecStats`] surface for speedup reporting.
 //!
+//! Two executors share that contract: [`Exec`] spawns scoped threads per
+//! call (zero setup cost to hold, ~20–100 µs to dispatch), while
+//! [`ExecPool`] keeps persistent workers fed over channels for resident
+//! services that dispatch continuously. Both split work with the same
+//! static chunk rule, so their results are interchangeable byte-for-byte.
+//!
 //! # Fault containment
 //!
 //! Panics and cancellation are part of the execution contract rather than
@@ -58,11 +64,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod exec_pool;
 mod pool;
 mod seed;
 mod stats;
 mod task;
 
+pub use exec_pool::ExecPool;
 pub use pool::Exec;
 pub use seed::{split_seed, SeedStream};
 pub use stats::ExecStats;

@@ -9,6 +9,15 @@ use crate::stats::StatsCell;
 use crate::task::{catch_task, payload_message, CancelToken, TaskError};
 use crate::{ExecStats, THREADS_ENV_VAR};
 
+/// The one chunk-splitting rule shared by [`Exec`] and
+/// [`crate::ExecPool`]: `0..n` divides into contiguous ranges of this
+/// length (the last possibly shorter), one per worker. Keeping both
+/// executors on this single helper is what makes their outputs
+/// bit-identical by construction.
+pub(crate) fn chunk_size(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads.min(n))
+}
+
 /// Pre-resolved telemetry handles so the hot dispatch path pays one branch
 /// when telemetry is off and no registry lookups when it is on.
 #[derive(Debug)]
@@ -201,7 +210,7 @@ impl Exec {
                 .record_busy(busy_start.elapsed().as_nanos() as u64);
             vec![r]
         } else {
-            let chunk = n.div_ceil(self.threads.min(n));
+            let chunk = chunk_size(n, self.threads);
             let work = &work;
             let stats = &self.stats;
             crossbeam::thread::scope(|scope| {

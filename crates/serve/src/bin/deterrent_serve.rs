@@ -1,0 +1,186 @@
+//! `deterrent-serve` — the resident campaign daemon.
+//!
+//! Binds a Unix-domain socket, keeps one worker pool and one bounded
+//! artifact cache warm, and runs campaign jobs submitted by
+//! `deterrent-submit` (or anything speaking the frame protocol in
+//! `serve::protocol`). Stop it with SIGTERM/SIGINT; queued jobs drain for
+//! up to `--drain-timeout-secs`, then the socket file is removed and the
+//! daemon exits `0`.
+//!
+//! Flags:
+//!
+//! | flag | meaning | default |
+//! |---|---|---|
+//! | `--socket PATH` | socket to listen on (else `DETERRENT_SOCKET`) | required |
+//! | `--threads N` | pool workers (0 = `DETERRENT_THREADS` / cores) | `0` |
+//! | `--queue-cap N` | max queued (not yet running) jobs | `64` |
+//! | `--drain-timeout-secs F` | post-signal drain budget | `30` |
+//! | `--cache-dir DIR` | persistent cache (else `DETERRENT_CACHE_DIR`) | memory-only |
+//! | `--cache-max-bytes N[k\|m\|g]` | cache budget (else `DETERRENT_CACHE_MAX_BYTES`) | unbounded |
+//! | `--per-stage-max N[k\|m\|g]` | per-stage-directory budget | unbounded |
+//! | `--slim-policy` | slim train-stage artifacts | full |
+//! | `--trace-out FILE` | JSONL trace of every job (else `DETERRENT_TRACE_OUT`) | off |
+//! | `--quiet` | suppress the `[serve]` stderr log | off |
+//!
+//! Exit codes: `0` after a clean drain, `2` on flag or socket errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::Duration;
+
+use deterrent_core::{parse_bytes, ArtifactStore, DeterrentConfig};
+use serve::{signal, Daemon, DaemonConfig};
+use telemetry::{JsonlSink, TraceSink, TRACE_OUT_ENV_VAR};
+
+struct Args {
+    socket: Option<PathBuf>,
+    threads: usize,
+    queue_cap: usize,
+    drain_timeout: Duration,
+    cache_dir: Option<String>,
+    cache_max_bytes: Option<u64>,
+    per_stage_max: Option<u64>,
+    slim_policy: bool,
+    trace_out: Option<PathBuf>,
+    quiet: bool,
+}
+
+impl Default for Args {
+    fn default() -> Self {
+        let defaults = DaemonConfig::default();
+        Self {
+            socket: None,
+            threads: defaults.threads,
+            queue_cap: defaults.queue_capacity,
+            drain_timeout: defaults.drain_timeout,
+            cache_dir: None,
+            cache_max_bytes: None,
+            per_stage_max: None,
+            slim_policy: false,
+            trace_out: None,
+            quiet: false,
+        }
+    }
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args::default();
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--socket" => args.socket = Some(PathBuf::from(value(&mut i)?)),
+            "--threads" => args.threads = value(&mut i)?.parse().map_err(|_| "bad --threads")?,
+            "--queue-cap" => {
+                args.queue_cap = value(&mut i)?.parse().map_err(|_| "bad --queue-cap")?;
+            }
+            "--drain-timeout-secs" => {
+                let secs: f64 = value(&mut i)?
+                    .parse()
+                    .map_err(|_| "bad --drain-timeout-secs")?;
+                if !secs.is_finite() || secs < 0.0 {
+                    return Err("bad --drain-timeout-secs (finite, non-negative)".into());
+                }
+                args.drain_timeout = Duration::from_secs_f64(secs);
+            }
+            "--cache-dir" => args.cache_dir = Some(value(&mut i)?),
+            "--cache-max-bytes" => {
+                args.cache_max_bytes =
+                    Some(parse_bytes(&value(&mut i)?).ok_or("bad --cache-max-bytes")?);
+            }
+            "--per-stage-max" => {
+                args.per_stage_max =
+                    Some(parse_bytes(&value(&mut i)?).ok_or("bad --per-stage-max")?);
+            }
+            "--slim-policy" => args.slim_policy = true,
+            "--trace-out" => args.trace_out = Some(PathBuf::from(value(&mut i)?)),
+            "--quiet" => args.quiet = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    if args.trace_out.is_none() {
+        if let Ok(path) = std::env::var(TRACE_OUT_ENV_VAR) {
+            if !path.trim().is_empty() {
+                args.trace_out = Some(PathBuf::from(path));
+            }
+        }
+    }
+    Ok(args)
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("deterrent-serve: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(socket) = serve::resolve_socket(args.socket) else {
+        eprintln!("deterrent-serve: no socket given (use --socket or DETERRENT_SOCKET)");
+        return ExitCode::from(2);
+    };
+
+    // Cache resolution mirrors the one-shot CLI: flag → env → memory-only.
+    // The config object is only the resolver here — each job builds its
+    // own pipeline config from its submitted plan.
+    let mut base = DeterrentConfig::fast_preset();
+    if let Some(dir) = &args.cache_dir {
+        base = base.with_cache_dir(dir);
+    }
+    if let Some(max_bytes) = args.cache_max_bytes {
+        base = base.with_cache_max_bytes(max_bytes);
+    }
+    base.cache_policy.per_stage_max = args.per_stage_max;
+    base.cache_policy.slim_policy = args.slim_policy;
+    let store = match base.resolved_cache_dir() {
+        Some(dir) => {
+            ArtifactStore::with_disk_policy_faults(dir, base.resolved_cache_policy(), None)
+        }
+        None => ArtifactStore::new(),
+    };
+
+    let mut sinks: Vec<Arc<dyn TraceSink>> = Vec::new();
+    if let Some(path) = &args.trace_out {
+        match JsonlSink::create(path) {
+            Ok(sink) => sinks.push(Arc::new(sink)),
+            Err(e) => {
+                eprintln!("deterrent-serve: cannot create {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        }
+    }
+
+    let daemon = Daemon::new(
+        DaemonConfig {
+            socket,
+            threads: args.threads,
+            queue_capacity: args.queue_cap,
+            drain_timeout: args.drain_timeout,
+            quiet: args.quiet,
+        },
+        store,
+        sinks,
+    );
+    let stop = signal::install_stop_handler();
+    match daemon.run(stop) {
+        Ok(()) => {
+            if !args.quiet {
+                eprint!("{}", daemon.store().summary());
+            }
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("deterrent-serve: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

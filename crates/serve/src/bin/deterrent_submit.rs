@@ -1,0 +1,176 @@
+//! `deterrent-submit` — submit one campaign to a running `deterrent-serve`.
+//!
+//! The grid flags mirror `deterrent-campaign`; the report TSV lands on
+//! **stdout** (bit-identical to what the one-shot CLI would print for the
+//! same grid) and streamed progress lines land on **stderr**, re-rendered
+//! byte-identically to the CLI's own progress output.
+//!
+//! Flags:
+//!
+//! | flag | meaning | default |
+//! |---|---|---|
+//! | `--socket PATH` | daemon socket (else `DETERRENT_SOCKET`) | required |
+//! | `--netlists A,B` | benchmark names | `c2670,c5315` |
+//! | `--scale N` | profile divisor | `20` |
+//! | `--thetas A,B` | rareness thresholds θ | `0.15,0.2` |
+//! | `--seeds A,B` | master pipeline seeds | `1,2` |
+//! | `--episodes N` | PPO episodes per cell | `40` |
+//! | `--cell-threads N` | session workers inside each cell | `1` |
+//! | `--priority N` | queue priority (higher dispatches first) | `0` |
+//! | `--no-stream` | skip the progress event stream | stream |
+//! | `--ping` | just probe for a live daemon and exit | off |
+//! | `--quiet` | suppress progress lines on stderr | off |
+//!
+//! Exit codes: `0` when every cell recovered, `1` when the daemon
+//! reported an error or a cell ended `timeout`/`failed`, `2` on flag or
+//! connection errors.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use campaign::{profile_by_name, PlanSpec};
+
+struct Args {
+    socket: Option<PathBuf>,
+    spec: PlanSpec,
+    priority: u64,
+    no_stream: bool,
+    ping: bool,
+    quiet: bool,
+}
+
+fn parse_list<T, F: Fn(&str) -> Option<T>>(raw: &str, parse: F) -> Option<Vec<T>> {
+    raw.split(',')
+        .filter(|s| !s.is_empty())
+        .map(parse)
+        .collect::<Option<Vec<T>>>()
+        .filter(|v| !v.is_empty())
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        socket: None,
+        spec: PlanSpec::default(),
+        priority: 0,
+        no_stream: false,
+        ping: false,
+        quiet: false,
+    };
+    let argv: Vec<String> = std::env::args().collect();
+    let mut i = 1;
+    let value = |i: &mut usize| -> Result<String, String> {
+        *i += 1;
+        argv.get(*i)
+            .cloned()
+            .ok_or_else(|| format!("{} needs a value", argv[*i - 1]))
+    };
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--socket" => args.socket = Some(PathBuf::from(value(&mut i)?)),
+            "--netlists" => {
+                args.spec.netlists = parse_list(&value(&mut i)?, |s| {
+                    profile_by_name(s).map(|_| s.to_string())
+                })
+                .ok_or("unknown netlist name (see `campaign::profile_by_name`)")?;
+            }
+            "--scale" => args.spec.scale = value(&mut i)?.parse().map_err(|_| "bad --scale")?,
+            "--thetas" => {
+                args.spec.thetas = parse_list(&value(&mut i)?, |s| s.parse().ok())
+                    .ok_or("bad --thetas (comma-separated floats)")?;
+            }
+            "--seeds" => {
+                args.spec.seeds = parse_list(&value(&mut i)?, |s| s.parse().ok())
+                    .ok_or("bad --seeds (comma-separated integers)")?;
+            }
+            "--episodes" => {
+                args.spec.episodes = value(&mut i)?.parse().map_err(|_| "bad --episodes")?;
+            }
+            "--cell-threads" => {
+                args.spec.cell_threads =
+                    value(&mut i)?.parse().map_err(|_| "bad --cell-threads")?;
+            }
+            "--priority" => args.priority = value(&mut i)?.parse().map_err(|_| "bad --priority")?,
+            "--no-stream" => args.no_stream = true,
+            "--ping" => args.ping = true,
+            "--quiet" => args.quiet = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+        i += 1;
+    }
+    Ok(args)
+}
+
+/// `true` when every data row's outcome column reads `ok` or `retried:N`
+/// — the same success criterion as the one-shot CLI's exit code.
+fn all_recovered(tsv: &str) -> bool {
+    tsv.lines().skip(1).all(|line| {
+        let outcome = line.rsplit('\t').next().unwrap_or("");
+        outcome == "ok" || outcome.starts_with("retried")
+    })
+}
+
+fn main() -> ExitCode {
+    let args = match parse_args() {
+        Ok(args) => args,
+        Err(message) => {
+            eprintln!("deterrent-submit: {message}");
+            return ExitCode::from(2);
+        }
+    };
+    let Some(socket) = serve::resolve_socket(args.socket) else {
+        eprintln!("deterrent-submit: no socket given (use --socket or DETERRENT_SOCKET)");
+        return ExitCode::from(2);
+    };
+
+    if args.ping {
+        return match serve::ping(&socket) {
+            Ok(()) => {
+                if !args.quiet {
+                    eprintln!("[submit] daemon at {} is alive", socket.display());
+                }
+                ExitCode::SUCCESS
+            }
+            Err(e) => {
+                eprintln!("deterrent-submit: ping failed: {e}");
+                ExitCode::from(2)
+            }
+        };
+    }
+
+    if !args.quiet {
+        eprintln!(
+            "[submit] submitting {} cell(s) to {}",
+            args.spec.cells(),
+            socket.display()
+        );
+    }
+    let stream = !args.no_stream && !args.quiet;
+    let quiet = args.quiet;
+    let outcome = serve::submit(&socket, &args.spec, args.priority, stream, |line| {
+        if !quiet {
+            eprintln!("{line}");
+        }
+    });
+    match outcome {
+        Ok(outcome) => {
+            if !args.quiet {
+                eprintln!("[submit] job {} done: {}", outcome.job, outcome.outcomes);
+            }
+            print!("{}", outcome.tsv);
+            if all_recovered(&outcome.tsv) {
+                ExitCode::SUCCESS
+            } else {
+                eprintln!("deterrent-submit: unrecovered cell failures (see the outcome column)");
+                ExitCode::FAILURE
+            }
+        }
+        Err(e) if e.kind() == std::io::ErrorKind::Other => {
+            eprintln!("deterrent-submit: daemon error: {e}");
+            ExitCode::FAILURE
+        }
+        Err(e) => {
+            eprintln!("deterrent-submit: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Client side of the daemon protocol: connect, submit, stream, collect.
+//!
+//! [`submit`] drives one job end to end. When streaming is on, the daemon
+//! relays every trace event of the job as an `event` frame; this module
+//! re-renders each one through [`campaign::render_trace_line`] — the same
+//! function the one-shot CLI's stderr sink uses — so the progress lines a
+//! client prints are **byte-identical** to what `deterrent-campaign`
+//! would have printed for the same grid.
+
+use std::io;
+use std::os::unix::net::UnixStream;
+use std::path::{Path, PathBuf};
+
+use campaign::{render_trace_line, PlanSpec};
+use telemetry::TraceEvent;
+
+use crate::protocol::{
+    frame_str, frame_type, frame_u64, ping_frame, read_frame, submit_frame, write_frame,
+    SOCKET_ENV_VAR,
+};
+
+/// A completed job as reported by the daemon.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobOutcome {
+    /// The daemon-assigned job sequence number.
+    pub job: u64,
+    /// The full campaign report TSV (bit-identical to the one-shot CLI's
+    /// `--out` file for the same grid).
+    pub tsv: String,
+    /// The outcome summary line, e.g. `8 ok`.
+    pub outcomes: String,
+}
+
+/// Resolves the daemon socket path: an explicit `--socket` value wins,
+/// then the `DETERRENT_SOCKET` environment variable.
+#[must_use]
+pub fn resolve_socket(flag: Option<PathBuf>) -> Option<PathBuf> {
+    flag.or_else(|| {
+        std::env::var(SOCKET_ENV_VAR)
+            .ok()
+            .filter(|v| !v.is_empty())
+            .map(PathBuf::from)
+    })
+}
+
+/// Submits `spec` to the daemon at `socket` and blocks until the job
+/// completes. Each streamed progress line (already rendered, no trailing
+/// newline) is handed to `progress`; pass `stream = false` to skip the
+/// event stream entirely.
+///
+/// # Errors
+///
+/// Transport errors, a daemon `error` frame (reported as
+/// [`io::ErrorKind::Other`] with the daemon's message), or the daemon
+/// hanging up before the report.
+pub fn submit(
+    socket: &Path,
+    spec: &PlanSpec,
+    priority: u64,
+    stream: bool,
+    mut progress: impl FnMut(&str),
+) -> io::Result<JobOutcome> {
+    let mut conn = UnixStream::connect(socket)?;
+    write_frame(&mut conn, &submit_frame(spec, priority, stream))?;
+    let mut job = None;
+    loop {
+        let Some(frame) = read_frame(&mut conn)? else {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "daemon closed the connection before sending a report",
+            ));
+        };
+        match frame_type(&frame) {
+            Some("ack") => job = frame_u64(&frame, "job"),
+            Some("event") => {
+                // Render exactly like the CLI's stderr trace sink; events
+                // that don't map to a progress line are dropped the same
+                // way there too.
+                if let Some(line) = frame_str(&frame, "line") {
+                    if let Ok(event) = TraceEvent::parse_line(line) {
+                        if let Some(rendered) = render_trace_line(&event) {
+                            progress(&rendered);
+                        }
+                    }
+                }
+            }
+            Some("report") => {
+                return Ok(JobOutcome {
+                    job: frame_u64(&frame, "job").or(job).unwrap_or(0),
+                    tsv: frame_str(&frame, "tsv").unwrap_or_default().to_string(),
+                    outcomes: frame_str(&frame, "outcomes")
+                        .unwrap_or_default()
+                        .to_string(),
+                });
+            }
+            Some("error") => {
+                let message = frame_str(&frame, "message")
+                    .unwrap_or("daemon reported an error")
+                    .to_string();
+                return Err(io::Error::other(message));
+            }
+            // Unknown frame types are skipped for forward compatibility.
+            _ => {}
+        }
+    }
+}
+
+/// Probes for a live daemon at `socket` with a `ping` frame.
+///
+/// # Errors
+///
+/// Connection failure, transport errors, or a reply that is not `pong`.
+pub fn ping(socket: &Path) -> io::Result<()> {
+    let mut conn = UnixStream::connect(socket)?;
+    write_frame(&mut conn, &ping_frame())?;
+    match read_frame(&mut conn)? {
+        Some(frame) if frame_type(&frame) == Some("pong") => Ok(()),
+        Some(_) => Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unexpected reply to ping",
+        )),
+        None => Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "daemon closed the connection without a pong",
+        )),
+    }
+}

@@ -1,0 +1,425 @@
+//! The resident campaign daemon: accept loop, dispatcher, and per-job
+//! execution on a persistent [`ExecPool`].
+//!
+//! # Lifecycle
+//!
+//! [`Daemon::run`] binds the Unix-domain socket (removing a stale file
+//! from a previous run), then runs two kinds of threads under one scope:
+//!
+//! * the **accept loop** (the calling thread) polls a non-blocking
+//!   listener and spawns one short-lived handler thread per connection;
+//! * the **dispatcher** pops jobs off the bounded [`JobQueue`] and runs
+//!   them one at a time on the shared worker pool — cell-level
+//!   parallelism comes from the pool, so serializing jobs keeps each
+//!   job's throughput identical to a one-shot CLI run.
+//!
+//! When the stop flag flips (SIGTERM/SIGINT via
+//! [`crate::signal::install_stop_handler`], or a test setting an
+//! [`AtomicBool`]), the daemon stops accepting, closes the queue, and
+//! *drains*: queued jobs keep running until [`DaemonConfig::drain_timeout`]
+//! expires, after which the remainder are rejected with `error` frames.
+//! The socket file is removed on the way out.
+//!
+//! # Determinism
+//!
+//! Every job runs through [`CampaignPlan::run_on_pool`]
+//! (via [`campaign::PlanSpec::to_plan`]), which shares its chunking rule
+//! with the scoped executor — so the TSV a client receives is
+//! bit-identical to running the same grid through the `deterrent-campaign`
+//! CLI at any thread count. All jobs share the daemon's one bounded
+//! [`ArtifactStore`], so overlapping grids from different clients hit the
+//! same cache entries instead of recomputing.
+//!
+//! [`CampaignPlan::run_on_pool`]: campaign::CampaignPlan::run_on_pool
+
+use std::io;
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::{Duration, Instant};
+
+use campaign::{PlanSpec, RunPolicy, SilentProgress};
+use deterrent_core::ArtifactStore;
+use exec::ExecPool;
+use telemetry::{Telemetry, TraceEvent, TraceSink, Value};
+
+use crate::protocol::{
+    ack_frame, error_frame, event_frame, frame_type, frame_u64, pong_frame, read_frame,
+    report_frame, write_frame,
+};
+use crate::queue::JobQueue;
+
+/// How often the accept loop and idle connection handlers wake to check
+/// the stop flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(50);
+
+/// Configuration for a [`Daemon`].
+#[derive(Debug, Clone)]
+pub struct DaemonConfig {
+    /// Path of the Unix-domain socket to listen on.
+    pub socket: PathBuf,
+    /// Worker-pool size; `0` resolves like [`ExecPool::new`] (the
+    /// `DETERRENT_THREADS` environment variable, then available
+    /// parallelism).
+    pub threads: usize,
+    /// Maximum number of accepted-but-not-yet-running jobs; further
+    /// submits are rejected with an `error` frame.
+    pub queue_capacity: usize,
+    /// After a stop signal, how long queued jobs may keep starting before
+    /// the backlog is rejected.
+    pub drain_timeout: Duration,
+    /// Suppress the daemon's stderr log lines.
+    pub quiet: bool,
+}
+
+impl Default for DaemonConfig {
+    fn default() -> Self {
+        Self {
+            socket: PathBuf::from("deterrent.sock"),
+            threads: 0,
+            queue_capacity: 64,
+            drain_timeout: Duration::from_secs(30),
+            quiet: false,
+        }
+    }
+}
+
+/// An accepted job: the parsed plan plus the connection to answer on.
+struct Job {
+    spec: PlanSpec,
+    priority: u64,
+    stream: bool,
+    conn: Arc<Mutex<UnixStream>>,
+}
+
+/// Forwards events to a sink the daemon shares across jobs. Each job gets
+/// its own [`Telemetry`] (so span ids and metrics are per-job), but all of
+/// them fan out to the daemon's sinks through this adapter.
+struct SharedSink(Arc<dyn TraceSink>);
+
+impl TraceSink for SharedSink {
+    fn event(&self, event: &TraceEvent) {
+        self.0.event(event);
+    }
+
+    fn flush(&self) {
+        self.0.flush();
+    }
+}
+
+/// Relays each trace event to the subscribed client as an `event` frame.
+/// Write errors are swallowed: a client that hung up mid-job costs the
+/// stream, never the job.
+struct StreamSink {
+    conn: Arc<Mutex<UnixStream>>,
+}
+
+impl TraceSink for StreamSink {
+    fn event(&self, event: &TraceEvent) {
+        let frame = event_frame(&event.to_line());
+        let mut conn = lock_ignoring_poison(&self.conn);
+        let _ = write_frame(&mut *conn, &frame);
+    }
+}
+
+/// The resident campaign service. See the module docs for the lifecycle.
+pub struct Daemon {
+    config: DaemonConfig,
+    store: ArtifactStore,
+    pool: ExecPool,
+    sinks: Vec<Arc<dyn TraceSink>>,
+    telemetry: Telemetry,
+    queue: JobQueue<Job>,
+    next_seq: AtomicU64,
+    jobs_done: AtomicU64,
+    drain_deadline: Mutex<Option<Instant>>,
+}
+
+impl std::fmt::Debug for Daemon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Daemon")
+            .field("socket", &self.config.socket)
+            .field("threads", &self.pool.threads())
+            .finish_non_exhaustive()
+    }
+}
+
+impl Daemon {
+    /// Builds a daemon serving jobs from `store` with `sinks` receiving
+    /// every job's trace events (pass the daemon's JSONL sink here; each
+    /// subscribed client additionally gets its own stream). The worker
+    /// pool spins up immediately and persists across jobs.
+    #[must_use]
+    pub fn new(config: DaemonConfig, store: ArtifactStore, sinks: Vec<Arc<dyn TraceSink>>) -> Self {
+        let telemetry = if sinks.is_empty() {
+            Telemetry::disabled()
+        } else {
+            Telemetry::new(
+                sinks
+                    .iter()
+                    .map(|s| Box::new(SharedSink(Arc::clone(s))) as Box<dyn TraceSink>)
+                    .collect(),
+            )
+        };
+        let pool = ExecPool::new(config.threads);
+        let queue = JobQueue::new(config.queue_capacity);
+        Self {
+            config,
+            store,
+            pool,
+            sinks,
+            telemetry,
+            queue,
+            next_seq: AtomicU64::new(0),
+            jobs_done: AtomicU64::new(0),
+            drain_deadline: Mutex::new(None),
+        }
+    }
+
+    /// The persistent worker pool (shared by every job).
+    #[must_use]
+    pub fn pool(&self) -> &ExecPool {
+        &self.pool
+    }
+
+    /// The shared artifact store all jobs read and write.
+    #[must_use]
+    pub fn store(&self) -> &ArtifactStore {
+        &self.store
+    }
+
+    /// Number of jobs that have completed (report frame sent).
+    #[must_use]
+    pub fn jobs_done(&self) -> u64 {
+        self.jobs_done.load(Ordering::SeqCst)
+    }
+
+    /// Serves until `stop` flips to `true`, then drains and returns.
+    ///
+    /// # Errors
+    ///
+    /// Fails only on socket setup (removing a stale file, binding,
+    /// switching to non-blocking). Per-connection and per-job errors are
+    /// answered over the wire and logged, never propagated.
+    pub fn run(&self, stop: &AtomicBool) -> io::Result<()> {
+        let socket = &self.config.socket;
+        if socket.exists() {
+            std::fs::remove_file(socket)?;
+        }
+        let listener = UnixListener::bind(socket)?;
+        listener.set_nonblocking(true)?;
+        self.log(&format!(
+            "listening on {} ({} worker threads)",
+            socket.display(),
+            self.pool.threads()
+        ));
+        std::thread::scope(|scope| {
+            let dispatcher = scope.spawn(|| self.dispatch_loop());
+            loop {
+                if stop.load(Ordering::SeqCst) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((conn, _)) => {
+                        scope.spawn(move || self.handle_connection(conn, stop));
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(POLL_INTERVAL);
+                    }
+                    Err(_) => std::thread::sleep(POLL_INTERVAL),
+                }
+            }
+            self.log(&format!(
+                "stop requested; draining {} queued job(s) (timeout {:?})",
+                self.queue.len(),
+                self.config.drain_timeout
+            ));
+            *lock_ignoring_poison(&self.drain_deadline) =
+                Some(Instant::now() + self.config.drain_timeout);
+            self.queue.close();
+            let _ = dispatcher.join();
+        });
+        self.telemetry.flush();
+        let _ = std::fs::remove_file(socket);
+        self.log("stopped");
+        Ok(())
+    }
+
+    /// Runs queued jobs in priority/FIFO order until the queue is closed
+    /// and drained. Jobs still queued when the drain deadline passes are
+    /// rejected instead of run.
+    fn dispatch_loop(&self) {
+        while let Some((seq, job)) = self.queue.pop() {
+            let expired = lock_ignoring_poison(&self.drain_deadline)
+                .is_some_and(|deadline| Instant::now() >= deadline);
+            if expired {
+                self.log(&format!("job {seq} rejected: drain timeout exceeded"));
+                send_frame(
+                    &job.conn,
+                    &error_frame("daemon drain timeout exceeded before the job started"),
+                );
+                continue;
+            }
+            self.run_job(seq, job);
+        }
+    }
+
+    /// Reads frames off a fresh connection until it submits, pings, or
+    /// goes away. Idle reads time out every [`POLL_INTERVAL`] so handler
+    /// threads notice the stop flag and let the scope join.
+    fn handle_connection(&self, conn: UnixStream, stop: &AtomicBool) {
+        let _ = conn.set_read_timeout(Some(POLL_INTERVAL));
+        loop {
+            match read_frame(&mut &conn) {
+                Ok(None) => return,
+                Ok(Some(frame)) => match frame_type(&frame) {
+                    Some("ping") => {
+                        if write_frame(&mut &conn, &pong_frame()).is_err() {
+                            return;
+                        }
+                    }
+                    Some("submit") => {
+                        self.accept_submit(&frame, conn);
+                        return;
+                    }
+                    other => {
+                        let message =
+                            format!("unexpected frame type \"{}\"", other.unwrap_or("<missing>"));
+                        let _ = write_frame(&mut &conn, &error_frame(&message));
+                        return;
+                    }
+                },
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    if stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                }
+                Err(_) => return,
+            }
+        }
+    }
+
+    /// Validates a `submit` frame, acks it, and enqueues the job. The
+    /// sequence number is reserved *before* the ack is written, and the
+    /// job is queued *after* — so the ack is on the wire before any
+    /// event/report frame can race it.
+    fn accept_submit(&self, frame: &Value, conn: UnixStream) {
+        let spec = match frame.as_obj().and_then(|o| o.get("plan")) {
+            Some(plan) => match PlanSpec::from_value(plan) {
+                Ok(spec) => spec,
+                Err(message) => {
+                    let frame = error_frame(&format!("invalid plan: {message}"));
+                    let _ = write_frame(&mut &conn, &frame);
+                    return;
+                }
+            },
+            None => {
+                let _ = write_frame(&mut &conn, &error_frame("submit frame is missing its plan"));
+                return;
+            }
+        };
+        if let Err(message) = spec.to_plan() {
+            let frame = error_frame(&format!("invalid plan: {message}"));
+            let _ = write_frame(&mut &conn, &frame);
+            return;
+        }
+        let priority = frame_u64(frame, "priority").unwrap_or(0);
+        let stream = frame
+            .as_obj()
+            .and_then(|o| o.get("stream"))
+            .and_then(Value::as_bool)
+            .unwrap_or(true);
+        let seq = self.next_seq.fetch_add(1, Ordering::SeqCst);
+        // The connection now belongs to the job; no further reads, so the
+        // idle-poll timeout comes off.
+        let _ = conn.set_read_timeout(None);
+        if write_frame(&mut &conn, &ack_frame(seq)).is_err() {
+            return;
+        }
+        let job = Job {
+            spec,
+            priority,
+            stream,
+            conn: Arc::new(Mutex::new(conn)),
+        };
+        if let Err((err, job)) = self.queue.push(priority, seq, job) {
+            self.log(&format!("job {seq} rejected: {err}"));
+            send_frame(&job.conn, &error_frame(&err.to_string()));
+        }
+    }
+
+    /// Runs one job on the shared pool and store, streaming trace events
+    /// to the client when subscribed, and answers with the final report.
+    fn run_job(&self, seq: u64, job: Job) {
+        let Job {
+            spec,
+            priority,
+            stream,
+            conn,
+        } = job;
+        let plan = match spec.to_plan() {
+            Ok(plan) => plan,
+            Err(message) => {
+                send_frame(&conn, &error_frame(&format!("invalid plan: {message}")));
+                return;
+            }
+        };
+        let cells = plan.cells().len();
+        let mut span = self.telemetry.span("serve.job");
+        span.attr_u64("cells", cells as u64);
+        span.attr_u64("priority", priority);
+        // The sequence number depends on client arrival order, which is
+        // nondeterministic with concurrent submitters.
+        span.vary_u64("job", seq);
+        let mut sinks: Vec<Box<dyn TraceSink>> = self
+            .sinks
+            .iter()
+            .map(|s| Box::new(SharedSink(Arc::clone(s))) as Box<dyn TraceSink>)
+            .collect();
+        if stream {
+            sinks.push(Box::new(StreamSink {
+                conn: Arc::clone(&conn),
+            }));
+        }
+        let telemetry = if sinks.is_empty() {
+            Telemetry::disabled()
+        } else {
+            Telemetry::new(sinks)
+        };
+        let policy = RunPolicy {
+            telemetry: telemetry.clone(),
+            span_parent: Some(span.context()),
+            ..RunPolicy::default()
+        };
+        self.log(&format!("job {seq}: {cells} cell(s), priority {priority}"));
+        let report = plan.run_on_pool(&self.store, &self.pool, Arc::new(SilentProgress), &policy);
+        telemetry.flush_metrics();
+        let outcomes = report.outcome_summary();
+        span.attr_str("outcomes", &outcomes);
+        send_frame(&conn, &report_frame(seq, &report.to_tsv(), &outcomes));
+        span.close();
+        self.jobs_done.fetch_add(1, Ordering::SeqCst);
+        self.log(&format!("job {seq} done: {outcomes}"));
+    }
+
+    fn log(&self, message: &str) {
+        if !self.config.quiet {
+            eprintln!("[serve] {message}");
+        }
+    }
+}
+
+/// Writes one frame to a job-owned connection, swallowing transport
+/// errors (a vanished client must not take the daemon down).
+fn send_frame(conn: &Arc<Mutex<UnixStream>>, frame: &Value) {
+    let mut guard = lock_ignoring_poison(conn);
+    let _ = write_frame(&mut *guard, frame);
+}
+
+fn lock_ignoring_poison<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}

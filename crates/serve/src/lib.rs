@@ -1,0 +1,41 @@
+//! Campaign-as-a-service: a resident sweep daemon with a persistent
+//! worker pool and a streaming job protocol.
+//!
+//! The `deterrent-serve` daemon keeps one [`exec::ExecPool`] and one
+//! bounded [`deterrent_core::ArtifactStore`] warm across campaigns, so
+//! repeated parameter sweeps skip both thread spin-up and recomputation
+//! of overlapping cells. Clients (`deterrent-submit`, or [`submit`]
+//! programmatically) connect over a Unix-domain socket, speak the
+//! length-prefixed JSON frame protocol in [`protocol`], and receive:
+//!
+//! 1. an `ack` with the daemon-assigned job number,
+//! 2. (optionally) a stream of `event` frames — the job's trace events,
+//!    which the client re-renders into the *same bytes* the one-shot CLI
+//!    would have printed to stderr, and
+//! 3. exactly one `report` frame carrying the campaign TSV, bit-identical
+//!    to `deterrent-campaign --out` for the same grid at any thread
+//!    count, or one `error` frame.
+//!
+//! Jobs queue in the bounded, priority-ordered [`queue::JobQueue`] and
+//! run one at a time on the shared pool (cells parallelize *within* a
+//! job). On SIGTERM/SIGINT the daemon drains: queued jobs keep running
+//! until the configured drain timeout, stragglers are rejected, and the
+//! socket file is removed.
+//!
+//! ```text
+//! deterrent-serve --socket /tmp/dt.sock --threads 4 --cache-dir cache &
+//! deterrent-submit --socket /tmp/dt.sock --thetas 0.15,0.2 --seeds 1,2
+//! ```
+
+#![deny(unsafe_code)]
+#![warn(missing_docs)]
+
+mod client;
+mod daemon;
+pub mod protocol;
+pub mod queue;
+pub mod signal;
+
+pub use client::{ping, resolve_socket, submit, JobOutcome};
+pub use daemon::{Daemon, DaemonConfig};
+pub use protocol::SOCKET_ENV_VAR;

@@ -1,0 +1,209 @@
+//! The length-prefixed JSON frame protocol spoken over the daemon socket.
+//!
+//! Every message in either direction is one *frame*: a little-endian `u32`
+//! byte length followed by exactly that many bytes of UTF-8 JSON — one
+//! object per frame, built on [`telemetry::json`] (no serde in this
+//! workspace). The object's `"type"` field discriminates:
+//!
+//! | type     | direction       | fields                                        |
+//! |----------|-----------------|-----------------------------------------------|
+//! | `submit` | client → daemon | `plan` ([`PlanSpec::to_value`]), `priority`, `stream` |
+//! | `ack`    | daemon → client | `job` (daemon-assigned sequence number)       |
+//! | `event`  | daemon → client | `line` (one trace event in JSONL form)        |
+//! | `report` | daemon → client | `job`, `tsv` (the full report), `outcomes`    |
+//! | `error`  | daemon → client | `message`                                     |
+//! | `ping`   | client → daemon | —                                             |
+//! | `pong`   | daemon → client | —                                             |
+//!
+//! A connection carries at most one `submit`: the daemon answers with an
+//! `ack`, then (when `stream` was set) a sequence of `event` frames as the
+//! job's cells execute, and finally exactly one `report` or `error` frame.
+//! `ping`/`pong` frames may precede the submit and are how
+//! `deterrent-submit --ping` probes for a live daemon.
+//!
+//! Frames are capped at [`MAX_FRAME_BYTES`]; a peer announcing more is a
+//! protocol error, not an allocation. Clean EOF *between* frames reads as
+//! `None`; EOF inside a frame is an error.
+
+use std::io::{self, Read, Write};
+
+use campaign::PlanSpec;
+use telemetry::{obj, Value};
+
+/// Environment variable naming the daemon socket, consulted by both
+/// binaries when `--socket` is absent.
+pub const SOCKET_ENV_VAR: &str = "DETERRENT_SOCKET";
+
+/// Upper bound on one frame's payload. Generous — the largest real frame
+/// is a `report` whose TSV grows linearly with cells — while keeping a
+/// corrupt or hostile length prefix from looking like an allocation
+/// request.
+pub const MAX_FRAME_BYTES: usize = 16 << 20;
+
+/// Writes `value` as one frame and flushes.
+///
+/// # Errors
+///
+/// Propagates transport errors; an over-sized frame is
+/// [`io::ErrorKind::InvalidData`].
+pub fn write_frame(writer: &mut impl Write, value: &Value) -> io::Result<()> {
+    let json = value.to_json();
+    if json.len() > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame of {} bytes exceeds {MAX_FRAME_BYTES}", json.len()),
+        ));
+    }
+    writer.write_all(&(json.len() as u32).to_le_bytes())?;
+    writer.write_all(json.as_bytes())?;
+    writer.flush()
+}
+
+/// Reads one frame, or `None` on clean EOF at a frame boundary.
+///
+/// # Errors
+///
+/// Propagates transport errors; an over-sized length prefix, non-UTF-8
+/// payload, invalid JSON, or EOF inside a frame is
+/// [`io::ErrorKind::InvalidData`] / [`io::ErrorKind::UnexpectedEof`].
+pub fn read_frame(reader: &mut impl Read) -> io::Result<Option<Value>> {
+    let mut len = [0u8; 4];
+    // Probe one byte so EOF between frames is a clean end-of-stream
+    // rather than an error.
+    match reader.read(&mut len[..1])? {
+        0 => return Ok(None),
+        _ => reader.read_exact(&mut len[1..])?,
+    }
+    let n = u32::from_le_bytes(len) as usize;
+    if n > MAX_FRAME_BYTES {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("frame length {n} exceeds {MAX_FRAME_BYTES}"),
+        ));
+    }
+    let mut payload = vec![0u8; n];
+    reader.read_exact(&mut payload)?;
+    let text = String::from_utf8(payload)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))?;
+    telemetry::json::parse(&text)
+        .map(Some)
+        .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e.to_string()))
+}
+
+/// The frame's `"type"` discriminator, if present.
+#[must_use]
+pub fn frame_type(value: &Value) -> Option<&str> {
+    value.as_obj()?.get("type")?.as_str()
+}
+
+/// A string field of a frame object.
+#[must_use]
+pub fn frame_str<'a>(value: &'a Value, field: &str) -> Option<&'a str> {
+    value.as_obj()?.get(field)?.as_str()
+}
+
+/// An unsigned integer field of a frame object.
+#[must_use]
+pub fn frame_u64(value: &Value, field: &str) -> Option<u64> {
+    value.as_obj()?.get(field)?.as_u64()
+}
+
+/// Builds a `submit` frame.
+#[must_use]
+pub fn submit_frame(plan: &PlanSpec, priority: u64, stream: bool) -> Value {
+    obj([
+        ("type", Value::str("submit")),
+        ("plan", plan.to_value()),
+        ("priority", Value::u64(priority)),
+        ("stream", Value::Bool(stream)),
+    ])
+}
+
+/// Builds an `ack` frame for job `seq`.
+#[must_use]
+pub fn ack_frame(seq: u64) -> Value {
+    obj([("type", Value::str("ack")), ("job", Value::u64(seq))])
+}
+
+/// Builds an `event` frame carrying one JSONL trace-event line.
+#[must_use]
+pub fn event_frame(line: &str) -> Value {
+    obj([("type", Value::str("event")), ("line", Value::str(line))])
+}
+
+/// Builds the final `report` frame of a job.
+#[must_use]
+pub fn report_frame(seq: u64, tsv: &str, outcomes: &str) -> Value {
+    obj([
+        ("type", Value::str("report")),
+        ("job", Value::u64(seq)),
+        ("tsv", Value::str(tsv)),
+        ("outcomes", Value::str(outcomes)),
+    ])
+}
+
+/// Builds an `error` frame.
+#[must_use]
+pub fn error_frame(message: &str) -> Value {
+    obj([
+        ("type", Value::str("error")),
+        ("message", Value::str(message)),
+    ])
+}
+
+/// Builds a `ping` frame.
+#[must_use]
+pub fn ping_frame() -> Value {
+    obj([("type", Value::str("ping"))])
+}
+
+/// Builds a `pong` frame.
+#[must_use]
+pub fn pong_frame() -> Value {
+    obj([("type", Value::str("pong"))])
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn frames_round_trip_over_a_byte_stream() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &ping_frame()).unwrap();
+        write_frame(&mut wire, &submit_frame(&PlanSpec::default(), 3, true)).unwrap();
+        write_frame(&mut wire, &report_frame(7, "a\tb\n", "8 ok")).unwrap();
+
+        let mut reader = Cursor::new(wire);
+        let ping = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(frame_type(&ping), Some("ping"));
+
+        let submit = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(frame_type(&submit), Some("submit"));
+        assert_eq!(frame_u64(&submit, "priority"), Some(3));
+        let plan = submit.as_obj().unwrap().get("plan").unwrap();
+        assert_eq!(PlanSpec::from_value(plan).unwrap(), PlanSpec::default());
+
+        let report = read_frame(&mut reader).unwrap().unwrap();
+        assert_eq!(frame_u64(&report, "job"), Some(7));
+        assert_eq!(frame_str(&report, "tsv"), Some("a\tb\n"));
+
+        // Clean EOF at the boundary.
+        assert!(read_frame(&mut reader).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_and_oversized_frames_are_errors() {
+        let mut wire = Vec::new();
+        write_frame(&mut wire, &pong_frame()).unwrap();
+        wire.truncate(wire.len() - 2);
+        let mut reader = Cursor::new(wire);
+        assert!(read_frame(&mut reader).is_err());
+
+        let huge = (MAX_FRAME_BYTES as u32 + 1).to_le_bytes();
+        let mut reader = Cursor::new(huge.to_vec());
+        let err = read_frame(&mut reader).unwrap_err();
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+    }
+}

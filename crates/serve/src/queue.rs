@@ -1,0 +1,221 @@
+//! The daemon's bounded, priority-ordered job queue.
+//!
+//! Connection handlers push; the single dispatcher thread pops. Ordering
+//! is priority-descending with FIFO among equal priorities (the
+//! daemon-assigned submission sequence number breaks ties), so a burst of
+//! default-priority jobs runs in arrival order. The sequence number is
+//! assigned by the *caller* (the daemon reserves it before writing the
+//! `ack` frame, so the ack is on the wire before any job output can race
+//! it). The queue is bounded — a full queue rejects the submit instead of
+//! buffering unboundedly — and closable: after [`JobQueue::close`],
+//! pushes fail and pops drain what remains, then return `None`.
+
+use std::collections::BinaryHeap;
+use std::sync::{Condvar, Mutex};
+
+/// Why a push was rejected.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PushError {
+    /// The queue holds its capacity in not-yet-dispatched jobs.
+    Full,
+    /// The daemon is draining; no new jobs are accepted.
+    Closed,
+}
+
+impl std::fmt::Display for PushError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(match self {
+            Self::Full => "job queue is full",
+            Self::Closed => "daemon is draining and no longer accepts jobs",
+        })
+    }
+}
+
+struct Entry<T> {
+    priority: u64,
+    seq: u64,
+    job: T,
+}
+
+impl<T> PartialEq for Entry<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.priority == other.priority && self.seq == other.seq
+    }
+}
+
+impl<T> Eq for Entry<T> {}
+
+impl<T> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        // Max-heap: higher priority first, then *lower* sequence number
+        // (earlier submission) first.
+        self.priority
+            .cmp(&other.priority)
+            .then_with(|| other.seq.cmp(&self.seq))
+    }
+}
+
+impl<T> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct State<T> {
+    heap: BinaryHeap<Entry<T>>,
+    closed: bool,
+}
+
+/// A bounded priority/FIFO queue connecting connection handlers to the
+/// dispatcher.
+pub struct JobQueue<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    capacity: usize,
+}
+
+impl<T> std::fmt::Debug for JobQueue<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobQueue")
+            .field("capacity", &self.capacity)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<T> JobQueue<T> {
+    /// An empty queue holding at most `capacity` undispatched jobs
+    /// (`capacity` 0 is clamped to 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        Self {
+            state: Mutex::new(State {
+                heap: BinaryHeap::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// Enqueues `job` under the caller-assigned sequence number `seq`
+    /// (strictly increasing per daemon; ties on `priority` dispatch in
+    /// `seq` order).
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] at capacity, [`PushError::Closed`] after
+    /// [`JobQueue::close`] — both hand the job back so the caller can
+    /// still report the rejection over its connection.
+    pub fn push(&self, priority: u64, seq: u64, job: T) -> Result<(), (PushError, T)> {
+        let mut state = self.lock();
+        if state.closed {
+            return Err((PushError::Closed, job));
+        }
+        if state.heap.len() >= self.capacity {
+            return Err((PushError::Full, job));
+        }
+        state.heap.push(Entry { priority, seq, job });
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Blocks until a job is available (highest priority, FIFO among
+    /// equals) or the queue is closed *and* drained, which returns `None`.
+    pub fn pop(&self) -> Option<(u64, T)> {
+        let mut state = self.lock();
+        loop {
+            if let Some(entry) = state.heap.pop() {
+                return Some((entry.seq, entry.job));
+            }
+            if state.closed {
+                return None;
+            }
+            state = self
+                .ready
+                .wait(state)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+        }
+    }
+
+    /// Marks the queue closed: pushes fail from now on, pops drain the
+    /// backlog and then return `None`.
+    pub fn close(&self) {
+        self.lock().closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Number of jobs waiting (not including any job currently running).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().heap.len()
+    }
+
+    /// `true` when no jobs are waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, State<T>> {
+        self.state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_among_equal_priorities_and_priority_wins() {
+        let queue = JobQueue::new(8);
+        queue.push(0, 0, "first").unwrap();
+        queue.push(0, 1, "second").unwrap();
+        queue.push(5, 2, "urgent").unwrap();
+        queue.push(0, 3, "third").unwrap();
+        let order: Vec<&str> = std::iter::from_fn(|| {
+            if queue.is_empty() {
+                None
+            } else {
+                queue.pop().map(|(_, job)| job)
+            }
+        })
+        .collect();
+        assert_eq!(order, vec!["urgent", "first", "second", "third"]);
+    }
+
+    #[test]
+    fn bounded_and_closable() {
+        let queue = JobQueue::new(2);
+        queue.push(0, 0, 1).unwrap();
+        queue.push(0, 1, 2).unwrap();
+        assert_eq!(queue.push(0, 2, 3), Err((PushError::Full, 3)));
+        queue.close();
+        assert_eq!(queue.push(9, 3, 4), Err((PushError::Closed, 4)));
+        // Closed queues still drain.
+        assert_eq!(queue.pop().map(|(_, j)| j), Some(1));
+        assert_eq!(queue.pop().map(|(_, j)| j), Some(2));
+        assert_eq!(queue.pop(), None);
+    }
+
+    #[test]
+    fn pop_blocks_until_push_or_close() {
+        let queue = std::sync::Arc::new(JobQueue::new(4));
+        let waiter = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.push(1, 0, 42).unwrap();
+        assert_eq!(waiter.join().unwrap().map(|(_, j)| j), Some(42));
+
+        let drained = {
+            let queue = queue.clone();
+            std::thread::spawn(move || queue.pop())
+        };
+        std::thread::sleep(std::time::Duration::from_millis(20));
+        queue.close();
+        assert_eq!(drained.join().unwrap(), None);
+    }
+}

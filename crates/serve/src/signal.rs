@@ -1,0 +1,51 @@
+//! SIGTERM/SIGINT → stop-flag plumbing for the daemon binary.
+//!
+//! The workspace has no `libc` crate, so this registers handlers through a
+//! minimal FFI declaration of POSIX `signal(2)`. The handler does the only
+//! async-signal-safe thing it needs to: set a static [`AtomicBool`] the
+//! accept loop polls. This is the crate's single `unsafe` island — the
+//! crate root is `deny(unsafe_code)` and only this module opts out.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+/// POSIX signal number of `SIGINT` (interactive interrupt, Ctrl-C).
+pub const SIGINT: i32 = 2;
+
+/// POSIX signal number of `SIGTERM` (polite termination request).
+pub const SIGTERM: i32 = 15;
+
+/// The flag [`install_stop_handler`] wires the handlers to.
+static STOP: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_stop_signal(_signum: i32) {
+    STOP.store(true, Ordering::SeqCst);
+}
+
+#[allow(unsafe_code)]
+mod ffi {
+    extern "C" {
+        /// POSIX `signal(2)`. The handler is passed as a plain address —
+        /// the only values this module ever passes are
+        /// `extern "C" fn(i32)` pointers, which is exactly the ABI
+        /// `signal` expects.
+        pub(super) fn signal(signum: i32, handler: usize) -> usize;
+    }
+
+    pub(super) fn install(signum: i32, handler: extern "C" fn(i32)) {
+        // SAFETY: `handler` is an `extern "C" fn(i32)` whose body only
+        // performs an atomic store — async-signal-safe — and the
+        // registration itself has no preconditions beyond a valid
+        // handler address.
+        unsafe {
+            signal(signum, handler as usize);
+        }
+    }
+}
+
+/// Registers `SIGTERM` and `SIGINT` handlers that set a process-wide stop
+/// flag, and returns that flag for the accept loop to poll. Idempotent.
+pub fn install_stop_handler() -> &'static AtomicBool {
+    ffi::install(SIGTERM, on_stop_signal);
+    ffi::install(SIGINT, on_stop_signal);
+    &STOP
+}

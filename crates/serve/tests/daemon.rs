@@ -1,0 +1,105 @@
+//! End-to-end daemon test: an in-process [`Daemon`], two concurrent
+//! clients with overlapping grids, one shared store and worker pool.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::Duration;
+
+use campaign::{PlanSpec, RunPolicy, SilentProgress};
+use deterrent_core::ArtifactStore;
+use exec::Exec;
+use serve::{Daemon, DaemonConfig};
+
+/// A tiny single-netlist grid over the given seeds (one θ, few episodes,
+/// so the whole test stays fast on one core).
+fn tiny_spec(seeds: &[u64]) -> PlanSpec {
+    PlanSpec {
+        netlists: vec!["c2670".into()],
+        scale: 40,
+        thetas: vec![0.2],
+        seeds: seeds.to_vec(),
+        episodes: 4,
+        cell_threads: 1,
+        netlist_seed: 3,
+    }
+}
+
+/// The grid run the classic way: scoped executor, fresh memory-only
+/// store, default policy — the reference the daemon must match exactly.
+fn solo_run(spec: &PlanSpec) -> (String, u64) {
+    let store = ArtifactStore::new();
+    let exec = Exec::new(1);
+    let plan = spec.to_plan().expect("valid spec");
+    let report = plan.run_with_policy(&store, &exec, &SilentProgress, &RunPolicy::default());
+    (report.to_tsv(), store.counters().total_misses())
+}
+
+#[test]
+fn concurrent_clients_get_solo_identical_reports_from_one_shared_store() {
+    let socket =
+        std::env::temp_dir().join(format!("deterrent-serve-it-{}.sock", std::process::id()));
+    let daemon = Arc::new(Daemon::new(
+        DaemonConfig {
+            socket: socket.clone(),
+            threads: 2,
+            queue_capacity: 8,
+            drain_timeout: Duration::from_secs(10),
+            quiet: true,
+        },
+        ArtifactStore::new(),
+        Vec::new(),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let server = {
+        let daemon = Arc::clone(&daemon);
+        let stop = Arc::clone(&stop);
+        thread::spawn(move || daemon.run(&stop))
+    };
+    for _ in 0..500 {
+        if socket.exists() {
+            break;
+        }
+        thread::sleep(Duration::from_millis(10));
+    }
+    serve::ping(&socket).expect("daemon answers ping");
+
+    // Two clients whose grids overlap on seed 2; client A subscribes to
+    // the event stream, client B does not.
+    let spec_a = tiny_spec(&[1, 2]);
+    let spec_b = tiny_spec(&[2, 3]);
+    let client_a = {
+        let socket = socket.clone();
+        let spec = spec_a.clone();
+        thread::spawn(move || serve::submit(&socket, &spec, 0, true, |_| {}))
+    };
+    let client_b = {
+        let socket = socket.clone();
+        let spec = spec_b.clone();
+        thread::spawn(move || serve::submit(&socket, &spec, 0, false, |_| {}))
+    };
+    let outcome_a = client_a.join().unwrap().expect("client A");
+    let outcome_b = client_b.join().unwrap().expect("client B");
+
+    // Each client's TSV is bit-identical to a solo one-shot run.
+    let (solo_a, _) = solo_run(&spec_a);
+    let (solo_b, _) = solo_run(&spec_b);
+    assert_eq!(outcome_a.tsv, solo_a);
+    assert_eq!(outcome_b.tsv, solo_b);
+    assert_eq!(outcome_a.outcomes, "ok=2 retried=0 timeout=0 failed=0");
+    assert_eq!(outcome_b.outcomes, "ok=2 retried=0 timeout=0 failed=0");
+
+    // The jobs shared one store, so the overlapping cell was computed
+    // once: total misses equal one run over the *union* grid (3 distinct
+    // cells), not the 4 submitted cells.
+    let (_, union_misses) = solo_run(&tiny_spec(&[1, 2, 3]));
+    assert_eq!(daemon.store().counters().total_misses(), union_misses);
+
+    // Both jobs ran on the same persistent pool.
+    assert_eq!(daemon.jobs_done(), 2);
+    assert!(daemon.pool().stats().calls >= 2);
+
+    stop.store(true, Ordering::SeqCst);
+    server.join().unwrap().expect("clean daemon exit");
+    assert!(!socket.exists(), "socket file removed on shutdown");
+}

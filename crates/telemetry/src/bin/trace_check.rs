@@ -7,40 +7,65 @@
 //!                                   (sorted, thread-invariant) projection
 //!                                   to stdout for `cmp`/`diff` against
 //!                                   another run
+//! trace-check --require-span NAME   additionally fail unless some event
+//!                                   is named NAME or sits under a NAME
+//!                                   span (repeatable; combines with
+//!                                   --canonical)
 //! ```
 //!
-//! Exit codes: 0 = all lines valid, 1 = schema violation (the offending
-//! file and line are named on stderr), 2 = usage or I/O error.
+//! Exit codes: 0 = all lines valid (and every required span present),
+//! 1 = schema violation or missing required span (named on stderr),
+//! 2 = usage or I/O error.
 
 use std::fs;
 use std::process::ExitCode;
 
-use telemetry::{canonicalize_trace, parse_trace};
+use telemetry::{canonicalize_trace, parse_trace, TraceEvent};
+
+/// Whether `event` satisfies `--require-span name`: it *is* the span, or
+/// any segment of its path descends from one.
+fn mentions_span(event: &TraceEvent, name: &str) -> bool {
+    event.name == name || event.path.split('/').any(|segment| segment == name)
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let mut canonical = false;
+    let mut required: Vec<String> = Vec::new();
     let mut files = Vec::new();
-    for arg in &args {
-        match arg.as_str() {
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
             "--canonical" => canonical = true,
+            "--require-span" => {
+                i += 1;
+                match args.get(i) {
+                    Some(name) => required.push(name.clone()),
+                    None => {
+                        eprintln!("trace-check: --require-span needs a value");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
             "--help" | "-h" => {
-                eprintln!("usage: trace-check [--canonical] FILE...");
+                eprintln!("usage: trace-check [--canonical] [--require-span NAME]... FILE...");
                 return ExitCode::SUCCESS;
             }
             flag if flag.starts_with('-') => {
                 eprintln!("trace-check: unknown flag {flag:?}");
                 return ExitCode::from(2);
             }
-            path => files.push(path),
+            path => files.push(path.to_string()),
         }
+        i += 1;
     }
     if files.is_empty() {
-        eprintln!("usage: trace-check [--canonical] FILE...");
+        eprintln!("usage: trace-check [--canonical] [--require-span NAME]... FILE...");
         return ExitCode::from(2);
     }
 
     let mut total = 0usize;
+    let mut seen = vec![false; required.len()];
     for path in &files {
         let document = match fs::read_to_string(path) {
             Ok(text) => text,
@@ -49,6 +74,17 @@ fn main() -> ExitCode {
                 return ExitCode::from(2);
             }
         };
+        let events = match parse_trace(&document) {
+            Ok(events) => events,
+            Err(e) => {
+                eprintln!("trace-check: {path}: {e}");
+                return ExitCode::from(1);
+            }
+        };
+        total += events.len();
+        for (name, seen) in required.iter().zip(seen.iter_mut()) {
+            *seen = *seen || events.iter().any(|event| mentions_span(event, name));
+        }
         if canonical {
             match canonicalize_trace(&document) {
                 Ok(projection) => print!("{projection}"),
@@ -57,15 +93,17 @@ fn main() -> ExitCode {
                     return ExitCode::from(1);
                 }
             }
-        } else {
-            match parse_trace(&document) {
-                Ok(events) => total += events.len(),
-                Err(e) => {
-                    eprintln!("trace-check: {path}: {e}");
-                    return ExitCode::from(1);
-                }
-            }
         }
+    }
+    let mut missing = false;
+    for (name, seen) in required.iter().zip(&seen) {
+        if !seen {
+            eprintln!("trace-check: required span {name:?} not found in any input file");
+            missing = true;
+        }
+    }
+    if missing {
+        return ExitCode::from(1);
     }
     if !canonical {
         eprintln!(

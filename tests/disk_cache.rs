@@ -221,9 +221,17 @@ fn concurrent_sessions_sharing_one_cache_dir_do_not_interfere() {
     assert_eq!(counters.total_disk_corrupt(), 0, "{counters:?}");
     assert_eq!(counters.total_disk_hits(), 5, "{counters:?}");
     assert_bit_identical(&results[0], &warm, "warm after the race");
-    // No stray temp files survived the writers — only artifacts and their
-    // access-stamp sidecars.
+    // No stray temp files survived the writers — only artifacts, their
+    // access-stamp sidecars, and the root generation-counter file.
     for stage in fs::read_dir(&dir).unwrap().flatten() {
+        if stage.path().is_file() {
+            assert_eq!(
+                stage.file_name().to_string_lossy(),
+                "gen.ctr",
+                "unexpected leftover file at the cache root"
+            );
+            continue;
+        }
         for entry in fs::read_dir(stage.path()).unwrap().flatten() {
             let name = entry.file_name();
             let name = name.to_string_lossy();

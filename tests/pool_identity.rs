@@ -1,0 +1,87 @@
+//! The persistent worker pool's contract: a campaign scheduled on an
+//! [`ExecPool`] produces a report **bit-identical** to the scoped
+//! executor's at any thread count, and one pool serves sequential
+//! campaigns without respawning workers.
+
+use std::sync::Arc;
+
+use deterrent_repro::campaign::{PlanSpec, RunPolicy, SilentProgress};
+use deterrent_repro::deterrent_core::ArtifactStore;
+use deterrent_repro::exec::{Exec, ExecPool};
+
+/// A small two-cell grid (one netlist, one θ, two seeds).
+fn tiny_spec() -> PlanSpec {
+    PlanSpec {
+        netlists: vec!["c2670".into()],
+        scale: 40,
+        thetas: vec![0.2],
+        seeds: vec![1, 2],
+        episodes: 4,
+        cell_threads: 1,
+        netlist_seed: 3,
+    }
+}
+
+#[test]
+fn pooled_reports_are_bit_identical_to_scoped_reports() {
+    let spec = tiny_spec();
+    let plan = spec.to_plan().expect("valid spec");
+    let reference = {
+        let store = ArtifactStore::new();
+        let exec = Exec::new(1);
+        plan.run_with_policy(&store, &exec, &SilentProgress, &RunPolicy::default())
+            .to_tsv()
+    };
+    for threads in [1usize, 4] {
+        let store = ArtifactStore::new();
+        let pool = ExecPool::new(threads);
+        let report = plan.run_on_pool(
+            &store,
+            &pool,
+            Arc::new(SilentProgress),
+            &RunPolicy::default(),
+        );
+        assert_eq!(report.to_tsv(), reference, "{threads} pool threads");
+    }
+}
+
+#[test]
+fn one_pool_serves_sequential_campaigns() {
+    let spec = tiny_spec();
+    let plan = spec.to_plan().expect("valid spec");
+    let pool = ExecPool::new(2);
+    let store = ArtifactStore::new();
+
+    let cold = plan.run_on_pool(
+        &store,
+        &pool,
+        Arc::new(SilentProgress),
+        &RunPolicy::default(),
+    );
+    let calls_after_first = pool.stats().calls;
+    // Second campaign on the same pool and store: warm cache, same rows.
+    let warm = plan.run_on_pool(
+        &store,
+        &pool,
+        Arc::new(SilentProgress),
+        &RunPolicy::default(),
+    );
+    assert_eq!(cold.to_tsv(), warm.to_tsv());
+    assert!(pool.stats().calls > calls_after_first, "pool was reused");
+    assert_eq!(
+        store.counters().total_misses(),
+        // Every stage miss happened in the first run; the second was
+        // served entirely from the shared store.
+        {
+            let fresh = ArtifactStore::new();
+            let solo = plan.run_on_pool(
+                &fresh,
+                &pool,
+                Arc::new(SilentProgress),
+                &RunPolicy::default(),
+            );
+            assert_eq!(solo.to_tsv(), cold.to_tsv());
+            fresh.counters().total_misses()
+        }
+    );
+}
