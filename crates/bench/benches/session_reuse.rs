@@ -3,6 +3,9 @@
 //! every cell recomputes everything in a private store — versus warm — all
 //! cells share one pre-populated store, so analysis, graph, training, and
 //! selection are served from cache and only pattern generation re-executes.
+//! A third pair times a four-θ rareness-threshold sweep (Figure 7's shape):
+//! the estimate artifact is keyed without θ, so even a cold sweep pays for
+//! Monte-Carlo estimation once and re-thresholds cheaply per θ.
 //!
 //! The warm/cold gap is the wall-clock value of the session API for
 //! evaluation grids and campaign sweeps.
@@ -43,6 +46,21 @@ fn run_grid(netlist: &Netlist, store: &ArtifactStore) -> usize {
         .sum()
 }
 
+fn run_theta_sweep(netlist: &Netlist, store: &ArtifactStore) -> usize {
+    let base = DeterrentConfig::fast_preset().with_probability_patterns(8192);
+    [0.10, 0.12, 0.14, 0.2]
+        .into_iter()
+        .map(|theta| {
+            let mut session = DeterrentSession::with_store(
+                netlist,
+                base.clone().with_threshold(theta),
+                store.clone(),
+            );
+            session.analyze().len()
+        })
+        .sum()
+}
+
 fn bench_session_reuse(c: &mut Criterion) {
     let netlist = setup();
 
@@ -55,6 +73,17 @@ fn bench_session_reuse(c: &mut Criterion) {
     let _ = run_grid(&netlist, &warm_store);
     c.bench_function("session/warm_ablation_grid", |b| {
         b.iter(|| run_grid(&netlist, &warm_store))
+    });
+
+    // θ-sweep: even cold, all four thresholds share one estimation — the
+    // split analyze artifact is what this pair tracks over time.
+    c.bench_function("session/cold_theta_sweep", |b| {
+        b.iter(|| run_theta_sweep(&netlist, &ArtifactStore::new()))
+    });
+    let warm_sweep_store = ArtifactStore::new();
+    let _ = run_theta_sweep(&netlist, &warm_sweep_store);
+    c.bench_function("session/warm_theta_sweep", |b| {
+        b.iter(|| run_theta_sweep(&netlist, &warm_sweep_store))
     });
 }
 

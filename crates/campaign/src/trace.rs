@@ -13,7 +13,14 @@ use telemetry::{EventKind, TraceEvent, TraceSink, Value};
 /// Names of the pipeline-stage spans emitted by
 /// `deterrent_core::DeterrentSession` — the spans the stderr sink renders
 /// as per-stage progress lines.
-const STAGE_SPAN_NAMES: [&str; 5] = ["analyze", "build_graph", "train", "select", "generate"];
+const STAGE_SPAN_NAMES: [&str; 6] = [
+    "estimate",
+    "analyze",
+    "build_graph",
+    "train",
+    "select",
+    "generate",
+];
 
 /// The `[campaign] cell N start: …` line.
 pub(crate) fn render_cell_start(index: usize, netlist: &str, theta: &str, seed: u64) -> String {

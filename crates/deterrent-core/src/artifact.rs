@@ -40,7 +40,7 @@ use std::sync::{Arc, Mutex};
 
 use rl::{PpoConfig, PpoTrainer, TrainReport};
 use sim::rare::RareNetAnalysis;
-use sim::{PatternSource, TestPattern};
+use sim::{PatternSource, RareNetEstimate, TestPattern};
 
 use crate::cache::{CacheError, CacheErrorKind, CacheEvents};
 use crate::codec::{self, DiskLookup, DiskStage, DiskStore};
@@ -156,7 +156,8 @@ fn fp_compat(fp: Fp, config: &CompatConfig) -> Fp {
 pub(crate) fn config_fingerprint(config: &crate::DeterrentConfig) -> u64 {
     let fp = Fp::new("deterrent/config")
         .f64(config.analysis.rareness_threshold)
-        .usize(config.analysis.probability_patterns);
+        .usize(config.analysis.probability_patterns)
+        .f64(config.analysis.witness_retain_threshold);
     let fp = fp_compat(fp, &config.compat);
     let fp = fp
         .u64(config.train.reward_mode as u64)
@@ -172,13 +173,27 @@ pub(crate) fn config_fingerprint(config: &crate::DeterrentConfig) -> u64 {
         .finish()
 }
 
-/// Key of an [`RareArtifact`] computed by the session's own analyze stage.
-pub(crate) fn rare_key(netlist_fp: u64, config: &AnalysisConfig, seed: u64) -> u64 {
-    Fp::new("deterrent/analyze")
+/// Key of a [`ProbArtifact`] computed by the session's estimate stage:
+/// netlist content × pattern budget × retention ceiling × seed. θ is
+/// deliberately absent — every θ of a sweep shares this key, which is what
+/// makes a θ-sweep pay for Monte-Carlo estimation exactly once per
+/// (netlist, seed).
+pub(crate) fn prob_key(netlist_fp: u64, config: &AnalysisConfig, seed: u64) -> u64 {
+    Fp::new("deterrent/estimate")
         .u64(netlist_fp)
-        .f64(config.rareness_threshold)
+        .f64(config.effective_retain())
         .usize(config.probability_patterns)
         .u64(seed)
+        .finish()
+}
+
+/// Key of a [`RareArtifact`] computed by the session's own analyze stage:
+/// θ layered on top of the prob key, so re-thresholding the shared
+/// estimation is the only work a new θ pays for.
+pub(crate) fn rare_key(prob_key: u64, theta: f64) -> u64 {
+    Fp::new("deterrent/threshold")
+        .u64(prob_key)
+        .f64(theta)
         .finish()
 }
 
@@ -252,6 +267,48 @@ pub(crate) fn patterns_key(parent: u64) -> u64 {
 
 // ───────────────────────── artifacts ─────────────────────────
 
+/// Output of the estimate stage: the θ-independent half of rare-net
+/// analysis — signal probabilities for every net plus the rarest-first
+/// candidate list and compacted witness rows retained up to the
+/// configured retention ceiling — behind an [`Arc`].
+///
+/// [`sim::RareNetEstimate::threshold`] turns this into the
+/// [`RareArtifact`] of any θ up to the ceiling by slicing a prefix, so a
+/// θ-sweep re-simulates nothing.
+#[derive(Debug, Clone)]
+pub struct ProbArtifact {
+    pub(crate) key: u64,
+    estimate: Arc<RareNetEstimate>,
+}
+
+impl ProbArtifact {
+    pub(crate) fn new(key: u64, estimate: RareNetEstimate) -> Self {
+        Self {
+            key,
+            estimate: Arc::new(estimate),
+        }
+    }
+
+    /// The cache key (netlist fingerprint ⊕ pattern budget ⊕ retention
+    /// ceiling ⊕ seed — never θ).
+    #[must_use]
+    pub fn key(&self) -> u64 {
+        self.key
+    }
+
+    /// The shared estimation result.
+    #[must_use]
+    pub fn estimate(&self) -> &RareNetEstimate {
+        &self.estimate
+    }
+
+    /// Number of candidate nets retained below the retention ceiling.
+    #[must_use]
+    pub fn num_candidates(&self) -> usize {
+        self.estimate.num_candidates()
+    }
+}
+
 /// Output of the analyze stage: the rare-net analysis (with its retained
 /// witness bank) behind an [`Arc`].
 #[derive(Debug, Clone)]
@@ -268,7 +325,8 @@ impl RareArtifact {
         }
     }
 
-    /// The cache key (netlist fingerprint ⊕ analysis config ⊕ seed).
+    /// The cache key (prob-artifact key ⊕ θ for session-computed
+    /// analyses; a content fingerprint for imported ones).
     #[must_use]
     pub fn key(&self) -> u64 {
         self.key
@@ -512,6 +570,8 @@ pub struct StageCounters {
 /// Per-stage hit/miss counters of an [`ArtifactStore`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct StoreCounters {
+    /// Estimate-stage counters.
+    pub estimate: StageCounters,
     /// Analyze-stage counters.
     pub analyze: StageCounters,
     /// Build-graph-stage counters.
@@ -529,6 +589,7 @@ impl StoreCounters {
     #[must_use]
     pub fn stage(&self, stage: Stage) -> StageCounters {
         match stage {
+            Stage::Estimate => self.estimate,
             Stage::Analyze => self.analyze,
             Stage::BuildGraph => self.build_graph,
             Stage::Train => self.train,
@@ -539,8 +600,9 @@ impl StoreCounters {
 
     /// `(stage, counters)` for every cached stage, in pipeline order.
     #[must_use]
-    pub fn stages(&self) -> [(Stage, StageCounters); 5] {
+    pub fn stages(&self) -> [(Stage, StageCounters); 6] {
         [
+            (Stage::Estimate, self.estimate),
             (Stage::Analyze, self.analyze),
             (Stage::BuildGraph, self.build_graph),
             (Stage::Train, self.train),
@@ -576,6 +638,7 @@ impl StoreCounters {
 
 #[derive(Debug, Default)]
 struct StoreInner {
+    prob: HashMap<u64, ProbArtifact>,
     rare: HashMap<u64, RareArtifact>,
     graph: HashMap<u64, GraphArtifact>,
     policy: HashMap<u64, PolicyArtifact>,
@@ -611,7 +674,7 @@ pub struct ArtifactStore {
 }
 
 /// Generates the memory → disk → compute lookup and the write-both-tiers
-/// insert for one cached stage (the five stages differ only in artifact
+/// insert for one cached stage (the six stages differ only in artifact
 /// type, map field, counter field, and codec functions).
 macro_rules! stage_cache {
     (
@@ -796,7 +859,8 @@ impl ArtifactStore {
     #[must_use]
     pub fn len(&self) -> usize {
         let inner = self.lock();
-        inner.rare.len()
+        inner.prob.len()
+            + inner.rare.len()
             + inner.graph.len()
             + inner.policy.len()
             + inner.sets.len()
@@ -814,6 +878,7 @@ impl ArtifactStore {
     /// will serve subsequent lookups as disk hits).
     pub fn clear(&self) {
         let mut inner = self.lock();
+        inner.prob.clear();
         inner.rare.clear();
         inner.graph.clear();
         inner.policy.clear();
@@ -821,6 +886,17 @@ impl ArtifactStore {
         inner.patterns.clear();
         inner.counters = StoreCounters::default();
     }
+
+    stage_cache!(
+        lookup_prob,
+        insert_prob,
+        prob,
+        estimate,
+        DiskStage::Estimate,
+        ProbArtifact,
+        codec::encode_prob,
+        codec::decode_prob
+    );
 
     stage_cache!(
         lookup_rare,
@@ -886,15 +962,26 @@ mod tests {
     #[test]
     fn fingerprints_are_stable_and_field_sensitive() {
         let cfg = AnalysisConfig::default();
-        let a = rare_key(1, &cfg, 7);
-        assert_eq!(a, rare_key(1, &cfg, 7), "same inputs, same key");
-        assert_ne!(a, rare_key(2, &cfg, 7), "netlist matters");
-        assert_ne!(a, rare_key(1, &cfg, 8), "seed matters");
+        let a = prob_key(1, &cfg, 7);
+        assert_eq!(a, prob_key(1, &cfg, 7), "same inputs, same key");
+        assert_ne!(a, prob_key(2, &cfg, 7), "netlist matters");
+        assert_ne!(a, prob_key(1, &cfg, 8), "seed matters");
+        let wider = AnalysisConfig {
+            witness_retain_threshold: 0.4,
+            ..cfg
+        };
+        assert_ne!(a, prob_key(1, &wider, 7), "retention ceiling matters");
         let tighter = AnalysisConfig {
             rareness_threshold: 0.09,
             ..cfg
         };
-        assert_ne!(a, rare_key(1, &tighter, 7), "threshold matters");
+        assert_eq!(
+            a,
+            prob_key(1, &tighter, 7),
+            "θ below the ceiling never touches the prob key"
+        );
+        assert_ne!(rare_key(a, 0.10), rare_key(a, 0.14), "θ layers on top");
+        assert_ne!(rare_key(a, 0.10), prob_key(1, &cfg, 7), "distinct tags");
     }
 
     #[test]

@@ -45,8 +45,8 @@
 //! never change results, only wall clock). When the goal is "keep the
 //! cheap stages warm and shed the expensive ones", use
 //! [`CachePolicy::per_stage_max`]: train-stage files are ~4× the other
-//! four stages combined, so a cap that only the `train/` directory
-//! exceeds retains analyze/graph/select/generate in full across reruns
+//! five stages combined, so a cap that only the `train/` directory
+//! exceeds retains estimate/analyze/graph/select/generate in full across reruns
 //! and confines recomputation (and the anomaly) to the train stage. The
 //! CI bounded-cache gate does exactly this. Use `max_bytes` as the hard
 //! disk ceiling, `per_stage_max` as the retention shaper, and
@@ -193,7 +193,7 @@ pub struct CachePolicy {
     pub max_bytes: Option<u64>,
     /// Maximum bytes per stage directory, applied before the global
     /// budget. Useful because train-stage artifacts dominate (roughly 4× the
-    /// other four stages combined at fast-preset scale).
+    /// other five stages combined at fast-preset scale).
     pub per_stage_max: Option<u64>,
     /// Eviction order among over-budget artifacts.
     pub eviction: Eviction,
@@ -285,8 +285,9 @@ pub struct StageUsage {
 /// Disk usage of a cache directory, per stage.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheStats {
-    /// Per-stage usage, in pipeline order.
-    pub stages: [StageUsage; 5],
+    /// Per-stage usage, in stage-tag order (the `estimate` stage was added
+    /// after the original five, so it reports last).
+    pub stages: [StageUsage; 6],
 }
 
 impl CacheStats {
@@ -568,6 +569,7 @@ mod tests {
                 usage(Stage::Train, 4, 4000),
                 usage(Stage::Select, 4, 200),
                 usage(Stage::Generate, 4, 200),
+                usage(Stage::Estimate, 4, 600),
             ],
         };
         assert_eq!(full.working_set_estimate(), full.total_bytes());
@@ -581,9 +583,10 @@ mod tests {
                 usage(Stage::Train, 1, 1000),
                 usage(Stage::Select, 4, 200),
                 usage(Stage::Generate, 4, 200),
+                usage(Stage::Estimate, 4, 600),
             ],
         };
-        assert_eq!(evicted.working_set_estimate(), 5600);
+        assert_eq!(evicted.working_set_estimate(), 6200);
         assert!(evicted.working_set_estimate() > evicted.total_bytes());
 
         // Empty cache estimates zero.
@@ -596,7 +599,7 @@ mod tests {
         let stats = cache_stats(Path::new("/definitely/not/a/real/dir")).expect("missing is ok");
         assert_eq!(stats.total_files(), 0);
         assert_eq!(stats.total_bytes(), 0);
-        assert_eq!(stats.stages.len(), 5);
+        assert_eq!(stats.stages.len(), 6);
     }
 
     #[test]

@@ -10,7 +10,7 @@
 //! 0       8     magic  b"DTRNTC\x01\n"
 //! 8       4     format version (u32 LE) — bumped on any layout change
 //! 12      4     stage tag (u32 LE): 1 analyze, 2 graph, 3 train,
-//!               4 select, 5 generate
+//!               4 select, 5 generate, 6 estimate
 //! 16      8     artifact cache key (u64 LE) — must match the file name
 //! 24      8     payload length in bytes (u64 LE)
 //! 32      8     FNV-1a checksum of the payload bytes (u64 LE)
@@ -30,10 +30,14 @@
 //! file: the stage recomputes and the file is overwritten. Corruption is
 //! counted per stage in [`crate::StageCounters::disk_corrupt`]. The format
 //! version is bumped on **any** observable layout change, including new
-//! payload variants: version 1 was PR 4's initial format; version 2 added
-//! the train-stage payload variant tag (full vs slim, below). Bumping the
-//! version is always safe — old caches silently recompute — so when in
-//! doubt, bump.
+//! payload variants **and new key derivations**: version 1 was PR 4's
+//! initial format; version 2 added the train-stage payload variant tag
+//! (full vs slim, below); version 3 split the analyze stage into the
+//! estimate artifact (stage tag 6, θ-independent) plus a re-keyed
+//! threshold artifact (stage tag 1, now keyed by prob key ⊕ θ), so v2
+//! fused analyze files — whose keys encode θ directly — read as version
+//! mismatches and heal by recompute. Bumping the version is always safe —
+//! old caches silently recompute — so when in doubt, bump.
 //!
 //! # Train-stage payload variants
 //!
@@ -83,11 +87,11 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use netlist::NetId;
 use rl::{AdamSnapshot, PolicySnapshot, PpoConfig, PpoLosses, PpoTrainer, TrainReport};
 use sim::rare::{RareNet, RareNetAnalysis};
-use sim::{PatternSource, SignalProbabilities, TestPattern, WitnessBank};
+use sim::{PatternSource, RareNetEstimate, SignalProbabilities, TestPattern, WitnessBank};
 
 use crate::artifact::{
-    GeneratedPatterns, GraphArtifact, PatternsArtifact, RareArtifact, SelectedSets, SetsArtifact,
-    TrainedPolicy,
+    GeneratedPatterns, GraphArtifact, PatternsArtifact, ProbArtifact, RareArtifact, SelectedSets,
+    SetsArtifact, TrainedPolicy,
 };
 use crate::cache::{CacheError, CacheErrorKind, CacheEvents};
 use crate::fault::{FaultKind, FaultPlan};
@@ -99,8 +103,10 @@ const MAGIC: [u8; 8] = *b"DTRNTC\x01\n";
 
 /// Bumped whenever any payload layout changes; old files then read as
 /// corrupt and are silently recomputed. Version 2 introduced the
-/// train-stage payload variant tag (full vs slim).
-pub(crate) const FORMAT_VERSION: u32 = 2;
+/// train-stage payload variant tag (full vs slim); version 3 split the
+/// fused analyze artifact into estimate (stage tag 6) + re-keyed
+/// threshold payloads.
+pub(crate) const FORMAT_VERSION: u32 = 3;
 
 const HEADER_LEN: usize = 40;
 
@@ -114,7 +120,9 @@ pub(crate) const SIDECAR_EXT: &str = "lru";
 /// payload variant retains (the older tail is dropped on encode).
 pub const SLIM_LOSS_KEEP: usize = 8;
 
-/// The five cacheable stages, as stored in file headers and directory names.
+/// The six cacheable stages, as stored in file headers and directory names.
+/// `Estimate` joined in format version 3 with the next free tag, so the
+/// tag-derived [`DiskStage::index`] stays dense.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub(crate) enum DiskStage {
     Analyze,
@@ -122,16 +130,18 @@ pub(crate) enum DiskStage {
     Train,
     Select,
     Generate,
+    Estimate,
 }
 
 impl DiskStage {
-    /// All stages, in pipeline (and directory-scan) order.
-    pub(crate) const ALL: [DiskStage; 5] = [
+    /// All stages, in tag (and directory-scan) order.
+    pub(crate) const ALL: [DiskStage; 6] = [
         Self::Analyze,
         Self::Graph,
         Self::Train,
         Self::Select,
         Self::Generate,
+        Self::Estimate,
     ];
 
     fn tag(self) -> u32 {
@@ -141,10 +151,11 @@ impl DiskStage {
             Self::Train => 3,
             Self::Select => 4,
             Self::Generate => 5,
+            Self::Estimate => 6,
         }
     }
 
-    /// Position in [`DiskStage::ALL`] / pipeline order.
+    /// Position in [`DiskStage::ALL`] / tag order.
     pub(crate) fn index(self) -> usize {
         self.tag() as usize - 1
     }
@@ -157,6 +168,7 @@ impl DiskStage {
             Self::Train => crate::Stage::Train,
             Self::Select => crate::Stage::Select,
             Self::Generate => crate::Stage::Generate,
+            Self::Estimate => crate::Stage::Estimate,
         }
     }
 
@@ -167,6 +179,7 @@ impl DiskStage {
             Self::Train => "train",
             Self::Select => "select",
             Self::Generate => "generate",
+            Self::Estimate => "estimate",
         }
     }
 }
@@ -536,6 +549,44 @@ fn mlp_params(layer_sizes: &[usize]) -> Decode<usize> {
 }
 
 // ───────────────────────── payload codecs ─────────────────────────
+
+pub(crate) fn encode_prob(artifact: &ProbArtifact, _slim: bool) -> Vec<u8> {
+    let estimate = artifact.estimate();
+    let mut w = Writer::new();
+    w.f64(estimate.retain());
+    w.usize(estimate.probabilities().num_patterns());
+    w.f64_slice(estimate.probabilities().as_slice());
+    w_witness_bank(&mut w, Some(estimate.bank()));
+    w.finish()
+}
+
+pub(crate) fn decode_prob(key: u64, payload: &[u8]) -> Decode<ProbArtifact> {
+    let mut r = Reader::new(payload);
+    let retain = r.f64()?;
+    if !(retain > 0.0 && retain <= 0.5) {
+        return Err(DecodeError::Malformed("retain domain"));
+    }
+    let num_patterns = r.usize()?;
+    if num_patterns == 0 {
+        return Err(DecodeError::Malformed("zero patterns"));
+    }
+    let prob_one = r.f64_vec()?;
+    let bank = r_witness_bank(&mut r)?.ok_or(DecodeError::Malformed("missing witness bank"))?;
+    r.done()?;
+    if bank
+        .targets()
+        .iter()
+        .any(|&(net, _)| net.index() >= prob_one.len())
+    {
+        return Err(DecodeError::Malformed("candidate net range"));
+    }
+    let estimate = RareNetEstimate::from_raw_parts(
+        retain,
+        SignalProbabilities::from_raw_parts(prob_one, num_patterns),
+        bank,
+    );
+    Ok(ProbArtifact::new(key, estimate))
+}
 
 pub(crate) fn encode_rare(artifact: &RareArtifact, _slim: bool) -> Vec<u8> {
     let analysis = artifact.analysis();
@@ -1667,6 +1718,96 @@ mod tests {
         for r in a.rare_nets() {
             assert_eq!(a.position(r.net), b.position(r.net));
         }
+    }
+
+    #[test]
+    fn prob_payload_round_trips_and_rethresholds_bit_exactly() {
+        let nl = BenchmarkProfile::c2670().scaled(25).generate(3);
+        let estimate = RareNetEstimate::estimate(&nl, 0.25, 1024, 7);
+        let artifact = ProbArtifact::new(11, estimate);
+        let payload = encode_prob(&artifact, false);
+        // The slim flag is accepted and ignored: identical bytes.
+        assert_eq!(payload, encode_prob(&artifact, true));
+        let decoded = decode_prob(11, &payload).expect("decode");
+        let (a, b) = (artifact.estimate(), decoded.estimate());
+        assert_eq!(a.retain().to_bits(), b.retain().to_bits());
+        assert_eq!(a.probabilities().as_slice(), b.probabilities().as_slice());
+        assert_eq!(
+            a.probabilities().num_patterns(),
+            b.probabilities().num_patterns()
+        );
+        assert_eq!(a.bank().targets(), b.bank().targets());
+        assert_eq!(a.bank().raw_rows(), b.bank().raw_rows());
+        assert_eq!(a.bank().source(), b.bank().source());
+        // The decoded estimate re-thresholds to bit-identical analyses.
+        for theta in [0.1, 0.2, 0.25] {
+            let (ta, tb) = (a.threshold(theta), b.threshold(theta));
+            assert_eq!(ta.rare_nets(), tb.rare_nets());
+            assert_eq!(
+                ta.witnesses().unwrap().raw_rows(),
+                tb.witnesses().unwrap().raw_rows()
+            );
+        }
+    }
+
+    #[test]
+    fn prob_payload_corruption_is_an_error_not_a_panic() {
+        let nl = BenchmarkProfile::c2670().scaled(25).generate(3);
+        let artifact = ProbArtifact::new(3, RareNetEstimate::estimate(&nl, 0.25, 512, 9));
+        let payload = encode_prob(&artifact, false);
+        for cut in [0, 1, 7, 8, payload.len() / 2, payload.len() - 1] {
+            assert!(decode_prob(3, &payload[..cut]).is_err(), "cut at {cut}");
+        }
+        let mut long = payload.clone();
+        long.push(0);
+        assert!(matches!(
+            decode_prob(3, &long),
+            Err(DecodeError::Malformed("trailing bytes"))
+        ));
+        // An out-of-domain retain threshold is rejected up front.
+        let mut bad = payload;
+        bad[..8].copy_from_slice(&2.0f64.to_bits().to_le_bytes());
+        assert!(matches!(
+            decode_prob(3, &bad),
+            Err(DecodeError::Malformed("retain domain"))
+        ));
+    }
+
+    #[test]
+    fn v2_fused_analyze_files_are_clean_misses_and_heal() {
+        let root = temp_root("v2-migration");
+        let disk = DiskStore::with_faults(root.clone(), crate::CachePolicy::default(), None);
+        // Hand-craft a format-version-2 file — the pre-split fused analyze
+        // layout — exactly where a v3 threshold artifact would live.
+        let key = 0x1234u64;
+        let payload = b"pre-split fused analyze payload";
+        let mut bytes = Vec::new();
+        bytes.extend_from_slice(&MAGIC);
+        bytes.extend_from_slice(&2u32.to_le_bytes());
+        bytes.extend_from_slice(&DiskStage::Analyze.tag().to_le_bytes());
+        bytes.extend_from_slice(&key.to_le_bytes());
+        bytes.extend_from_slice(&(payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&fnv1a(payload).to_le_bytes());
+        bytes.extend_from_slice(payload);
+        let dir = root.join(DiskStage::Analyze.dir());
+        fs::create_dir_all(&dir).unwrap();
+        fs::write(dir.join(format!("{key:016x}.{FILE_EXT}")), &bytes).unwrap();
+        // The old file classifies as version skew — a clean miss, no panic.
+        match disk.load(DiskStage::Analyze, key) {
+            DiskLookup::Failed(err) => {
+                assert_eq!(err.kind, crate::cache::CacheErrorKind::VersionMismatch);
+                disk.note_failure(&err);
+            }
+            _ => panic!("v2 file must classify as a failed lookup"),
+        }
+        assert_eq!(disk.events().version_mismatch, 1);
+        // Recompute-and-overwrite heals it into a servable v3 file.
+        disk.store(DiskStage::Analyze, key, b"fresh v3 payload");
+        match disk.load(DiskStage::Analyze, key) {
+            DiskLookup::Hit(fresh) => assert_eq!(fresh, b"fresh v3 payload"),
+            _ => panic!("healed file must serve"),
+        }
+        let _ = fs::remove_dir_all(&root);
     }
 
     #[test]

@@ -44,6 +44,15 @@ pub struct AnalysisConfig {
     pub rareness_threshold: f64,
     /// Number of random patterns used to estimate signal probabilities.
     pub probability_patterns: usize,
+    /// Retention ceiling of the shared estimation artifact: the single
+    /// estimation pass keeps candidates and witness rows for every net
+    /// rarer than `max(witness_retain_threshold, rareness_threshold)`, so
+    /// one [`crate::DeterrentSession::estimate`] artifact can be
+    /// re-thresholded at any θ up to that ceiling without re-simulating.
+    /// Raising it above θ widens the θ range one estimation covers at the
+    /// cost of more retained witness words; it never changes any
+    /// thresholded result.
+    pub witness_retain_threshold: f64,
 }
 
 impl Default for AnalysisConfig {
@@ -51,7 +60,18 @@ impl Default for AnalysisConfig {
         Self {
             rareness_threshold: 0.1,
             probability_patterns: 16 * 1024,
+            witness_retain_threshold: 0.25,
         }
+    }
+}
+
+impl AnalysisConfig {
+    /// The retention threshold the estimation stage actually uses: the
+    /// configured ceiling, bumped up to the rareness threshold so the
+    /// session's own θ is always covered.
+    #[must_use]
+    pub fn effective_retain(&self) -> f64 {
+        self.witness_retain_threshold.max(self.rareness_threshold)
     }
 }
 
@@ -262,6 +282,16 @@ impl DeterrentConfig {
         self
     }
 
+    /// Returns a copy with the estimation retention ceiling replaced (see
+    /// [`AnalysisConfig::witness_retain_threshold`]). θ-sweeps set this to
+    /// the sweep's largest θ (or leave the default 0.25, which covers every
+    /// valid θ ≤ 0.25) so all cells share one estimation artifact.
+    #[must_use]
+    pub fn with_witness_retain(mut self, retain: f64) -> Self {
+        self.analysis.witness_retain_threshold = retain;
+        self
+    }
+
     /// Returns a copy with the master seed replaced.
     #[must_use]
     pub fn with_seed(mut self, seed: u64) -> Self {
@@ -457,6 +487,11 @@ mod tests {
         );
         assert_ne!(fp, base.clone().with_seed(123).content_fingerprint());
         assert_ne!(fp, base.clone().with_threshold(0.33).content_fingerprint());
+        assert_ne!(
+            fp,
+            base.clone().with_witness_retain(0.4).content_fingerprint(),
+            "retention ceiling moves the estimation artifact"
+        );
         assert_ne!(fp, base.clone().with_episodes(1).content_fingerprint());
         assert_ne!(
             fp,
@@ -464,6 +499,17 @@ mod tests {
                 .with_ablation(RewardMode::EndOfEpisode, false)
                 .content_fingerprint()
         );
+    }
+
+    #[test]
+    fn effective_retain_never_drops_below_theta() {
+        let c = AnalysisConfig::default();
+        assert!((c.effective_retain() - 0.25).abs() < 1e-12);
+        let wide = AnalysisConfig {
+            rareness_threshold: 0.4,
+            ..c
+        };
+        assert!((wide.effective_retain() - 0.4).abs() < 1e-12);
     }
 
     #[test]

@@ -8,25 +8,30 @@
 //! # The staged session API
 //!
 //! The primary entry point is [`DeterrentSession`], which exposes the
-//! pipeline (Figure 4 of the paper) as five typed stages, each returning a
+//! pipeline (Figure 4 of the paper) as six typed stages, each returning a
 //! cheaply clonable, cache-keyed artifact:
 //!
-//! 1. [`DeterrentSession::analyze`] → [`RareArtifact`] — rare-net
-//!    identification by random logic simulation against a rareness threshold
-//!    ([`sim::rare::RareNetAnalysis`]), retaining the run's witness bank.
-//! 2. [`DeterrentSession::build_graph`] → [`GraphArtifact`] — offline
+//! 1. [`DeterrentSession::estimate`] → [`ProbArtifact`] — Monte-Carlo
+//!    signal-probability estimation with a single-pass compacting witness
+//!    harvest ([`sim::RareNetEstimate`]), keyed *without* the rareness
+//!    threshold θ so every θ of a sweep shares it.
+//! 2. [`DeterrentSession::analyze`] → [`RareArtifact`] — rare-net
+//!    identification by thresholding the shared estimate at θ
+//!    ([`sim::rare::RareNetAnalysis`]), a pure prefix slice of the
+//!    estimate's candidates and witness bank.
+//! 3. [`DeterrentSession::build_graph`] → [`GraphArtifact`] — offline
 //!    pairwise compatibility ([`CompatibilityGraph`]). The paper answers
 //!    every pair with SAT across 64 processes; this implementation runs a
 //!    three-tier simulation-first funnel (retained Monte-Carlo witnesses →
 //!    cone-support pruning and cost-model-driven exhaustive cone enumeration
 //!    → cone-restricted incremental SAT) that reaches the bit-identical
 //!    graph with a fraction of the SAT queries.
-//! 3. [`DeterrentSession::train`] → [`PolicyArtifact`] — PPO over the
+//! 4. [`DeterrentSession::train`] → [`PolicyArtifact`] — PPO over the
 //!    compatible-set MDP ([`CompatSetEnv`]) with action masking,
 //!    configurable reward mode, and boosted exploration.
-//! 4. [`DeterrentSession::select`] → [`SetsArtifact`] — greedy evaluation
+//! 5. [`DeterrentSession::select`] → [`SetsArtifact`] — greedy evaluation
 //!    rollouts plus `k`-largest distinct set selection.
-//! 5. [`DeterrentSession::generate`] → [`DeterrentResult`] — SAT/witness
+//! 6. [`DeterrentSession::generate`] → [`DeterrentResult`] — SAT/witness
 //!    justification of each selected set into a concrete test pattern.
 //!
 //! Artifacts live in an [`ArtifactStore`] keyed by (netlist fingerprint,
@@ -34,7 +39,8 @@
 //! with hit/miss counters. Sessions sharing a store recompute only the
 //! stages whose inputs changed, which is what the paper's evaluation grids
 //! need: the Table 1 / Figure 2–3 ablations share one analysis and one
-//! graph across all cells, and threshold transfer reuses one analysis per θ.
+//! graph across all cells, and threshold transfer shares one estimation
+//! across every θ.
 //! [`RunObserver`]s receive stage start/finish events ([`StageMetrics`]) and
 //! per-round training progress.
 //!
@@ -77,7 +83,8 @@ mod session;
 
 pub use artifact::{
     ArtifactStore, GeneratedPatterns, GraphArtifact, PatternsArtifact, PolicyArtifact,
-    RareArtifact, SelectedSets, SetsArtifact, StageCounters, StoreCounters, TrainedPolicy,
+    ProbArtifact, RareArtifact, SelectedSets, SetsArtifact, StageCounters, StoreCounters,
+    TrainedPolicy,
 };
 pub use cache::{
     parse_bytes, CacheError, CacheErrorKind, CacheEvents, CachePolicy, CacheStats, Eviction,

@@ -8,11 +8,14 @@
 
 pub use rl::RoundProgress;
 
-/// The five stages of a [`crate::DeterrentSession`], in pipeline order.
+/// The six stages of a [`crate::DeterrentSession`], in pipeline order.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stage {
-    /// Rare-net analysis (Monte-Carlo probability estimation + witness
-    /// harvest).
+    /// Monte-Carlo signal-probability estimation with single-pass
+    /// compacting witness harvest — the θ-independent half of rare-net
+    /// analysis, shared by every θ a sweep visits.
+    Estimate,
+    /// Rare-net thresholding at θ over the shared estimation artifact.
     Analyze,
     /// Pairwise-compatibility graph construction.
     BuildGraph,
@@ -26,7 +29,8 @@ pub enum Stage {
 
 impl Stage {
     /// All stages in pipeline order.
-    pub const ALL: [Stage; 5] = [
+    pub const ALL: [Stage; 6] = [
+        Stage::Estimate,
         Stage::Analyze,
         Stage::BuildGraph,
         Stage::Train,
@@ -38,6 +42,7 @@ impl Stage {
     #[must_use]
     pub fn name(self) -> &'static str {
         match self {
+            Stage::Estimate => "estimate",
             Stage::Analyze => "analyze",
             Stage::BuildGraph => "build_graph",
             Stage::Train => "train",
@@ -64,9 +69,10 @@ pub struct StageMetrics {
     /// `true` when the stage's artifact was served from the
     /// [`crate::ArtifactStore`] instead of being recomputed.
     pub cache_hit: bool,
-    /// Stage-specific output cardinality: rare nets (analyze), resolved
-    /// pairs (build_graph), episodes (train), selected sets (select), or
-    /// generated patterns (generate).
+    /// Stage-specific output cardinality: retained candidate nets
+    /// (estimate), rare nets (analyze), resolved pairs (build_graph),
+    /// episodes (train), selected sets (select), or generated patterns
+    /// (generate).
     pub items: u64,
 }
 
@@ -142,7 +148,8 @@ mod tests {
 
     #[test]
     fn stage_names_are_stable() {
-        assert_eq!(Stage::ALL.len(), 5);
+        assert_eq!(Stage::ALL.len(), 6);
+        assert_eq!(Stage::Estimate.to_string(), "estimate");
         assert_eq!(Stage::Analyze.to_string(), "analyze");
         assert_eq!(Stage::Generate.name(), "generate");
     }

@@ -1,24 +1,29 @@
 //! The staged DETERRENT session — the crate's primary API.
 //!
 //! A [`DeterrentSession`] binds one netlist to one [`DeterrentConfig`] and
-//! exposes the pipeline as five explicit, individually cacheable stages:
+//! exposes the pipeline as six explicit, individually cacheable stages:
 //!
 //! | stage | method | artifact |
 //! |---|---|---|
-//! | ❶ rare-net analysis | [`DeterrentSession::analyze`] | [`RareArtifact`] |
-//! | ❷ compatibility graph | [`DeterrentSession::build_graph`] | [`GraphArtifact`] |
-//! | ❸ PPO training | [`DeterrentSession::train`] | [`PolicyArtifact`] |
-//! | ❹ harvest & selection | [`DeterrentSession::select`] | [`SetsArtifact`] |
-//! | ❺ pattern generation | [`DeterrentSession::generate`] | [`crate::DeterrentResult`] |
+//! | ❶ probability estimation | [`DeterrentSession::estimate`] | [`ProbArtifact`] |
+//! | ❷ rare-net thresholding | [`DeterrentSession::analyze`] | [`RareArtifact`] |
+//! | ❸ compatibility graph | [`DeterrentSession::build_graph`] | [`GraphArtifact`] |
+//! | ❹ PPO training | [`DeterrentSession::train`] | [`PolicyArtifact`] |
+//! | ❺ harvest & selection | [`DeterrentSession::select`] | [`SetsArtifact`] |
+//! | ❻ pattern generation | [`DeterrentSession::generate`] | [`crate::DeterrentResult`] |
 //!
 //! Each artifact is cheaply clonable and keyed by the netlist fingerprint,
 //! the stage's own config section, the seed, and the upstream artifact's key
-//! — never the thread count. Sessions that share an [`ArtifactStore`] (see
-//! [`DeterrentSession::with_store`]) therefore recompute only the stages
-//! whose inputs actually changed, which is exactly what the paper's
+//! — never the thread count. The estimate stage's key deliberately excludes
+//! the rareness threshold θ: [`DeterrentSession::analyze`] always resolves
+//! through [`DeterrentSession::estimate`] and layers θ on top, so a θ-sweep
+//! pays for Monte-Carlo estimation exactly once per (netlist, seed) and
+//! re-thresholds cheaply per θ. Sessions that share an [`ArtifactStore`]
+//! (see [`DeterrentSession::with_store`]) therefore recompute only the
+//! stages whose inputs actually changed, which is exactly what the paper's
 //! evaluation grids need: Table 1 and Figures 2–3 rerun the same
 //! netlist/graph under reward/masking/exploration ablations, and the
-//! threshold-transfer experiment reuses one analysis per θ.
+//! threshold-transfer experiment shares one estimation across every θ.
 //!
 //! All stages run on **one** shared deterministic executor, so estimation,
 //! graph construction, and rollout collection all contribute to the final
@@ -32,11 +37,12 @@ use netlist::Netlist;
 use rl::{train_parallel_observed, CollectOptions, ParallelTrainOptions, PpoTrainer};
 use sat::CircuitOracle;
 use sim::rare::RareNetAnalysis;
+use sim::RareNetEstimate;
 use telemetry::{Span, SpanContext, Telemetry};
 
 use crate::artifact::{
-    graph_key, imported_rare_key, patterns_key, policy_key, rare_key, sets_key, GeneratedPatterns,
-    PatternsArtifact, SelectedSets, TrainedPolicy,
+    graph_key, imported_rare_key, patterns_key, policy_key, prob_key, rare_key, sets_key,
+    GeneratedPatterns, PatternsArtifact, ProbArtifact, SelectedSets, TrainedPolicy,
 };
 use crate::{
     generate_patterns_with, select_k_largest, ArtifactStore, CacheEvents, CompatSetEnv,
@@ -291,24 +297,59 @@ impl<'a> DeterrentSession<'a> {
         }
     }
 
-    /// Stage ❶ — rare-net analysis at the configured threshold, pattern
-    /// budget, and seed. Cached by (netlist, analysis config, seed).
+    /// Stage ❶ — Monte-Carlo probability estimation with the single-pass
+    /// compacting witness harvest, at the configured pattern budget,
+    /// retention ceiling, and seed. Cached by (netlist, pattern budget,
+    /// retention ceiling, seed) — the rareness threshold θ is deliberately
+    /// absent, so every θ of a sweep shares this artifact.
+    pub fn estimate(&mut self) -> ProbArtifact {
+        let key = prob_key(self.netlist_fp, &self.config.analysis, self.config.seed);
+        self.notify_started(Stage::Estimate);
+        let trace = self.begin_stage_trace(Stage::Estimate);
+        let start = Instant::now();
+        let (artifact, cache_hit) = match self.store.lookup_prob(key) {
+            Some(found) => (found, true),
+            None => {
+                let estimate = RareNetEstimate::estimate_with(
+                    self.netlist,
+                    self.config.analysis.effective_retain(),
+                    self.config.analysis.probability_patterns,
+                    self.config.seed,
+                    &self.exec,
+                );
+                let artifact = ProbArtifact::new(key, estimate);
+                self.store.insert_prob(&artifact);
+                (artifact, false)
+            }
+        };
+        let metrics = StageMetrics {
+            stage: Stage::Estimate,
+            wall_seconds: start.elapsed().as_secs_f64(),
+            cache_hit,
+            items: artifact.num_candidates() as u64,
+        };
+        self.finish_stage_trace(trace, &metrics);
+        self.notify_finished(metrics);
+        artifact
+    }
+
+    /// Stage ❷ — rare-net analysis at the configured threshold θ: resolves
+    /// the shared [`DeterrentSession::estimate`] artifact (cache or
+    /// compute), then thresholds it. Cached by (prob key, θ); the
+    /// thresholding itself is a pure prefix slice, so a new θ over a warm
+    /// estimate costs no simulation at all — the result is bit-identical to
+    /// a from-scratch analysis at that θ.
     pub fn analyze(&mut self) -> RareArtifact {
-        let key = rare_key(self.netlist_fp, &self.config.analysis, self.config.seed);
+        let probs = self.estimate();
+        let theta = self.config.analysis.rareness_threshold;
+        let key = rare_key(probs.key, theta);
         self.notify_started(Stage::Analyze);
         let trace = self.begin_stage_trace(Stage::Analyze);
         let start = Instant::now();
         let (artifact, cache_hit) = match self.store.lookup_rare(key) {
             Some(found) => (found, true),
             None => {
-                let analysis = RareNetAnalysis::estimate_with(
-                    self.netlist,
-                    self.config.analysis.rareness_threshold,
-                    self.config.analysis.probability_patterns,
-                    self.config.seed,
-                    &self.exec,
-                );
-                let artifact = RareArtifact::new(key, analysis);
+                let artifact = RareArtifact::new(key, probs.estimate().threshold(theta));
                 self.store.insert_rare(&artifact);
                 (artifact, false)
             }
@@ -352,7 +393,7 @@ impl<'a> DeterrentSession<'a> {
         artifact
     }
 
-    /// Stage ❷ — pairwise-compatibility graph over `rare`'s rare nets.
+    /// Stage ❸ — pairwise-compatibility graph over `rare`'s rare nets.
     /// Cached by (rare key, compat config); built on the session executor.
     pub fn build_graph(&mut self, rare: &RareArtifact) -> GraphArtifact {
         let key = graph_key(rare.key, &self.config.compat);
@@ -389,7 +430,7 @@ impl<'a> DeterrentSession<'a> {
         artifact
     }
 
-    /// Stage ❸ — PPO training over the compatible-set MDP of `graph`.
+    /// Stage ❹ — PPO training over the compatible-set MDP of `graph`.
     /// Cached by (graph key, train config, seed). Emits
     /// [`RunObserver::training_round`] after every frozen-policy round when
     /// it actually trains.
@@ -474,7 +515,7 @@ impl<'a> DeterrentSession<'a> {
         artifact
     }
 
-    /// Stage ❹ — greedy evaluation rollouts from the trained policy plus
+    /// Stage ❺ — greedy evaluation rollouts from the trained policy plus
     /// `k`-largest selection over the combined training + evaluation
     /// harvest. Cached by (policy key, select config, seed).
     ///
@@ -545,7 +586,7 @@ impl<'a> DeterrentSession<'a> {
         artifact
     }
 
-    /// Stage ❺ — SAT/witness pattern generation over the selected sets,
+    /// Stage ❻ — SAT/witness pattern generation over the selected sets,
     /// assembling the final [`DeterrentResult`]. Cached by (sets key) as a
     /// [`PatternsArtifact`], so a fully warm session performs zero SAT
     /// justification; the surrounding result still composes live session
@@ -622,15 +663,15 @@ impl<'a> DeterrentSession<'a> {
         result
     }
 
-    /// Runs all five stages: analyze → build_graph → train → select →
-    /// generate. Bit-identical to the legacy monolithic
+    /// Runs all six stages: estimate → analyze → build_graph → train →
+    /// select → generate. Bit-identical to the legacy monolithic
     /// [`crate::Deterrent::run`] at any thread count.
     pub fn run(&mut self) -> DeterrentResult {
         let rare = self.analyze();
         self.run_from(&rare)
     }
 
-    /// Runs the pipeline from an existing rare-net artifact (stages ❷–❺).
+    /// Runs the pipeline from an existing rare-net artifact (stages ❸–❻).
     pub fn run_from(&mut self, rare: &RareArtifact) -> DeterrentResult {
         let graph = self.build_graph(rare);
         if graph.graph().is_empty() {
@@ -708,7 +749,7 @@ mod tests {
         {
             let rec = recorder.borrow();
             assert_eq!(rec.started, Stage::ALL.to_vec());
-            assert_eq!(rec.finished.len(), 5);
+            assert_eq!(rec.finished.len(), 6);
             assert!(rec.finished.iter().all(|m| !m.cache_hit), "cold run");
             // 20 episodes in rounds of 8 → 3 rounds.
             assert_eq!(rec.rounds.len(), 3);
@@ -745,11 +786,38 @@ mod tests {
             let _ = session.run();
         }
         let counters = store.counters();
+        assert_eq!(counters.estimate.misses, 1, "one estimation for the grid");
+        assert_eq!(counters.estimate.hits, 3);
         assert_eq!(counters.analyze.misses, 1, "one analysis for the grid");
         assert_eq!(counters.analyze.hits, 3);
         assert_eq!(counters.build_graph.misses, 1, "one graph for the grid");
         assert_eq!(counters.build_graph.hits, 3);
         assert_eq!(counters.train.misses, 4, "every cell trains differently");
+    }
+
+    #[test]
+    fn theta_sweep_shares_one_estimation() {
+        let nl = small_netlist();
+        let store = ArtifactStore::new();
+        for theta in [0.10, 0.12, 0.14, 0.2] {
+            let mut session = DeterrentSession::with_store(
+                &nl,
+                fast_config().with_threshold(theta),
+                store.clone(),
+            );
+            let swept = session.analyze();
+            // Each θ cell is bit-identical to a from-scratch analysis.
+            let fresh = RareNetAnalysis::estimate(&nl, theta, 4096, DeterrentConfig::DEFAULT_SEED);
+            assert_eq!(swept.analysis().rare_nets(), fresh.rare_nets());
+            assert_eq!(
+                swept.analysis().witnesses().unwrap().raw_rows(),
+                fresh.witnesses().unwrap().raw_rows()
+            );
+        }
+        let c = store.counters();
+        assert_eq!(c.estimate.misses, 1, "one estimation per (netlist, seed)");
+        assert_eq!(c.estimate.hits, 3);
+        assert_eq!(c.analyze.misses, 4, "one cheap thresholding per θ");
     }
 
     #[test]
@@ -880,7 +948,7 @@ mod tests {
             .iter()
             .filter(|e| Stage::ALL.iter().any(|s| s.name() == e.name))
             .collect();
-        assert_eq!(stage_spans.len(), 5, "one span per stage");
+        assert_eq!(stage_spans.len(), 6, "one span per stage");
         for (stage, span) in Stage::ALL.iter().zip(&stage_spans) {
             assert_eq!(span.name, stage.name(), "stages emit in pipeline order");
             assert_eq!(span.parent, parent.id);
@@ -928,8 +996,9 @@ mod tests {
         let _ = session.analyze();
         let after_analyze = session.exec_stats();
         assert!(
-            after_analyze.calls >= 2,
-            "estimation + witness harvest must run on the session executor, got {after_analyze:?}"
+            after_analyze.calls >= 1,
+            "the single compacting estimation pass must run on the session \
+             executor, got {after_analyze:?}"
         );
         let rare = session.analyze();
         let result = session.run_from(&rare);

@@ -34,6 +34,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod compact;
 pub mod cone_sim;
 mod pattern;
 pub mod probability;
@@ -41,8 +42,10 @@ pub mod rare;
 mod simulator;
 pub mod witness;
 
+pub use compact::CompactTrace;
 pub use cone_sim::ConeSimulator;
 pub use pattern::TestPattern;
 pub use probability::{SignalProbabilities, SimTrace};
+pub use rare::RareNetEstimate;
 pub use simulator::{simulate, NetValues, PackedValues, Simulator};
 pub use witness::{PatternSource, WitnessBank};

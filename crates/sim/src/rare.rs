@@ -8,6 +8,7 @@
 use exec::Exec;
 use netlist::{GateKind, NetId, Netlist};
 
+use crate::compact::estimate_compacting_with;
 use crate::witness::{PatternSource, WitnessBank};
 use crate::SignalProbabilities;
 
@@ -47,9 +48,10 @@ impl RareNetAnalysis {
     /// The packed simulation words of the estimation run are retained per
     /// rare net as a [`WitnessBank`], so downstream passes (the compatibility
     /// funnel) can resolve pairwise queries without SAT. The bank is
-    /// harvested by replaying the same pattern stream once the rare nets are
-    /// known, keeping witness memory proportional to the rare-net count
-    /// rather than the design size.
+    /// harvested *during* the estimation pass with streaming compaction (see
+    /// [`RareNetEstimate`]), so no pattern is ever simulated twice and
+    /// witness memory stays proportional to the rare-net count rather than
+    /// the design size.
     ///
     /// # Panics
     ///
@@ -59,10 +61,9 @@ impl RareNetAnalysis {
         Self::estimate_with(netlist, threshold, num_patterns, seed, &Exec::serial())
     }
 
-    /// Like [`RareNetAnalysis::estimate`], but runs both the estimation
-    /// simulation and the witness-harvest replay in parallel on `exec`.
-    /// Bit-identical to the serial path at any thread count (the pattern
-    /// stream is seed-split per 64-pattern chunk).
+    /// Like [`RareNetAnalysis::estimate`], but runs the single estimation
+    /// pass in parallel on `exec`. Bit-identical to the serial path at any
+    /// thread count (the pattern stream is seed-split per 64-pattern chunk).
     ///
     /// # Panics
     ///
@@ -75,16 +76,12 @@ impl RareNetAnalysis {
         seed: u64,
         exec: &Exec,
     ) -> Self {
-        let probabilities = SignalProbabilities::estimate_with(netlist, num_patterns, seed, exec);
-        let mut analysis = Self::from_probabilities(netlist, threshold, probabilities);
-        analysis.witnesses = Some(WitnessBank::harvest_with(
-            netlist,
-            &analysis.targets(),
-            num_patterns,
-            seed,
-            exec,
-        ));
-        analysis
+        assert!(
+            threshold > 0.0 && threshold <= 0.5,
+            "rareness threshold must be in (0, 0.5]"
+        );
+        RareNetEstimate::estimate_with(netlist, threshold, num_patterns, seed, exec)
+            .threshold(threshold)
     }
 
     /// Runs rare-net analysis using exhaustive (exact) probabilities; only
@@ -125,27 +122,7 @@ impl RareNetAnalysis {
             threshold > 0.0 && threshold <= 0.5,
             "rareness threshold must be in (0, 0.5]"
         );
-        let mut rare_nets = Vec::new();
-        for (id, gate) in netlist.iter() {
-            if matches!(gate.kind, GateKind::Input | GateKind::Dff) {
-                continue;
-            }
-            let (rare_value, probability) = probabilities.rare_value(id);
-            if probability < threshold {
-                rare_nets.push(RareNet {
-                    net: id,
-                    rare_value,
-                    probability,
-                });
-            }
-        }
-        // Deterministic order: rarest first, ties by net id.
-        rare_nets.sort_by(|a, b| {
-            a.probability
-                .partial_cmp(&b.probability)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.net.cmp(&b.net))
-        });
+        let rare_nets = collect_rare(netlist, threshold, &probabilities);
         let mut by_net: Vec<(NetId, u32)> = rare_nets
             .iter()
             .enumerate()
@@ -268,6 +245,236 @@ impl RareNetAnalysis {
     }
 }
 
+/// The rare nets of `netlist` at `threshold` in canonical order: rarest
+/// first, ties by net id. Shared by [`RareNetAnalysis::from_probabilities`]
+/// and [`RareNetEstimate`], so re-thresholding an estimate is guaranteed to
+/// produce exactly the list a from-scratch analysis would.
+fn collect_rare(
+    netlist: &Netlist,
+    threshold: f64,
+    probabilities: &SignalProbabilities,
+) -> Vec<RareNet> {
+    let mut rare_nets = Vec::new();
+    for (id, gate) in netlist.iter() {
+        if matches!(gate.kind, GateKind::Input | GateKind::Dff) {
+            continue;
+        }
+        let (rare_value, probability) = probabilities.rare_value(id);
+        if probability < threshold {
+            rare_nets.push(RareNet {
+                net: id,
+                rare_value,
+                probability,
+            });
+        }
+    }
+    rare_nets.sort_by(|a, b| {
+        a.probability
+            .partial_cmp(&b.probability)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.net.cmp(&b.net))
+    });
+    rare_nets
+}
+
+/// The θ-independent half of rare-net analysis: estimated signal
+/// probabilities plus a witness bank over every net that is rare at the
+/// `retain` threshold, harvested in a single compacting simulation pass
+/// ([`crate::compact`]).
+///
+/// Thresholding is a pure prefix operation: the candidate rows are stored
+/// rarest-first, so [`RareNetEstimate::threshold`] at any `θ ≤ retain`
+/// produces a [`RareNetAnalysis`] bit-identical to
+/// [`RareNetAnalysis::estimate`] at that θ — without re-simulating anything.
+/// A θ-sweep therefore pays for Monte-Carlo estimation exactly once per
+/// (netlist, pattern budget, seed).
+#[derive(Debug, Clone)]
+pub struct RareNetEstimate {
+    retain: f64,
+    probabilities: SignalProbabilities,
+    /// Witness rows for the rare-at-`retain` candidates, rarest-first.
+    bank: WitnessBank,
+    /// Candidate records in bank-row order (derived from the bank targets
+    /// and the probabilities; kept denormalized for cheap prefix slicing).
+    candidates: Vec<RareNet>,
+    /// Memory high-water mark of the compacting pass, in packed words.
+    peak_retained_words: usize,
+}
+
+impl RareNetEstimate {
+    /// Runs the single-pass compacting estimation on the calling thread.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retain` is not in `(0, 0.5]` or `num_patterns` is zero.
+    #[must_use]
+    pub fn estimate(netlist: &Netlist, retain: f64, num_patterns: usize, seed: u64) -> Self {
+        Self::estimate_with(netlist, retain, num_patterns, seed, &Exec::serial())
+    }
+
+    /// Like [`RareNetEstimate::estimate`], parallelized over `exec` with the
+    /// standard bit-identical-at-any-thread-count guarantee.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retain` is not in `(0, 0.5]` or `num_patterns` is zero.
+    #[must_use]
+    pub fn estimate_with(
+        netlist: &Netlist,
+        retain: f64,
+        num_patterns: usize,
+        seed: u64,
+        exec: &Exec,
+    ) -> Self {
+        let (probabilities, trace) =
+            estimate_compacting_with(netlist, num_patterns, seed, retain, exec);
+        let candidates = collect_rare(netlist, retain, &probabilities);
+        let targets: Vec<(NetId, bool)> =
+            candidates.iter().map(|r| (r.net, r.rare_value)).collect();
+        let num_chunks = trace.num_chunks();
+        let mut rows = Vec::with_capacity(targets.len() * num_chunks);
+        for &(net, value) in &targets {
+            for c in 0..num_chunks {
+                let word = trace
+                    .word(c, net)
+                    .expect("every rare-at-retain net is retained by the compacting pass");
+                rows.push(if value { word } else { !word });
+            }
+        }
+        let bank = WitnessBank::from_raw_parts(
+            targets,
+            num_chunks,
+            trace.num_patterns(),
+            rows,
+            Some(PatternSource::Random {
+                width: netlist.num_scan_inputs(),
+                seed,
+            }),
+        );
+        Self {
+            retain,
+            probabilities,
+            bank,
+            candidates,
+            peak_retained_words: trace.peak_words(),
+        }
+    }
+
+    /// The retention threshold: the estimate can be re-thresholded at any
+    /// `θ ≤ retain`.
+    #[must_use]
+    pub fn retain(&self) -> f64 {
+        self.retain
+    }
+
+    /// The underlying signal probabilities.
+    #[must_use]
+    pub fn probabilities(&self) -> &SignalProbabilities {
+        &self.probabilities
+    }
+
+    /// The candidate witness bank (every net rare at `retain`, rarest-first).
+    #[must_use]
+    pub fn bank(&self) -> &WitnessBank {
+        &self.bank
+    }
+
+    /// Number of rare-at-`retain` candidate nets.
+    #[must_use]
+    pub fn num_candidates(&self) -> usize {
+        self.candidates.len()
+    }
+
+    /// Memory high-water mark of the compacting estimation pass, in packed
+    /// 64-pattern words (see [`crate::compact::CompactTrace::peak_words`]).
+    /// Zero when the estimate was decoded from a cache rather than computed.
+    #[must_use]
+    pub fn peak_retained_words(&self) -> usize {
+        self.peak_retained_words
+    }
+
+    /// Thresholds the estimate at `theta`, producing the same
+    /// [`RareNetAnalysis`] a from-scratch [`RareNetAnalysis::estimate`] at
+    /// `theta` would — rare nets, probabilities, and witness rows all
+    /// bit-identical — without any simulation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `theta` is not in `(0, 0.5]` or exceeds the estimate's
+    /// `retain` threshold (nets rare at such a θ may have been compacted
+    /// away; re-estimate with a larger `retain` instead).
+    #[must_use]
+    pub fn threshold(&self, theta: f64) -> RareNetAnalysis {
+        assert!(
+            theta > 0.0 && theta <= 0.5,
+            "rareness threshold must be in (0, 0.5]"
+        );
+        assert!(
+            theta <= self.retain,
+            "threshold {theta} exceeds the estimate's retention threshold {}",
+            self.retain
+        );
+        // Candidates are sorted rarest-first, so the rare set at θ is a
+        // prefix, and so are its bank rows.
+        let k = self.candidates.partition_point(|r| r.probability < theta);
+        let rare_nets = self.candidates[..k].to_vec();
+        let num_chunks = self.bank.num_chunks();
+        let witnesses = WitnessBank::from_raw_parts(
+            self.bank.targets()[..k].to_vec(),
+            num_chunks,
+            self.bank.num_patterns(),
+            self.bank.raw_rows()[..k * num_chunks].to_vec(),
+            self.bank.source(),
+        );
+        RareNetAnalysis::from_raw_parts(
+            theta,
+            rare_nets,
+            self.probabilities.clone(),
+            Some(witnesses),
+        )
+    }
+
+    /// Rebuilds an estimate from its raw parts — the inverse of
+    /// [`RareNetEstimate::retain`] / [`RareNetEstimate::probabilities`] /
+    /// [`RareNetEstimate::bank`]. The candidate records are rederived from
+    /// the bank targets and the probabilities. Exists so callers persisting
+    /// an estimate (e.g. a disk-backed artifact cache) can round-trip it
+    /// bit-exactly without a serde dependency. `peak_retained_words` is not
+    /// part of the round-trip (it describes the original computation, not
+    /// the artifact) and is restored as zero.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `retain` is not in `(0, 0.5]`.
+    #[must_use]
+    pub fn from_raw_parts(
+        retain: f64,
+        probabilities: SignalProbabilities,
+        bank: WitnessBank,
+    ) -> Self {
+        assert!(
+            retain > 0.0 && retain <= 0.5,
+            "retention threshold must be in (0, 0.5]"
+        );
+        let candidates = bank
+            .targets()
+            .iter()
+            .map(|&(net, rare_value)| RareNet {
+                net,
+                rare_value,
+                probability: probabilities.rare_value(net).1,
+            })
+            .collect();
+        Self {
+            retain,
+            probabilities,
+            bank,
+            candidates,
+            peak_retained_words: 0,
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -344,5 +551,99 @@ mod tests {
     fn bad_threshold_panics() {
         let nl = samples::c17();
         let _ = RareNetAnalysis::exhaustive(&nl, 0.7);
+    }
+
+    /// The pre-split construction: estimate probabilities, threshold, then
+    /// replay the pattern stream to harvest witnesses for the rare nets.
+    /// Kept only as the reference the single-pass path is compared against.
+    fn legacy_two_pass(
+        netlist: &Netlist,
+        threshold: f64,
+        num_patterns: usize,
+        seed: u64,
+        exec: &Exec,
+    ) -> RareNetAnalysis {
+        let probabilities = SignalProbabilities::estimate_with(netlist, num_patterns, seed, exec);
+        let analysis = RareNetAnalysis::from_probabilities(netlist, threshold, probabilities);
+        let witnesses =
+            WitnessBank::harvest_with(netlist, &analysis.targets(), num_patterns, seed, exec);
+        RareNetAnalysis::from_raw_parts(
+            threshold,
+            analysis.rare_nets().to_vec(),
+            analysis.probabilities().clone(),
+            Some(witnesses),
+        )
+    }
+
+    fn assert_analyses_identical(a: &RareNetAnalysis, b: &RareNetAnalysis) {
+        assert_eq!(a.threshold(), b.threshold());
+        assert_eq!(a.rare_nets(), b.rare_nets());
+        assert_eq!(a.probabilities().as_slice(), b.probabilities().as_slice());
+        let (wa, wb) = (a.witnesses().unwrap(), b.witnesses().unwrap());
+        assert_eq!(wa.targets(), wb.targets());
+        assert_eq!(wa.num_patterns(), wb.num_patterns());
+        assert_eq!(wa.raw_rows(), wb.raw_rows());
+        assert_eq!(wa.source(), wb.source());
+    }
+
+    #[test]
+    fn single_pass_estimate_matches_legacy_two_pass_bit_exactly() {
+        let nl = BenchmarkProfile::c6288().scaled(10).generate(9);
+        for theta in [0.10, 0.14] {
+            let legacy = legacy_two_pass(&nl, theta, 2048, 1, &Exec::serial());
+            let single = RareNetAnalysis::estimate(&nl, theta, 2048, 1);
+            assert_analyses_identical(&legacy, &single);
+        }
+    }
+
+    #[test]
+    fn shared_estimate_rethresholds_to_per_theta_analyses() {
+        let nl = BenchmarkProfile::c6288().scaled(10).generate(9);
+        let estimate = RareNetEstimate::estimate(&nl, 0.14, 2048, 1);
+        for theta in [0.10, 0.11, 0.12, 0.13, 0.14] {
+            let direct = RareNetAnalysis::estimate(&nl, theta, 2048, 1);
+            let shared = estimate.threshold(theta);
+            assert_analyses_identical(&direct, &shared);
+        }
+        assert_eq!(estimate.num_candidates(), estimate.threshold(0.14).len());
+    }
+
+    #[test]
+    fn estimate_is_bit_identical_across_thread_counts() {
+        let nl = BenchmarkProfile::c2670().scaled(10).generate(4);
+        let serial = RareNetEstimate::estimate(&nl, 0.12, 1024, 3);
+        for threads in [2, 4] {
+            let exec = Exec::new(threads);
+            let parallel = RareNetEstimate::estimate_with(&nl, 0.12, 1024, 3, &exec);
+            assert_eq!(
+                serial.probabilities().as_slice(),
+                parallel.probabilities().as_slice(),
+                "{threads} threads"
+            );
+            assert_eq!(serial.bank().targets(), parallel.bank().targets());
+            assert_eq!(serial.bank().raw_rows(), parallel.bank().raw_rows());
+        }
+    }
+
+    #[test]
+    fn estimate_round_trips_through_raw_parts() {
+        let nl = BenchmarkProfile::c2670().scaled(10).generate(4);
+        let estimate = RareNetEstimate::estimate(&nl, 0.12, 1024, 3);
+        let rebuilt = RareNetEstimate::from_raw_parts(
+            estimate.retain(),
+            estimate.probabilities().clone(),
+            estimate.bank().clone(),
+        );
+        let (a, b) = (estimate.threshold(0.1), rebuilt.threshold(0.1));
+        assert_analyses_identical(&a, &b);
+        assert_eq!(rebuilt.peak_retained_words(), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the estimate's retention threshold")]
+    fn thresholding_above_retain_panics() {
+        let nl = samples::c17();
+        let estimate = RareNetEstimate::estimate(&nl, 0.1, 64, 1);
+        let _ = estimate.threshold(0.2);
     }
 }

@@ -2,9 +2,12 @@
 //! on the rare nets of a loose threshold (0.14) and evaluate the generated
 //! patterns against triggers built from the tight threshold (0.10).
 //!
-//! Both thresholds are session cells over one shared artifact store: each θ
-//! gets exactly one rare-net analysis, and the tight-θ cell never trains —
-//! its analysis exists only to source the adversary's triggers.
+//! Both thresholds are session cells over one shared artifact store. With
+//! the split analyze stage the expensive Monte-Carlo estimation runs **once**
+//! for the pair — the estimate artifact is keyed without θ — and each θ only
+//! pays a cheap re-thresholding of the shared probabilities. The tight-θ
+//! cell never trains; its analysis exists only to source the adversary's
+//! triggers.
 //!
 //! ```text
 //! cargo run --example threshold_transfer
@@ -23,13 +26,15 @@ fn main() {
         base = base.with_cache_dir(dir);
     }
     // `--cache-dir DIR` (or DETERRENT_CACHE_DIR) makes the shared store
-    // persistent: a second run serves both θ-analyses from disk.
+    // persistent: a second run serves the estimate and both θ-analyses
+    // from disk.
     let store = match base.resolved_cache_dir() {
         Some(dir) => ArtifactStore::with_disk(dir),
         None => ArtifactStore::new(),
     };
 
-    // One analysis per θ, via the session cache.
+    // One estimation for the pair, one cheap thresholding per θ — the
+    // session cache does the sharing; nothing here is hand-rolled.
     let mut loose_session =
         DeterrentSession::with_store(&netlist, base.clone().with_threshold(0.14), store.clone());
     let loose = loose_session.analyze();
@@ -52,9 +57,14 @@ fn main() {
     );
     let counters = store.counters();
     assert_eq!(
+        counters.estimate.misses + counters.estimate.disk_hits,
+        1,
+        "both θ cells share one Monte-Carlo estimation (computed cold, loaded from disk warm)"
+    );
+    assert_eq!(
         counters.analyze.misses + counters.analyze.disk_hits,
         2,
-        "exactly one analysis per θ (computed cold, loaded from disk warm)"
+        "exactly one (cheap) thresholding per θ"
     );
     assert_eq!(
         counters.build_graph.misses + counters.build_graph.disk_hits,

@@ -313,7 +313,7 @@ fn slim_and_full_policy_artifacts_produce_identical_greedy_rollouts() {
 fn per_stage_cap_keeps_cheap_stages_warm_across_campaign_reruns() {
     // The CI bounded-cache gate in miniature: a four-seed "campaign" run
     // against a cache whose per-stage cap only the train directory
-    // exceeds. The four cheap stages must be fully retained (and therefore
+    // exceeds. The five cheap stages must be fully retained (and therefore
     // fully warm on the rerun); train recomputes for the evicted cells.
     // A tight *global* LRU budget cannot promise this — a cyclic rescan of
     // a working set larger than the budget is the classic LRU scan
@@ -362,6 +362,7 @@ fn per_stage_cap_keeps_cheap_stages_warm_across_campaign_reruns() {
     }
     let counters = warm.counters();
     for (stage, c) in [
+        ("estimate", counters.estimate),
         ("analyze", counters.analyze),
         ("build_graph", counters.build_graph),
         ("select", counters.select),
@@ -389,13 +390,13 @@ fn maintenance_api_stats_verify_and_gc() {
 
     // Stats agree with a filesystem walk.
     let stats = cache_stats(&dir).expect("stats");
-    assert_eq!(stats.total_files(), 10, "two seeds × five stages");
+    assert_eq!(stats.total_files(), 12, "two seeds × six stages");
     assert_eq!(stats.total_bytes(), total_bytes(&dir));
 
     // A clean cache verifies clean (healing is a no-op).
     let clean = verify(&dir, true);
     assert!(clean.is_clean(), "{clean:?}");
-    assert_eq!(clean.valid, 10);
+    assert_eq!(clean.valid, 12);
 
     // Corrupt one artifact and orphan one sidecar.
     let victim = artifact_paths(&dir).pop().unwrap();

@@ -119,8 +119,8 @@ fn warm_from_disk_is_bit_identical_to_cold_at_any_thread_count() {
     let cold_store = ArtifactStore::with_disk(&dir);
     let cold = run_with(&nl, test_config().with_threads(1), &cold_store);
     assert_eq!(cold_store.counters().total_disk_hits(), 0, "cold run");
-    assert_eq!(cold_store.counters().total_misses(), 5);
-    assert_eq!(artifact_files(&dir).len(), 5, "one file per stage");
+    assert_eq!(cold_store.counters().total_misses(), 6);
+    assert_eq!(artifact_files(&dir).len(), 6, "one file per stage");
 
     // Fresh processes (fresh stores) at 1 and 4 threads recompute nothing:
     // thread counts are excluded from the keys, and the codec round-trips
@@ -134,7 +134,7 @@ fn warm_from_disk_is_bit_identical_to_cold_at_any_thread_count() {
             0,
             "warm at {threads} threads recomputes nothing: {counters:?}"
         );
-        assert_eq!(counters.total_disk_hits(), 5, "{threads} threads");
+        assert_eq!(counters.total_disk_hits(), 6, "{threads} threads");
         assert_eq!(counters.total_disk_corrupt(), 0, "{threads} threads");
         assert_bit_identical(
             &cold,
@@ -152,7 +152,7 @@ fn corrupt_truncated_and_version_mismatched_files_fall_back_to_recompute() {
     let cold = run_with(&nl, test_config(), &ArtifactStore::with_disk(&dir));
 
     let files = artifact_files(&dir);
-    assert_eq!(files.len(), 5);
+    assert_eq!(files.len(), 6);
     // Damage every stage's file a different way: garbage header, flipped
     // magic, truncated payload, wrong format version, flipped payload bit.
     for (i, path) in files.iter().enumerate() {
@@ -176,15 +176,15 @@ fn corrupt_truncated_and_version_mismatched_files_fall_back_to_recompute() {
     let recomputed = run_with(&nl, test_config(), &store);
     let counters = store.counters();
     assert_eq!(counters.total_disk_hits(), 0, "{counters:?}");
-    assert_eq!(counters.total_disk_corrupt(), 5, "{counters:?}");
-    assert_eq!(counters.total_misses(), 5, "{counters:?}");
+    assert_eq!(counters.total_disk_corrupt(), 6, "{counters:?}");
+    assert_eq!(counters.total_misses(), 6, "{counters:?}");
     assert_bit_identical(&cold, &recomputed, "recomputed over corrupt cache");
 
     // Recomputation overwrote the damaged files: a third run is fully warm.
     let healed = ArtifactStore::with_disk(&dir);
     let warm = run_with(&nl, test_config(), &healed);
     let counters = healed.counters();
-    assert_eq!(counters.total_disk_hits(), 5, "{counters:?}");
+    assert_eq!(counters.total_disk_hits(), 6, "{counters:?}");
     assert_eq!(counters.total_misses(), 0, "{counters:?}");
     assert_bit_identical(&cold, &warm, "healed cache");
     let _ = fs::remove_dir_all(&dir);
@@ -219,7 +219,7 @@ fn concurrent_sessions_sharing_one_cache_dir_do_not_interfere() {
     let counters = store.counters();
     assert_eq!(counters.total_misses(), 0, "{counters:?}");
     assert_eq!(counters.total_disk_corrupt(), 0, "{counters:?}");
-    assert_eq!(counters.total_disk_hits(), 5, "{counters:?}");
+    assert_eq!(counters.total_disk_hits(), 6, "{counters:?}");
     assert_bit_identical(&results[0], &warm, "warm after the race");
     // No stray temp files survived the writers — only artifacts, their
     // access-stamp sidecars, and the root generation-counter file.
