@@ -11,10 +11,12 @@
 //! produce the identical graph, so the ratio is a pure wall-clock speedup.
 //!
 //! Usage: `funnel [--scale N] [--seed N] [--theta F] [--patterns N]
-//! [--threads N] [--limit K] [--min-speedup F] [--cache-dir DIR]`
+//! [--threads N] [--limit K] [--min-speedup F] [--cache-dir DIR]
+//! [--solver modern|legacy] [--expect-reduction] [--max-decision-regression P]
+//! [--cap-min N]`
 //! (defaults match the
 //! acceptance profile: c2670 at scale 20, θ = 0.2, and the paper's 100k
-//! random-pattern budget). The enumeration tier defaults to the adaptive
+//! random-pattern budget). The enumeration tier defaults to the self-tuning
 //! per-pair cost model; `--limit K` overrides it with the legacy fixed
 //! support cutoff (`--limit 0` disables enumeration). `--threads 0` resolves
 //! via `DETERRENT_THREADS`/available cores. A non-zero `--min-speedup` turns
@@ -24,6 +26,16 @@
 //! artifact cache at DIR, so repeat invocations skip the most expensive
 //! untimed step; the timed funnel phases always recompute — they are the
 //! measurement.
+//!
+//! `--solver legacy` selects the pre-deletion CDCL configuration (geometric
+//! restarts, no learned-clause deletion) for differential comparisons.
+//! `--expect-reduction` gates on the learned-clause database actually being
+//! reduced at least once (and staying bounded below the total learned).
+//! `--max-decision-regression P` rebuilds the funnel with the legacy solver
+//! and fails if the modern configuration spends more than P% extra SAT
+//! decisions. `--cap-min N` forces the learned-clause cap floor to N (and
+//! drops the `originals / 3` term), so reductions demonstrably fire even on
+//! small instances that learn few clauses.
 
 use std::path::PathBuf;
 use std::time::{Duration, Instant};
@@ -35,6 +47,7 @@ use deterrent_core::{
 use exec::Exec;
 use netlist::synth::BenchmarkProfile;
 use netlist::Netlist;
+use sat::SolverConfig;
 use sim::rare::RareNetAnalysis;
 
 struct Args {
@@ -48,15 +61,39 @@ struct Args {
     min_speedup: f64,
     /// Persistent artifact-cache directory for the all-SAT reference graph.
     cache_dir: Option<PathBuf>,
+    /// `true` selects the pre-deletion solver (geometric restarts, no
+    /// learned-clause deletion).
+    solver_legacy: bool,
+    /// Gate: the learned-clause database must have been reduced ≥ 1 time.
+    expect_reduction: bool,
+    /// Gate: max % of extra SAT decisions vs. the legacy solver (0 = off).
+    max_decision_regression: f64,
+    /// Override of the solver's learned-clause cap floor. Also drops the
+    /// MiniSat-style `originals / 3` term so the override actually binds on
+    /// small instances (where few clauses are ever learned).
+    cap_min: Option<u64>,
 }
 
 impl Args {
     fn enumeration(&self) -> EnumerationBudget {
         match self.limit {
-            None => EnumerationBudget::adaptive(),
+            None => EnumerationBudget::self_tuning(),
             Some(0) => EnumerationBudget::Disabled,
             Some(k) => EnumerationBudget::FixedSupportLimit(k),
         }
+    }
+
+    fn solver(&self) -> SolverConfig {
+        let mut config = if self.solver_legacy {
+            SolverConfig::legacy()
+        } else {
+            SolverConfig::default()
+        };
+        if let Some(cap) = self.cap_min {
+            config.learnt_cap_min = cap;
+            config.learnt_cap_origin_divisor = 0;
+        }
+        config
     }
 }
 
@@ -70,6 +107,10 @@ fn parse_args() -> Args {
         limit: None,
         min_speedup: 0.0,
         cache_dir: None,
+        solver_legacy: false,
+        expect_reduction: false,
+        max_decision_regression: 0.0,
+        cap_min: None,
     };
     // A typo here would otherwise run the acceptance gate on the default
     // configuration while claiming the requested one, so parse strictly.
@@ -92,9 +133,28 @@ fn parse_args() -> Args {
             ("--limit", Some(v)) => args.limit = Some(parse_or_die("--limit", v)),
             ("--min-speedup", Some(v)) => args.min_speedup = parse_or_die("--min-speedup", v),
             ("--cache-dir", Some(v)) => args.cache_dir = Some(PathBuf::from(v)),
+            ("--solver", Some(v)) => {
+                args.solver_legacy = match v.as_str() {
+                    "legacy" => true,
+                    "modern" => false,
+                    other => {
+                        eprintln!("error: --solver must be 'modern' or 'legacy', got {other:?}");
+                        std::process::exit(2);
+                    }
+                }
+            }
+            ("--expect-reduction", _) => {
+                args.expect_reduction = true;
+                i += 1;
+                continue;
+            }
+            ("--max-decision-regression", Some(v)) => {
+                args.max_decision_regression = parse_or_die("--max-decision-regression", v);
+            }
+            ("--cap-min", Some(v)) => args.cap_min = Some(parse_or_die("--cap-min", v)),
             (flag, _) => {
                 eprintln!(
-                    "error: unknown or valueless flag {flag:?} (expected --scale/--seed/--theta/--patterns/--threads/--limit/--min-speedup/--cache-dir <value>)"
+                    "error: unknown or valueless flag {flag:?} (expected --scale/--seed/--theta/--patterns/--threads/--limit/--min-speedup/--cache-dir/--solver/--max-decision-regression/--cap-min <value> or --expect-reduction)"
                 );
                 std::process::exit(2);
             }
@@ -130,6 +190,7 @@ fn offline_phase(
             threads: threads.max(1),
             strategy: CompatStrategy::Funnel(FunnelOptions {
                 enumeration: args.enumeration(),
+                solver: args.solver(),
                 ..FunnelOptions::default()
             }),
         },
@@ -174,14 +235,27 @@ fn main() {
         threads,
     );
     match args.enumeration() {
+        EnumerationBudget::SelfTuning { probe_pairs, .. } => {
+            println!(
+                "enumeration budget: self-tuning per-pair cost model, {probe_pairs} probes (default)"
+            );
+        }
         EnumerationBudget::Adaptive { .. } => {
-            println!("enumeration budget: adaptive per-pair cost model (default)");
+            println!("enumeration budget: adaptive per-pair cost model");
         }
         EnumerationBudget::FixedSupportLimit(k) => {
             println!("enumeration budget: fixed support limit {k} (--limit override)");
         }
         EnumerationBudget::Disabled => println!("enumeration budget: disabled (--limit 0)"),
     }
+    println!(
+        "solver: {}",
+        if args.solver_legacy {
+            "legacy (geometric restarts, no clause deletion)"
+        } else {
+            "modern (Luby restarts, learned-clause deletion)"
+        }
+    );
 
     // ── Deterministic parallel speedup of the offline phase. ───────────────
     let (serial_analysis, serial_graph, serial_time) = timed_phase(&netlist, &args, 1);
@@ -320,7 +394,80 @@ fn main() {
         "offline phase wall clock: {serial_time:.1?} (1 thread) -> {parallel_time:.1?} ({threads} thread(s)): {speedup:.2}x speedup"
     );
 
+    // ── SAT-core internals of the funnel build (greppable one-liners). ─────
+    let sv = fs.solver;
+    println!(
+        "\nsolver counters: decisions={} conflicts={} propagations={} restarts={}",
+        sv.decisions, sv.conflicts, sv.propagations, sv.restarts
+    );
+    println!(
+        "learned clauses: learned={} deleted={} reduces={} peak_live={}",
+        sv.learned_clauses, sv.deleted_clauses, sv.reduces, sv.peak_learnts
+    );
+    if fs.budget_self_tuned {
+        println!(
+            "budget self-tuned: base={} per_gate={} word ops from {} probe(s)",
+            fs.budget_sat_base_word_ops, fs.budget_sat_per_gate_word_ops, fs.budget_probe_queries
+        );
+    }
+
     let mut failed = false;
+    if args.expect_reduction {
+        // "Bounded" means deletion actually held the live learned set below
+        // the total ever learned — not merely that the reducer ran.
+        if sv.reduces >= 1 && sv.deleted_clauses >= 1 && sv.peak_learnts < sv.learned_clauses {
+            println!(
+                "acceptance: learned-clause DB reduced {}x, peak {} of {} learned ✓",
+                sv.reduces, sv.peak_learnts, sv.learned_clauses
+            );
+        } else {
+            println!(
+                "acceptance: FAILED — expected learned-clause reduction (reduces={} deleted={} peak={} learned={})",
+                sv.reduces, sv.deleted_clauses, sv.peak_learnts, sv.learned_clauses
+            );
+            failed = true;
+        }
+    }
+    if args.max_decision_regression > 0.0 {
+        let legacy_args = Args {
+            scale: args.scale,
+            seed: args.seed,
+            theta: args.theta,
+            patterns: args.patterns,
+            threads: args.threads,
+            limit: args.limit,
+            min_speedup: 0.0,
+            cache_dir: None,
+            solver_legacy: true,
+            expect_reduction: false,
+            max_decision_regression: 0.0,
+            cap_min: None,
+        };
+        let (_, legacy_graph, _) = offline_phase(&netlist, &legacy_args, threads);
+        assert_eq!(
+            legacy_graph.adjacency(),
+            funnel.adjacency(),
+            "legacy-solver funnel must produce the identical adjacency"
+        );
+        let legacy_decisions = legacy_graph.stats().solver.decisions;
+        let ceiling = legacy_decisions as f64 * (1.0 + args.max_decision_regression / 100.0);
+        println!(
+            "decision comparison: modern={} legacy={} (ceiling {:.0})",
+            sv.decisions, legacy_decisions, ceiling
+        );
+        if (sv.decisions as f64) <= ceiling {
+            println!(
+                "acceptance: SAT decisions within {:.0}% of the legacy solver ✓",
+                args.max_decision_regression
+            );
+        } else {
+            println!(
+                "acceptance: FAILED — modern solver spends {:.1}% more decisions than legacy",
+                100.0 * (sv.decisions as f64 / legacy_decisions.max(1) as f64 - 1.0)
+            );
+            failed = true;
+        }
+    }
     if pairwise_reduction >= 5.0 {
         println!("acceptance: ≥5x pairwise SAT reduction ✓");
     } else {

@@ -133,18 +133,39 @@ fn fp_budget(fp: Fp, budget: &EnumerationBudget) -> Fp {
             .u64(sat_base_word_ops)
             .u64(sat_per_gate_word_ops)
             .u64(u64::from(max_support)),
+        EnumerationBudget::SelfTuning {
+            probe_pairs,
+            max_support,
+        } => fp
+            .u64(3)
+            .u64(probe_pairs as u64)
+            .u64(u64::from(max_support)),
     }
+}
+
+fn fp_solver(fp: Fp, config: &sat::SolverConfig) -> Fp {
+    let fp = match config.restarts {
+        sat::RestartPolicy::Luby { unit } => fp.u64(0).u64(unit),
+        sat::RestartPolicy::Geometric { first } => fp.u64(1).u64(first),
+    };
+    fp.bool(config.clause_deletion)
+        .u64(config.learnt_cap_min)
+        .u64(config.learnt_cap_growth_percent)
+        .u64(config.learnt_cap_origin_divisor)
 }
 
 fn fp_compat(fp: Fp, config: &CompatConfig) -> Fp {
     match config.strategy {
         crate::CompatStrategy::AllSat => fp.u64(0),
-        crate::CompatStrategy::Funnel(f) => fp_budget(
-            fp.u64(1)
-                .bool(f.sim_witnesses)
-                .bool(f.structural_pruning)
-                .bool(f.cone_sat),
-            &f.enumeration,
+        crate::CompatStrategy::Funnel(f) => fp_solver(
+            fp_budget(
+                fp.u64(1)
+                    .bool(f.sim_witnesses)
+                    .bool(f.structural_pruning)
+                    .bool(f.cone_sat),
+                &f.enumeration,
+            ),
+            &f.solver,
         ),
     }
 }

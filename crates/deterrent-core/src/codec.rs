@@ -105,8 +105,9 @@ const MAGIC: [u8; 8] = *b"DTRNTC\x01\n";
 /// corrupt and are silently recomputed. Version 2 introduced the
 /// train-stage payload variant tag (full vs slim); version 3 split the
 /// fused analyze artifact into estimate (stage tag 6) + re-keyed
-/// threshold payloads.
-pub(crate) const FORMAT_VERSION: u32 = 3;
+/// threshold payloads; version 4 extended `CompatStats` with SAT solver
+/// counters and self-tuned enumeration-budget fields.
+pub(crate) const FORMAT_VERSION: u32 = 4;
 
 const HEADER_LEN: usize = 40;
 
@@ -636,6 +637,18 @@ fn w_stats(w: &mut Writer, stats: &CompatStats) {
     w.u64(stats.tier1_nanos);
     w.u64(stats.tier2_nanos);
     w.u64(stats.tier3_nanos);
+    w.u64(stats.solver.conflicts);
+    w.u64(stats.solver.decisions);
+    w.u64(stats.solver.propagations);
+    w.u64(stats.solver.learned_clauses);
+    w.u64(stats.solver.restarts);
+    w.u64(stats.solver.reduces);
+    w.u64(stats.solver.deleted_clauses);
+    w.u64(stats.solver.peak_learnts);
+    w.u64(stats.budget_sat_base_word_ops);
+    w.u64(stats.budget_sat_per_gate_word_ops);
+    w.u64(stats.budget_probe_queries);
+    w.bool(stats.budget_self_tuned);
 }
 
 fn r_stats(r: &mut Reader<'_>) -> Decode<CompatStats> {
@@ -653,6 +666,20 @@ fn r_stats(r: &mut Reader<'_>) -> Decode<CompatStats> {
         tier1_nanos: r.u64()?,
         tier2_nanos: r.u64()?,
         tier3_nanos: r.u64()?,
+        solver: sat::SolverStats {
+            conflicts: r.u64()?,
+            decisions: r.u64()?,
+            propagations: r.u64()?,
+            learned_clauses: r.u64()?,
+            restarts: r.u64()?,
+            reduces: r.u64()?,
+            deleted_clauses: r.u64()?,
+            peak_learnts: r.u64()?,
+        },
+        budget_sat_base_word_ops: r.u64()?,
+        budget_sat_per_gate_word_ops: r.u64()?,
+        budget_probe_queries: r.u64()?,
+        budget_self_tuned: r.bool()?,
     })
 }
 

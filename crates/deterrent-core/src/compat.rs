@@ -29,7 +29,7 @@ use std::time::Instant;
 
 use exec::Exec;
 use netlist::{InputSupports, NetId, Netlist};
-use sat::{CircuitOracle, ConeOracle};
+use sat::{CircuitOracle, ConeOracle, SolverConfig, SolverStats};
 use sim::rare::{RareNet, RareNetAnalysis};
 use sim::{ConeSimulator, TestPattern, WitnessBank};
 
@@ -70,6 +70,29 @@ pub enum EnumerationBudget {
         /// Hard support ceiling regardless of the model's verdict.
         max_support: u32,
     },
+    /// The default: fit the [`EnumerationBudget::Adaptive`] constants online,
+    /// per netlist, instead of shipping calibrated ones. After tier 1 and
+    /// structural pruning, the first `probe_pairs` unresolved pairs that the
+    /// *calibrated* model would send to SAT anyway are resolved by SAT on
+    /// the calling thread (so the fit — and therefore the enumerate/SAT
+    /// split — is identical at every thread count), measuring the solver's
+    /// decision/propagation counters per query against the pair's union
+    /// cone size; a clamped least-squares affine fit of those samples
+    /// becomes the `Adaptive` model for the remaining pairs. The clamp
+    /// floor is the calibrated model itself, so self-tuning only ever
+    /// grants *more* enumeration — which is why probing calibrated-SAT-bound
+    /// pairs costs zero extra queries: each probe verdict replaces a tier-3
+    /// query that was coming regardless. The singleton stage, which runs
+    /// before any pair exists to probe, uses the calibrated
+    /// [`EnumerationBudget::adaptive`] constants.
+    SelfTuning {
+        /// How many SAT-bound pairs to spend on probe SAT queries. The
+        /// probes are not wasted: their verdicts land in the adjacency like
+        /// any tier-3 pair.
+        probe_pairs: u32,
+        /// Hard support ceiling regardless of the fitted model's verdict.
+        max_support: u32,
+    },
 }
 
 impl EnumerationBudget {
@@ -93,12 +116,26 @@ impl EnumerationBudget {
         }
     }
 
+    /// The default self-tuning cost model: probe 8 unresolved pairs with SAT
+    /// and fit the `Adaptive` constants from the measured solver counters.
+    /// See [`EnumerationBudget::SelfTuning`].
+    #[must_use]
+    pub fn self_tuning() -> Self {
+        Self::SelfTuning {
+            probe_pairs: 8,
+            max_support: 26,
+        }
+    }
+
     /// Whether enumeration is enabled at all.
     #[must_use]
     pub fn is_enabled(&self) -> bool {
         !matches!(
             self,
-            Self::Disabled | Self::FixedSupportLimit(0) | Self::Adaptive { max_support: 0, .. }
+            Self::Disabled
+                | Self::FixedSupportLimit(0)
+                | Self::Adaptive { max_support: 0, .. }
+                | Self::SelfTuning { max_support: 0, .. }
         )
     }
 
@@ -108,17 +145,39 @@ impl EnumerationBudget {
         match *self {
             Self::Disabled => 0,
             Self::FixedSupportLimit(limit) => limit.min(26),
-            Self::Adaptive { max_support, .. } => max_support.min(26),
+            Self::Adaptive { max_support, .. } | Self::SelfTuning { max_support, .. } => {
+                max_support.min(26)
+            }
         }
     }
 
     /// Whether a query with the given union support and cone size should be
-    /// enumerated.
+    /// enumerated. For [`EnumerationBudget::SelfTuning`] this applies the
+    /// calibrated [`EnumerationBudget::adaptive`] constants — the fitted
+    /// constants only exist inside a build, which resolves the variant to
+    /// `Adaptive` after probing (this fallback is what the singleton stage
+    /// uses).
     #[must_use]
     pub fn admits(&self, support: u32, cone_size: usize) -> bool {
         match *self {
             Self::Disabled => false,
             Self::FixedSupportLimit(limit) => support <= limit.min(26),
+            Self::SelfTuning { max_support, .. } => {
+                let Self::Adaptive {
+                    sat_base_word_ops,
+                    sat_per_gate_word_ops,
+                    ..
+                } = Self::adaptive()
+                else {
+                    unreachable!()
+                };
+                Self::Adaptive {
+                    sat_base_word_ops,
+                    sat_per_gate_word_ops,
+                    max_support,
+                }
+                .admits(support, cone_size)
+            }
             Self::Adaptive {
                 sat_base_word_ops,
                 sat_per_gate_word_ops,
@@ -137,6 +196,56 @@ impl EnumerationBudget {
     }
 }
 
+/// Word-op-equivalent cost proxy of one probe SAT query, from the solver's
+/// own counters. The flat term stands in for encode/setup work the counters
+/// cannot see; the weights are scaled so the proxy lives on the same axis as
+/// the enumeration cost (`2^support / 64 · cone` word ops).
+fn probe_cost_word_ops(decisions: u64, propagations: u64) -> u64 {
+    (1u64 << 16)
+        .saturating_add(decisions.saturating_mul(768))
+        .saturating_add(propagations.saturating_mul(24))
+}
+
+/// Clamped least-squares affine fit `cost ≈ base + per_gate · cone` over the
+/// probe samples `(cone_gates, cost_word_ops)`. Falls back to the calibrated
+/// [`EnumerationBudget::adaptive`] constants when the samples are too few or
+/// degenerate (all probes on equal-sized cones).
+///
+/// The calibrated constants are the clamp *floor*, not the midpoint:
+/// self-tuning only ever grants *more* enumeration than the calibrated
+/// model, never less. The cost proxy cannot see the oracle's encode/setup
+/// overhead (the flat term is a stand-in), so a downward fit would trade
+/// SAT queries — the quantity the funnel exists to minimize — against an
+/// understated estimate. Fitting upward is safe: it means the probes proved
+/// real SAT queries cost more than the calibrated model assumed.
+fn fit_enumeration_budget(samples: &[(u64, u64)]) -> (u64, u64) {
+    const DEFAULT_BASE: u64 = 1 << 18;
+    const DEFAULT_PER_GATE: u64 = 256;
+    const BASE_RANGE: (f64, f64) = (DEFAULT_BASE as f64, (1u64 << 22) as f64);
+    const PER_GATE_RANGE: (f64, f64) = (DEFAULT_PER_GATE as f64, 4096.0);
+    if samples.len() < 2 {
+        return (DEFAULT_BASE, DEFAULT_PER_GATE);
+    }
+    let n = samples.len() as f64;
+    let mean_g = samples.iter().map(|&(g, _)| g as f64).sum::<f64>() / n;
+    let mean_c = samples.iter().map(|&(_, c)| c as f64).sum::<f64>() / n;
+    let var_g = samples
+        .iter()
+        .map(|&(g, _)| (g as f64 - mean_g).powi(2))
+        .sum::<f64>();
+    let per_gate = if var_g > 0.0 {
+        let cov = samples
+            .iter()
+            .map(|&(g, c)| (g as f64 - mean_g) * (c as f64 - mean_c))
+            .sum::<f64>();
+        (cov / var_g).clamp(PER_GATE_RANGE.0, PER_GATE_RANGE.1)
+    } else {
+        DEFAULT_PER_GATE as f64
+    };
+    let base = (mean_c - per_gate * mean_g).clamp(BASE_RANGE.0, BASE_RANGE.1);
+    (base as u64, per_gate as u64)
+}
+
 /// Per-tier toggles of the compatibility funnel. Disabling a tier pushes its
 /// pairs down to the next one; with everything off the funnel degenerates to
 /// the all-SAT baseline (on whole-netlist oracles).
@@ -148,12 +257,18 @@ pub struct FunnelOptions {
     pub structural_pruning: bool,
     /// Tier 2: when bounded exhaustive cone enumeration runs (the only
     /// SAT-free tier that can prove a pair *incompatible*). Defaults to the
-    /// adaptive per-pair cost model.
+    /// self-tuning per-pair cost model.
     pub enumeration: EnumerationBudget,
     /// Tier 3 flavour: `true` uses lazy cone-restricted incremental oracles,
     /// `false` uses whole-netlist oracles (one per worker, as the paper
     /// does).
     pub cone_sat: bool,
+    /// Configuration of every CDCL solver the build creates (restart policy,
+    /// clause deletion). Verdicts — and therefore the adjacency — are
+    /// solver-configuration-independent; only the work to reach them
+    /// changes. `SolverConfig::legacy()` selects the pre-deletion solver for
+    /// differential comparisons.
+    pub solver: SolverConfig,
 }
 
 impl Default for FunnelOptions {
@@ -161,8 +276,9 @@ impl Default for FunnelOptions {
         Self {
             sim_witnesses: true,
             structural_pruning: true,
-            enumeration: EnumerationBudget::adaptive(),
+            enumeration: EnumerationBudget::self_tuning(),
             cone_sat: true,
+            solver: SolverConfig::default(),
         }
     }
 }
@@ -229,11 +345,30 @@ pub struct CompatStats {
     pub threads_used: usize,
     /// Wall nanoseconds spent in tier 1 (joint-witness sweep).
     pub tier1_nanos: u64,
-    /// Wall nanoseconds spent in tier 2 (structural pruning + bounded cone
-    /// enumeration).
+    /// Wall nanoseconds spent in tier 2 (structural pruning + budget probe +
+    /// bounded cone enumeration).
     pub tier2_nanos: u64,
     /// Wall nanoseconds spent in tier 3 (SAT on the survivors).
     pub tier3_nanos: u64,
+    /// Aggregate CDCL statistics over every solver the build created
+    /// (singleton/probe oracle + per-worker tier-3 oracles). Totals depend
+    /// on how tier 3 was chunked across workers, so they are
+    /// scheduling-dependent — unlike the adjacency and the tier pair
+    /// counts.
+    pub solver: SolverStats,
+    /// Effective `sat_base_word_ops` of the enumeration cost model (fitted
+    /// when `budget_self_tuned`, configured for `Adaptive`, 0 otherwise).
+    /// The probe runs sequentially on deterministically-ordered pairs, so
+    /// fitted constants are identical at every thread count.
+    pub budget_sat_base_word_ops: u64,
+    /// Effective `sat_per_gate_word_ops` of the enumeration cost model.
+    pub budget_sat_per_gate_word_ops: u64,
+    /// Pairwise SAT queries spent probing for the self-tuning fit (also
+    /// counted in `pairs_sat_resolved` — probe verdicts land in the
+    /// adjacency like any tier-3 pair).
+    pub budget_probe_queries: u64,
+    /// Whether the enumeration cost model was fitted online.
+    pub budget_self_tuned: bool,
 }
 
 impl CompatStats {
@@ -272,11 +407,11 @@ enum PairOracle<'a> {
 }
 
 impl<'a> PairOracle<'a> {
-    fn new(netlist: &'a Netlist, cone: bool) -> Self {
+    fn new(netlist: &'a Netlist, cone: bool, solver: SolverConfig) -> Self {
         if cone {
-            PairOracle::Cone(Box::new(ConeOracle::new(netlist)))
+            PairOracle::Cone(Box::new(ConeOracle::with_config(netlist, solver)))
         } else {
-            PairOracle::Full(Box::new(CircuitOracle::new(netlist)))
+            PairOracle::Full(Box::new(CircuitOracle::with_config(netlist, solver)))
         }
     }
 
@@ -284,6 +419,13 @@ impl<'a> PairOracle<'a> {
         match self {
             PairOracle::Cone(o) => o.is_compatible(targets),
             PairOracle::Full(o) => o.is_compatible(targets),
+        }
+    }
+
+    fn solver_stats(&self) -> SolverStats {
+        match self {
+            PairOracle::Cone(o) => o.solver_stats(),
+            PairOracle::Full(o) => o.solver_stats(),
         }
     }
 }
@@ -364,6 +506,7 @@ impl CompatibilityGraph {
                 structural_pruning: false,
                 enumeration: EnumerationBudget::Disabled,
                 cone_sat: false,
+                solver: SolverConfig::default(),
             },
             CompatStrategy::Funnel(f) => f,
         };
@@ -380,10 +523,14 @@ impl CompatibilityGraph {
             None
         };
 
-        let budget = funnel.enumeration;
-        let mut cone_sim = budget
+        // The configured budget drives the singleton stage (for SelfTuning:
+        // with calibrated fallback constants — there is nothing to probe
+        // before pairs exist); the pairwise budget is resolved after the
+        // probe below.
+        let configured_budget = funnel.enumeration;
+        let mut cone_sim = configured_budget
             .is_enabled()
-            .then(|| ConeSimulator::new(netlist, budget.support_ceiling()));
+            .then(|| ConeSimulator::new(netlist, configured_budget.support_ceiling()));
 
         // ── Singleton stage: keep only individually justifiable nets. ──────
         // The oracle is created on first SAT need; with witnesses attached it
@@ -398,14 +545,14 @@ impl CompatibilityGraph {
                 true
             } else if let Some(verdict) = cone_sim
                 .as_mut()
-                .and_then(|d| d.decide_if(&target, |k, cone| budget.admits(k, cone)))
+                .and_then(|d| d.decide_if(&target, |k, cone| configured_budget.admits(k, cone)))
             {
                 stats.singleton_sim_resolved += 1;
                 verdict
             } else {
                 stats.singleton_sat_queries += 1;
                 singleton_oracle
-                    .get_or_insert_with(|| PairOracle::new(netlist, funnel.cone_sat))
+                    .get_or_insert_with(|| PairOracle::new(netlist, funnel.cone_sat, funnel.solver))
                     .is_compatible(&target)
             };
             if justifiable {
@@ -426,6 +573,9 @@ impl CompatibilityGraph {
             CompatStrategy::AllSat => None,
         };
         if n == 0 {
+            if let Some(oracle) = &singleton_oracle {
+                stats.solver.merge(&oracle.solver_stats());
+            }
             return Self {
                 rare_nets,
                 adjacency,
@@ -488,6 +638,121 @@ impl CompatibilityGraph {
                 }
             });
         }
+        // ── Self-tuning probe: resolve a deterministic prefix of the
+        // unresolved pairs by SAT on the calling thread, measuring the
+        // solver's counters against each pair's union cone size, and fit the
+        // adaptive cost model from the samples. Sequential by design — the
+        // fitted constants (and with them the enumerate/SAT split) must be
+        // identical at every thread count.
+        let budget = if let EnumerationBudget::SelfTuning {
+            probe_pairs,
+            max_support,
+        } = configured_budget
+        {
+            // Only pairs the *calibrated* model already sends to SAT are
+            // probed. Because the fitted constants are clamped at or above
+            // the calibrated ones (see `fit_enumeration_budget`), any pair
+            // the calibrated model admits for enumeration is also admitted
+            // by the fitted model — probing it would spend a SAT query on a
+            // pair enumeration resolves for free. Probing only SAT-bound
+            // pairs makes self-tuning free in query count: every probe
+            // verdict replaces a tier-3 query that was coming anyway. The
+            // scan prefix is bounded so an all-enumerable workload does not
+            // pay a full extra cone-sizing sweep.
+            let calibrated = match EnumerationBudget::adaptive() {
+                EnumerationBudget::Adaptive {
+                    sat_base_word_ops,
+                    sat_per_gate_word_ops,
+                    ..
+                } => EnumerationBudget::Adaptive {
+                    sat_base_word_ops,
+                    sat_per_gate_word_ops,
+                    max_support,
+                },
+                _ => unreachable!("adaptive() is the Adaptive variant"),
+            };
+            let scan_cap = (probe_pairs as usize).saturating_mul(32).max(256);
+            let mut samples: Vec<(u64, u64)> = Vec::with_capacity(probe_pairs as usize);
+            let mut probed = vec![false; unresolved.len()];
+            let mut num_probed = 0usize;
+            if probe_pairs > 0 && !unresolved.is_empty() {
+                let oracle = singleton_oracle.get_or_insert_with(|| {
+                    PairOracle::new(netlist, funnel.cone_sat, funnel.solver)
+                });
+                for (idx, &(i, j)) in unresolved.iter().enumerate().take(scan_cap) {
+                    if num_probed >= probe_pairs as usize {
+                        break;
+                    }
+                    let targets = [
+                        (rare_nets[i].net, rare_nets[i].rare_value),
+                        (rare_nets[j].net, rare_nets[j].rare_value),
+                    ];
+                    // Measure the union cone without enumerating it (the
+                    // admit closure declines the query after recording).
+                    // The closure is not called when the union support
+                    // exceeds the simulator ceiling — such pairs are
+                    // SAT-bound under any fitted constants (no cone sample,
+                    // but the verdict still counts).
+                    let mut measured: Option<(u32, usize)> = None;
+                    if let Some(cs) = cone_sim.as_mut() {
+                        let _ = cs.decide_if(&targets, |support, cone| {
+                            measured = Some((support, cone));
+                            false
+                        });
+                    }
+                    if let Some((support, cone)) = measured {
+                        if calibrated.admits(support, cone) {
+                            continue; // enumeration resolves this pair for free
+                        }
+                    }
+                    let before = oracle.solver_stats();
+                    let compatible = oracle.is_compatible(&targets);
+                    let after = oracle.solver_stats();
+                    adjacency[i * n + j] = compatible;
+                    adjacency[j * n + i] = compatible;
+                    stats.pairs_sat_resolved += 1;
+                    stats.budget_probe_queries += 1;
+                    probed[idx] = true;
+                    num_probed += 1;
+                    if let Some((_, cone)) = measured {
+                        samples.push((
+                            cone as u64,
+                            probe_cost_word_ops(
+                                after.decisions - before.decisions,
+                                after.propagations - before.propagations,
+                            ),
+                        ));
+                    }
+                }
+                if num_probed > 0 {
+                    let mut idx = 0;
+                    unresolved.retain(|_| {
+                        let keep = !probed[idx];
+                        idx += 1;
+                        keep
+                    });
+                }
+            }
+            let (base, per_gate) = fit_enumeration_budget(&samples);
+            stats.budget_self_tuned = true;
+            EnumerationBudget::Adaptive {
+                sat_base_word_ops: base,
+                sat_per_gate_word_ops: per_gate,
+                max_support,
+            }
+        } else {
+            configured_budget
+        };
+        if let EnumerationBudget::Adaptive {
+            sat_base_word_ops,
+            sat_per_gate_word_ops,
+            ..
+        } = budget
+        {
+            stats.budget_sat_base_word_ops = sat_base_word_ops;
+            stats.budget_sat_per_gate_word_ops = sat_per_gate_word_ops;
+        }
+
         if cone_sim.is_some() && !unresolved.is_empty() {
             // Enumeration is the funnel's dominant SAT-free cost (up to
             // `2^ceiling` packed assignments per pair), so it fans out across
@@ -524,15 +789,15 @@ impl CompatibilityGraph {
 
         // ── Tier 3: SAT on the survivors. ──────────────────────────────────
         let tier3_start = Instant::now();
-        stats.pairs_sat_resolved = unresolved.len() as u64;
+        stats.pairs_sat_resolved += unresolved.len() as u64;
         let results: Vec<(usize, usize, bool)> = if unresolved.is_empty() {
             Vec::new()
         } else if exec.threads() <= 1 || unresolved.len() < 64 {
-            // Reuse the singleton-stage oracle when one was built: its
+            // Reuse the singleton/probe-stage oracle when one was built: its
             // encoding work and learned clauses carry over into the pairwise
             // queries.
-            let mut oracle =
-                singleton_oracle.unwrap_or_else(|| PairOracle::new(netlist, funnel.cone_sat));
+            let oracle = singleton_oracle
+                .get_or_insert_with(|| PairOracle::new(netlist, funnel.cone_sat, funnel.solver));
             unresolved
                 .iter()
                 .map(|&(i, j)| {
@@ -544,11 +809,14 @@ impl CompatibilityGraph {
                 })
                 .collect()
         } else {
+            // One worker's tier-3 output: pair verdicts plus its oracle's
+            // aggregate CDCL counters.
+            type RangeVerdicts = (Vec<(usize, usize, bool)>, SolverStats);
             let rare_nets = &rare_nets;
             let unresolved = &unresolved;
-            exec.par_ranges(unresolved.len(), move |range| {
-                let mut oracle = PairOracle::new(netlist, funnel.cone_sat);
-                range
+            let per_range: Vec<RangeVerdicts> = exec.par_ranges(unresolved.len(), move |range| {
+                let mut oracle = PairOracle::new(netlist, funnel.cone_sat, funnel.solver);
+                let verdicts = range
                     .map(|idx| {
                         let (i, j) = unresolved[idx];
                         let compatible = oracle.is_compatible(&[
@@ -557,17 +825,24 @@ impl CompatibilityGraph {
                         ]);
                         (i, j, compatible)
                     })
-                    .collect::<Vec<_>>()
-            })
-            .into_iter()
-            .flatten()
-            .collect()
+                    .collect::<Vec<_>>();
+                (verdicts, oracle.solver_stats())
+            });
+            let mut flat = Vec::with_capacity(unresolved.len());
+            for (verdicts, solver) in per_range {
+                flat.extend(verdicts);
+                stats.solver.merge(&solver);
+            }
+            flat
         };
         for (i, j, compatible) in results {
             adjacency[i * n + j] = compatible;
             adjacency[j * n + i] = compatible;
         }
         stats.tier3_nanos = tier3_start.elapsed().as_nanos() as u64;
+        if let Some(oracle) = &singleton_oracle {
+            stats.solver.merge(&oracle.solver_stats());
+        }
 
         Self {
             rare_nets,
@@ -797,6 +1072,26 @@ mod tests {
                     enumeration: EnumerationBudget::Disabled,
                     ..FunnelOptions::default()
                 },
+                // Pre-self-tuning default: fixed calibrated adaptive budget.
+                FunnelOptions {
+                    enumeration: EnumerationBudget::adaptive(),
+                    ..FunnelOptions::default()
+                },
+                // Legacy solver: geometric restarts, no clause deletion.
+                FunnelOptions {
+                    solver: SolverConfig::legacy(),
+                    ..FunnelOptions::default()
+                },
+                // Self-tuning with a different probe count, on the legacy
+                // solver: fitted constants differ, verdicts must not.
+                FunnelOptions {
+                    enumeration: EnumerationBudget::SelfTuning {
+                        probe_pairs: 3,
+                        max_support: 26,
+                    },
+                    solver: SolverConfig::legacy(),
+                    ..FunnelOptions::default()
+                },
             ];
             for (v, funnel) in variants.into_iter().enumerate() {
                 let graph = CompatibilityGraph::build_with(
@@ -841,6 +1136,44 @@ mod tests {
         // …and declines within the fixed knob's range on big cones.
         assert!(!budget.admits(16, 50_000));
         assert!(EnumerationBudget::FixedSupportLimit(18).admits(16, 50_000));
+    }
+
+    #[test]
+    fn budget_fit_recovers_affine_model_and_clamps() {
+        // Exact affine samples: cost = 300_000 + 600·cone.
+        let samples: Vec<(u64, u64)> = [100u64, 500, 2_000, 10_000]
+            .iter()
+            .map(|&g| (g, 300_000 + 600 * g))
+            .collect();
+        let (base, per_gate) = fit_enumeration_budget(&samples);
+        assert!((299_000..=301_000).contains(&base), "base {base}");
+        assert!((598..=602).contains(&per_gate), "per_gate {per_gate}");
+
+        // Too few samples → calibrated defaults.
+        assert_eq!(fit_enumeration_budget(&[]), (1 << 18, 256));
+        assert_eq!(fit_enumeration_budget(&[(50, 1 << 20)]), (1 << 18, 256));
+
+        // Degenerate (all cones equal) → default slope, fitted intercept.
+        let (base, per_gate) = fit_enumeration_budget(&[(400, 1 << 19), (400, 1 << 19)]);
+        assert_eq!(per_gate, 256);
+        assert!((1 << 17..=1 << 22).contains(&base));
+
+        // Wild slopes and intercepts clamp into the safe band — and the
+        // floor is the calibrated default, so self-tuning can never grant
+        // *less* enumeration than the calibrated model.
+        let (base, per_gate) = fit_enumeration_budget(&[(1, 1 << 10), (2, 1 << 10)]);
+        assert_eq!((base, per_gate), (1 << 18, 256));
+        let (base, per_gate) =
+            fit_enumeration_budget(&[(1, u64::from(u32::MAX)), (1_000_000, u64::MAX / 2)]);
+        assert_eq!((base, per_gate), (1 << 22, 4096));
+    }
+
+    #[test]
+    fn probe_cost_has_flat_floor_and_counter_terms() {
+        assert_eq!(probe_cost_word_ops(0, 0), 1 << 16);
+        assert_eq!(probe_cost_word_ops(10, 100), (1 << 16) + 7_680 + 2_400);
+        // Saturates instead of overflowing.
+        assert_eq!(probe_cost_word_ops(u64::MAX, u64::MAX), u64::MAX);
     }
 
     #[test]

@@ -1,4 +1,10 @@
 //! Reading and writing DIMACS CNF.
+//!
+//! Besides plain [`parse`]/[`write()`], the module supports *repro files* for
+//! the differential test harness: [`write_repro`] serializes a CNF together
+//! with an assumption set (as `c assume … 0` comment lines, so the file stays
+//! valid DIMACS for any other tool), and [`parse_repro`] reads both back.
+//! A failing fuzz instance dumped this way is a standalone, replayable file.
 
 use std::error::Error;
 use std::fmt;
@@ -26,36 +32,112 @@ impl fmt::Display for ParseDimacsError {
 
 impl Error for ParseDimacsError {}
 
+fn err(line: usize, message: impl Into<String>) -> ParseDimacsError {
+    ParseDimacsError {
+        line,
+        message: message.into(),
+    }
+}
+
+/// Declared `p cnf` header contents.
+struct Header {
+    line: usize,
+    vars: usize,
+    clauses: usize,
+}
+
+fn parse_header(lineno: usize, line: &str) -> Result<Header, ParseDimacsError> {
+    let toks: Vec<&str> = line.split_whitespace().collect();
+    if toks.len() != 4 || toks[0] != "p" || toks[1] != "cnf" {
+        return Err(err(
+            lineno,
+            format!("malformed header `{line}` (expected `p cnf <vars> <clauses>`)"),
+        ));
+    }
+    let vars: usize = toks[2]
+        .parse()
+        .map_err(|_| err(lineno, format!("invalid variable count `{}`", toks[2])))?;
+    let clauses: usize = toks[3]
+        .parse()
+        .map_err(|_| err(lineno, format!("invalid clause count `{}`", toks[3])))?;
+    Ok(Header {
+        line: lineno,
+        vars,
+        clauses,
+    })
+}
+
 /// Parses DIMACS CNF text into a [`Cnf`].
 ///
-/// The `p cnf <vars> <clauses>` header is optional; comment lines start with
-/// `c`. Clauses may span lines and are terminated by `0`.
+/// The `p cnf <vars> <clauses>` header is optional, but when present it is
+/// validated: it must be well-formed, appear at most once, and its declared
+/// counts must match the body (no literal may reference a variable beyond
+/// the declared count; the clause count must be exact). Comment lines start
+/// with `c`. Clauses may span lines and are terminated by `0`.
 ///
 /// # Errors
 ///
-/// Returns [`ParseDimacsError`] when a token is not an integer.
+/// Returns [`ParseDimacsError`] when a token is not an integer, the header
+/// is malformed or duplicated, or the body contradicts the header.
 pub fn parse(src: &str) -> Result<Cnf, ParseDimacsError> {
     let mut cnf = Cnf::new();
+    let mut header: Option<Header> = None;
     let mut current: Vec<Lit> = Vec::new();
-    for (lineno, raw) in src.lines().enumerate() {
+    let mut num_clauses = 0usize;
+    for (idx, raw) in src.lines().enumerate() {
+        let lineno = idx + 1;
         let line = raw.trim();
-        if line.is_empty() || line.starts_with('c') || line.starts_with('p') {
+        if line.is_empty() || line.starts_with('c') {
+            continue;
+        }
+        if line.starts_with('p') {
+            if header.is_some() {
+                return Err(err(lineno, "duplicate `p cnf` header"));
+            }
+            if num_clauses > 0 || !current.is_empty() {
+                return Err(err(lineno, "`p cnf` header must precede all clauses"));
+            }
+            header = Some(parse_header(lineno, line)?);
             continue;
         }
         for tok in line.split_whitespace() {
-            let value: i64 = tok.parse().map_err(|_| ParseDimacsError {
-                line: lineno + 1,
-                message: format!("invalid literal `{tok}`"),
-            })?;
+            let value: i64 = tok
+                .parse()
+                .map_err(|_| err(lineno, format!("invalid literal `{tok}`")))?;
             if value == 0 {
                 cnf.add_clause(current.drain(..));
+                num_clauses += 1;
             } else {
+                if let Some(h) = &header {
+                    if value.unsigned_abs() > h.vars as u64 {
+                        return Err(err(
+                            lineno,
+                            format!(
+                                "literal `{value}` exceeds declared variable count {}",
+                                h.vars
+                            ),
+                        ));
+                    }
+                }
                 current.push(Lit::from_dimacs(value));
             }
         }
     }
     if !current.is_empty() {
         cnf.add_clause(current);
+        num_clauses += 1;
+    }
+    if let Some(h) = header {
+        if num_clauses != h.clauses {
+            return Err(err(
+                h.line,
+                format!(
+                    "header declares {} clauses but the body has {num_clauses}",
+                    h.clauses
+                ),
+            ));
+        }
+        cnf.reserve_vars(h.vars);
     }
     Ok(cnf)
 }
@@ -74,6 +156,54 @@ pub fn write(cnf: &Cnf) -> String {
     out
 }
 
+/// Serializes a CNF plus an assumption set as a standalone repro file.
+///
+/// The assumptions ride in `c assume <lits> 0` comment lines, so the output
+/// is still plain DIMACS to any tool that ignores comments; [`parse_repro`]
+/// recovers both parts. The differential harness dumps failing fuzz
+/// instances in this format.
+#[must_use]
+pub fn write_repro(cnf: &Cnf, assumptions: &[Lit]) -> String {
+    let mut out = String::new();
+    if !assumptions.is_empty() {
+        out.push_str("c assume");
+        for lit in assumptions {
+            out.push(' ');
+            out.push_str(&lit.to_dimacs().to_string());
+        }
+        out.push_str(" 0\n");
+    }
+    out.push_str(&write(cnf));
+    out
+}
+
+/// Parses a repro file produced by [`write_repro`], returning the CNF and
+/// the assumption literals collected from every `c assume … 0` line.
+///
+/// # Errors
+///
+/// Returns [`ParseDimacsError`] on any error [`parse`] would report, or when
+/// an `c assume` line carries a malformed literal.
+pub fn parse_repro(src: &str) -> Result<(Cnf, Vec<Lit>), ParseDimacsError> {
+    let mut assumptions = Vec::new();
+    for (idx, raw) in src.lines().enumerate() {
+        let line = raw.trim();
+        let Some(rest) = line.strip_prefix("c assume") else {
+            continue;
+        };
+        for tok in rest.split_whitespace() {
+            let value: i64 = tok
+                .parse()
+                .map_err(|_| err(idx + 1, format!("invalid assumption literal `{tok}`")))?;
+            if value != 0 {
+                assumptions.push(Lit::from_dimacs(value));
+            }
+        }
+    }
+    let cnf = parse(src)?;
+    Ok((cnf, assumptions))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -83,6 +213,7 @@ mod tests {
     fn parse_simple() {
         let cnf = parse("c comment\np cnf 3 2\n1 -2 0\n2 3 0\n").unwrap();
         assert_eq!(cnf.num_clauses(), 2);
+        assert_eq!(cnf.num_vars(), 3);
         assert_eq!(cnf.clauses()[0], vec![Var(0).positive(), Var(1).negative()]);
     }
 
@@ -94,6 +225,7 @@ mod tests {
         let text = write(&cnf);
         let back = parse(&text).unwrap();
         assert_eq!(back.clauses(), cnf.clauses());
+        assert_eq!(back.num_vars(), cnf.num_vars());
     }
 
     #[test]
@@ -108,5 +240,70 @@ mod tests {
         let cnf = parse("1 2\n3 0\n").unwrap();
         assert_eq!(cnf.num_clauses(), 1);
         assert_eq!(cnf.clauses()[0].len(), 3);
+    }
+
+    #[test]
+    fn malformed_headers_are_errors() {
+        for (src, needle) in [
+            ("p cnf 3\n1 0\n", "malformed header"),
+            ("p dnf 3 1\n1 0\n", "malformed header"),
+            ("p cnf three 1\n1 0\n", "invalid variable count"),
+            ("p cnf 3 one\n1 0\n", "invalid clause count"),
+            ("p cnf 3 1 extra\n1 0\n", "malformed header"),
+            ("p cnf 3 1\np cnf 3 1\n1 0\n", "duplicate"),
+            ("1 0\np cnf 3 1\n", "must precede"),
+        ] {
+            let e = parse(src).unwrap_err();
+            assert!(
+                e.message.contains(needle),
+                "`{src}` → `{}` (wanted `{needle}`)",
+                e.message
+            );
+        }
+    }
+
+    #[test]
+    fn header_body_mismatches_are_errors() {
+        let e = parse("p cnf 2 1\n1 -3 0\n").unwrap_err();
+        assert!(e.message.contains("exceeds declared variable count"));
+        let e = parse("p cnf 3 2\n1 2 0\n").unwrap_err();
+        assert!(e.message.contains("declares 2 clauses"));
+        let e = parse("p cnf 3 1\n1 0\n2 0\n").unwrap_err();
+        assert!(e.message.contains("declares 1 clauses"));
+    }
+
+    #[test]
+    fn header_reserves_unused_variables() {
+        let cnf = parse("p cnf 5 1\n1 0\n").unwrap();
+        assert_eq!(cnf.num_vars(), 5);
+    }
+
+    #[test]
+    fn repro_round_trip() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([Var(0).positive(), Var(1).negative()]);
+        let assumptions = vec![Var(1).positive(), Var(0).negative()];
+        let text = write_repro(&cnf, &assumptions);
+        let (back, back_assumptions) = parse_repro(&text).unwrap();
+        assert_eq!(back.clauses(), cnf.clauses());
+        assert_eq!(back_assumptions, assumptions);
+        // The repro file is also plain DIMACS (assumptions are comments).
+        assert_eq!(parse(&text).unwrap().clauses(), cnf.clauses());
+    }
+
+    #[test]
+    fn repro_without_assumptions_is_plain_dimacs() {
+        let mut cnf = Cnf::new();
+        cnf.add_clause([Var(0).positive()]);
+        let text = write_repro(&cnf, &[]);
+        assert_eq!(text, write(&cnf));
+        let (_, assumptions) = parse_repro(&text).unwrap();
+        assert!(assumptions.is_empty());
+    }
+
+    #[test]
+    fn bad_assumption_literal_is_error() {
+        let e = parse_repro("c assume 1 x 0\np cnf 1 1\n1 0\n").unwrap_err();
+        assert!(e.message.contains("invalid assumption literal"));
     }
 }

@@ -8,8 +8,9 @@
 //!
 //! * [`Cnf`], [`Lit`], [`Var`] — clause database primitives.
 //! * [`Solver`] — a CDCL SAT solver (two-watched literals, first-UIP clause
-//!   learning, VSIDS-style activities, phase saving, restarts, incremental
-//!   solving under assumptions).
+//!   learning, VSIDS-style activities, phase saving, Luby or geometric
+//!   restarts, activity-based learned-clause deletion, incremental solving
+//!   under assumptions) configured through [`SolverConfig`].
 //! * [`dimacs`] — DIMACS CNF reading/writing for interoperability.
 //! * [`CircuitEncoder`] — Tseitin encoding of a [`netlist::Netlist`], either
 //!   whole-design or restricted to a fanin cone.
@@ -46,5 +47,5 @@ mod types;
 
 pub use encoder::CircuitEncoder;
 pub use oracle::{CircuitOracle, ConeOracle};
-pub use solver::{SolveResult, Solver, SolverStats};
+pub use solver::{luby, RestartPolicy, SolveResult, Solver, SolverConfig, SolverStats};
 pub use types::{Clause, Cnf, Lit, Var};

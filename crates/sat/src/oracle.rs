@@ -15,7 +15,7 @@
 use netlist::{GateKind, NetId, Netlist};
 
 use crate::encoder::{encode_nets_into, CircuitEncoder};
-use crate::solver::{SolveResult, Solver};
+use crate::solver::{SolveResult, Solver, SolverConfig};
 use crate::types::{Cnf, Lit, Var};
 
 /// Answers "is there an input pattern that drives these nets to these
@@ -41,8 +41,15 @@ impl CircuitOracle {
     /// Builds the oracle for `netlist` (performs the Tseitin encoding).
     #[must_use]
     pub fn new(netlist: &Netlist) -> Self {
+        Self::with_config(netlist, SolverConfig::default())
+    }
+
+    /// Builds the oracle with an explicit solver configuration (restart
+    /// policy, clause deletion).
+    #[must_use]
+    pub fn with_config(netlist: &Netlist, config: SolverConfig) -> Self {
         let encoder = CircuitEncoder::new(netlist);
-        let solver = Solver::from_cnf(encoder.cnf());
+        let solver = Solver::from_cnf_with_config(encoder.cnf(), config);
         Self {
             encoder,
             solver,
@@ -132,9 +139,16 @@ impl<'a> ConeOracle<'a> {
     /// the first query.
     #[must_use]
     pub fn new(netlist: &'a Netlist) -> Self {
+        Self::with_config(netlist, SolverConfig::default())
+    }
+
+    /// Creates an empty oracle with an explicit solver configuration
+    /// (restart policy, clause deletion).
+    #[must_use]
+    pub fn with_config(netlist: &'a Netlist, config: SolverConfig) -> Self {
         Self {
             netlist,
-            solver: Solver::new(),
+            solver: Solver::with_config(config),
             net_vars: vec![UNENCODED; netlist.num_gates()],
             scan_inputs: netlist.scan_inputs(),
             queries: 0,

@@ -2,10 +2,31 @@
 //!
 //! The implementation follows the classic MiniSat recipe: two watched
 //! literals per clause, first-UIP conflict analysis, activity-based (VSIDS)
-//! decision heuristics with phase saving, geometric restarts, and incremental
-//! solving under assumptions. Clause deletion is intentionally omitted — the
-//! formulas produced by circuit encoding in this workspace are small enough
-//! that the learned-clause database stays manageable.
+//! decision heuristics with phase saving, restarts, and incremental solving
+//! under assumptions. Two behaviours are configurable via [`SolverConfig`]:
+//!
+//! - **Restart policy** — the default is the Luby sequence
+//!   ([`RestartPolicy::Luby`]); the original fixed geometric schedule
+//!   ([`RestartPolicy::Geometric`]) stays selectable so the two can be
+//!   differentially tested against each other.
+//! - **Learned-clause deletion** — learned clauses carry their own activity
+//!   (bumped when a clause participates in conflict analysis, decayed per
+//!   conflict); when the live learned-clause count exceeds a cap,
+//!   [`reduce_db`](Solver::reduce_db) deletes the low-activity half of the
+//!   deletable learned clauses (binary clauses and clauses locked as reasons
+//!   are always kept), compacts the clause arena, and repairs the watch lists
+//!   and reason indices. The cap grows geometrically after each reduction so
+//!   long searches still converge.
+//!
+//! Both features are on by default; [`SolverConfig::legacy`] reproduces the
+//! pre-deletion solver exactly (geometric restarts, no deletion), which the
+//! differential harness in `tests/sat_differential.rs` exploits: every
+//! generated instance is solved under both configurations and against a
+//! brute-force model enumerator, and the verdicts must agree.
+//!
+//! When a solve under assumptions returns UNSAT because an assumption is
+//! contradicted, [`Solver::unsat_assumptions`] exposes the subset of the
+//! assumption literals responsible (MiniSat's `analyzeFinal`).
 
 use crate::order::VarOrder;
 use crate::types::{Clause, Cnf, Lit, Var};
@@ -36,6 +57,117 @@ impl SolveResult {
     }
 }
 
+/// Restart schedule for [`Solver::solve`].
+///
+/// Each `solve` call starts the schedule from its beginning; the conflict
+/// budget of search episode `i` (1-based, within that call) is:
+///
+/// - `Luby { unit }` — `unit * luby(i)` where `luby` is the Luby sequence
+///   1, 1, 2, 1, 1, 2, 4, 1, … (the universally-optimal restart schedule).
+/// - `Geometric { first }` — `first`, then ×3/2 after every restart (the
+///   original policy of this solver, kept selectable for differential
+///   testing).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RestartPolicy {
+    /// Luby sequence scaled by `unit` conflicts.
+    Luby {
+        /// Base number of conflicts multiplied by the Luby sequence.
+        unit: u64,
+    },
+    /// Fixed geometric schedule: `first` conflicts, growing ×3/2 per restart.
+    Geometric {
+        /// Conflict budget of the first search episode.
+        first: u64,
+    },
+}
+
+impl RestartPolicy {
+    /// Conflict budget for search episode `episode` (1-based) of a solve call.
+    #[must_use]
+    pub fn budget(self, episode: u64) -> u64 {
+        match self {
+            RestartPolicy::Luby { unit } => unit.saturating_mul(luby(episode)),
+            RestartPolicy::Geometric { first } => {
+                let mut b = first;
+                for _ in 1..episode {
+                    b = b.saturating_mul(3) / 2;
+                }
+                b
+            }
+        }
+    }
+}
+
+/// The Luby sequence: 1, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8, …
+/// (`i` is 1-based).
+#[must_use]
+pub fn luby(mut i: u64) -> u64 {
+    debug_assert!(i >= 1);
+    loop {
+        // Smallest k with 2^k - 1 >= i.
+        let mut k = 1u32;
+        while (1u64 << k) - 1 < i {
+            k += 1;
+        }
+        if (1u64 << k) - 1 == i {
+            return 1u64 << (k - 1);
+        }
+        // Recurse on the tail: luby(i - 2^(k-1) + 1).
+        i -= (1u64 << (k - 1)) - 1;
+    }
+}
+
+/// Tunable solver behaviour. `Default` enables the modern configuration
+/// (Luby restarts + clause deletion); [`SolverConfig::legacy`] reproduces the
+/// original solver (geometric restarts, no deletion) exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SolverConfig {
+    /// Restart schedule.
+    pub restarts: RestartPolicy,
+    /// Whether learned-clause database reduction is enabled.
+    pub clause_deletion: bool,
+    /// Floor of the learned-clause cap. The effective initial cap is
+    /// `max(learnt_cap_min, original_clauses / learnt_cap_origin_divisor)`.
+    pub learnt_cap_min: u64,
+    /// Cap growth per reduction, in percent (110 = ×1.1 per `reduce_db`).
+    pub learnt_cap_growth_percent: u64,
+    /// Divisor of the original-clause count in the cap floor (MiniSat keeps
+    /// up to a third of the original count, divisor 3). `0` drops the
+    /// originals term entirely, making `learnt_cap_min` the sole floor —
+    /// useful to force reductions on small instances (stress tests, CI
+    /// gates) where few clauses are ever learned.
+    pub learnt_cap_origin_divisor: u64,
+}
+
+impl Default for SolverConfig {
+    fn default() -> Self {
+        Self {
+            restarts: RestartPolicy::Luby { unit: 128 },
+            clause_deletion: true,
+            learnt_cap_min: 256,
+            learnt_cap_growth_percent: 110,
+            learnt_cap_origin_divisor: 3,
+        }
+    }
+}
+
+impl SolverConfig {
+    /// The pre-deletion solver: fixed geometric restarts (first budget 128,
+    /// ×3/2 per restart), no learned-clause deletion. With this
+    /// configuration the solver's decision/conflict trace is bit-identical
+    /// to the solver as it existed before clause deletion landed.
+    #[must_use]
+    pub fn legacy() -> Self {
+        Self {
+            restarts: RestartPolicy::Geometric { first: 128 },
+            clause_deletion: false,
+            learnt_cap_min: 256,
+            learnt_cap_growth_percent: 110,
+            learnt_cap_origin_divisor: 3,
+        }
+    }
+}
+
 /// Search statistics accumulated over the lifetime of a [`Solver`].
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SolverStats {
@@ -49,9 +181,39 @@ pub struct SolverStats {
     pub learned_clauses: u64,
     /// Number of restarts performed.
     pub restarts: u64,
+    /// Number of `reduce_db` runs (learned-clause database reductions).
+    pub reduces: u64,
+    /// Total learned clauses deleted by `reduce_db`.
+    pub deleted_clauses: u64,
+    /// High-water mark of simultaneously live learned clauses.
+    pub peak_learnts: u64,
+}
+
+impl SolverStats {
+    /// Accumulates `other` into `self` (sums counters, max for the peak).
+    /// Used to aggregate statistics across per-worker solver instances.
+    pub fn merge(&mut self, other: &SolverStats) {
+        self.conflicts += other.conflicts;
+        self.decisions += other.decisions;
+        self.propagations += other.propagations;
+        self.learned_clauses += other.learned_clauses;
+        self.restarts += other.restarts;
+        self.reduces += other.reduces;
+        self.deleted_clauses += other.deleted_clauses;
+        self.peak_learnts = self.peak_learnts.max(other.peak_learnts);
+    }
 }
 
 const UNASSIGNED: u8 = 2;
+
+/// Per-clause bookkeeping parallel to the clause arena.
+#[derive(Debug, Clone, Copy)]
+struct ClauseMeta {
+    /// Learned (deletable) vs. original (permanent).
+    learned: bool,
+    /// Clause activity (bumped when the clause resolves a conflict).
+    activity: f64,
+}
 
 /// A CDCL SAT solver.
 ///
@@ -75,7 +237,10 @@ const UNASSIGNED: u8 = 2;
 /// ```
 #[derive(Debug, Clone)]
 pub struct Solver {
+    config: SolverConfig,
     clauses: Vec<Clause>,
+    /// Parallel to `clauses`: learned flag + clause activity.
+    meta: Vec<ClauseMeta>,
     /// watches[lit.code()] = indices of clauses currently watching `lit`.
     watches: Vec<Vec<usize>>,
     /// Current value per variable: 0 = false, 1 = true, 2 = unassigned.
@@ -89,6 +254,8 @@ pub struct Solver {
     propagate_head: usize,
     activity: Vec<f64>,
     activity_inc: f64,
+    /// Clause-activity increment (decayed per conflict).
+    clause_inc: f64,
     /// Decision order: activity-keyed max-heap over the variables
     /// (MiniSat's `order_heap`), making each decision O(log vars) instead of
     /// an O(vars) scan. Assigned variables may linger in the heap (lazy
@@ -98,6 +265,14 @@ pub struct Solver {
     phase: Vec<bool>,
     seen: Vec<bool>,
     unsat: bool,
+    /// Live (non-deleted) learned clauses.
+    live_learnts: u64,
+    /// Number of original (non-learned) clauses, for the cap floor.
+    original_clauses: u64,
+    /// Current learned-clause cap; 0 = not yet initialised.
+    learnt_cap: u64,
+    /// Assumption subset responsible for the last assumption-level UNSAT.
+    conflict_assumptions: Vec<Lit>,
     stats: SolverStats,
 }
 
@@ -108,11 +283,19 @@ impl Default for Solver {
 }
 
 impl Solver {
-    /// Creates an empty solver with no variables or clauses.
+    /// Creates an empty solver with the default (modern) configuration.
     #[must_use]
     pub fn new() -> Self {
+        Self::with_config(SolverConfig::default())
+    }
+
+    /// Creates an empty solver with an explicit configuration.
+    #[must_use]
+    pub fn with_config(config: SolverConfig) -> Self {
         Self {
+            config,
             clauses: Vec::new(),
+            meta: Vec::new(),
             watches: Vec::new(),
             values: Vec::new(),
             level: Vec::new(),
@@ -122,10 +305,15 @@ impl Solver {
             propagate_head: 0,
             activity: Vec::new(),
             activity_inc: 1.0,
+            clause_inc: 1.0,
             order: VarOrder::default(),
             phase: Vec::new(),
             seen: Vec::new(),
             unsat: false,
+            live_learnts: 0,
+            original_clauses: 0,
+            learnt_cap: 0,
+            conflict_assumptions: Vec::new(),
             stats: SolverStats::default(),
         }
     }
@@ -133,12 +321,24 @@ impl Solver {
     /// Creates a solver preloaded with the clauses of `cnf`.
     #[must_use]
     pub fn from_cnf(cnf: &Cnf) -> Self {
-        let mut solver = Self::new();
+        Self::from_cnf_with_config(cnf, SolverConfig::default())
+    }
+
+    /// Creates a configured solver preloaded with the clauses of `cnf`.
+    #[must_use]
+    pub fn from_cnf_with_config(cnf: &Cnf, config: SolverConfig) -> Self {
+        let mut solver = Self::with_config(config);
         solver.reserve_vars(cnf.num_vars());
         for clause in cnf.clauses() {
             solver.add_clause(clause.iter().copied());
         }
         solver
+    }
+
+    /// The configuration this solver was built with.
+    #[must_use]
+    pub fn config(&self) -> SolverConfig {
+        self.config
     }
 
     /// Allocates a fresh variable.
@@ -169,16 +369,42 @@ impl Solver {
         self.values.len()
     }
 
-    /// Number of clauses (original + learned).
+    /// Number of clauses (original + live learned).
     #[must_use]
     pub fn num_clauses(&self) -> usize {
         self.clauses.len()
+    }
+
+    /// Number of live (non-deleted) learned clauses.
+    #[must_use]
+    pub fn live_learnts(&self) -> u64 {
+        self.live_learnts
+    }
+
+    /// Current learned-clause cap (0 until the first cap check with clause
+    /// deletion enabled).
+    #[must_use]
+    pub fn learnt_cap(&self) -> u64 {
+        self.learnt_cap
     }
 
     /// Accumulated search statistics.
     #[must_use]
     pub fn stats(&self) -> SolverStats {
         self.stats
+    }
+
+    /// After an UNSAT [`Solver::solve`] under assumptions, the subset of the
+    /// assumption literals responsible for the conflict (MiniSat's
+    /// `analyzeFinal`). Empty when the formula itself is UNSAT (independent
+    /// of the assumptions) or when the last solve was SAT.
+    ///
+    /// The conjunction of the formula with just these assumptions is
+    /// guaranteed UNSAT — the differential harness verifies this against a
+    /// brute-force enumerator.
+    #[must_use]
+    pub fn unsat_assumptions(&self) -> &[Lit] {
+        &self.conflict_assumptions
     }
 
     fn value_lit(&self, lit: Lit) -> u8 {
@@ -230,6 +456,11 @@ impl Solver {
                 self.watches[clause[0].code()].push(idx);
                 self.watches[clause[1].code()].push(idx);
                 self.clauses.push(clause);
+                self.meta.push(ClauseMeta {
+                    learned: false,
+                    activity: 0.0,
+                });
+                self.original_clauses += 1;
             }
         }
     }
@@ -332,6 +563,21 @@ impl Solver {
         self.activity_inc /= 0.95;
     }
 
+    fn bump_clause(&mut self, ci: usize) {
+        let a = &mut self.meta[ci].activity;
+        *a += self.clause_inc;
+        if *a > 1e20 {
+            for m in &mut self.meta {
+                m.activity *= 1e-20;
+            }
+            self.clause_inc *= 1e-20;
+        }
+    }
+
+    fn decay_clause_activity(&mut self) {
+        self.clause_inc /= 0.999;
+    }
+
     /// First-UIP conflict analysis. Returns the learned clause (asserting
     /// literal first) and the backtrack level.
     fn analyze(&mut self, mut confl: usize) -> (Clause, usize) {
@@ -343,6 +589,9 @@ impl Solver {
         let mut to_clear: Vec<Var> = Vec::new();
 
         loop {
+            if self.meta[confl].learned {
+                self.bump_clause(confl);
+            }
             let clause = self.clauses[confl].clone();
             let start = usize::from(p.is_some());
             for &q in &clause[start..] {
@@ -404,6 +653,47 @@ impl Solver {
         (learned, backtrack_level)
     }
 
+    /// MiniSat's `analyzeFinal`: `false_assumption` was found false while
+    /// establishing the assumption levels. Walks the implication graph
+    /// backwards and collects the subset of assumption decisions responsible.
+    /// All decisions on the trail at this point are assumptions (branching
+    /// only starts once every assumption level is established).
+    fn analyze_final(&mut self, false_assumption: Lit) -> Vec<Lit> {
+        let mut out = vec![false_assumption];
+        if self.decision_level() == 0 {
+            return out;
+        }
+        let v0 = false_assumption.var().index();
+        if self.level[v0] > 0 {
+            self.seen[v0] = true;
+        }
+        let start = self.trail_lim[0];
+        for i in (start..self.trail.len()).rev() {
+            let lit = self.trail[i];
+            let v = lit.var().index();
+            if !self.seen[v] {
+                continue;
+            }
+            self.seen[v] = false;
+            let r = self.reason[v];
+            if r == usize::MAX {
+                // A decision — at this stage of the search, an assumption.
+                // `false_assumption`'s own variable may be on the trail as an
+                // earlier assumption with the opposite polarity; that
+                // assumption is part of the responsible set too.
+                out.push(lit);
+            } else {
+                for &q in &self.clauses[r][1..] {
+                    if self.level[q.var().index()] > 0 {
+                        self.seen[q.var().index()] = true;
+                    }
+                }
+            }
+        }
+        self.seen[v0] = false;
+        out
+    }
+
     fn backtrack_to(&mut self, level: usize) {
         while self.decision_level() > level {
             let lim = self.trail_lim.pop().expect("non-root level");
@@ -417,6 +707,112 @@ impl Solver {
         }
         self.propagate_head = self.trail.len().min(self.propagate_head);
         self.propagate_head = self.trail.len();
+    }
+
+    /// Current learned-clause cap, initialising it on first use. The cap
+    /// floor tracks the original clause count
+    /// (`max(min, originals / divisor)`, divisor 0 = min alone),
+    /// and the cap itself grows by `learnt_cap_growth_percent` after every
+    /// reduction.
+    fn current_learnt_cap(&mut self) -> u64 {
+        let origin_floor = match self.config.learnt_cap_origin_divisor {
+            0 => 0,
+            d => self.original_clauses / d,
+        };
+        let floor = self.config.learnt_cap_min.max(origin_floor);
+        if self.learnt_cap < floor {
+            self.learnt_cap = floor;
+        }
+        self.learnt_cap
+    }
+
+    /// Deletes the low-activity half of the deletable learned clauses and
+    /// compacts the clause arena.
+    ///
+    /// A learned clause is deletable unless it is binary (cheap and
+    /// valuable) or currently locked as the reason of an assigned variable.
+    /// After compaction every watch list is rebuilt from clause positions
+    /// 0/1 (the watched-literal invariant maintained by `propagate`) and the
+    /// reason indices of all assigned variables are remapped. Safe at any
+    /// decision level: deleted clauses are learned (logically redundant) and
+    /// never reasons, so soundness and the implication graph are preserved.
+    fn reduce_db(&mut self) {
+        // Locked = reason of some currently-assigned variable.
+        let mut locked = vec![false; self.clauses.len()];
+        for &lit in &self.trail {
+            let r = self.reason[lit.var().index()];
+            if r != usize::MAX {
+                locked[r] = true;
+            }
+        }
+        let mut candidates: Vec<usize> = (0..self.clauses.len())
+            .filter(|&ci| self.meta[ci].learned && !locked[ci] && self.clauses[ci].len() > 2)
+            .collect();
+        // Delete the low-activity half (ties broken by clause index so the
+        // outcome is deterministic).
+        candidates.sort_by(|&a, &b| {
+            self.meta[a]
+                .activity
+                .total_cmp(&self.meta[b].activity)
+                .then(a.cmp(&b))
+        });
+        let n_delete = candidates.len() / 2;
+        if n_delete == 0 {
+            // Nothing deletable: grow the cap so the check does not fire on
+            // every conflict.
+            self.learnt_cap = self
+                .learnt_cap
+                .saturating_mul(self.config.learnt_cap_growth_percent)
+                / 100;
+            return;
+        }
+        let mut remove = vec![false; self.clauses.len()];
+        for &ci in &candidates[..n_delete] {
+            remove[ci] = true;
+        }
+
+        // Compact the arena, building the old→new index remap.
+        let mut remap = vec![usize::MAX; self.clauses.len()];
+        let mut next = 0usize;
+        for old in 0..self.clauses.len() {
+            if !remove[old] {
+                if old != next {
+                    self.clauses.swap(old, next);
+                    self.meta.swap(old, next);
+                }
+                remap[old] = next;
+                next += 1;
+            }
+        }
+        self.clauses.truncate(next);
+        self.meta.truncate(next);
+
+        // Rebuild every watch list from clause positions 0/1.
+        for w in &mut self.watches {
+            w.clear();
+        }
+        for (ci, clause) in self.clauses.iter().enumerate() {
+            self.watches[clause[0].code()].push(ci);
+            self.watches[clause[1].code()].push(ci);
+        }
+
+        // Remap reason indices (locked clauses were kept, so every live
+        // reason survives).
+        for &lit in &self.trail {
+            let r = &mut self.reason[lit.var().index()];
+            if *r != usize::MAX {
+                debug_assert_ne!(remap[*r], usize::MAX, "reason clause deleted");
+                *r = remap[*r];
+            }
+        }
+
+        self.live_learnts -= n_delete as u64;
+        self.stats.reduces += 1;
+        self.stats.deleted_clauses += n_delete as u64;
+        self.learnt_cap = self
+            .learnt_cap
+            .saturating_mul(self.config.learnt_cap_growth_percent)
+            / 100;
     }
 
     /// Next decision variable: the unassigned variable of maximum activity,
@@ -462,6 +858,7 @@ impl Solver {
     /// The solver state (learned clauses, activities, saved phases) persists
     /// across calls, making repeated related queries fast.
     pub fn solve(&mut self, assumptions: &[Lit]) -> SolveResult {
+        self.conflict_assumptions.clear();
         if self.unsat {
             return SolveResult::Unsat;
         }
@@ -474,9 +871,10 @@ impl Solver {
             return SolveResult::Unsat;
         }
 
-        let mut conflict_budget = 128u64;
+        let mut episode = 1u64;
         loop {
-            match self.search(assumptions, conflict_budget) {
+            let budget = self.config.restarts.budget(episode);
+            match self.search(assumptions, budget) {
                 SearchOutcome::Sat(model) => {
                     self.backtrack_to(0);
                     return SolveResult::Sat(model);
@@ -488,7 +886,7 @@ impl Solver {
                 SearchOutcome::Restart => {
                     self.stats.restarts += 1;
                     self.backtrack_to(0);
-                    conflict_budget = conflict_budget.saturating_mul(3) / 2;
+                    episode += 1;
                 }
             }
         }
@@ -518,11 +916,22 @@ impl Solver {
                     self.watches[learned[0].code()].push(idx);
                     self.watches[learned[1].code()].push(idx);
                     self.clauses.push(learned);
+                    self.meta.push(ClauseMeta {
+                        learned: true,
+                        activity: 0.0,
+                    });
+                    self.bump_clause(idx);
                     self.stats.learned_clauses += 1;
+                    self.live_learnts += 1;
+                    self.stats.peak_learnts = self.stats.peak_learnts.max(self.live_learnts);
                     let ok = self.enqueue(asserting, idx);
                     debug_assert!(ok);
                 }
                 self.decay_activity();
+                self.decay_clause_activity();
+                if self.config.clause_deletion && self.live_learnts > self.current_learnt_cap() {
+                    self.reduce_db();
+                }
                 if conflicts_here >= conflict_budget && self.decision_level() > assumptions.len() {
                     return SearchOutcome::Restart;
                 }
@@ -531,7 +940,10 @@ impl Solver {
                 if self.decision_level() < assumptions.len() {
                     let lit = assumptions[self.decision_level()];
                     match self.value_lit(lit) {
-                        0 => return SearchOutcome::Unsat,
+                        0 => {
+                            self.conflict_assumptions = self.analyze_final(lit);
+                            return SearchOutcome::Unsat;
+                        }
                         1 => {
                             // Already true: open an empty decision level so the
                             // assumption indexing stays aligned.
@@ -659,6 +1071,40 @@ mod tests {
     }
 
     #[test]
+    fn unsat_assumption_subset_is_reported() {
+        // (1 ∨ 2): assumptions [¬1, ¬2] are jointly contradictory; assumption
+        // 3 is irrelevant and must not appear in the reported subset.
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]);
+        assert_eq!(s.solve(&[lit(3), lit(-1), lit(-2)]), SolveResult::Unsat);
+        let subset = s.unsat_assumptions().to_vec();
+        assert!(subset.contains(&lit(-2)) && subset.contains(&lit(-1)));
+        assert!(!subset.contains(&lit(3)));
+        // A SAT call clears the subset.
+        assert!(s.solve(&[lit(1)]).is_sat());
+        assert!(s.unsat_assumptions().is_empty());
+    }
+
+    #[test]
+    fn unsat_assumptions_empty_for_formula_level_unsat() {
+        let mut s = Solver::new();
+        s.add_clause([lit(1)]);
+        s.add_clause([lit(-1)]);
+        assert_eq!(s.solve(&[lit(2)]), SolveResult::Unsat);
+        assert!(s.unsat_assumptions().is_empty());
+    }
+
+    #[test]
+    fn directly_contradictory_assumptions() {
+        // x and ¬x assumed together: the subset is {x, ¬x} (both polarities).
+        let mut s = Solver::new();
+        s.add_clause([lit(1), lit(2)]); // keep var 1 known to the solver
+        assert_eq!(s.solve(&[lit(1), lit(-1)]), SolveResult::Unsat);
+        let subset = s.unsat_assumptions().to_vec();
+        assert!(subset.contains(&lit(1)) && subset.contains(&lit(-1)));
+    }
+
+    #[test]
     fn xor_chain_sat() {
         // x1 ⊕ x2 = 1, x2 ⊕ x3 = 1, x1 ⊕ x3 = 0 is satisfiable.
         let mut s = Solver::new();
@@ -711,6 +1157,113 @@ mod tests {
                     }
                     assert!(!any, "round {round}: solver said UNSAT but a model exists");
                 }
+            }
+        }
+    }
+
+    #[test]
+    fn luby_sequence_prefix() {
+        let expect = [1u64, 1, 2, 1, 1, 2, 4, 1, 1, 2, 1, 1, 2, 4, 8];
+        for (i, &e) in expect.iter().enumerate() {
+            assert_eq!(luby(i as u64 + 1), e, "luby({})", i + 1);
+        }
+    }
+
+    #[test]
+    fn restart_budgets_follow_their_policies() {
+        let luby_pol = RestartPolicy::Luby { unit: 100 };
+        assert_eq!(luby_pol.budget(1), 100);
+        assert_eq!(luby_pol.budget(3), 200);
+        assert_eq!(luby_pol.budget(7), 400);
+        let geo = RestartPolicy::Geometric { first: 128 };
+        assert_eq!(geo.budget(1), 128);
+        assert_eq!(geo.budget(2), 192);
+        assert_eq!(geo.budget(3), 288);
+    }
+
+    /// Pigeonhole formula: `pigeons` into `pigeons - 1` holes (UNSAT with
+    /// exponentially many conflicts — the classic CDCL stress instance).
+    fn pigeonhole(pigeons: i64) -> Cnf {
+        let holes = pigeons - 1;
+        let var = |p: i64, h: i64| holes * (p - 1) + h;
+        let mut cnf = Cnf::new();
+        for p in 1..=pigeons {
+            cnf.add_clause((1..=holes).map(|h| Lit::from_dimacs(var(p, h))));
+        }
+        for h in 1..=holes {
+            for p1 in 1..=pigeons {
+                for p2 in (p1 + 1)..=pigeons {
+                    cnf.add_clause([Lit::from_dimacs(-var(p1, h)), Lit::from_dimacs(-var(p2, h))]);
+                }
+            }
+        }
+        cnf
+    }
+
+    /// A conflict-rich instance solved with an artificially tiny cap: clause
+    /// deletion must fire, keep the live count within the (growing) cap, and
+    /// agree with the legacy no-deletion configuration on the verdict.
+    #[test]
+    fn reduce_db_fires_and_preserves_verdicts() {
+        let tiny = SolverConfig {
+            restarts: RestartPolicy::Luby { unit: 16 },
+            clause_deletion: true,
+            learnt_cap_min: 8,
+            learnt_cap_growth_percent: 110,
+            learnt_cap_origin_divisor: 0,
+        };
+        let cnf = pigeonhole(6);
+        let mut modern = Solver::from_cnf_with_config(&cnf, tiny);
+        let mut legacy = Solver::from_cnf_with_config(&cnf, SolverConfig::legacy());
+        assert_eq!(modern.solve(&[]), SolveResult::Unsat);
+        assert_eq!(legacy.solve(&[]), SolveResult::Unsat);
+        let st = modern.stats();
+        assert!(st.reduces > 0, "no reduction fired: {st:?}");
+        assert!(st.deleted_clauses > 0);
+        assert!(modern.live_learnts() <= modern.learnt_cap());
+        assert!(st.peak_learnts >= modern.live_learnts());
+        assert_eq!(legacy.stats().reduces, 0, "legacy must never reduce");
+    }
+
+    /// Clause deletion must stay sound across incremental solve calls: the
+    /// same solver instance is queried repeatedly under assumptions while
+    /// its learned DB is being reduced.
+    #[test]
+    fn reduce_db_sound_under_incremental_assumptions() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let tiny = SolverConfig {
+            restarts: RestartPolicy::Luby { unit: 16 },
+            clause_deletion: true,
+            learnt_cap_min: 8,
+            learnt_cap_growth_percent: 110,
+            learnt_cap_origin_divisor: 0,
+        };
+        let mut rng = StdRng::seed_from_u64(21);
+        let num_vars = 14;
+        let mut cnf = Cnf::with_vars(num_vars);
+        for _ in 0..56 {
+            let mut clause = Vec::new();
+            for _ in 0..3 {
+                let v = rng.gen_range(0..num_vars) as u32;
+                clause.push(Var(v).lit(rng.gen_bool(0.5)));
+            }
+            cnf.add_clause(clause);
+        }
+        let mut modern = Solver::from_cnf_with_config(&cnf, tiny);
+        let mut legacy = Solver::from_cnf_with_config(&cnf, SolverConfig::legacy());
+        for q in 0..30 {
+            let a = Var(rng.gen_range(0..num_vars) as u32).lit(rng.gen_bool(0.5));
+            let b = Var(rng.gen_range(0..num_vars) as u32).lit(rng.gen_bool(0.5));
+            let assumptions = [a, b];
+            let mr = modern.solve(&assumptions);
+            let lr = legacy.solve(&assumptions);
+            assert_eq!(mr.is_sat(), lr.is_sat(), "query {q}: verdicts differ");
+            if let SolveResult::Sat(m) = &mr {
+                assert_eq!(cnf.eval(m), Some(true), "query {q}: bad model");
+                assert!(assumptions
+                    .iter()
+                    .all(|l| m[l.var().index()] == l.polarity()));
             }
         }
     }
@@ -778,11 +1331,17 @@ mod tests {
     }
 
     #[test]
-    fn stats_accumulate() {
+    fn stats_accumulate_and_merge() {
         let mut s = Solver::new();
         s.add_clause([lit(1), lit(2), lit(3)]);
         s.add_clause([lit(-1), lit(-2)]);
         let _ = s.solve(&[]);
         assert!(s.stats().decisions > 0);
+
+        let mut total = SolverStats::default();
+        total.merge(&s.stats());
+        total.merge(&s.stats());
+        assert_eq!(total.decisions, 2 * s.stats().decisions);
+        assert_eq!(total.peak_learnts, s.stats().peak_learnts);
     }
 }

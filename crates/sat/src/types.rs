@@ -158,6 +158,11 @@ impl Cnf {
         self.num_vars
     }
 
+    /// Grows the variable count to at least `n` (no-op if already larger).
+    pub fn reserve_vars(&mut self, n: usize) {
+        self.num_vars = self.num_vars.max(n);
+    }
+
     /// Number of clauses.
     #[must_use]
     pub fn num_clauses(&self) -> usize {
